@@ -1,0 +1,97 @@
+"""Ablation benches for design choices DESIGN.md calls out.
+
+Not paper artefacts — these isolate two pipeline decisions the thesis makes
+in passing, so their value is measured rather than assumed:
+
+* the **low-variance region filter** ("throw out regions whose variances
+  are below a certain threshold, since low-variance regions are not likely
+  to be interesting", Section 3.2);
+* the **mirror instances** ("left-right mirror images occur very frequently
+  in image databases and we would like to regard them as the same",
+  Section 3.2).
+
+Each ablation runs the standard waterfall experiment with the feature
+switched off and reports the delta.  Mirrors and the filter should not
+*hurt*; the filter should also shrink bags (its actual purpose is noise and
+cost reduction).
+"""
+
+from repro.database.splits import split_database
+from repro.eval.experiment import ExperimentConfig, RetrievalExperiment
+from repro.datasets.loader import build_scene_database
+from repro.eval.reporting import ascii_table
+from repro.imaging.features import FeatureConfig
+from repro.imaging.regions import region_family
+
+
+def _database(scale, variance_threshold: float, include_mirrors: bool):
+    config = FeatureConfig(
+        resolution=10,
+        region_family=region_family("default20"),
+        include_mirrors=include_mirrors,
+        variance_threshold=variance_threshold,
+    )
+    database = build_scene_database(
+        images_per_category=scale.scene_images_per_category,
+        size=scale.image_size,
+        seed=20000,
+        feature_config=config,
+    )
+    database.precompute_features()
+    return database
+
+
+def _run(scale, database, seed: int = 31):
+    config = ExperimentConfig(
+        target_category="waterfall",
+        scheme="inequality",
+        beta=0.5,
+        max_iterations=scale.max_iterations,
+        start_bag_subset=scale.start_bag_subset,
+        start_instance_stride=scale.start_instance_stride,
+        rounds=scale.rounds,
+        training_fraction=scale.scene_training_fraction,
+        seed=seed,
+    )
+    return RetrievalExperiment(database, config).run()
+
+
+def test_ablation_variance_filter(benchmark, report, scale):
+    def run_both():
+        with_filter = _run(scale, _database(scale, 1e-4, True))
+        without_filter = _run(scale, _database(scale, 0.0, True))
+        return with_filter, without_filter
+
+    with_filter, without_filter = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    # The filter is a noise/cost optimisation; it must not cost much quality.
+    assert with_filter.average_precision >= without_filter.average_precision - 0.2
+
+    table = ascii_table(
+        ["configuration", "AP (waterfalls)"],
+        [
+            ["variance filter on (paper)", with_filter.average_precision],
+            ["variance filter off", without_filter.average_precision],
+        ],
+        title="Ablation — low-variance region filter (Section 3.2)",
+    )
+    report(table)
+
+
+def test_ablation_mirror_instances(benchmark, report, scale):
+    def run_both():
+        with_mirrors = _run(scale, _database(scale, 1e-4, True))
+        without_mirrors = _run(scale, _database(scale, 1e-4, False))
+        return with_mirrors, without_mirrors
+
+    with_mirrors, without_mirrors = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert with_mirrors.average_precision >= without_mirrors.average_precision - 0.2
+
+    table = ascii_table(
+        ["configuration", "AP (waterfalls)"],
+        [
+            ["mirrors on (paper, 40 inst/bag)", with_mirrors.average_precision],
+            ["mirrors off (20 inst/bag)", without_mirrors.average_precision],
+        ],
+        title="Ablation — left-right mirror instances (Section 3.2)",
+    )
+    report(table)

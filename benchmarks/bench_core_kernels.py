@@ -1,0 +1,79 @@
+"""Throughput microbenchmarks of the core computational kernels.
+
+Not a paper artefact — these quantify the building blocks every experiment
+leans on, so regressions in the hot paths are visible independently of the
+end-to-end figures:
+
+* one Diverse Density NLL + gradient evaluation (the inner loop of
+  training),
+* one exact projection onto the weight constraint set,
+* one image's full feature extraction (the database preprocessing cost),
+* ranking a thousand bags against a concept (the query-time cost).
+"""
+
+import numpy as np
+
+from repro.bags.bag import Bag, BagSet
+from repro.core.concept import LearnedConcept
+from repro.core.objective import DiverseDensityObjective
+from repro.core.projection import project_weights
+from repro.core.retrieval import RetrievalCandidate, RetrievalEngine
+from repro.datasets.base import category_rng
+from repro.datasets.scenes import render_scene
+from repro.imaging.features import FeatureConfig, FeatureExtractor
+from repro.imaging.image import GrayImage, to_gray
+
+
+def _paper_sized_objective() -> tuple[DiverseDensityObjective, np.ndarray, np.ndarray]:
+    """5 positive + 15 negative bags of 40 x 100-dim instances (paper shape)."""
+    rng = np.random.default_rng(0)
+    bag_set = BagSet()
+    for index in range(5):
+        bag_set.add(
+            Bag(instances=rng.normal(size=(40, 100)), label=True, bag_id=f"p{index}")
+        )
+    for index in range(15):
+        bag_set.add(
+            Bag(instances=rng.normal(size=(40, 100)), label=False, bag_id=f"n{index}")
+        )
+    return DiverseDensityObjective(bag_set), rng.normal(size=100), rng.uniform(0.1, 1, 100)
+
+
+def test_objective_gradient_evaluation(benchmark):
+    objective, t, w = _paper_sized_objective()
+    value, grad_t, grad_w = benchmark(lambda: objective.value_and_grad(t, w))
+    assert np.isfinite(value)
+    assert grad_t.shape == (100,)
+    assert grad_w.shape == (100,)
+
+
+def test_weight_projection(benchmark):
+    rng = np.random.default_rng(1)
+    y = rng.normal(0, 1, size=100)
+    projected = benchmark(lambda: project_weights(y, beta=0.5))
+    assert projected.sum() >= 0.5 * 100 - 1e-6
+
+
+def test_feature_extraction_per_image(benchmark):
+    pixels = to_gray(render_scene("waterfall", category_rng(0, "waterfall", 0), (96, 96)))
+    image = GrayImage(pixels=pixels, image_id="bench")
+    extractor = FeatureExtractor(FeatureConfig(resolution=10))
+    features = benchmark(lambda: extractor.extract(image))
+    assert features.n_dims == 100
+    assert 1 <= features.n_instances <= 40
+
+
+def test_ranking_thousand_bags(benchmark):
+    rng = np.random.default_rng(2)
+    concept = LearnedConcept(t=rng.normal(size=100), w=np.ones(100), nll=0.0)
+    candidates = [
+        RetrievalCandidate(
+            image_id=f"img-{index:04d}",
+            category="x",
+            instances=rng.normal(size=(40, 100)),
+        )
+        for index in range(1000)
+    ]
+    engine = RetrievalEngine()
+    result = benchmark(lambda: engine.rank(concept, candidates))
+    assert len(result) == 1000

@@ -1,0 +1,34 @@
+"""Figures 3-3 / 3-4 — whole-image vs matched-region correlation.
+
+Paper: two multi-object images correlate at 0.118 as whole frames but at
+0.674 on their matched regions — the motivation for region bags.
+
+Reproduction claim: matched-region correlation clearly exceeds whole-image
+correlation (weak whole, strong region).
+"""
+
+from repro.eval.reporting import ascii_table
+from repro.experiments.correlation_demos import figure_3_3_3_4
+
+PAPER_WHOLE = 0.118
+PAPER_REGION = 0.674
+
+
+def test_figures_3_3_3_4(benchmark, report, scale):
+    result = benchmark.pedantic(
+        lambda: figure_3_3_3_4(size=scale.image_size), rounds=1, iterations=1
+    )
+    assert result.matched_region_correlation > result.whole_image_correlation + 0.3
+    assert result.whole_image_correlation < 0.45
+    assert result.matched_region_correlation > 0.4
+
+    table = ascii_table(
+        ["comparison", "paper r", "measured r"],
+        [
+            ["whole images", PAPER_WHOLE, result.whole_image_correlation],
+            ["matched regions", PAPER_REGION, result.matched_region_correlation],
+        ],
+        title="Figures 3-3/3-4 — why regions: whole vs matched-region correlation",
+    )
+    gain = result.matched_region_correlation - result.whole_image_correlation
+    report(table + f"\nshape holds: region matching gains {gain:+.3f} correlation")

@@ -1,0 +1,69 @@
+"""Figures 3-7 / 3-8 / 3-9 — DD output (t, w) under three weight schemes.
+
+Paper: on a waterfall query, the original DD algorithm pushes "most of the
+weight factors ... very close to zero, leaving only a few large weight
+values" (Fig 3-7); identical weights are flat at 1 (Fig 3-8); the beta = 0.5
+inequality constraint keeps at least half the weight mass, spreading the
+weights out (Fig 3-9).
+
+Reproduction claims:
+* original scheme's near-zero weight fraction >> constrained scheme's;
+* identical scheme's weights exactly 1;
+* constrained scheme satisfies sum(w) >= 0.5 * n and has higher weight
+  entropy than the original scheme.
+"""
+
+import numpy as np
+
+from repro.core.projection import is_feasible
+from repro.eval.reporting import ascii_table
+from repro.experiments.weight_outputs import figures_3_7_to_3_9
+
+
+def test_figures_3_7_to_3_9(benchmark, report, scale):
+    outputs = benchmark.pedantic(
+        lambda: figures_3_7_to_3_9(scale), rounds=1, iterations=1
+    )
+    by_scheme = {o.scheme: o for o in outputs}
+
+    original = by_scheme["original"]
+    identical = by_scheme["identical"]
+    constrained = by_scheme["inequality"]
+
+    # Fig 3-8: identical weights are exactly flat.
+    np.testing.assert_allclose(identical.concept.w, 1.0)
+
+    # Fig 3-9: the constraint is honoured.
+    n = constrained.concept.n_dims
+    assert is_feasible(constrained.concept.w, 0.5, tolerance=1e-5)
+
+    # Fig 3-7 vs 3-9: the original scheme concentrates weight mass far more.
+    assert (
+        original.profile.fraction_near_zero
+        >= constrained.profile.fraction_near_zero
+    )
+    assert original.profile.entropy <= constrained.profile.entropy + 1e-9
+
+    rows = [
+        [
+            o.figure,
+            o.scheme,
+            o.profile.fraction_near_zero,
+            o.profile.entropy,
+            o.profile.total / o.concept.n_dims,
+        ]
+        for o in outputs
+    ]
+    table = ascii_table(
+        ["figure", "scheme", "near-zero frac", "entropy", "mean weight"],
+        rows,
+        title="Figures 3-7/3-8/3-9 — weight distributions by scheme (waterfall query)",
+    )
+    report(
+        table
+        + "\npaper:    original collapses to a few spikes; identical flat at 1; "
+        "beta=0.5 keeps >= half the mass\n"
+        f"measured: original near-zero={original.profile.fraction_near_zero:.2f} "
+        f"vs constrained {constrained.profile.fraction_near_zero:.2f}; "
+        f"constrained mean weight={constrained.profile.total / n:.2f} (>= 0.5)"
+    )

@@ -1,0 +1,41 @@
+"""Figure 4-14 — retrieving cars with beta = 0.25.
+
+Paper: on the car query the beta = 0.5 inequality constraint is "not very
+good, but when we change beta to 0.25, it works very well" — loosening the
+constraint helps when the discriminative region is small.
+
+Reproduction claims: the beta = 0.25 inequality run beats the base rate
+clearly, and is at least as good as the beta = 0.5 run from the same split
+(or within a small tolerance — the paper's own figures show run-to-run
+variation).
+"""
+
+from repro.eval.reporting import ascii_table
+from repro.experiments.scheme_comparison import compare_category, figure_4_14
+
+
+def test_figure_4_14(benchmark, report, scale):
+    loose = benchmark.pedantic(lambda: figure_4_14(scale), rounds=1, iterations=1)
+    tight = compare_category("Figure 4-11", "car", "objects", scale, beta=0.5, seed=5)
+
+    ap_25 = loose.results["inequality"].average_precision
+    ap_50 = tight.results["inequality"].average_precision
+    sample = loose.results["inequality"]
+    base_rate = sample.n_relevant / len(sample.relevance)
+
+    assert ap_25 > base_rate + 0.1
+    # The paper's direction: beta=0.25 >= beta=0.5 on cars (tolerance for
+    # the different synthetic substrate).
+    assert ap_25 >= ap_50 - 0.15
+
+    table = ascii_table(
+        ["constraint", "AP (cars)"],
+        [["inequality beta=0.50", ap_50], ["inequality beta=0.25", ap_25]],
+        title="Figure 4-14 — cars: loosening the weight constraint",
+    )
+    report(
+        table
+        + f"\npaper: beta=0.25 works very well where beta=0.5 struggled\n"
+        f"measured: AP(0.25)-AP(0.5) = {ap_25 - ap_50:+.3f} "
+        f"(base rate {base_rate:.2f})"
+    )

@@ -1,0 +1,71 @@
+"""Figures 4-15 .. 4-17 — sweeping beta in the inequality constraint.
+
+Paper: on the sunset query, as beta moves toward 0 the PR curve approaches
+the original DD algorithm's; as beta moves toward 1 it approaches the
+identical-weights curve.  (Endpoints need not match exactly — the
+minimisation algorithms differ, as the thesis footnotes.)
+
+Reproduction claims:
+* the beta = 0 result is closer in AP to the original scheme than the
+  beta = 1 result is;
+* the beta = 1 result is closer in AP to the identical scheme than the
+  beta = 0 result is;
+* every sweep point beats the category base rate.
+"""
+
+from repro.eval.reporting import ascii_curve, ascii_table
+from repro.experiments.beta_sweep import figures_4_15_to_4_17
+
+#: A coarser grid than the paper's 9 points at quick scale; the paper grid
+#: is used automatically at paper scale.
+QUICK_BETAS = (0.0, 0.25, 0.5, 0.75, 1.0)
+PAPER_BETAS = (0.0, 0.1, 0.3, 0.4, 0.5, 0.6, 0.7, 0.9, 1.0)
+
+
+def test_figures_4_15_to_4_17(benchmark, report, scale):
+    betas = PAPER_BETAS if scale.name == "paper" else QUICK_BETAS
+    sweep = benchmark.pedantic(
+        lambda: figures_4_15_to_4_17(scale, betas=betas), rounds=1, iterations=1
+    )
+    aps = sweep.average_precisions()
+    ap_original = sweep.original.average_precision
+    ap_identical = sweep.identical.average_precision
+    sample = sweep.original
+    base_rate = sample.n_relevant / len(sample.relevance)
+
+    for beta, ap in aps.items():
+        assert ap > base_rate, f"beta={beta} failed to beat the base rate"
+
+    low, high = min(betas), max(betas)
+    gap_low_to_original = abs(aps[low] - ap_original)
+    gap_high_to_original = abs(aps[high] - ap_original)
+    gap_high_to_identical = abs(aps[high] - ap_identical)
+    gap_low_to_identical = abs(aps[low] - ap_identical)
+    # Interpolation shape (with slack for optimiser differences the thesis
+    # itself footnotes).
+    assert gap_low_to_original <= gap_high_to_original + 0.1
+    assert gap_high_to_identical <= gap_low_to_identical + 0.1
+
+    rows = [["original DD (reference)", ap_original]]
+    rows += [[f"inequality beta={beta:g}", aps[beta]] for beta in betas]
+    rows += [["identical weights (reference)", ap_identical]]
+    table = ascii_table(
+        ["configuration", f"AP ({sweep.target_category})"],
+        rows,
+        title="Figures 4-15..4-17 — beta sweep",
+    )
+    curve = ascii_curve(
+        list(betas),
+        [aps[beta] for beta in betas],
+        title="AP vs beta",
+        y_range=(0, 1),
+    )
+    report(
+        table
+        + "\n"
+        + curve
+        + "\npaper: beta->0 approaches original DD; beta->1 approaches "
+        "identical weights\n"
+        f"measured: |AP(beta={low})-AP(original)|={gap_low_to_original:.3f}, "
+        f"|AP(beta={high})-AP(identical)|={gap_high_to_identical:.3f}"
+    )

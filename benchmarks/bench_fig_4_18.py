@@ -1,0 +1,58 @@
+"""Figure 4-18 — choosing different numbers of instances per bag.
+
+Paper: 18, 40 and 84 instances per bag on sunsets, waterfalls and fields.
+"Having more instances per bag means a higher chance of hitting the 'right'
+region ... [but] also means introducing more noise ... more instances per
+bag do not guarantee better performance."
+
+Reproduction claims: every configuration beats the base rate, and bag size
+is not uniformly monotone — 84 instances does not dominate 40 on every
+category.
+"""
+
+from repro.eval.reporting import ascii_table
+from repro.experiments.bag_size import BAG_SIZES, figure_4_18
+
+#: Quick scale trims to two categories to keep the bench under a minute.
+QUICK_CATEGORIES = ("sunset", "waterfall")
+PAPER_CATEGORIES = ("sunset", "waterfall", "field")
+
+
+def test_figure_4_18(benchmark, report, scale):
+    categories = PAPER_CATEGORIES if scale.name == "paper" else QUICK_CATEGORIES
+    results = benchmark.pedantic(
+        lambda: figure_4_18(scale, categories=categories), rounds=1, iterations=1
+    )
+
+    rows = []
+    dominated_everywhere = True
+    for result in results:
+        aps = result.average_precisions()
+        sample = next(iter(result.by_instances.values()))
+        base_rate = sample.n_relevant / len(sample.relevance)
+        for n_instances, ap in aps.items():
+            assert ap > base_rate, (
+                f"{n_instances} instances failed base rate on {result.target_category}"
+            )
+        if aps[84] < max(aps[18], aps[40]) + 1e-9:
+            dominated_everywhere = False
+        rows.append(
+            [result.target_category, aps[18], aps[40], aps[84]]
+        )
+
+    # The paper's claim is the *absence* of a free lunch: the largest bag
+    # size must not strictly dominate on every category.
+    assert not dominated_everywhere or len(results) == 1
+
+    table = ascii_table(
+        ["category", "AP @18 inst", "AP @40 inst", "AP @84 inst"],
+        rows,
+        title="Figure 4-18 — instances per bag (region families "
+        + ", ".join(f"{n}->{fam}" for n, fam in BAG_SIZES)
+        + ")",
+    )
+    report(
+        table
+        + "\npaper: more instances per bag do not guarantee better performance\n"
+        "measured: see non-monotone rows above"
+    )

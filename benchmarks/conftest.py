@@ -1,0 +1,44 @@
+"""Shared infrastructure for the figure/table reproduction benchmarks.
+
+Every benchmark prints a "paper vs measured" report for its artefact; the
+``report`` fixture collects those blocks and emits them after the run so
+they survive pytest-benchmark's own output.
+
+Scale is controlled by ``REPRO_BENCH_SCALE`` (quick | medium | paper); see
+:mod:`repro.experiments.scale`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scale import resolve_scale
+
+_REPORTS: list[str] = []
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The active benchmark scale."""
+    return resolve_scale()
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Callable collecting report blocks printed at session end."""
+
+    def _add(block: str) -> None:
+        _REPORTS.append(block)
+        print("\n" + block)
+
+    return _add
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _REPORTS:
+        print("\n" + "=" * 78)
+        print("REPRODUCTION REPORTS ({} artefacts)".format(len(_REPORTS)))
+        print("=" * 78)
+        for block in _REPORTS:
+            print()
+            print(block)

@@ -1,0 +1,50 @@
+"""Database snapshots: save a featurised database and query the restored copy.
+
+Demonstrates the persistence layer: build a database, snapshot it to
+``.npz``, reload it, and verify a query session over the restored database
+reproduces the original ranking exactly.
+
+    python examples/database_persistence.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import RetrievalSession, quick_database
+from repro.database.persistence import load_database, save_database
+
+
+def main() -> None:
+    database = quick_database("objects", images_per_category=6, seed=13)
+    print(f"built {database}")
+
+    session = RetrievalSession(
+        database, scheme="identical", max_iterations=50, seed=13
+    )
+    session.add_examples("camera", n_positive=3, n_negative=3)
+    before = session.train_and_rank()
+    print("top 5 before snapshot:", [e.image_id for e in before.top(5)])
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = save_database(database, Path(tmp) / "objects.npz")
+        size_kb = path.stat().st_size / 1024
+        print(f"snapshot written: {path.name} ({size_kb:.0f} KiB)")
+
+        restored = load_database(path)
+        print(f"restored {restored}")
+
+        session2 = RetrievalSession(
+            restored, scheme="identical", max_iterations=50, seed=13
+        )
+        session2.add_examples("camera", n_positive=3, n_negative=3)
+        after = session2.train_and_rank()
+        print("top 5 after restore: ", [e.image_id for e in after.top(5)])
+
+        identical = before.image_ids == after.image_ids
+        print(f"\nrankings identical across the snapshot roundtrip: {identical}")
+        if not identical:
+            raise SystemExit("snapshot roundtrip changed the ranking!")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Object-image retrieval: identical weights vs the inequality constraint.
+
+The paper finds that on object databases — uniform backgrounds, little
+intra-class variation — forcing all weights to 1 is sometimes the best
+treatment, while loosening the constraint (beta = 0.25) helps categories
+whose discriminative region is small (Figure 4-14).  This example runs a
+car query under three weight treatments on a shared split and compares.
+
+    python examples/object_retrieval.py [category]
+"""
+
+import sys
+
+from repro import ExperimentConfig, RetrievalExperiment, build_object_database
+from repro.eval.reporting import ascii_table
+
+
+def main(category: str = "car") -> None:
+    print(f"target concept: {category!r}")
+    print("building the object database (19 categories x 8 images) ...")
+    database = build_object_database(images_per_category=8, size=(80, 80), seed=3)
+    database.precompute_features()
+
+    base = ExperimentConfig(
+        target_category=category,
+        scheme="identical",
+        n_positive=3,
+        n_negative=5,
+        rounds=3,
+        false_positives_per_round=3,
+        training_fraction=0.5,
+        start_bag_subset=2,
+        start_instance_stride=2,
+        max_iterations=60,
+        seed=17,
+    )
+    variants = {
+        "identical weights": base,
+        "inequality beta=0.50": base.with_overrides(scheme="inequality", beta=0.5),
+        "inequality beta=0.25": base.with_overrides(scheme="inequality", beta=0.25),
+    }
+
+    shared_split = None
+    rows = []
+    for label, config in variants.items():
+        experiment = RetrievalExperiment(database, config, split=shared_split)
+        shared_split = experiment.split
+        print(f"running {label} ...")
+        result = experiment.run()
+        top5 = sum(1 for e in result.outcome.test_ranking.top(5)
+                   if e.category == category)
+        rows.append([label, result.average_precision, top5 / 5,
+                     result.elapsed_seconds])
+
+    print()
+    print(
+        ascii_table(
+            ["weight treatment", "average precision", "precision@5", "seconds"],
+            rows,
+            title=f"retrieving {category} images from the object database",
+        )
+    )
+    print(
+        "\npaper's expectation: identical weights is competitive on object "
+        "images;\nbeta=0.25 can beat beta=0.5 when the discriminative region "
+        "is small."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "car")

@@ -1,0 +1,65 @@
+"""The Section 4.3 speed-up: start minimisation from a subset of positive bags.
+
+Sweeps the number of positive bags whose instances seed the gradient-ascent
+restarts (the Figure 4-22 experiment, scaled down) and prints performance
+against training time — showing that 2-3 of 5 bags retain nearly all the
+retrieval quality at a fraction of the cost.
+
+    python examples/training_speedup.py
+"""
+
+from repro import ExperimentConfig, RetrievalExperiment, build_scene_database
+from repro.eval.reporting import ascii_table
+
+
+def main() -> None:
+    print("building the scene database ...")
+    database = build_scene_database(images_per_category=20, size=(80, 80), seed=9)
+    database.precompute_features()
+
+    base = ExperimentConfig(
+        target_category="waterfall",
+        scheme="inequality",
+        beta=0.5,
+        n_positive=5,
+        n_negative=5,
+        rounds=2,
+        false_positives_per_round=3,
+        training_fraction=0.4,
+        start_instance_stride=3,
+        max_iterations=50,
+        seed=21,
+    )
+    shared_split = None
+    rows = []
+    full_band = None
+    for k in (1, 2, 3, 5):
+        config = base.with_overrides(start_bag_subset=None if k == 5 else k)
+        experiment = RetrievalExperiment(database, config, split=shared_split)
+        shared_split = experiment.split
+        print(f"training from {k}/5 positive bags ...")
+        result = experiment.run()
+        train_time = result.outcome.final_training.elapsed_seconds
+        if k == 5:
+            full_band = result.band_precision
+        rows.append([f"{k}/5", result.band_precision, train_time])
+
+    for row in rows:
+        row.append(row[1] / full_band if full_band else 0.0)
+
+    print()
+    print(
+        ascii_table(
+            ["start bags", "band precision", "final-round train s", "relative"],
+            rows,
+            title="Figure 4-22 workflow — subset-of-bags training speed-up",
+        )
+    )
+    print(
+        "\npaper: 2/5 bags ~ 95% of full performance, 3/5 indistinguishable, "
+        "at a fraction of the training time."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Image database retrieval with multiple-instance learning techniques.
+
+This package reproduces the system of Yang & Lozano-Perez (ICDE 2000):
+content-based image retrieval where each image is a *bag* of region-level
+feature vectors and the Diverse Density algorithm learns the user's concept
+from positive and negative example images.
+
+Layering (bottom to top):
+
+``repro.imaging``
+    Gray-scale conversion, smoothing-and-sampling, region families,
+    (weighted) correlation and the correlation-to-Euclidean normalisation.
+``repro.bags``
+    The multiple-instance data model (instances, bags, bag sets) and the
+    image-to-bag generation pipeline.
+``repro.core``
+    The Diverse Density objective, optimisers (unconstrained and
+    constrained), weight-control schemes, learned concepts, the retrieval
+    ranker and the simulated relevance-feedback loop.
+``repro.database``
+    The image database: records, store, category catalog, splits and
+    persistence.
+``repro.datasets``
+    Seeded synthetic substitutes for the paper's COREL natural scenes and
+    web object images.
+``repro.baselines``
+    The Maron & Lakshmi Ratan colour-feature comparator and sanity rankers.
+``repro.eval``
+    Precision/recall machinery, experiment runner and ASCII reporting.
+``repro.experiments``
+    One configuration per table/figure of the paper's evaluation chapter.
+
+Quickstart::
+
+    from repro import quick_database, RetrievalSession
+
+    db = quick_database("scenes", images_per_category=20, seed=7)
+    session = RetrievalSession(db, scheme="inequality", beta=0.5, seed=7)
+    session.add_examples(category="waterfall", n_positive=5, n_negative=5)
+    result = session.train_and_rank()
+    print(result.top(10))
+"""
+
+from repro.version import __version__
+from repro.bags.bag import Bag, BagSet, Instance
+from repro.core.concept import LearnedConcept
+from repro.core.diverse_density import DiverseDensityTrainer, TrainerConfig, TrainingResult
+from repro.core.emdd import EMDDConfig, EMDDTrainer
+from repro.core.feedback import FeedbackLoop, FeedbackRound
+from repro.core.retrieval import RankedImage, RetrievalEngine, RetrievalResult
+from repro.core.schemes import WeightScheme, make_scheme
+from repro.database.index import StackedIndex
+from repro.database.persistence import load_database, save_database
+from repro.database.store import ImageDatabase
+from repro.database.splits import DatabaseSplit, split_database
+from repro.datasets.loader import build_object_database, build_scene_database, quick_database
+from repro.eval.experiment import ExperimentConfig, ExperimentResult, RetrievalExperiment
+from repro.session import RetrievalSession
+
+__all__ = [
+    "__version__",
+    "Bag",
+    "BagSet",
+    "Instance",
+    "LearnedConcept",
+    "DiverseDensityTrainer",
+    "TrainerConfig",
+    "TrainingResult",
+    "EMDDConfig",
+    "EMDDTrainer",
+    "FeedbackLoop",
+    "FeedbackRound",
+    "RankedImage",
+    "RetrievalEngine",
+    "RetrievalResult",
+    "WeightScheme",
+    "make_scheme",
+    "StackedIndex",
+    "ImageDatabase",
+    "DatabaseSplit",
+    "split_database",
+    "save_database",
+    "load_database",
+    "build_scene_database",
+    "build_object_database",
+    "quick_database",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "RetrievalExperiment",
+    "RetrievalSession",
+]

@@ -1,0 +1,12 @@
+"""Multiple-instance data model: instances, bags and bag sets.
+
+* :mod:`repro.bags.bag` — the :class:`~repro.bags.bag.Instance`,
+  :class:`~repro.bags.bag.Bag` and :class:`~repro.bags.bag.BagSet` value
+  types shared by the learner, the database and the evaluation harness.
+* :mod:`repro.bags.generation` — the image-to-bag pipeline of Section 3.5.
+"""
+
+from repro.bags.bag import Bag, BagSet, Instance
+from repro.bags.generation import BagGenerator
+
+__all__ = ["Bag", "BagSet", "Instance", "BagGenerator"]

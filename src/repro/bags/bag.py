@@ -1,0 +1,244 @@
+"""Bags and instances — the multiple-instance data model (Section 2.1.2).
+
+An *instance* is one feature vector; a *bag* is the set of instances derived
+from one image, labelled positive or negative as a whole.  A positive label
+promises that at least one instance matches the target concept; a negative
+label promises that none does.
+
+:class:`BagSet` is the container handed to the Diverse Density trainer: it
+keeps positive and negative bags separate, validates dimensional consistency
+and exposes the flattened views (stacked instance matrix + bag boundaries)
+the vectorised objective works on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import BagError
+
+
+@dataclass(frozen=True)
+class Instance:
+    """One feature vector plus provenance.
+
+    Attributes:
+        vector: 1-D float64 feature vector.
+        source: free-form provenance string (region name, mirror flag, ...).
+    """
+
+    vector: np.ndarray
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        vector = np.asarray(self.vector, dtype=np.float64).reshape(-1)
+        if vector.size == 0:
+            raise BagError("an instance vector cannot be empty")
+        if not np.all(np.isfinite(vector)):
+            raise BagError(f"instance vector contains non-finite values (source={self.source!r})")
+        object.__setattr__(self, "vector", vector)
+
+    @property
+    def n_dims(self) -> int:
+        """Dimensionality of the feature vector."""
+        return self.vector.size
+
+
+@dataclass(frozen=True)
+class Bag:
+    """All instances of one image, with the image-level label.
+
+    Attributes:
+        instances: the instance matrix, ``(n_instances, n_dims)``.
+        label: True for a positive bag, False for a negative one.
+        bag_id: identifier of the originating image.
+        sources: optional per-instance provenance, parallel to ``instances``.
+    """
+
+    instances: np.ndarray
+    label: bool
+    bag_id: str = ""
+    sources: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        matrix = np.asarray(self.instances, dtype=np.float64)
+        if matrix.ndim == 1:
+            matrix = matrix.reshape(1, -1)
+        if matrix.ndim != 2:
+            raise BagError(f"bag instances must form a 2-D matrix, got shape {matrix.shape}")
+        if matrix.shape[0] == 0 or matrix.shape[1] == 0:
+            raise BagError(f"bag {self.bag_id!r} has an empty instance matrix {matrix.shape}")
+        if not np.all(np.isfinite(matrix)):
+            raise BagError(f"bag {self.bag_id!r} contains non-finite instance values")
+        if self.sources and len(self.sources) != matrix.shape[0]:
+            raise BagError(
+                f"bag {self.bag_id!r}: {matrix.shape[0]} instances but "
+                f"{len(self.sources)} sources"
+            )
+        object.__setattr__(self, "instances", matrix)
+
+    @classmethod
+    def from_instances(
+        cls, instances: Sequence[Instance], label: bool, bag_id: str = ""
+    ) -> "Bag":
+        """Build a bag from :class:`Instance` objects (must agree on dims)."""
+        if not instances:
+            raise BagError(f"cannot build empty bag {bag_id!r}")
+        dims = {inst.n_dims for inst in instances}
+        if len(dims) != 1:
+            raise BagError(f"bag {bag_id!r} mixes dimensionalities {sorted(dims)}")
+        return cls(
+            instances=np.vstack([inst.vector for inst in instances]),
+            label=label,
+            bag_id=bag_id,
+            sources=tuple(inst.source for inst in instances),
+        )
+
+    @property
+    def n_instances(self) -> int:
+        """Number of instances in the bag."""
+        return self.instances.shape[0]
+
+    @property
+    def n_dims(self) -> int:
+        """Feature dimensionality."""
+        return self.instances.shape[1]
+
+    def instance(self, index: int) -> Instance:
+        """Return instance ``index`` as an :class:`Instance` object."""
+        source = self.sources[index] if self.sources else ""
+        return Instance(vector=self.instances[index], source=source)
+
+    def relabeled(self, label: bool) -> "Bag":
+        """A copy of this bag with a different image-level label."""
+        return Bag(
+            instances=self.instances, label=label, bag_id=self.bag_id, sources=self.sources
+        )
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self.instances)
+
+    def __len__(self) -> int:
+        return self.n_instances
+
+
+class BagSet:
+    """A labelled collection of bags, ready for the DD trainer.
+
+    The set enforces a single feature dimensionality and unique bag ids, and
+    pre-computes the stacked views used by the vectorised objective.
+    """
+
+    def __init__(self, bags: Iterable[Bag] = ()):
+        self._bags: list[Bag] = []
+        self._ids: set[str] = set()
+        self._n_dims: int | None = None
+        for bag in bags:
+            self.add(bag)
+
+    def add(self, bag: Bag) -> None:
+        """Add one bag, validating dimensionality and id uniqueness.
+
+        Raises:
+            BagError: on a dimension mismatch or duplicate non-empty bag id.
+        """
+        if self._n_dims is None:
+            self._n_dims = bag.n_dims
+        elif bag.n_dims != self._n_dims:
+            raise BagError(
+                f"bag {bag.bag_id!r} has {bag.n_dims} dims; the set holds {self._n_dims}"
+            )
+        if bag.bag_id:
+            if bag.bag_id in self._ids:
+                raise BagError(f"duplicate bag id {bag.bag_id!r}")
+            self._ids.add(bag.bag_id)
+        self._bags.append(bag)
+
+    def extend(self, bags: Iterable[Bag]) -> None:
+        """Add several bags."""
+        for bag in bags:
+            self.add(bag)
+
+    @property
+    def bags(self) -> tuple[Bag, ...]:
+        """All bags, in insertion order."""
+        return tuple(self._bags)
+
+    @property
+    def positive_bags(self) -> tuple[Bag, ...]:
+        """The bags labelled positive."""
+        return tuple(bag for bag in self._bags if bag.label)
+
+    @property
+    def negative_bags(self) -> tuple[Bag, ...]:
+        """The bags labelled negative."""
+        return tuple(bag for bag in self._bags if not bag.label)
+
+    @property
+    def n_dims(self) -> int:
+        """Feature dimensionality of the set.
+
+        Raises:
+            BagError: if the set is empty.
+        """
+        if self._n_dims is None:
+            raise BagError("the bag set is empty")
+        return self._n_dims
+
+    @property
+    def n_positive(self) -> int:
+        """Number of positive bags."""
+        return sum(1 for bag in self._bags if bag.label)
+
+    @property
+    def n_negative(self) -> int:
+        """Number of negative bags."""
+        return len(self._bags) - self.n_positive
+
+    def contains_id(self, bag_id: str) -> bool:
+        """Whether a bag with this id is already present."""
+        return bag_id in self._ids
+
+    def validate_for_training(self) -> None:
+        """Check the set is trainable: at least one positive bag.
+
+        Raises:
+            BagError: if there is no positive bag.
+        """
+        if self.n_positive == 0:
+            raise BagError("Diverse Density training requires at least one positive bag")
+
+    def stacked(self, label: bool) -> tuple[np.ndarray, np.ndarray]:
+        """Stack the instances of all bags with the given label.
+
+        Returns:
+            ``(matrix, boundaries)`` where ``matrix`` is
+            ``(total_instances, n_dims)`` and ``boundaries`` holds the
+            cumulative instance counts delimiting each bag, so bag ``i``
+            occupies rows ``boundaries[i]:boundaries[i+1]``.  An empty side
+            yields a ``(0, n_dims)`` matrix and ``[0]``.
+        """
+        selected = [bag for bag in self._bags if bag.label == label]
+        counts = np.array([bag.n_instances for bag in selected], dtype=np.int64)
+        boundaries = np.concatenate([[0], np.cumsum(counts)])
+        if selected:
+            matrix = np.vstack([bag.instances for bag in selected])
+        else:
+            matrix = np.zeros((0, self.n_dims), dtype=np.float64)
+        return matrix, boundaries
+
+    def __len__(self) -> int:
+        return len(self._bags)
+
+    def __iter__(self) -> Iterator[Bag]:
+        return iter(self._bags)
+
+    def __repr__(self) -> str:
+        return f"BagSet({self.n_positive} positive, {self.n_negative} negative)"
+
+    def copy(self) -> "BagSet":
+        """A shallow copy (bags are immutable, so sharing them is safe)."""
+        return BagSet(self._bags)

@@ -1,0 +1,59 @@
+"""Image-to-bag generation (Section 3.5).
+
+:class:`BagGenerator` applies the feature pipeline to an image and wraps the
+result as a :class:`~repro.bags.bag.Bag`.  Labels are supplied at query time
+(the same image bag serves as positive in one query and negative in another),
+so generation produces *unlabelled* payloads that are labelled via
+:meth:`BagGenerator.bag_for`.
+"""
+
+from __future__ import annotations
+
+from repro.bags.bag import Bag
+from repro.errors import BagError, FeatureError
+from repro.imaging.features import FeatureConfig, FeatureExtractor, FeatureSet
+from repro.imaging.image import GrayImage
+
+
+class BagGenerator:
+    """Turns images into bags using a fixed feature configuration.
+
+    The generator memoises nothing itself — caching of per-image feature sets
+    belongs to the database layer, which owns image identity.
+    """
+
+    def __init__(self, config: FeatureConfig | None = None):
+        self._extractor = FeatureExtractor(config)
+
+    @property
+    def config(self) -> FeatureConfig:
+        """The feature configuration in force."""
+        return self._extractor.config
+
+    def features_for(self, image: GrayImage) -> FeatureSet:
+        """Extract the image's instances without labelling them.
+
+        Raises:
+            BagError: if the image yields no usable instances.
+        """
+        try:
+            return self._extractor.extract(image)
+        except FeatureError as exc:
+            raise BagError(
+                f"image {image.image_id or '<unnamed>'} produced no bag: {exc}"
+            ) from exc
+
+    def bag_for(self, image: GrayImage, label: bool) -> Bag:
+        """Extract features and wrap them as a labelled bag."""
+        features = self.features_for(image)
+        return self.bag_from_features(features, label, bag_id=image.image_id)
+
+    @staticmethod
+    def bag_from_features(features: FeatureSet, label: bool, bag_id: str = "") -> Bag:
+        """Wrap a pre-extracted :class:`FeatureSet` as a labelled bag."""
+        return Bag(
+            instances=features.vectors,
+            label=label,
+            bag_id=bag_id,
+            sources=tuple(source.describe() for source in features.sources),
+        )

@@ -1,0 +1,18 @@
+"""Baselines: the paper's comparator and sanity rankers.
+
+* :mod:`repro.baselines.maron_ratan` — the "previous approach" of
+  Section 4.2.4: Maron & Lakshmi Ratan's colour-feature bags driving the
+  same Diverse Density core.
+* :mod:`repro.baselines.rankers` — random and global-correlation (no-MIL)
+  rankers that bound the problem from below.
+"""
+
+from repro.baselines.maron_ratan import ColorCorpus, single_blob_with_neighbors
+from repro.baselines.rankers import GlobalCorrelationRanker, RandomRanker
+
+__all__ = [
+    "ColorCorpus",
+    "single_blob_with_neighbors",
+    "GlobalCorrelationRanker",
+    "RandomRanker",
+]

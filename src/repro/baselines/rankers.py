@@ -1,0 +1,91 @@
+"""Sanity-check rankers bounding the retrieval problem.
+
+* :class:`RandomRanker` — a seeded random ordering; the paper's "completely
+  random retrieval" reference (diagonal recall curve, flat PR curve at the
+  base rate).
+* :class:`GlobalCorrelationRanker` — whole-image correlation to the mean of
+  the positive examples, with no regions, no mirrors, no negative examples
+  and no learning.  The gap between this and the MIL system isolates what
+  multiple-instance learning buys (the Figure 3-3 / 3-4 argument).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.retrieval import RankedImage, RetrievalResult
+from repro.database.store import ImageDatabase
+from repro.errors import EvaluationError
+from repro.imaging.smoothing import smoothed_vector
+from repro.imaging.transform import normalize_feature
+
+
+class RandomRanker:
+    """Uniformly random ranking, reproducible from a seed."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = np.random.default_rng(seed)
+
+    def rank(self, database: ImageDatabase, ids: Sequence[str]) -> RetrievalResult:
+        """Rank the given ids in random order (all distances are 0)."""
+        if not ids:
+            raise EvaluationError("cannot rank an empty id list")
+        order = self._rng.permutation(len(ids))
+        ranked = [
+            RankedImage(
+                rank=position,
+                image_id=ids[index],
+                category=database.category_of(ids[index]),
+                distance=0.0,
+            )
+            for position, index in enumerate(order)
+        ]
+        return RetrievalResult(ranked)
+
+
+class GlobalCorrelationRanker:
+    """Rank by whole-image correlation to the mean positive example.
+
+    Each image is smoothed to one ``h x h`` vector (no regions, no mirrors)
+    and normalised per Section 3.4; the query template is the mean of the
+    normalised positive-example vectors; images are ranked by Euclidean
+    distance to the template, which by the Section 3.4 Claim is correlation
+    ranking in reverse.
+    """
+
+    def __init__(self, resolution: int = 10):
+        if resolution < 2:
+            raise EvaluationError(f"resolution must be >= 2, got {resolution}")
+        self._resolution = resolution
+
+    def _vector(self, database: ImageDatabase, image_id: str) -> np.ndarray:
+        pixels = database.record(image_id).image.pixels
+        return normalize_feature(smoothed_vector(pixels, self._resolution))
+
+    def rank(
+        self,
+        database: ImageDatabase,
+        positive_ids: Sequence[str],
+        candidate_ids: Sequence[str],
+    ) -> RetrievalResult:
+        """Rank ``candidate_ids`` against the mean of ``positive_ids``."""
+        if not positive_ids:
+            raise EvaluationError("global correlation ranking needs positive examples")
+        if not candidate_ids:
+            raise EvaluationError("cannot rank an empty candidate list")
+        template = np.mean(
+            [self._vector(database, image_id) for image_id in positive_ids], axis=0
+        )
+        scored = []
+        for image_id in candidate_ids:
+            vector = self._vector(database, image_id)
+            distance = float(np.sum((vector - template) ** 2))
+            scored.append((distance, image_id, database.category_of(image_id)))
+        scored.sort(key=lambda item: (item[0], item[1]))
+        ranked = [
+            RankedImage(rank=position, image_id=image_id, category=category, distance=distance)
+            for position, (distance, image_id, category) in enumerate(scored)
+        ]
+        return RetrievalResult(ranked)

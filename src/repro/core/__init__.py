@@ -1,0 +1,38 @@
+"""The Diverse Density core: objective, optimisers, schemes, retrieval.
+
+* :mod:`repro.core.objective` — noisy-or negative log Diverse Density and its
+  analytic gradients (Section 2.2).
+* :mod:`repro.core.optimizer` — unconstrained minimisers (bespoke Armijo
+  gradient descent and an L-BFGS backend).
+* :mod:`repro.core.projection` — exact projection onto the weight constraint
+  set and projected-gradient / SLSQP constrained minimisers (Section 3.6.3).
+* :mod:`repro.core.schemes` — the four weight-control schemes of Section 3.6.
+* :mod:`repro.core.diverse_density` — multi-restart training facade with the
+  subset-of-positive-bags speed-up of Section 4.3.
+* :mod:`repro.core.concept` — the learned concept ``(t, w)`` and bag scoring.
+* :mod:`repro.core.retrieval` — min-distance ranking over an image database.
+* :mod:`repro.core.feedback` — the simulated relevance-feedback loop of
+  Section 4.1.
+"""
+
+from repro.core.concept import LearnedConcept
+from repro.core.diverse_density import DiverseDensityTrainer, TrainerConfig, TrainingResult
+from repro.core.feedback import FeedbackLoop, FeedbackRound
+from repro.core.objective import DiverseDensityObjective
+from repro.core.retrieval import RankedImage, RetrievalEngine, RetrievalResult
+from repro.core.schemes import WeightScheme, make_scheme
+
+__all__ = [
+    "LearnedConcept",
+    "DiverseDensityTrainer",
+    "TrainerConfig",
+    "TrainingResult",
+    "FeedbackLoop",
+    "FeedbackRound",
+    "DiverseDensityObjective",
+    "RankedImage",
+    "RetrievalEngine",
+    "RetrievalResult",
+    "WeightScheme",
+    "make_scheme",
+]

@@ -1,0 +1,224 @@
+"""EM-DD: expectation-maximisation Diverse Density (post-paper extension).
+
+The paper's training cost is dominated by the noisy-or objective, whose
+every evaluation touches *all* instances of *all* bags.  EM-DD (Zhang &
+Goldman, NIPS 2001) — the best-known successor to the Diverse Density
+algorithm this paper builds on — replaces the noisy-or with an
+expectation-maximisation loop:
+
+* **E-step**: with the current concept ``(t, w)``, select from every bag the
+  single instance most likely to be the bag's representative (the closest
+  one under the weighted distance);
+* **M-step**: maximise the *single-instance* DD objective — each bag
+  reduced to its representative — which is far cheaper and smoother;
+* iterate until the selected representatives stop changing or the NLL
+  stops improving.
+
+The result is a drop-in alternative trainer with the same inputs and
+outputs as :class:`~repro.core.diverse_density.DiverseDensityTrainer`; the
+``bench_core_kernels`` numbers and the EM-DD tests show it reaches
+comparable optima in a fraction of the evaluations on the paper's bag
+shapes.  It reuses this package's objective, optimisers and restart
+machinery unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bags.bag import Bag, BagSet
+from repro.core.concept import LearnedConcept
+from repro.core.diverse_density import StartRecord, TrainingResult
+from repro.core.objective import DiverseDensityObjective
+from repro.core.schemes import WeightScheme, make_scheme
+from repro.errors import TrainingError
+
+
+@dataclass(frozen=True)
+class EMDDConfig:
+    """Configuration of the EM-DD trainer.
+
+    Attributes:
+        inner_scheme: weight treatment used in each M-step (any of the four
+            paper schemes by name, or a scheme object).
+        beta / alpha: forwarded to the named scheme.
+        max_em_iterations: cap on E/M alternations per restart.
+        tolerance: stop when the NLL improves by less than this.
+        max_inner_iterations: per-M-step solver cap.
+        start_bag_subset: positive-bag restart subset (Section 4.3 carries
+            over unchanged).
+        start_instance_stride: restart thinning within each start bag.
+        seed: RNG seed for the subset choice.
+    """
+
+    inner_scheme: WeightScheme | str = "identical"
+    beta: float = 0.5
+    alpha: float = 50.0
+    max_em_iterations: int = 10
+    tolerance: float = 1e-6
+    max_inner_iterations: int = 60
+    start_bag_subset: int | None = None
+    start_instance_stride: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_em_iterations < 1:
+            raise TrainingError(
+                f"max_em_iterations must be >= 1, got {self.max_em_iterations}"
+            )
+        if self.tolerance < 0:
+            raise TrainingError(f"tolerance must be >= 0, got {self.tolerance}")
+        if self.start_instance_stride < 1:
+            raise TrainingError(
+                f"start_instance_stride must be >= 1, got {self.start_instance_stride}"
+            )
+
+    def resolve_scheme(self) -> WeightScheme:
+        """The M-step scheme object."""
+        if isinstance(self.inner_scheme, WeightScheme):
+            return self.inner_scheme
+        return make_scheme(
+            self.inner_scheme,
+            beta=self.beta,
+            alpha=self.alpha,
+            max_iterations=self.max_inner_iterations,
+        )
+
+
+class EMDDTrainer:
+    """EM-DD with multi-restart, mirroring the DD trainer's interface."""
+
+    def __init__(self, config: EMDDConfig | None = None):
+        self._config = config or EMDDConfig()
+        self._scheme = self._config.resolve_scheme()
+
+    @property
+    def config(self) -> EMDDConfig:
+        """The trainer configuration."""
+        return self._config
+
+    def train(self, bag_set: BagSet) -> TrainingResult:
+        """Run EM-DD from every configured restart; keep the best concept.
+
+        Raises:
+            BagError: if the set has no positive bag.
+            TrainingError: if no restart produced a finite optimum.
+        """
+        bag_set.validate_for_training()
+        started_at = time.perf_counter()
+        full_objective = DiverseDensityObjective(bag_set)
+
+        best: tuple[float, np.ndarray, np.ndarray] | None = None
+        records: list[StartRecord] = []
+        for bag_id, instance_index, t0 in self._select_starts(bag_set):
+            t, w, reduced_nll, n_iterations = self._run_em(bag_set, t0)
+            # Score restarts on the *full* noisy-or objective so EM-DD
+            # concepts are comparable with plain DD concepts.
+            full_nll = full_objective.value(t, w)
+            records.append(
+                StartRecord(
+                    bag_id=bag_id,
+                    instance_index=instance_index,
+                    value=full_nll,
+                    n_iterations=n_iterations,
+                    converged=True,
+                )
+            )
+            if np.isfinite(full_nll) and (best is None or full_nll < best[0]):
+                best = (full_nll, t, w)
+
+        if best is None:
+            raise TrainingError("no EM-DD restart produced a finite optimum")
+        elapsed = time.perf_counter() - started_at
+        nll, t, w = best
+        concept = LearnedConcept(
+            t=t,
+            w=w,
+            nll=nll,
+            scheme=f"emdd({self._scheme.describe()})",
+            metadata={
+                "n_starts": len(records),
+                "elapsed_seconds": elapsed,
+                "n_positive_bags": bag_set.n_positive,
+                "n_negative_bags": bag_set.n_negative,
+            },
+        )
+        return TrainingResult(
+            concept=concept,
+            starts=tuple(records),
+            n_starts=len(records),
+            elapsed_seconds=elapsed,
+        )
+
+    # ------------------------------------------------------------------ #
+    # EM internals                                                        #
+    # ------------------------------------------------------------------ #
+
+    def _run_em(
+        self, bag_set: BagSet, t0: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, float, int]:
+        """One restart: alternate representative selection and M-steps."""
+        n_dims = bag_set.n_dims
+        t = np.asarray(t0, dtype=np.float64).copy()
+        w = np.ones(n_dims)
+        previous_nll = np.inf
+        previous_selection: tuple[int, ...] | None = None
+        total_inner = 0
+
+        for _ in range(self._config.max_em_iterations):
+            selection = self._select_representatives(bag_set, t, w)
+            reduced = self._reduced_bag_set(bag_set, selection)
+            objective = DiverseDensityObjective(reduced)
+            result = self._scheme.optimize(objective, t, w0=w)
+            total_inner += result.n_iterations
+            t, w = result.t, result.w
+            improved = previous_nll - result.value > self._config.tolerance
+            stable = selection == previous_selection
+            previous_nll = result.value
+            previous_selection = selection
+            if stable or not improved:
+                break
+        return t, w, previous_nll, total_inner
+
+    @staticmethod
+    def _select_representatives(
+        bag_set: BagSet, t: np.ndarray, w: np.ndarray
+    ) -> tuple[int, ...]:
+        """E-step: index of the closest instance within each bag."""
+        chosen = []
+        for bag in bag_set.bags:
+            diff = bag.instances - t
+            distances = (diff * diff) @ w
+            chosen.append(int(distances.argmin()))
+        return tuple(chosen)
+
+    @staticmethod
+    def _reduced_bag_set(bag_set: BagSet, selection: tuple[int, ...]) -> BagSet:
+        """M-step input: every bag reduced to its representative instance."""
+        reduced = BagSet()
+        for bag, index in zip(bag_set.bags, selection):
+            reduced.add(
+                Bag(
+                    instances=bag.instances[index : index + 1],
+                    label=bag.label,
+                    bag_id=bag.bag_id,
+                )
+            )
+        return reduced
+
+    def _select_starts(self, bag_set: BagSet) -> list[tuple[str, int, np.ndarray]]:
+        positive = list(bag_set.positive_bags)
+        subset = self._config.start_bag_subset
+        if subset is not None and subset < len(positive):
+            rng = np.random.default_rng(self._config.seed)
+            chosen = rng.choice(len(positive), size=subset, replace=False)
+            positive = [positive[i] for i in sorted(chosen)]
+        stride = self._config.start_instance_stride
+        starts = []
+        for bag in positive:
+            for index in range(0, bag.n_instances, stride):
+                starts.append((bag.bag_id, index, bag.instances[index].copy()))
+        return starts

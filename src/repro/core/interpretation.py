@@ -1,0 +1,159 @@
+"""Interpreting learned concepts (Chapter 5 future work).
+
+The thesis: "we have not been able to interpret those output values in an
+intuitive way.  One possible future direction would be to explore those
+values in more detail, either to come up with reasonable interpretations,
+or to improve the algorithm so that it gives more intuitive output values."
+
+This module provides the two interpretation tools the data model makes
+possible:
+
+* :func:`explain_bag` — which *region* of an image the concept matched
+  (the instance provenance recorded at bag-generation time names the
+  region and its mirror state), with the per-instance distance profile;
+* :func:`weight_saliency` — where in the ``h x h`` grid the learned weights
+  put their mass (row/column marginals and the top cells), i.e. *which
+  parts of the matched region* drive the similarity.
+
+Together these answer the user-facing question the thesis could not:
+"what did the system decide my concept was?"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.concept import LearnedConcept
+from repro.errors import TrainingError
+from repro.imaging.features import FeatureSet
+
+
+@dataclass(frozen=True)
+class RegionMatch:
+    """One image's best-matching region under a concept.
+
+    Attributes:
+        region_name: provenance of the winning instance (e.g.
+            ``"quadrant-ne (mirrored)"``).
+        distance: the winning instance's weighted distance.
+        margin: runner-up distance minus winning distance; small margins
+            mean the concept does not clearly prefer one region.
+        ranking: all instance provenances ordered best-first.
+    """
+
+    region_name: str
+    distance: float
+    margin: float
+    ranking: tuple[str, ...]
+
+
+def explain_bag(concept: LearnedConcept, features: FeatureSet) -> RegionMatch:
+    """Name the region of an image that the concept matched.
+
+    Args:
+        concept: the learned ``(t, w)``.
+        features: the image's extracted feature set (with provenance).
+
+    Raises:
+        TrainingError: on a dimensionality mismatch.
+    """
+    distances = concept.instance_distances(features.vectors)
+    order = np.argsort(distances, kind="stable")
+    names = [features.sources[i].describe() for i in order]
+    best = int(order[0])
+    margin = (
+        float(distances[order[1]] - distances[order[0]])
+        if distances.size > 1
+        else float("inf")
+    )
+    return RegionMatch(
+        region_name=features.sources[best].describe(),
+        distance=float(distances[best]),
+        margin=margin,
+        ranking=tuple(names),
+    )
+
+
+@dataclass(frozen=True)
+class WeightSaliency:
+    """Spatial structure of a concept's weight mass on the h x h grid.
+
+    Attributes:
+        row_marginals: weight mass per matrix row (top of the region first),
+            normalised to sum to 1.
+        col_marginals: weight mass per matrix column (left first).
+        top_cells: the ``(row, col, weight)`` triples of the heaviest cells.
+        concentration: fraction of total mass in the top 10% of cells — 1.0
+            means a spike, ~0.1 means uniform.
+    """
+
+    row_marginals: np.ndarray
+    col_marginals: np.ndarray
+    top_cells: tuple[tuple[int, int, float], ...]
+    concentration: float
+
+
+def weight_saliency(
+    concept: LearnedConcept, resolution: int | None = None, top_k: int = 5
+) -> WeightSaliency:
+    """Summarise where on the sampling grid the concept's weights sit.
+
+    Args:
+        concept: the learned concept; its dimensionality must be a perfect
+            square (or pass ``resolution``).
+        resolution: the grid side ``h``; inferred when omitted.
+        top_k: how many heaviest cells to report.
+
+    Raises:
+        TrainingError: if the concept cannot be reshaped to a square grid
+            or carries zero total weight.
+    """
+    _, w_matrix = concept.as_matrices(resolution)
+    total = float(w_matrix.sum())
+    if total <= 0.0:
+        raise TrainingError("cannot interpret a concept with zero total weight")
+    h = w_matrix.shape[0]
+
+    flat_order = np.argsort(w_matrix, axis=None)[::-1]
+    top = []
+    for flat_index in flat_order[: max(1, top_k)]:
+        row, col = divmod(int(flat_index), h)
+        top.append((row, col, float(w_matrix[row, col])))
+
+    n_top = max(1, (h * h) // 10)
+    concentration = float(
+        np.sort(w_matrix.reshape(-1))[::-1][:n_top].sum() / total
+    )
+    return WeightSaliency(
+        row_marginals=w_matrix.sum(axis=1) / total,
+        col_marginals=w_matrix.sum(axis=0) / total,
+        top_cells=tuple(top),
+        concentration=concentration,
+    )
+
+
+def consensus_region(
+    concept: LearnedConcept, feature_sets: dict[str, FeatureSet]
+) -> dict[str, int]:
+    """Vote count of winning region names across several images.
+
+    Useful for asking "did the positive examples all match via the same
+    region?" — a strong consensus indicates the learned concept is spatially
+    coherent.
+
+    Args:
+        concept: the learned concept.
+        feature_sets: mapping of image id to its feature set.
+
+    Returns:
+        Mapping of region name (mirror state stripped) to win count, sorted
+        by count descending.
+    """
+    votes: dict[str, int] = {}
+    for features in feature_sets.values():
+        match = explain_bag(concept, features)
+        base_name = match.region_name.replace(" (mirrored)", "")
+        votes[base_name] = votes.get(base_name, 0) + 1
+    return dict(sorted(votes.items(), key=lambda item: (-item[1], item[0])))

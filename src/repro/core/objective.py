@@ -1,0 +1,202 @@
+"""The Diverse Density objective (Section 2.2).
+
+Diverse Density at a point ``t`` with per-dimension weights ``w`` is
+
+    DD(t, w) = prod_i Pr(t | B+_i) * prod_i Pr(t | B-_i)
+
+under the noisy-or model
+
+    Pr(t | B+_i) = 1 - prod_j (1 - Pr(B+_ij = t))
+    Pr(t | B-_i) =     prod_j (1 - Pr(B-_ij = t))
+    Pr(B_ij = t) = exp(-||B_ij - t||^2_w),
+    ||x - t||^2_w = sum_k w_k (x_k - t_k)^2.
+
+We minimise the negative log, ``NLL = -log DD``, which decomposes over bags.
+This module evaluates the NLL and its analytic gradients with respect to both
+``t`` and ``w`` in fully vectorised form: all instances of all bags are
+stacked once at construction and each evaluation costs one pass over the
+stacked matrix.
+
+Gradient derivation (used below): with ``d2_j = ||x_j - t||^2_w`` and
+``p_j = exp(-d2_j)``, every bag contributes per-instance coefficients
+
+    positive bag i:  c_j = (Q_i / P_i) * p_j / (1 - p_j),
+                     Q_i = prod(1 - p_j),  P_i = 1 - Q_i
+    negative bag i:  c_j = -p_j / (1 - p_j)
+
+and then
+
+    dNLL/dw_k = sum_j c_j (x_jk - t_k)^2
+    dNLL/dt_k = 2 w_k sum_j c_j (t_k - x_jk).
+
+The paper optimises weights through the substitution ``w_k = s_k^2`` to keep
+them non-negative; :meth:`DiverseDensityObjective.value_and_grad_squared`
+exposes that parametrisation (including the "alpha hack" of Section 3.6.2,
+which divides the weight gradient by a constant ``alpha``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bags.bag import BagSet
+from repro.errors import TrainingError
+
+#: Instance probabilities are clamped into [0, 1 - _P_EPS] so that a bag
+#: sitting exactly on ``t`` does not produce an infinite negative-bag NLL.
+_P_EPS = 1e-12
+#: Bag probabilities are floored at this value before taking logs.
+_LOG_FLOOR = 1e-300
+
+
+class DiverseDensityObjective:
+    """Vectorised noisy-or negative-log Diverse Density for one bag set.
+
+    Args:
+        bag_set: the labelled bags; must contain at least one positive bag.
+
+    The objective is stateless after construction; it can be shared across
+    restarts and schemes.
+    """
+
+    def __init__(self, bag_set: BagSet):
+        bag_set.validate_for_training()
+        self._n_dims = bag_set.n_dims
+        self._pos_x, self._pos_bounds = bag_set.stacked(label=True)
+        self._neg_x, self._neg_bounds = bag_set.stacked(label=False)
+        self._n_pos_bags = len(self._pos_bounds) - 1
+        self._n_neg_bags = len(self._neg_bounds) - 1
+        # Map every positive instance row to its bag index for fast segment
+        # products/sums via np.add.reduceat.
+        self._pos_starts = self._pos_bounds[:-1]
+
+    @property
+    def n_dims(self) -> int:
+        """Feature dimensionality."""
+        return self._n_dims
+
+    @property
+    def n_positive_bags(self) -> int:
+        """Number of positive bags in the objective."""
+        return self._n_pos_bags
+
+    @property
+    def n_negative_bags(self) -> int:
+        """Number of negative bags in the objective."""
+        return self._n_neg_bags
+
+    def _check(self, t: np.ndarray, w: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        t = np.asarray(t, dtype=np.float64).reshape(-1)
+        w = np.asarray(w, dtype=np.float64).reshape(-1)
+        if t.size != self._n_dims or w.size != self._n_dims:
+            raise TrainingError(
+                f"expected {self._n_dims}-dim t and w, got {t.size} and {w.size}"
+            )
+        if np.any(w < 0):
+            raise TrainingError("weights must be non-negative")
+        return t, w
+
+    @staticmethod
+    def _instance_probabilities(
+        x: np.ndarray, t: np.ndarray, w: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return (diff, p) where diff = x - t and p_j = exp(-||diff_j||^2_w)."""
+        diff = x - t
+        d2 = (diff * diff) @ w
+        p = np.exp(-d2)
+        np.clip(p, 0.0, 1.0 - _P_EPS, out=p)
+        return diff, p
+
+    def value(self, t: np.ndarray, w: np.ndarray) -> float:
+        """NLL at ``(t, w)``.  Lower is better (higher Diverse Density)."""
+        return self._evaluate(t, w, with_grad=False)[0]
+
+    def value_and_grad(
+        self, t: np.ndarray, w: np.ndarray
+    ) -> tuple[float, np.ndarray, np.ndarray]:
+        """NLL and its gradients ``(value, grad_t, grad_w)`` at ``(t, w)``."""
+        value, grad_t, grad_w = self._evaluate(t, w, with_grad=True)
+        assert grad_t is not None and grad_w is not None
+        return value, grad_t, grad_w
+
+    def value_and_grad_squared(
+        self, t: np.ndarray, s: np.ndarray, alpha: float = 1.0
+    ) -> tuple[float, np.ndarray, np.ndarray]:
+        """NLL and gradients under the ``w = s**2`` parametrisation.
+
+        Args:
+            t: concept point.
+            s: signed square-root weights; effective weights are ``s**2``.
+            alpha: the Section 3.6.2 hack — the weight gradient is divided by
+                ``alpha``.  ``alpha = 1`` is the original algorithm; large
+                ``alpha`` freezes the weights (``alpha = inf`` is equivalent
+                to the identical-weights scheme).
+
+        Returns:
+            ``(value, grad_t, grad_s)``.
+        """
+        if alpha <= 0:
+            raise TrainingError(f"alpha must be positive, got {alpha}")
+        s = np.asarray(s, dtype=np.float64).reshape(-1)
+        value, grad_t, grad_w = self._evaluate(t, s * s, with_grad=True)
+        assert grad_t is not None and grad_w is not None
+        grad_s = grad_w * (2.0 * s) / alpha
+        return value, grad_t, grad_s
+
+    def bag_probabilities(
+        self, t: np.ndarray, w: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Noisy-or probabilities ``Pr(t|B)`` for (positive, negative) bags.
+
+        For positive bags this is ``1 - prod(1 - p_j)``; for negative bags
+        ``prod(1 - p_j)`` — both as defined in Section 2.2.1, evaluated at
+        the supplied concept.
+        """
+        t, w = self._check(t, w)
+        pos = np.ones(self._n_pos_bags)
+        neg = np.ones(self._n_neg_bags)
+        if self._pos_x.shape[0]:
+            _, p = self._instance_probabilities(self._pos_x, t, w)
+            log_q = np.add.reduceat(np.log1p(-p), self._pos_starts)
+            pos = -np.expm1(log_q)
+        if self._neg_x.shape[0]:
+            _, p = self._instance_probabilities(self._neg_x, t, w)
+            log_q = np.add.reduceat(np.log1p(-p), self._neg_bounds[:-1])
+            neg = np.exp(log_q)
+        return pos, neg
+
+    def _evaluate(
+        self, t: np.ndarray, w: np.ndarray, with_grad: bool
+    ) -> tuple[float, np.ndarray | None, np.ndarray | None]:
+        t, w = self._check(t, w)
+        value = 0.0
+        grad_t = np.zeros(self._n_dims) if with_grad else None
+        grad_w = np.zeros(self._n_dims) if with_grad else None
+
+        # ---- positive bags: -sum_i log(1 - prod_j (1 - p_j)) -------------
+        if self._pos_x.shape[0]:
+            diff, p = self._instance_probabilities(self._pos_x, t, w)
+            log1m = np.log1p(-p)
+            log_q = np.add.reduceat(log1m, self._pos_starts)  # log prod(1-p) per bag
+            bag_p = np.maximum(-np.expm1(log_q), _LOG_FLOOR)  # P_i = 1 - Q_i
+            value -= float(np.log(bag_p).sum())
+            if with_grad:
+                q_over_p = np.exp(log_q) / bag_p  # Q_i / P_i per bag
+                ratio = p / (1.0 - p)  # per instance
+                bag_of = np.repeat(
+                    np.arange(self._n_pos_bags), np.diff(self._pos_bounds)
+                )
+                coeff = q_over_p[bag_of] * ratio
+                grad_w += coeff @ (diff * diff)
+                grad_t += -2.0 * w * (coeff @ diff)
+
+        # ---- negative bags: -sum_ij log(1 - p_j) --------------------------
+        if self._neg_x.shape[0]:
+            diff, p = self._instance_probabilities(self._neg_x, t, w)
+            value -= float(np.log1p(-p).sum())
+            if with_grad:
+                coeff = -(p / (1.0 - p))
+                grad_w += coeff @ (diff * diff)
+                grad_t += -2.0 * w * (coeff @ diff)
+
+        return value, grad_t, grad_w

@@ -1,0 +1,160 @@
+"""Ranking an image database against a learned concept (Section 3.5).
+
+After training, the system "goes to the image database and ranks all images
+based on their weighted Euclidean distances to the ideal point", where an
+image's distance is the minimum over its instances.  This module implements
+that ranking over any *corpus* — an object yielding
+:class:`RetrievalCandidate` items — so the engine is independent of the
+storage layer (the :class:`~repro.database.store.ImageDatabase` provides the
+corpus view).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.concept import LearnedConcept
+from repro.errors import DatabaseError
+
+
+@dataclass(frozen=True)
+class RetrievalCandidate:
+    """One rankable image: its id, ground-truth category and instances."""
+
+    image_id: str
+    category: str
+    instances: np.ndarray
+
+
+@dataclass(frozen=True)
+class RankedImage:
+    """One entry of a retrieval ranking.
+
+    Attributes:
+        rank: 0-based position in the ranking (0 = best match).
+        image_id: the image's database id.
+        category: ground-truth category (used only for evaluation).
+        distance: the image's min-instance weighted distance to the concept.
+    """
+
+    rank: int
+    image_id: str
+    category: str
+    distance: float
+
+
+class RetrievalResult:
+    """An ordered retrieval ranking with evaluation helpers."""
+
+    def __init__(self, ranked: Sequence[RankedImage]):
+        self._ranked = tuple(ranked)
+        for position, entry in enumerate(self._ranked):
+            if entry.rank != position:
+                raise DatabaseError(
+                    f"ranking entry {entry.image_id!r} has rank {entry.rank}, "
+                    f"expected {position}"
+                )
+
+    @property
+    def ranked(self) -> tuple[RankedImage, ...]:
+        """All entries, best match first."""
+        return self._ranked
+
+    def top(self, k: int) -> tuple[RankedImage, ...]:
+        """The best ``k`` matches."""
+        if k < 0:
+            raise DatabaseError(f"k must be >= 0, got {k}")
+        return self._ranked[:k]
+
+    @property
+    def image_ids(self) -> tuple[str, ...]:
+        """Image ids in ranked order."""
+        return tuple(entry.image_id for entry in self._ranked)
+
+    @property
+    def distances(self) -> np.ndarray:
+        """Distances in ranked order (non-decreasing)."""
+        return np.array([entry.distance for entry in self._ranked])
+
+    def relevance(self, target_category: str) -> np.ndarray:
+        """Boolean relevance mask in ranked order for a target category."""
+        return np.array(
+            [entry.category == target_category for entry in self._ranked], dtype=bool
+        )
+
+    def false_positives(
+        self, target_category: str, limit: int, exclude: Iterable[str] = ()
+    ) -> tuple[RankedImage, ...]:
+        """The top-ranked *incorrect* images (the feedback loop's fodder).
+
+        Args:
+            target_category: what the user is searching for.
+            limit: how many false positives to return at most.
+            exclude: image ids to skip (e.g. existing examples).
+        """
+        if limit < 0:
+            raise DatabaseError(f"limit must be >= 0, got {limit}")
+        excluded = set(exclude)
+        found: list[RankedImage] = []
+        for entry in self._ranked:
+            if len(found) >= limit:
+                break
+            if entry.category != target_category and entry.image_id not in excluded:
+                found.append(entry)
+        return tuple(found)
+
+    def precision_at(self, k: int, target_category: str) -> float:
+        """Precision among the top ``k`` results."""
+        if k < 1:
+            raise DatabaseError(f"k must be >= 1, got {k}")
+        top = self._ranked[:k]
+        if not top:
+            return 0.0
+        hits = sum(1 for entry in top if entry.category == target_category)
+        return hits / len(top)
+
+    def __len__(self) -> int:
+        return len(self._ranked)
+
+    def __iter__(self) -> Iterator[RankedImage]:
+        return iter(self._ranked)
+
+    def __repr__(self) -> str:
+        return f"RetrievalResult({len(self._ranked)} images)"
+
+
+class RetrievalEngine:
+    """Ranks corpus candidates by min-instance distance to a concept."""
+
+    def rank(
+        self,
+        concept: LearnedConcept,
+        candidates: Iterable[RetrievalCandidate],
+        exclude: Iterable[str] = (),
+    ) -> RetrievalResult:
+        """Produce the full ranking, best match first.
+
+        Args:
+            concept: the learned ``(t, w)``.
+            candidates: the corpus to rank.
+            exclude: image ids to leave out (e.g. the training examples).
+
+        Ties in distance are broken by image id so rankings are
+        deterministic across runs.
+        """
+        excluded = set(exclude)
+        scored: list[tuple[float, str, str]] = []
+        for candidate in candidates:
+            if candidate.image_id in excluded:
+                continue
+            distance = concept.bag_distance(candidate.instances)
+            scored.append((distance, candidate.image_id, candidate.category))
+        scored.sort(key=lambda item: (item[0], item[1]))
+        ranked = [
+            RankedImage(rank=position, image_id=image_id, category=category, distance=distance)
+            for position, (distance, image_id, category) in enumerate(scored)
+        ]
+        return RetrievalResult(ranked)

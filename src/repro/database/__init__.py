@@ -1,0 +1,23 @@
+"""The image database: records, store, splits and persistence.
+
+* :mod:`repro.database.records` — :class:`~repro.database.records.ImageRecord`
+  (image + category + cached feature set).
+* :mod:`repro.database.store` — :class:`~repro.database.store.ImageDatabase`,
+  the in-memory store with the corpus views the learner consumes.
+* :mod:`repro.database.splits` — stratified potential-training/test splits.
+* :mod:`repro.database.persistence` — ``.npz`` snapshot save/load.
+"""
+
+from repro.database.persistence import load_database, save_database
+from repro.database.records import ImageRecord
+from repro.database.splits import DatabaseSplit, split_database
+from repro.database.store import ImageDatabase
+
+__all__ = [
+    "ImageDatabase",
+    "ImageRecord",
+    "DatabaseSplit",
+    "split_database",
+    "save_database",
+    "load_database",
+]

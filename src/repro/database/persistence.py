@@ -1,0 +1,109 @@
+"""Database snapshots: save/load an :class:`ImageDatabase` as ``.npz``.
+
+A snapshot stores every image's pixels (gray plane and, when present, the
+RGB plane), its id and category, plus the feature configuration fingerprint.
+Features themselves are *not* stored — they are cheap to recompute relative
+to their size and depend on the configuration anyway.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.database.store import ImageDatabase
+from repro.errors import DatabaseError
+from repro.imaging.features import FeatureConfig
+from repro.imaging.image import GrayImage
+from repro.imaging.regions import region_family
+
+_FORMAT_VERSION = 1
+
+
+def save_database(database: ImageDatabase, path: str | Path) -> Path:
+    """Write a snapshot; returns the path written.
+
+    The snapshot is a single ``.npz`` with one gray array per image plus a
+    JSON manifest entry (ids, categories, configuration).
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    config = database.feature_config
+    manifest = {
+        "version": _FORMAT_VERSION,
+        "name": database.name,
+        "images": [],
+        "config": {
+            "resolution": config.resolution,
+            "region_family": config.region_family.name,
+            "include_mirrors": config.include_mirrors,
+            "variance_threshold": config.variance_threshold,
+            "keep_full_frame": config.keep_full_frame,
+        },
+    }
+    arrays: dict[str, np.ndarray] = {}
+    for index, record in enumerate(database):
+        gray_key = f"gray_{index:06d}"
+        arrays[gray_key] = record.image.pixels
+        entry = {"id": record.image_id, "category": record.category, "gray": gray_key}
+        if record.image.rgb is not None:
+            rgb_key = f"rgb_{index:06d}"
+            arrays[rgb_key] = record.image.rgb
+            entry["rgb"] = rgb_key
+        manifest["images"].append(entry)
+    arrays["manifest"] = np.frombuffer(
+        json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_database(path: str | Path) -> ImageDatabase:
+    """Read a snapshot back into a fresh :class:`ImageDatabase`.
+
+    Raises:
+        DatabaseError: on a missing file or malformed snapshot.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DatabaseError(f"snapshot {path} does not exist")
+    try:
+        archive = np.load(path)
+    except (OSError, EOFError, ValueError) as exc:
+        raise DatabaseError(f"snapshot {path} is not a readable .npz archive: {exc}") from exc
+    with archive as payload:
+        try:
+            manifest = json.loads(bytes(payload["manifest"]).decode("utf-8"))
+        except (KeyError, json.JSONDecodeError) as exc:
+            raise DatabaseError(f"snapshot {path} has no valid manifest: {exc}") from exc
+        if manifest.get("version") != _FORMAT_VERSION:
+            raise DatabaseError(
+                f"snapshot {path} has version {manifest.get('version')}, "
+                f"expected {_FORMAT_VERSION}"
+            )
+        config_info = manifest["config"]
+        config = FeatureConfig(
+            resolution=int(config_info["resolution"]),
+            region_family=region_family(config_info["region_family"]),
+            include_mirrors=bool(config_info["include_mirrors"]),
+            variance_threshold=float(config_info["variance_threshold"]),
+            keep_full_frame=bool(config_info["keep_full_frame"]),
+        )
+        database = ImageDatabase(feature_config=config, name=manifest.get("name", ""))
+        for entry in manifest["images"]:
+            gray = payload[entry["gray"]]
+            if "rgb" in entry:
+                image = GrayImage(
+                    pixels=gray,
+                    image_id=entry["id"],
+                    category=entry["category"],
+                    _rgb=payload[entry["rgb"]],
+                )
+                database.add_image(image, entry["category"], image_id=entry["id"])
+            else:
+                database.add_image(gray, entry["category"], image_id=entry["id"])
+    return database

@@ -1,0 +1,79 @@
+"""Image records: one stored image plus its lazily computed feature set.
+
+A record owns the gray image, its ground-truth category and — once the store
+has run bag generation — the cached :class:`~repro.imaging.features.FeatureSet`
+whose instance matrix every query reuses.  Feature extraction is by far the
+most expensive per-image step, so records memoise it per configuration
+fingerprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bags.generation import BagGenerator
+from repro.errors import DatabaseError
+from repro.imaging.features import FeatureSet
+from repro.imaging.image import GrayImage
+
+
+def config_fingerprint(generator: BagGenerator) -> tuple:
+    """A hashable identity for a feature configuration.
+
+    Two generators with the same fingerprint produce identical features, so
+    cached feature sets can be reused across generator instances.
+    """
+    config = generator.config
+    return (
+        config.resolution,
+        config.region_family.name,
+        len(config.region_family),
+        config.include_mirrors,
+        round(config.variance_threshold, 12),
+        config.keep_full_frame,
+    )
+
+
+@dataclass
+class ImageRecord:
+    """One image in the database.
+
+    Attributes:
+        image_id: unique id assigned by the store.
+        image: the validated gray image (with optional RGB payload).
+        category: ground-truth label.
+    """
+
+    image_id: str
+    image: GrayImage
+    category: str
+    _features: FeatureSet | None = field(default=None, repr=False)
+    _features_key: tuple | None = field(default=None, repr=False)
+
+    def features(self, generator: BagGenerator) -> FeatureSet:
+        """The record's feature set under ``generator``, computed once.
+
+        Raises:
+            DatabaseError: if extraction fails for this image.
+        """
+        key = config_fingerprint(generator)
+        if self._features is None or self._features_key != key:
+            try:
+                self._features = generator.features_for(self.image)
+            except Exception as exc:
+                raise DatabaseError(
+                    f"feature extraction failed for image {self.image_id!r}: {exc}"
+                ) from exc
+            self._features_key = key
+        return self._features
+
+    def instances(self, generator: BagGenerator) -> np.ndarray:
+        """The instance matrix (rows = instances) under ``generator``."""
+        return self.features(generator).vectors
+
+    def invalidate_features(self) -> None:
+        """Drop the cached feature set (e.g. after a config change)."""
+        self._features = None
+        self._features_key = None

@@ -1,0 +1,133 @@
+"""Potential-training / test splits (Section 4.1).
+
+"The entire image database is split into a small potential training set and
+a large test set. ... For most experiments in this chapter, 20% of images
+from each category are placed in the potential training set."  Splits are
+stratified per category and seeded so experiments are repeatable (the thesis
+likewise uses "a random seed [that] allows the experiments to be
+repeatable").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.database.store import ImageDatabase
+from repro.errors import SplitError
+
+
+@dataclass(frozen=True)
+class DatabaseSplit:
+    """A disjoint potential-training / test partition of image ids."""
+
+    potential_ids: tuple[str, ...]
+    test_ids: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        overlap = set(self.potential_ids) & set(self.test_ids)
+        if overlap:
+            raise SplitError(f"split is not disjoint; shared ids: {sorted(overlap)[:5]}")
+
+    @property
+    def n_potential(self) -> int:
+        """Size of the potential training set."""
+        return len(self.potential_ids)
+
+    @property
+    def n_test(self) -> int:
+        """Size of the test set."""
+        return len(self.test_ids)
+
+
+def split_database(
+    database: ImageDatabase,
+    training_fraction: float = 0.2,
+    seed: int = 0,
+    min_training_per_category: int = 1,
+) -> DatabaseSplit:
+    """Stratified random split of a database.
+
+    Args:
+        database: the populated image database.
+        training_fraction: share of each category placed in the potential
+            training set (paper default 0.2).
+        seed: RNG seed; identical seeds give identical splits.
+        min_training_per_category: floor on per-category training images, so
+            tiny categories still contribute examples.
+
+    Raises:
+        SplitError: on an empty database, a fraction outside ``(0, 1)`` or a
+            category too small to satisfy the floor while keeping at least
+            one test image.
+    """
+    if len(database) == 0:
+        raise SplitError("cannot split an empty database")
+    if not 0.0 < training_fraction < 1.0:
+        raise SplitError(f"training_fraction must be in (0, 1), got {training_fraction}")
+    if min_training_per_category < 0:
+        raise SplitError(
+            f"min_training_per_category must be >= 0, got {min_training_per_category}"
+        )
+
+    rng = np.random.default_rng(seed)
+    potential: list[str] = []
+    test: list[str] = []
+    for category in database.categories():
+        ids = list(database.ids_in_category(category))
+        n_train = max(min_training_per_category, int(round(training_fraction * len(ids))))
+        if n_train >= len(ids):
+            raise SplitError(
+                f"category {category!r} has {len(ids)} images; cannot place "
+                f"{n_train} in training and keep a test image"
+            )
+        order = rng.permutation(len(ids))
+        potential.extend(ids[i] for i in order[:n_train])
+        test.extend(ids[i] for i in order[n_train:])
+    return DatabaseSplit(potential_ids=tuple(sorted(potential)), test_ids=tuple(sorted(test)))
+
+
+def split_ids(
+    ids: Sequence[str],
+    categories: Sequence[str],
+    training_fraction: float = 0.2,
+    seed: int = 0,
+) -> DatabaseSplit:
+    """Stratified split of bare id/category sequences (no database needed).
+
+    Args:
+        ids: image ids.
+        categories: parallel ground-truth labels.
+        training_fraction: share per category for the potential training set.
+        seed: RNG seed.
+
+    Raises:
+        SplitError: on length mismatch or unsatisfiable split.
+    """
+    if len(ids) != len(categories):
+        raise SplitError(f"{len(ids)} ids but {len(categories)} categories")
+    if not ids:
+        raise SplitError("cannot split an empty id list")
+    if not 0.0 < training_fraction < 1.0:
+        raise SplitError(f"training_fraction must be in (0, 1), got {training_fraction}")
+
+    by_category: dict[str, list[str]] = {}
+    for image_id, category in zip(ids, categories):
+        by_category.setdefault(category, []).append(image_id)
+
+    rng = np.random.default_rng(seed)
+    potential: list[str] = []
+    test: list[str] = []
+    for category in sorted(by_category):
+        members = by_category[category]
+        n_train = max(1, int(round(training_fraction * len(members))))
+        if n_train >= len(members):
+            raise SplitError(
+                f"category {category!r} has {len(members)} images; too few to split"
+            )
+        order = rng.permutation(len(members))
+        potential.extend(members[i] for i in order[:n_train])
+        test.extend(members[i] for i in order[n_train:])
+    return DatabaseSplit(potential_ids=tuple(sorted(potential)), test_ids=tuple(sorted(test)))

@@ -1,0 +1,33 @@
+"""Synthetic image datasets substituting for the paper's test data.
+
+The thesis evaluates on 500 COREL natural-scene photographs and 228 object
+images scraped from retailer websites in 1998; neither is available.  These
+modules generate seeded procedural substitutes with the properties the
+paper's analysis relies on (see DESIGN.md, "Substitutions"):
+
+* :mod:`repro.datasets.scenes` — five natural-scene categories with
+  region-local discriminative structure and noisy, varied backgrounds.
+* :mod:`repro.datasets.objects` — nineteen object categories on
+  near-uniform backgrounds with low intra-class variation.
+* :mod:`repro.datasets.signals` — 1-D demonstration signals (Figure 3-1).
+* :mod:`repro.datasets.loader` — builders that populate
+  :class:`~repro.database.store.ImageDatabase` instances.
+"""
+
+from repro.datasets.loader import (
+    build_object_database,
+    build_scene_database,
+    quick_database,
+)
+from repro.datasets.objects import OBJECT_CATEGORIES, render_object
+from repro.datasets.scenes import SCENE_CATEGORIES, render_scene
+
+__all__ = [
+    "build_scene_database",
+    "build_object_database",
+    "quick_database",
+    "SCENE_CATEGORIES",
+    "render_scene",
+    "OBJECT_CATEGORIES",
+    "render_object",
+]

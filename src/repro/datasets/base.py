@@ -1,0 +1,246 @@
+"""Procedural drawing toolkit for the synthetic datasets.
+
+A :class:`Canvas` is a float RGB image in ``[0, 1]`` with drawing primitives
+that take *fractional* coordinates (0 = top/left edge, 1 = bottom/right), so
+renderers are independent of pixel resolution.  All randomness flows through
+the caller's ``numpy`` generator, keeping every rendered image reproducible
+from ``(category, index, seed)``.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+Color = tuple[float, float, float]
+
+
+def _clip01(value: np.ndarray) -> np.ndarray:
+    return np.clip(value, 0.0, 1.0)
+
+
+class Canvas:
+    """A float RGB drawing surface with fractional-coordinate primitives."""
+
+    def __init__(self, rows: int, cols: int, background: Color = (0.5, 0.5, 0.5)):
+        if rows < 8 or cols < 8:
+            raise DatasetError(f"canvas must be at least 8x8, got ({rows}, {cols})")
+        self._rgb = np.empty((rows, cols, 3), dtype=np.float64)
+        self._rgb[:] = np.asarray(background, dtype=np.float64)
+        rr, cc = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
+        # Normalised pixel-centre coordinate grids, reused by every shape.
+        self._row_frac = (rr + 0.5) / rows
+        self._col_frac = (cc + 0.5) / cols
+
+    @property
+    def rows(self) -> int:
+        """Pixel rows."""
+        return self._rgb.shape[0]
+
+    @property
+    def cols(self) -> int:
+        """Pixel columns."""
+        return self._rgb.shape[1]
+
+    @property
+    def rgb(self) -> np.ndarray:
+        """The current image as an ``(rows, cols, 3)`` float array in [0, 1]."""
+        return _clip01(self._rgb)
+
+    # ------------------------------------------------------------------ #
+    # Painting helpers                                                    #
+    # ------------------------------------------------------------------ #
+
+    def _paint(self, mask: np.ndarray, color: Color, alpha: float) -> None:
+        if alpha <= 0.0:
+            return
+        alpha = min(alpha, 1.0)
+        target = np.asarray(color, dtype=np.float64)
+        area = self._rgb[mask]
+        self._rgb[mask] = (1.0 - alpha) * area + alpha * target
+
+    def fill(self, color: Color) -> None:
+        """Flood the whole canvas."""
+        self._rgb[:] = np.asarray(color, dtype=np.float64)
+
+    def vertical_gradient(
+        self, top: Color, bottom: Color, row0: float = 0.0, row1: float = 1.0
+    ) -> None:
+        """Linear top-to-bottom blend over the fractional row band [row0, row1]."""
+        if not 0.0 <= row0 < row1 <= 1.0:
+            raise DatasetError(f"invalid gradient band [{row0}, {row1}]")
+        r0 = int(row0 * self.rows)
+        r1 = max(r0 + 1, int(row1 * self.rows))
+        span = np.linspace(0.0, 1.0, r1 - r0)[:, None]
+        top_c = np.asarray(top, dtype=np.float64)
+        bottom_c = np.asarray(bottom, dtype=np.float64)
+        self._rgb[r0:r1] = (1.0 - span[..., None]) * top_c + span[..., None] * bottom_c
+
+    def rect(
+        self,
+        top: float,
+        left: float,
+        bottom: float,
+        right: float,
+        color: Color,
+        alpha: float = 1.0,
+    ) -> None:
+        """Axis-aligned filled rectangle in fractional coordinates."""
+        mask = (
+            (self._row_frac >= top)
+            & (self._row_frac < bottom)
+            & (self._col_frac >= left)
+            & (self._col_frac < right)
+        )
+        self._paint(mask, color, alpha)
+
+    def ellipse(
+        self,
+        center_row: float,
+        center_col: float,
+        radius_row: float,
+        radius_col: float,
+        color: Color,
+        alpha: float = 1.0,
+    ) -> None:
+        """Filled axis-aligned ellipse; radii are fractions of the canvas."""
+        if radius_row <= 0 or radius_col <= 0:
+            raise DatasetError("ellipse radii must be positive")
+        mask = (
+            ((self._row_frac - center_row) / radius_row) ** 2
+            + ((self._col_frac - center_col) / radius_col) ** 2
+        ) <= 1.0
+        self._paint(mask, color, alpha)
+
+    def disc(
+        self, center_row: float, center_col: float, radius: float, color: Color,
+        alpha: float = 1.0,
+    ) -> None:
+        """Filled circle (aspect-true on square canvases)."""
+        self.ellipse(center_row, center_col, radius, radius, color, alpha)
+
+    def triangle(
+        self,
+        p1: tuple[float, float],
+        p2: tuple[float, float],
+        p3: tuple[float, float],
+        color: Color,
+        alpha: float = 1.0,
+    ) -> None:
+        """Filled triangle; vertices as fractional ``(row, col)`` pairs."""
+
+        def half_plane(a: tuple[float, float], b: tuple[float, float]) -> np.ndarray:
+            return (b[1] - a[1]) * (self._row_frac - a[0]) - (b[0] - a[0]) * (
+                self._col_frac - a[1]
+            )
+
+        d1, d2, d3 = half_plane(p1, p2), half_plane(p2, p3), half_plane(p3, p1)
+        negative = (d1 < 0) | (d2 < 0) | (d3 < 0)
+        positive = (d1 > 0) | (d2 > 0) | (d3 > 0)
+        self._paint(~(negative & positive), color, alpha)
+
+    def line(
+        self,
+        start: tuple[float, float],
+        end: tuple[float, float],
+        thickness: float,
+        color: Color,
+        alpha: float = 1.0,
+    ) -> None:
+        """Thick line segment; ``thickness`` is a fraction of the canvas."""
+        if thickness <= 0:
+            raise DatasetError("line thickness must be positive")
+        dr = end[0] - start[0]
+        dc = end[1] - start[1]
+        length2 = dr * dr + dc * dc
+        if length2 < 1e-12:
+            self.disc(start[0], start[1], thickness / 2, color, alpha)
+            return
+        # Distance from each pixel centre to the segment.
+        t = ((self._row_frac - start[0]) * dr + (self._col_frac - start[1]) * dc) / length2
+        t = np.clip(t, 0.0, 1.0)
+        proj_r = start[0] + t * dr
+        proj_c = start[1] + t * dc
+        dist2 = (self._row_frac - proj_r) ** 2 + (self._col_frac - proj_c) ** 2
+        self._paint(dist2 <= (thickness / 2) ** 2, color, alpha)
+
+    # ------------------------------------------------------------------ #
+    # Texture and noise                                                   #
+    # ------------------------------------------------------------------ #
+
+    def add_noise(self, rng: np.random.Generator, sigma: float) -> None:
+        """Add iid Gaussian pixel noise (same sample across channels)."""
+        if sigma < 0:
+            raise DatasetError("noise sigma must be non-negative")
+        if sigma == 0:
+            return
+        noise = rng.normal(0.0, sigma, size=(self.rows, self.cols, 1))
+        self._rgb = _clip01(self._rgb + noise)
+
+    def add_value_texture(
+        self,
+        rng: np.random.Generator,
+        cells: int,
+        amplitude: float,
+        row0: float = 0.0,
+        row1: float = 1.0,
+    ) -> None:
+        """Low-frequency value noise (random coarse grid, bilinear upsampled).
+
+        Gives organic brightness variation to scene backgrounds; confined to
+        the fractional row band ``[row0, row1]``.
+        """
+        if cells < 2:
+            raise DatasetError("texture needs at least 2 cells")
+        r0 = int(row0 * self.rows)
+        r1 = max(r0 + 1, int(row1 * self.rows))
+        band = r1 - r0
+        coarse = rng.normal(0.0, 1.0, size=(cells, cells))
+        row_positions = np.linspace(0, cells - 1, band)
+        col_positions = np.linspace(0, cells - 1, self.cols)
+        ri = np.clip(row_positions.astype(int), 0, cells - 2)
+        ci = np.clip(col_positions.astype(int), 0, cells - 2)
+        rf = (row_positions - ri)[:, None]
+        cf = (col_positions - ci)[None, :]
+        patch = (
+            coarse[np.ix_(ri, ci)] * (1 - rf) * (1 - cf)
+            + coarse[np.ix_(ri + 1, ci)] * rf * (1 - cf)
+            + coarse[np.ix_(ri, ci + 1)] * (1 - rf) * cf
+            + coarse[np.ix_(ri + 1, ci + 1)] * rf * cf
+        )
+        self._rgb[r0:r1] = _clip01(self._rgb[r0:r1] + amplitude * patch[..., None])
+
+    def smooth(self, iterations: int = 1) -> None:
+        """Cheap 3x3 box blur, applied ``iterations`` times."""
+        for _ in range(max(0, iterations)):
+            padded = np.pad(self._rgb, ((1, 1), (1, 1), (0, 0)), mode="edge")
+            acc = np.zeros_like(self._rgb)
+            for dr in range(3):
+                for dc in range(3):
+                    acc += padded[dr : dr + self.rows, dc : dc + self.cols]
+            self._rgb = acc / 9.0
+
+
+def jitter(rng: np.random.Generator, center: float, spread: float) -> float:
+    """Uniform jitter around ``center`` with half-width ``spread``."""
+    return float(center + rng.uniform(-spread, spread))
+
+
+def jitter_color(
+    rng: np.random.Generator, base: Color, spread: float = 0.05
+) -> Color:
+    """Perturb a colour channel-wise, staying in [0, 1]."""
+    return tuple(float(np.clip(c + rng.uniform(-spread, spread), 0.0, 1.0)) for c in base)  # type: ignore[return-value]
+
+
+def category_rng(seed: int, category: str, index: int) -> np.random.Generator:
+    """A generator keyed by (seed, category, index) — stable per image.
+
+    Uses CRC32 rather than ``hash()`` so the stream does not depend on
+    ``PYTHONHASHSEED`` and images are identical across interpreter runs.
+    """
+    digest = zlib.crc32(f"{category}:{index}".encode("utf-8"))
+    return np.random.default_rng(np.random.SeedSequence([seed, digest]))

@@ -1,0 +1,110 @@
+"""Database builders: populate an :class:`ImageDatabase` with synthetic data.
+
+These mirror the paper's two test databases:
+
+* :func:`build_scene_database` — 5 scene categories x 100 images by default
+  (the COREL-derived natural-scene database);
+* :func:`build_object_database` — 19 object categories x 12 images by
+  default (the 228-image web object database).
+
+:func:`quick_database` builds small versions for examples and tests.
+"""
+
+from __future__ import annotations
+
+from repro.database.store import ImageDatabase
+from repro.datasets.base import category_rng
+from repro.datasets.objects import OBJECT_CATEGORIES, render_object
+from repro.datasets.scenes import SCENE_CATEGORIES, render_scene
+from repro.errors import DatasetError
+from repro.imaging.features import FeatureConfig
+
+
+def build_scene_database(
+    images_per_category: int = 100,
+    size: tuple[int, int] = (96, 96),
+    seed: int = 0,
+    feature_config: FeatureConfig | None = None,
+    categories: tuple[str, ...] | None = None,
+) -> ImageDatabase:
+    """The synthetic natural-scene database (paper: 500 COREL images).
+
+    Args:
+        images_per_category: images rendered per category (paper: 100).
+        size: pixel size of each image.
+        seed: master seed; every image derives from
+            ``(seed, category, index)``.
+        feature_config: feature pipeline override.
+        categories: subset of :data:`SCENE_CATEGORIES` to include.
+
+    Image ids follow ``{category}-{index:04d}``.
+    """
+    chosen = categories or SCENE_CATEGORIES
+    unknown = set(chosen) - set(SCENE_CATEGORIES)
+    if unknown:
+        raise DatasetError(f"unknown scene categories: {sorted(unknown)}")
+    if images_per_category < 1:
+        raise DatasetError(f"images_per_category must be >= 1, got {images_per_category}")
+    database = ImageDatabase(feature_config=feature_config, name="synthetic-scenes")
+    for category in chosen:
+        for index in range(images_per_category):
+            rng = category_rng(seed, category, index)
+            pixels = render_scene(category, rng, size)
+            database.add_image(pixels, category, image_id=f"{category}-{index:04d}")
+    return database
+
+
+def build_object_database(
+    images_per_category: int = 12,
+    size: tuple[int, int] = (96, 96),
+    seed: int = 0,
+    feature_config: FeatureConfig | None = None,
+    categories: tuple[str, ...] | None = None,
+) -> ImageDatabase:
+    """The synthetic object database (paper: 228 images, 19 categories).
+
+    Args: see :func:`build_scene_database`; 19 x 12 = 228 images by default.
+    """
+    chosen = categories or OBJECT_CATEGORIES
+    unknown = set(chosen) - set(OBJECT_CATEGORIES)
+    if unknown:
+        raise DatasetError(f"unknown object categories: {sorted(unknown)}")
+    if images_per_category < 1:
+        raise DatasetError(f"images_per_category must be >= 1, got {images_per_category}")
+    database = ImageDatabase(feature_config=feature_config, name="synthetic-objects")
+    for category in chosen:
+        for index in range(images_per_category):
+            rng = category_rng(seed, category, index)
+            pixels = render_object(category, rng, size)
+            database.add_image(pixels, category, image_id=f"{category}-{index:04d}")
+    return database
+
+
+def quick_database(
+    kind: str = "scenes",
+    images_per_category: int = 12,
+    size: tuple[int, int] = (64, 64),
+    seed: int = 0,
+    feature_config: FeatureConfig | None = None,
+) -> ImageDatabase:
+    """A small database for examples, docs and fast tests.
+
+    Args:
+        kind: ``"scenes"`` or ``"objects"``.
+        images_per_category: kept small by default.
+        size: reduced image size for speed.
+        seed: master seed.
+        feature_config: feature pipeline override.
+
+    Raises:
+        DatasetError: for an unknown ``kind``.
+    """
+    if kind == "scenes":
+        return build_scene_database(
+            images_per_category, size, seed, feature_config=feature_config
+        )
+    if kind == "objects":
+        return build_object_database(
+            images_per_category, size, seed, feature_config=feature_config
+        )
+    raise DatasetError(f"unknown database kind {kind!r}; known: 'scenes', 'objects'")

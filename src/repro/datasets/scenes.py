@@ -1,0 +1,261 @@
+"""Synthetic natural-scene renderers (the COREL substitute).
+
+Five categories matching the paper's scene database: ``waterfall``,
+``mountain``, ``field``, ``lake_river`` and ``sunset``.  Each renderer
+places category-discriminative structure in a *sub-region* of the frame —
+the property that motivates the paper's multiple-instance formulation — and
+surrounds it with jittered, textured, noisy background so whole-image
+matching is unreliable:
+
+* waterfall — a bright vertical cascade at a jittered horizontal position,
+  cut into a dark rock face under a sky band;
+* mountain — one or two dark triangular peaks with bright snow caps against
+  a gradient sky;
+* field — a low horizon with smooth textured ground and furrow streaks;
+* lake_river — a bright horizontal water band with ripple texture between a
+  far shore and a dark near bank;
+* sunset — a warm gradient sky with a bright sun disc low over a dark
+  silhouette.
+
+All geometry, colours and noise derive from the per-image generator, so a
+given ``(seed, category, index)`` always renders the same picture.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Canvas, jitter, jitter_color
+from repro.errors import DatasetError
+
+#: The scene categories, in the paper's order of mention.
+SCENE_CATEGORIES: tuple[str, ...] = (
+    "waterfall",
+    "mountain",
+    "field",
+    "lake_river",
+    "sunset",
+)
+
+
+def _sky(canvas: Canvas, rng: np.random.Generator, horizon: float) -> None:
+    """A blue-gray gradient sky with occasional light cloud texture."""
+    top = jitter_color(rng, (0.45, 0.62, 0.82), 0.12)
+    low = jitter_color(rng, (0.72, 0.80, 0.88), 0.12)
+    canvas.vertical_gradient(top, low, 0.0, horizon)
+    if rng.random() < 0.6:
+        canvas.add_value_texture(rng, cells=4, amplitude=0.08, row0=0.0, row1=horizon)
+    if rng.random() < 0.35:  # bright cloud blob — confounds bright concepts
+        canvas.ellipse(
+            rng.uniform(0.05, max(0.1, horizon - 0.08)),
+            rng.uniform(0.15, 0.85),
+            rng.uniform(0.03, 0.06),
+            rng.uniform(0.08, 0.16),
+            (0.95, 0.95, 0.96),
+            alpha=0.7,
+        )
+
+
+def _background_ridge(canvas: Canvas, rng: np.random.Generator, horizon: float) -> None:
+    """A distant dark ridge behind the horizon — shared scenery element.
+
+    Real COREL scenes mix their elements (fields with hills, lakes under
+    mountains); these shared confounders keep categories from being
+    separable by any single global cue.
+    """
+    peak_col = jitter(rng, 0.5, 0.3)
+    peak_row = max(0.05, horizon - jitter(rng, 0.12, 0.05))
+    half = jitter(rng, 0.3, 0.1)
+    shade = jitter_color(rng, (0.35, 0.36, 0.40), 0.08)
+    canvas.triangle(
+        (peak_row, peak_col), (horizon, peak_col - half), (horizon, peak_col + half), shade
+    )
+
+
+def _render_waterfall(canvas: Canvas, rng: np.random.Generator) -> None:
+    horizon = jitter(rng, 0.22, 0.1)
+    _sky(canvas, rng, horizon)
+    # Rock face fills the frame below the sky.
+    rock = jitter_color(rng, (0.30, 0.24, 0.20), 0.10)
+    canvas.rect(horizon, 0.0, 1.0, 1.0, rock)
+    canvas.add_value_texture(rng, cells=7, amplitude=0.14, row0=horizon, row1=1.0)
+    # The cascade: a bright vertical streak with a soft halo and a plunge
+    # pool.  Position, width and height vary widely — the concept region is
+    # genuinely unknown a priori.
+    center = jitter(rng, 0.5, 0.3)
+    width = jitter(rng, 0.08, 0.045)
+    fall_top = horizon + jitter(rng, 0.06, 0.05)
+    pool_top = jitter(rng, 0.78, 0.12)
+    white = jitter_color(rng, (0.90, 0.92, 0.95), 0.06)
+    canvas.rect(fall_top, center - width, pool_top, center + width, white, alpha=0.5)
+    canvas.rect(fall_top, center - width / 2, pool_top, center + width / 2, white)
+    canvas.rect(pool_top, max(0.0, center - 3 * width), 1.0,
+                min(1.0, center + 3 * width), jitter_color(rng, (0.72, 0.79, 0.86), 0.08),
+                alpha=0.8)
+    # Streak highlights inside the fall.
+    for _ in range(rng.integers(2, 5)):
+        col = jitter(rng, center, width * 0.6)
+        canvas.line((fall_top, col), (pool_top, col), 0.012, (1.0, 1.0, 1.0), alpha=0.45)
+    if rng.random() < 0.4:  # occluding foreground boulder / foliage
+        canvas.ellipse(
+            rng.uniform(0.75, 0.92),
+            rng.uniform(0.1, 0.9),
+            rng.uniform(0.06, 0.12),
+            rng.uniform(0.1, 0.2),
+            jitter_color(rng, (0.22, 0.26, 0.16), 0.06),
+        )
+
+
+def _render_mountain(canvas: Canvas, rng: np.random.Generator) -> None:
+    horizon = jitter(rng, 0.62, 0.08)
+    _sky(canvas, rng, horizon)
+    ground = jitter_color(rng, (0.35, 0.38, 0.30), 0.06)
+    canvas.rect(horizon, 0.0, 1.0, 1.0, ground)
+    canvas.add_value_texture(rng, cells=6, amplitude=0.06, row0=horizon, row1=1.0)
+    n_peaks = int(rng.integers(1, 3))
+    base_cols = [jitter(rng, 0.35, 0.18), jitter(rng, 0.7, 0.15)][:n_peaks]
+    for base_col in base_cols:
+        peak_row = jitter(rng, 0.2, 0.1)
+        half_width = jitter(rng, 0.28, 0.1)
+        rock = jitter_color(rng, (0.28, 0.26, 0.28), 0.08)
+        apex = (peak_row, base_col)
+        left = (horizon, base_col - half_width)
+        right = (horizon, base_col + half_width)
+        canvas.triangle(apex, left, right, rock)
+        if rng.random() < 0.75:  # snow cap (absent on some peaks)
+            snow_drop = jitter(rng, 0.30, 0.1)
+            snow_left = (
+                peak_row + snow_drop * (horizon - peak_row),
+                base_col - snow_drop * half_width,
+            )
+            snow_right = (
+                peak_row + snow_drop * (horizon - peak_row),
+                base_col + snow_drop * half_width,
+            )
+            canvas.triangle(
+                apex, snow_left, snow_right, jitter_color(rng, (0.94, 0.95, 0.97), 0.04)
+            )
+
+
+def _render_field(canvas: Canvas, rng: np.random.Generator) -> None:
+    horizon = jitter(rng, 0.42, 0.12)
+    _sky(canvas, rng, horizon)
+    if rng.random() < 0.45:  # distant hills behind the field
+        _background_ridge(canvas, rng, horizon)
+    near = jitter_color(rng, (0.45, 0.58, 0.25), 0.10)
+    far = jitter_color(rng, (0.62, 0.66, 0.38), 0.10)
+    canvas.vertical_gradient(far, near, horizon, 1.0)
+    canvas.add_value_texture(rng, cells=8, amplitude=0.05, row0=horizon, row1=1.0)
+    # Furrow streaks: faint darker horizontal lines converging nowhere in
+    # particular — enough to give the ground a banded texture.
+    n_furrows = int(rng.integers(3, 7))
+    for i in range(n_furrows):
+        row = horizon + (i + 1) * (1.0 - horizon) / (n_furrows + 1)
+        shade = jitter_color(rng, (0.35, 0.45, 0.20), 0.05)
+        canvas.rect(row, 0.0, min(1.0, row + 0.015), 1.0, shade, alpha=0.6)
+    if rng.random() < 0.4:  # occasional distant tree clump
+        col = jitter(rng, 0.5, 0.35)
+        canvas.ellipse(horizon - 0.03, col, 0.04, jitter(rng, 0.06, 0.02),
+                       jitter_color(rng, (0.20, 0.30, 0.15), 0.05))
+
+
+def _render_lake_river(canvas: Canvas, rng: np.random.Generator) -> None:
+    horizon = jitter(rng, 0.35, 0.1)
+    _sky(canvas, rng, horizon)
+    if rng.random() < 0.45:  # lakes under mountains are common
+        _background_ridge(canvas, rng, horizon)
+    # Far shore band.
+    shore = jitter_color(rng, (0.40, 0.42, 0.32), 0.08)
+    water_top = horizon + jitter(rng, 0.06, 0.04)
+    canvas.rect(horizon, 0.0, water_top, 1.0, shore)
+    # The water: a bright blue band with horizontal ripple striping.
+    water = jitter_color(rng, (0.50, 0.66, 0.82), 0.10)
+    water_bottom = jitter(rng, 0.85, 0.1)
+    canvas.rect(water_top, 0.0, water_bottom, 1.0, water)
+    n_ripples = int(rng.integers(3, 9))
+    for _ in range(n_ripples):
+        row = rng.uniform(water_top + 0.02, water_bottom - 0.02)
+        bright = jitter_color(rng, (0.80, 0.88, 0.95), 0.05)
+        canvas.rect(row, rng.uniform(0.0, 0.3), row + 0.012, rng.uniform(0.7, 1.0),
+                    bright, alpha=0.65)
+    if rng.random() < 0.3:  # sun glint column on the water (sunset confound)
+        glint_col = jitter(rng, 0.5, 0.25)
+        canvas.rect(water_top, glint_col - 0.03, water_bottom, glint_col + 0.03,
+                    (0.95, 0.93, 0.85), alpha=0.5)
+    # Near bank.
+    canvas.rect(water_bottom, 0.0, 1.0, 1.0, jitter_color(rng, (0.25, 0.28, 0.18), 0.07))
+
+
+def _render_sunset(canvas: Canvas, rng: np.random.Generator) -> None:
+    horizon = jitter(rng, 0.66, 0.1)
+    top = jitter_color(rng, (0.25, 0.15, 0.35), 0.10)
+    mid = jitter_color(rng, (0.92, 0.55, 0.25), 0.10)
+    canvas.vertical_gradient(top, mid, 0.0, horizon)
+    # The sun: a bright disc low over the horizon with a warm halo.  It may
+    # sit partly behind the horizon, shrinking the visible cue.
+    sun_row = horizon - jitter(rng, 0.08, 0.08)
+    sun_col = jitter(rng, 0.5, 0.3)
+    radius = jitter(rng, 0.08, 0.035)
+    canvas.disc(sun_row, sun_col, radius * 2.2, (1.0, 0.75, 0.45), alpha=0.35)
+    canvas.disc(sun_row, sun_col, radius, jitter_color(rng, (1.0, 0.92, 0.70), 0.05))
+    if rng.random() < 0.35:  # sunset over water: bright band below (lake confound)
+        canvas.rect(horizon, 0.0, min(1.0, horizon + 0.1), 1.0,
+                    jitter_color(rng, (0.85, 0.65, 0.45), 0.07), alpha=0.8)
+        ground_top = min(1.0, horizon + 0.1)
+    else:
+        ground_top = horizon
+    # Dark silhouette ground.
+    dark = jitter_color(rng, (0.10, 0.08, 0.10), 0.04)
+    canvas.rect(ground_top, 0.0, 1.0, 1.0, dark)
+    if rng.random() < 0.5:  # a silhouetted ridge breaking the horizon
+        peak_col = jitter(rng, 0.5, 0.35)
+        canvas.triangle(
+            (ground_top - jitter(rng, 0.08, 0.04), peak_col),
+            (ground_top, peak_col - 0.2),
+            (ground_top, peak_col + 0.2),
+            dark,
+        )
+
+
+_RENDERERS = {
+    "waterfall": _render_waterfall,
+    "mountain": _render_mountain,
+    "field": _render_field,
+    "lake_river": _render_lake_river,
+    "sunset": _render_sunset,
+}
+
+#: Pixel noise applied to every scene (sensor grain; keeps regions
+#: non-constant so variance filtering behaves as in real photographs).
+_SCENE_NOISE_SIGMA = 0.02
+
+
+def render_scene(
+    category: str,
+    rng: np.random.Generator,
+    size: tuple[int, int] = (96, 96),
+) -> np.ndarray:
+    """Render one scene image.
+
+    Args:
+        category: one of :data:`SCENE_CATEGORIES`.
+        rng: the per-image generator (see
+            :func:`repro.datasets.base.category_rng`).
+        size: ``(rows, cols)`` canvas size.
+
+    Returns:
+        ``(rows, cols, 3)`` float RGB array in [0, 1].
+
+    Raises:
+        DatasetError: for an unknown category.
+    """
+    try:
+        renderer = _RENDERERS[category]
+    except KeyError:
+        known = ", ".join(SCENE_CATEGORIES)
+        raise DatasetError(f"unknown scene category {category!r}; known: {known}") from None
+    canvas = Canvas(size[0], size[1])
+    renderer(canvas, rng)
+    canvas.smooth(iterations=1)
+    canvas.add_noise(rng, _SCENE_NOISE_SIGMA)
+    return canvas.rgb

@@ -1,0 +1,63 @@
+"""1-D demonstration signals for the Figure 3-1 correlation illustration.
+
+Figure 3-1 shows three pairs of 1-D signals with correlation 1, ~0 and -1.
+These generators produce such pairs deterministically from a seed, and are
+also handy fixtures for correlation tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+
+def _base_signal(rng: np.random.Generator, n_samples: int) -> np.ndarray:
+    """A smooth random signal: a few sinusoids with random phases."""
+    t = np.linspace(0.0, 2.0 * np.pi, n_samples)
+    signal = np.zeros(n_samples)
+    for harmonic in (1, 2, 3):
+        signal += rng.uniform(0.3, 1.0) * np.sin(harmonic * t + rng.uniform(0, 2 * np.pi))
+    return signal
+
+
+def perfectly_correlated_pair(
+    seed: int = 0, n_samples: int = 200
+) -> tuple[np.ndarray, np.ndarray]:
+    """Two signals with correlation exactly +1 (affine images of each other)."""
+    if n_samples < 4:
+        raise DatasetError("need at least 4 samples")
+    rng = np.random.default_rng(seed)
+    base = _base_signal(rng, n_samples)
+    gain = rng.uniform(0.5, 2.0)
+    offset = rng.uniform(-1.0, 1.0)
+    return base, gain * base + offset
+
+
+def uncorrelated_pair(
+    seed: int = 0, n_samples: int = 200
+) -> tuple[np.ndarray, np.ndarray]:
+    """Two independent signals; correlation near 0 for large ``n_samples``.
+
+    Independence does not guarantee a tiny sample correlation, so the pair is
+    deterministically decorrelated: the second signal has its projection onto
+    the first removed, making the empirical correlation exactly 0.
+    """
+    if n_samples < 4:
+        raise DatasetError("need at least 4 samples")
+    rng = np.random.default_rng(seed)
+    first = _base_signal(rng, n_samples)
+    second = rng.normal(0.0, 1.0, n_samples)
+    first_centered = first - first.mean()
+    second_centered = second - second.mean()
+    projection = (second_centered @ first_centered) / (first_centered @ first_centered)
+    second_orthogonal = second_centered - projection * first_centered
+    return first, second_orthogonal + second.mean()
+
+
+def inversely_correlated_pair(
+    seed: int = 0, n_samples: int = 200
+) -> tuple[np.ndarray, np.ndarray]:
+    """Two signals with correlation exactly -1."""
+    first, second = perfectly_correlated_pair(seed, n_samples)
+    return first, -second

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised deliberately by this package derive from :class:`ReproError`
+so callers can catch package failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` from misuse of numpy, etc.)
+propagate unchanged.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every deliberate error raised by this package."""
+
+
+class ImageFormatError(ReproError):
+    """An image array has the wrong dtype, shape or value range."""
+
+
+class RegionError(ReproError):
+    """A region specification falls outside its image or is degenerate."""
+
+
+class FeatureError(ReproError):
+    """Feature extraction produced an invalid vector (e.g. zero variance)."""
+
+
+class BagError(ReproError):
+    """A bag or bag set violates the multiple-instance data model."""
+
+
+class TrainingError(ReproError):
+    """The Diverse Density trainer was configured or invoked incorrectly."""
+
+
+class OptimizationError(TrainingError):
+    """An optimiser failed to produce a usable solution."""
+
+
+class DatabaseError(ReproError):
+    """The image database was queried or mutated incorrectly."""
+
+
+class SplitError(DatabaseError):
+    """A train/test split request cannot be satisfied."""
+
+
+class EvaluationError(ReproError):
+    """An evaluation metric or curve was given inconsistent inputs."""
+
+
+class DatasetError(ReproError):
+    """A synthetic dataset generator was configured incorrectly."""

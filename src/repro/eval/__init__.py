@@ -1,0 +1,35 @@
+"""Evaluation: metrics, curves, the experiment runner and ASCII reporting.
+
+* :mod:`repro.eval.metrics` — precision/recall points, average precision and
+  the Figure 4-22 recall-band precision.
+* :mod:`repro.eval.curves` — :class:`~repro.eval.curves.RecallCurve` and
+  :class:`~repro.eval.curves.PrecisionRecallCurve` (Figures 4-5 .. 4-7).
+* :mod:`repro.eval.experiment` — the end-to-end retrieval experiment of
+  Section 4.1 (split, select examples, feedback rounds, final curves).
+* :mod:`repro.eval.reporting` — ASCII tables and curve sketches for bench
+  output.
+"""
+
+from repro.eval.curves import PrecisionRecallCurve, RecallCurve
+from repro.eval.experiment import ExperimentConfig, ExperimentResult, RetrievalExperiment
+from repro.eval.metrics import (
+    average_precision,
+    precision_at_k,
+    precision_in_recall_band,
+    recall_at_k,
+)
+from repro.eval.reporting import ascii_curve, ascii_table
+
+__all__ = [
+    "PrecisionRecallCurve",
+    "RecallCurve",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "RetrievalExperiment",
+    "average_precision",
+    "precision_at_k",
+    "precision_in_recall_band",
+    "recall_at_k",
+    "ascii_curve",
+    "ascii_table",
+]

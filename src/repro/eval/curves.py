@@ -1,0 +1,145 @@
+"""Recall curves and precision-recall curves (Figures 4-5 .. 4-7).
+
+A :class:`RecallCurve` plots recall against the number of images retrieved;
+"a completely random retrieval of images would result in a recall curve as a
+45-degree line", and better results are more convex.  A
+:class:`PrecisionRecallCurve` plots precision against recall; random
+retrieval gives a flat line at the base rate.
+
+Both wrap a relevance sequence and expose sampled points, interpolation and
+comparison helpers used by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EvaluationError
+from repro.eval.metrics import (
+    average_precision,
+    precision_in_recall_band,
+    precision_points,
+    recall_points,
+)
+
+
+@dataclass(frozen=True)
+class CurveSummary:
+    """Headline numbers of one retrieval run, used in bench reports."""
+
+    average_precision: float
+    band_precision: float
+    recall_at_quarter: float
+    final_recall: float
+
+
+class RecallCurve:
+    """Recall as a function of the number of images retrieved."""
+
+    def __init__(self, relevance: np.ndarray, n_relevant: int | None = None):
+        self._recalls = recall_points(np.asarray(relevance), n_relevant)
+        self._relevance = np.asarray(relevance, dtype=bool)
+        self._n_relevant = (
+            int(self._relevance.sum()) if n_relevant is None else n_relevant
+        )
+
+    @property
+    def n_retrieved(self) -> int:
+        """Length of the ranking."""
+        return self._recalls.size
+
+    @property
+    def n_relevant(self) -> int:
+        """Total relevant images in the test set."""
+        return self._n_relevant
+
+    def recall_after(self, k: int) -> float:
+        """Recall after ``k`` retrievals."""
+        if not 1 <= k <= self._recalls.size:
+            raise EvaluationError(f"k must be in [1, {self._recalls.size}], got {k}")
+        return float(self._recalls[k - 1])
+
+    @property
+    def points(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(retrieved_counts, recalls)`` arrays for plotting."""
+        return np.arange(1, self._recalls.size + 1), self._recalls.copy()
+
+    def area(self) -> float:
+        """Normalised area under the recall curve in [0, 1].
+
+        Random ranking gives ~0.5 (the 45-degree line); perfect ranking
+        approaches 1; worst-case ranking approaches 0.
+        """
+        return float(self._recalls.mean())
+
+    def convexity_gain(self) -> float:
+        """Area above the random-retrieval diagonal (positive = better)."""
+        diagonal = np.arange(1, self._recalls.size + 1) / self._recalls.size
+        return float((self._recalls - diagonal).mean())
+
+
+class PrecisionRecallCurve:
+    """Precision as a function of recall."""
+
+    def __init__(self, relevance: np.ndarray, n_relevant: int | None = None):
+        relevance = np.asarray(relevance)
+        self._precisions = precision_points(relevance)
+        self._recalls = recall_points(relevance, n_relevant)
+        self._relevance = relevance.astype(bool)
+        self._n_relevant = (
+            int(self._relevance.sum()) if n_relevant is None else n_relevant
+        )
+
+    @property
+    def points(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(recalls, precisions)`` arrays for plotting."""
+        return self._recalls.copy(), self._precisions.copy()
+
+    def precision_at_recall(self, recall: float) -> float:
+        """Precision at the first retrieval reaching the given recall.
+
+        Returns 0.0 if the ranking never reaches that recall.
+        """
+        if not 0.0 <= recall <= 1.0:
+            raise EvaluationError(f"recall must lie in [0, 1], got {recall}")
+        reached = self._recalls >= recall
+        if not reached.any():
+            return 0.0
+        return float(self._precisions[int(np.argmax(reached))])
+
+    def sampled(self, recall_grid: np.ndarray | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """The curve sampled on a recall grid (default 0.05 .. 1.0 step 0.05)."""
+        grid = (
+            np.linspace(0.05, 1.0, 20) if recall_grid is None else np.asarray(recall_grid)
+        )
+        return grid, np.array([self.precision_at_recall(r) for r in grid])
+
+    def average_precision(self) -> float:
+        """Average precision of the underlying ranking."""
+        return average_precision(self._relevance, self._n_relevant)
+
+    def band_precision(self, low: float = 0.3, high: float = 0.4) -> float:
+        """The Figure 4-22 measure: mean precision for recall in a band."""
+        return precision_in_recall_band(self._relevance, low, high, self._n_relevant)
+
+    def summary(self) -> CurveSummary:
+        """Headline numbers for reports."""
+        quarter = max(1, self._recalls.size // 4)
+        return CurveSummary(
+            average_precision=self.average_precision(),
+            band_precision=self.band_precision(),
+            recall_at_quarter=float(self._recalls[quarter - 1]),
+            final_recall=float(self._recalls[-1]),
+        )
+
+
+def curves_from_relevance(
+    relevance: np.ndarray, n_relevant: int | None = None
+) -> tuple[RecallCurve, PrecisionRecallCurve]:
+    """Convenience: both curves from one relevance sequence."""
+    return (
+        RecallCurve(relevance, n_relevant),
+        PrecisionRecallCurve(relevance, n_relevant),
+    )

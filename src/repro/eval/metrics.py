@@ -1,0 +1,138 @@
+"""Retrieval metrics (Section 4.1).
+
+All metrics consume a boolean *relevance sequence* — entry ``k`` says whether
+the ``k``-th retrieved image (0-based, best match first) is correct.  From it
+we derive the paper's two curves and its summary statistics:
+
+* precision after ``k`` retrievals = correct-so-far / k,
+* recall after ``k`` retrievals = correct-so-far / total-correct-in-test-set,
+* the Figure 4-22 performance measure: the mean precision over the part of
+  the precision-recall curve with recall in a band (the paper uses
+  [0.3, 0.4]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EvaluationError
+
+
+def _as_relevance(relevance: np.ndarray) -> np.ndarray:
+    mask = np.asarray(relevance)
+    if mask.ndim != 1:
+        raise EvaluationError(f"relevance must be 1-D, got shape {mask.shape}")
+    if mask.size == 0:
+        raise EvaluationError("relevance sequence is empty")
+    if mask.dtype != bool:
+        unique = set(np.unique(mask).tolist())
+        if not unique <= {0, 1}:
+            raise EvaluationError(f"relevance entries must be boolean, got values {sorted(unique)}")
+        mask = mask.astype(bool)
+    return mask
+
+
+def precision_points(relevance: np.ndarray) -> np.ndarray:
+    """Precision after each retrieval: ``cumsum / (1..n)``."""
+    mask = _as_relevance(relevance)
+    hits = np.cumsum(mask)
+    return hits / np.arange(1, mask.size + 1)
+
+
+def recall_points(relevance: np.ndarray, n_relevant: int | None = None) -> np.ndarray:
+    """Recall after each retrieval.
+
+    Args:
+        relevance: the relevance sequence.
+        n_relevant: total number of relevant images in the test set; defaults
+            to the number of relevant entries in the sequence (i.e. the
+            sequence covers the whole test set).
+
+    Raises:
+        EvaluationError: if ``n_relevant`` is smaller than the hits present.
+    """
+    mask = _as_relevance(relevance)
+    hits = np.cumsum(mask)
+    total = int(hits[-1]) if n_relevant is None else n_relevant
+    if total < int(hits[-1]):
+        raise EvaluationError(
+            f"n_relevant={total} is less than the {int(hits[-1])} relevant entries present"
+        )
+    if total == 0:
+        return np.zeros(mask.size)
+    return hits / total
+
+
+def precision_at_k(relevance: np.ndarray, k: int) -> float:
+    """Precision among the first ``k`` retrievals."""
+    mask = _as_relevance(relevance)
+    if not 1 <= k <= mask.size:
+        raise EvaluationError(f"k must be in [1, {mask.size}], got {k}")
+    return float(mask[:k].mean())
+
+
+def recall_at_k(relevance: np.ndarray, k: int, n_relevant: int | None = None) -> float:
+    """Recall after the first ``k`` retrievals."""
+    mask = _as_relevance(relevance)
+    if not 1 <= k <= mask.size:
+        raise EvaluationError(f"k must be in [1, {mask.size}], got {k}")
+    return float(recall_points(mask, n_relevant)[k - 1])
+
+
+def average_precision(relevance: np.ndarray, n_relevant: int | None = None) -> float:
+    """Mean of precision values at each relevant retrieval (AP).
+
+    A perfect ranking scores 1.0; random rankings score roughly the base
+    rate of relevant images.
+    """
+    mask = _as_relevance(relevance)
+    total = int(mask.sum()) if n_relevant is None else n_relevant
+    if total == 0:
+        return 0.0
+    precisions = precision_points(mask)
+    return float(precisions[mask].sum() / total)
+
+
+def precision_in_recall_band(
+    relevance: np.ndarray,
+    recall_low: float = 0.3,
+    recall_high: float = 0.4,
+    n_relevant: int | None = None,
+) -> float:
+    """Mean precision where recall lies in ``[recall_low, recall_high]``.
+
+    This is the Figure 4-22 performance measure ("the average precision
+    value for recall between 0.3 and 0.4").  If the ranking never reaches
+    ``recall_low``, returns 0.0.
+
+    Raises:
+        EvaluationError: on an invalid band.
+    """
+    if not 0.0 <= recall_low < recall_high <= 1.0:
+        raise EvaluationError(f"invalid recall band [{recall_low}, {recall_high}]")
+    mask = _as_relevance(relevance)
+    precisions = precision_points(mask)
+    recalls = recall_points(mask, n_relevant)
+    in_band = (recalls >= recall_low) & (recalls <= recall_high)
+    if not in_band.any():
+        reached = recalls >= recall_low
+        if not reached.any():
+            return 0.0
+        # The curve jumped over the band between two retrievals; use the
+        # precision at the first point past the band's lower edge.
+        return float(precisions[int(np.argmax(reached))])
+    return float(precisions[in_band].mean())
+
+
+def random_baseline_precision(n_relevant: int, n_total: int) -> float:
+    """Expected precision of a random ranking — the paper's flat PR line.
+
+    For the 500-image scene database with 100 relevant images this is 0.2,
+    matching "for our natural scene database, it would be a flat line at
+    0.2".
+    """
+    if n_total < 1 or not 0 <= n_relevant <= n_total:
+        raise EvaluationError(
+            f"invalid counts: n_relevant={n_relevant}, n_total={n_total}"
+        )
+    return n_relevant / n_total

@@ -1,0 +1,119 @@
+"""ASCII reporting helpers for benchmark and example output.
+
+Benchmarks print their reproduced tables and figure series as plain text;
+these helpers render aligned tables and coarse character plots without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import EvaluationError
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a fixed-width table.
+
+    Args:
+        headers: column names.
+        rows: row cells; floats are formatted with ``float_format``, other
+            values with ``str``.
+        title: optional title line above the table.
+        float_format: format spec for float cells.
+    """
+    if not headers:
+        raise EvaluationError("ascii_table requires at least one column")
+
+    def render_cell(value: object) -> str:
+        if isinstance(value, float) or isinstance(value, np.floating):
+            return float_format.format(float(value))
+        return str(value)
+
+    text_rows = [[render_cell(cell) for cell in row] for row in rows]
+    for index, row in enumerate(text_rows):
+        if len(row) != len(headers):
+            raise EvaluationError(
+                f"row {index} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in text_rows)) if text_rows
+        else len(headers[col])
+        for col in range(len(headers))
+    ]
+    separator = "-+-".join("-" * width for width in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(separator)
+    for row in text_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_curve(
+    x: np.ndarray,
+    y: np.ndarray,
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+    y_range: tuple[float, float] | None = None,
+) -> str:
+    """Render a coarse character plot of ``y`` against ``x``.
+
+    Args:
+        x: x values (monotone recommended).
+        y: y values, same length.
+        width, height: character-grid size.
+        title: optional title line.
+        y_range: fixed y axis range; inferred from the data when omitted.
+    """
+    x = np.asarray(x, dtype=np.float64).reshape(-1)
+    y = np.asarray(y, dtype=np.float64).reshape(-1)
+    if x.size != y.size or x.size == 0:
+        raise EvaluationError(f"x and y must be equal-length non-empty, got {x.size}/{y.size}")
+    if width < 10 or height < 4:
+        raise EvaluationError("curve grid must be at least 10x4")
+
+    y_low, y_high = y_range if y_range is not None else (float(y.min()), float(y.max()))
+    if y_high - y_low < 1e-12:
+        y_high = y_low + 1.0
+    x_low, x_high = float(x.min()), float(x.max())
+    if x_high - x_low < 1e-12:
+        x_high = x_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    cols = np.clip(((x - x_low) / (x_high - x_low) * (width - 1)).round().astype(int), 0, width - 1)
+    rows = np.clip(
+        ((y_high - y) / (y_high - y_low) * (height - 1)).round().astype(int), 0, height - 1
+    )
+    for row, col in zip(rows, cols):
+        grid[row][col] = "*"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_high:8.3f} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 9 + "|" + "".join(row))
+    lines.append(f"{y_low:8.3f} +" + "".join(grid[-1]))
+    lines.append(" " * 10 + f"{x_low:<10.3g}" + " " * max(0, width - 20) + f"{x_high:>10.3g}")
+    return "\n".join(lines)
+
+
+def format_weight_matrix(matrix: np.ndarray, precision: int = 2) -> str:
+    """Render an ``h x h`` weight/concept matrix compactly (Figures 3-7..3-9)."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise EvaluationError(f"expected a 2-D matrix, got shape {matrix.shape}")
+    return "\n".join(
+        " ".join(f"{value:6.{precision}f}" for value in row) for row in matrix
+    )

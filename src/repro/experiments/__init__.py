@@ -1,0 +1,25 @@
+"""Experiment registry: one configuration per table/figure of the paper.
+
+Each module reproduces one evaluation artefact and returns plain-data result
+objects the benchmarks print:
+
+* :mod:`repro.experiments.correlation_demos` — Table 3.1, Figures 3-1 and
+  3-3/3-4.
+* :mod:`repro.experiments.weight_outputs` — Figures 3-7/3-8/3-9 (DD output
+  matrices under the three schemes).
+* :mod:`repro.experiments.sample_runs` — Figures 4-3/4-4 (three-round
+  feedback runs) and 4-5/4-6/4-7 (their curves).
+* :mod:`repro.experiments.scheme_comparison` — Figures 4-8 .. 4-14.
+* :mod:`repro.experiments.beta_sweep` — Figures 4-15 .. 4-17.
+* :mod:`repro.experiments.bag_size` — Figure 4-18.
+* :mod:`repro.experiments.resolution` — Figure 4-19.
+* :mod:`repro.experiments.previous_approach` — Figures 4-20/4-21.
+* :mod:`repro.experiments.start_subsets` — Figure 4-22.
+
+All experiments accept a *scale* so the benchmark defaults stay laptop-fast
+while ``REPRO_BENCH_SCALE=paper`` reproduces the full-size databases.
+"""
+
+from repro.experiments.scale import BenchScale, resolve_scale
+
+__all__ = ["BenchScale", "resolve_scale"]

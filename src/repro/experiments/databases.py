@@ -1,0 +1,84 @@
+"""Shared, cached experiment databases.
+
+Building and featurising a database is the dominant fixed cost of the
+benchmark suite, so the scene and object databases for a given scale are
+built once per process and shared by every experiment module.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.database.store import ImageDatabase
+from repro.datasets.loader import build_object_database, build_scene_database
+from repro.experiments.scale import BenchScale, resolve_scale
+from repro.imaging.features import FeatureConfig
+from repro.imaging.regions import region_family
+
+#: Seed shared by all experiment databases — experiments vary everything
+#: else, so the underlying images stay comparable across figures.
+DATABASE_SEED = 20000
+
+
+@lru_cache(maxsize=8)
+def _scene_database(scale_name: str, resolution: int, family: str) -> ImageDatabase:
+    scale = resolve_scale(scale_name)
+    config = FeatureConfig(resolution=resolution, region_family=region_family(family))
+    database = build_scene_database(
+        images_per_category=scale.scene_images_per_category,
+        size=scale.image_size,
+        seed=DATABASE_SEED,
+        feature_config=config,
+    )
+    database.precompute_features()
+    return database
+
+
+@lru_cache(maxsize=8)
+def _object_database(scale_name: str, resolution: int, family: str) -> ImageDatabase:
+    scale = resolve_scale(scale_name)
+    config = FeatureConfig(resolution=resolution, region_family=region_family(family))
+    database = build_object_database(
+        images_per_category=scale.object_images_per_category,
+        size=scale.image_size,
+        seed=DATABASE_SEED,
+        feature_config=config,
+    )
+    database.precompute_features()
+    return database
+
+
+def scene_database(
+    scale: BenchScale, resolution: int = 10, family: str = "default20"
+) -> ImageDatabase:
+    """The (cached) scene database for a scale/feature configuration."""
+    return _scene_database(scale.name, resolution, family)
+
+
+def object_database(
+    scale: BenchScale, resolution: int = 10, family: str = "default20"
+) -> ImageDatabase:
+    """The (cached) object database for a scale/feature configuration."""
+    return _object_database(scale.name, resolution, family)
+
+
+def base_config_kwargs(scale: BenchScale, kind: str = "scenes") -> dict:
+    """Experiment-config fields implied by a scale.
+
+    Args:
+        scale: the benchmark scale.
+        kind: ``"scenes"`` or ``"objects"`` — picks the split fraction (see
+            :class:`~repro.experiments.scale.BenchScale`).
+    """
+    fraction = (
+        scale.scene_training_fraction
+        if kind == "scenes"
+        else scale.object_training_fraction
+    )
+    return {
+        "max_iterations": scale.max_iterations,
+        "start_bag_subset": scale.start_bag_subset,
+        "start_instance_stride": scale.start_instance_stride,
+        "rounds": scale.rounds,
+        "training_fraction": fraction,
+    }

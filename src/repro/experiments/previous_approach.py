@@ -1,0 +1,123 @@
+"""Figures 4-20 / 4-21: comparison with the Maron & Lakshmi Ratan approach.
+
+The thesis compares its correlation-region system against the ICML'98
+colour-feature DD system on waterfall retrieval, showing the two perform
+"very close" on natural scenes — once with our original-DD variant
+(Figure 4-20) and once with the inequality beta = 0.25 variant
+(Figure 4-21).  The colour baseline runs through the identical feedback
+loop; only the bag representation differs (see
+:mod:`repro.baselines.maron_ratan`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.maron_ratan import ColorCorpus
+from repro.core.diverse_density import DiverseDensityTrainer, TrainerConfig
+from repro.core.feedback import FeedbackLoop, select_examples
+from repro.eval.curves import PrecisionRecallCurve, RecallCurve
+from repro.eval.experiment import ExperimentConfig, ExperimentResult, RetrievalExperiment
+from repro.experiments.databases import base_config_kwargs, scene_database
+from repro.experiments.scale import BenchScale, resolve_scale
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """The colour baseline's final retrieval, in curve form."""
+
+    recall_curve: RecallCurve
+    pr_curve: PrecisionRecallCurve
+
+    @property
+    def average_precision(self) -> float:
+        """Average precision of the baseline's test ranking."""
+        return self.pr_curve.average_precision()
+
+
+@dataclass(frozen=True)
+class PreviousApproachComparison:
+    """One figure's our-system / colour-baseline pairing."""
+
+    figure: str
+    ours: ExperimentResult
+    baseline: BaselineResult
+
+    @property
+    def gap(self) -> float:
+        """AP(ours) - AP(baseline); the paper expects this near zero."""
+        return self.ours.average_precision - self.baseline.average_precision
+
+
+def _run_baseline(
+    database, split, target_category: str, scale: BenchScale, seed: int
+) -> BaselineResult:
+    corpus = ColorCorpus(database)
+    selection = select_examples(
+        corpus, split.potential_ids, target_category, n_positive=5, n_negative=5, seed=seed
+    )
+    base = base_config_kwargs(scale)
+    trainer = DiverseDensityTrainer(
+        TrainerConfig(
+            scheme="original",
+            max_iterations=base["max_iterations"],
+            start_bag_subset=base["start_bag_subset"],
+            start_instance_stride=1,  # colour bags are small; keep all starts
+            seed=seed,
+        )
+    )
+    loop = FeedbackLoop(
+        corpus=corpus,
+        trainer=trainer,
+        target_category=target_category,
+        potential_ids=split.potential_ids,
+        test_ids=split.test_ids,
+        rounds=base["rounds"],
+        false_positives_per_round=5,
+    )
+    outcome = loop.run(selection)
+    relevance = outcome.test_ranking.relevance(target_category)
+    n_relevant = sum(
+        1 for image_id in split.test_ids if corpus.category_of(image_id) == target_category
+    )
+    return BaselineResult(
+        recall_curve=RecallCurve(relevance, n_relevant),
+        pr_curve=PrecisionRecallCurve(relevance, n_relevant),
+    )
+
+
+def figures_4_20_4_21(
+    scale: BenchScale | None = None,
+    target_category: str = "waterfall",
+    seed: int = 21,
+) -> list[PreviousApproachComparison]:
+    """Both comparison figures on a shared split.
+
+    Returns Figure 4-20 (our original DD vs baseline) and Figure 4-21 (our
+    inequality beta = 0.25 vs the same baseline run).
+    """
+    scale = scale or resolve_scale()
+    database = scene_database(scale)
+    base = base_config_kwargs(scale)
+
+    ours_original_cfg = ExperimentConfig(
+        target_category=target_category, scheme="original", seed=seed, **base
+    )
+    first = RetrievalExperiment(database, ours_original_cfg)
+    split = first.split
+    ours_original = first.run()
+    ours_inequality = RetrievalExperiment(
+        database,
+        ours_original_cfg.with_overrides(scheme="inequality", beta=0.25),
+        split=split,
+    ).run()
+    baseline = _run_baseline(database, split, target_category, scale, seed)
+
+    return [
+        PreviousApproachComparison(
+            figure="Figure 4-20", ours=ours_original, baseline=baseline
+        ),
+        PreviousApproachComparison(
+            figure="Figure 4-21", ours=ours_inequality, baseline=baseline
+        ),
+    ]

@@ -1,0 +1,99 @@
+"""Figures 4-3 .. 4-7: sample three-round feedback runs and their curves.
+
+* Figure 4-3 — retrieving waterfalls (natural-scene database) with 3 rounds
+  of training, 5 false positives promoted after rounds 1 and 2.
+* Figure 4-4 — the same protocol retrieving cars (object database).
+* Figure 4-5 / 4-6 — the recall curve and precision-recall curve of the
+  waterfall run.
+* Figure 4-7 — the "somewhat misleading" precision-recall curve: an
+  incorrect first retrieval followed by correct ones pins the curve's left
+  edge low even though the ranking is good.  We reproduce it analytically
+  from such a relevance pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.eval.curves import PrecisionRecallCurve, RecallCurve
+from repro.eval.experiment import ExperimentConfig, ExperimentResult, RetrievalExperiment
+from repro.experiments.databases import base_config_kwargs, object_database, scene_database
+from repro.experiments.scale import BenchScale, resolve_scale
+
+
+@dataclass(frozen=True)
+class SampleRun:
+    """One figure's feedback run."""
+
+    figure: str
+    target_category: str
+    result: ExperimentResult
+
+    @property
+    def round_precisions(self) -> tuple[float, ...]:
+        """Training-set precision@10 per round — should trend upward."""
+        return tuple(r.training_precision_at_10 for r in self.result.outcome.rounds)
+
+
+def figure_4_3(scale: BenchScale | None = None, seed: int = 3) -> SampleRun:
+    """The waterfall sample run (Figure 4-3)."""
+    scale = scale or resolve_scale()
+    database = scene_database(scale)
+    config = ExperimentConfig(
+        target_category="waterfall",
+        scheme="inequality",
+        beta=0.5,
+        seed=seed,
+        **base_config_kwargs(scale),
+    )
+    return SampleRun(
+        figure="Figure 4-3",
+        target_category="waterfall",
+        result=RetrievalExperiment(database, config).run(),
+    )
+
+
+def figure_4_4(scale: BenchScale | None = None, seed: int = 3) -> SampleRun:
+    """The car sample run (Figure 4-4)."""
+    scale = scale or resolve_scale()
+    database = object_database(scale)
+    config = ExperimentConfig(
+        target_category="car",
+        scheme="identical",
+        seed=seed,
+        n_negative=5,
+        **base_config_kwargs(scale, kind="objects"),
+    )
+    return SampleRun(
+        figure="Figure 4-4",
+        target_category="car",
+        result=RetrievalExperiment(database, config).run(),
+    )
+
+
+@dataclass(frozen=True)
+class CurvePair:
+    """Figures 4-5/4-6: both curves of one run."""
+
+    recall_curve: RecallCurve
+    pr_curve: PrecisionRecallCurve
+
+
+def figures_4_5_4_6(scale: BenchScale | None = None, seed: int = 3) -> CurvePair:
+    """The curves of the Figure 4-3 waterfall run."""
+    run = figure_4_3(scale, seed)
+    return CurvePair(recall_curve=run.result.recall_curve, pr_curve=run.result.pr_curve)
+
+
+def figure_4_7() -> PrecisionRecallCurve:
+    """The "misleading" PR curve: first image wrong, next seven right.
+
+    The thesis constructs this case to warn that a single early miss drags
+    the curve's left edge to 0.5 even when retrieval is otherwise excellent.
+    """
+    relevance = np.array(
+        [False] + [True] * 7 + [False, True] * 10 + [False] * 20, dtype=bool
+    )
+    return PrecisionRecallCurve(relevance)

@@ -1,0 +1,103 @@
+"""Figures 4-8 .. 4-14: weight-control scheme comparison across categories.
+
+The paper compares original DD, identical weights and the inequality
+constraint (beta = 0.5) on six retrieval targets — waterfalls, fields,
+sunsets/sunrises (scenes) and cars, pants, airplanes (objects) — finding
+"a lot of variation in the relative performance" but the inequality method
+best or close to best in a majority of cases, and identical weights
+sometimes best on objects.  Figure 4-14 revisits cars with beta = 0.25.
+
+All schemes for one category share the same split and initial examples, so
+the comparison isolates the weight treatment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.experiment import ExperimentConfig, ExperimentResult, RetrievalExperiment
+from repro.experiments.databases import base_config_kwargs, object_database, scene_database
+from repro.experiments.scale import BenchScale, resolve_scale
+
+#: The categories of Figures 4-8 .. 4-13 and the database each lives in.
+COMPARISON_TARGETS: tuple[tuple[str, str, str], ...] = (
+    ("Figure 4-8", "waterfall", "scenes"),
+    ("Figure 4-9", "field", "scenes"),
+    ("Figure 4-10", "sunset", "scenes"),
+    ("Figure 4-11", "car", "objects"),
+    ("Figure 4-12", "pants", "objects"),
+    ("Figure 4-13", "airplane", "objects"),
+)
+
+#: The three schemes compared in each figure.
+SCHEMES: tuple[str, ...] = ("original", "identical", "inequality")
+
+
+@dataclass(frozen=True)
+class SchemeComparison:
+    """All scheme results for one figure/category."""
+
+    figure: str
+    target_category: str
+    database_kind: str
+    results: dict[str, ExperimentResult]
+
+    def average_precisions(self) -> dict[str, float]:
+        """Scheme name -> average precision."""
+        return {name: result.average_precision for name, result in self.results.items()}
+
+    def best_scheme(self) -> str:
+        """The scheme with the highest average precision."""
+        return max(self.results, key=lambda name: self.results[name].average_precision)
+
+
+def compare_category(
+    figure: str,
+    target_category: str,
+    database_kind: str,
+    scale: BenchScale | None = None,
+    beta: float = 0.5,
+    seed: int = 5,
+) -> SchemeComparison:
+    """Run the three-scheme comparison for one category on a shared split."""
+    scale = scale or resolve_scale()
+    database = (
+        scene_database(scale) if database_kind == "scenes" else object_database(scale)
+    )
+    base = base_config_kwargs(scale, kind=database_kind)
+    shared_split = None
+    results: dict[str, ExperimentResult] = {}
+    for scheme in SCHEMES:
+        config = ExperimentConfig(
+            target_category=target_category,
+            scheme=scheme,
+            beta=beta,
+            seed=seed,
+            **base,
+        )
+        experiment = RetrievalExperiment(database, config, split=shared_split)
+        shared_split = experiment.split
+        results[scheme] = experiment.run()
+    return SchemeComparison(
+        figure=figure,
+        target_category=target_category,
+        database_kind=database_kind,
+        results=results,
+    )
+
+
+def figures_4_8_to_4_13(
+    scale: BenchScale | None = None, seed: int = 5
+) -> list[SchemeComparison]:
+    """The full six-category comparison suite."""
+    scale = scale or resolve_scale()
+    return [
+        compare_category(figure, category, kind, scale, beta=0.5, seed=seed)
+        for figure, category, kind in COMPARISON_TARGETS
+    ]
+
+
+def figure_4_14(scale: BenchScale | None = None, seed: int = 5) -> SchemeComparison:
+    """Cars with beta = 0.25 — the constraint level the paper found better."""
+    scale = scale or resolve_scale()
+    return compare_category("Figure 4-14", "car", "objects", scale, beta=0.25, seed=seed)

@@ -1,0 +1,61 @@
+"""Imaging substrate: gray-scale images, smoothing/sampling, regions, correlation.
+
+This subpackage implements everything in Chapter 3 of the paper up to (but not
+including) bag generation:
+
+* :mod:`repro.imaging.image` — the :class:`~repro.imaging.image.GrayImage`
+  wrapper and colour-to-gray conversion.
+* :mod:`repro.imaging.smoothing` — the 50%-overlap averaging kernel that turns
+  an ``m x n`` region into an ``h x h`` matrix (Section 3.1.2).
+* :mod:`repro.imaging.regions` — the 20-region family of Figure 3-5, mirror
+  augmentation and the low-variance filter (Section 3.2).
+* :mod:`repro.imaging.correlation` — plain and weighted correlation
+  coefficients for 1-D and 2-D signals (Sections 3.1.1 and 3.3).
+* :mod:`repro.imaging.transform` — the mean/std normalisation of Section 3.4
+  under which weighted Euclidean distance ranks pairs exactly like weighted
+  correlation.
+* :mod:`repro.imaging.features` — the full image-to-feature-matrix pipeline.
+"""
+
+from repro.imaging.color_features import RgbFeatureExtractor, RgbRegionCorpus
+from repro.imaging.correlation import (
+    correlation_coefficient,
+    correlation_matrix,
+    image_correlation,
+    weighted_correlation,
+)
+from repro.imaging.features import FeatureConfig, FeatureExtractor
+from repro.imaging.image import GrayImage, to_gray
+from repro.imaging.rotations import RotationAugmentedExtractor, RotationConfig
+from repro.imaging.regions import Region, RegionFamily, default_region_family, region_family
+from repro.imaging.smoothing import smooth_and_sample
+from repro.imaging.transform import (
+    correlation_from_distance,
+    distance_from_correlation,
+    normalize_feature,
+    normalize_features,
+)
+
+__all__ = [
+    "RgbFeatureExtractor",
+    "RgbRegionCorpus",
+    "correlation_coefficient",
+    "correlation_matrix",
+    "image_correlation",
+    "weighted_correlation",
+    "FeatureConfig",
+    "FeatureExtractor",
+    "GrayImage",
+    "to_gray",
+    "RotationAugmentedExtractor",
+    "RotationConfig",
+    "Region",
+    "RegionFamily",
+    "default_region_family",
+    "region_family",
+    "smooth_and_sample",
+    "correlation_from_distance",
+    "distance_from_correlation",
+    "normalize_feature",
+    "normalize_features",
+]

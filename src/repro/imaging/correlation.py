@@ -1,0 +1,135 @@
+"""Correlation coefficients: plain (Section 3.1.1) and weighted (Section 3.3).
+
+The paper's similarity measure between two equally sized signals (1-D series
+or 2-D image regions) is the Pearson correlation coefficient, computed with
+population (``1/n``) normalisation — the thesis notes explicitly that the
+``1/n`` versus ``1/(n-1)`` choice is immaterial and uses ``1/n``.
+
+Section 3.3 generalises this to a *weighted* correlation coefficient where
+each dimension ``k`` carries a non-negative weight ``w_k``:
+
+    Corr_w(f1, f2) = sum_k w_k (f1_k - mean(f1)) (f2_k - mean(f2))
+                     / (n * sigma'_1 * sigma'_2)
+
+with *unweighted* means and *weighted* standard deviations
+
+    sigma'_i = sqrt( (1/n) * sum_k w_k (f_i(k) - mean(f_i))^2 ).
+
+Setting ``w_k = 1`` everywhere recovers the plain coefficient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FeatureError
+
+#: Two signals whose variance falls below this are treated as constant.
+_VARIANCE_EPS = 1e-12
+
+
+def _flatten_pair(first: np.ndarray, second: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(first, dtype=np.float64).reshape(-1)
+    b = np.asarray(second, dtype=np.float64).reshape(-1)
+    if a.shape != b.shape:
+        raise FeatureError(
+            f"correlation requires equally sized signals, got {a.size} and {b.size} samples"
+        )
+    if a.size < 2:
+        raise FeatureError("correlation requires at least 2 samples")
+    return a, b
+
+
+def correlation_coefficient(first: np.ndarray, second: np.ndarray) -> float:
+    """Pearson correlation of two signals (any shape; flattened first).
+
+    An ``m x n`` region is treated as one big ``mn``-dimensional vector, as in
+    the paper.  Returns a value in ``[-1, 1]``.
+
+    Raises:
+        FeatureError: on shape mismatch or if either signal is constant.
+    """
+    a, b = _flatten_pair(first, second)
+    a_centered = a - a.mean()
+    b_centered = b - b.mean()
+    var_a = float(a_centered @ a_centered)
+    var_b = float(b_centered @ b_centered)
+    if var_a < _VARIANCE_EPS or var_b < _VARIANCE_EPS:
+        raise FeatureError("correlation is undefined for a constant signal")
+    value = float(a_centered @ b_centered) / np.sqrt(var_a * var_b)
+    return float(np.clip(value, -1.0, 1.0))
+
+
+def weighted_correlation(
+    first: np.ndarray, second: np.ndarray, weights: np.ndarray
+) -> float:
+    """Weighted correlation coefficient of Section 3.3.
+
+    Args:
+        first: first signal (flattened).
+        second: second signal (flattened), same size as ``first``.
+        weights: non-negative per-dimension weights, same size.
+
+    Raises:
+        FeatureError: on shape mismatch, negative weights, all-zero weights or
+            a signal that is constant under the weighting.
+    """
+    a, b = _flatten_pair(first, second)
+    w = np.asarray(weights, dtype=np.float64).reshape(-1)
+    if w.shape != a.shape:
+        raise FeatureError(
+            f"weights must match signal size {a.size}, got {w.size}"
+        )
+    if np.any(w < 0):
+        raise FeatureError("weights must be non-negative")
+    if float(w.sum()) < _VARIANCE_EPS:
+        raise FeatureError("weighted correlation requires at least one positive weight")
+    a_centered = a - a.mean()
+    b_centered = b - b.mean()
+    var_a = float(w @ (a_centered * a_centered))
+    var_b = float(w @ (b_centered * b_centered))
+    if var_a < _VARIANCE_EPS or var_b < _VARIANCE_EPS:
+        raise FeatureError("weighted correlation is undefined for a constant signal")
+    value = float((w * a_centered) @ b_centered) / np.sqrt(var_a * var_b)
+    return float(np.clip(value, -1.0, 1.0))
+
+
+def image_correlation(
+    first: np.ndarray, second: np.ndarray, resolution: int | None = None
+) -> float:
+    """Correlation of two gray planes, optionally after smoothing/sampling.
+
+    With ``resolution`` given, both planes are reduced to ``h x h`` matrices
+    first (the Table 3.1 protocol); the planes may then differ in size.
+    Without it, the raw planes must have identical shape.
+    """
+    if resolution is not None:
+        from repro.imaging.smoothing import smooth_and_sample
+
+        first = smooth_and_sample(np.asarray(first), resolution)
+        second = smooth_and_sample(np.asarray(second), resolution)
+    return correlation_coefficient(first, second)
+
+
+def correlation_matrix(vectors: np.ndarray) -> np.ndarray:
+    """Pairwise correlation matrix of the rows of ``vectors``.
+
+    Args:
+        vectors: ``(n_signals, n_dims)`` array; every row must be
+            non-constant.
+
+    Returns:
+        ``(n_signals, n_signals)`` symmetric matrix with unit diagonal.
+    """
+    data = np.asarray(vectors, dtype=np.float64)
+    if data.ndim != 2:
+        raise FeatureError(f"correlation_matrix expects a 2-D array, got shape {data.shape}")
+    if data.shape[1] < 2:
+        raise FeatureError("correlation_matrix requires at least 2 dimensions per signal")
+    centered = data - data.mean(axis=1, keepdims=True)
+    norms = np.linalg.norm(centered, axis=1)
+    if np.any(norms * norms < _VARIANCE_EPS):
+        raise FeatureError("correlation_matrix given a constant row")
+    normalized = centered / norms[:, None]
+    gram = normalized @ normalized.T
+    return np.clip(gram, -1.0, 1.0)

@@ -1,0 +1,153 @@
+"""Gray-scale image handling.
+
+The paper works exclusively on gray-scale information (Section 3.1.2): "All
+color images are converted into gray-scale images first."  This module holds
+the small :class:`GrayImage` value type used across the package and the
+colour-to-gray conversion.
+
+Images are numpy arrays throughout:
+
+* gray images are 2-D ``float64`` arrays with values in ``[0, 1]``,
+* colour images are 3-D ``(rows, cols, 3)`` arrays, either ``uint8`` in
+  ``[0, 255]`` or floats in ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ImageFormatError
+
+# ITU-R BT.601 luma weights, the standard choice for luminance conversion.
+_LUMA_WEIGHTS = np.array([0.299, 0.587, 0.114], dtype=np.float64)
+
+
+def _as_float_plane(pixels: np.ndarray) -> np.ndarray:
+    """Return ``pixels`` as float64 in [0, 1], validating the value range."""
+    if pixels.dtype == np.uint8:
+        return pixels.astype(np.float64) / 255.0
+    plane = np.asarray(pixels, dtype=np.float64)
+    if plane.size:
+        if not np.all(np.isfinite(plane)):
+            raise ImageFormatError("image contains NaN or infinite pixel values")
+        if plane.min() < -1e-9 or plane.max() > 1.0 + 1e-9:
+            raise ImageFormatError(
+                "float image values must lie in [0, 1]; "
+                f"got range [{plane.min():.4g}, {plane.max():.4g}]"
+            )
+    return np.clip(plane, 0.0, 1.0)
+
+
+def to_gray(pixels: np.ndarray) -> np.ndarray:
+    """Convert an image array to a gray-scale float64 plane in [0, 1].
+
+    Accepts 2-D gray arrays (returned normalised) and 3-D RGB arrays, which
+    are reduced with the BT.601 luma weights.
+
+    Raises:
+        ImageFormatError: if the array is not 2-D or ``(m, n, 3)``.
+    """
+    pixels = np.asarray(pixels)
+    if pixels.ndim == 2:
+        return _as_float_plane(pixels)
+    if pixels.ndim == 3 and pixels.shape[2] == 3:
+        rgb = _as_float_plane(pixels)
+        return rgb @ _LUMA_WEIGHTS
+    raise ImageFormatError(
+        f"expected a 2-D gray or (m, n, 3) colour array, got shape {pixels.shape}"
+    )
+
+
+@dataclass(frozen=True)
+class GrayImage:
+    """A validated gray-scale image plus light metadata.
+
+    Attributes:
+        pixels: 2-D float64 array with values in ``[0, 1]``.
+        image_id: optional identifier assigned by the database layer.
+        category: optional ground-truth category label.
+    """
+
+    pixels: np.ndarray
+    image_id: str = ""
+    category: str = ""
+    _rgb: np.ndarray | None = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        plane = np.asarray(self.pixels)
+        if plane.ndim != 2:
+            raise ImageFormatError(f"GrayImage requires a 2-D array, got shape {plane.shape}")
+        if plane.shape[0] < 2 or plane.shape[1] < 2:
+            raise ImageFormatError(f"GrayImage must be at least 2x2, got shape {plane.shape}")
+        object.__setattr__(self, "pixels", _as_float_plane(plane))
+
+    @classmethod
+    def from_array(
+        cls,
+        pixels: np.ndarray,
+        image_id: str = "",
+        category: str = "",
+    ) -> "GrayImage":
+        """Build a :class:`GrayImage` from gray or RGB pixels.
+
+        When given an RGB array, the original colour plane is retained (as
+        float64 in [0, 1]) so colour-feature baselines can access it via
+        :attr:`rgb`.
+        """
+        pixels = np.asarray(pixels)
+        rgb = None
+        if pixels.ndim == 3:
+            rgb = _as_float_plane(pixels)
+        return cls(pixels=to_gray(pixels), image_id=image_id, category=category, _rgb=rgb)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Image shape as ``(rows, cols)``."""
+        return self.pixels.shape  # type: ignore[return-value]
+
+    @property
+    def rows(self) -> int:
+        """Number of pixel rows."""
+        return self.pixels.shape[0]
+
+    @property
+    def cols(self) -> int:
+        """Number of pixel columns."""
+        return self.pixels.shape[1]
+
+    @property
+    def rgb(self) -> np.ndarray | None:
+        """Original colour plane if the image was built from RGB, else None."""
+        return self._rgb
+
+    def mirrored(self) -> "GrayImage":
+        """Return the left-right mirror image (Section 3.2)."""
+        mirrored_rgb = None if self._rgb is None else self._rgb[:, ::-1].copy()
+        return GrayImage(
+            pixels=self.pixels[:, ::-1].copy(),
+            image_id=self.image_id,
+            category=self.category,
+            _rgb=mirrored_rgb,
+        )
+
+    def crop(self, top: int, left: int, height: int, width: int) -> np.ndarray:
+        """Return the pixel block at (top, left) of size (height, width).
+
+        Raises:
+            ImageFormatError: if the block falls outside the image.
+        """
+        if top < 0 or left < 0 or height <= 0 or width <= 0:
+            raise ImageFormatError(
+                f"invalid crop origin/size: top={top} left={left} height={height} width={width}"
+            )
+        if top + height > self.rows or left + width > self.cols:
+            raise ImageFormatError(
+                f"crop ({top}+{height}, {left}+{width}) exceeds image shape {self.shape}"
+            )
+        return self.pixels[top : top + height, left : left + width]
+
+    def variance(self) -> float:
+        """Population variance of the gray values (used by the region filter)."""
+        return float(self.pixels.var())

@@ -1,0 +1,235 @@
+"""Region selection (Section 3.2, Figure 3-5).
+
+The paper represents an image by the feature vectors of ~20 overlapping
+sub-regions (plus their left-right mirrors, for up to 40 instances per bag).
+Conceptually any region could be the user's region of interest, so the family
+spans multiple scales and positions; the multiple-instance learner is left to
+pick out the right one.
+
+The thesis does not enumerate the exact pixel coordinates of its 20 regions
+(Figure 3-5 is a picture), so we define a deterministic multi-scale family
+with the same cardinality and character: the full frame, half-frames,
+quadrants, a dense mid-scale 3x3 sweep and two centre crops.  Families with
+9 and 42 regions (18 and 84 instances per bag after mirroring) support the
+Figure 4-18 bag-size ablation.
+
+Regions are stored in *fractional* coordinates so one family serves every
+image size; they are converted to pixels on extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import RegionError
+
+#: Number of instances contributed per region (the region and its mirror).
+INSTANCES_PER_REGION = 2
+
+
+@dataclass(frozen=True)
+class Region:
+    """A rectangular sub-region in fractional image coordinates.
+
+    Attributes:
+        top, left: offsets of the region's upper-left corner in ``[0, 1)``.
+        height, width: extents in ``(0, 1]``; ``top + height`` and
+            ``left + width`` must not exceed 1.
+        name: short human-readable label (e.g. ``"quadrant-ne"``).
+    """
+
+    top: float
+    left: float
+    height: float
+    width: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        for label, value in (("top", self.top), ("left", self.left)):
+            if not 0.0 <= value < 1.0:
+                raise RegionError(f"{label} must be in [0, 1), got {value}")
+        for label, value in (("height", self.height), ("width", self.width)):
+            if not 0.0 < value <= 1.0:
+                raise RegionError(f"{label} must be in (0, 1], got {value}")
+        if self.top + self.height > 1.0 + 1e-9:
+            raise RegionError(f"region extends below the image: top={self.top} height={self.height}")
+        if self.left + self.width > 1.0 + 1e-9:
+            raise RegionError(f"region extends right of the image: left={self.left} width={self.width}")
+
+    def pixel_box(self, rows: int, cols: int) -> tuple[int, int, int, int]:
+        """Convert to integer pixels for an image of shape (rows, cols).
+
+        Returns ``(top, left, height, width)`` with the box clamped inside
+        the image and at least 2x2 pixels.
+        """
+        top = int(round(self.top * rows))
+        left = int(round(self.left * cols))
+        height = max(2, int(round(self.height * rows)))
+        width = max(2, int(round(self.width * cols)))
+        top = min(top, rows - height) if height <= rows else 0
+        left = min(left, cols - width) if width <= cols else 0
+        height = min(height, rows)
+        width = min(width, cols)
+        if top < 0 or left < 0:
+            raise RegionError(
+                f"image of shape ({rows}, {cols}) too small for region {self.name or self}"
+            )
+        return top, left, height, width
+
+    def extract(self, pixels: np.ndarray) -> np.ndarray:
+        """Return the pixel block of this region from a 2-D gray plane."""
+        plane = np.asarray(pixels)
+        if plane.ndim != 2:
+            raise RegionError(f"extract expects a 2-D plane, got shape {plane.shape}")
+        top, left, height, width = self.pixel_box(plane.shape[0], plane.shape[1])
+        return plane[top : top + height, left : left + width]
+
+    @property
+    def area(self) -> float:
+        """Fractional area of the region."""
+        return self.height * self.width
+
+
+class RegionFamily:
+    """An ordered, named collection of regions.
+
+    The family order is deterministic, which keeps instance indices stable
+    across runs — important both for reproducibility and for interpreting
+    which region a learned concept latched onto.
+    """
+
+    def __init__(self, name: str, regions: Sequence[Region]):
+        if not regions:
+            raise RegionError("a region family needs at least one region")
+        self._name = name
+        self._regions = tuple(regions)
+
+    @property
+    def name(self) -> str:
+        """Family name, e.g. ``"default20"``."""
+        return self._name
+
+    @property
+    def regions(self) -> tuple[Region, ...]:
+        """The regions, in fixed order."""
+        return self._regions
+
+    @property
+    def max_instances(self) -> int:
+        """Bag size ceiling: two instances (region + mirror) per region."""
+        return len(self._regions) * INSTANCES_PER_REGION
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    def __iter__(self) -> Iterator[Region]:
+        return iter(self._regions)
+
+    def __getitem__(self, index: int) -> Region:
+        return self._regions[index]
+
+    def __repr__(self) -> str:
+        return f"RegionFamily({self._name!r}, {len(self._regions)} regions)"
+
+
+def _grid(scale: float, steps: int, prefix: str) -> list[Region]:
+    """A ``steps x steps`` sweep of ``scale``-sized windows across the frame."""
+    if steps == 1:
+        offsets = [0.0]
+    else:
+        offsets = [i * (1.0 - scale) / (steps - 1) for i in range(steps)]
+    return [
+        Region(top=row, left=col, height=scale, width=scale, name=f"{prefix}-{i}{j}")
+        for i, row in enumerate(offsets)
+        for j, col in enumerate(offsets)
+    ]
+
+
+def _core_regions() -> list[Region]:
+    """Full frame, four half-frames and four quadrants (9 regions)."""
+    return [
+        Region(0.0, 0.0, 1.0, 1.0, name="full"),
+        Region(0.0, 0.0, 0.5, 1.0, name="half-top"),
+        Region(0.5, 0.0, 0.5, 1.0, name="half-bottom"),
+        Region(0.0, 0.0, 1.0, 0.5, name="half-left"),
+        Region(0.0, 0.5, 1.0, 0.5, name="half-right"),
+        Region(0.0, 0.0, 0.5, 0.5, name="quadrant-nw"),
+        Region(0.0, 0.5, 0.5, 0.5, name="quadrant-ne"),
+        Region(0.5, 0.0, 0.5, 0.5, name="quadrant-sw"),
+        Region(0.5, 0.5, 0.5, 0.5, name="quadrant-se"),
+    ]
+
+
+def _default_regions() -> list[Region]:
+    """The 20-region family standing in for Figure 3-5."""
+    regions = _core_regions()
+    regions.extend(_grid(scale=0.6, steps=3, prefix="sweep60"))
+    regions.append(Region(0.1, 0.1, 0.8, 0.8, name="center-80"))
+    regions.append(Region(0.3, 0.3, 0.4, 0.4, name="center-40"))
+    return regions
+
+
+def _large_regions() -> list[Region]:
+    """A 42-region family (84 instances with mirrors) for Figure 4-18."""
+    regions = _default_regions()
+    regions.extend(_grid(scale=0.4, steps=4, prefix="sweep40"))
+    for i in range(3):
+        regions.append(
+            Region(0.0, i / 3.0, 1.0, 1.0 / 3.0, name=f"vstrip-{i}")
+        )
+        regions.append(
+            Region(i / 3.0, 0.0, 1.0 / 3.0, 1.0, name=f"hstrip-{i}")
+        )
+    return regions
+
+
+_FAMILY_BUILDERS = {
+    "small9": _core_regions,
+    "default20": _default_regions,
+    "large42": _large_regions,
+}
+
+#: Instance-count aliases used by the paper ("18, 40, 84 instances per bag").
+_INSTANCE_ALIASES = {18: "small9", 40: "default20", 84: "large42"}
+
+
+def region_family(name: str) -> RegionFamily:
+    """Build a named region family: ``"small9"``, ``"default20"`` or ``"large42"``.
+
+    Raises:
+        RegionError: for an unknown family name.
+    """
+    try:
+        builder = _FAMILY_BUILDERS[name]
+    except KeyError:
+        known = ", ".join(sorted(_FAMILY_BUILDERS))
+        raise RegionError(f"unknown region family {name!r}; known families: {known}") from None
+    return RegionFamily(name, builder())
+
+
+def default_region_family() -> RegionFamily:
+    """The paper's default: 20 regions, up to 40 instances per bag."""
+    return region_family("default20")
+
+
+def family_for_instance_count(instances: int) -> RegionFamily:
+    """Map the paper's instances-per-bag counts (18/40/84) to a family.
+
+    Raises:
+        RegionError: for counts other than 18, 40 and 84.
+    """
+    try:
+        return region_family(_INSTANCE_ALIASES[instances])
+    except KeyError:
+        known = ", ".join(str(k) for k in sorted(_INSTANCE_ALIASES))
+        raise RegionError(
+            f"no region family yields {instances} instances per bag; known counts: {known}"
+        ) from None
+
+
+def available_families() -> tuple[str, ...]:
+    """Names of all built-in region families."""
+    return tuple(sorted(_FAMILY_BUILDERS))

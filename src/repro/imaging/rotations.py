@@ -1,0 +1,150 @@
+"""Rotation-augmented instances (Chapter 5 future work).
+
+The thesis notes its system "is not designed to handle rotations ... One
+way to handle rotations would be to add more instances to represent
+different angles of view for each image region, although this would mean a
+significant increase in the number of instances per bag."  This module
+implements exactly that proposal: quarter-turn rotations of each region's
+smoothed matrix are appended as extra instances.
+
+Quarter turns act exactly on the ``h x h`` matrix level: the block layout is
+mirror-symmetric along both axes (see :mod:`repro.imaging.smoothing`), so a
+180-degree rotation of the smoothed matrix equals smoothing the rotated
+region; 90/270-degree turns are exact for square regions and a controlled
+approximation otherwise (the matrix is square regardless, so the rotated
+matrix represents the rotated content at the same resolution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FeatureError
+from repro.imaging.features import FeatureConfig, FeatureSet, InstanceSource
+from repro.imaging.image import GrayImage
+from repro.imaging.regions import Region
+from repro.imaging.smoothing import smooth_and_sample
+from repro.imaging.transform import normalize_feature
+
+#: Quarter-turn angles the augmenter accepts.
+ALLOWED_ANGLES = (90, 180, 270)
+
+
+@dataclass(frozen=True)
+class RotationConfig:
+    """Configuration of the rotation augmenter.
+
+    Attributes:
+        base: the underlying feature configuration (regions, resolution,
+            mirrors, variance filter).
+        angles: quarter-turn angles to append, a subset of (90, 180, 270).
+    """
+
+    base: FeatureConfig
+    angles: tuple[int, ...] = ALLOWED_ANGLES
+
+    def __post_init__(self) -> None:
+        bad = [a for a in self.angles if a not in ALLOWED_ANGLES]
+        if bad:
+            raise FeatureError(
+                f"rotation angles must be quarter turns {ALLOWED_ANGLES}, got {bad}"
+            )
+        if len(set(self.angles)) != len(self.angles):
+            raise FeatureError(f"duplicate rotation angles: {self.angles}")
+
+    @property
+    def max_instances(self) -> int:
+        """Bag-size ceiling: base orientations times (1 + len(angles))."""
+        return self.base.max_instances * (1 + len(self.angles))
+
+
+class RotationAugmentedExtractor:
+    """Feature extractor appending quarter-turn rotated instances."""
+
+    def __init__(self, config: RotationConfig):
+        self._config = config
+
+    @property
+    def config(self) -> RotationConfig:
+        """The augmenter configuration."""
+        return self._config
+
+    def extract(self, image: GrayImage) -> FeatureSet:
+        """Run the augmented pipeline on one image.
+
+        Raises:
+            FeatureError: if no region survives extraction.
+        """
+        cfg = self._config.base
+        vectors: list[np.ndarray] = []
+        sources: list[InstanceSource] = []
+        dropped: list[str] = []
+
+        for index, region in enumerate(cfg.region_family):
+            crop = region.extract(image.pixels)
+            keep_anyway = cfg.keep_full_frame and index == 0
+            if not keep_anyway and cfg.variance_threshold > 0:
+                if float(crop.var()) < cfg.variance_threshold:
+                    dropped.append(region.name or f"region-{index}")
+                    continue
+            matrix = smooth_and_sample(crop, cfg.resolution)
+            orientations = self._orientations(matrix)
+            name = region.name or f"region-{index}"
+            survived = self._append_orientations(
+                orientations, index, name, vectors, sources
+            )
+            if not survived:
+                dropped.append(name)
+
+        if not vectors:
+            raise FeatureError(
+                f"no region of image {image.image_id or '<unnamed>'} survived "
+                "rotation-augmented extraction"
+            )
+        return FeatureSet(
+            vectors=np.vstack(vectors),
+            sources=tuple(sources),
+            dropped_regions=tuple(dropped),
+        )
+
+    def _orientations(self, matrix: np.ndarray) -> list[tuple[str, np.ndarray]]:
+        """All configured orientations of one smoothed matrix."""
+        cfg = self._config
+        oriented: list[tuple[str, np.ndarray]] = [("0", matrix)]
+        if cfg.base.include_mirrors:
+            oriented.append(("mirror", matrix[:, ::-1]))
+        for angle in cfg.angles:
+            turns = angle // 90
+            oriented.append((f"rot{angle}", np.rot90(matrix, k=turns)))
+            if cfg.base.include_mirrors:
+                oriented.append(
+                    (f"rot{angle}+mirror", np.rot90(matrix, k=turns)[:, ::-1])
+                )
+        return oriented
+
+    @staticmethod
+    def _append_orientations(
+        orientations: list[tuple[str, np.ndarray]],
+        region_index: int,
+        region_name: str,
+        vectors: list[np.ndarray],
+        sources: list[InstanceSource],
+    ) -> bool:
+        appended = False
+        for label, oriented in orientations:
+            try:
+                vector = normalize_feature(oriented.reshape(-1))
+            except FeatureError:
+                continue  # constant after smoothing; skip this orientation
+            vectors.append(vector)
+            sources.append(
+                InstanceSource(
+                    region_index=region_index,
+                    region_name=f"{region_name}@{label}",
+                    mirrored="mirror" in label,
+                )
+            )
+            appended = True
+        return appended

@@ -1,0 +1,139 @@
+"""Smoothing and sampling (Section 3.1.2).
+
+The paper avoids pixel-level shift sensitivity by reducing each ``m x n``
+image (or sub-region) to a low-resolution ``h x h`` matrix: the image is
+smoothed with a ``2m/h x 2n/h`` averaging kernel and sub-sampled so that each
+entry of the result is the mean gray value of a block, with every block
+overlapping its neighbours by 50% (Figure 3-2).
+
+With a block of height ``2m/h`` and a stride of ``m/h``, ``h`` block positions
+overshoot the image border by one stride, so — as any faithful implementation
+must — we anchor the first block at the top/left edge, the last block at the
+bottom/right edge, and space the remaining blocks evenly.  For ``h`` well
+below ``m`` this reproduces the 50% overlap of the paper exactly (the stride
+works out to ``(m - 2m/h)/(h-1) ~= m/h``).
+
+Block means are computed with an integral image (summed-area table), so a
+whole region is reduced in ``O(m*n)`` regardless of ``h``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ImageFormatError
+
+
+def _block_starts(extent: int, block: int, count: int) -> np.ndarray:
+    """Return ``count`` block start offsets covering ``[0, extent - block]``.
+
+    The first block is anchored at 0, the last at ``extent - block`` and the
+    rest are spaced evenly (rounded to integer pixels).  The layout is made
+    mirror-symmetric by construction — ``starts[count-1-i] == span -
+    starts[i]`` exactly — so smoothing commutes with left-right mirroring,
+    a property the feature pipeline relies on.
+    """
+    if count == 1:
+        return np.array([0], dtype=np.int64)
+    span = extent - block
+    half = (count + 1) // 2
+    first = np.round(
+        np.arange(half, dtype=np.float64) * span / (count - 1)
+    ).astype(np.int64)
+    mirrored = (span - first)[::-1]
+    if count % 2:
+        mirrored = mirrored[1:]
+    return np.concatenate([first, mirrored])
+
+
+def block_grid(
+    rows: int, cols: int, resolution: int
+) -> tuple[np.ndarray, np.ndarray, int, int]:
+    """Compute the averaging-block layout for an image of shape (rows, cols).
+
+    Returns:
+        ``(row_starts, col_starts, block_rows, block_cols)`` where the block
+        at grid cell ``(i, j)`` covers
+        ``pixels[row_starts[i] : row_starts[i] + block_rows,
+        col_starts[j] : col_starts[j] + block_cols]``.
+
+    Raises:
+        ImageFormatError: if ``resolution`` is not positive or the image is
+            smaller than the requested grid.
+    """
+    if resolution < 1:
+        raise ImageFormatError(f"resolution must be >= 1, got {resolution}")
+    if rows < resolution or cols < resolution:
+        raise ImageFormatError(
+            f"image of shape ({rows}, {cols}) is too small for an "
+            f"{resolution}x{resolution} sampling grid"
+        )
+    # Paper kernel: 2m/h x 2n/h, clamped so a block never exceeds the image.
+    block_rows = _symmetric_block(rows, resolution)
+    block_cols = _symmetric_block(cols, resolution)
+    row_starts = _block_starts(rows, block_rows, resolution)
+    col_starts = _block_starts(cols, block_cols, resolution)
+    return row_starts, col_starts, block_rows, block_cols
+
+
+def _symmetric_block(extent: int, count: int) -> int:
+    """The paper's ~``2*extent/count`` block size, nudged for mirror symmetry.
+
+    With an odd number of blocks, the middle block start must sit exactly at
+    ``span/2``, which requires an even span ``extent - block``; when the
+    rounded kernel size leaves an odd span we shrink the block by one pixel
+    (or grow it when shrinking is impossible).
+    """
+    block = max(1, min(extent, int(round(2.0 * extent / count))))
+    if count % 2 == 1 and (extent - block) % 2 == 1:
+        if block > 1:
+            block -= 1
+        else:
+            block += 1
+    return block
+
+
+def smooth_and_sample(pixels: np.ndarray, resolution: int = 10) -> np.ndarray:
+    """Reduce a gray-scale plane to a ``resolution x resolution`` mean matrix.
+
+    Args:
+        pixels: 2-D array of gray values.
+        resolution: the ``h`` of the paper; most experiments use ``h = 10``.
+
+    Returns:
+        ``(resolution, resolution)`` float64 array of block means.
+
+    Raises:
+        ImageFormatError: on non-2-D input or an unsatisfiable grid.
+    """
+    plane = np.asarray(pixels, dtype=np.float64)
+    if plane.ndim != 2:
+        raise ImageFormatError(f"smooth_and_sample expects a 2-D array, got shape {plane.shape}")
+    rows, cols = plane.shape
+    row_starts, col_starts, block_rows, block_cols = block_grid(rows, cols, resolution)
+
+    # Summed-area table with a zero border so block sums are four lookups.
+    integral = np.zeros((rows + 1, cols + 1), dtype=np.float64)
+    np.cumsum(plane, axis=0, out=integral[1:, 1:])
+    np.cumsum(integral[1:, 1:], axis=1, out=integral[1:, 1:])
+
+    top = row_starts[:, None]
+    bottom = top + block_rows
+    left = col_starts[None, :]
+    right = left + block_cols
+    block_sums = (
+        integral[bottom, right]
+        - integral[top, right]
+        - integral[bottom, left]
+        + integral[top, left]
+    )
+    return block_sums / float(block_rows * block_cols)
+
+
+def smoothed_vector(pixels: np.ndarray, resolution: int = 10) -> np.ndarray:
+    """Reduce a plane and flatten the result to an ``h**2`` feature vector.
+
+    This is the raw (pre-normalisation) feature vector of the paper: the
+    ``h x h`` matrix treated as an ``h**2``-dimensional vector.
+    """
+    return smooth_and_sample(pixels, resolution).reshape(-1)

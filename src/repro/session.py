@@ -1,0 +1,165 @@
+"""Interactive retrieval sessions — the user-facing facade.
+
+:class:`RetrievalSession` packages the Section 3.5 workflow ("the user is
+asked to select several positive and negative examples ... the system ...
+retrieves images in the ranked order") into a small stateful API:
+
+    session = RetrievalSession(db, scheme="inequality", beta=0.5)
+    session.add_positive("waterfall-0003")
+    session.add_negative("field-0001")
+    result = session.train_and_rank()
+    for entry in result.top(10):
+        print(entry.image_id, entry.distance)
+
+``add_examples`` provides the simulated-user shortcut (seeded selection by
+category), and ``mark_false_positives`` implements the manual feedback step
+— pick bad results, add them as negatives, train again.
+"""
+
+from __future__ import annotations
+
+from repro.core.concept import LearnedConcept
+from repro.core.diverse_density import DiverseDensityTrainer, TrainerConfig, TrainingResult
+from repro.core.feedback import select_examples
+from repro.core.retrieval import RetrievalEngine, RetrievalResult
+from repro.bags.bag import BagSet
+from repro.database.store import ImageDatabase
+from repro.errors import DatabaseError, TrainingError
+
+
+class RetrievalSession:
+    """One user's query session against an image database.
+
+    Args:
+        database: the populated image database.
+        scheme: weight-control scheme name (default the paper's best
+            all-rounder, the inequality constraint).
+        beta: constraint level for the inequality scheme.
+        alpha: damping constant for the alpha-hack scheme.
+        max_iterations: per-start solver cap.
+        start_bag_subset: optional Section 4.3 speed-up.
+        seed: seed used by ``add_examples`` and the trainer.
+    """
+
+    def __init__(
+        self,
+        database: ImageDatabase,
+        scheme: str = "inequality",
+        beta: float = 0.5,
+        alpha: float = 50.0,
+        max_iterations: int = 100,
+        start_bag_subset: int | None = None,
+        seed: int = 0,
+    ):
+        self._database = database
+        self._seed = seed
+        self._trainer = DiverseDensityTrainer(
+            TrainerConfig(
+                scheme=scheme,
+                beta=beta,
+                alpha=alpha,
+                max_iterations=max_iterations,
+                start_bag_subset=start_bag_subset,
+                seed=seed,
+            )
+        )
+        self._engine = RetrievalEngine()
+        self._positive_ids: list[str] = []
+        self._negative_ids: list[str] = []
+        self._last_training: TrainingResult | None = None
+
+    # ------------------------------------------------------------------ #
+    # Example management                                                  #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def positive_ids(self) -> tuple[str, ...]:
+        """Current positive example ids."""
+        return tuple(self._positive_ids)
+
+    @property
+    def negative_ids(self) -> tuple[str, ...]:
+        """Current negative example ids."""
+        return tuple(self._negative_ids)
+
+    def add_positive(self, image_id: str) -> None:
+        """Mark one database image as a positive example."""
+        self._claim(image_id)
+        self._positive_ids.append(image_id)
+
+    def add_negative(self, image_id: str) -> None:
+        """Mark one database image as a negative example."""
+        self._claim(image_id)
+        self._negative_ids.append(image_id)
+
+    def _claim(self, image_id: str) -> None:
+        if image_id not in self._database:
+            raise DatabaseError(f"unknown image id {image_id!r}")
+        if image_id in self._positive_ids or image_id in self._negative_ids:
+            raise DatabaseError(f"image {image_id!r} is already an example")
+        self._last_training = None  # examples changed; concept is stale
+
+    def add_examples(
+        self, category: str, n_positive: int = 5, n_negative: int = 5
+    ) -> None:
+        """Simulated-user shortcut: seeded picks for/against a category."""
+        selection = select_examples(
+            self._database,
+            [i for i in self._database.image_ids if not self._is_example(i)],
+            category,
+            n_positive=n_positive,
+            n_negative=n_negative,
+            seed=self._seed,
+        )
+        self._positive_ids.extend(selection.positive_ids)
+        self._negative_ids.extend(selection.negative_ids)
+        self._last_training = None
+
+    def _is_example(self, image_id: str) -> bool:
+        return image_id in self._positive_ids or image_id in self._negative_ids
+
+    def mark_false_positives(self, image_ids: tuple[str, ...] | list[str]) -> None:
+        """Manual feedback: demote retrieved images to negative examples."""
+        for image_id in image_ids:
+            self.add_negative(image_id)
+
+    # ------------------------------------------------------------------ #
+    # Training and retrieval                                              #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def concept(self) -> LearnedConcept:
+        """The most recently learned concept.
+
+        Raises:
+            TrainingError: if no training has run since the examples changed.
+        """
+        if self._last_training is None:
+            raise TrainingError("no current concept; call train() first")
+        return self._last_training.concept
+
+    def train(self) -> TrainingResult:
+        """Train Diverse Density on the current examples."""
+        if not self._positive_ids:
+            raise TrainingError("add at least one positive example before training")
+        bag_set = BagSet()
+        for image_id in self._positive_ids:
+            bag_set.add(self._database.bag_for(image_id, label=True))
+        for image_id in self._negative_ids:
+            bag_set.add(self._database.bag_for(image_id, label=False))
+        self._last_training = self._trainer.train(bag_set)
+        return self._last_training
+
+    def rank(self, ids: tuple[str, ...] | list[str] | None = None) -> RetrievalResult:
+        """Rank database images (examples excluded) with the current concept."""
+        concept = self.concept
+        candidates = self._database.retrieval_candidates(ids)
+        examples = set(self._positive_ids) | set(self._negative_ids)
+        return self._engine.rank(concept, candidates, exclude=examples)
+
+    def train_and_rank(
+        self, ids: tuple[str, ...] | list[str] | None = None
+    ) -> RetrievalResult:
+        """Convenience: train, then rank in one call."""
+        self.train()
+        return self.rank(ids)

@@ -1,0 +1,3 @@
+"""Package version, kept in a tiny module so every layer may import it freely."""
+
+__version__ = "1.0.0"

@@ -1,0 +1,206 @@
+"""Unit tests for the multiple-instance data model (repro.bags.bag)."""
+
+import numpy as np
+import pytest
+
+from repro.bags.bag import Bag, BagSet, Instance
+from repro.errors import BagError
+
+
+class TestInstance:
+    def test_basic(self):
+        instance = Instance(vector=np.array([1.0, 2.0]), source="full")
+        assert instance.n_dims == 2
+        assert instance.source == "full"
+
+    def test_flattens_input(self):
+        instance = Instance(vector=np.zeros((2, 3)))
+        assert instance.n_dims == 6
+
+    def test_rejects_empty(self):
+        with pytest.raises(BagError):
+            Instance(vector=np.array([]))
+
+    def test_rejects_nan(self):
+        with pytest.raises(BagError):
+            Instance(vector=np.array([1.0, np.nan]))
+
+    def test_rejects_inf(self):
+        with pytest.raises(BagError):
+            Instance(vector=np.array([np.inf, 1.0]))
+
+
+class TestBag:
+    def test_basic(self):
+        bag = Bag(instances=np.zeros((3, 4)), label=True, bag_id="b")
+        assert bag.n_instances == 3
+        assert bag.n_dims == 4
+        assert bag.label is True
+        assert len(bag) == 3
+
+    def test_1d_promoted_to_single_instance(self):
+        bag = Bag(instances=np.array([1.0, 2.0, 3.0]), label=False)
+        assert bag.n_instances == 1
+        assert bag.n_dims == 3
+
+    def test_rejects_empty_matrix(self):
+        with pytest.raises(BagError):
+            Bag(instances=np.zeros((0, 4)), label=True)
+
+    def test_rejects_zero_dims(self):
+        with pytest.raises(BagError):
+            Bag(instances=np.zeros((3, 0)), label=True)
+
+    def test_rejects_nan(self):
+        data = np.zeros((2, 3))
+        data[1, 1] = np.nan
+        with pytest.raises(BagError):
+            Bag(instances=data, label=True)
+
+    def test_rejects_3d(self):
+        with pytest.raises(BagError):
+            Bag(instances=np.zeros((2, 3, 4)), label=True)
+
+    def test_sources_length_checked(self):
+        with pytest.raises(BagError):
+            Bag(instances=np.zeros((3, 2)), label=True, sources=("a", "b"))
+
+    def test_from_instances(self):
+        instances = [
+            Instance(vector=np.array([1.0, 2.0]), source="a"),
+            Instance(vector=np.array([3.0, 4.0]), source="b"),
+        ]
+        bag = Bag.from_instances(instances, label=True, bag_id="x")
+        assert bag.n_instances == 2
+        assert bag.sources == ("a", "b")
+        np.testing.assert_allclose(bag.instances[1], [3.0, 4.0])
+
+    def test_from_instances_rejects_mixed_dims(self):
+        instances = [
+            Instance(vector=np.array([1.0, 2.0])),
+            Instance(vector=np.array([3.0])),
+        ]
+        with pytest.raises(BagError):
+            Bag.from_instances(instances, label=True)
+
+    def test_from_instances_rejects_empty(self):
+        with pytest.raises(BagError):
+            Bag.from_instances([], label=True)
+
+    def test_instance_accessor(self):
+        bag = Bag(
+            instances=np.arange(6, dtype=float).reshape(2, 3),
+            label=True,
+            sources=("s0", "s1"),
+        )
+        instance = bag.instance(1)
+        assert instance.source == "s1"
+        np.testing.assert_allclose(instance.vector, [3.0, 4.0, 5.0])
+
+    def test_relabeled(self):
+        bag = Bag(instances=np.zeros((2, 2)), label=True, bag_id="b")
+        flipped = bag.relabeled(False)
+        assert flipped.label is False
+        assert flipped.bag_id == "b"
+        np.testing.assert_array_equal(flipped.instances, bag.instances)
+
+    def test_iteration_yields_rows(self):
+        data = np.arange(6, dtype=float).reshape(3, 2)
+        bag = Bag(instances=data, label=True)
+        rows = list(bag)
+        assert len(rows) == 3
+        np.testing.assert_allclose(rows[2], data[2])
+
+
+class TestBagSet:
+    def make_set(self) -> BagSet:
+        bag_set = BagSet()
+        bag_set.add(Bag(instances=np.zeros((2, 3)), label=True, bag_id="p0"))
+        bag_set.add(Bag(instances=np.ones((3, 3)), label=True, bag_id="p1"))
+        bag_set.add(Bag(instances=np.full((4, 3), 2.0), label=False, bag_id="n0"))
+        return bag_set
+
+    def test_counts(self):
+        bag_set = self.make_set()
+        assert len(bag_set) == 3
+        assert bag_set.n_positive == 2
+        assert bag_set.n_negative == 1
+        assert bag_set.n_dims == 3
+
+    def test_positive_negative_views(self):
+        bag_set = self.make_set()
+        assert [b.bag_id for b in bag_set.positive_bags] == ["p0", "p1"]
+        assert [b.bag_id for b in bag_set.negative_bags] == ["n0"]
+
+    def test_dimension_mismatch_rejected(self):
+        bag_set = self.make_set()
+        with pytest.raises(BagError):
+            bag_set.add(Bag(instances=np.zeros((2, 4)), label=True, bag_id="bad"))
+
+    def test_duplicate_id_rejected(self):
+        bag_set = self.make_set()
+        with pytest.raises(BagError):
+            bag_set.add(Bag(instances=np.zeros((2, 3)), label=False, bag_id="p0"))
+
+    def test_anonymous_bags_allowed_duplicated(self):
+        bag_set = BagSet()
+        bag_set.add(Bag(instances=np.zeros((1, 2)), label=True))
+        bag_set.add(Bag(instances=np.zeros((1, 2)), label=True))
+        assert len(bag_set) == 2
+
+    def test_empty_set_n_dims_raises(self):
+        with pytest.raises(BagError):
+            BagSet().n_dims
+
+    def test_validate_for_training(self):
+        bag_set = BagSet()
+        bag_set.add(Bag(instances=np.zeros((2, 3)), label=False, bag_id="n"))
+        with pytest.raises(BagError):
+            bag_set.validate_for_training()
+
+    def test_validate_passes_with_positive(self):
+        self.make_set().validate_for_training()
+
+    def test_stacked_positive(self):
+        bag_set = self.make_set()
+        matrix, bounds = bag_set.stacked(label=True)
+        assert matrix.shape == (5, 3)
+        np.testing.assert_array_equal(bounds, [0, 2, 5])
+        np.testing.assert_allclose(matrix[:2], 0.0)
+        np.testing.assert_allclose(matrix[2:], 1.0)
+
+    def test_stacked_negative(self):
+        matrix, bounds = self.make_set().stacked(label=False)
+        assert matrix.shape == (4, 3)
+        np.testing.assert_array_equal(bounds, [0, 4])
+
+    def test_stacked_empty_side(self):
+        bag_set = BagSet([Bag(instances=np.zeros((2, 3)), label=True, bag_id="p")])
+        matrix, bounds = bag_set.stacked(label=False)
+        assert matrix.shape == (0, 3)
+        np.testing.assert_array_equal(bounds, [0])
+
+    def test_contains_id(self):
+        bag_set = self.make_set()
+        assert bag_set.contains_id("p0")
+        assert not bag_set.contains_id("zzz")
+
+    def test_copy_is_independent(self):
+        bag_set = self.make_set()
+        clone = bag_set.copy()
+        clone.add(Bag(instances=np.zeros((1, 3)), label=False, bag_id="extra"))
+        assert len(bag_set) == 3
+        assert len(clone) == 4
+
+    def test_extend(self):
+        bag_set = BagSet()
+        bag_set.extend(
+            [
+                Bag(instances=np.zeros((1, 2)), label=True, bag_id="a"),
+                Bag(instances=np.zeros((1, 2)), label=False, bag_id="b"),
+            ]
+        )
+        assert len(bag_set) == 2
+
+    def test_repr(self):
+        assert "2 positive" in repr(self.make_set())

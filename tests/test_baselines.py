@@ -1,0 +1,153 @@
+"""Unit tests for the Maron-Ratan colour baseline and sanity rankers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.maron_ratan import ColorCorpus, single_blob_with_neighbors
+from repro.baselines.rankers import GlobalCorrelationRanker, RandomRanker
+from repro.database.store import ImageDatabase
+from repro.errors import DatabaseError, EvaluationError, FeatureError
+
+
+class TestSBN:
+    def test_shapes(self):
+        rgb = np.random.default_rng(0).uniform(size=(48, 48, 3))
+        instances = single_blob_with_neighbors(rgb, grid=6)
+        assert instances.shape == (16, 15)
+
+    def test_grid_controls_instance_count(self):
+        rgb = np.random.default_rng(1).uniform(size=(60, 60, 3))
+        assert single_blob_with_neighbors(rgb, grid=5).shape == (9, 15)
+        assert single_blob_with_neighbors(rgb, grid=8).shape == (36, 15)
+
+    def test_uniform_image_gives_zero_differences(self):
+        rgb = np.full((40, 40, 3), 0.5)
+        instances = single_blob_with_neighbors(rgb)
+        np.testing.assert_allclose(instances[:, :3], 0.5)
+        np.testing.assert_allclose(instances[:, 3:], 0.0, atol=1e-12)
+
+    def test_blob_color_is_mean(self):
+        rgb = np.zeros((60, 60, 3))
+        rgb[..., 0] = 1.0  # pure red everywhere
+        instances = single_blob_with_neighbors(rgb, grid=6)
+        np.testing.assert_allclose(instances[:, 0], 1.0)
+        np.testing.assert_allclose(instances[:, 1], 0.0)
+
+    def test_neighbor_differences_signed(self):
+        # Top half dark, bottom half bright: the up-neighbour diff of a cell
+        # on the boundary must be negative (up is darker).
+        rgb = np.zeros((60, 60, 3))
+        rgb[30:] = 1.0
+        instances = single_blob_with_neighbors(rgb, grid=6)
+        # Cell (3, j) has up-neighbour (2, j) in the dark half.
+        row_of_interest = instances.reshape(4, 4, 15)[2]  # grid row 3
+        assert np.all(row_of_interest[:, 3] <= 0.0 + 1e-9)
+
+    def test_rejects_gray(self):
+        with pytest.raises(FeatureError):
+            single_blob_with_neighbors(np.zeros((40, 40)))
+
+    def test_rejects_small_grid(self):
+        with pytest.raises(FeatureError):
+            single_blob_with_neighbors(np.zeros((40, 40, 3)), grid=2)
+
+    def test_rejects_tiny_image(self):
+        with pytest.raises(FeatureError):
+            single_blob_with_neighbors(np.zeros((4, 4, 3)), grid=6)
+
+
+class TestColorCorpus:
+    def make_db(self) -> ImageDatabase:
+        database = ImageDatabase()
+        rng = np.random.default_rng(0)
+        for index in range(3):
+            database.add_image(
+                rng.uniform(size=(48, 48, 3)), "colorful", f"c-{index}"
+            )
+        database.add_image(rng.uniform(0.1, 0.9, size=(48, 48)), "gray", "g-0")
+        return database
+
+    def test_instances_cached(self):
+        corpus = ColorCorpus(self.make_db())
+        first = corpus.instances_for("c-0")
+        second = corpus.instances_for("c-0")
+        assert first is second
+        assert first.shape == (16, 15)
+
+    def test_category_delegation(self):
+        corpus = ColorCorpus(self.make_db())
+        assert corpus.category_of("c-1") == "colorful"
+
+    def test_gray_image_rejected(self):
+        corpus = ColorCorpus(self.make_db())
+        with pytest.raises(DatabaseError):
+            corpus.instances_for("g-0")
+
+    def test_retrieval_candidates(self):
+        corpus = ColorCorpus(self.make_db())
+        candidates = corpus.retrieval_candidates(["c-0", "c-2"])
+        assert [c.image_id for c in candidates] == ["c-0", "c-2"]
+        assert candidates[0].instances.shape == (16, 15)
+
+
+class TestRandomRanker:
+    def make_db(self) -> ImageDatabase:
+        database = ImageDatabase()
+        rng = np.random.default_rng(0)
+        for index in range(6):
+            database.add_image(rng.uniform(0.1, 0.9, (16, 16)), "x", f"i-{index}")
+        return database
+
+    def test_permutation(self):
+        database = self.make_db()
+        result = RandomRanker(seed=1).rank(database, database.image_ids)
+        assert sorted(result.image_ids) == sorted(database.image_ids)
+
+    def test_seeded_determinism(self):
+        database = self.make_db()
+        a = RandomRanker(seed=3).rank(database, database.image_ids)
+        b = RandomRanker(seed=3).rank(database, database.image_ids)
+        assert a.image_ids == b.image_ids
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            RandomRanker().rank(self.make_db(), [])
+
+
+class TestGlobalCorrelationRanker:
+    def make_db(self) -> ImageDatabase:
+        database = ImageDatabase()
+        rng = np.random.default_rng(7)
+        base = rng.uniform(0.2, 0.8, size=(32, 32))
+        # Three near-copies of the template and three unrelated images.
+        for index in range(3):
+            noisy = np.clip(base + rng.normal(0, 0.02, base.shape), 0, 1)
+            database.add_image(noisy, "like", f"like-{index}")
+        for index in range(3):
+            database.add_image(
+                rng.uniform(0.2, 0.8, size=(32, 32)), "unlike", f"unlike-{index}"
+            )
+        return database
+
+    def test_similar_images_rank_first(self):
+        database = self.make_db()
+        ranker = GlobalCorrelationRanker(resolution=8)
+        result = ranker.rank(
+            database, ["like-0"], [i for i in database.image_ids if i != "like-0"]
+        )
+        assert result.ranked[0].category == "like"
+        assert result.ranked[1].category == "like"
+
+    def test_requires_positives(self):
+        database = self.make_db()
+        with pytest.raises(EvaluationError):
+            GlobalCorrelationRanker().rank(database, [], ["like-0"])
+
+    def test_requires_candidates(self):
+        database = self.make_db()
+        with pytest.raises(EvaluationError):
+            GlobalCorrelationRanker().rank(database, ["like-0"], [])
+
+    def test_invalid_resolution(self):
+        with pytest.raises(EvaluationError):
+            GlobalCorrelationRanker(resolution=1)

@@ -1,0 +1,100 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.database.persistence import load_database, save_database
+from repro.database.store import ImageDatabase
+from repro.imaging.features import FeatureConfig
+from repro.imaging.regions import region_family
+
+
+@pytest.fixture()
+def snapshot(tmp_path):
+    """A small pre-built scene snapshot on disk."""
+    from repro.datasets.loader import quick_database
+
+    config = FeatureConfig(resolution=6, region_family=region_family("small9"))
+    database = quick_database(
+        "scenes", images_per_category=6, size=(48, 48), seed=2, feature_config=config
+    )
+    return str(save_database(database, tmp_path / "scenes.npz"))
+
+
+class TestBuildDb:
+    def test_builds_and_saves(self, tmp_path, capsys):
+        out = tmp_path / "db.npz"
+        code = main(
+            [
+                "build-db", "--kind", "objects", "--per-category", "2",
+                "--size", "48", "--seed", "1", "--out", str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        database = load_database(out)
+        assert len(database) == 38
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestInfo:
+    def test_prints_categories(self, snapshot, capsys):
+        assert main(["info", "--db", snapshot]) == 0
+        output = capsys.readouterr().out
+        assert "waterfall" in output
+        assert "features:" in output
+
+    def test_missing_db_errors(self, tmp_path, capsys):
+        code = main(["info", "--db", str(tmp_path / "nope.npz")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestQuery:
+    def test_ranks_and_reports(self, snapshot, capsys):
+        code = main(
+            [
+                "query", "--db", snapshot, "--category", "sunset",
+                "--scheme", "identical", "--positives", "2", "--negatives", "2",
+                "--top", "5", "--seed", "3",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "top 5 matches" in output
+        assert "precision@5" in output
+
+    def test_unknown_category_errors(self, snapshot, capsys):
+        code = main(
+            ["query", "--db", snapshot, "--category", "spaceships",
+             "--positives", "2", "--negatives", "2"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExperiment:
+    def test_full_protocol(self, snapshot, capsys):
+        code = main(
+            [
+                "experiment", "--db", snapshot, "--category", "sunset",
+                "--scheme", "identical", "--rounds", "2",
+                "--positives", "2", "--negatives", "2",
+                "--training-fraction", "0.4", "--seed", "5",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "test AP" in output
+        assert "round" in output
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

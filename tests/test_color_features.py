@@ -1,0 +1,106 @@
+"""Unit tests for the Chapter-5 RGB feature variant."""
+
+import numpy as np
+import pytest
+
+from repro.core.diverse_density import DiverseDensityTrainer, TrainerConfig
+from repro.core.feedback import FeedbackLoop, select_examples
+from repro.errors import DatabaseError, FeatureError
+from repro.imaging.color_features import RgbFeatureExtractor, RgbRegionCorpus
+from repro.imaging.features import FeatureConfig
+from repro.imaging.regions import region_family
+
+
+def rgb_image(seed: int = 0, size: int = 48) -> np.ndarray:
+    return np.random.default_rng(seed).uniform(0.1, 0.9, size=(size, size, 3))
+
+
+def small_config() -> FeatureConfig:
+    return FeatureConfig(resolution=5, region_family=region_family("small9"))
+
+
+class TestRgbFeatureExtractor:
+    def test_tripled_dimensionality(self):
+        extractor = RgbFeatureExtractor(small_config())
+        instances = extractor.extract(rgb_image())
+        assert instances.shape == (18, 75)  # 9 regions x 2 mirrors, 3 * 25 dims
+        assert extractor.n_dims == 75
+
+    def test_channel_blocks_normalised_independently(self):
+        extractor = RgbFeatureExtractor(small_config())
+        instances = extractor.extract(rgb_image(1))
+        for block in range(3):
+            chunk = instances[0, block * 25 : (block + 1) * 25]
+            assert chunk.mean() == pytest.approx(0.0, abs=1e-10)
+            assert (chunk**2).sum() == pytest.approx(25.0, rel=1e-9)
+
+    def test_rejects_gray(self):
+        with pytest.raises(FeatureError):
+            RgbFeatureExtractor(small_config()).extract(np.zeros((32, 32)))
+
+    def test_constant_image_rejected(self):
+        with pytest.raises(FeatureError):
+            RgbFeatureExtractor(small_config()).extract(np.full((32, 32, 3), 0.5))
+
+    def test_channel_information_preserved(self):
+        # Two images identical in gray but different in colour must produce
+        # different RGB features (the whole point of the variant).
+        base = np.zeros((32, 32, 3))
+        base[:16, :, 0] = 0.9  # red top
+        base[16:, :, 1] = 0.9
+        swapped = base[..., [1, 0, 2]]
+        rng = np.random.default_rng(3)
+        base += rng.uniform(0, 0.01, base.shape)
+        swapped += rng.uniform(0, 0.01, swapped.shape)
+        extractor = RgbFeatureExtractor(small_config())
+        a = extractor.extract(np.clip(base, 0, 1))
+        b = extractor.extract(np.clip(swapped, 0, 1))
+        assert np.abs(a[0] - b[0]).max() > 0.5
+
+    def test_deterministic(self):
+        extractor = RgbFeatureExtractor(small_config())
+        np.testing.assert_array_equal(
+            extractor.extract(rgb_image(4)), extractor.extract(rgb_image(4))
+        )
+
+
+class TestRgbRegionCorpus:
+    def test_serves_bags_and_runs_feedback(self, tiny_scene_db):
+        corpus = RgbRegionCorpus(tiny_scene_db, small_config())
+        ids = tiny_scene_db.image_ids
+        instances = corpus.instances_for(ids[0])
+        assert instances.shape[1] == 75
+        assert corpus.instances_for(ids[0]) is instances  # cached
+
+        potential = [i for i in ids if int(i.split("-")[1]) < 4]
+        test = [i for i in ids if int(i.split("-")[1]) >= 4]
+        selection = select_examples(corpus, potential, "sunset", 2, 2, seed=0)
+        loop = FeedbackLoop(
+            corpus=corpus,
+            trainer=DiverseDensityTrainer(
+                TrainerConfig(scheme="identical", max_iterations=40)
+            ),
+            target_category="sunset",
+            potential_ids=potential,
+            test_ids=test,
+            rounds=2,
+            false_positives_per_round=2,
+        )
+        outcome = loop.run(selection)
+        assert len(outcome.test_ranking) > 0
+
+    def test_category_delegation(self, tiny_scene_db):
+        corpus = RgbRegionCorpus(tiny_scene_db, small_config())
+        image_id = tiny_scene_db.image_ids[0]
+        assert corpus.category_of(image_id) == tiny_scene_db.category_of(image_id)
+
+    def test_gray_only_database_rejected(self):
+        from repro.database.store import ImageDatabase
+
+        database = ImageDatabase()
+        database.add_image(
+            np.random.default_rng(0).uniform(0.1, 0.9, (32, 32)), "gray", "g-0"
+        )
+        corpus = RgbRegionCorpus(database, small_config())
+        with pytest.raises(DatabaseError):
+            corpus.instances_for("g-0")

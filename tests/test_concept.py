@@ -1,0 +1,170 @@
+"""Unit tests for LearnedConcept (repro.core.concept)."""
+
+import numpy as np
+import pytest
+
+from repro.bags.bag import Bag
+from repro.core.concept import LearnedConcept
+from repro.errors import TrainingError
+
+
+def make_concept(n_dims: int = 4) -> LearnedConcept:
+    return LearnedConcept(
+        t=np.linspace(-1, 1, n_dims),
+        w=np.ones(n_dims),
+        nll=1.5,
+        scheme="identical",
+        metadata={"n_starts": 3},
+    )
+
+
+class TestValidation:
+    def test_basic(self):
+        concept = make_concept()
+        assert concept.n_dims == 4
+        assert concept.nll == pytest.approx(1.5)
+
+    def test_mismatched_sizes_rejected(self):
+        with pytest.raises(TrainingError):
+            LearnedConcept(t=np.zeros(3), w=np.ones(4), nll=0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(TrainingError):
+            LearnedConcept(t=np.array([]), w=np.array([]), nll=0.0)
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(TrainingError):
+            LearnedConcept(t=np.zeros(2), w=np.array([1.0, -0.5]), nll=0.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(TrainingError):
+            LearnedConcept(t=np.array([np.nan, 0.0]), w=np.ones(2), nll=0.0)
+
+
+class TestScoring:
+    def test_instance_distances(self):
+        concept = LearnedConcept(
+            t=np.zeros(2), w=np.array([1.0, 2.0]), nll=0.0
+        )
+        instances = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        distances = concept.instance_distances(instances)
+        np.testing.assert_allclose(distances, [1.0, 2.0, 3.0])
+
+    def test_bag_distance_is_min(self):
+        concept = LearnedConcept(t=np.zeros(2), w=np.ones(2), nll=0.0)
+        bag = Bag(instances=np.array([[3.0, 0.0], [1.0, 0.0], [2.0, 2.0]]), label=True)
+        assert concept.bag_distance(bag) == pytest.approx(1.0)
+
+    def test_bag_distance_accepts_raw_matrix(self):
+        concept = LearnedConcept(t=np.zeros(2), w=np.ones(2), nll=0.0)
+        assert concept.bag_distance(np.array([[0.5, 0.0]])) == pytest.approx(0.25)
+
+    def test_best_instance_index(self):
+        concept = LearnedConcept(t=np.zeros(2), w=np.ones(2), nll=0.0)
+        instances = np.array([[3.0, 0.0], [0.1, 0.0], [2.0, 2.0]])
+        assert concept.best_instance(instances) == 1
+
+    def test_bag_probability_range(self):
+        concept = make_concept()
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            bag = rng.normal(size=(5, 4))
+            p = concept.bag_probability(bag)
+            assert 0.0 <= p <= 1.0
+
+    def test_bag_probability_near_one_on_concept(self):
+        concept = make_concept()
+        bag = np.vstack([concept.t, concept.t + 10.0])
+        assert concept.bag_probability(bag) > 0.99
+
+    def test_bag_probability_near_zero_far_away(self):
+        concept = make_concept()
+        bag = np.full((3, 4), 100.0)
+        assert concept.bag_probability(bag) < 1e-6
+
+    def test_dimension_mismatch_rejected(self):
+        concept = make_concept()
+        with pytest.raises(TrainingError):
+            concept.instance_distances(np.zeros((2, 5)))
+
+    def test_1d_instance_promoted(self):
+        concept = make_concept()
+        distances = concept.instance_distances(concept.t)
+        assert distances.shape == (1,)
+        assert distances[0] == pytest.approx(0.0)
+
+
+class TestWeightProfile:
+    def test_flat_weights(self):
+        concept = make_concept()
+        profile = concept.weight_profile()
+        assert profile.fraction_near_zero == pytest.approx(0.0)
+        assert profile.entropy == pytest.approx(1.0)
+        assert profile.mean == pytest.approx(1.0)
+
+    def test_spiked_weights(self):
+        w = np.zeros(100)
+        w[3] = 5.0
+        concept = LearnedConcept(t=np.zeros(100), w=w, nll=0.0)
+        profile = concept.weight_profile()
+        assert profile.fraction_near_zero == pytest.approx(0.99)
+        assert profile.entropy == pytest.approx(0.0)
+        assert profile.max == pytest.approx(5.0)
+
+    def test_all_zero_weights(self):
+        concept = LearnedConcept(t=np.zeros(4), w=np.zeros(4), nll=0.0)
+        profile = concept.weight_profile()
+        assert profile.fraction_near_zero == pytest.approx(1.0)
+        assert profile.total == pytest.approx(0.0)
+
+    def test_entropy_monotone_in_concentration(self):
+        even = LearnedConcept(t=np.zeros(4), w=np.ones(4), nll=0.0)
+        skewed = LearnedConcept(
+            t=np.zeros(4), w=np.array([10.0, 0.1, 0.1, 0.1]), nll=0.0
+        )
+        assert even.weight_profile().entropy > skewed.weight_profile().entropy
+
+
+class TestMatrices:
+    def test_square_reshape(self):
+        concept = LearnedConcept(t=np.arange(9.0), w=np.ones(9), nll=0.0)
+        t_matrix, w_matrix = concept.as_matrices()
+        assert t_matrix.shape == (3, 3)
+        assert w_matrix.shape == (3, 3)
+        assert t_matrix[1, 2] == pytest.approx(5.0)
+
+    def test_explicit_resolution(self):
+        concept = LearnedConcept(t=np.arange(9.0), w=np.ones(9), nll=0.0)
+        t_matrix, _ = concept.as_matrices(3)
+        assert t_matrix.shape == (3, 3)
+
+    def test_non_square_rejected(self):
+        concept = LearnedConcept(t=np.arange(8.0), w=np.ones(8), nll=0.0)
+        with pytest.raises(TrainingError):
+            concept.as_matrices()
+
+    def test_wrong_resolution_rejected(self):
+        concept = LearnedConcept(t=np.arange(9.0), w=np.ones(9), nll=0.0)
+        with pytest.raises(TrainingError):
+            concept.as_matrices(4)
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        concept = make_concept()
+        restored = LearnedConcept.from_dict(concept.to_dict())
+        np.testing.assert_allclose(restored.t, concept.t)
+        np.testing.assert_allclose(restored.w, concept.w)
+        assert restored.nll == pytest.approx(concept.nll)
+        assert restored.scheme == concept.scheme
+        assert restored.metadata == concept.metadata
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(TrainingError):
+            LearnedConcept.from_dict({"t": [1.0], "w": [1.0]})
+
+    def test_dict_is_json_compatible(self):
+        import json
+
+        payload = make_concept().to_dict()
+        assert json.loads(json.dumps(payload)) == payload

@@ -1,0 +1,182 @@
+"""Unit tests for plain and weighted correlation (Sections 3.1.1, 3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FeatureError
+from repro.imaging.correlation import (
+    correlation_coefficient,
+    correlation_matrix,
+    image_correlation,
+    weighted_correlation,
+)
+
+
+class TestCorrelationCoefficient:
+    def test_self_correlation_is_one(self):
+        signal = np.random.default_rng(0).normal(size=50)
+        assert correlation_coefficient(signal, signal) == pytest.approx(1.0)
+
+    def test_affine_image_is_one(self):
+        signal = np.random.default_rng(1).normal(size=50)
+        assert correlation_coefficient(signal, 3 * signal + 2) == pytest.approx(1.0)
+
+    def test_negated_is_minus_one(self):
+        signal = np.random.default_rng(2).normal(size=50)
+        assert correlation_coefficient(signal, -signal) == pytest.approx(-1.0)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(3)
+        a, b = rng.normal(size=30), rng.normal(size=30)
+        assert correlation_coefficient(a, b) == pytest.approx(correlation_coefficient(b, a))
+
+    def test_bounded(self):
+        rng = np.random.default_rng(4)
+        for _ in range(20):
+            a, b = rng.normal(size=15), rng.normal(size=15)
+            assert -1.0 <= correlation_coefficient(a, b) <= 1.0
+
+    def test_matches_numpy_corrcoef(self):
+        rng = np.random.default_rng(5)
+        a, b = rng.normal(size=40), rng.normal(size=40)
+        expected = np.corrcoef(a, b)[0, 1]
+        assert correlation_coefficient(a, b) == pytest.approx(expected)
+
+    def test_2d_inputs_flattened(self):
+        rng = np.random.default_rng(6)
+        a = rng.normal(size=(5, 8))
+        b = rng.normal(size=(5, 8))
+        assert correlation_coefficient(a, b) == pytest.approx(
+            correlation_coefficient(a.reshape(-1), b.reshape(-1))
+        )
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(FeatureError):
+            correlation_coefficient(np.zeros(5), np.zeros(6))
+
+    def test_constant_signal_raises(self):
+        with pytest.raises(FeatureError):
+            correlation_coefficient(np.full(10, 2.0), np.arange(10.0))
+
+    def test_too_short_raises(self):
+        with pytest.raises(FeatureError):
+            correlation_coefficient(np.array([1.0]), np.array([2.0]))
+
+    def test_invariant_to_shift_and_scale(self):
+        rng = np.random.default_rng(7)
+        a, b = rng.normal(size=25), rng.normal(size=25)
+        base = correlation_coefficient(a, b)
+        assert correlation_coefficient(5 * a - 3, b) == pytest.approx(base)
+        assert correlation_coefficient(a, 0.1 * b + 9) == pytest.approx(base)
+
+
+class TestWeightedCorrelation:
+    def test_unit_weights_match_plain(self):
+        rng = np.random.default_rng(8)
+        a, b = rng.normal(size=30), rng.normal(size=30)
+        weighted = weighted_correlation(a, b, np.ones(30))
+        assert weighted == pytest.approx(correlation_coefficient(a, b))
+
+    def test_scaling_weights_does_not_change_value(self):
+        rng = np.random.default_rng(9)
+        a, b = rng.normal(size=30), rng.normal(size=30)
+        w = rng.uniform(0.1, 2.0, size=30)
+        assert weighted_correlation(a, b, w) == pytest.approx(
+            weighted_correlation(a, b, 7.5 * w)
+        )
+
+    def test_self_correlation_is_one_for_any_weights(self):
+        rng = np.random.default_rng(10)
+        a = rng.normal(size=30)
+        w = rng.uniform(0.1, 2.0, size=30)
+        assert weighted_correlation(a, a, w) == pytest.approx(1.0)
+
+    def test_zero_weight_dimensions_ignored(self):
+        # The paper's definition keeps *unweighted* means, so masked dims
+        # still shift the mean; keep both vectors' means fixed while
+        # perturbing masked dims to verify the correlation is untouched.
+        rng = np.random.default_rng(11)
+        a = rng.normal(size=20)
+        b = rng.normal(size=20)
+        w = np.ones(20)
+        w[10:12] = 0.0
+        before = weighted_correlation(a, b, w)
+        b2 = b.copy()
+        b2[10] += 0.7  # mean-preserving perturbation inside the masked dims
+        b2[11] -= 0.7
+        assert weighted_correlation(a, b2, w) == pytest.approx(before)
+
+    def test_bounded(self):
+        rng = np.random.default_rng(12)
+        for _ in range(10):
+            a, b = rng.normal(size=15), rng.normal(size=15)
+            w = rng.uniform(0, 3, size=15)
+            w[0] = 1.0  # keep at least one positive weight
+            assert -1.0 <= weighted_correlation(a, b, w) <= 1.0
+
+    def test_negative_weights_raise(self):
+        with pytest.raises(FeatureError):
+            weighted_correlation(np.arange(5.0), np.arange(5.0), np.array([1, 1, -1, 1, 1.0]))
+
+    def test_all_zero_weights_raise(self):
+        with pytest.raises(FeatureError):
+            weighted_correlation(np.arange(5.0), np.arange(5.0), np.zeros(5))
+
+    def test_weight_size_mismatch_raises(self):
+        with pytest.raises(FeatureError):
+            weighted_correlation(np.arange(5.0), np.arange(5.0), np.ones(4))
+
+    def test_weighted_constant_raises(self):
+        # Weighted variance is sum w_k (a_k - mean)^2 with the unweighted
+        # mean, so it vanishes when every *weighted* entry equals the mean.
+        a = np.array([3.0, 3.0, 0.0, 6.0])  # mean 3; weighted dims sit on it
+        b = np.arange(4.0)
+        w = np.array([1.0, 1.0, 0.0, 0.0])
+        with pytest.raises(FeatureError):
+            weighted_correlation(a, b, w)
+
+
+class TestImageCorrelation:
+    def test_equal_shapes_no_resolution(self):
+        rng = np.random.default_rng(13)
+        a = rng.uniform(size=(20, 20))
+        assert image_correlation(a, a) == pytest.approx(1.0)
+
+    def test_resolution_allows_different_sizes(self):
+        rng = np.random.default_rng(14)
+        a = rng.uniform(size=(40, 40))
+        b = rng.uniform(size=(60, 80))
+        value = image_correlation(a, b, resolution=8)
+        assert -1.0 <= value <= 1.0
+
+    def test_different_sizes_without_resolution_raise(self):
+        with pytest.raises(FeatureError):
+            image_correlation(np.random.rand(10, 10), np.random.rand(12, 12))
+
+
+class TestCorrelationMatrix:
+    def test_diagonal_is_one(self):
+        data = np.random.default_rng(15).normal(size=(6, 12))
+        matrix = correlation_matrix(data)
+        np.testing.assert_allclose(np.diag(matrix), 1.0)
+
+    def test_symmetric(self):
+        data = np.random.default_rng(16).normal(size=(5, 9))
+        matrix = correlation_matrix(data)
+        np.testing.assert_allclose(matrix, matrix.T)
+
+    def test_matches_pairwise(self):
+        data = np.random.default_rng(17).normal(size=(4, 20))
+        matrix = correlation_matrix(data)
+        expected = correlation_coefficient(data[1], data[3])
+        assert matrix[1, 3] == pytest.approx(expected)
+
+    def test_rejects_1d(self):
+        with pytest.raises(FeatureError):
+            correlation_matrix(np.zeros(5))
+
+    def test_rejects_constant_row(self):
+        data = np.random.default_rng(18).normal(size=(3, 10))
+        data[1] = 4.2
+        with pytest.raises(FeatureError):
+            correlation_matrix(data)

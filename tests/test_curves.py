@@ -1,0 +1,113 @@
+"""Unit tests for recall and precision-recall curves."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.curves import PrecisionRecallCurve, RecallCurve, curves_from_relevance
+
+GOOD = np.array([True] * 6 + [False, True] * 3 + [False] * 8)
+RANDOMISH = np.array([True, False, False, True, False] * 4)
+
+
+class TestRecallCurve:
+    def test_points_shape(self):
+        curve = RecallCurve(GOOD)
+        xs, ys = curve.points
+        assert xs.size == ys.size == GOOD.size
+        assert xs[0] == 1
+
+    def test_monotone(self):
+        _, ys = RecallCurve(GOOD).points
+        assert np.all(np.diff(ys) >= 0)
+
+    def test_recall_after(self):
+        curve = RecallCurve(GOOD)
+        assert curve.recall_after(6) == pytest.approx(6 / 9)
+        with pytest.raises(EvaluationError):
+            curve.recall_after(0)
+
+    def test_area_perfect_vs_worst(self):
+        perfect = RecallCurve(np.array([True] * 3 + [False] * 7))
+        worst = RecallCurve(np.array([False] * 7 + [True] * 3))
+        assert perfect.area() > worst.area()
+
+    def test_convexity_gain_sign(self):
+        perfect = RecallCurve(np.array([True] * 3 + [False] * 7))
+        worst = RecallCurve(np.array([False] * 7 + [True] * 3))
+        assert perfect.convexity_gain() > 0
+        assert worst.convexity_gain() < 0
+
+    def test_external_n_relevant(self):
+        curve = RecallCurve(np.array([True, True]), n_relevant=8)
+        assert curve.n_relevant == 8
+        assert curve.recall_after(2) == pytest.approx(0.25)
+
+    def test_n_retrieved(self):
+        assert RecallCurve(GOOD).n_retrieved == GOOD.size
+
+
+class TestPrecisionRecallCurve:
+    def test_points_parallel(self):
+        recalls, precisions = PrecisionRecallCurve(GOOD).points
+        assert recalls.size == precisions.size == GOOD.size
+
+    def test_precision_at_recall(self):
+        curve = PrecisionRecallCurve(np.array([True] * 5 + [False] * 5))
+        assert curve.precision_at_recall(0.5) == pytest.approx(1.0)
+        assert curve.precision_at_recall(1.0) == pytest.approx(1.0)
+
+    def test_precision_at_unreachable_recall(self):
+        curve = PrecisionRecallCurve(np.array([True, False]), n_relevant=5)
+        assert curve.precision_at_recall(0.9) == pytest.approx(0.0)
+
+    def test_invalid_recall_rejected(self):
+        with pytest.raises(EvaluationError):
+            PrecisionRecallCurve(GOOD).precision_at_recall(1.5)
+
+    def test_sampled_default_grid(self):
+        grid, values = PrecisionRecallCurve(GOOD).sampled()
+        assert grid.size == 20
+        assert values.size == 20
+        assert np.all((values >= 0) & (values <= 1))
+
+    def test_sampled_custom_grid(self):
+        grid, values = PrecisionRecallCurve(GOOD).sampled(np.array([0.1, 0.9]))
+        assert grid.size == 2
+
+    def test_average_precision_consistent_with_metric(self):
+        from repro.eval.metrics import average_precision
+
+        curve = PrecisionRecallCurve(GOOD)
+        assert curve.average_precision() == pytest.approx(average_precision(GOOD))
+
+    def test_band_precision_consistent_with_metric(self):
+        from repro.eval.metrics import precision_in_recall_band
+
+        curve = PrecisionRecallCurve(GOOD)
+        assert curve.band_precision() == pytest.approx(
+            precision_in_recall_band(GOOD, 0.3, 0.4)
+        )
+
+    def test_summary_fields(self):
+        summary = PrecisionRecallCurve(GOOD).summary()
+        assert 0.0 <= summary.average_precision <= 1.0
+        assert 0.0 <= summary.band_precision <= 1.0
+        assert 0.0 <= summary.recall_at_quarter <= 1.0
+        assert summary.final_recall == pytest.approx(1.0)
+
+    def test_misleading_curve_shape(self):
+        # The Figure 4-7 pattern: first image wrong, then a run of correct
+        # ones. Precision at low recall is penalised, then recovers.
+        relevance = np.array([False] + [True] * 7 + [False] * 12)
+        curve = PrecisionRecallCurve(relevance)
+        recalls, precisions = curve.points
+        assert precisions[0] == pytest.approx(0.0)
+        assert precisions[7] == pytest.approx(7 / 8)
+
+
+class TestCurvesFromRelevance:
+    def test_returns_both(self):
+        recall_curve, pr_curve = curves_from_relevance(GOOD)
+        assert isinstance(recall_curve, RecallCurve)
+        assert isinstance(pr_curve, PrecisionRecallCurve)

@@ -1,0 +1,244 @@
+"""Unit tests for the synthetic datasets (canvas, scenes, objects, signals)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import Canvas, category_rng, jitter, jitter_color
+from repro.datasets.loader import (
+    build_object_database,
+    build_scene_database,
+    quick_database,
+)
+from repro.datasets.objects import OBJECT_CATEGORIES, render_object
+from repro.datasets.scenes import SCENE_CATEGORIES, render_scene
+from repro.datasets.signals import (
+    inversely_correlated_pair,
+    perfectly_correlated_pair,
+    uncorrelated_pair,
+)
+from repro.errors import DatasetError
+from repro.imaging.correlation import correlation_coefficient
+
+
+class TestCanvas:
+    def test_background_fill(self):
+        canvas = Canvas(16, 16, background=(0.2, 0.4, 0.6))
+        np.testing.assert_allclose(canvas.rgb[0, 0], [0.2, 0.4, 0.6])
+
+    def test_rect_paints_inside_only(self):
+        canvas = Canvas(20, 20, background=(0, 0, 0))
+        canvas.rect(0.25, 0.25, 0.75, 0.75, (1, 1, 1))
+        assert canvas.rgb[10, 10, 0] == pytest.approx(1.0)
+        assert canvas.rgb[0, 0, 0] == pytest.approx(0.0)
+
+    def test_disc_centre_painted(self):
+        canvas = Canvas(20, 20, background=(0, 0, 0))
+        canvas.disc(0.5, 0.5, 0.2, (1, 0, 0))
+        assert canvas.rgb[10, 10, 0] == pytest.approx(1.0)
+        assert canvas.rgb[0, 0, 0] == pytest.approx(0.0)
+
+    def test_triangle_contains_centroid(self):
+        canvas = Canvas(30, 30, background=(0, 0, 0))
+        canvas.triangle((0.1, 0.5), (0.9, 0.1), (0.9, 0.9), (0, 1, 0))
+        assert canvas.rgb[18, 15, 1] == pytest.approx(1.0)
+
+    def test_line_connects_endpoints(self):
+        canvas = Canvas(20, 20, background=(0, 0, 0))
+        canvas.line((0.5, 0.1), (0.5, 0.9), 0.1, (1, 1, 1))
+        assert canvas.rgb[10, 10, 0] == pytest.approx(1.0)
+
+    def test_alpha_blending(self):
+        canvas = Canvas(10, 10, background=(0, 0, 0))
+        canvas.rect(0, 0, 1, 1, (1, 1, 1), alpha=0.5)
+        np.testing.assert_allclose(canvas.rgb[5, 5], 0.5)
+
+    def test_vertical_gradient_monotone(self):
+        canvas = Canvas(30, 10)
+        canvas.vertical_gradient((0, 0, 0), (1, 1, 1), 0.0, 1.0)
+        column = canvas.rgb[:, 5, 0]
+        assert np.all(np.diff(column) >= -1e-9)
+        assert column[0] < column[-1]
+
+    def test_noise_changes_pixels_reproducibly(self):
+        a = Canvas(16, 16)
+        b = Canvas(16, 16)
+        a.add_noise(np.random.default_rng(5), 0.05)
+        b.add_noise(np.random.default_rng(5), 0.05)
+        np.testing.assert_array_equal(a.rgb, b.rgb)
+
+    def test_noise_zero_sigma_noop(self):
+        canvas = Canvas(16, 16)
+        before = canvas.rgb.copy()
+        canvas.add_noise(np.random.default_rng(0), 0.0)
+        np.testing.assert_array_equal(canvas.rgb, before)
+
+    def test_values_stay_in_range(self):
+        canvas = Canvas(16, 16, background=(0.95, 0.95, 0.95))
+        canvas.add_noise(np.random.default_rng(1), 0.5)
+        canvas.add_value_texture(np.random.default_rng(2), 4, 0.5)
+        assert canvas.rgb.min() >= 0.0
+        assert canvas.rgb.max() <= 1.0
+
+    def test_smooth_reduces_variance(self):
+        canvas = Canvas(32, 32)
+        canvas.add_noise(np.random.default_rng(3), 0.2)
+        before = canvas.rgb.var()
+        canvas.smooth(2)
+        assert canvas.rgb.var() < before
+
+    def test_too_small_canvas_rejected(self):
+        with pytest.raises(DatasetError):
+            Canvas(4, 4)
+
+    def test_invalid_gradient_band(self):
+        with pytest.raises(DatasetError):
+            Canvas(16, 16).vertical_gradient((0, 0, 0), (1, 1, 1), 0.8, 0.2)
+
+    def test_invalid_ellipse(self):
+        with pytest.raises(DatasetError):
+            Canvas(16, 16).ellipse(0.5, 0.5, 0.0, 0.1, (1, 1, 1))
+
+
+class TestHelpers:
+    def test_jitter_within_bounds(self):
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            value = jitter(rng, 0.5, 0.1)
+            assert 0.4 <= value <= 0.6
+
+    def test_jitter_color_in_unit_range(self):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            color = jitter_color(rng, (0.0, 0.5, 1.0), 0.3)
+            assert all(0.0 <= c <= 1.0 for c in color)
+
+    def test_category_rng_deterministic(self):
+        a = category_rng(1, "waterfall", 3).uniform(size=4)
+        b = category_rng(1, "waterfall", 3).uniform(size=4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_category_rng_varies_with_inputs(self):
+        base = category_rng(1, "waterfall", 3).uniform()
+        assert category_rng(2, "waterfall", 3).uniform() != base
+        assert category_rng(1, "sunset", 3).uniform() != base
+        assert category_rng(1, "waterfall", 4).uniform() != base
+
+
+class TestSceneRenderers:
+    @pytest.mark.parametrize("category", SCENE_CATEGORIES)
+    def test_renders_valid_rgb(self, category):
+        rng = category_rng(0, category, 0)
+        image = render_scene(category, rng, (48, 48))
+        assert image.shape == (48, 48, 3)
+        assert image.min() >= 0.0 and image.max() <= 1.0
+
+    @pytest.mark.parametrize("category", SCENE_CATEGORIES)
+    def test_not_constant(self, category):
+        rng = category_rng(0, category, 1)
+        image = render_scene(category, rng, (48, 48))
+        assert image.var() > 1e-4
+
+    def test_deterministic(self):
+        a = render_scene("waterfall", category_rng(3, "waterfall", 2), (48, 48))
+        b = render_scene("waterfall", category_rng(3, "waterfall", 2), (48, 48))
+        np.testing.assert_array_equal(a, b)
+
+    def test_instances_vary(self):
+        a = render_scene("waterfall", category_rng(3, "waterfall", 0), (48, 48))
+        b = render_scene("waterfall", category_rng(3, "waterfall", 1), (48, 48))
+        assert np.abs(a - b).max() > 0.05
+
+    def test_unknown_category(self):
+        with pytest.raises(DatasetError):
+            render_scene("desert", np.random.default_rng(0))
+
+
+class TestObjectRenderers:
+    @pytest.mark.parametrize("category", OBJECT_CATEGORIES)
+    def test_renders_valid_rgb(self, category):
+        rng = category_rng(0, category, 0)
+        image = render_object(category, rng, (48, 48))
+        assert image.shape == (48, 48, 3)
+        assert image.min() >= 0.0 and image.max() <= 1.0
+        assert image.var() > 1e-4  # the object breaks the uniform background
+
+    def test_uniform_background_property(self):
+        # Corners should be close to the background shade (objects centred).
+        image = render_object("camera", category_rng(0, "camera", 0), (64, 64))
+        corner = image[:6, :6].mean()
+        assert corner > 0.75  # light background
+
+    def test_nineteen_categories(self):
+        assert len(OBJECT_CATEGORIES) == 19
+
+    def test_unknown_category(self):
+        with pytest.raises(DatasetError):
+            render_object("spaceship", np.random.default_rng(0))
+
+
+class TestSignals:
+    def test_perfect_pair(self):
+        a, b = perfectly_correlated_pair(0)
+        assert correlation_coefficient(a, b) == pytest.approx(1.0)
+
+    def test_uncorrelated_pair(self):
+        a, b = uncorrelated_pair(0)
+        assert correlation_coefficient(a, b) == pytest.approx(0.0, abs=1e-9)
+
+    def test_inverse_pair(self):
+        a, b = inversely_correlated_pair(0)
+        assert correlation_coefficient(a, b) == pytest.approx(-1.0)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(DatasetError):
+            perfectly_correlated_pair(0, n_samples=2)
+
+
+class TestLoaders:
+    def test_scene_database_shape(self):
+        database = build_scene_database(images_per_category=2, size=(48, 48))
+        assert len(database) == 10
+        assert set(database.categories()) == set(SCENE_CATEGORIES)
+
+    def test_object_database_shape(self):
+        database = build_object_database(images_per_category=2, size=(48, 48))
+        assert len(database) == 38
+
+    def test_paper_sizes_default(self):
+        # Don't build them (slow); check the documented defaults.
+        import inspect
+
+        assert inspect.signature(build_scene_database).parameters[
+            "images_per_category"
+        ].default == 100
+        assert inspect.signature(build_object_database).parameters[
+            "images_per_category"
+        ].default == 12
+
+    def test_category_subset(self):
+        database = build_scene_database(
+            images_per_category=2, size=(48, 48), categories=("waterfall",)
+        )
+        assert database.categories() == ("waterfall",)
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(DatasetError):
+            build_scene_database(images_per_category=2, categories=("desert",))
+
+    def test_quick_database_kinds(self):
+        scenes = quick_database("scenes", images_per_category=2, size=(48, 48))
+        objects = quick_database("objects", images_per_category=2, size=(48, 48))
+        assert len(scenes) == 10
+        assert len(objects) == 38
+        with pytest.raises(DatasetError):
+            quick_database("videos")
+
+    def test_ids_are_stable(self):
+        database = build_scene_database(images_per_category=2, size=(48, 48))
+        assert "waterfall-0000" in database
+        assert "sunset-0001" in database
+
+    def test_rgb_preserved_for_baseline(self):
+        database = build_scene_database(images_per_category=1, size=(48, 48))
+        record = database.record("waterfall-0000")
+        assert record.image.rgb is not None

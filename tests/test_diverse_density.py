@@ -1,0 +1,147 @@
+"""Unit tests for the multi-restart trainer (repro.core.diverse_density)."""
+
+import numpy as np
+import pytest
+
+from repro.bags.bag import Bag, BagSet
+from repro.core.diverse_density import DiverseDensityTrainer, TrainerConfig
+from repro.core.schemes import IdenticalWeightsScheme
+from repro.errors import BagError, TrainingError
+from tests.conftest import make_planted_bag_set
+
+
+class TestTrainerConfig:
+    def test_defaults(self):
+        config = TrainerConfig()
+        assert config.scheme == "inequality"
+        assert config.start_bag_subset is None
+        assert config.start_instance_stride == 1
+
+    def test_invalid_subset(self):
+        with pytest.raises(TrainingError):
+            TrainerConfig(start_bag_subset=0)
+
+    def test_invalid_stride(self):
+        with pytest.raises(TrainingError):
+            TrainerConfig(start_instance_stride=0)
+
+    def test_resolve_named_scheme(self):
+        scheme = TrainerConfig(scheme="identical").resolve_scheme()
+        assert scheme.name == "identical"
+
+    def test_resolve_scheme_object_passthrough(self):
+        scheme = IdenticalWeightsScheme()
+        assert TrainerConfig(scheme=scheme).resolve_scheme() is scheme
+
+
+class TestTraining:
+    def test_recovers_planted_concept(self):
+        bag_set, concept = make_planted_bag_set(n_dims=4, seed=11)
+        trainer = DiverseDensityTrainer(
+            TrainerConfig(scheme="identical", max_iterations=150)
+        )
+        result = trainer.train(bag_set)
+        assert np.linalg.norm(result.concept.t - concept) < 0.5
+
+    def test_start_count_all_bags(self):
+        bag_set, _ = make_planted_bag_set(
+            n_positive=3, instances_per_bag=4, seed=12
+        )
+        trainer = DiverseDensityTrainer(TrainerConfig(scheme="identical"))
+        result = trainer.train(bag_set)
+        assert result.n_starts == 3 * 4
+
+    def test_subset_reduces_starts(self):
+        bag_set, _ = make_planted_bag_set(
+            n_positive=5, instances_per_bag=4, seed=13
+        )
+        trainer = DiverseDensityTrainer(
+            TrainerConfig(scheme="identical", start_bag_subset=2, seed=3)
+        )
+        result = trainer.train(bag_set)
+        assert result.n_starts == 2 * 4
+        start_bags = {record.bag_id for record in result.starts}
+        assert len(start_bags) == 2
+
+    def test_stride_reduces_starts(self):
+        bag_set, _ = make_planted_bag_set(
+            n_positive=2, instances_per_bag=6, seed=14
+        )
+        trainer = DiverseDensityTrainer(
+            TrainerConfig(scheme="identical", start_instance_stride=3)
+        )
+        result = trainer.train(bag_set)
+        assert result.n_starts == 2 * 2
+
+    def test_subset_seed_deterministic(self):
+        bag_set, _ = make_planted_bag_set(n_positive=5, seed=15)
+        config = TrainerConfig(scheme="identical", start_bag_subset=2, seed=9)
+        first = DiverseDensityTrainer(config).train(bag_set)
+        second = DiverseDensityTrainer(config).train(bag_set)
+        assert [r.bag_id for r in first.starts] == [r.bag_id for r in second.starts]
+
+    def test_subset_larger_than_bags_uses_all(self):
+        bag_set, _ = make_planted_bag_set(n_positive=2, instances_per_bag=3, seed=16)
+        trainer = DiverseDensityTrainer(
+            TrainerConfig(scheme="identical", start_bag_subset=10)
+        )
+        assert trainer.train(bag_set).n_starts == 6
+
+    def test_best_start_matches_concept_nll(self):
+        bag_set, _ = make_planted_bag_set(seed=17)
+        result = DiverseDensityTrainer(TrainerConfig(scheme="identical")).train(bag_set)
+        assert result.best_start.value == pytest.approx(result.concept.nll)
+
+    def test_no_positive_bags_raises(self):
+        bag_set = BagSet([Bag(instances=np.zeros((2, 3)), label=False, bag_id="n")])
+        trainer = DiverseDensityTrainer(TrainerConfig(scheme="identical"))
+        with pytest.raises(BagError):
+            trainer.train(bag_set)
+
+    def test_metadata_recorded(self):
+        bag_set, _ = make_planted_bag_set(seed=18)
+        result = DiverseDensityTrainer(TrainerConfig(scheme="identical")).train(bag_set)
+        metadata = result.concept.metadata
+        assert metadata["n_positive_bags"] == bag_set.n_positive
+        assert metadata["n_negative_bags"] == bag_set.n_negative
+        assert metadata["n_starts"] == result.n_starts
+        assert result.elapsed_seconds > 0
+
+    def test_scheme_name_recorded(self):
+        bag_set, _ = make_planted_bag_set(seed=19)
+        result = DiverseDensityTrainer(
+            TrainerConfig(scheme="inequality", beta=0.5, max_iterations=30)
+        ).train(bag_set)
+        assert "inequality" in result.concept.scheme
+
+    def test_deterministic_training(self):
+        bag_set, _ = make_planted_bag_set(seed=20)
+        config = TrainerConfig(scheme="identical", max_iterations=60)
+        first = DiverseDensityTrainer(config).train(bag_set)
+        second = DiverseDensityTrainer(config).train(bag_set)
+        np.testing.assert_allclose(first.concept.t, second.concept.t)
+        assert first.concept.nll == pytest.approx(second.concept.nll)
+
+    def test_more_starts_never_worse(self):
+        # The full restart set must achieve an NLL at least as good as any
+        # subset (it is a superset of candidate optima).
+        bag_set, _ = make_planted_bag_set(n_positive=4, seed=21)
+        full = DiverseDensityTrainer(
+            TrainerConfig(scheme="identical", max_iterations=120)
+        ).train(bag_set)
+        subset = DiverseDensityTrainer(
+            TrainerConfig(
+                scheme="identical", max_iterations=120, start_bag_subset=1, seed=0
+            )
+        ).train(bag_set)
+        assert full.concept.nll <= subset.concept.nll + 1e-6
+
+    def test_empty_training_result_best_start_raises(self):
+        from repro.core.diverse_density import TrainingResult
+        from repro.core.concept import LearnedConcept
+
+        result = TrainingResult(
+            concept=LearnedConcept(t=np.zeros(2), w=np.ones(2), nll=0.0)
+        )
+        with pytest.raises(TrainingError):
+            result.best_start

@@ -1,0 +1,46 @@
+"""The exception hierarchy: everything derives from ReproError as documented."""
+
+import pytest
+
+from repro import errors
+
+
+@pytest.mark.parametrize(
+    "exc_type",
+    [
+        errors.ImageFormatError,
+        errors.RegionError,
+        errors.FeatureError,
+        errors.BagError,
+        errors.TrainingError,
+        errors.OptimizationError,
+        errors.DatabaseError,
+        errors.SplitError,
+        errors.EvaluationError,
+        errors.DatasetError,
+    ],
+)
+def test_all_errors_derive_from_repro_error(exc_type):
+    assert issubclass(exc_type, errors.ReproError)
+
+
+def test_optimization_error_is_a_training_error():
+    assert issubclass(errors.OptimizationError, errors.TrainingError)
+
+
+def test_split_error_is_a_database_error():
+    assert issubclass(errors.SplitError, errors.DatabaseError)
+
+
+def test_repro_error_is_an_exception():
+    assert issubclass(errors.ReproError, Exception)
+
+
+def test_errors_carry_messages():
+    exc = errors.BagError("bad bag")
+    assert "bad bag" in str(exc)
+
+
+def test_catching_base_class_catches_leaf():
+    with pytest.raises(errors.ReproError):
+        raise errors.SplitError("nope")

@@ -1,0 +1,109 @@
+"""Unit tests for the Section 4.1 experiment runner (small scale)."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.experiment import (
+    ExperimentConfig,
+    RetrievalExperiment,
+    run_comparison,
+)
+
+
+def small_config(**overrides) -> ExperimentConfig:
+    base = dict(
+        target_category="waterfall",
+        scheme="identical",
+        n_positive=2,
+        n_negative=2,
+        rounds=2,
+        false_positives_per_round=2,
+        training_fraction=0.4,
+        max_iterations=40,
+        seed=6,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+class TestConfig:
+    def test_with_overrides(self):
+        config = small_config()
+        changed = config.with_overrides(scheme="original", beta=0.25)
+        assert changed.scheme == "original"
+        assert changed.beta == pytest.approx(0.25)
+        assert changed.target_category == config.target_category
+
+    def test_unknown_category_rejected(self, tiny_scene_db):
+        with pytest.raises(EvaluationError):
+            RetrievalExperiment(tiny_scene_db, small_config(target_category="cars"))
+
+
+class TestRun:
+    def test_end_to_end(self, tiny_scene_db):
+        result = RetrievalExperiment(tiny_scene_db, small_config()).run()
+        assert result.relevance.size == result.recall_curve.n_retrieved
+        assert 0.0 <= result.average_precision <= 1.0
+        assert result.n_relevant > 0
+        assert result.elapsed_seconds > 0
+        assert len(result.outcome.rounds) == 2
+
+    def test_relevance_counts_consistent(self, tiny_scene_db):
+        result = RetrievalExperiment(tiny_scene_db, small_config()).run()
+        # Hits in the ranking can be fewer than test-set relevants only if
+        # examples swallowed some; they can never exceed.
+        assert result.relevance.sum() <= result.n_relevant
+
+    def test_shared_split_reused(self, tiny_scene_db):
+        first = RetrievalExperiment(tiny_scene_db, small_config())
+        second = RetrievalExperiment(
+            tiny_scene_db, small_config(scheme="original"), split=first.split
+        )
+        assert second.split == first.split
+
+    def test_deterministic(self, tiny_scene_db):
+        a = RetrievalExperiment(tiny_scene_db, small_config()).run()
+        b = RetrievalExperiment(tiny_scene_db, small_config()).run()
+        assert a.average_precision == pytest.approx(b.average_precision)
+        assert list(a.relevance) == list(b.relevance)
+
+    def test_trainer_reflects_config(self, tiny_scene_db):
+        experiment = RetrievalExperiment(
+            tiny_scene_db, small_config(start_bag_subset=1, start_instance_stride=2)
+        )
+        trainer = experiment.build_trainer()
+        assert trainer.config.start_bag_subset == 1
+        assert trainer.config.start_instance_stride == 2
+
+
+class TestComparison:
+    def test_runs_all_labels(self, tiny_scene_db):
+        rows = run_comparison(
+            tiny_scene_db,
+            {
+                "identical": small_config(),
+                "original": small_config(scheme="original"),
+            },
+        )
+        assert [row.label for row in rows] == ["identical", "original"]
+        for row in rows:
+            assert 0.0 <= row.average_precision <= 1.0
+
+    def test_shared_split_alignment(self, tiny_scene_db):
+        rows = run_comparison(
+            tiny_scene_db,
+            {
+                "a": small_config(),
+                "b": small_config(scheme="original"),
+            },
+            share_split=True,
+        )
+        ids_a = set(rows[0].result.outcome.test_ranking.image_ids)
+        ids_b = set(rows[1].result.outcome.test_ranking.image_ids)
+        # Same split; rankings may exclude different example promotions but
+        # operate on the same test pool.
+        assert ids_a <= ids_b | set(rows[1].result.outcome.example_ids)
+
+    def test_empty_configs_rejected(self, tiny_scene_db):
+        with pytest.raises(EvaluationError):
+            run_comparison(tiny_scene_db, {})

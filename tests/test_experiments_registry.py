@@ -1,0 +1,90 @@
+"""Tests for the experiment registry (light configs; heavy runs live in benchmarks)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.experiments import resolve_scale
+from repro.experiments.correlation_demos import (
+    figure_3_1,
+    figure_3_3_3_4,
+    table_3_1,
+)
+from repro.experiments.sample_runs import figure_4_7
+from repro.experiments.scale import BenchScale
+
+
+class TestScale:
+    def test_default_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert resolve_scale().name == "quick"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "paper")
+        assert resolve_scale().name == "paper"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "paper")
+        assert resolve_scale("quick").name == "quick"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(EvaluationError):
+            resolve_scale("huge")
+
+    def test_paper_scale_matches_paper_sizes(self):
+        scale = resolve_scale("paper")
+        assert scale.scene_images_per_category == 100
+        assert scale.object_images_per_category == 12
+        assert scale.start_bag_subset is None
+        assert scale.rounds == 3
+
+    def test_scales_are_frozen(self):
+        scale = resolve_scale("quick")
+        assert isinstance(scale, BenchScale)
+        with pytest.raises(AttributeError):
+            scale.rounds = 5  # type: ignore[misc]
+
+
+class TestTable31:
+    def test_same_category_pairs_more_correlated(self):
+        rows = table_3_1(size=(64, 64))
+        same = [r.correlation for r in rows if r.same_category]
+        cross = [r.correlation for r in rows if not r.same_category]
+        assert min(same) > max(cross)
+
+    def test_six_rows_like_the_paper(self):
+        rows = table_3_1(size=(64, 64))
+        assert len(rows) == 6
+        assert sum(r.same_category for r in rows) == 4
+
+
+class TestFigure31:
+    def test_three_panels_exact(self):
+        rows = figure_3_1()
+        by_label = {r.label: r for r in rows}
+        assert by_label["perfectly correlated"].correlation == pytest.approx(1.0)
+        assert by_label["uncorrelated"].correlation == pytest.approx(0.0, abs=1e-9)
+        assert by_label["inversely correlated"].correlation == pytest.approx(-1.0)
+
+    def test_expected_targets_recorded(self):
+        for row in figure_3_1():
+            assert row.correlation == pytest.approx(row.expected, abs=1e-6)
+
+
+class TestFigure33:
+    def test_region_beats_whole(self):
+        result = figure_3_3_3_4(size=(64, 64), pool=8)
+        assert result.matched_region_correlation > result.whole_image_correlation
+        # The paper's qualitative claim: whole-image correlation is weak,
+        # matched regions correlate clearly.
+        assert result.whole_image_correlation < 0.45
+        assert result.matched_region_correlation > 0.4
+
+
+class TestFigure47:
+    def test_misleading_curve(self):
+        curve = figure_4_7()
+        recalls, precisions = curve.points
+        assert precisions[0] == pytest.approx(0.0)  # wrong first image
+        assert precisions[7] == pytest.approx(7 / 8)  # strong recovery
+        assert np.all((precisions >= 0) & (precisions <= 1))

@@ -1,0 +1,149 @@
+"""Failure-injection tests: the stack degrades loudly, not silently.
+
+Each test wounds one layer (corrupt pixels, degenerate bags, hostile
+configurations) and asserts the package raises its documented error type
+rather than propagating NaNs or returning garbage rankings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bags.bag import Bag, BagSet
+from repro.core.diverse_density import DiverseDensityTrainer, TrainerConfig
+from repro.core.objective import DiverseDensityObjective
+from repro.database.store import ImageDatabase
+from repro.errors import (
+    BagError,
+    DatabaseError,
+    FeatureError,
+    ImageFormatError,
+    ReproError,
+    TrainingError,
+)
+from repro.imaging.features import FeatureConfig, FeatureExtractor
+from repro.imaging.image import GrayImage
+
+
+class TestCorruptImages:
+    def test_nan_pixels_rejected_at_ingest(self):
+        plane = np.full((16, 16), 0.5)
+        plane[3, 3] = np.nan
+        with pytest.raises(ImageFormatError):
+            GrayImage(pixels=plane)
+
+    def test_all_black_image_fails_featurisation_cleanly(self):
+        database = ImageDatabase(
+            feature_config=FeatureConfig(resolution=4, variance_threshold=0.0)
+        )
+        database.add_image(np.zeros((16, 16)) + 0.25, "flat", "flat-0")
+        with pytest.raises(DatabaseError) as excinfo:
+            database.instances_for("flat-0")
+        assert "flat-0" in str(excinfo.value)
+
+    def test_image_smaller_than_grid_fails_cleanly(self):
+        extractor = FeatureExtractor(FeatureConfig(resolution=10))
+        tiny = GrayImage(pixels=np.random.default_rng(0).uniform(size=(6, 6)))
+        with pytest.raises((FeatureError, ReproError)):
+            extractor.extract(tiny)
+
+
+class TestDegenerateBags:
+    def test_only_negative_bags_rejected_loudly(self):
+        bag_set = BagSet(
+            [Bag(instances=np.zeros((2, 3)), label=False, bag_id="n0")]
+        )
+        trainer = DiverseDensityTrainer(TrainerConfig(scheme="identical"))
+        with pytest.raises(BagError):
+            trainer.train(bag_set)
+
+    def test_identical_positive_and_negative_bags_still_finite(self):
+        # Contradictory supervision: the same instances labelled both ways.
+        # The model cannot satisfy both, but must return a finite concept.
+        data = np.random.default_rng(1).normal(size=(4, 3))
+        bag_set = BagSet(
+            [
+                Bag(instances=data, label=True, bag_id="p"),
+                Bag(instances=data.copy(), label=False, bag_id="n"),
+            ]
+        )
+        result = DiverseDensityTrainer(
+            TrainerConfig(scheme="identical", max_iterations=50)
+        ).train(bag_set)
+        assert np.isfinite(result.concept.nll)
+        assert np.all(np.isfinite(result.concept.t))
+
+    def test_single_instance_single_bag(self):
+        bag_set = BagSet([Bag(instances=np.array([[1.0, 2.0]]), label=True, bag_id="p")])
+        result = DiverseDensityTrainer(
+            TrainerConfig(scheme="identical", max_iterations=30)
+        ).train(bag_set)
+        # With one positive instance and no negatives the optimum is the
+        # instance itself.
+        np.testing.assert_allclose(result.concept.t, [1.0, 2.0], atol=1e-3)
+
+    def test_huge_coordinates_stay_finite(self):
+        rng = np.random.default_rng(2)
+        bag_set = BagSet(
+            [
+                Bag(instances=rng.normal(0, 1e6, size=(3, 2)), label=True, bag_id="p"),
+                Bag(instances=rng.normal(0, 1e6, size=(3, 2)), label=False, bag_id="n"),
+            ]
+        )
+        objective = DiverseDensityObjective(bag_set)
+        value, grad_t, grad_w = objective.value_and_grad(
+            np.zeros(2), np.ones(2)
+        )
+        assert np.isfinite(value)
+        assert np.all(np.isfinite(grad_t))
+        assert np.all(np.isfinite(grad_w))
+
+
+class TestHostileConfigurations:
+    def test_negative_beta_rejected_everywhere(self):
+        from repro.core.schemes import make_scheme
+
+        with pytest.raises(TrainingError):
+            make_scheme("inequality", beta=-0.5)
+
+    def test_concept_rejects_mismatched_query(self):
+        from repro.core.concept import LearnedConcept
+
+        concept = LearnedConcept(t=np.zeros(3), w=np.ones(3), nll=0.0)
+        with pytest.raises(TrainingError):
+            concept.bag_distance(np.zeros((2, 5)))
+
+    def test_experiment_rejects_absurd_split(self, tiny_scene_db):
+        from repro.eval.experiment import ExperimentConfig, RetrievalExperiment
+        from repro.errors import SplitError
+
+        config = ExperimentConfig(
+            target_category="sunset", training_fraction=0.99, seed=0
+        )
+        # 6 images per category: 0.99 rounds to putting everything in
+        # training, leaving no test images -> loud failure.
+        with pytest.raises(SplitError):
+            RetrievalExperiment(tiny_scene_db, config)
+
+    def test_session_survives_feedback_with_no_false_positives(self, tiny_scene_db):
+        # If the ranking is perfect there may be no false positives to
+        # promote; the loop must handle an empty promotion gracefully.
+        from repro.core.diverse_density import DiverseDensityTrainer, TrainerConfig
+        from repro.core.feedback import FeedbackLoop, select_examples
+
+        ids = tiny_scene_db.image_ids
+        potential = [i for i in ids if int(i.split("-")[1]) < 4]
+        test = [i for i in ids if int(i.split("-")[1]) >= 4]
+        selection = select_examples(tiny_scene_db, potential, "sunset", 2, 2, seed=0)
+        loop = FeedbackLoop(
+            corpus=tiny_scene_db,
+            trainer=DiverseDensityTrainer(
+                TrainerConfig(scheme="identical", max_iterations=30)
+            ),
+            target_category="sunset",
+            potential_ids=potential,
+            test_ids=test,
+            rounds=2,
+            false_positives_per_round=100,  # asks for more than can exist
+        )
+        outcome = loop.run(selection)
+        assert len(outcome.rounds) == 2

@@ -1,0 +1,173 @@
+"""Unit tests for the image-to-feature pipeline (repro.imaging.features)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FeatureError
+from repro.imaging.features import (
+    DEFAULT_VARIANCE_THRESHOLD,
+    FeatureConfig,
+    FeatureExtractor,
+    FeatureSet,
+    InstanceSource,
+)
+from repro.imaging.image import GrayImage
+from repro.imaging.regions import region_family
+from repro.imaging.smoothing import smooth_and_sample
+from repro.imaging.transform import normalize_feature
+
+
+def textured_image(seed: int = 0, size: int = 64) -> GrayImage:
+    rng = np.random.default_rng(seed)
+    plane = rng.uniform(0.2, 0.8, size=(size, size))
+    return GrayImage(pixels=plane, image_id=f"tex-{seed}")
+
+
+class TestFeatureConfig:
+    def test_defaults(self):
+        config = FeatureConfig()
+        assert config.resolution == 10
+        assert config.n_dims == 100
+        assert config.max_instances == 40
+        assert config.include_mirrors
+
+    def test_no_mirrors_halves_max(self):
+        config = FeatureConfig(include_mirrors=False)
+        assert config.max_instances == 20
+
+    def test_rejects_tiny_resolution(self):
+        with pytest.raises(FeatureError):
+            FeatureConfig(resolution=1)
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(FeatureError):
+            FeatureConfig(variance_threshold=-1.0)
+
+    def test_small_family_config(self):
+        config = FeatureConfig(resolution=6, region_family=region_family("small9"))
+        assert config.n_dims == 36
+        assert config.max_instances == 18
+
+
+class TestFeatureExtractor:
+    def test_extracts_full_bag_from_textured_image(self):
+        extractor = FeatureExtractor(FeatureConfig(resolution=6))
+        features = extractor.extract(textured_image())
+        assert features.n_instances == 40
+        assert features.n_dims == 36
+        assert not features.dropped_regions
+
+    def test_vectors_are_normalised(self):
+        extractor = FeatureExtractor(FeatureConfig(resolution=6))
+        features = extractor.extract(textured_image(1))
+        means = features.vectors.mean(axis=1)
+        norms = (features.vectors**2).sum(axis=1)
+        np.testing.assert_allclose(means, 0.0, atol=1e-10)
+        np.testing.assert_allclose(norms, 36.0, rtol=1e-9)
+
+    def test_mirror_pairs_are_column_flips(self):
+        extractor = FeatureExtractor(FeatureConfig(resolution=6))
+        features = extractor.extract(textured_image(2))
+        plain = features.vectors[0].reshape(6, 6)
+        mirrored = features.vectors[1].reshape(6, 6)
+        np.testing.assert_allclose(mirrored, plain[:, ::-1])
+        assert not features.sources[0].mirrored
+        assert features.sources[1].mirrored
+
+    def test_mirror_equals_extracting_mirrored_image(self):
+        # The flip optimisation must be exact (documented invariant).
+        extractor = FeatureExtractor(FeatureConfig(resolution=6, variance_threshold=0.0))
+        image = textured_image(3)
+        direct = extractor.extract(image.mirrored())
+        flipped = extractor.extract(image)
+        # Region r of the mirrored image equals the mirror of the mirrored
+        # counterpart region; for symmetric regions (full frame) compare
+        # directly.
+        full_direct = direct.vectors[0]
+        full_flipped_mirror = flipped.vectors[1]
+        np.testing.assert_allclose(full_direct, full_flipped_mirror, atol=1e-10)
+
+    def test_first_vector_matches_manual_pipeline(self):
+        config = FeatureConfig(resolution=6)
+        extractor = FeatureExtractor(config)
+        image = textured_image(4)
+        features = extractor.extract(image)
+        manual = normalize_feature(smooth_and_sample(image.pixels, 6).reshape(-1))
+        np.testing.assert_allclose(features.vectors[0], manual, atol=1e-12)
+
+    def test_variance_filter_drops_flat_regions(self):
+        # Flat image with texture only in the NW quadrant: most regions drop.
+        plane = np.full((64, 64), 0.5)
+        plane[:32, :32] = np.random.default_rng(5).uniform(0.2, 0.8, size=(32, 32))
+        image = GrayImage(pixels=plane)
+        extractor = FeatureExtractor(FeatureConfig(resolution=6))
+        features = extractor.extract(image)
+        assert features.dropped_regions  # something was filtered
+        names = {source.region_name for source in features.sources}
+        assert "quadrant-nw" in names
+        assert "quadrant-se" not in names
+
+    def test_keep_full_frame_guarantees_nonempty(self):
+        plane = np.full((64, 64), 0.5)
+        plane += np.random.default_rng(6).normal(0, 1e-4, size=plane.shape)
+        plane = np.clip(plane, 0, 1)
+        image = GrayImage(pixels=plane)
+        extractor = FeatureExtractor(FeatureConfig(resolution=6))
+        features = extractor.extract(image)
+        assert features.n_instances >= 1
+        assert features.sources[0].region_name == "full"
+
+    def test_constant_image_raises(self):
+        image = GrayImage(pixels=np.full((32, 32), 0.5))
+        extractor = FeatureExtractor(FeatureConfig(resolution=6))
+        with pytest.raises(FeatureError):
+            extractor.extract(image)
+
+    def test_threshold_zero_keeps_all_regions(self):
+        plane = np.full((64, 64), 0.5)
+        plane[:32, :32] = np.random.default_rng(7).uniform(size=(32, 32))
+        image = GrayImage(pixels=plane)
+        extractor = FeatureExtractor(
+            FeatureConfig(resolution=4, variance_threshold=0.0)
+        )
+        features = extractor.extract(image)
+        # Constant regions still fail normalisation and are recorded as
+        # dropped, but nothing is dropped by variance alone; regions that
+        # intersect the textured quadrant all survive.
+        surviving = {source.region_name for source in features.sources}
+        assert "full" in surviving
+
+    def test_no_mirrors_config(self):
+        extractor = FeatureExtractor(
+            FeatureConfig(resolution=6, include_mirrors=False)
+        )
+        features = extractor.extract(textured_image(8))
+        assert features.n_instances == 20
+        assert all(not source.mirrored for source in features.sources)
+
+    def test_deterministic(self):
+        extractor = FeatureExtractor(FeatureConfig(resolution=6))
+        a = extractor.extract(textured_image(9))
+        b = extractor.extract(textured_image(9))
+        np.testing.assert_array_equal(a.vectors, b.vectors)
+
+    def test_default_threshold_value(self):
+        assert DEFAULT_VARIANCE_THRESHOLD == pytest.approx(1e-4)
+
+
+class TestFeatureSet:
+    def test_source_count_mismatch_raises(self):
+        with pytest.raises(FeatureError):
+            FeatureSet(
+                vectors=np.zeros((2, 4)),
+                sources=(InstanceSource(0, "full", False),),
+            )
+
+    def test_describe_mentions_mirror(self):
+        source = InstanceSource(3, "quadrant-ne", True)
+        assert "mirrored" in source.describe()
+        assert "quadrant-ne" in source.describe()
+
+    def test_describe_plain(self):
+        source = InstanceSource(3, "full", False)
+        assert source.describe() == "full"

@@ -1,0 +1,85 @@
+"""Unit tests for the BagGenerator and experiment database helpers."""
+
+import numpy as np
+import pytest
+
+from repro.bags.generation import BagGenerator
+from repro.errors import BagError
+from repro.experiments.databases import base_config_kwargs, object_database, scene_database
+from repro.experiments.scale import resolve_scale
+from repro.imaging.features import FeatureConfig
+from repro.imaging.image import GrayImage
+from repro.imaging.regions import region_family
+
+
+def textured_image(seed: int = 0) -> GrayImage:
+    plane = np.random.default_rng(seed).uniform(0.1, 0.9, size=(48, 48))
+    return GrayImage(pixels=plane, image_id=f"gen-{seed}")
+
+
+@pytest.fixture()
+def generator() -> BagGenerator:
+    return BagGenerator(FeatureConfig(resolution=5, region_family=region_family("small9")))
+
+
+class TestBagGenerator:
+    def test_bag_for_labels(self, generator):
+        image = textured_image()
+        positive = generator.bag_for(image, label=True)
+        negative = generator.bag_for(image, label=False)
+        assert positive.label is True
+        assert negative.label is False
+        np.testing.assert_array_equal(positive.instances, negative.instances)
+
+    def test_bag_id_from_image(self, generator):
+        bag = generator.bag_for(textured_image(3), label=True)
+        assert bag.bag_id == "gen-3"
+
+    def test_sources_propagated(self, generator):
+        bag = generator.bag_for(textured_image(1), label=True)
+        assert len(bag.sources) == bag.n_instances
+        assert bag.sources[0] == "full"
+        assert any("mirrored" in source for source in bag.sources)
+
+    def test_constant_image_raises_bag_error(self, generator):
+        constant = GrayImage(pixels=np.full((32, 32), 0.5), image_id="flat")
+        with pytest.raises(BagError) as excinfo:
+            generator.bag_for(constant, label=True)
+        assert "flat" in str(excinfo.value)
+
+    def test_features_for_matches_bag(self, generator):
+        image = textured_image(5)
+        features = generator.features_for(image)
+        bag = BagGenerator.bag_from_features(features, label=True, bag_id="x")
+        np.testing.assert_array_equal(bag.instances, features.vectors)
+
+    def test_config_exposed(self, generator):
+        assert generator.config.resolution == 5
+
+
+class TestExperimentDatabaseHelpers:
+    def test_base_config_kinds(self):
+        scale = resolve_scale("quick")
+        scenes = base_config_kwargs(scale, kind="scenes")
+        objects = base_config_kwargs(scale, kind="objects")
+        assert scenes["training_fraction"] == scale.scene_training_fraction
+        assert objects["training_fraction"] == scale.object_training_fraction
+        assert scenes["rounds"] == scale.rounds
+
+    def test_scene_database_cached(self):
+        scale = resolve_scale("quick")
+        first = scene_database(scale)
+        second = scene_database(scale)
+        assert first is second
+
+    def test_object_database_cached_by_family(self):
+        scale = resolve_scale("quick")
+        default = object_database(scale)
+        small = object_database(scale, family="small9")
+        assert default is not small
+        assert default is object_database(scale)
+
+    def test_database_sizes_match_scale(self):
+        scale = resolve_scale("quick")
+        database = scene_database(scale)
+        assert len(database) == 5 * scale.scene_images_per_category

@@ -1,0 +1,137 @@
+"""Unit tests for repro.imaging.image: gray conversion and GrayImage."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageFormatError
+from repro.imaging.image import GrayImage, to_gray
+
+
+class TestToGray:
+    def test_gray_float_passthrough(self):
+        plane = np.linspace(0, 1, 12).reshape(3, 4)
+        out = to_gray(plane)
+        assert out.shape == (3, 4)
+        np.testing.assert_allclose(out, plane)
+
+    def test_uint8_gray_scaled_to_unit(self):
+        plane = np.array([[0, 255], [128, 64]], dtype=np.uint8)
+        out = to_gray(plane)
+        assert out.max() == pytest.approx(1.0)
+        assert out.min() == pytest.approx(0.0)
+        assert out[1, 0] == pytest.approx(128 / 255)
+
+    def test_rgb_uses_luma_weights(self):
+        rgb = np.zeros((2, 2, 3))
+        rgb[..., 0] = 1.0  # pure red
+        out = to_gray(rgb)
+        np.testing.assert_allclose(out, 0.299)
+
+    def test_rgb_green_weight(self):
+        rgb = np.zeros((2, 2, 3))
+        rgb[..., 1] = 1.0
+        np.testing.assert_allclose(to_gray(rgb), 0.587)
+
+    def test_rgb_white_is_one(self):
+        rgb = np.ones((4, 4, 3))
+        np.testing.assert_allclose(to_gray(rgb), 1.0, atol=1e-12)
+
+    def test_rgb_uint8(self):
+        rgb = np.full((2, 2, 3), 255, dtype=np.uint8)
+        np.testing.assert_allclose(to_gray(rgb), 1.0)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ImageFormatError):
+            to_gray(np.zeros(5))
+
+    def test_rejects_wrong_channel_count(self):
+        with pytest.raises(ImageFormatError):
+            to_gray(np.zeros((4, 4, 4)))
+
+    def test_rejects_out_of_range_floats(self):
+        with pytest.raises(ImageFormatError):
+            to_gray(np.full((3, 3), 2.5))
+
+    def test_rejects_negative_floats(self):
+        with pytest.raises(ImageFormatError):
+            to_gray(np.full((3, 3), -0.1))
+
+
+class TestGrayImage:
+    def test_basic_construction(self):
+        image = GrayImage(pixels=np.zeros((4, 5)) + 0.5, image_id="x", category="cat")
+        assert image.shape == (4, 5)
+        assert image.rows == 4
+        assert image.cols == 5
+        assert image.image_id == "x"
+        assert image.category == "cat"
+
+    def test_rejects_3d_in_direct_constructor(self):
+        with pytest.raises(ImageFormatError):
+            GrayImage(pixels=np.zeros((4, 4, 3)))
+
+    def test_rejects_tiny_images(self):
+        with pytest.raises(ImageFormatError):
+            GrayImage(pixels=np.zeros((1, 5)))
+
+    def test_from_array_keeps_rgb(self):
+        rgb = np.random.default_rng(0).uniform(size=(6, 6, 3))
+        image = GrayImage.from_array(rgb, image_id="a")
+        assert image.rgb is not None
+        np.testing.assert_allclose(image.rgb, rgb)
+
+    def test_from_array_gray_has_no_rgb(self):
+        image = GrayImage.from_array(np.zeros((6, 6)))
+        assert image.rgb is None
+
+    def test_mirror_flips_columns(self):
+        plane = np.arange(12, dtype=float).reshape(3, 4) / 12.0
+        image = GrayImage(pixels=plane)
+        mirrored = image.mirrored()
+        np.testing.assert_allclose(mirrored.pixels, plane[:, ::-1])
+
+    def test_double_mirror_is_identity(self):
+        plane = np.random.default_rng(1).uniform(size=(5, 7))
+        image = GrayImage(pixels=plane)
+        np.testing.assert_allclose(image.mirrored().mirrored().pixels, plane)
+
+    def test_mirror_preserves_rgb(self):
+        rgb = np.random.default_rng(2).uniform(size=(4, 6, 3))
+        image = GrayImage.from_array(rgb)
+        mirrored = image.mirrored()
+        np.testing.assert_allclose(mirrored.rgb, rgb[:, ::-1])
+
+    def test_crop_extracts_block(self):
+        plane = np.arange(36, dtype=float).reshape(6, 6) / 36.0
+        image = GrayImage(pixels=plane)
+        block = image.crop(1, 2, 3, 2)
+        np.testing.assert_allclose(block, plane[1:4, 2:4])
+
+    def test_crop_out_of_bounds_raises(self):
+        image = GrayImage(pixels=np.zeros((4, 4)))
+        with pytest.raises(ImageFormatError):
+            image.crop(2, 2, 4, 4)
+
+    def test_crop_negative_raises(self):
+        image = GrayImage(pixels=np.zeros((4, 4)))
+        with pytest.raises(ImageFormatError):
+            image.crop(-1, 0, 2, 2)
+
+    def test_crop_zero_size_raises(self):
+        image = GrayImage(pixels=np.zeros((4, 4)))
+        with pytest.raises(ImageFormatError):
+            image.crop(0, 0, 0, 2)
+
+    def test_variance_of_constant_is_zero(self):
+        image = GrayImage(pixels=np.full((4, 4), 0.3))
+        assert image.variance() == pytest.approx(0.0)
+
+    def test_variance_matches_numpy(self):
+        plane = np.random.default_rng(3).uniform(size=(8, 8))
+        image = GrayImage(pixels=plane)
+        assert image.variance() == pytest.approx(float(plane.var()))
+
+    def test_pixels_clipped_from_uint8(self):
+        image = GrayImage(pixels=np.array([[0, 255], [10, 200]], dtype=np.uint8))
+        assert image.pixels.dtype == np.float64
+        assert image.pixels.max() <= 1.0

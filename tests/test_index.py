@@ -1,0 +1,91 @@
+"""Unit tests for the batch retrieval index."""
+
+import numpy as np
+import pytest
+
+from repro.core.concept import LearnedConcept
+from repro.core.retrieval import RetrievalEngine
+from repro.database.index import StackedIndex
+from repro.errors import DatabaseError
+from repro.imaging.features import FeatureConfig
+from repro.imaging.regions import region_family
+
+
+@pytest.fixture(scope="module")
+def indexed(tiny_scene_db_module):
+    database = tiny_scene_db_module
+    return database, StackedIndex(database)
+
+
+@pytest.fixture(scope="module")
+def tiny_scene_db_module():
+    from repro.datasets.loader import quick_database
+
+    config = FeatureConfig(resolution=6, region_family=region_family("small9"))
+    database = quick_database(
+        "scenes", images_per_category=5, size=(48, 48), seed=4, feature_config=config
+    )
+    database.precompute_features()
+    return database
+
+
+def concept_for(database) -> LearnedConcept:
+    n_dims = database.feature_config.n_dims
+    rng = np.random.default_rng(0)
+    return LearnedConcept(t=rng.normal(size=n_dims), w=rng.uniform(0.2, 1, n_dims), nll=0.0)
+
+
+class TestStackedIndex:
+    def test_shapes(self, indexed):
+        database, index = indexed
+        assert index.n_images == len(database)
+        assert index.n_dims == database.feature_config.n_dims
+        assert index.n_instances >= index.n_images
+
+    def test_distances_match_per_bag(self, indexed):
+        database, index = indexed
+        concept = concept_for(database)
+        batch = index.distances(concept)
+        for position, image_id in enumerate(index.image_ids):
+            expected = concept.bag_distance(database.instances_for(image_id))
+            assert batch[position] == pytest.approx(expected, rel=1e-9)
+
+    def test_ranking_identical_to_engine(self, indexed):
+        database, index = indexed
+        concept = concept_for(database)
+        batch = index.rank(concept)
+        reference = RetrievalEngine().rank(concept, database.retrieval_candidates())
+        assert batch.image_ids == reference.image_ids
+        np.testing.assert_allclose(batch.distances, reference.distances, rtol=1e-9)
+
+    def test_exclusion(self, indexed):
+        database, index = indexed
+        concept = concept_for(database)
+        skipped = index.image_ids[0]
+        result = index.rank(concept, exclude=[skipped])
+        assert skipped not in result.image_ids
+        assert len(result) == index.n_images - 1
+
+    def test_subset_index(self, indexed):
+        database, _ = indexed
+        subset = database.ids_in_category("sunset")
+        index = StackedIndex(database, ids=subset)
+        assert index.n_images == len(subset)
+        concept = concept_for(database)
+        result = index.rank(concept)
+        assert set(result.image_ids) == set(subset)
+
+    def test_empty_ids_rejected(self, indexed):
+        database, _ = indexed
+        with pytest.raises(DatabaseError):
+            StackedIndex(database, ids=[])
+
+    def test_stale_index_dimension_mismatch(self, indexed):
+        database, index = indexed
+        wrong = LearnedConcept(t=np.zeros(4), w=np.ones(4), nll=0.0)
+        with pytest.raises(DatabaseError):
+            index.distances(wrong)
+
+    def test_repr(self, indexed):
+        _, index = indexed
+        assert "images" in repr(index)

@@ -1,0 +1,154 @@
+"""Unit tests for concept interpretation (Ch. 5 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core.concept import LearnedConcept
+from repro.core.interpretation import (
+    RegionMatch,
+    consensus_region,
+    explain_bag,
+    weight_saliency,
+)
+from repro.errors import TrainingError
+from repro.imaging.features import FeatureSet, InstanceSource
+
+
+def feature_set(vectors: np.ndarray, names: list[str]) -> FeatureSet:
+    sources = tuple(
+        InstanceSource(region_index=i, region_name=name, mirrored=False)
+        for i, name in enumerate(names)
+    )
+    return FeatureSet(vectors=vectors, sources=sources)
+
+
+class TestExplainBag:
+    def test_names_closest_region(self):
+        concept = LearnedConcept(t=np.zeros(3), w=np.ones(3), nll=0.0)
+        features = feature_set(
+            np.array([[5.0, 0, 0], [0.1, 0, 0], [2.0, 2.0, 0]]),
+            ["full", "half-top", "quadrant-nw"],
+        )
+        match = explain_bag(concept, features)
+        assert match.region_name == "half-top"
+        assert match.distance == pytest.approx(0.01)
+        assert match.ranking[0] == "half-top"
+        assert match.ranking[-1] == "full"
+
+    def test_margin_computed(self):
+        concept = LearnedConcept(t=np.zeros(2), w=np.ones(2), nll=0.0)
+        features = feature_set(
+            np.array([[1.0, 0.0], [2.0, 0.0]]), ["a", "b"]
+        )
+        match = explain_bag(concept, features)
+        assert match.margin == pytest.approx(3.0)  # 4 - 1
+
+    def test_single_instance_margin_infinite(self):
+        concept = LearnedConcept(t=np.zeros(2), w=np.ones(2), nll=0.0)
+        features = feature_set(np.array([[1.0, 0.0]]), ["only"])
+        assert explain_bag(concept, features).margin == float("inf")
+
+    def test_dimension_mismatch_raises(self):
+        concept = LearnedConcept(t=np.zeros(4), w=np.ones(4), nll=0.0)
+        features = feature_set(np.zeros((2, 3)), ["a", "b"])
+        with pytest.raises(TrainingError):
+            explain_bag(concept, features)
+
+    def test_on_real_pipeline(self, tiny_scene_db):
+        # The winning region must be one of the image's actual regions.
+        from repro.bags.bag import BagSet
+        from repro.core.diverse_density import DiverseDensityTrainer, TrainerConfig
+
+        bag_set = BagSet()
+        for image_id in tiny_scene_db.ids_in_category("waterfall")[:3]:
+            bag_set.add(tiny_scene_db.bag_for(image_id, label=True))
+        for image_id in tiny_scene_db.ids_in_category("field")[:2]:
+            bag_set.add(tiny_scene_db.bag_for(image_id, label=False))
+        concept = (
+            DiverseDensityTrainer(TrainerConfig(scheme="identical", max_iterations=40))
+            .train(bag_set)
+            .concept
+        )
+        record = tiny_scene_db.record(tiny_scene_db.ids_in_category("waterfall")[0])
+        features = record.features(tiny_scene_db.generator)
+        match = explain_bag(concept, features)
+        valid_names = {source.describe() for source in features.sources}
+        assert match.region_name in valid_names
+
+
+class TestWeightSaliency:
+    def test_uniform_weights(self):
+        concept = LearnedConcept(t=np.zeros(9), w=np.ones(9), nll=0.0)
+        saliency = weight_saliency(concept)
+        np.testing.assert_allclose(saliency.row_marginals, 1 / 3)
+        np.testing.assert_allclose(saliency.col_marginals, 1 / 3)
+
+    def test_spike_detected(self):
+        w = np.full(100, 1e-6)
+        w[34] = 5.0  # row 3, col 4
+        concept = LearnedConcept(t=np.zeros(100), w=w, nll=0.0)
+        saliency = weight_saliency(concept)
+        row, col, weight = saliency.top_cells[0]
+        assert (row, col) == (3, 4)
+        assert weight == pytest.approx(5.0)
+        assert saliency.concentration > 0.99
+
+    def test_concentration_low_for_uniform(self):
+        concept = LearnedConcept(t=np.zeros(100), w=np.ones(100), nll=0.0)
+        assert weight_saliency(concept).concentration == pytest.approx(0.1)
+
+    def test_marginals_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        concept = LearnedConcept(t=np.zeros(16), w=rng.uniform(0, 1, 16), nll=0.0)
+        saliency = weight_saliency(concept)
+        assert saliency.row_marginals.sum() == pytest.approx(1.0)
+        assert saliency.col_marginals.sum() == pytest.approx(1.0)
+
+    def test_zero_weight_rejected(self):
+        concept = LearnedConcept(t=np.zeros(9), w=np.zeros(9), nll=0.0)
+        with pytest.raises(TrainingError):
+            weight_saliency(concept)
+
+    def test_non_square_rejected(self):
+        concept = LearnedConcept(t=np.zeros(8), w=np.ones(8), nll=0.0)
+        with pytest.raises(TrainingError):
+            weight_saliency(concept)
+
+    def test_top_k_respected(self):
+        concept = LearnedConcept(t=np.zeros(16), w=np.ones(16), nll=0.0)
+        assert len(weight_saliency(concept, top_k=3).top_cells) == 3
+
+
+class TestConsensusRegion:
+    def test_counts_votes_and_strips_mirrors(self):
+        concept = LearnedConcept(t=np.zeros(2), w=np.ones(2), nll=0.0)
+        near = np.array([[0.1, 0.0], [9.0, 9.0]])
+        sets = {
+            "img-a": FeatureSet(
+                vectors=near,
+                sources=(
+                    InstanceSource(0, "half-top", True),
+                    InstanceSource(1, "full", False),
+                ),
+            ),
+            "img-b": FeatureSet(
+                vectors=near,
+                sources=(
+                    InstanceSource(0, "half-top", False),
+                    InstanceSource(1, "full", False),
+                ),
+            ),
+        }
+        votes = consensus_region(concept, sets)
+        assert votes == {"half-top": 2}
+
+    def test_sorted_by_count(self):
+        concept = LearnedConcept(t=np.zeros(2), w=np.ones(2), nll=0.0)
+        sets = {}
+        for index, name in enumerate(["a", "b", "b"]):
+            sets[f"img-{index}"] = FeatureSet(
+                vectors=np.array([[0.0, 0.0]]),
+                sources=(InstanceSource(0, name, False),),
+            )
+        votes = consensus_region(concept, sets)
+        assert list(votes) == ["b", "a"]

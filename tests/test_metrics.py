@@ -1,0 +1,158 @@
+"""Unit tests for retrieval metrics (repro.eval.metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.metrics import (
+    average_precision,
+    precision_at_k,
+    precision_in_recall_band,
+    precision_points,
+    random_baseline_precision,
+    recall_at_k,
+    recall_points,
+)
+
+PERFECT = np.array([True] * 5 + [False] * 5)
+WORST = np.array([False] * 5 + [True] * 5)
+ALTERNATING = np.array([True, False] * 5)
+
+
+class TestPrecisionPoints:
+    def test_perfect_ranking(self):
+        points = precision_points(PERFECT)
+        np.testing.assert_allclose(points[:5], 1.0)
+        assert points[-1] == pytest.approx(0.5)
+
+    def test_values_in_unit_interval(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            mask = rng.random(20) < 0.3
+            if not mask.any():
+                mask[0] = True
+            points = precision_points(mask)
+            assert np.all((points >= 0) & (points <= 1))
+
+    def test_manual_example(self):
+        points = precision_points(np.array([True, False, True]))
+        np.testing.assert_allclose(points, [1.0, 0.5, 2 / 3])
+
+    def test_integer_relevance_accepted(self):
+        np.testing.assert_allclose(
+            precision_points(np.array([1, 0, 1])), [1.0, 0.5, 2 / 3]
+        )
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(EvaluationError):
+            precision_points(np.array([0, 2, 1]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            precision_points(np.array([], dtype=bool))
+
+    def test_2d_rejected(self):
+        with pytest.raises(EvaluationError):
+            precision_points(np.zeros((2, 2), dtype=bool))
+
+
+class TestRecallPoints:
+    def test_monotone_nondecreasing(self):
+        points = recall_points(ALTERNATING)
+        assert np.all(np.diff(points) >= 0)
+
+    def test_reaches_one_when_all_found(self):
+        assert recall_points(PERFECT)[-1] == pytest.approx(1.0)
+
+    def test_external_total(self):
+        points = recall_points(np.array([True, True]), n_relevant=4)
+        np.testing.assert_allclose(points, [0.25, 0.5])
+
+    def test_total_smaller_than_hits_rejected(self):
+        with pytest.raises(EvaluationError):
+            recall_points(np.array([True, True]), n_relevant=1)
+
+    def test_zero_relevant(self):
+        points = recall_points(np.array([False, False]), n_relevant=0)
+        np.testing.assert_allclose(points, 0.0)
+
+
+class TestAtK:
+    def test_precision_at_k(self):
+        assert precision_at_k(ALTERNATING, 2) == pytest.approx(0.5)
+        assert precision_at_k(PERFECT, 5) == pytest.approx(1.0)
+        assert precision_at_k(WORST, 5) == pytest.approx(0.0)
+
+    def test_recall_at_k(self):
+        assert recall_at_k(PERFECT, 5) == pytest.approx(1.0)
+        assert recall_at_k(PERFECT, 2) == pytest.approx(0.4)
+
+    def test_invalid_k(self):
+        with pytest.raises(EvaluationError):
+            precision_at_k(PERFECT, 0)
+        with pytest.raises(EvaluationError):
+            recall_at_k(PERFECT, 11)
+
+
+class TestAveragePrecision:
+    def test_perfect_is_one(self):
+        assert average_precision(PERFECT) == pytest.approx(1.0)
+
+    def test_worst_case(self):
+        # Relevant items at ranks 6..10: AP = mean(1/6, 2/7, ..., 5/10).
+        expected = np.mean([1 / 6, 2 / 7, 3 / 8, 4 / 9, 5 / 10])
+        assert average_precision(WORST) == pytest.approx(expected)
+
+    def test_monotone_under_improvement(self):
+        worse = np.array([False, True, True, False])
+        better = np.array([True, True, False, False])
+        assert average_precision(better) > average_precision(worse)
+
+    def test_zero_when_nothing_relevant(self):
+        assert average_precision(np.array([False, False])) == pytest.approx(0.0)
+
+    def test_respects_external_total(self):
+        partial = np.array([True, True])
+        assert average_precision(partial, n_relevant=4) == pytest.approx(0.5)
+
+
+class TestRecallBand:
+    def test_perfect_band(self):
+        assert precision_in_recall_band(PERFECT, 0.3, 0.4) == pytest.approx(1.0)
+
+    def test_band_average(self):
+        # relevance: T F T F ... recall after k hits: k/5.
+        value = precision_in_recall_band(ALTERNATING, 0.3, 0.45)
+        # recall 0.4 is reached at index 6 (4th hit at position 7): check in
+        # [0,1] and consistent with the curve.
+        assert 0.0 < value <= 1.0
+
+    def test_unreachable_band_zero(self):
+        partial = np.array([True, False], dtype=bool)
+        assert precision_in_recall_band(partial, 0.8, 0.9, n_relevant=10) == 0.0
+
+    def test_jumped_band_uses_first_point_past(self):
+        # Only one relevant item; recall jumps 0 -> 1 at its position,
+        # skipping the [0.3, 0.4] band entirely.
+        relevance = np.array([False, True, False])
+        value = precision_in_recall_band(relevance, 0.3, 0.4)
+        assert value == pytest.approx(0.5)  # precision at the jump point
+
+    def test_invalid_band_rejected(self):
+        with pytest.raises(EvaluationError):
+            precision_in_recall_band(PERFECT, 0.5, 0.3)
+        with pytest.raises(EvaluationError):
+            precision_in_recall_band(PERFECT, -0.1, 0.4)
+
+
+class TestRandomBaseline:
+    def test_scene_database_base_rate(self):
+        # Paper: "for our natural scene database, it would be a flat line
+        # at 0.2" (100 relevant of 500).
+        assert random_baseline_precision(100, 500) == pytest.approx(0.2)
+
+    def test_invalid_counts(self):
+        with pytest.raises(EvaluationError):
+            random_baseline_precision(5, 0)
+        with pytest.raises(EvaluationError):
+            random_baseline_precision(10, 5)

@@ -1,0 +1,189 @@
+"""Unit tests for the Diverse Density objective (noisy-or NLL + gradients)."""
+
+import numpy as np
+import pytest
+
+from repro.bags.bag import Bag, BagSet
+from repro.core.objective import DiverseDensityObjective
+from repro.errors import TrainingError
+
+
+def naive_nll(bag_set: BagSet, t: np.ndarray, w: np.ndarray) -> float:
+    """Direct, unvectorised transcription of the Section 2.2 model."""
+    total = 0.0
+    for bag in bag_set.bags:
+        probs = np.array(
+            [np.exp(-float(w @ ((x - t) ** 2))) for x in bag.instances]
+        )
+        probs = np.clip(probs, 0.0, 1.0 - 1e-12)
+        q = float(np.prod(1.0 - probs))
+        bag_probability = (1.0 - q) if bag.label else q
+        total -= np.log(max(bag_probability, 1e-300))
+    return total
+
+
+def simple_bag_set() -> BagSet:
+    rng = np.random.default_rng(0)
+    bag_set = BagSet()
+    for i in range(3):
+        bag_set.add(
+            Bag(instances=rng.normal(0, 1, size=(4, 3)), label=True, bag_id=f"p{i}")
+        )
+    for i in range(2):
+        bag_set.add(
+            Bag(instances=rng.normal(2, 1, size=(5, 3)), label=False, bag_id=f"n{i}")
+        )
+    return bag_set
+
+
+class TestValue:
+    def test_matches_naive_implementation(self):
+        bag_set = simple_bag_set()
+        objective = DiverseDensityObjective(bag_set)
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            t = rng.normal(size=3)
+            w = rng.uniform(0.1, 2.0, size=3)
+            assert objective.value(t, w) == pytest.approx(
+                naive_nll(bag_set, t, w), rel=1e-9
+            )
+
+    def test_nll_nonnegative(self):
+        # Every bag probability is <= 1, so -log DD >= 0.
+        bag_set = simple_bag_set()
+        objective = DiverseDensityObjective(bag_set)
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            value = objective.value(rng.normal(size=3), rng.uniform(0, 2, size=3))
+            assert value >= -1e-12
+
+    def test_sitting_on_positive_instance_lowers_nll(self):
+        bag_set = simple_bag_set()
+        objective = DiverseDensityObjective(bag_set)
+        w = np.ones(3)
+        on_instance = objective.value(bag_set.positive_bags[0].instances[0], w)
+        far_away = objective.value(np.full(3, 50.0), w)
+        assert on_instance < far_away
+
+    def test_requires_positive_bag(self):
+        bag_set = BagSet([Bag(instances=np.zeros((2, 3)), label=False, bag_id="n")])
+        with pytest.raises(Exception):
+            DiverseDensityObjective(bag_set)
+
+    def test_negative_weights_rejected(self):
+        objective = DiverseDensityObjective(simple_bag_set())
+        with pytest.raises(TrainingError):
+            objective.value(np.zeros(3), np.array([1.0, -1.0, 1.0]))
+
+    def test_dimension_mismatch_rejected(self):
+        objective = DiverseDensityObjective(simple_bag_set())
+        with pytest.raises(TrainingError):
+            objective.value(np.zeros(4), np.ones(4))
+
+    def test_on_negative_instance_is_finite(self):
+        # t exactly on a negative instance drives p -> 1; clamping must keep
+        # the NLL finite.
+        bag_set = simple_bag_set()
+        objective = DiverseDensityObjective(bag_set)
+        t = bag_set.negative_bags[0].instances[0]
+        value = objective.value(t, np.ones(3))
+        assert np.isfinite(value)
+
+
+class TestGradients:
+    @staticmethod
+    def numerical_gradient(fun, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+        grad = np.zeros_like(x)
+        for k in range(x.size):
+            forward = x.copy()
+            forward[k] += eps
+            backward = x.copy()
+            backward[k] -= eps
+            grad[k] = (fun(forward) - fun(backward)) / (2 * eps)
+        return grad
+
+    def test_grad_t_matches_finite_differences(self):
+        bag_set = simple_bag_set()
+        objective = DiverseDensityObjective(bag_set)
+        rng = np.random.default_rng(3)
+        t = rng.normal(size=3)
+        w = rng.uniform(0.3, 1.5, size=3)
+        _, grad_t, _ = objective.value_and_grad(t, w)
+        numeric = self.numerical_gradient(lambda x: objective.value(x, w), t)
+        np.testing.assert_allclose(grad_t, numeric, rtol=1e-4, atol=1e-7)
+
+    def test_grad_w_matches_finite_differences(self):
+        bag_set = simple_bag_set()
+        objective = DiverseDensityObjective(bag_set)
+        rng = np.random.default_rng(4)
+        t = rng.normal(size=3)
+        w = rng.uniform(0.3, 1.5, size=3)
+        _, _, grad_w = objective.value_and_grad(t, w)
+        numeric = self.numerical_gradient(lambda x: objective.value(t, x), w)
+        np.testing.assert_allclose(grad_w, numeric, rtol=1e-4, atol=1e-7)
+
+    def test_squared_parametrisation_chain_rule(self):
+        bag_set = simple_bag_set()
+        objective = DiverseDensityObjective(bag_set)
+        rng = np.random.default_rng(5)
+        t = rng.normal(size=3)
+        s = rng.uniform(0.5, 1.5, size=3)
+        value, grad_t, grad_s = objective.value_and_grad_squared(t, s)
+        _, expected_t, grad_w = objective.value_and_grad(t, s * s)
+        assert value == pytest.approx(objective.value(t, s * s))
+        np.testing.assert_allclose(grad_t, expected_t)
+        np.testing.assert_allclose(grad_s, grad_w * 2 * s)
+
+    def test_alpha_scales_weight_gradient_only(self):
+        objective = DiverseDensityObjective(simple_bag_set())
+        rng = np.random.default_rng(6)
+        t = rng.normal(size=3)
+        s = rng.uniform(0.5, 1.5, size=3)
+        _, grad_t_1, grad_s_1 = objective.value_and_grad_squared(t, s, alpha=1.0)
+        _, grad_t_50, grad_s_50 = objective.value_and_grad_squared(t, s, alpha=50.0)
+        np.testing.assert_allclose(grad_t_1, grad_t_50)
+        np.testing.assert_allclose(grad_s_1, grad_s_50 * 50.0)
+
+    def test_invalid_alpha_rejected(self):
+        objective = DiverseDensityObjective(simple_bag_set())
+        with pytest.raises(TrainingError):
+            objective.value_and_grad_squared(np.zeros(3), np.ones(3), alpha=0.0)
+
+    def test_gradient_zero_far_from_everything(self):
+        # Far away, all probabilities vanish and the positive term dominates
+        # but saturates; gradients should be tiny, not NaN.
+        objective = DiverseDensityObjective(simple_bag_set())
+        value, grad_t, grad_w = objective.value_and_grad(
+            np.full(3, 100.0), np.ones(3)
+        )
+        assert np.isfinite(value)
+        assert np.all(np.isfinite(grad_t))
+        assert np.all(np.isfinite(grad_w))
+
+
+class TestBagProbabilities:
+    def test_shapes(self):
+        bag_set = simple_bag_set()
+        objective = DiverseDensityObjective(bag_set)
+        pos, neg = objective.bag_probabilities(np.zeros(3), np.ones(3))
+        assert pos.shape == (3,)
+        assert neg.shape == (2,)
+
+    def test_ranges(self):
+        objective = DiverseDensityObjective(simple_bag_set())
+        pos, neg = objective.bag_probabilities(np.zeros(3), np.ones(3))
+        assert np.all((pos >= 0) & (pos <= 1))
+        assert np.all((neg >= 0) & (neg <= 1))
+
+    def test_on_positive_instance_probability_near_one(self):
+        bag_set = simple_bag_set()
+        objective = DiverseDensityObjective(bag_set)
+        t = bag_set.positive_bags[1].instances[2]
+        pos, _ = objective.bag_probabilities(t, np.ones(3) * 10.0)
+        assert pos[1] > 0.99
+
+    def test_counts_exposed(self):
+        objective = DiverseDensityObjective(simple_bag_set())
+        assert objective.n_positive_bags == 3
+        assert objective.n_negative_bags == 2
+        assert objective.n_dims == 3

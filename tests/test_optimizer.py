@@ -1,0 +1,129 @@
+"""Unit tests for the unconstrained minimisers."""
+
+import numpy as np
+import pytest
+
+from repro.core.optimizer import (
+    ArmijoGradientDescent,
+    LBFGSOptimizer,
+    make_minimizer,
+)
+from repro.errors import OptimizationError
+
+
+def quadratic(center: np.ndarray, scales: np.ndarray):
+    def fun(x: np.ndarray):
+        diff = x - center
+        value = float(0.5 * (scales * diff * diff).sum())
+        grad = scales * diff
+        return value, grad
+
+    return fun
+
+
+def rosenbrock(x: np.ndarray):
+    value = float(100 * (x[1] - x[0] ** 2) ** 2 + (1 - x[0]) ** 2)
+    grad = np.array(
+        [
+            -400 * x[0] * (x[1] - x[0] ** 2) - 2 * (1 - x[0]),
+            200 * (x[1] - x[0] ** 2),
+        ]
+    )
+    return value, grad
+
+
+@pytest.mark.parametrize("backend", ["armijo", "lbfgs"])
+class TestMinimizers:
+    def test_quadratic_minimum(self, backend):
+        center = np.array([1.0, -2.0, 0.5])
+        minimizer = make_minimizer(backend, max_iterations=500)
+        outcome = minimizer.minimize(quadratic(center, np.ones(3)), np.zeros(3))
+        np.testing.assert_allclose(outcome.x, center, atol=1e-3)
+        assert outcome.value == pytest.approx(0.0, abs=1e-6)
+
+    def test_anisotropic_quadratic(self, backend):
+        center = np.array([3.0, -1.0])
+        scales = np.array([100.0, 1.0])
+        minimizer = make_minimizer(backend, max_iterations=2000)
+        outcome = minimizer.minimize(quadratic(center, scales), np.array([0.0, 0.0]))
+        np.testing.assert_allclose(outcome.x, center, atol=1e-2)
+
+    def test_starts_at_minimum(self, backend):
+        center = np.array([1.0, 1.0])
+        minimizer = make_minimizer(backend)
+        outcome = minimizer.minimize(quadratic(center, np.ones(2)), center.copy())
+        assert outcome.value == pytest.approx(0.0, abs=1e-12)
+        assert outcome.converged
+
+    def test_monotone_improvement(self, backend):
+        fun = quadratic(np.array([2.0, 2.0]), np.ones(2))
+        start_value, _ = fun(np.zeros(2))
+        minimizer = make_minimizer(backend, max_iterations=50)
+        outcome = minimizer.minimize(fun, np.zeros(2))
+        assert outcome.value <= start_value
+
+
+class TestArmijo:
+    def test_rosenbrock_progress(self):
+        # Full convergence on Rosenbrock takes many steps; verify solid
+        # progress and finiteness.
+        minimizer = ArmijoGradientDescent(max_iterations=2000, gradient_tolerance=1e-8)
+        outcome = minimizer.minimize(rosenbrock, np.array([-1.2, 1.0]))
+        assert outcome.value < 1.0
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(OptimizationError):
+            ArmijoGradientDescent(max_iterations=0)
+        with pytest.raises(OptimizationError):
+            ArmijoGradientDescent(backtrack_factor=1.5)
+        with pytest.raises(OptimizationError):
+            ArmijoGradientDescent(armijo_c=0.0)
+
+    def test_nonfinite_start_raises(self):
+        def bad(x):
+            return np.nan, np.zeros_like(x)
+
+        with pytest.raises(OptimizationError):
+            ArmijoGradientDescent().minimize(bad, np.zeros(2))
+
+    def test_iteration_cap_respected(self):
+        minimizer = ArmijoGradientDescent(max_iterations=3, gradient_tolerance=0.0)
+        outcome = minimizer.minimize(rosenbrock, np.array([-1.2, 1.0]))
+        assert outcome.n_iterations <= 3
+
+    def test_works_with_nongradient_directions(self):
+        # The alpha-hack feeds a damped (non-gradient) field; Armijo must
+        # still make progress because it is a descent direction.
+        center = np.array([1.0, 1.0, 1.0])
+
+        def damped(x):
+            value, grad = quadratic(center, np.ones(3))(x)
+            grad = grad.copy()
+            grad[2] /= 50.0
+            return value, grad
+
+        outcome = ArmijoGradientDescent(max_iterations=3000).minimize(
+            damped, np.zeros(3)
+        )
+        assert outcome.value < 1e-4
+
+
+class TestLBFGS:
+    def test_rosenbrock_converges(self):
+        minimizer = LBFGSOptimizer(max_iterations=500)
+        outcome = minimizer.minimize(rosenbrock, np.array([-1.2, 1.0]))
+        np.testing.assert_allclose(outcome.x, [1.0, 1.0], atol=1e-4)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(OptimizationError):
+            LBFGSOptimizer(max_iterations=0)
+
+
+class TestFactory:
+    def test_unknown_backend(self):
+        with pytest.raises(OptimizationError):
+            make_minimizer("newton")
+
+    def test_known_backends(self):
+        assert isinstance(make_minimizer("armijo"), ArmijoGradientDescent)
+        assert isinstance(make_minimizer("lbfgs"), LBFGSOptimizer)

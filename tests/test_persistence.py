@@ -1,0 +1,80 @@
+"""Unit tests for database snapshots (save/load roundtrips)."""
+
+import numpy as np
+import pytest
+
+from repro.database.persistence import load_database, save_database
+from repro.database.store import ImageDatabase
+from repro.errors import DatabaseError
+from repro.imaging.features import FeatureConfig
+from repro.imaging.regions import region_family
+
+
+def make_db() -> ImageDatabase:
+    config = FeatureConfig(resolution=5, region_family=region_family("small9"))
+    database = ImageDatabase(feature_config=config, name="snap")
+    rng = np.random.default_rng(0)
+    database.add_image(rng.uniform(0.1, 0.9, (24, 24)), "gray-cat", "g-0")
+    database.add_image(rng.uniform(0.1, 0.9, (24, 24, 3)), "rgb-cat", "c-0")
+    return database
+
+
+class TestRoundtrip:
+    def test_pixels_and_labels_survive(self, tmp_path):
+        database = make_db()
+        path = save_database(database, tmp_path / "snap.npz")
+        restored = load_database(path)
+        assert len(restored) == 2
+        assert restored.name == "snap"
+        assert restored.categories() == ("gray-cat", "rgb-cat")
+        np.testing.assert_allclose(
+            restored.record("g-0").image.pixels, database.record("g-0").image.pixels
+        )
+
+    def test_rgb_survives(self, tmp_path):
+        database = make_db()
+        restored = load_database(save_database(database, tmp_path / "s.npz"))
+        np.testing.assert_allclose(
+            restored.record("c-0").image.rgb, database.record("c-0").image.rgb
+        )
+        assert restored.record("g-0").image.rgb is None
+
+    def test_feature_config_survives(self, tmp_path):
+        database = make_db()
+        restored = load_database(save_database(database, tmp_path / "s.npz"))
+        assert restored.feature_config.resolution == 5
+        assert restored.feature_config.region_family.name == "small9"
+
+    def test_features_identical_after_roundtrip(self, tmp_path):
+        database = make_db()
+        before = database.instances_for("g-0")
+        restored = load_database(save_database(database, tmp_path / "s.npz"))
+        np.testing.assert_allclose(restored.instances_for("g-0"), before)
+
+    def test_suffix_added(self, tmp_path):
+        path = save_database(make_db(), tmp_path / "noext")
+        assert path.suffix == ".npz"
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatabaseError):
+            load_database(tmp_path / "missing.npz")
+
+    def test_malformed_snapshot(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, stuff=np.zeros(3))
+        with pytest.raises(DatabaseError):
+            load_database(path)
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(DatabaseError):
+            load_database(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        path.write_bytes(b"")
+        with pytest.raises(DatabaseError):
+            load_database(path)

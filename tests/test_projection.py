@@ -1,0 +1,170 @@
+"""Unit tests for the constraint set projection and constrained solvers."""
+
+import numpy as np
+import pytest
+
+from repro.core.projection import (
+    ProjectedGradientDescent,
+    SLSQPBackend,
+    is_feasible,
+    project_weights,
+)
+from repro.errors import OptimizationError
+
+
+class TestProjectWeights:
+    def test_feasible_point_clipped_only(self):
+        w = np.array([0.5, 0.8, 0.9, 1.0])
+        out = project_weights(w, beta=0.5)
+        np.testing.assert_allclose(out, w)
+
+    def test_box_clipping(self):
+        w = np.array([-0.5, 1.5, 0.3])
+        out = project_weights(w, beta=0.0)
+        np.testing.assert_allclose(out, [0.0, 1.0, 0.3])
+
+    def test_sum_constraint_enforced(self):
+        w = np.zeros(4)
+        out = project_weights(w, beta=0.5)
+        assert out.sum() == pytest.approx(2.0, abs=1e-6)
+
+    def test_result_always_feasible(self):
+        rng = np.random.default_rng(0)
+        for beta in (0.0, 0.25, 0.5, 0.75, 1.0):
+            for _ in range(20):
+                w = rng.normal(0, 2, size=rng.integers(2, 30))
+                out = project_weights(w, beta)
+                assert is_feasible(out, beta, tolerance=1e-6)
+
+    def test_idempotent(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            w = rng.normal(0, 2, size=10)
+            once = project_weights(w, 0.6)
+            twice = project_weights(once, 0.6)
+            np.testing.assert_allclose(once, twice, atol=1e-9)
+
+    def test_beta_one_forces_all_ones(self):
+        w = np.random.default_rng(2).normal(size=8)
+        out = project_weights(w, beta=1.0)
+        np.testing.assert_allclose(out, 1.0, atol=1e-6)
+
+    def test_projection_is_nearest_point(self):
+        # Brute-force check on a small grid: no feasible grid point is
+        # closer to y than the projection.
+        rng = np.random.default_rng(3)
+        beta = 0.6
+        for _ in range(5):
+            y = rng.normal(0, 1.5, size=3)
+            projected = project_weights(y, beta)
+            best = np.inf
+            grid = np.linspace(0, 1, 21)
+            for a in grid:
+                for b in grid:
+                    for c in grid:
+                        candidate = np.array([a, b, c])
+                        if candidate.sum() >= beta * 3 - 1e-12:
+                            best = min(best, float(((candidate - y) ** 2).sum()))
+            assert float(((projected - y) ** 2).sum()) <= best + 1e-4
+
+    def test_kkt_shift_structure(self):
+        # When the sum constraint is active the projection has the form
+        # clip(y + lam, 0, 1) for a single scalar lam >= 0.
+        y = np.array([-0.2, 0.1, 0.4, -0.6])
+        beta = 0.7
+        projected = project_weights(y, beta)
+        interior = (projected > 1e-9) & (projected < 1 - 1e-9)
+        if interior.sum() >= 2:
+            shifts = (projected - y)[interior]
+            assert np.allclose(shifts, shifts[0], atol=1e-6)
+            assert shifts[0] >= -1e-9
+
+    def test_invalid_beta(self):
+        with pytest.raises(OptimizationError):
+            project_weights(np.zeros(3), beta=1.5)
+
+    def test_empty_vector(self):
+        with pytest.raises(OptimizationError):
+            project_weights(np.array([]), beta=0.5)
+
+
+class TestIsFeasible:
+    def test_accepts_interior(self):
+        assert is_feasible(np.array([0.5, 0.6]), beta=0.5)
+
+    def test_rejects_outside_box(self):
+        assert not is_feasible(np.array([1.2, 0.5]), beta=0.0)
+
+    def test_rejects_low_sum(self):
+        assert not is_feasible(np.array([0.1, 0.1]), beta=0.9)
+
+    def test_rejects_empty(self):
+        assert not is_feasible(np.array([]), beta=0.5)
+
+
+def constrained_quadratic(t_center: np.ndarray, w_center: np.ndarray):
+    """Separable quadratic over (t, w) for solver tests."""
+
+    def fun(t: np.ndarray, w: np.ndarray):
+        dt = t - t_center
+        dw = w - w_center
+        value = float(0.5 * (dt @ dt) + 0.5 * (dw @ dw))
+        return value, dt.copy(), dw.copy()
+
+    return fun
+
+
+@pytest.mark.parametrize("solver_cls", [ProjectedGradientDescent, SLSQPBackend])
+class TestConstrainedSolvers:
+    def test_interior_optimum_found(self, solver_cls):
+        t_center = np.array([2.0, -1.0])
+        w_center = np.array([0.5, 0.7])  # feasible for beta=0.4
+        solver = solver_cls(beta=0.4)
+        outcome = solver.minimize(
+            constrained_quadratic(t_center, w_center), np.zeros(2), np.ones(2) * 0.6
+        )
+        np.testing.assert_allclose(outcome.t, t_center, atol=1e-3)
+        np.testing.assert_allclose(outcome.w, w_center, atol=1e-3)
+
+    def test_boundary_optimum_projected(self, solver_cls):
+        # Unconstrained optimum w = (0, 0) violates sum >= 1.2; constrained
+        # optimum is the projection (0.6, 0.6).
+        t_center = np.zeros(2)
+        w_center = np.zeros(2)
+        solver = solver_cls(beta=0.6)
+        outcome = solver.minimize(
+            constrained_quadratic(t_center, w_center), np.ones(2), np.ones(2)
+        )
+        assert outcome.w.sum() >= 1.2 - 1e-6
+        np.testing.assert_allclose(outcome.w, [0.6, 0.6], atol=1e-2)
+
+    def test_result_feasible(self, solver_cls):
+        solver = solver_cls(beta=0.5)
+        outcome = solver.minimize(
+            constrained_quadratic(np.zeros(3), np.array([0.1, 0.0, 0.2])),
+            np.zeros(3),
+            np.ones(3),
+        )
+        assert is_feasible(outcome.w, 0.5, tolerance=1e-6)
+
+    def test_invalid_beta_rejected(self, solver_cls):
+        with pytest.raises(OptimizationError):
+            solver_cls(beta=-0.1)
+
+
+class TestProjectedGradientSpecifics:
+    def test_invalid_iterations(self):
+        with pytest.raises(OptimizationError):
+            ProjectedGradientDescent(beta=0.5, max_iterations=0)
+
+    def test_nonfinite_start_raises(self):
+        def bad(t, w):
+            return np.nan, np.zeros_like(t), np.zeros_like(w)
+
+        solver = ProjectedGradientDescent(beta=0.5)
+        with pytest.raises(OptimizationError):
+            solver.minimize(bad, np.zeros(2), np.ones(2))
+
+    def test_beta_property(self):
+        assert ProjectedGradientDescent(beta=0.3).beta == pytest.approx(0.3)
+        assert SLSQPBackend(beta=0.7).beta == pytest.approx(0.7)

@@ -1,0 +1,119 @@
+"""Property-based tests of the Section 3.4 Claim.
+
+The Claim is the load-bearing identity of the whole feature representation:
+for any vectors and any non-negative weights,
+
+    ||B_ij - B_lm||^2_w = 2n - 2n * Corr_w(A_ij, A_lm)
+
+and hence distance ranking on normalised vectors equals reversed correlation
+ranking on raw vectors.  Hypothesis searches for counterexamples.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.imaging.correlation import weighted_correlation
+from repro.imaging.transform import (
+    normalize_feature,
+    weighted_squared_distance,
+)
+
+# Vectors with enough spread that sigma' is comfortably nonzero.
+_DIMS = st.integers(min_value=3, max_value=40)
+
+
+def vector_strategy(n: int):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=n,
+        elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+    ).filter(lambda v: float(np.std(v)) > 1e-3)
+
+
+def weight_strategy(n: int):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=n,
+        elements=st.floats(min_value=0.05, max_value=5.0, allow_nan=False),
+    )
+
+
+@st.composite
+def claim_case(draw):
+    n = draw(_DIMS)
+    a1 = draw(vector_strategy(n))
+    a2 = draw(vector_strategy(n))
+    w = draw(weight_strategy(n))
+    return a1, a2, w
+
+
+@given(claim_case())
+@settings(max_examples=150, deadline=None)
+def test_distance_equals_two_n_minus_two_n_corr(case):
+    a1, a2, w = case
+    n = a1.size
+    try:
+        b1 = normalize_feature(a1, w)
+        b2 = normalize_feature(a2, w)
+        corr = weighted_correlation(a1, a2, w)
+    except Exception:
+        # Weighted-degenerate input (sigma' ~ 0); the Claim presumes
+        # non-degenerate vectors.
+        return
+    distance = weighted_squared_distance(b1, b2, w)
+    assert distance == pytest.approx(2 * n * (1 - corr), rel=1e-6, abs=1e-6)
+
+
+@given(claim_case())
+@settings(max_examples=150, deadline=None)
+def test_lemma_weighted_norm_is_n(case):
+    a1, _, w = case
+    try:
+        b1 = normalize_feature(a1, w)
+    except Exception:
+        return
+    assert float(w @ (b1 * b1)) == pytest.approx(a1.size, rel=1e-8)
+
+
+@given(claim_case(), claim_case())
+@settings(max_examples=100, deadline=None)
+def test_ordering_equivalence(case_a, case_b):
+    # Use one shared weight vector (truncated/padded to a common size).
+    a1, a2, w = case_a
+    c1, c2, _ = case_b
+    n = min(a1.size, a2.size, c1.size, c2.size)
+    a1, a2, c1, c2, w = a1[:n], a2[:n], c1[:n], c2[:n], w[:n]
+    if n < 3:
+        return
+    try:
+        corr_a = weighted_correlation(a1, a2, w)
+        corr_b = weighted_correlation(c1, c2, w)
+        d_a = weighted_squared_distance(
+            normalize_feature(a1, w), normalize_feature(a2, w), w
+        )
+        d_b = weighted_squared_distance(
+            normalize_feature(c1, w), normalize_feature(c2, w), w
+        )
+    except Exception:
+        return
+    # Claim parts 1-3: Corr(pair a) > Corr(pair b) iff dist(a) < dist(b).
+    if corr_a > corr_b + 1e-9:
+        assert d_a < d_b + 1e-6
+    elif corr_b > corr_a + 1e-9:
+        assert d_b < d_a + 1e-6
+
+
+@given(claim_case())
+@settings(max_examples=100, deadline=None)
+def test_distance_bounds_match_correlation_bounds(case):
+    # Corr in [-1, 1] implies distance in [0, 4n].
+    a1, a2, w = case
+    try:
+        b1 = normalize_feature(a1, w)
+        b2 = normalize_feature(a2, w)
+    except Exception:
+        return
+    distance = weighted_squared_distance(b1, b2, w)
+    assert -1e-6 <= distance <= 4 * a1.size + 1e-6

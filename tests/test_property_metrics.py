@@ -1,0 +1,97 @@
+"""Property-based tests of retrieval-metric invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.eval.curves import PrecisionRecallCurve, RecallCurve
+from repro.eval.metrics import (
+    average_precision,
+    precision_points,
+    recall_points,
+)
+
+
+def relevance_arrays(min_size: int = 1, max_size: int = 200):
+    return hnp.arrays(
+        dtype=np.bool_,
+        shape=st.integers(min_value=min_size, max_value=max_size),
+        elements=st.booleans(),
+    )
+
+
+@given(relevance_arrays())
+@settings(max_examples=200, deadline=None)
+def test_precision_in_unit_interval(relevance):
+    points = precision_points(relevance)
+    assert np.all((points >= 0.0) & (points <= 1.0))
+
+
+@given(relevance_arrays())
+@settings(max_examples=200, deadline=None)
+def test_recall_monotone_nondecreasing(relevance):
+    points = recall_points(relevance)
+    assert np.all(np.diff(points) >= -1e-12)
+
+
+@given(relevance_arrays())
+@settings(max_examples=200, deadline=None)
+def test_recall_reaches_one_over_full_ranking(relevance):
+    points = recall_points(relevance)
+    if relevance.any():
+        assert points[-1] == 1.0
+    else:
+        assert np.all(points == 0.0)
+
+
+@given(relevance_arrays())
+@settings(max_examples=200, deadline=None)
+def test_average_precision_bounds(relevance):
+    assert 0.0 <= average_precision(relevance) <= 1.0
+
+
+@given(relevance_arrays(min_size=2))
+@settings(max_examples=150, deadline=None)
+def test_swapping_adjacent_improvement_helps_ap(relevance):
+    """Moving a relevant item one position earlier never lowers AP."""
+    relevance = relevance.copy()
+    # Find an adjacent (False, True) pair to swap into (True, False).
+    for k in range(relevance.size - 1):
+        if not relevance[k] and relevance[k + 1]:
+            improved = relevance.copy()
+            improved[k], improved[k + 1] = True, False
+            assert average_precision(improved) >= average_precision(relevance) - 1e-12
+            break
+
+
+@given(relevance_arrays())
+@settings(max_examples=150, deadline=None)
+def test_perfect_ranking_maximises_ap(relevance):
+    n_relevant = int(relevance.sum())
+    if n_relevant == 0:
+        return
+    perfect = np.zeros_like(relevance)
+    perfect[:n_relevant] = True
+    assert average_precision(perfect) >= average_precision(relevance) - 1e-12
+    assert average_precision(perfect) == 1.0
+
+
+@given(relevance_arrays())
+@settings(max_examples=100, deadline=None)
+def test_curve_objects_consistent_with_metrics(relevance):
+    recall_curve = RecallCurve(relevance)
+    pr_curve = PrecisionRecallCurve(relevance)
+    np.testing.assert_allclose(recall_curve.points[1], recall_points(relevance))
+    np.testing.assert_allclose(pr_curve.points[1], precision_points(relevance))
+
+
+@given(relevance_arrays(), st.integers(min_value=0, max_value=500))
+@settings(max_examples=150, deadline=None)
+def test_external_total_scales_recall(relevance, extra):
+    hits = int(relevance.sum())
+    total = hits + extra
+    if total == 0:
+        return
+    points = recall_points(relevance, n_relevant=total)
+    assert points[-1] <= 1.0
+    np.testing.assert_allclose(points[-1], hits / total)

@@ -1,0 +1,112 @@
+"""Property-based tests of the Diverse Density objective."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.bags.bag import Bag, BagSet
+from repro.core.objective import DiverseDensityObjective
+
+
+@st.composite
+def mil_problem(draw):
+    """A random small bag set plus a query point and weights."""
+    n_dims = draw(st.integers(min_value=1, max_value=6))
+    n_pos = draw(st.integers(min_value=1, max_value=4))
+    n_neg = draw(st.integers(min_value=0, max_value=3))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    bag_set = BagSet()
+    for index in range(n_pos):
+        n_inst = int(rng.integers(1, 6))
+        bag_set.add(
+            Bag(
+                instances=rng.normal(0, 2, size=(n_inst, n_dims)),
+                label=True,
+                bag_id=f"p{index}",
+            )
+        )
+    for index in range(n_neg):
+        n_inst = int(rng.integers(1, 6))
+        bag_set.add(
+            Bag(
+                instances=rng.normal(0, 2, size=(n_inst, n_dims)),
+                label=False,
+                bag_id=f"n{index}",
+            )
+        )
+    t = rng.normal(0, 2, size=n_dims)
+    w = rng.uniform(0.01, 3.0, size=n_dims)
+    return bag_set, t, w
+
+
+@given(mil_problem())
+@settings(max_examples=150, deadline=None)
+def test_nll_nonnegative_and_finite(problem):
+    bag_set, t, w = problem
+    objective = DiverseDensityObjective(bag_set)
+    value = objective.value(t, w)
+    assert np.isfinite(value)
+    assert value >= -1e-9
+
+
+@given(mil_problem())
+@settings(max_examples=100, deadline=None)
+def test_gradients_finite(problem):
+    bag_set, t, w = problem
+    objective = DiverseDensityObjective(bag_set)
+    value, grad_t, grad_w = objective.value_and_grad(t, w)
+    assert np.all(np.isfinite(grad_t))
+    assert np.all(np.isfinite(grad_w))
+
+
+@given(mil_problem())
+@settings(max_examples=75, deadline=None)
+def test_gradient_matches_finite_differences(problem):
+    bag_set, t, w = problem
+    objective = DiverseDensityObjective(bag_set)
+    _, grad_t, grad_w = objective.value_and_grad(t, w)
+    eps = 1e-6
+    for k in range(min(t.size, 3)):  # spot-check up to 3 coordinates
+        tp, tm = t.copy(), t.copy()
+        tp[k] += eps
+        tm[k] -= eps
+        numeric = (objective.value(tp, w) - objective.value(tm, w)) / (2 * eps)
+        assert abs(grad_t[k] - numeric) <= 1e-4 * max(1.0, abs(numeric))
+        wp, wm = w.copy(), w.copy()
+        wp[k] += eps
+        wm[k] = max(wm[k] - eps, 0.0)
+        numeric_w = (objective.value(t, wp) - objective.value(t, wm)) / (wp[k] - wm[k])
+        assert abs(grad_w[k] - numeric_w) <= 1e-3 * max(1.0, abs(numeric_w))
+
+
+@given(mil_problem())
+@settings(max_examples=100, deadline=None)
+def test_bag_probabilities_in_unit_interval(problem):
+    bag_set, t, w = problem
+    objective = DiverseDensityObjective(bag_set)
+    pos, neg = objective.bag_probabilities(t, w)
+    assert np.all((pos >= 0) & (pos <= 1))
+    assert np.all((neg >= 0) & (neg <= 1))
+
+
+@given(mil_problem())
+@settings(max_examples=100, deadline=None)
+def test_nll_decomposes_over_bags(problem):
+    """NLL of the whole set equals the sum of per-bag NLL contributions."""
+    bag_set, t, w = problem
+    objective = DiverseDensityObjective(bag_set)
+    pos, neg = objective.bag_probabilities(t, w)
+    pos = np.maximum(pos, 1e-300)
+    neg = np.maximum(neg, 1e-300)
+    expected = -float(np.log(pos).sum()) - float(np.log(neg).sum())
+    np.testing.assert_allclose(objective.value(t, w), expected, rtol=1e-6, atol=1e-9)
+
+
+@given(mil_problem())
+@settings(max_examples=100, deadline=None)
+def test_squared_parametrisation_consistent(problem):
+    bag_set, t, w = problem
+    objective = DiverseDensityObjective(bag_set)
+    s = np.sqrt(w)
+    value_sq, _, _ = objective.value_and_grad_squared(t, s)
+    np.testing.assert_allclose(value_sq, objective.value(t, w), rtol=1e-9)

@@ -1,0 +1,78 @@
+"""Property-based tests of the constraint-set projection (Section 3.6.3)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.projection import is_feasible, project_weights
+
+_BETAS = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+def weight_vectors():
+    return st.integers(min_value=1, max_value=60).flatmap(
+        lambda n: hnp.arrays(
+            dtype=np.float64,
+            shape=n,
+            elements=st.floats(min_value=-10, max_value=10, allow_nan=False),
+        )
+    )
+
+
+@given(weight_vectors(), _BETAS)
+@settings(max_examples=200, deadline=None)
+def test_projection_is_feasible(y, beta):
+    assert is_feasible(project_weights(y, beta), beta, tolerance=1e-6)
+
+
+@given(weight_vectors(), _BETAS)
+@settings(max_examples=200, deadline=None)
+def test_projection_idempotent(y, beta):
+    once = project_weights(y, beta)
+    twice = project_weights(once, beta)
+    np.testing.assert_allclose(twice, once, atol=1e-7)
+
+
+@given(weight_vectors(), _BETAS)
+@settings(max_examples=200, deadline=None)
+def test_feasible_points_fixed(y, beta):
+    clipped = np.clip(y, 0.0, 1.0)
+    if clipped.sum() >= beta * y.size:
+        np.testing.assert_allclose(project_weights(clipped, beta), clipped, atol=1e-9)
+
+
+@given(weight_vectors(), _BETAS, st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=150, deadline=None)
+def test_projection_no_farther_than_any_sample(y, beta, seed):
+    """The projection is at least as close to y as random feasible points."""
+    projected = project_weights(y, beta)
+    rng = np.random.default_rng(seed)
+    proj_dist = float(((projected - y) ** 2).sum())
+    for _ in range(5):
+        candidate = rng.uniform(0.0, 1.0, size=y.size)
+        candidate = project_weights(candidate, beta)  # ensure feasibility
+        cand_dist = float(((candidate - y) ** 2).sum())
+        assert proj_dist <= cand_dist + 1e-6
+
+
+@given(weight_vectors())
+@settings(max_examples=100, deadline=None)
+def test_beta_zero_is_plain_clip(y):
+    np.testing.assert_allclose(project_weights(y, 0.0), np.clip(y, 0, 1), atol=1e-12)
+
+
+@given(weight_vectors())
+@settings(max_examples=100, deadline=None)
+def test_beta_one_is_all_ones(y):
+    np.testing.assert_allclose(project_weights(y, 1.0), 1.0, atol=1e-6)
+
+
+@given(weight_vectors(), _BETAS)
+@settings(max_examples=150, deadline=None)
+def test_projection_monotone_in_input(y, beta):
+    """Raising one coordinate of y never lowers that coordinate's projection."""
+    projected = project_weights(y, beta)
+    bumped = y.copy()
+    bumped[0] += 0.5
+    projected_bumped = project_weights(bumped, beta)
+    assert projected_bumped[0] >= projected[0] - 1e-7

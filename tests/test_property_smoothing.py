@@ -1,0 +1,86 @@
+"""Property-based tests of smoothing-and-sampling invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.imaging.smoothing import block_grid, smooth_and_sample
+
+
+@st.composite
+def image_and_resolution(draw):
+    rows = draw(st.integers(min_value=12, max_value=80))
+    cols = draw(st.integers(min_value=12, max_value=80))
+    resolution = draw(st.integers(min_value=2, max_value=min(rows, cols, 12)))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    plane = np.random.default_rng(seed).uniform(size=(rows, cols))
+    return plane, resolution
+
+
+@given(image_and_resolution())
+@settings(max_examples=100, deadline=None)
+def test_output_shape_and_range(case):
+    plane, resolution = case
+    out = smooth_and_sample(plane, resolution)
+    assert out.shape == (resolution, resolution)
+    assert out.min() >= plane.min() - 1e-12
+    assert out.max() <= plane.max() + 1e-12
+
+
+@given(image_and_resolution())
+@settings(max_examples=100, deadline=None)
+def test_mirror_commutes(case):
+    plane, resolution = case
+    left = smooth_and_sample(plane[:, ::-1], resolution)
+    right = smooth_and_sample(plane, resolution)[:, ::-1]
+    np.testing.assert_allclose(left, right, atol=1e-10)
+
+
+@given(image_and_resolution())
+@settings(max_examples=100, deadline=None)
+def test_vertical_flip_commutes(case):
+    plane, resolution = case
+    top = smooth_and_sample(plane[::-1, :], resolution)
+    bottom = smooth_and_sample(plane, resolution)[::-1, :]
+    np.testing.assert_allclose(top, bottom, atol=1e-10)
+
+
+@given(image_and_resolution(), st.floats(min_value=-0.2, max_value=0.2))
+@settings(max_examples=100, deadline=None)
+def test_brightness_shift_equivariance(case, shift):
+    plane, resolution = case
+    shifted = np.clip(plane + shift, 0.0, 1.0)
+    if not np.allclose(shifted - plane, shift):
+        return  # clipping broke the pure shift; skip
+    out_base = smooth_and_sample(plane, resolution)
+    out_shifted = smooth_and_sample(shifted, resolution)
+    np.testing.assert_allclose(out_shifted, out_base + shift, atol=1e-10)
+
+
+@given(image_and_resolution())
+@settings(max_examples=100, deadline=None)
+def test_blocks_tile_with_expected_overlap(case):
+    plane, resolution = case
+    rows, cols = plane.shape
+    row_starts, col_starts, block_rows, block_cols = block_grid(rows, cols, resolution)
+    assert row_starts[0] == 0 and col_starts[0] == 0
+    assert row_starts[-1] + block_rows == rows
+    assert col_starts[-1] + block_cols == cols
+    assert np.all(np.diff(row_starts) >= 0)
+
+
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(
+            st.integers(min_value=10, max_value=40),
+            st.integers(min_value=10, max_value=40),
+        ),
+        elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_constant_regions_stay_constant(plane):
+    constant = np.full_like(plane, float(plane.flat[0]))
+    out = smooth_and_sample(constant, 5)
+    np.testing.assert_allclose(out, plane.flat[0], atol=1e-12)

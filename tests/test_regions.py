@@ -1,0 +1,162 @@
+"""Unit tests for region families (Section 3.2, Figure 3-5)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RegionError
+from repro.imaging.regions import (
+    INSTANCES_PER_REGION,
+    Region,
+    RegionFamily,
+    available_families,
+    default_region_family,
+    family_for_instance_count,
+    region_family,
+)
+
+
+class TestRegion:
+    def test_valid_region(self):
+        region = Region(0.1, 0.2, 0.5, 0.5, name="r")
+        assert region.area == pytest.approx(0.25)
+
+    def test_full_frame(self):
+        region = Region(0.0, 0.0, 1.0, 1.0)
+        assert region.area == pytest.approx(1.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(top=-0.1, left=0.0, height=0.5, width=0.5),
+            dict(top=0.0, left=1.0, height=0.5, width=0.5),
+            dict(top=0.0, left=0.0, height=0.0, width=0.5),
+            dict(top=0.0, left=0.0, height=0.5, width=1.5),
+            dict(top=0.6, left=0.0, height=0.5, width=0.5),
+            dict(top=0.0, left=0.7, height=0.5, width=0.5),
+        ],
+    )
+    def test_invalid_geometry_raises(self, kwargs):
+        with pytest.raises(RegionError):
+            Region(**kwargs)
+
+    def test_pixel_box_full(self):
+        region = Region(0.0, 0.0, 1.0, 1.0)
+        assert region.pixel_box(48, 64) == (0, 0, 48, 64)
+
+    def test_pixel_box_quadrant(self):
+        region = Region(0.5, 0.5, 0.5, 0.5)
+        top, left, height, width = region.pixel_box(100, 100)
+        assert (top, left) == (50, 50)
+        assert (height, width) == (50, 50)
+
+    def test_pixel_box_always_in_bounds(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            top = rng.uniform(0, 0.9)
+            left = rng.uniform(0, 0.9)
+            region = Region(
+                top, left, rng.uniform(0.05, 1.0 - top), rng.uniform(0.05, 1.0 - left)
+            )
+            rows, cols = int(rng.integers(10, 200)), int(rng.integers(10, 200))
+            t, l, h, w = region.pixel_box(rows, cols)
+            assert 0 <= t and t + h <= rows
+            assert 0 <= l and l + w <= cols
+            assert h >= 2 and w >= 2
+
+    def test_extract_shape(self):
+        plane = np.random.default_rng(1).uniform(size=(60, 80))
+        region = Region(0.25, 0.25, 0.5, 0.5)
+        crop = region.extract(plane)
+        assert crop.shape == (30, 40)
+
+    def test_extract_content(self):
+        plane = np.arange(100, dtype=float).reshape(10, 10) / 100
+        region = Region(0.0, 0.0, 0.5, 0.5)
+        np.testing.assert_allclose(region.extract(plane), plane[:5, :5])
+
+    def test_extract_rejects_3d(self):
+        with pytest.raises(RegionError):
+            Region(0, 0, 1, 1).extract(np.zeros((5, 5, 3)))
+
+
+class TestRegionFamily:
+    def test_default_has_20_regions(self):
+        family = default_region_family()
+        assert len(family) == 20
+        assert family.max_instances == 40
+
+    def test_small_family(self):
+        family = region_family("small9")
+        assert len(family) == 9
+        assert family.max_instances == 18
+
+    def test_large_family(self):
+        family = region_family("large42")
+        assert len(family) == 42
+        assert family.max_instances == 84
+
+    def test_instance_count_aliases(self):
+        assert len(family_for_instance_count(18)) == 9
+        assert len(family_for_instance_count(40)) == 20
+        assert len(family_for_instance_count(84)) == 42
+
+    def test_unknown_instance_count_raises(self):
+        with pytest.raises(RegionError):
+            family_for_instance_count(50)
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(RegionError):
+            region_family("nope")
+
+    def test_available_families(self):
+        assert set(available_families()) == {"small9", "default20", "large42"}
+
+    def test_first_region_is_full_frame(self):
+        # The feature pipeline's keep_full_frame relies on this ordering.
+        for name in available_families():
+            family = region_family(name)
+            first = family[0]
+            assert first.area == pytest.approx(1.0)
+            assert first.name == "full"
+
+    def test_region_names_unique(self):
+        for name in available_families():
+            names = [region.name for region in region_family(name)]
+            assert len(names) == len(set(names))
+
+    def test_families_nest(self):
+        # small9 regions appear in default20 which appear in large42.
+        small = {r.name for r in region_family("small9")}
+        default = {r.name for r in region_family("default20")}
+        large = {r.name for r in region_family("large42")}
+        assert small <= default <= large
+
+    def test_all_regions_valid_on_small_image(self):
+        plane = np.random.default_rng(2).uniform(size=(32, 32))
+        for region in region_family("large42"):
+            crop = region.extract(plane)
+            assert crop.shape[0] >= 2 and crop.shape[1] >= 2
+
+    def test_deterministic_order(self):
+        first = [r.name for r in region_family("default20")]
+        second = [r.name for r in region_family("default20")]
+        assert first == second
+
+    def test_iteration_and_indexing_agree(self):
+        family = default_region_family()
+        assert list(family)[3] == family[3]
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(RegionError):
+            RegionFamily("empty", [])
+
+    def test_instances_per_region_constant(self):
+        assert INSTANCES_PER_REGION == 2
+
+    def test_coverage_of_frame(self):
+        # Union of the default regions covers the whole frame.
+        covered = np.zeros((50, 50), dtype=bool)
+        for region in default_region_family():
+            t, l, h, w = region.pixel_box(50, 50)
+            covered[t : t + h, l : l + w] = True
+        assert covered.all()

@@ -1,0 +1,77 @@
+"""Unit tests for ASCII reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.reporting import ascii_curve, ascii_table, format_weight_matrix
+
+
+class TestAsciiTable:
+    def test_renders_headers_and_rows(self):
+        text = ascii_table(["name", "value"], [["alpha", 1.0], ["beta", 0.25]])
+        assert "name" in text
+        assert "alpha" in text
+        assert "0.250" in text
+
+    def test_title_included(self):
+        text = ascii_table(["x"], [[1.0]], title="Table 3.1")
+        assert text.splitlines()[0] == "Table 3.1"
+
+    def test_column_alignment(self):
+        text = ascii_table(["a", "b"], [["xxxxxx", 1.0]])
+        lines = text.splitlines()
+        assert lines[0].index("|") == lines[2].index("|")
+
+    def test_custom_float_format(self):
+        text = ascii_table(["v"], [[0.123456]], float_format="{:.5f}")
+        assert "0.12346" in text
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(EvaluationError):
+            ascii_table(["a", "b"], [["only-one"]])
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(EvaluationError):
+            ascii_table([], [])
+
+    def test_empty_rows_ok(self):
+        text = ascii_table(["a"], [])
+        assert "a" in text
+
+
+class TestAsciiCurve:
+    def test_renders_grid(self):
+        x = np.linspace(0, 1, 30)
+        y = x**2
+        text = ascii_curve(x, y, title="squares")
+        assert "squares" in text
+        assert "*" in text
+
+    def test_fixed_y_range(self):
+        text = ascii_curve(np.array([0, 1]), np.array([0.2, 0.4]), y_range=(0, 1))
+        assert "1.000" in text
+
+    def test_constant_y_handled(self):
+        text = ascii_curve(np.array([0.0, 1.0]), np.array([0.5, 0.5]))
+        assert "*" in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(EvaluationError):
+            ascii_curve(np.zeros(3), np.zeros(4))
+
+    def test_tiny_grid_rejected(self):
+        with pytest.raises(EvaluationError):
+            ascii_curve(np.zeros(2), np.zeros(2), width=5, height=2)
+
+
+class TestWeightMatrix:
+    def test_renders_all_entries(self):
+        matrix = np.arange(9, dtype=float).reshape(3, 3)
+        text = format_weight_matrix(matrix)
+        assert "8.00" in text
+        assert len(text.splitlines()) == 3
+
+    def test_rejects_1d(self):
+        with pytest.raises(EvaluationError):
+            format_weight_matrix(np.zeros(4))

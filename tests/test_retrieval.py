@@ -1,0 +1,149 @@
+"""Unit tests for the retrieval engine and ranking results."""
+
+import numpy as np
+import pytest
+
+from repro.core.concept import LearnedConcept
+from repro.core.retrieval import (
+    RankedImage,
+    RetrievalCandidate,
+    RetrievalEngine,
+    RetrievalResult,
+)
+from repro.errors import DatabaseError
+
+
+def concept_at(point: np.ndarray) -> LearnedConcept:
+    return LearnedConcept(t=point, w=np.ones(point.size), nll=0.0)
+
+
+def candidate(image_id: str, category: str, *vectors) -> RetrievalCandidate:
+    return RetrievalCandidate(
+        image_id=image_id, category=category, instances=np.array(vectors, dtype=float)
+    )
+
+
+@pytest.fixture()
+def corpus():
+    return [
+        candidate("close", "target", [0.1, 0.0], [5.0, 5.0]),
+        candidate("mid", "other", [1.0, 1.0], [3.0, 3.0]),
+        candidate("far", "other", [4.0, 4.0]),
+        candidate("closest", "target", [0.0, 0.05]),
+    ]
+
+
+class TestEngine:
+    def test_orders_by_min_instance_distance(self, corpus):
+        result = RetrievalEngine().rank(concept_at(np.zeros(2)), corpus)
+        assert result.image_ids == ("closest", "close", "mid", "far")
+
+    def test_distances_nondecreasing(self, corpus):
+        result = RetrievalEngine().rank(concept_at(np.zeros(2)), corpus)
+        distances = result.distances
+        assert np.all(np.diff(distances) >= -1e-12)
+
+    def test_min_not_mean_instance_used(self):
+        # An image with one great instance and many bad ones must beat an
+        # image with uniformly mediocre instances.
+        items = [
+            candidate("one-good", "a", [0.0, 0.0], [9.0, 9.0], [9.0, -9.0]),
+            candidate("all-okay", "b", [1.0, 1.0], [1.0, -1.0]),
+        ]
+        result = RetrievalEngine().rank(concept_at(np.zeros(2)), items)
+        assert result.image_ids[0] == "one-good"
+
+    def test_exclude_removes_ids(self, corpus):
+        result = RetrievalEngine().rank(
+            concept_at(np.zeros(2)), corpus, exclude=["closest", "far"]
+        )
+        assert result.image_ids == ("close", "mid")
+
+    def test_ties_broken_by_id(self):
+        items = [
+            candidate("b", "x", [1.0, 0.0]),
+            candidate("a", "x", [0.0, 1.0]),
+        ]
+        result = RetrievalEngine().rank(concept_at(np.zeros(2)), items)
+        assert result.image_ids == ("a", "b")
+
+    def test_weighted_distance_respected(self):
+        concept = LearnedConcept(
+            t=np.zeros(2), w=np.array([100.0, 0.01]), nll=0.0
+        )
+        items = [
+            candidate("off-axis-0", "x", [0.5, 0.0]),
+            candidate("off-axis-1", "x", [0.0, 0.5]),
+        ]
+        result = RetrievalEngine().rank(concept, items)
+        assert result.image_ids[0] == "off-axis-1"
+
+    def test_empty_corpus_gives_empty_result(self):
+        result = RetrievalEngine().rank(concept_at(np.zeros(2)), [])
+        assert len(result) == 0
+
+
+class TestRetrievalResult:
+    def make_result(self) -> RetrievalResult:
+        return RetrievalResult(
+            [
+                RankedImage(0, "a", "target", 0.1),
+                RankedImage(1, "b", "other", 0.2),
+                RankedImage(2, "c", "target", 0.3),
+                RankedImage(3, "d", "other", 0.4),
+            ]
+        )
+
+    def test_rank_consistency_enforced(self):
+        with pytest.raises(DatabaseError):
+            RetrievalResult([RankedImage(1, "a", "x", 0.0)])
+
+    def test_top(self):
+        result = self.make_result()
+        assert [e.image_id for e in result.top(2)] == ["a", "b"]
+        assert result.top(0) == ()
+        with pytest.raises(DatabaseError):
+            result.top(-1)
+
+    def test_relevance_mask(self):
+        result = self.make_result()
+        np.testing.assert_array_equal(
+            result.relevance("target"), [True, False, True, False]
+        )
+
+    def test_false_positives(self):
+        result = self.make_result()
+        fps = result.false_positives("target", limit=5)
+        assert [e.image_id for e in fps] == ["b", "d"]
+
+    def test_false_positives_limit(self):
+        result = self.make_result()
+        fps = result.false_positives("target", limit=1)
+        assert [e.image_id for e in fps] == ["b"]
+
+    def test_false_positives_exclude(self):
+        result = self.make_result()
+        fps = result.false_positives("target", limit=5, exclude=["b"])
+        assert [e.image_id for e in fps] == ["d"]
+
+    def test_false_positives_negative_limit(self):
+        with pytest.raises(DatabaseError):
+            self.make_result().false_positives("target", limit=-1)
+
+    def test_precision_at(self):
+        result = self.make_result()
+        assert result.precision_at(1, "target") == pytest.approx(1.0)
+        assert result.precision_at(2, "target") == pytest.approx(0.5)
+        assert result.precision_at(4, "target") == pytest.approx(0.5)
+
+    def test_precision_at_invalid_k(self):
+        with pytest.raises(DatabaseError):
+            self.make_result().precision_at(0, "target")
+
+    def test_iteration(self):
+        result = self.make_result()
+        assert [e.image_id for e in result] == ["a", "b", "c", "d"]
+        assert len(result) == 4
+
+    def test_repr(self):
+        assert "4 images" in repr(self.make_result())

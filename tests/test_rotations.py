@@ -1,0 +1,113 @@
+"""Unit tests for rotation-augmented feature extraction (Ch. 5 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FeatureError
+from repro.imaging.features import FeatureConfig
+from repro.imaging.image import GrayImage
+from repro.imaging.regions import region_family
+from repro.imaging.rotations import (
+    ALLOWED_ANGLES,
+    RotationAugmentedExtractor,
+    RotationConfig,
+)
+
+
+def textured_image(seed: int = 0, size: int = 48) -> GrayImage:
+    plane = np.random.default_rng(seed).uniform(0.1, 0.9, size=(size, size))
+    return GrayImage(pixels=plane, image_id=f"rot-{seed}")
+
+
+def small_rotation_config(angles=(90, 180, 270), mirrors=True) -> RotationConfig:
+    return RotationConfig(
+        base=FeatureConfig(
+            resolution=6,
+            region_family=region_family("small9"),
+            include_mirrors=mirrors,
+        ),
+        angles=angles,
+    )
+
+
+class TestRotationConfig:
+    def test_max_instances(self):
+        config = small_rotation_config()
+        # 9 regions x 2 (mirror) x (1 + 3 rotations) = 72.
+        assert config.max_instances == 72
+
+    def test_no_mirror_counts(self):
+        config = small_rotation_config(mirrors=False)
+        assert config.max_instances == 9 * 4
+
+    def test_invalid_angle_rejected(self):
+        with pytest.raises(FeatureError):
+            small_rotation_config(angles=(45,))
+
+    def test_duplicate_angles_rejected(self):
+        with pytest.raises(FeatureError):
+            small_rotation_config(angles=(90, 90))
+
+    def test_allowed_angles_constant(self):
+        assert ALLOWED_ANGLES == (90, 180, 270)
+
+
+class TestRotationAugmentedExtractor:
+    def test_instance_count(self):
+        extractor = RotationAugmentedExtractor(small_rotation_config())
+        features = extractor.extract(textured_image())
+        assert features.n_instances == 72
+        assert features.n_dims == 36
+
+    def test_sources_labelled_with_angle(self):
+        extractor = RotationAugmentedExtractor(small_rotation_config(angles=(180,)))
+        features = extractor.extract(textured_image(1))
+        names = {source.region_name for source in features.sources}
+        assert any(name.endswith("@rot180") for name in names)
+        assert any(name.endswith("@0") for name in names)
+
+    def test_rot180_is_double_flip(self):
+        # rot180 of the base instance equals flipping both axes.
+        extractor = RotationAugmentedExtractor(
+            small_rotation_config(angles=(180,), mirrors=False)
+        )
+        features = extractor.extract(textured_image(2))
+        base = features.vectors[0].reshape(6, 6)
+        rotated = features.vectors[1].reshape(6, 6)
+        np.testing.assert_allclose(rotated, base[::-1, ::-1], atol=1e-10)
+
+    def test_rotation_invariant_retrieval_property(self):
+        # A bag with rotations matches a rotated probe better than a bag
+        # without them: min distance over instances drops.
+        plane = np.random.default_rng(3).uniform(0.1, 0.9, size=(48, 48))
+        image = GrayImage(pixels=plane)
+        rotated_image = GrayImage(pixels=np.rot90(plane).copy())
+
+        plain_cfg = FeatureConfig(
+            resolution=6, region_family=region_family("small9")
+        )
+        from repro.imaging.features import FeatureExtractor
+
+        probe = FeatureExtractor(plain_cfg).extract(rotated_image).vectors[0]
+
+        plain_bag = FeatureExtractor(plain_cfg).extract(image).vectors
+        augmented_bag = RotationAugmentedExtractor(
+            small_rotation_config()
+        ).extract(image).vectors
+
+        def min_distance(bag: np.ndarray) -> float:
+            return float((((bag - probe) ** 2).sum(axis=1)).min())
+
+        assert min_distance(augmented_bag) < min_distance(plain_bag) - 1e-6
+
+    def test_constant_image_rejected(self):
+        extractor = RotationAugmentedExtractor(small_rotation_config())
+        with pytest.raises(FeatureError):
+            extractor.extract(GrayImage(pixels=np.full((32, 32), 0.5)))
+
+    def test_variance_filter_still_applies(self):
+        plane = np.full((48, 48), 0.5)
+        plane[:24, :24] = np.random.default_rng(4).uniform(0.1, 0.9, (24, 24))
+        extractor = RotationAugmentedExtractor(small_rotation_config())
+        features = extractor.extract(GrayImage(pixels=plane))
+        assert features.dropped_regions

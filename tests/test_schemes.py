@@ -1,0 +1,173 @@
+"""Unit tests for the four weight-control schemes on planted MIL problems."""
+
+import numpy as np
+import pytest
+
+from repro.core.objective import DiverseDensityObjective
+from repro.core.projection import is_feasible
+from repro.core.schemes import (
+    AlphaHackScheme,
+    IdenticalWeightsScheme,
+    InequalityScheme,
+    OriginalDDScheme,
+    make_scheme,
+)
+from repro.errors import TrainingError
+from tests.conftest import make_planted_bag_set
+
+
+@pytest.fixture(scope="module")
+def planted_problem():
+    bag_set, concept = make_planted_bag_set(n_dims=4, seed=7)
+    return DiverseDensityObjective(bag_set), bag_set, concept
+
+
+def best_over_starts(scheme, objective, bag_set, max_starts=12):
+    best = None
+    count = 0
+    for bag in bag_set.positive_bags:
+        for instance in bag.instances:
+            result = scheme.optimize(objective, instance)
+            if best is None or result.value < best.value:
+                best = result
+            count += 1
+            if count >= max_starts:
+                return best
+    return best
+
+
+class TestOriginalScheme:
+    def test_recovers_planted_concept(self, planted_problem):
+        objective, bag_set, concept = planted_problem
+        scheme = OriginalDDScheme(max_iterations=200)
+        best = best_over_starts(scheme, objective, bag_set)
+        assert np.linalg.norm(best.t - concept) < 0.5
+
+    def test_weights_nonnegative(self, planted_problem):
+        objective, bag_set, _ = planted_problem
+        scheme = OriginalDDScheme(max_iterations=100)
+        result = scheme.optimize(objective, bag_set.positive_bags[0].instances[0])
+        assert np.all(result.w >= 0)
+
+    def test_improves_over_start(self, planted_problem):
+        objective, bag_set, _ = planted_problem
+        start = bag_set.positive_bags[0].instances[0]
+        start_value = objective.value(start, np.ones(objective.n_dims))
+        result = OriginalDDScheme(max_iterations=100).optimize(objective, start)
+        assert result.value <= start_value + 1e-9
+
+    def test_armijo_backend_works(self, planted_problem):
+        objective, bag_set, _ = planted_problem
+        scheme = OriginalDDScheme(max_iterations=100, backend="armijo")
+        result = scheme.optimize(objective, bag_set.positive_bags[0].instances[0])
+        assert np.isfinite(result.value)
+
+
+class TestIdenticalScheme:
+    def test_weights_all_one(self, planted_problem):
+        objective, bag_set, _ = planted_problem
+        result = IdenticalWeightsScheme(max_iterations=100).optimize(
+            objective, bag_set.positive_bags[0].instances[0]
+        )
+        np.testing.assert_allclose(result.w, 1.0)
+
+    def test_recovers_planted_concept(self, planted_problem):
+        objective, bag_set, concept = planted_problem
+        best = best_over_starts(
+            IdenticalWeightsScheme(max_iterations=200), objective, bag_set
+        )
+        assert np.linalg.norm(best.t - concept) < 0.5
+
+
+class TestAlphaHackScheme:
+    def test_moves_weights_less_than_original(self, planted_problem):
+        objective, bag_set, _ = planted_problem
+        start = bag_set.positive_bags[0].instances[0]
+        original = OriginalDDScheme(max_iterations=60, backend="armijo").optimize(
+            objective, start
+        )
+        damped = AlphaHackScheme(alpha=200.0, max_iterations=60).optimize(
+            objective, start
+        )
+        move_original = float(np.abs(original.w - 1.0).sum())
+        move_damped = float(np.abs(damped.w - 1.0).sum())
+        assert move_damped <= move_original + 1e-9
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(TrainingError):
+            AlphaHackScheme(alpha=0.0)
+
+    def test_describe_includes_alpha(self):
+        assert "50" in AlphaHackScheme(alpha=50.0).describe()
+
+
+class TestInequalityScheme:
+    @pytest.mark.parametrize("backend", ["projected", "slsqp"])
+    def test_result_feasible(self, planted_problem, backend):
+        objective, bag_set, _ = planted_problem
+        scheme = InequalityScheme(beta=0.5, max_iterations=80, backend=backend)
+        result = scheme.optimize(objective, bag_set.positive_bags[0].instances[0])
+        assert is_feasible(result.w, 0.5, tolerance=1e-5)
+
+    def test_beta_one_equals_identical_weights(self, planted_problem):
+        objective, bag_set, _ = planted_problem
+        result = InequalityScheme(beta=1.0, max_iterations=80).optimize(
+            objective, bag_set.positive_bags[0].instances[0]
+        )
+        np.testing.assert_allclose(result.w, 1.0, atol=1e-6)
+
+    def test_recovers_planted_concept(self, planted_problem):
+        objective, bag_set, concept = planted_problem
+        best = best_over_starts(
+            InequalityScheme(beta=0.5, max_iterations=150), objective, bag_set
+        )
+        assert np.linalg.norm(best.t - concept) < 0.6
+
+    def test_invalid_beta_rejected(self):
+        with pytest.raises(TrainingError):
+            InequalityScheme(beta=2.0)
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(TrainingError):
+            InequalityScheme(beta=0.5, backend="cfsqp")
+
+    def test_describe_includes_beta(self):
+        assert "0.25" in InequalityScheme(beta=0.25).describe()
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("original", OriginalDDScheme),
+            ("identical", IdenticalWeightsScheme),
+            ("alpha_hack", AlphaHackScheme),
+            ("inequality", InequalityScheme),
+        ],
+    )
+    def test_builds_each_scheme(self, name, cls):
+        assert isinstance(make_scheme(name), cls)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(TrainingError):
+            make_scheme("magic")
+
+    def test_parameters_forwarded(self):
+        scheme = make_scheme("inequality", beta=0.25)
+        assert scheme.beta == pytest.approx(0.25)
+        scheme = make_scheme("alpha_hack", alpha=10.0)
+        assert scheme.alpha == pytest.approx(10.0)
+
+    def test_w0_validation(self, planted_problem):
+        objective, bag_set, _ = planted_problem
+        scheme = make_scheme("original")
+        with pytest.raises(TrainingError):
+            scheme.optimize(
+                objective, bag_set.positive_bags[0].instances[0], w0=np.ones(3)
+            )
+        with pytest.raises(TrainingError):
+            scheme.optimize(
+                objective,
+                bag_set.positive_bags[0].instances[0],
+                w0=-np.ones(objective.n_dims),
+            )

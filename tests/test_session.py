@@ -1,0 +1,89 @@
+"""Unit tests for the RetrievalSession facade."""
+
+import pytest
+
+from repro.errors import DatabaseError, TrainingError
+from repro.session import RetrievalSession
+
+
+@pytest.fixture()
+def session(tiny_scene_db) -> RetrievalSession:
+    return RetrievalSession(
+        tiny_scene_db, scheme="identical", max_iterations=40, seed=4
+    )
+
+
+class TestExampleManagement:
+    def test_manual_examples(self, session, tiny_scene_db):
+        ids = tiny_scene_db.ids_in_category("waterfall")
+        session.add_positive(ids[0])
+        session.add_negative(tiny_scene_db.ids_in_category("field")[0])
+        assert session.positive_ids == (ids[0],)
+        assert len(session.negative_ids) == 1
+
+    def test_unknown_id_rejected(self, session):
+        with pytest.raises(DatabaseError):
+            session.add_positive("no-such-image")
+
+    def test_double_claim_rejected(self, session, tiny_scene_db):
+        image_id = tiny_scene_db.ids_in_category("waterfall")[0]
+        session.add_positive(image_id)
+        with pytest.raises(DatabaseError):
+            session.add_negative(image_id)
+
+    def test_add_examples_bulk(self, session):
+        session.add_examples("waterfall", n_positive=3, n_negative=3)
+        assert len(session.positive_ids) == 3
+        assert len(session.negative_ids) == 3
+
+    def test_seeded_selection_deterministic(self, tiny_scene_db):
+        a = RetrievalSession(tiny_scene_db, scheme="identical", seed=9)
+        b = RetrievalSession(tiny_scene_db, scheme="identical", seed=9)
+        a.add_examples("waterfall", 3, 3)
+        b.add_examples("waterfall", 3, 3)
+        assert a.positive_ids == b.positive_ids
+
+
+class TestTrainingAndRanking:
+    def test_train_requires_positives(self, session):
+        with pytest.raises(TrainingError):
+            session.train()
+
+    def test_concept_requires_training(self, session):
+        session.add_examples("waterfall", 2, 2)
+        with pytest.raises(TrainingError):
+            session.concept
+
+    def test_train_and_rank(self, session, tiny_scene_db):
+        session.add_examples("waterfall", 3, 3)
+        result = session.train_and_rank()
+        assert len(result) == len(tiny_scene_db) - 6
+        assert session.concept.n_dims == 36
+
+    def test_examples_excluded_from_ranking(self, session):
+        session.add_examples("waterfall", 3, 3)
+        result = session.train_and_rank()
+        ranked = set(result.image_ids)
+        assert not ranked & (set(session.positive_ids) | set(session.negative_ids))
+
+    def test_adding_example_invalidates_concept(self, session, tiny_scene_db):
+        session.add_examples("waterfall", 2, 2)
+        session.train()
+        _ = session.concept
+        session.add_negative(tiny_scene_db.ids_in_category("mountain")[0])
+        with pytest.raises(TrainingError):
+            session.concept
+
+    def test_mark_false_positives(self, session):
+        session.add_examples("waterfall", 2, 2)
+        result = session.train_and_rank()
+        bad = [e.image_id for e in result.top(3) if e.category != "waterfall"]
+        session.mark_false_positives(bad)
+        assert set(bad) <= set(session.negative_ids)
+
+    def test_rank_subset(self, session, tiny_scene_db):
+        session.add_examples("waterfall", 2, 2)
+        session.train()
+        subset = tiny_scene_db.ids_in_category("sunset")
+        result = session.rank(subset)
+        assert set(result.image_ids) <= set(subset)

@@ -1,0 +1,115 @@
+"""Unit tests for the paired bootstrap significance machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.retrieval import RankedImage, RetrievalResult
+from repro.errors import EvaluationError
+from repro.eval.significance import (
+    PairedComparison,
+    paired_bootstrap,
+    seed_resampled_aps,
+)
+
+
+def ranking_from_order(ids_in_order, relevant_ids) -> RetrievalResult:
+    return RetrievalResult(
+        [
+            RankedImage(
+                rank=position,
+                image_id=image_id,
+                category="target" if image_id in relevant_ids else "other",
+                distance=float(position),
+            )
+            for position, image_id in enumerate(ids_in_order)
+        ]
+    )
+
+
+@pytest.fixture()
+def corpus_ids():
+    return [f"img-{i:02d}" for i in range(30)]
+
+
+@pytest.fixture()
+def relevant(corpus_ids):
+    return set(corpus_ids[:10])
+
+
+class TestPairedBootstrap:
+    def test_identical_rankings_not_significant(self, corpus_ids, relevant):
+        good = ranking_from_order(corpus_ids, relevant)
+        result = paired_bootstrap(good, good, "target", n_replicates=300, seed=0)
+        assert result.mean_difference == pytest.approx(0.0, abs=1e-12)
+        assert not result.significant
+        assert "very close" in result.verdict()
+
+    def test_clear_winner_is_significant(self, corpus_ids, relevant):
+        perfect = ranking_from_order(corpus_ids, relevant)  # relevant first
+        terrible = ranking_from_order(corpus_ids[::-1], relevant)  # relevant last
+        result = paired_bootstrap(perfect, terrible, "target", n_replicates=400, seed=1)
+        assert result.mean_difference > 0.3
+        assert result.significant
+        assert "first better" in result.verdict()
+
+    def test_direction_symmetry(self, corpus_ids, relevant):
+        perfect = ranking_from_order(corpus_ids, relevant)
+        terrible = ranking_from_order(corpus_ids[::-1], relevant)
+        forward = paired_bootstrap(perfect, terrible, "target", 300, seed=2)
+        backward = paired_bootstrap(terrible, perfect, "target", 300, seed=2)
+        assert forward.mean_difference == pytest.approx(
+            -backward.mean_difference, abs=0.05
+        )
+
+    def test_p_value_in_unit_interval(self, corpus_ids, relevant):
+        a = ranking_from_order(corpus_ids, relevant)
+        shuffled = list(corpus_ids)
+        np.random.default_rng(3).shuffle(shuffled)
+        b = ranking_from_order(shuffled, relevant)
+        result = paired_bootstrap(a, b, "target", n_replicates=200, seed=3)
+        assert 0.0 <= result.p_value <= 1.0
+
+    def test_mismatched_image_sets_rejected(self, corpus_ids, relevant):
+        a = ranking_from_order(corpus_ids, relevant)
+        b = ranking_from_order(corpus_ids[:-1], relevant)
+        with pytest.raises(EvaluationError):
+            paired_bootstrap(a, b, "target")
+
+    def test_no_relevant_images_rejected(self, corpus_ids):
+        a = ranking_from_order(corpus_ids, set())
+        with pytest.raises(EvaluationError):
+            paired_bootstrap(a, a, "target")
+
+    def test_too_few_replicates_rejected(self, corpus_ids, relevant):
+        a = ranking_from_order(corpus_ids, relevant)
+        with pytest.raises(EvaluationError):
+            paired_bootstrap(a, a, "target", n_replicates=10)
+
+    def test_deterministic_given_seed(self, corpus_ids, relevant):
+        a = ranking_from_order(corpus_ids, relevant)
+        b = ranking_from_order(corpus_ids[::-1], relevant)
+        first = paired_bootstrap(a, b, "target", 200, seed=9)
+        second = paired_bootstrap(a, b, "target", 200, seed=9)
+        assert first == second
+
+
+class TestSeedResampling:
+    def test_collects_aps(self):
+        class FakeResult:
+            def __init__(self, ap):
+                self.average_precision = ap
+
+        values = seed_resampled_aps(lambda seed: FakeResult(seed / 10), seeds=(1, 2, 3))
+        np.testing.assert_allclose(values, [0.1, 0.2, 0.3])
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(EvaluationError):
+            seed_resampled_aps(lambda seed: None, seeds=())
+
+
+class TestPairedComparisonDataclass:
+    def test_significance_rule(self):
+        significant = PairedComparison(0.2, 0.1, 0.3, 0.01, 100)
+        assert significant.significant
+        straddling = PairedComparison(0.05, -0.02, 0.12, 0.3, 100)
+        assert not straddling.significant

@@ -1,0 +1,143 @@
+"""Unit tests for smoothing-and-sampling (Section 3.1.2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageFormatError
+from repro.imaging.smoothing import block_grid, smooth_and_sample, smoothed_vector
+
+
+class TestBlockGrid:
+    def test_counts(self):
+        row_starts, col_starts, block_rows, block_cols = block_grid(100, 100, 10)
+        assert len(row_starts) == 10
+        assert len(col_starts) == 10
+
+    def test_paper_kernel_size(self):
+        # Paper: kernel is 2m/h x 2n/h.
+        _, _, block_rows, block_cols = block_grid(100, 80, 10)
+        assert block_rows == 20
+        assert block_cols == 16
+
+    def test_fifty_percent_overlap(self):
+        row_starts, _, block_rows, _ = block_grid(100, 100, 10)
+        strides = np.diff(row_starts)
+        # Stride ~ half the block size = ~50% overlap.
+        assert np.all(strides >= block_rows // 2 - 2)
+        assert np.all(strides <= block_rows // 2 + 2)
+
+    def test_blocks_stay_in_bounds(self):
+        for extent in (30, 57, 100, 201):
+            row_starts, col_starts, block_rows, block_cols = block_grid(extent, extent, 10)
+            assert row_starts[0] == 0
+            assert row_starts[-1] + block_rows == extent
+            assert col_starts[-1] + block_cols == extent
+
+    def test_starts_are_mirror_symmetric(self):
+        # Required so smoothing commutes with left-right mirroring.
+        for extent in (31, 64, 97, 100):
+            starts, _, block, _ = block_grid(extent, extent, 10)
+            span = extent - block
+            np.testing.assert_array_equal(starts[::-1], span - starts)
+
+    def test_resolution_one_single_block(self):
+        row_starts, col_starts, block_rows, block_cols = block_grid(50, 40, 1)
+        assert list(row_starts) == [0]
+        assert block_rows <= 50 and block_cols <= 40
+
+    def test_rejects_zero_resolution(self):
+        with pytest.raises(ImageFormatError):
+            block_grid(100, 100, 0)
+
+    def test_rejects_image_smaller_than_grid(self):
+        with pytest.raises(ImageFormatError):
+            block_grid(5, 100, 10)
+
+
+class TestSmoothAndSample:
+    def test_output_shape(self):
+        out = smooth_and_sample(np.random.default_rng(0).uniform(size=(60, 80)), 10)
+        assert out.shape == (10, 10)
+
+    def test_constant_image_gives_constant_matrix(self):
+        out = smooth_and_sample(np.full((50, 50), 0.37), 10)
+        np.testing.assert_allclose(out, 0.37)
+
+    def test_values_are_block_means(self):
+        plane = np.random.default_rng(1).uniform(size=(40, 40))
+        out = smooth_and_sample(plane, 5)
+        row_starts, col_starts, block_rows, block_cols = block_grid(40, 40, 5)
+        expected = plane[
+            row_starts[2] : row_starts[2] + block_rows,
+            col_starts[3] : col_starts[3] + block_cols,
+        ].mean()
+        assert out[2, 3] == pytest.approx(expected)
+
+    def test_matches_naive_implementation(self):
+        plane = np.random.default_rng(2).uniform(size=(33, 47))
+        resolution = 7
+        out = smooth_and_sample(plane, resolution)
+        row_starts, col_starts, block_rows, block_cols = block_grid(33, 47, resolution)
+        naive = np.empty((resolution, resolution))
+        for i, r0 in enumerate(row_starts):
+            for j, c0 in enumerate(col_starts):
+                naive[i, j] = plane[r0 : r0 + block_rows, c0 : c0 + block_cols].mean()
+        np.testing.assert_allclose(out, naive, atol=1e-10)
+
+    def test_commutes_with_mirror(self):
+        plane = np.random.default_rng(3).uniform(size=(51, 67))
+        direct = smooth_and_sample(plane[:, ::-1], 10)
+        flipped = smooth_and_sample(plane, 10)[:, ::-1]
+        np.testing.assert_allclose(direct, flipped, atol=1e-12)
+
+    def test_preserves_mean_brightness_roughly(self):
+        plane = np.random.default_rng(4).uniform(size=(80, 80))
+        out = smooth_and_sample(plane, 10)
+        assert out.mean() == pytest.approx(plane.mean(), abs=0.02)
+
+    def test_output_within_input_range(self):
+        plane = np.random.default_rng(5).uniform(0.2, 0.8, size=(64, 64))
+        out = smooth_and_sample(plane, 10)
+        assert out.min() >= 0.2 - 1e-12
+        assert out.max() <= 0.8 + 1e-12
+
+    def test_gradient_image_monotone_rows(self):
+        plane = np.tile(np.linspace(0, 1, 60)[:, None], (1, 60))
+        out = smooth_and_sample(plane, 6)
+        diffs = np.diff(out[:, 0])
+        assert np.all(diffs > 0)
+
+    def test_shift_insensitivity(self):
+        # The motivation of Section 3.1.2: a 1-pixel shift barely changes
+        # the smoothed matrix.
+        rng = np.random.default_rng(6)
+        base = np.cumsum(rng.normal(size=(64, 65)), axis=1)
+        base = (base - base.min()) / (base.max() - base.min())
+        a = smooth_and_sample(base[:, :-1], 10)
+        b = smooth_and_sample(base[:, 1:], 10)
+        assert np.abs(a - b).max() < 0.1
+
+    def test_rejects_3d(self):
+        with pytest.raises(ImageFormatError):
+            smooth_and_sample(np.zeros((10, 10, 3)), 5)
+
+    def test_rectangular_input_ok(self):
+        out = smooth_and_sample(np.random.default_rng(7).uniform(size=(30, 90)), 6)
+        assert out.shape == (6, 6)
+
+    def test_resolution_equal_to_size(self):
+        plane = np.random.default_rng(8).uniform(size=(10, 10))
+        out = smooth_and_sample(plane, 10)
+        assert out.shape == (10, 10)
+
+
+class TestSmoothedVector:
+    def test_flattens(self):
+        vec = smoothed_vector(np.random.default_rng(9).uniform(size=(40, 40)), 10)
+        assert vec.shape == (100,)
+
+    def test_matches_matrix(self):
+        plane = np.random.default_rng(10).uniform(size=(40, 40))
+        np.testing.assert_allclose(
+            smoothed_vector(plane, 5), smooth_and_sample(plane, 5).reshape(-1)
+        )

@@ -1,0 +1,100 @@
+"""Unit tests for database splits (Section 4.1 protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.database.splits import DatabaseSplit, split_database, split_ids
+from repro.database.store import ImageDatabase
+from repro.errors import SplitError
+
+
+def make_db(per_category: int = 10) -> ImageDatabase:
+    database = ImageDatabase()
+    rng = np.random.default_rng(0)
+    for category in ("a", "b", "c"):
+        for index in range(per_category):
+            database.add_image(
+                rng.uniform(0.1, 0.9, size=(16, 16)), category, f"{category}-{index}"
+            )
+    return database
+
+
+class TestDatabaseSplit:
+    def test_disjointness_enforced(self):
+        with pytest.raises(SplitError):
+            DatabaseSplit(potential_ids=("a", "b"), test_ids=("b", "c"))
+
+    def test_sizes(self):
+        split = DatabaseSplit(potential_ids=("a",), test_ids=("b", "c"))
+        assert split.n_potential == 1
+        assert split.n_test == 2
+
+
+class TestSplitDatabase:
+    def test_default_fraction(self):
+        split = split_database(make_db(10), training_fraction=0.2, seed=0)
+        assert split.n_potential == 6  # 2 per category
+        assert split.n_test == 24
+
+    def test_stratified(self):
+        split = split_database(make_db(10), training_fraction=0.3, seed=1)
+        for category in ("a", "b", "c"):
+            count = sum(1 for i in split.potential_ids if i.startswith(category))
+            assert count == 3
+
+    def test_covers_database(self):
+        database = make_db(10)
+        split = split_database(database, seed=2)
+        assert set(split.potential_ids) | set(split.test_ids) == set(database.image_ids)
+
+    def test_deterministic(self):
+        database = make_db(10)
+        assert split_database(database, seed=7) == split_database(database, seed=7)
+
+    def test_different_seeds_differ(self):
+        database = make_db(10)
+        assert split_database(database, seed=1) != split_database(database, seed=2)
+
+    def test_min_training_floor(self):
+        split = split_database(
+            make_db(5), training_fraction=0.05, seed=0, min_training_per_category=1
+        )
+        for category in ("a", "b", "c"):
+            assert any(i.startswith(category) for i in split.potential_ids)
+
+    def test_empty_database_rejected(self):
+        with pytest.raises(SplitError):
+            split_database(ImageDatabase())
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(SplitError):
+            split_database(make_db(), training_fraction=0.0)
+        with pytest.raises(SplitError):
+            split_database(make_db(), training_fraction=1.0)
+
+    def test_tiny_category_rejected(self):
+        database = ImageDatabase()
+        database.add_image(np.random.rand(16, 16) * 0.8, "solo", "solo-0")
+        with pytest.raises(SplitError):
+            split_database(database, training_fraction=0.5)
+
+
+class TestSplitIds:
+    def test_basic(self):
+        ids = [f"x-{i}" for i in range(10)] + [f"y-{i}" for i in range(10)]
+        cats = ["x"] * 10 + ["y"] * 10
+        split = split_ids(ids, cats, training_fraction=0.2, seed=0)
+        assert split.n_potential == 4
+        assert split.n_test == 16
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SplitError):
+            split_ids(["a"], ["x", "y"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SplitError):
+            split_ids([], [])
+
+    def test_single_member_category_rejected(self):
+        with pytest.raises(SplitError):
+            split_ids(["a", "b"], ["x", "y"], training_fraction=0.5)

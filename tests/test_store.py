@@ -1,0 +1,137 @@
+"""Unit tests for the image database store."""
+
+import numpy as np
+import pytest
+
+from repro.database.store import ImageDatabase
+from repro.errors import DatabaseError
+from repro.imaging.features import FeatureConfig
+from repro.imaging.image import GrayImage
+from repro.imaging.regions import region_family
+
+
+def textured(seed: int, size: int = 48) -> np.ndarray:
+    return np.random.default_rng(seed).uniform(0.1, 0.9, size=(size, size))
+
+
+@pytest.fixture()
+def db() -> ImageDatabase:
+    config = FeatureConfig(resolution=5, region_family=region_family("small9"))
+    database = ImageDatabase(feature_config=config, name="test-db")
+    for index in range(4):
+        database.add_image(textured(index), "alpha", image_id=f"alpha-{index}")
+    for index in range(3):
+        database.add_image(textured(10 + index), "beta", image_id=f"beta-{index}")
+    return database
+
+
+class TestMutation:
+    def test_add_and_len(self, db):
+        assert len(db) == 7
+
+    def test_auto_ids(self):
+        database = ImageDatabase()
+        first = database.add_image(textured(0), "x")
+        second = database.add_image(textured(1), "x")
+        assert first != second
+        assert first.startswith("img-")
+
+    def test_duplicate_id_rejected(self, db):
+        with pytest.raises(DatabaseError):
+            db.add_image(textured(99), "alpha", image_id="alpha-0")
+
+    def test_empty_category_rejected(self, db):
+        with pytest.raises(DatabaseError):
+            db.add_image(textured(99), "")
+
+    def test_add_gray_image_object(self, db):
+        image = GrayImage.from_array(textured(50))
+        image_id = db.add_image(image, "gamma", image_id="g-0")
+        assert db.category_of(image_id) == "gamma"
+
+    def test_add_rgb_keeps_color(self, db):
+        rgb = np.random.default_rng(60).uniform(size=(48, 48, 3))
+        image_id = db.add_image(rgb, "gamma", image_id="g-1")
+        assert db.record(image_id).image.rgb is not None
+
+    def test_add_images_bulk(self):
+        database = ImageDatabase()
+        ids = database.add_images(
+            [(textured(i), "bulk") for i in range(3)], id_prefix="blk-"
+        )
+        assert ids == ["blk-000000", "blk-000001", "blk-000002"]
+
+
+class TestLookup:
+    def test_record(self, db):
+        record = db.record("alpha-1")
+        assert record.category == "alpha"
+        assert record.image_id == "alpha-1"
+
+    def test_unknown_record(self, db):
+        with pytest.raises(DatabaseError):
+            db.record("missing")
+
+    def test_contains(self, db):
+        assert "alpha-0" in db
+        assert "zzz" not in db
+
+    def test_categories_sorted(self, db):
+        assert db.categories() == ("alpha", "beta")
+
+    def test_ids_in_category(self, db):
+        assert db.ids_in_category("beta") == ("beta-0", "beta-1", "beta-2")
+
+    def test_unknown_category(self, db):
+        with pytest.raises(DatabaseError):
+            db.ids_in_category("gamma")
+
+    def test_category_sizes(self, db):
+        assert db.category_sizes() == {"alpha": 4, "beta": 3}
+
+    def test_iteration(self, db):
+        assert len(list(db)) == 7
+
+    def test_repr(self, db):
+        assert "7 images" in repr(db)
+
+
+class TestCorpusViews:
+    def test_instances_shape(self, db):
+        instances = db.instances_for("alpha-0")
+        assert instances.shape == (18, 25)  # small9 family with mirrors, h=5
+
+    def test_instances_cached(self, db):
+        first = db.instances_for("alpha-0")
+        second = db.instances_for("alpha-0")
+        assert first is second
+
+    def test_category_of(self, db):
+        assert db.category_of("beta-2") == "beta"
+
+    def test_bag_for(self, db):
+        bag = db.bag_for("alpha-2", label=True)
+        assert bag.label is True
+        assert bag.bag_id == "alpha-2"
+        assert bag.n_instances == 18
+
+    def test_retrieval_candidates_all(self, db):
+        candidates = db.retrieval_candidates()
+        assert len(candidates) == 7
+
+    def test_retrieval_candidates_subset(self, db):
+        candidates = db.retrieval_candidates(["beta-0", "alpha-3"])
+        assert [c.image_id for c in candidates] == ["beta-0", "alpha-3"]
+        assert candidates[0].category == "beta"
+
+    def test_precompute_features(self, db):
+        assert db.precompute_features() == 7
+
+    def test_reconfigure_invalidates_cache(self, db):
+        before = db.instances_for("alpha-0")
+        db.reconfigure(
+            FeatureConfig(resolution=4, region_family=region_family("small9"))
+        )
+        after = db.instances_for("alpha-0")
+        assert after.shape[1] == 16
+        assert before.shape[1] == 25

@@ -1,0 +1,167 @@
+"""Unit tests for the Section 3.4 normalisation and its Claim."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FeatureError
+from repro.imaging.correlation import correlation_coefficient, weighted_correlation
+from repro.imaging.transform import (
+    correlation_from_distance,
+    distance_from_correlation,
+    normalize_feature,
+    normalize_features,
+    weighted_squared_distance,
+    weighted_std,
+)
+
+
+class TestWeightedStd:
+    def test_unit_weights_match_population_std(self):
+        x = np.random.default_rng(0).normal(size=30)
+        assert weighted_std(x) == pytest.approx(float(x.std()))
+
+    def test_scaling_weights_scales_std(self):
+        x = np.random.default_rng(1).normal(size=30)
+        w = np.random.default_rng(2).uniform(0.5, 2.0, size=30)
+        assert weighted_std(x, 4 * w) == pytest.approx(2 * weighted_std(x, w))
+
+    def test_rejects_short_vectors(self):
+        with pytest.raises(FeatureError):
+            weighted_std(np.array([1.0]))
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(FeatureError):
+            weighted_std(np.arange(5.0), np.array([1, 1, -1, 1, 1.0]))
+
+
+class TestNormalizeFeature:
+    def test_zero_mean(self):
+        x = np.random.default_rng(3).normal(3.0, 2.0, size=40)
+        assert normalize_feature(x).mean() == pytest.approx(0.0, abs=1e-12)
+
+    def test_unit_weighted_norm_lemma(self):
+        # The Lemma of Section 3.4: sum_k w_k B_k^2 = n.
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=25)
+        w = rng.uniform(0.1, 2.0, size=25)
+        b = normalize_feature(x, w)
+        assert float(w @ (b * b)) == pytest.approx(25.0)
+
+    def test_unit_norm_with_unit_weights(self):
+        x = np.random.default_rng(5).normal(size=16)
+        b = normalize_feature(x)
+        assert float(b @ b) == pytest.approx(16.0)
+
+    def test_constant_raises(self):
+        with pytest.raises(FeatureError):
+            normalize_feature(np.full(10, 3.3))
+
+    def test_idempotent_up_to_nothing(self):
+        # Normalising a normalised vector leaves it unchanged.
+        x = np.random.default_rng(6).normal(size=20)
+        b = normalize_feature(x)
+        np.testing.assert_allclose(normalize_feature(b), b, atol=1e-12)
+
+    def test_scale_invariance(self):
+        x = np.random.default_rng(7).normal(size=20)
+        np.testing.assert_allclose(
+            normalize_feature(x), normalize_feature(5 * x + 2), atol=1e-10
+        )
+
+
+class TestNormalizeFeatures:
+    def test_matches_rowwise(self):
+        data = np.random.default_rng(8).normal(size=(6, 15))
+        batch = normalize_features(data)
+        for row_index in range(6):
+            np.testing.assert_allclose(
+                batch[row_index], normalize_feature(data[row_index]), atol=1e-12
+            )
+
+    def test_constant_row_raises(self):
+        data = np.random.default_rng(9).normal(size=(3, 8))
+        data[2] = 1.0
+        with pytest.raises(FeatureError):
+            normalize_features(data)
+
+    def test_rejects_1d(self):
+        with pytest.raises(FeatureError):
+            normalize_features(np.zeros(5))
+
+
+class TestClaim:
+    """The Section 3.4 Claim: distance on B orders pairs like correlation on A."""
+
+    def test_distance_correlation_identity_unit_weights(self):
+        rng = np.random.default_rng(10)
+        a1, a2 = rng.normal(size=30), rng.normal(size=30)
+        b1, b2 = normalize_feature(a1), normalize_feature(a2)
+        distance = weighted_squared_distance(b1, b2)
+        corr = correlation_coefficient(a1, a2)
+        # ||B1 - B2||^2 = 2n - 2n Corr(A1, A2)
+        assert distance == pytest.approx(2 * 30 * (1 - corr), rel=1e-9)
+
+    def test_distance_correlation_identity_weighted(self):
+        rng = np.random.default_rng(11)
+        n = 24
+        a1, a2 = rng.normal(size=n), rng.normal(size=n)
+        w = rng.uniform(0.1, 2.0, size=n)
+        b1 = normalize_feature(a1, w)
+        b2 = normalize_feature(a2, w)
+        distance = weighted_squared_distance(b1, b2, w)
+        corr = weighted_correlation(a1, a2, w)
+        assert distance == pytest.approx(2 * n * (1 - corr), rel=1e-9)
+
+    def test_ordering_equivalence(self):
+        rng = np.random.default_rng(12)
+        n = 20
+        vectors = rng.normal(size=(8, n))
+        normalized = normalize_features(vectors)
+        pairs = [(i, j) for i in range(8) for j in range(i + 1, 8)]
+        corrs = [correlation_coefficient(vectors[i], vectors[j]) for i, j in pairs]
+        dists = [
+            weighted_squared_distance(normalized[i], normalized[j]) for i, j in pairs
+        ]
+        # Higher correlation <=> smaller distance: rankings are reversed.
+        assert np.argsort(corrs).tolist() == np.argsort(dists)[::-1].tolist()
+
+
+class TestConversions:
+    def test_roundtrip(self):
+        for corr in (-1.0, -0.3, 0.0, 0.42, 1.0):
+            distance = distance_from_correlation(corr, 50)
+            assert correlation_from_distance(distance, 50) == pytest.approx(corr)
+
+    def test_perfect_correlation_zero_distance(self):
+        assert distance_from_correlation(1.0, 100) == pytest.approx(0.0)
+
+    def test_inverse_correlation_max_distance(self):
+        assert distance_from_correlation(-1.0, 100) == pytest.approx(400.0)
+
+    def test_invalid_correlation_raises(self):
+        with pytest.raises(FeatureError):
+            distance_from_correlation(1.5, 10)
+
+    def test_negative_distance_raises(self):
+        with pytest.raises(FeatureError):
+            correlation_from_distance(-1.0, 10)
+
+    def test_tiny_dims_raise(self):
+        with pytest.raises(FeatureError):
+            distance_from_correlation(0.5, 1)
+
+
+class TestWeightedSquaredDistance:
+    def test_zero_for_identical(self):
+        x = np.random.default_rng(13).normal(size=10)
+        assert weighted_squared_distance(x, x) == pytest.approx(0.0)
+
+    def test_matches_manual(self):
+        x = np.array([1.0, 2.0, 3.0])
+        y = np.array([0.0, 0.0, 0.0])
+        w = np.array([1.0, 2.0, 0.5])
+        assert weighted_squared_distance(x, y, w) == pytest.approx(1 + 8 + 4.5)
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(FeatureError):
+            weighted_squared_distance(np.zeros(3), np.zeros(4))
