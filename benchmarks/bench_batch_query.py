@@ -1,0 +1,94 @@
+"""Extension bench — RetrievalService batch throughput, single vs multi-worker.
+
+Not a paper artefact.  The ``repro.api`` redesign added
+``RetrievalService.batch_query(queries, workers=N)`` for multi-user
+traffic; this bench measures what that buys: the same seeded query batch
+executed sequentially and on a thread pool, with the determinism guarantee
+(bit-identical rankings either way) asserted as part of the run.
+
+Claims: multi-worker execution returns exactly the sequential rankings,
+and wall time does not regress catastrophically (loosely asserted — thread
+speed-ups depend on how much time numpy spends outside the GIL on the
+machine at hand).
+"""
+
+import time
+
+from repro.api.query import Query
+from repro.api.service import RetrievalService
+from repro.core.feedback import select_examples
+from repro.eval.reporting import ascii_table
+from repro.experiments.databases import scene_database
+
+WORKERS = 4
+
+
+def _build_queries(database, scale) -> list[Query]:
+    queries = []
+    for index, category in enumerate(database.categories()):
+        selection = select_examples(
+            database, database.image_ids, category,
+            n_positive=3, n_negative=3, seed=31 + index,
+        )
+        queries.append(
+            Query(
+                positive_ids=selection.positive_ids,
+                negative_ids=selection.negative_ids,
+                learner="dd",
+                params={
+                    "scheme": "identical",
+                    "max_iterations": scale.max_iterations,
+                    "start_bag_subset": scale.start_bag_subset,
+                    "start_instance_stride": scale.start_instance_stride,
+                    "seed": 31 + index,
+                },
+                top_k=10,
+                query_id=category,
+            )
+        )
+    return queries
+
+
+def test_batch_query_throughput(benchmark, report, scale):
+    def run_both():
+        database = scene_database(scale)
+        service = RetrievalService(database)
+        service.warm("dd")  # charge feature extraction up front, not per run
+        queries = _build_queries(database, scale)
+
+        started = time.perf_counter()
+        sequential = service.batch_query(queries, workers=1)
+        sequential_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        parallel = service.batch_query(queries, workers=WORKERS)
+        parallel_s = time.perf_counter() - started
+
+        identical = all(
+            seq.ranking.image_ids == par.ranking.image_ids
+            for seq, par in zip(sequential, parallel)
+        )
+        return len(queries), sequential_s, parallel_s, identical
+
+    n_queries, sequential_s, parallel_s, identical = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+    assert identical, "multi-worker batch diverged from sequential execution"
+    # Threads must not make things pathologically slower.
+    assert parallel_s < sequential_s * 3.0
+
+    rows = [
+        ["sequential (workers=1)", f"{sequential_s:.2f}",
+         f"{n_queries / sequential_s:.2f}"],
+        [f"thread pool (workers={WORKERS})", f"{parallel_s:.2f}",
+         f"{n_queries / parallel_s:.2f}"],
+    ]
+    report(
+        ascii_table(
+            ["execution", "wall s", "queries/s"],
+            rows,
+            title=f"batch_query throughput, {n_queries} queries "
+            f"(speed-up x{sequential_s / parallel_s:.2f}, "
+            f"rankings identical: {identical})",
+        )
+    )

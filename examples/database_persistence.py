@@ -1,7 +1,9 @@
 """Database snapshots: save a featurised database and query the restored copy.
 
-Demonstrates the persistence layer: build a database, snapshot it to
-``.npz``, reload it, and verify a query session over the restored database
+Demonstrates the persistence layer together with the query API: build a
+database, snapshot it to ``.npz``, reload it, and verify that the *same
+frozen* :class:`~repro.api.query.Query` executed by a fresh
+:class:`~repro.api.service.RetrievalService` over the restored database
 reproduces the original ranking exactly.
 
     python examples/database_persistence.py
@@ -10,7 +12,8 @@ reproduces the original ranking exactly.
 import tempfile
 from pathlib import Path
 
-from repro import RetrievalSession, quick_database
+from repro import Query, RetrievalService, quick_database
+from repro.core.feedback import select_examples
 from repro.database.persistence import load_database, save_database
 
 
@@ -18,12 +21,19 @@ def main() -> None:
     database = quick_database("objects", images_per_category=6, seed=13)
     print(f"built {database}")
 
-    session = RetrievalSession(
-        database, scheme="identical", max_iterations=50, seed=13
+    selection = select_examples(
+        database, database.image_ids, "camera", n_positive=3, n_negative=3, seed=13
     )
-    session.add_examples("camera", n_positive=3, n_negative=3)
-    before = session.train_and_rank()
-    print("top 5 before snapshot:", [e.image_id for e in before.top(5)])
+    query = Query(
+        positive_ids=selection.positive_ids,
+        negative_ids=selection.negative_ids,
+        learner="dd",
+        params={"scheme": "identical", "max_iterations": 50, "seed": 13},
+        top_k=5,
+    )
+
+    before = RetrievalService(database).query(query)
+    print("top 5 before snapshot:", [e.image_id for e in before.top()])
 
     with tempfile.TemporaryDirectory() as tmp:
         path = save_database(database, Path(tmp) / "objects.npz")
@@ -33,14 +43,12 @@ def main() -> None:
         restored = load_database(path)
         print(f"restored {restored}")
 
-        session2 = RetrievalSession(
-            restored, scheme="identical", max_iterations=50, seed=13
-        )
-        session2.add_examples("camera", n_positive=3, n_negative=3)
-        after = session2.train_and_rank()
-        print("top 5 after restore: ", [e.image_id for e in after.top(5)])
+        # The query object is frozen and database-independent, so the very
+        # same request runs against the restored copy.
+        after = RetrievalService(restored).query(query)
+        print("top 5 after restore: ", [e.image_id for e in after.top()])
 
-        identical = before.image_ids == after.image_ids
+        identical = before.ranking.image_ids == after.ranking.image_ids
         print(f"\nrankings identical across the snapshot roundtrip: {identical}")
         if not identical:
             raise SystemExit("snapshot roundtrip changed the ranking!")

@@ -1,11 +1,15 @@
 """Quickstart: build a small image database, train on examples, retrieve.
 
+Shows both front doors: the stateful :class:`RetrievalSession` (the
+interactive workflow) and the :class:`RetrievalService` query API the
+session is built on (one ``Query`` in, one ``QueryResult`` out).
+
 Runs in under a minute::
 
     python examples/quickstart.py
 """
 
-from repro import RetrievalSession, quick_database
+from repro import Query, RetrievalService, RetrievalSession, quick_database
 
 
 def main() -> None:
@@ -47,6 +51,25 @@ def main() -> None:
               f"distance={entry.distance:8.3f}")
     print(f"\nprecision@10 = {hits / 10:.2f} "
           f"(random would give ~{1 / len(database.categories()):.2f})")
+
+    # 5. The same retrieval as one self-contained service query.  The
+    #    session above is a thin wrapper over this API; swap the learner
+    #    name (e.g. "emdd") to change the training algorithm.
+    service = RetrievalService(database)
+    response = service.query(
+        Query(
+            positive_ids=session.positive_ids,
+            negative_ids=session.negative_ids,
+            learner="dd",
+            params={"scheme": "inequality", "beta": 0.5,
+                    "max_iterations": 50, "start_bag_subset": 2, "seed": 7},
+            top_k=10,
+        )
+    )
+    same = response.ranking.image_ids == result.image_ids
+    print(f"\nservice query reproduces the session ranking: {same}")
+    print(f"service timing: fit {response.timing.fit_seconds:.2f}s, "
+          f"rank {response.timing.rank_seconds:.2f}s")
 
 
 if __name__ == "__main__":

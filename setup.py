@@ -1,5 +1,38 @@
-"""Setup shim for environments without the `wheel` package (offline installs)."""
+"""Packaging for the ICDE 2000 MIL image-retrieval reproduction.
 
-from setuptools import setup
+Kept as a plain ``setup.py`` (no ``wheel``/``build`` requirement) so the
+package installs in offline environments; the version is sourced from
+``src/repro/version.py`` so there is exactly one place to bump it.
+"""
 
-setup()
+from pathlib import Path
+
+from setuptools import find_packages, setup
+
+_HERE = Path(__file__).resolve().parent
+
+_version: dict = {}
+exec((_HERE / "src" / "repro" / "version.py").read_text(), _version)
+
+_readme = _HERE / "README.md"
+_long_description = _readme.read_text() if _readme.exists() else ""
+
+setup(
+    name="repro-mil-retrieval",
+    version=_version["__version__"],
+    description=(
+        "Image database retrieval with multiple-instance learning "
+        "(Yang & Lozano-Perez, ICDE 2000 reproduction)"
+    ),
+    long_description=_long_description,
+    long_description_content_type="text/markdown",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering :: Image Recognition",
+    ],
+)

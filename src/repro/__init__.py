@@ -25,12 +25,17 @@ Layering (bottom to top):
     web object images.
 ``repro.baselines``
     The Maron & Lakshmi Ratan colour-feature comparator and sanity rankers.
+``repro.api``
+    The public query API: the :class:`Learner` registry unifying the DD,
+    EM-DD and baseline strategies, frozen ``Query``/``QueryResult``
+    request–response objects, and the :class:`RetrievalService` facade
+    with cached bag corpora and multi-worker ``batch_query`` execution.
 ``repro.eval``
     Precision/recall machinery, experiment runner and ASCII reporting.
 ``repro.experiments``
     One configuration per table/figure of the paper's evaluation chapter.
 
-Quickstart::
+Quickstart (stateful session)::
 
     from repro import quick_database, RetrievalSession
 
@@ -39,9 +44,32 @@ Quickstart::
     session.add_examples(category="waterfall", n_positive=5, n_negative=5)
     result = session.train_and_rank()
     print(result.top(10))
+
+Quickstart (service, any registered learner)::
+
+    from repro import Query, RetrievalService
+
+    service = RetrievalService(db)
+    result = service.query(Query(
+        positive_ids=session.positive_ids,
+        negative_ids=session.negative_ids,
+        learner="emdd",
+        params={"seed": 7},
+        top_k=10,
+    ))
+    print(result.top())
 """
 
 from repro.version import __version__
+from repro.api.learners import (
+    Learner,
+    LearnedModel,
+    available_learners,
+    make_learner,
+    register_learner,
+)
+from repro.api.query import Query, QueryResult, QueryTiming
+from repro.api.service import RetrievalService
 from repro.bags.bag import Bag, BagSet, Instance
 from repro.core.concept import LearnedConcept
 from repro.core.diverse_density import DiverseDensityTrainer, TrainerConfig, TrainingResult
@@ -59,6 +87,15 @@ from repro.session import RetrievalSession
 
 __all__ = [
     "__version__",
+    "Learner",
+    "LearnedModel",
+    "available_learners",
+    "make_learner",
+    "register_learner",
+    "Query",
+    "QueryResult",
+    "QueryTiming",
+    "RetrievalService",
     "Bag",
     "BagSet",
     "Instance",

@@ -1,0 +1,70 @@
+"""The public query API: learner registry, query objects, retrieval service.
+
+This package is the architectural seam between the learning stack below it
+(``repro.core``, ``repro.baselines``) and every consumer above it (the CLI,
+``repro.session``, the experiment runner, user code):
+
+* :mod:`repro.api.learners` — the :class:`Learner` interface and the
+  string-keyed registry (``dd``, ``emdd``, ``maron-ratan``, ``random``,
+  ``global-correlation``; extend with :func:`register_learner`).
+* :mod:`repro.api.query` — frozen :class:`Query` / :class:`QueryResult`
+  request–response dataclasses.
+* :mod:`repro.api.service` — :class:`RetrievalService`, which owns a
+  database, caches bag corpora, and executes single queries or seeded
+  deterministic ``batch_query`` fan-outs.
+
+Quickstart::
+
+    from repro import RetrievalService, Query, quick_database
+
+    service = RetrievalService(quick_database("scenes", seed=7))
+    result = service.query(
+        Query(
+            positive_ids=("scene-waterfall-0000", "scene-waterfall-0001"),
+            negative_ids=("scene-field-0000",),
+            learner="dd",
+            params={"scheme": "inequality", "beta": 0.5, "seed": 7},
+            top_k=10,
+        )
+    )
+    for entry in result.top():
+        print(entry.image_id, entry.distance)
+"""
+
+from repro.api.learners import (
+    ConceptLearner,
+    DiverseDensityLearner,
+    EMDDLearner,
+    GlobalCorrelationLearner,
+    LearnedModel,
+    Learner,
+    MaronRatanLearner,
+    RandomLearner,
+    available_learners,
+    make_learner,
+    register_learner,
+    shape_learner_params,
+)
+from repro.api.query import Query, QueryResult, QueryTiming
+from repro.api.service import FittedQuery, QueryRecord, RetrievalService
+
+__all__ = [
+    "Learner",
+    "LearnedModel",
+    "ConceptLearner",
+    "DiverseDensityLearner",
+    "EMDDLearner",
+    "MaronRatanLearner",
+    "RandomLearner",
+    "GlobalCorrelationLearner",
+    "available_learners",
+    "make_learner",
+    "register_learner",
+    "shape_learner_params",
+    "Query",
+    "QueryResult",
+    "QueryTiming",
+    "QueryRecord",
+    "FittedQuery",
+    "RetrievalService",
+]

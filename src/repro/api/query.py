@@ -1,0 +1,138 @@
+"""Frozen request/response objects for the retrieval service.
+
+A :class:`Query` is one self-contained retrieval request — example image
+ids, which learner to use (by registry name) and with which parameters,
+an optional candidate subset and an optional ``top_k`` — so requests can
+be built anywhere, validated once, queued, and executed by
+:class:`~repro.api.service.RetrievalService` in any order or thread.
+
+A :class:`QueryResult` pairs the request with the full ranking, the
+learned concept (when the learner produces one), the training diagnostics
+and per-phase wall-clock timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping, Sequence
+
+from repro.core.concept import LearnedConcept
+from repro.core.diverse_density import TrainingResult
+from repro.core.retrieval import RankedImage, RetrievalResult
+from repro.errors import QueryError
+
+
+def _as_id_tuple(ids: Sequence[str], what: str) -> tuple[str, ...]:
+    out = tuple(ids)
+    for image_id in out:
+        if not isinstance(image_id, str) or not image_id:
+            raise QueryError(f"{what} must be non-empty strings, got {image_id!r}")
+    return out
+
+
+@dataclass(frozen=True)
+class Query:
+    """One retrieval request.
+
+    Attributes:
+        positive_ids: ids of the positive example images (at least one).
+        negative_ids: ids of the negative example images (may be empty).
+        learner: registry name of the learner to run
+            (see :func:`~repro.api.learners.available_learners`).
+        params: keyword parameters for the learner factory (exposed as a
+            read-only mapping once constructed).
+        candidate_ids: which images to rank; the whole database when ``None``.
+            Example images are always excluded from the ranking.
+        top_k: how many results :meth:`QueryResult.top` returns by default;
+            ``None`` keeps the full ranking.
+        query_id: optional caller-supplied tag carried through to the result
+            and the service's timing records.
+
+    Raises:
+        QueryError: on empty positives, duplicate/overlapping example ids,
+            or a non-positive ``top_k``.
+    """
+
+    positive_ids: tuple[str, ...]
+    negative_ids: tuple[str, ...] = ()
+    learner: str = "dd"
+    # hash=False: params is a read-only mapping (unhashable); equal queries
+    # still hash equal, so Query stays usable as a set member / dict key.
+    params: Mapping[str, object] = field(default_factory=dict, hash=False)
+    candidate_ids: tuple[str, ...] | None = None
+    top_k: int | None = None
+    query_id: str = ""
+
+    def __post_init__(self) -> None:
+        positives = _as_id_tuple(self.positive_ids, "positive ids")
+        negatives = _as_id_tuple(self.negative_ids, "negative ids")
+        if not positives:
+            raise QueryError("a query needs at least one positive example id")
+        if len(set(positives)) != len(positives):
+            raise QueryError("positive ids contain duplicates")
+        if len(set(negatives)) != len(negatives):
+            raise QueryError("negative ids contain duplicates")
+        overlap = set(positives) & set(negatives)
+        if overlap:
+            raise QueryError(
+                f"ids cannot be both positive and negative examples: {sorted(overlap)}"
+            )
+        if not self.learner:
+            raise QueryError("learner name must be a non-empty string")
+        if self.top_k is not None and self.top_k < 1:
+            raise QueryError(f"top_k must be >= 1 or None, got {self.top_k}")
+        candidates = (
+            None
+            if self.candidate_ids is None
+            else _as_id_tuple(self.candidate_ids, "candidate ids")
+        )
+        object.__setattr__(self, "positive_ids", positives)
+        object.__setattr__(self, "negative_ids", negatives)
+        object.__setattr__(self, "candidate_ids", candidates)
+        object.__setattr__(self, "params", MappingProxyType(dict(self.params)))
+
+    @property
+    def example_ids(self) -> tuple[str, ...]:
+        """All example ids (positives then negatives)."""
+        return self.positive_ids + self.negative_ids
+
+
+@dataclass(frozen=True)
+class QueryTiming:
+    """Wall-clock phases of one executed query (seconds)."""
+
+    fit_seconds: float
+    rank_seconds: float
+    total_seconds: float
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One executed query: the request, the ranking and the diagnostics.
+
+    Attributes:
+        query: the request that ran.
+        ranking: the full ranking (example images excluded).
+        concept: the learned concept, or ``None`` for non-concept learners.
+        training: full training diagnostics, or ``None``.
+        timing: per-phase wall-clock timing.
+    """
+
+    query: Query
+    ranking: RetrievalResult
+    concept: LearnedConcept | None
+    training: TrainingResult | None
+    timing: QueryTiming
+
+    def top(self, k: int | None = None) -> tuple[RankedImage, ...]:
+        """The best ``k`` matches (defaults to the query's ``top_k``)."""
+        if k is None:
+            k = self.query.top_k
+        if k is None:
+            return self.ranking.ranked
+        return self.ranking.top(k)
+
+    def precision_at(self, k: int, target_category: str) -> float:
+        """Precision among the top ``k`` results (delegates to the ranking)."""
+        return self.ranking.precision_at(k, target_category)

@@ -1,0 +1,243 @@
+"""The retrieval service: one database, many queries, any learner.
+
+:class:`RetrievalService` is the package's serving facade.  It owns an
+:class:`~repro.database.store.ImageDatabase`, caches the precomputed bag
+corpora every learner family ranks against (region bags for the paper's
+system, SBN colour bags for the Maron–Ratan baseline), and executes
+:class:`~repro.api.query.Query` requests:
+
+* :meth:`RetrievalService.query` — resolve the learner from the registry,
+  build the example bags, fit, rank, and time each phase;
+* :meth:`RetrievalService.batch_query` — fan a list of queries out over a
+  thread pool (multi-user traffic); results come back in request order and
+  are bit-identical to sequential execution because every learner is
+  seeded and shares no mutable state across queries;
+* :meth:`RetrievalService.fit` / :meth:`RetrievalService.rank_with` — the
+  two halves of ``query`` for callers that train once and re-rank many
+  times (:class:`~repro.session.RetrievalSession` uses these).
+
+Per-query timing is recorded in :attr:`RetrievalService.history` for
+throughput monitoring; :meth:`RetrievalService.warm` runs the bulk
+preprocessing pass up front so serving latency is not charged the feature
+extraction cost.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.api.learners import LearnedModel, Learner, make_learner
+from repro.api.query import Query, QueryResult, QueryTiming
+from repro.bags.bag import Bag, BagSet
+from repro.core.feedback import Corpus
+from repro.core.retrieval import RetrievalResult
+from repro.database.store import ImageDatabase
+from repro.errors import DatabaseError, QueryError
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One row of the service's execution log."""
+
+    query_id: str
+    learner: str
+    n_candidates: int
+    timing: QueryTiming
+
+
+@dataclass(frozen=True)
+class FittedQuery:
+    """A trained model bound to the corpus it should rank.
+
+    Produced by :meth:`RetrievalService.fit`; consumed by
+    :meth:`RetrievalService.rank_with`.
+    """
+
+    model: LearnedModel
+    learner: Learner
+    corpus: Corpus
+    fit_seconds: float
+
+
+class RetrievalService:
+    """Executes retrieval queries against one image database.
+
+    Thread-safe: :meth:`query` may be called concurrently (``batch_query``
+    does exactly that).  Corpus caches are shared across queries; all
+    learners are seeded, so concurrent execution cannot change results.
+
+    Args:
+        database: the populated image database to serve.
+    """
+
+    def __init__(self, database: ImageDatabase):
+        self._database = database
+        self._corpora: dict[str, Corpus] = {"region-bags": database}
+        self._lock = threading.Lock()
+        self._history: list[QueryRecord] = []
+
+    @property
+    def database(self) -> ImageDatabase:
+        """The database being served."""
+        return self._database
+
+    @property
+    def history(self) -> tuple[QueryRecord, ...]:
+        """Per-query timing records, in completion order."""
+        with self._lock:
+            return tuple(self._history)
+
+    # ------------------------------------------------------------------ #
+    # Corpus management                                                   #
+    # ------------------------------------------------------------------ #
+
+    def corpus_for(self, learner: Learner) -> Corpus:
+        """The (cached) corpus view a learner ranks against."""
+        key = learner.corpus_key
+        with self._lock:
+            corpus = self._corpora.get(key)
+            if corpus is None:
+                corpus = learner.corpus(self._database)
+                self._corpora[key] = corpus
+        return corpus
+
+    def warm(self, learner: str = "dd", **params) -> int:
+        """Precompute the bag corpus a learner family uses; returns the image count.
+
+        Run this before timing-sensitive serving so feature extraction is
+        not charged to the first query.
+        """
+        resolved = make_learner(learner, **params)
+        resolved.bind(self._database)
+        corpus = self.corpus_for(resolved)
+        for image_id in self._database.image_ids:
+            corpus.instances_for(image_id)
+        return len(self._database)
+
+    # ------------------------------------------------------------------ #
+    # Execution                                                           #
+    # ------------------------------------------------------------------ #
+
+    def fit(
+        self,
+        positive_ids: Sequence[str],
+        negative_ids: Sequence[str] = (),
+        learner: str = "dd",
+        params: Mapping[str, object] | None = None,
+    ) -> FittedQuery:
+        """Train a learner on example images; returns the fitted model + corpus.
+
+        Raises:
+            LearnerError: unknown learner name or bad parameters.
+            DatabaseError: an example id is not in the database.
+        """
+        started_at = time.perf_counter()
+        resolved = make_learner(learner, **dict(params or {}))
+        resolved.bind(self._database)
+        corpus = self.corpus_for(resolved)
+        for image_id in (*positive_ids, *negative_ids):
+            if image_id not in self._database:
+                raise DatabaseError(f"unknown image id {image_id!r}")
+        bag_set = BagSet()
+        for image_id in positive_ids:
+            bag_set.add(
+                Bag(instances=corpus.instances_for(image_id), label=True, bag_id=image_id)
+            )
+        for image_id in negative_ids:
+            bag_set.add(
+                Bag(instances=corpus.instances_for(image_id), label=False, bag_id=image_id)
+            )
+        model = resolved.fit(bag_set)
+        return FittedQuery(
+            model=model,
+            learner=resolved,
+            corpus=corpus,
+            fit_seconds=time.perf_counter() - started_at,
+        )
+
+    def rank_with(
+        self,
+        fitted: FittedQuery,
+        candidate_ids: Sequence[str] | None = None,
+        exclude: Sequence[str] = (),
+    ) -> RetrievalResult:
+        """Rank database images with an already-fitted model.
+
+        Args:
+            fitted: the :meth:`fit` output.
+            candidate_ids: which images to rank; all images when ``None``.
+            exclude: image ids to leave out (e.g. the training examples).
+        """
+        if candidate_ids is None:
+            chosen: tuple[str, ...] = self._database.image_ids
+        else:
+            chosen = tuple(candidate_ids)
+            for image_id in chosen:
+                if image_id not in self._database:
+                    raise DatabaseError(f"unknown image id {image_id!r}")
+        candidates = fitted.corpus.retrieval_candidates(chosen)
+        return fitted.model.rank(candidates, exclude=exclude)
+
+    def query(self, query: Query) -> QueryResult:
+        """Execute one query end to end (fit + rank + timing)."""
+        if not isinstance(query, Query):
+            raise QueryError(f"expected a Query, got {type(query).__name__}")
+        started_at = time.perf_counter()
+        fitted = self.fit(
+            query.positive_ids,
+            query.negative_ids,
+            learner=query.learner,
+            params=query.params,
+        )
+        rank_started_at = time.perf_counter()
+        ranking = self.rank_with(
+            fitted, candidate_ids=query.candidate_ids, exclude=query.example_ids
+        )
+        finished_at = time.perf_counter()
+        timing = QueryTiming(
+            fit_seconds=fitted.fit_seconds,
+            rank_seconds=finished_at - rank_started_at,
+            total_seconds=finished_at - started_at,
+        )
+        with self._lock:
+            self._history.append(
+                QueryRecord(
+                    query_id=query.query_id,
+                    learner=query.learner,
+                    n_candidates=len(ranking),
+                    timing=timing,
+                )
+            )
+        return QueryResult(
+            query=query,
+            ranking=ranking,
+            concept=fitted.model.concept,
+            training=fitted.model.training,
+            timing=timing,
+        )
+
+    def batch_query(
+        self, queries: Sequence[Query], workers: int | None = None
+    ) -> list[QueryResult]:
+        """Execute many queries; results come back in request order.
+
+        Args:
+            queries: the requests to run.
+            workers: thread-pool size; ``None`` or 1 runs sequentially.
+                Rankings are identical either way — learners are seeded and
+                queries share no mutable state.
+
+        Raises:
+            QueryError: on a non-positive ``workers``.
+        """
+        if workers is not None and workers < 1:
+            raise QueryError(f"workers must be >= 1 or None, got {workers}")
+        queries = list(queries)
+        if workers is None or workers == 1 or len(queries) <= 1:
+            return [self.query(query) for query in queries]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(self.query, queries))

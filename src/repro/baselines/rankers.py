@@ -23,7 +23,11 @@ from repro.imaging.transform import normalize_feature
 
 
 class RandomRanker:
-    """Uniformly random ranking, reproducible from a seed."""
+    """Uniformly random ranking, reproducible from a seed.
+
+    ``database`` only needs ``category_of``; any object providing it works
+    (the query API passes a candidate-backed view).
+    """
 
     def __init__(self, seed: int = 0):
         self._rng = np.random.default_rng(seed)
@@ -45,6 +49,47 @@ class RandomRanker:
         return RetrievalResult(ranked)
 
 
+def correlation_vector(
+    database: ImageDatabase, image_id: str, resolution: int
+) -> np.ndarray:
+    """One image's whole-image vector: smoothed to ``h x h``, then the
+    Section 3.4 normalisation (so Euclidean distance is reverse correlation)."""
+    pixels = database.record(image_id).image.pixels
+    return normalize_feature(smoothed_vector(pixels, resolution))
+
+
+def correlation_template(
+    database: ImageDatabase, positive_ids: Sequence[str], resolution: int
+) -> np.ndarray:
+    """The query template: mean normalised vector of the positive examples."""
+    if not positive_ids:
+        raise EvaluationError("global correlation ranking needs positive examples")
+    return np.mean(
+        [correlation_vector(database, image_id, resolution) for image_id in positive_ids],
+        axis=0,
+    )
+
+
+def correlation_ranking(
+    database: ImageDatabase,
+    template: np.ndarray,
+    candidate_ids: Sequence[str],
+    resolution: int,
+) -> RetrievalResult:
+    """Rank ids by squared distance to the template (ties broken by id)."""
+    scored = []
+    for image_id in candidate_ids:
+        vector = correlation_vector(database, image_id, resolution)
+        distance = float(np.sum((vector - template) ** 2))
+        scored.append((distance, image_id, database.category_of(image_id)))
+    scored.sort(key=lambda item: (item[0], item[1]))
+    ranked = [
+        RankedImage(rank=position, image_id=image_id, category=category, distance=distance)
+        for position, (distance, image_id, category) in enumerate(scored)
+    ]
+    return RetrievalResult(ranked)
+
+
 class GlobalCorrelationRanker:
     """Rank by whole-image correlation to the mean positive example.
 
@@ -60,10 +105,6 @@ class GlobalCorrelationRanker:
             raise EvaluationError(f"resolution must be >= 2, got {resolution}")
         self._resolution = resolution
 
-    def _vector(self, database: ImageDatabase, image_id: str) -> np.ndarray:
-        pixels = database.record(image_id).image.pixels
-        return normalize_feature(smoothed_vector(pixels, self._resolution))
-
     def rank(
         self,
         database: ImageDatabase,
@@ -71,21 +112,7 @@ class GlobalCorrelationRanker:
         candidate_ids: Sequence[str],
     ) -> RetrievalResult:
         """Rank ``candidate_ids`` against the mean of ``positive_ids``."""
-        if not positive_ids:
-            raise EvaluationError("global correlation ranking needs positive examples")
         if not candidate_ids:
             raise EvaluationError("cannot rank an empty candidate list")
-        template = np.mean(
-            [self._vector(database, image_id) for image_id in positive_ids], axis=0
-        )
-        scored = []
-        for image_id in candidate_ids:
-            vector = self._vector(database, image_id)
-            distance = float(np.sum((vector - template) ** 2))
-            scored.append((distance, image_id, database.category_of(image_id)))
-        scored.sort(key=lambda item: (item[0], item[1]))
-        ranked = [
-            RankedImage(rank=position, image_id=image_id, category=category, distance=distance)
-            for position, (distance, image_id, category) in enumerate(scored)
-        ]
-        return RetrievalResult(ranked)
+        template = correlation_template(database, positive_ids, self._resolution)
+        return correlation_ranking(database, template, candidate_ids, self._resolution)

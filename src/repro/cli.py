@@ -1,29 +1,40 @@
 """Command-line interface: build databases, run queries, run experiments.
 
-Four subcommands cover the everyday workflows::
+Five subcommands cover the everyday workflows::
 
-    python -m repro build-db  --kind scenes --per-category 20 --out db.npz
-    python -m repro query     --db db.npz --category waterfall --top 10
-    python -m repro experiment --db db.npz --category waterfall --scheme inequality
-    python -m repro info      --db db.npz
+    python -m repro build-db    --kind scenes --per-category 20 --out db.npz
+    python -m repro query       --db db.npz --category waterfall --top 10
+    python -m repro batch-query --db db.npz --categories waterfall,sunset --workers 4
+    python -m repro experiment  --db db.npz --category waterfall --scheme inequality
+    python -m repro info        --db db.npz
 
 All commands are seeded and print plain text; they are thin wrappers over
 the library API (each maps to a handful of calls documented in the README),
-so anything the CLI does can be scripted directly.
+so anything the CLI does can be scripted directly.  ``query`` and
+``batch-query`` go through :class:`~repro.api.service.RetrievalService`,
+so ``--learner`` accepts any name in the learner registry (``dd``,
+``emdd``, ``maron-ratan``, ``random``, ``global-correlation``, plus any
+learner registered by user code).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
+from repro.api.learners import available_learners, shape_learner_params
+from repro.api.query import Query
+from repro.api.service import RetrievalService
+from repro.core.feedback import select_examples
 from repro.database.persistence import load_database, save_database
 from repro.datasets.loader import build_object_database, build_scene_database
 from repro.errors import ReproError
 from repro.eval.experiment import ExperimentConfig, RetrievalExperiment
 from repro.eval.reporting import ascii_table
-from repro.session import RetrievalSession
+
+_SCHEMES = ["original", "identical", "alpha_hack", "inequality"]
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -44,22 +55,43 @@ def _build_parser() -> argparse.ArgumentParser:
     query = commands.add_parser("query", help="train on examples and rank")
     query.add_argument("--db", required=True, help="database snapshot path")
     query.add_argument("--category", required=True)
-    query.add_argument("--scheme", default="inequality",
-                       choices=["original", "identical", "alpha_hack", "inequality"])
+    query.add_argument("--learner", default="dd",
+                       help=f"learner registry name (known: "
+                       f"{', '.join(available_learners())})")
+    query.add_argument("--scheme", default="inequality", choices=_SCHEMES)
     query.add_argument("--beta", type=float, default=0.5)
     query.add_argument("--positives", type=int, default=4)
     query.add_argument("--negatives", type=int, default=4)
     query.add_argument("--top", type=int, default=10)
     query.add_argument("--seed", type=int, default=0)
 
+    batch = commands.add_parser(
+        "batch-query", help="run one query per category through the service"
+    )
+    batch.add_argument("--db", required=True, help="database snapshot path")
+    batch.add_argument("--categories", required=True,
+                       help="comma-separated target categories (repeat a "
+                       "category to simulate more traffic)")
+    batch.add_argument("--learner", default="dd",
+                       help=f"learner registry name (known: "
+                       f"{', '.join(available_learners())})")
+    batch.add_argument("--scheme", default="inequality", choices=_SCHEMES)
+    batch.add_argument("--beta", type=float, default=0.5)
+    batch.add_argument("--positives", type=int, default=4)
+    batch.add_argument("--negatives", type=int, default=4)
+    batch.add_argument("--top", type=int, default=10)
+    batch.add_argument("--workers", type=int, default=1,
+                       help="thread-pool size (1 = sequential)")
+    batch.add_argument("--seed", type=int, default=0)
+
     experiment = commands.add_parser(
         "experiment", help="run the full Section 4.1 protocol"
     )
     experiment.add_argument("--db", required=True)
     experiment.add_argument("--category", required=True)
-    experiment.add_argument("--scheme", default="inequality",
-                            choices=["original", "identical", "alpha_hack",
-                                     "inequality"])
+    experiment.add_argument("--learner", default="dd",
+                            choices=["dd", "emdd", "maron-ratan"])
+    experiment.add_argument("--scheme", default="inequality", choices=_SCHEMES)
     experiment.add_argument("--beta", type=float, default=0.5)
     experiment.add_argument("--rounds", type=int, default=3)
     experiment.add_argument("--positives", type=int, default=5)
@@ -71,6 +103,39 @@ def _build_parser() -> argparse.ArgumentParser:
     info.add_argument("--db", required=True)
 
     return parser
+
+
+def _learner_params(args: argparse.Namespace) -> dict[str, object]:
+    """CLI flags -> learner params, shaped per learner family."""
+    return shape_learner_params(
+        args.learner,
+        scheme=args.scheme,
+        beta=args.beta,
+        start_bag_subset=2,
+        seed=args.seed,
+    )
+
+
+def _category_query(
+    service: RetrievalService, args: argparse.Namespace, category: str, seed: int
+) -> Query:
+    """Build one seeded simulated-user query for a target category."""
+    selection = select_examples(
+        service.database,
+        service.database.image_ids,
+        category,
+        n_positive=args.positives,
+        n_negative=args.negatives,
+        seed=seed,
+    )
+    return Query(
+        positive_ids=selection.positive_ids,
+        negative_ids=selection.negative_ids,
+        learner=args.learner,
+        params=_learner_params(args),
+        top_k=args.top,
+        query_id=category,
+    )
 
 
 def _cmd_build_db(args: argparse.Namespace) -> int:
@@ -86,29 +151,67 @@ def _cmd_build_db(args: argparse.Namespace) -> int:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     database = load_database(args.db)
-    session = RetrievalSession(
-        database,
-        scheme=args.scheme,
-        beta=args.beta,
-        start_bag_subset=2,
-        seed=args.seed,
-    )
-    session.add_examples(args.category, args.positives, args.negatives)
-    result = session.train_and_rank()
+    service = RetrievalService(database)
+    result = service.query(_category_query(service, args, args.category, args.seed))
     rows = [
         [entry.rank + 1, entry.image_id, entry.category, entry.distance]
-        for entry in result.top(args.top)
+        for entry in result.top()
     ]
     print(
         ascii_table(
             ["rank", "image", "category", "distance"],
             rows,
             title=f"top {args.top} matches for {args.category!r} "
-            f"({args.scheme} scheme)",
+            f"({args.learner} learner)",
         )
     )
-    hits = sum(1 for entry in result.top(args.top) if entry.category == args.category)
+    hits = sum(1 for entry in result.top() if entry.category == args.category)
     print(f"precision@{args.top} = {hits / args.top:.2f}")
+    print(
+        f"timing: fit {result.timing.fit_seconds:.2f}s, "
+        f"rank {result.timing.rank_seconds:.2f}s"
+    )
+    return 0
+
+
+def _cmd_batch_query(args: argparse.Namespace) -> int:
+    database = load_database(args.db)
+    service = RetrievalService(database)
+    categories = [c.strip() for c in args.categories.split(",") if c.strip()]
+    if not categories:
+        print("error: --categories supplied no category names", file=sys.stderr)
+        return 2
+    queries = [
+        _category_query(service, args, category, args.seed + index)
+        for index, category in enumerate(categories)
+    ]
+    started_at = time.perf_counter()
+    results = service.batch_query(queries, workers=args.workers)
+    elapsed = time.perf_counter() - started_at
+    rows = []
+    for result in results:
+        category = result.query.query_id
+        top = result.top()
+        rows.append(
+            [
+                category,
+                result.query.learner,
+                top[0].image_id if top else "-",
+                f"{result.precision_at(args.top, category):.2f}" if top else "-",
+                f"{result.timing.fit_seconds:.2f}",
+            ]
+        )
+    print(
+        ascii_table(
+            ["category", "learner", "best match", f"p@{args.top}", "fit s"],
+            rows,
+            title=f"batch of {len(results)} queries ({args.workers} workers)",
+        )
+    )
+    print(
+        f"wall time {elapsed:.2f}s, "
+        f"throughput {len(results) / elapsed:.2f} queries/s"
+    )
     return 0
 
 
@@ -116,6 +219,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     database = load_database(args.db)
     config = ExperimentConfig(
         target_category=args.category,
+        learner=args.learner,
         scheme=args.scheme,
         beta=args.beta,
         rounds=args.rounds,
@@ -166,6 +270,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
 _HANDLERS = {
     "build-db": _cmd_build_db,
     "query": _cmd_query,
+    "batch-query": _cmd_batch_query,
     "experiment": _cmd_experiment,
     "info": _cmd_info,
 }

@@ -35,6 +35,14 @@ class OptimizationError(TrainingError):
     """An optimiser failed to produce a usable solution."""
 
 
+class LearnerError(ReproError):
+    """A learner name is unknown to the registry or its parameters are invalid."""
+
+
+class QueryError(ReproError):
+    """A retrieval query request is malformed."""
+
+
 class DatabaseError(ReproError):
     """The image database was queried or mutated incorrectly."""
 

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from repro.core.diverse_density import DiverseDensityTrainer, TrainerConfig
+from repro.api.learners import ConceptLearner, make_learner, shape_learner_params
 from repro.core.feedback import FeedbackLoop, FeedbackOutcome, select_examples
 from repro.database.splits import DatabaseSplit, split_database
 from repro.database.store import ImageDatabase
@@ -35,6 +35,8 @@ class ExperimentConfig:
 
     Attributes:
         target_category: the concept the simulated user searches for.
+        learner: registry name of the concept learner driving the feedback
+            loop (``dd`` by default; ``emdd`` runs the extension trainer).
         scheme: weight scheme name (``original`` / ``identical`` /
             ``alpha_hack`` / ``inequality``).
         beta: inequality-constraint level.
@@ -53,6 +55,7 @@ class ExperimentConfig:
     """
 
     target_category: str
+    learner: str = "dd"
     scheme: str = "inequality"
     beta: float = 0.5
     alpha: float = 50.0
@@ -142,20 +145,31 @@ class RetrievalExperiment:
         """The experiment configuration."""
         return self._config
 
-    def build_trainer(self) -> DiverseDensityTrainer:
-        """The trainer implied by the configuration."""
+    def build_trainer(self) -> ConceptLearner:
+        """The learner implied by the configuration, resolved via the registry.
+
+        Raises:
+            EvaluationError: if the configured learner cannot drive the
+                feedback loop (it must produce a concept).
+        """
         cfg = self._config
-        return DiverseDensityTrainer(
-            TrainerConfig(
-                scheme=cfg.scheme,
-                beta=cfg.beta,
-                alpha=cfg.alpha,
-                max_iterations=cfg.max_iterations,
-                start_bag_subset=cfg.start_bag_subset,
-                start_instance_stride=cfg.start_instance_stride,
-                seed=cfg.seed,
-            )
+        params = shape_learner_params(
+            cfg.learner,
+            scheme=cfg.scheme,
+            beta=cfg.beta,
+            alpha=cfg.alpha,
+            max_iterations=cfg.max_iterations,
+            start_bag_subset=cfg.start_bag_subset,
+            start_instance_stride=cfg.start_instance_stride,
+            seed=cfg.seed,
         )
+        learner = make_learner(cfg.learner, **params)
+        if not isinstance(learner, ConceptLearner):
+            raise EvaluationError(
+                f"learner {cfg.learner!r} does not learn a concept and cannot "
+                "drive the feedback-loop experiment"
+            )
+        return learner
 
     def run(self) -> ExperimentResult:
         """Execute the experiment end to end."""
@@ -169,9 +183,14 @@ class RetrievalExperiment:
             n_negative=cfg.n_negative,
             seed=cfg.seed,
         )
+        learner = self.build_trainer()
+        learner.bind(self._database)
         loop = FeedbackLoop(
-            corpus=self._database,
-            trainer=self.build_trainer(),
+            # The learner chooses the corpus it trains and ranks on — the
+            # colour baseline swaps in SBN bags here; everything else uses
+            # the database's region bags.
+            corpus=learner.corpus(self._database),
+            trainer=learner,
             target_category=cfg.target_category,
             potential_ids=self._split.potential_ids,
             test_ids=self._split.test_ids,

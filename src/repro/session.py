@@ -1,4 +1,4 @@
-"""Interactive retrieval sessions — the user-facing facade.
+"""Interactive retrieval sessions — the stateful convenience facade.
 
 :class:`RetrievalSession` packages the Section 3.5 workflow ("the user is
 asked to select several positive and negative examples ... the system ...
@@ -14,15 +14,23 @@ retrieves images in the ranked order") into a small stateful API:
 ``add_examples`` provides the simulated-user shortcut (seeded selection by
 category), and ``mark_false_positives`` implements the manual feedback step
 — pick bad results, add them as negatives, train again.
+
+Since the ``repro.api`` redesign the session is a thin wrapper over
+:class:`~repro.api.service.RetrievalService`: it keeps the example lists
+and the last trained model, while the service resolves the learner from
+the registry, caches the bag corpora and performs the actual fit/rank.
+Pass ``learner="emdd"`` (or any registered name) to swap the concept
+learner without changing the workflow.
 """
 
 from __future__ import annotations
 
+from repro.api.learners import shape_learner_params
+from repro.api.service import FittedQuery, RetrievalService
 from repro.core.concept import LearnedConcept
-from repro.core.diverse_density import DiverseDensityTrainer, TrainerConfig, TrainingResult
+from repro.core.diverse_density import TrainingResult
 from repro.core.feedback import select_examples
-from repro.core.retrieval import RetrievalEngine, RetrievalResult
-from repro.bags.bag import BagSet
+from repro.core.retrieval import RetrievalResult
 from repro.database.store import ImageDatabase
 from repro.errors import DatabaseError, TrainingError
 
@@ -39,6 +47,11 @@ class RetrievalSession:
         max_iterations: per-start solver cap.
         start_bag_subset: optional Section 4.3 speed-up.
         seed: seed used by ``add_examples`` and the trainer.
+        learner: registry name of the concept learner to train with.
+        learner_params: explicit learner parameters; overrides the mapping
+            derived from the DD-style keyword arguments above.
+        service: share an existing :class:`RetrievalService` (and its bag
+            caches) across sessions; one is created per session by default.
     """
 
     def __init__(
@@ -50,11 +63,21 @@ class RetrievalSession:
         max_iterations: int = 100,
         start_bag_subset: int | None = None,
         seed: int = 0,
+        learner: str = "dd",
+        learner_params: dict[str, object] | None = None,
+        service: RetrievalService | None = None,
     ):
+        self._service = service or RetrievalService(database)
+        if self._service.database is not database:
+            raise DatabaseError("the shared service must serve the same database")
         self._database = database
         self._seed = seed
-        self._trainer = DiverseDensityTrainer(
-            TrainerConfig(
+        self._learner = learner
+        self._params = (
+            dict(learner_params)
+            if learner_params is not None
+            else shape_learner_params(
+                learner,
                 scheme=scheme,
                 beta=beta,
                 alpha=alpha,
@@ -63,10 +86,19 @@ class RetrievalSession:
                 seed=seed,
             )
         )
-        self._engine = RetrievalEngine()
         self._positive_ids: list[str] = []
         self._negative_ids: list[str] = []
-        self._last_training: TrainingResult | None = None
+        self._fitted: FittedQuery | None = None
+
+    @property
+    def service(self) -> RetrievalService:
+        """The retrieval service executing this session's queries."""
+        return self._service
+
+    @property
+    def learner(self) -> str:
+        """The registry name of the learner in use."""
+        return self._learner
 
     # ------------------------------------------------------------------ #
     # Example management                                                  #
@@ -84,20 +116,22 @@ class RetrievalSession:
 
     def add_positive(self, image_id: str) -> None:
         """Mark one database image as a positive example."""
-        self._claim(image_id)
+        self._validate_new_example(image_id)
         self._positive_ids.append(image_id)
+        self._fitted = None
 
     def add_negative(self, image_id: str) -> None:
         """Mark one database image as a negative example."""
-        self._claim(image_id)
+        self._validate_new_example(image_id)
         self._negative_ids.append(image_id)
+        self._fitted = None
 
-    def _claim(self, image_id: str) -> None:
+    def _validate_new_example(self, image_id: str) -> None:
+        """Check an id can become an example; raises without mutating."""
         if image_id not in self._database:
             raise DatabaseError(f"unknown image id {image_id!r}")
         if image_id in self._positive_ids or image_id in self._negative_ids:
             raise DatabaseError(f"image {image_id!r} is already an example")
-        self._last_training = None  # examples changed; concept is stale
 
     def add_examples(
         self, category: str, n_positive: int = 5, n_negative: int = 5
@@ -113,15 +147,31 @@ class RetrievalSession:
         )
         self._positive_ids.extend(selection.positive_ids)
         self._negative_ids.extend(selection.negative_ids)
-        self._last_training = None
+        self._fitted = None
 
     def _is_example(self, image_id: str) -> bool:
         return image_id in self._positive_ids or image_id in self._negative_ids
 
     def mark_false_positives(self, image_ids: tuple[str, ...] | list[str]) -> None:
-        """Manual feedback: demote retrieved images to negative examples."""
-        for image_id in image_ids:
-            self.add_negative(image_id)
+        """Manual feedback: demote retrieved images to negative examples.
+
+        Atomic: every id is validated before any is applied, so one unknown
+        or duplicate id leaves the session's examples untouched.
+
+        Raises:
+            DatabaseError: on an unknown id, an id that is already an
+                example, or a duplicate within ``image_ids``.
+        """
+        ids = list(image_ids)
+        seen: set[str] = set()
+        for image_id in ids:
+            if image_id in seen:
+                raise DatabaseError(f"duplicate image id {image_id!r} in feedback")
+            self._validate_new_example(image_id)
+            seen.add(image_id)
+        self._negative_ids.extend(ids)
+        if ids:
+            self._fitted = None
 
     # ------------------------------------------------------------------ #
     # Training and retrieval                                              #
@@ -132,34 +182,58 @@ class RetrievalSession:
         """The most recently learned concept.
 
         Raises:
-            TrainingError: if no training has run since the examples changed.
+            TrainingError: if no training has run since the examples
+                changed, or the learner does not produce a concept.
         """
-        if self._last_training is None:
+        if self._fitted is None:
             raise TrainingError("no current concept; call train() first")
-        return self._last_training.concept
+        concept = self._fitted.model.concept
+        if concept is None:
+            raise TrainingError(
+                f"learner {self._learner!r} does not produce a concept"
+            )
+        return concept
 
-    def train(self) -> TrainingResult:
-        """Train Diverse Density on the current examples."""
+    def _fit(self) -> None:
         if not self._positive_ids:
             raise TrainingError("add at least one positive example before training")
-        bag_set = BagSet()
-        for image_id in self._positive_ids:
-            bag_set.add(self._database.bag_for(image_id, label=True))
-        for image_id in self._negative_ids:
-            bag_set.add(self._database.bag_for(image_id, label=False))
-        self._last_training = self._trainer.train(bag_set)
-        return self._last_training
+        self._fitted = self._service.fit(
+            self._positive_ids,
+            self._negative_ids,
+            learner=self._learner,
+            params=self._params,
+        )
+
+    def train(self) -> TrainingResult:
+        """Train the configured learner on the current examples.
+
+        Raises:
+            TrainingError: without a positive example, or when the learner
+                produces no training diagnostics (the sanity rankers) —
+                use :meth:`train_and_rank` or :meth:`rank` with those.
+        """
+        self._fit()
+        training = self._fitted.model.training
+        if training is None:
+            raise TrainingError(
+                f"learner {self._learner!r} produces no training diagnostics; "
+                "use train_and_rank() or rank() instead"
+            )
+        return training
 
     def rank(self, ids: tuple[str, ...] | list[str] | None = None) -> RetrievalResult:
-        """Rank database images (examples excluded) with the current concept."""
-        concept = self.concept
-        candidates = self._database.retrieval_candidates(ids)
-        examples = set(self._positive_ids) | set(self._negative_ids)
-        return self._engine.rank(concept, candidates, exclude=examples)
+        """Rank database images (examples excluded) with the current model."""
+        if self._fitted is None:
+            raise TrainingError("no current concept; call train() first")
+        return self._service.rank_with(
+            self._fitted,
+            candidate_ids=ids,
+            exclude=tuple(self._positive_ids) + tuple(self._negative_ids),
+        )
 
     def train_and_rank(
         self, ids: tuple[str, ...] | list[str] | None = None
     ) -> RetrievalResult:
-        """Convenience: train, then rank in one call."""
-        self.train()
+        """Convenience: train, then rank in one call (works for any learner)."""
+        self._fit()
         return self.rank(ids)

@@ -1,0 +1,147 @@
+"""Unit tests for the learner registry and the unified learner interface."""
+
+import pytest
+
+from repro.api.learners import (
+    ConceptLearner,
+    DiverseDensityLearner,
+    EMDDLearner,
+    Learner,
+    MaronRatanLearner,
+    RandomOrderModel,
+    available_learners,
+    make_learner,
+    register_learner,
+)
+from repro.bags.bag import BagSet
+from repro.errors import LearnerError, ReproError
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_learners()
+        for name in ("dd", "diverse-density", "emdd", "maron-ratan",
+                     "random", "global-correlation"):
+            assert name in names
+
+    def test_make_dd(self):
+        learner = make_learner("dd", scheme="identical", max_iterations=20)
+        assert isinstance(learner, DiverseDensityLearner)
+        assert learner.config.scheme == "identical"
+
+    def test_make_emdd(self):
+        learner = make_learner("emdd", inner_scheme="identical")
+        assert isinstance(learner, EMDDLearner)
+
+    def test_unknown_name_raises_clean_repro_error(self):
+        with pytest.raises(LearnerError, match="unknown learner"):
+            make_learner("no-such-learner")
+        with pytest.raises(ReproError):  # LearnerError derives from ReproError
+            make_learner("no-such-learner")
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(LearnerError, match="dd"):
+            make_learner("no-such-learner")
+
+    def test_bad_params_raise_learner_error(self):
+        with pytest.raises(LearnerError, match="invalid parameters"):
+            make_learner("dd", not_a_parameter=1)
+
+    def test_register_and_resolve_custom(self):
+        class NullLearner(Learner):
+            name = "null"
+
+            def fit(self, bag_set):
+                return RandomOrderModel(0)
+
+        register_learner("null-test", NullLearner, overwrite=True)
+        try:
+            assert isinstance(make_learner("null-test"), NullLearner)
+        finally:
+            from repro.api import learners as module
+            module._REGISTRY.pop("null-test", None)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(LearnerError, match="already registered"):
+            register_learner("dd", DiverseDensityLearner)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(LearnerError):
+            register_learner("", DiverseDensityLearner)
+
+    def test_factory_must_return_learner(self):
+        register_learner("broken-test", lambda: object(), overwrite=True)
+        try:
+            with pytest.raises(LearnerError, match="not a Learner"):
+                make_learner("broken-test")
+        finally:
+            from repro.api import learners as module
+            module._REGISTRY.pop("broken-test", None)
+
+
+@pytest.fixture()
+def scene_bags(tiny_scene_db) -> BagSet:
+    bag_set = BagSet()
+    for image_id in tiny_scene_db.ids_in_category("waterfall")[:3]:
+        bag_set.add(tiny_scene_db.bag_for(image_id, label=True))
+    for image_id in tiny_scene_db.ids_in_category("field")[:3]:
+        bag_set.add(tiny_scene_db.bag_for(image_id, label=False))
+    return bag_set
+
+
+class TestLearnerInterface:
+    def test_dd_fit_produces_concept_model(self, scene_bags, tiny_scene_db):
+        learner = make_learner("dd", scheme="identical", max_iterations=30, seed=1)
+        model = learner.fit(scene_bags)
+        assert model.concept is not None
+        assert model.training is not None
+        ranking = model.rank(tiny_scene_db.retrieval_candidates())
+        assert len(ranking) == len(tiny_scene_db)
+
+    def test_concept_learner_train_alias(self, scene_bags):
+        learner = make_learner("dd", scheme="identical", max_iterations=30)
+        training = learner.train(scene_bags)
+        assert training.concept is not None  # FeedbackLoop compatibility
+
+    def test_random_learner_is_seeded(self, scene_bags, tiny_scene_db):
+        candidates = tiny_scene_db.retrieval_candidates()
+        a = make_learner("random", seed=5).fit(scene_bags).rank(candidates)
+        b = make_learner("random", seed=5).fit(scene_bags).rank(candidates)
+        c = make_learner("random", seed=6).fit(scene_bags).rank(candidates)
+        assert a.image_ids == b.image_ids
+        assert a.image_ids != c.image_ids
+
+    def test_global_correlation_requires_bind(self, scene_bags):
+        learner = make_learner("global-correlation", resolution=6)
+        with pytest.raises(LearnerError, match="bind"):
+            learner.fit(scene_bags)
+
+    def test_global_correlation_ranks(self, scene_bags, tiny_scene_db):
+        learner = make_learner("global-correlation", resolution=6)
+        learner.bind(tiny_scene_db)
+        ranking = learner.fit(scene_bags).rank(tiny_scene_db.retrieval_candidates())
+        assert len(ranking) == len(tiny_scene_db)
+        assert list(ranking.distances) == sorted(ranking.distances)
+
+    def test_maron_ratan_swaps_corpus(self, tiny_scene_db):
+        learner = make_learner("maron-ratan", max_iterations=20, grid=4)
+        assert isinstance(learner, MaronRatanLearner)
+        corpus = learner.corpus(tiny_scene_db)
+        assert corpus is not tiny_scene_db
+        assert learner.corpus_key != make_learner("dd").corpus_key
+        image_id = tiny_scene_db.image_ids[0]
+        assert corpus.instances_for(image_id).shape[1] == 15  # SBN dims
+
+    def test_exclude_respected(self, scene_bags, tiny_scene_db):
+        learner = make_learner("dd", scheme="identical", max_iterations=30)
+        model = learner.fit(scene_bags)
+        skip = tiny_scene_db.image_ids[:4]
+        ranking = model.rank(tiny_scene_db.retrieval_candidates(), exclude=skip)
+        assert not set(skip) & set(ranking.image_ids)
+
+    def test_concept_learner_is_abstract_over_trainers(self, scene_bags):
+        dd = make_learner("dd", scheme="identical", max_iterations=20)
+        emdd = make_learner("emdd", inner_scheme="identical")
+        assert isinstance(dd, ConceptLearner) and isinstance(emdd, ConceptLearner)
+        for learner in (dd, emdd):
+            assert learner.fit(scene_bags).concept is not None

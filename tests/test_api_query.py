@@ -1,0 +1,90 @@
+"""Unit tests for the frozen Query / QueryResult request-response objects."""
+
+import dataclasses
+
+import pytest
+
+from repro.api.query import Query
+from repro.errors import QueryError, ReproError
+
+
+class TestQueryValidation:
+    def test_minimal_query(self):
+        query = Query(positive_ids=("a",))
+        assert query.positive_ids == ("a",)
+        assert query.negative_ids == ()
+        assert query.learner == "dd"
+        assert query.top_k is None
+
+    def test_sequences_coerced_to_tuples(self):
+        query = Query(positive_ids=["a", "b"], negative_ids=["c"],
+                      candidate_ids=["d", "e"])
+        assert query.positive_ids == ("a", "b")
+        assert query.negative_ids == ("c",)
+        assert query.candidate_ids == ("d", "e")
+
+    def test_requires_positive_example(self):
+        with pytest.raises(QueryError, match="positive"):
+            Query(positive_ids=())
+
+    def test_query_error_is_repro_error(self):
+        with pytest.raises(ReproError):
+            Query(positive_ids=())
+
+    def test_duplicate_positives_rejected(self):
+        with pytest.raises(QueryError, match="duplicates"):
+            Query(positive_ids=("a", "a"))
+
+    def test_duplicate_negatives_rejected(self):
+        with pytest.raises(QueryError, match="duplicates"):
+            Query(positive_ids=("a",), negative_ids=("b", "b"))
+
+    def test_overlap_rejected(self):
+        with pytest.raises(QueryError, match="both positive and negative"):
+            Query(positive_ids=("a", "b"), negative_ids=("b",))
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(QueryError):
+            Query(positive_ids=("a", ""))
+
+    def test_bad_top_k_rejected(self):
+        with pytest.raises(QueryError, match="top_k"):
+            Query(positive_ids=("a",), top_k=0)
+
+    def test_empty_learner_rejected(self):
+        with pytest.raises(QueryError, match="learner"):
+            Query(positive_ids=("a",), learner="")
+
+
+class TestQueryImmutability:
+    def test_frozen(self):
+        query = Query(positive_ids=("a",))
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            query.learner = "emdd"
+
+    def test_params_read_only(self):
+        query = Query(positive_ids=("a",), params={"seed": 3})
+        assert query.params["seed"] == 3
+        with pytest.raises(TypeError):
+            query.params["seed"] = 4
+
+    def test_params_copied_from_caller(self):
+        params = {"seed": 3}
+        query = Query(positive_ids=("a",), params=params)
+        params["seed"] = 99
+        assert query.params["seed"] == 3
+
+    def test_example_ids_property(self):
+        query = Query(positive_ids=("a", "b"), negative_ids=("c",))
+        assert query.example_ids == ("a", "b", "c")
+
+    def test_equality_by_value(self):
+        a = Query(positive_ids=("a",), params={"seed": 1})
+        b = Query(positive_ids=("a",), params={"seed": 1})
+        assert a == b
+
+    def test_hashable_for_queueing(self):
+        a = Query(positive_ids=("a",), params={"seed": 1})
+        b = Query(positive_ids=("a",), params={"seed": 1})
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1

@@ -1,0 +1,212 @@
+"""Unit tests for the RetrievalService facade and batch execution."""
+
+import pytest
+
+from repro.api.query import Query
+from repro.api.service import RetrievalService
+from repro.core.feedback import select_examples
+from repro.errors import DatabaseError, LearnerError, QueryError
+from repro.session import RetrievalSession
+
+
+@pytest.fixture()
+def service(tiny_scene_db) -> RetrievalService:
+    return RetrievalService(tiny_scene_db)
+
+
+def _waterfall_query(database, learner="dd", params=None, seed=3, **kwargs) -> Query:
+    selection = select_examples(
+        database, database.image_ids, "waterfall", n_positive=3, n_negative=3,
+        seed=seed,
+    )
+    if params is None:
+        params = {"scheme": "identical", "max_iterations": 30, "seed": seed}
+    return Query(
+        positive_ids=selection.positive_ids,
+        negative_ids=selection.negative_ids,
+        learner=learner,
+        params=params,
+        **kwargs,
+    )
+
+
+class TestSingleQuery:
+    def test_dd_query(self, service, tiny_scene_db):
+        query = _waterfall_query(tiny_scene_db, top_k=5)
+        result = service.query(query)
+        assert result.concept is not None
+        assert result.training is not None
+        assert len(result.ranking) == len(tiny_scene_db) - 6
+        assert len(result.top()) == 5
+        assert result.timing.total_seconds > 0
+
+    def test_examples_excluded(self, service, tiny_scene_db):
+        query = _waterfall_query(tiny_scene_db)
+        result = service.query(query)
+        assert not set(query.example_ids) & set(result.ranking.image_ids)
+
+    def test_all_concept_learners_share_the_query_path(self, service, tiny_scene_db):
+        # The acceptance criterion: dd, emdd and maron-ratan all train and
+        # rank through the same RetrievalService.query() path.
+        per_learner = {
+            "dd": {"scheme": "identical", "max_iterations": 30, "seed": 3},
+            "emdd": {"inner_scheme": "identical", "max_inner_iterations": 30,
+                     "seed": 3},
+            "maron-ratan": {"scheme": "identical", "max_iterations": 30,
+                            "grid": 4, "seed": 3},
+        }
+        for learner, params in per_learner.items():
+            result = service.query(
+                _waterfall_query(tiny_scene_db, learner=learner, params=params)
+            )
+            assert result.concept is not None, learner
+            assert len(result.ranking) == len(tiny_scene_db) - 6, learner
+
+    def test_baseline_learners_share_the_query_path(self, service, tiny_scene_db):
+        for learner, params in (("random", {"seed": 3}),
+                                ("global-correlation", {"resolution": 6})):
+            result = service.query(
+                _waterfall_query(tiny_scene_db, learner=learner, params=params)
+            )
+            assert result.concept is None
+            assert len(result.ranking) == len(tiny_scene_db) - 6
+
+    def test_candidate_subset(self, service, tiny_scene_db):
+        subset = tiny_scene_db.ids_in_category("sunset")
+        query = _waterfall_query(tiny_scene_db, candidate_ids=subset)
+        result = service.query(query)
+        assert set(result.ranking.image_ids) <= set(subset)
+
+    def test_unknown_example_id(self, service):
+        with pytest.raises(DatabaseError, match="unknown image id"):
+            service.query(Query(positive_ids=("nope",), params={"seed": 0}))
+
+    def test_unknown_candidate_id(self, service, tiny_scene_db):
+        query = _waterfall_query(tiny_scene_db, candidate_ids=("nope",))
+        with pytest.raises(DatabaseError, match="unknown image id"):
+            service.query(query)
+
+    def test_unknown_learner(self, service, tiny_scene_db):
+        query = _waterfall_query(tiny_scene_db, learner="nope", params={})
+        with pytest.raises(LearnerError, match="unknown learner"):
+            service.query(query)
+
+    def test_non_query_rejected(self, service):
+        with pytest.raises(QueryError, match="expected a Query"):
+            service.query("not a query")
+
+    def test_history_records_timing(self, service, tiny_scene_db):
+        service.query(_waterfall_query(tiny_scene_db, query_id="q-1"))
+        service.query(_waterfall_query(tiny_scene_db, query_id="q-2", seed=4))
+        history = service.history
+        assert [record.query_id for record in history] == ["q-1", "q-2"]
+        assert all(record.timing.total_seconds > 0 for record in history)
+        assert all(record.learner == "dd" for record in history)
+
+    def test_warm_precomputes(self, service, tiny_scene_db):
+        assert service.warm("dd") == len(tiny_scene_db)
+        assert service.warm("maron-ratan", grid=4) == len(tiny_scene_db)
+
+
+class TestBatchQuery:
+    def _queries(self, database) -> list[Query]:
+        queries = []
+        for index, category in enumerate(database.categories()):
+            selection = select_examples(
+                database, database.image_ids, category,
+                n_positive=2, n_negative=2, seed=10 + index,
+            )
+            learner = ("dd", "emdd", "random")[index % 3]
+            params = {
+                "dd": {"scheme": "identical", "max_iterations": 25,
+                       "seed": 10 + index},
+                "emdd": {"inner_scheme": "identical", "max_inner_iterations": 25,
+                         "seed": 10 + index},
+                "random": {"seed": 10 + index},
+            }[learner]
+            queries.append(
+                Query(
+                    positive_ids=selection.positive_ids,
+                    negative_ids=selection.negative_ids,
+                    learner=learner,
+                    params=params,
+                    query_id=category,
+                )
+            )
+        return queries
+
+    def test_results_in_request_order(self, service, tiny_scene_db):
+        queries = self._queries(tiny_scene_db)
+        results = service.batch_query(queries, workers=2)
+        assert [r.query.query_id for r in results] == [q.query_id for q in queries]
+
+    def test_parallel_matches_sequential_bit_identical(self, tiny_scene_db):
+        # Fresh services so corpus caches cannot leak between the two runs.
+        queries = self._queries(tiny_scene_db)
+        sequential = RetrievalService(tiny_scene_db).batch_query(queries)
+        parallel = RetrievalService(tiny_scene_db).batch_query(queries, workers=4)
+        for seq, par in zip(sequential, parallel):
+            assert seq.ranking.image_ids == par.ranking.image_ids
+            assert list(seq.ranking.distances) == list(par.ranking.distances)
+
+    def test_repeated_parallel_runs_identical(self, service, tiny_scene_db):
+        queries = self._queries(tiny_scene_db)
+        first = service.batch_query(queries, workers=4)
+        second = service.batch_query(queries, workers=3)
+        for a, b in zip(first, second):
+            assert a.ranking.image_ids == b.ranking.image_ids
+
+    def test_bad_workers_rejected(self, service):
+        with pytest.raises(QueryError, match="workers"):
+            service.batch_query([], workers=0)
+
+    def test_empty_batch(self, service):
+        assert service.batch_query([], workers=4) == []
+
+
+class TestSessionServiceParity:
+    def test_session_matches_service(self, tiny_scene_db):
+        session = RetrievalSession(
+            tiny_scene_db, scheme="identical", max_iterations=40, seed=4
+        )
+        session.add_examples("waterfall", 3, 3)
+        session_result = session.train_and_rank()
+
+        service = RetrievalService(tiny_scene_db)
+        result = service.query(
+            Query(
+                positive_ids=session.positive_ids,
+                negative_ids=session.negative_ids,
+                learner="dd",
+                params={"scheme": "identical", "max_iterations": 40, "seed": 4},
+            )
+        )
+        assert result.ranking.image_ids == session_result.image_ids
+        assert list(result.ranking.distances) == list(session_result.distances)
+        assert result.concept.nll == session.concept.nll
+
+    def test_session_with_emdd_learner(self, tiny_scene_db):
+        session = RetrievalSession(
+            tiny_scene_db, scheme="identical", max_iterations=30, seed=4,
+            learner="emdd",
+        )
+        session.add_examples("waterfall", 3, 3)
+        result = session.train_and_rank()
+        assert len(result) == len(tiny_scene_db) - 6
+        assert "emdd" in session.concept.scheme
+
+    def test_sessions_can_share_a_service(self, tiny_scene_db):
+        service = RetrievalService(tiny_scene_db)
+        a = RetrievalSession(
+            tiny_scene_db, scheme="identical", max_iterations=30, seed=4,
+            service=service,
+        )
+        b = RetrievalSession(
+            tiny_scene_db, scheme="identical", max_iterations=30, seed=5,
+            service=service,
+        )
+        a.add_examples("waterfall", 2, 2)
+        b.add_examples("sunset", 2, 2)
+        a.train_and_rank()
+        b.train_and_rank()
+        assert len(service.history) == 0  # sessions use fit/rank_with, not query

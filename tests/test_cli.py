@@ -73,6 +73,52 @@ class TestQuery:
         assert code == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_emdd_learner(self, snapshot, capsys):
+        code = main(
+            [
+                "query", "--db", snapshot, "--category", "sunset",
+                "--learner", "emdd", "--scheme", "identical",
+                "--positives", "2", "--negatives", "2",
+                "--top", "5", "--seed", "3",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "emdd learner" in output
+        assert "precision@5" in output
+
+    def test_unknown_learner_errors(self, snapshot, capsys):
+        code = main(
+            ["query", "--db", snapshot, "--category", "sunset",
+             "--learner", "frobnicator", "--positives", "2", "--negatives", "2"]
+        )
+        assert code == 2
+        assert "unknown learner" in capsys.readouterr().err
+
+
+class TestBatchQuery:
+    def test_multi_category_batch(self, snapshot, capsys):
+        code = main(
+            [
+                "batch-query", "--db", snapshot,
+                "--categories", "sunset,waterfall",
+                "--scheme", "identical", "--positives", "2", "--negatives", "2",
+                "--top", "5", "--workers", "2", "--seed", "3",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "batch of 2 queries" in output
+        assert "sunset" in output and "waterfall" in output
+        assert "throughput" in output
+
+    def test_empty_categories_errors(self, snapshot, capsys):
+        code = main(
+            ["batch-query", "--db", snapshot, "--categories", " , "]
+        )
+        assert code == 2
+        assert "no category names" in capsys.readouterr().err
+
 
 class TestExperiment:
     def test_full_protocol(self, snapshot, capsys):

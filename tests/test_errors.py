@@ -14,6 +14,8 @@ from repro import errors
         errors.BagError,
         errors.TrainingError,
         errors.OptimizationError,
+        errors.LearnerError,
+        errors.QueryError,
         errors.DatabaseError,
         errors.SplitError,
         errors.EvaluationError,

@@ -75,6 +75,24 @@ class TestRun:
         assert trainer.config.start_bag_subset == 1
         assert trainer.config.start_instance_stride == 2
 
+    def test_emdd_learner_runs_protocol(self, tiny_scene_db):
+        result = RetrievalExperiment(
+            tiny_scene_db, small_config(learner="emdd", max_iterations=25)
+        ).run()
+        assert "emdd" in result.outcome.final_training.concept.scheme
+
+    def test_maron_ratan_learner_uses_color_corpus(self, tiny_scene_db):
+        result = RetrievalExperiment(
+            tiny_scene_db, small_config(learner="maron-ratan", max_iterations=25)
+        ).run()
+        # SBN colour bags are 15-dimensional; region bags would be 36 here.
+        assert result.outcome.final_training.concept.n_dims == 15
+
+    def test_non_concept_learner_rejected(self, tiny_scene_db):
+        experiment = RetrievalExperiment(tiny_scene_db, small_config(learner="random"))
+        with pytest.raises(EvaluationError, match="does not learn a concept"):
+            experiment.build_trainer()
+
 
 class TestComparison:
     def test_runs_all_labels(self, tiny_scene_db):

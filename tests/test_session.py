@@ -87,3 +87,45 @@ class TestTrainingAndRanking:
         subset = tiny_scene_db.ids_in_category("sunset")
         result = session.rank(subset)
         assert set(result.image_ids) <= set(subset)
+
+
+class TestMarkFalsePositivesAtomicity:
+    def test_unknown_id_applies_nothing(self, session, tiny_scene_db):
+        session.add_examples("waterfall", 2, 2)
+        before = session.negative_ids
+        good = tiny_scene_db.ids_in_category("field")[2]
+        with pytest.raises(DatabaseError):
+            session.mark_false_positives([good, "no-such-image"])
+        assert session.negative_ids == before  # the valid id was not applied
+
+    def test_existing_example_applies_nothing(self, session, tiny_scene_db):
+        session.add_examples("waterfall", 2, 2)
+        before = session.negative_ids
+        good = tiny_scene_db.ids_in_category("field")[2]
+        with pytest.raises(DatabaseError):
+            session.mark_false_positives([good, session.positive_ids[0]])
+        assert session.negative_ids == before
+
+    def test_duplicate_in_batch_applies_nothing(self, session, tiny_scene_db):
+        session.add_examples("waterfall", 2, 2)
+        before = session.negative_ids
+        good = tiny_scene_db.ids_in_category("field")[2]
+        with pytest.raises(DatabaseError):
+            session.mark_false_positives([good, good])
+        assert session.negative_ids == before
+
+    def test_failed_feedback_keeps_concept_fresh(self, session, tiny_scene_db):
+        session.add_examples("waterfall", 2, 2)
+        session.train()
+        with pytest.raises(DatabaseError):
+            session.mark_false_positives(["no-such-image"])
+        _ = session.concept  # still available: nothing changed
+
+    def test_valid_batch_applies_all(self, session, tiny_scene_db):
+        session.add_examples("waterfall", 2, 2)
+        additions = [
+            i for i in tiny_scene_db.ids_in_category("field")
+            if i not in session.negative_ids
+        ][:2]
+        session.mark_false_positives(additions)
+        assert set(additions) <= set(session.negative_ids)
