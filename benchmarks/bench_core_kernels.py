@@ -17,7 +17,7 @@ from repro.bags.bag import Bag, BagSet
 from repro.core.concept import LearnedConcept
 from repro.core.objective import DiverseDensityObjective
 from repro.core.projection import project_weights
-from repro.core.retrieval import RetrievalCandidate, RetrievalEngine
+from repro.core.retrieval import PackedCorpus, Ranker, RetrievalCandidate
 from repro.datasets.base import category_rng
 from repro.datasets.scenes import render_scene
 from repro.imaging.features import FeatureConfig, FeatureExtractor
@@ -64,16 +64,18 @@ def test_feature_extraction_per_image(benchmark):
 
 
 def test_ranking_thousand_bags(benchmark):
+    # The canonical query-time path: rank a cached packed corpus (see
+    # bench_rank_corpus.py for the loop-vs-vectorized comparison).
     rng = np.random.default_rng(2)
     concept = LearnedConcept(t=rng.normal(size=100), w=np.ones(100), nll=0.0)
-    candidates = [
+    packed = PackedCorpus.from_candidates(
         RetrievalCandidate(
             image_id=f"img-{index:04d}",
             category="x",
             instances=rng.normal(size=(40, 100)),
         )
         for index in range(1000)
-    ]
-    engine = RetrievalEngine()
-    result = benchmark(lambda: engine.rank(concept, candidates))
+    )
+    ranker = Ranker()
+    result = benchmark(lambda: ranker.rank(concept, packed))
     assert len(result) == 1000

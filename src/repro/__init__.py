@@ -75,7 +75,13 @@ from repro.core.concept import LearnedConcept
 from repro.core.diverse_density import DiverseDensityTrainer, TrainerConfig, TrainingResult
 from repro.core.emdd import EMDDConfig, EMDDTrainer
 from repro.core.feedback import FeedbackLoop, FeedbackRound
-from repro.core.retrieval import RankedImage, RetrievalEngine, RetrievalResult
+from repro.core.retrieval import (
+    PackedCorpus,
+    RankedImage,
+    Ranker,
+    RetrievalEngine,
+    RetrievalResult,
+)
 from repro.core.schemes import WeightScheme, make_scheme
 from repro.database.index import StackedIndex
 from repro.database.persistence import load_database, save_database
@@ -107,7 +113,9 @@ __all__ = [
     "EMDDTrainer",
     "FeedbackLoop",
     "FeedbackRound",
+    "PackedCorpus",
     "RankedImage",
+    "Ranker",
     "RetrievalEngine",
     "RetrievalResult",
     "WeightScheme",

@@ -13,7 +13,10 @@ built on it) can treat them interchangeably:
   colour bags here, everything else uses the database's region bags).
 * :class:`LearnedModel` — the fitted artefact: an optional
   :class:`~repro.core.concept.LearnedConcept` plus
-  ``rank(candidates, exclude) -> RetrievalResult``.
+  ``rank(corpus, exclude, top_k=..., category_filter=...) ->
+  RetrievalResult``, where the corpus is a
+  :class:`~repro.core.retrieval.PackedCorpus` (or anything coercible to
+  one).
 * :func:`register_learner` / :func:`make_learner` /
   :func:`available_learners` — the registry.  Unknown names and bad
   parameters raise :class:`~repro.errors.LearnerError`.
@@ -41,9 +44,9 @@ from repro.core.concept import LearnedConcept
 from repro.core.diverse_density import DiverseDensityTrainer, TrainerConfig, TrainingResult
 from repro.core.emdd import EMDDConfig, EMDDTrainer
 from repro.core.feedback import Corpus
-from repro.core.retrieval import RetrievalCandidate, RetrievalEngine, RetrievalResult
+from repro.core.retrieval import PackedCorpus, Ranker, RetrievalResult
 from repro.database.store import ImageDatabase
-from repro.errors import LearnerError, TrainingError
+from repro.errors import DatabaseError, LearnerError, TrainingError
 
 
 # --------------------------------------------------------------------- #
@@ -67,10 +70,21 @@ class LearnedModel(abc.ABC):
     @abc.abstractmethod
     def rank(
         self,
-        candidates: Iterable[RetrievalCandidate],
+        corpus,
         exclude: Iterable[str] = (),
+        *,
+        top_k: int | None = None,
+        category_filter: str | None = None,
     ) -> RetrievalResult:
-        """Rank the candidates, best match first, skipping ``exclude`` ids."""
+        """Rank a corpus, best match first.
+
+        ``corpus`` is a :class:`~repro.core.retrieval.PackedCorpus`, an
+        object offering ``packed()``, or an iterable of
+        :class:`~repro.core.retrieval.RetrievalCandidate` items
+        (compatibility).  ``exclude`` skips ids, ``category_filter`` keeps
+        one ground-truth category, ``top_k`` truncates the result while
+        preserving ``total_candidates``.
+        """
 
 
 class ConceptModel(LearnedModel):
@@ -78,7 +92,7 @@ class ConceptModel(LearnedModel):
 
     def __init__(self, training: TrainingResult):
         self._training = training
-        self._engine = RetrievalEngine()
+        self._ranker = Ranker()
 
     @property
     def concept(self) -> LearnedConcept:
@@ -90,20 +104,52 @@ class ConceptModel(LearnedModel):
 
     def rank(
         self,
-        candidates: Iterable[RetrievalCandidate],
+        corpus,
         exclude: Iterable[str] = (),
+        *,
+        top_k: int | None = None,
+        category_filter: str | None = None,
     ) -> RetrievalResult:
-        return self._engine.rank(self._training.concept, candidates, exclude=exclude)
+        return self._ranker.rank(
+            self._training.concept,
+            corpus,
+            top_k=top_k,
+            exclude=exclude,
+            category_filter=category_filter,
+        )
 
 
-class _CandidateCategories:
-    """category_of view over a candidate list (what RandomRanker needs)."""
+class _PoolCategories:
+    """category_of view over an id -> category mapping (for RandomRanker)."""
 
-    def __init__(self, candidates: Iterable[RetrievalCandidate]):
-        self._categories = {c.image_id: c.category for c in candidates}
+    def __init__(self, categories: dict[str, str]):
+        self._categories = categories
 
     def category_of(self, image_id: str) -> str:
         return self._categories[image_id]
+
+
+def _filtered_pool(
+    corpus,
+    exclude: Iterable[str],
+    category_filter: str | None,
+    top_k: int | None,
+) -> list[tuple[str, str]]:
+    """``(image_id, category)`` pairs surviving exclusion and filtering.
+
+    Also validates ``top_k`` so every model rejects a non-positive value
+    the same way the :class:`~repro.core.retrieval.Ranker` does.
+    """
+    if top_k is not None and top_k < 1:
+        raise DatabaseError(f"top_k must be >= 1 or None, got {top_k}")
+    packed = PackedCorpus.coerce(corpus)
+    excluded = set(exclude)
+    return [
+        (image_id, category)
+        for image_id, category in zip(packed.image_ids, packed.categories)
+        if image_id not in excluded
+        and (category_filter is None or category == category_filter)
+    ]
 
 
 class RandomOrderModel(LearnedModel):
@@ -119,19 +165,19 @@ class RandomOrderModel(LearnedModel):
 
     def rank(
         self,
-        candidates: Iterable[RetrievalCandidate],
+        corpus,
         exclude: Iterable[str] = (),
+        *,
+        top_k: int | None = None,
+        category_filter: str | None = None,
     ) -> RetrievalResult:
-        excluded = set(exclude)
-        pool = sorted(
-            (c for c in candidates if c.image_id not in excluded),
-            key=lambda c: c.image_id,
-        )
+        pool = sorted(_filtered_pool(corpus, exclude, category_filter, top_k))
         if not pool:
-            return RetrievalResult(())
-        return RandomRanker(self._seed).rank(
-            _CandidateCategories(pool), [c.image_id for c in pool]
+            return RetrievalResult((), total_candidates=0)
+        result = RandomRanker(self._seed).rank(
+            _PoolCategories(dict(pool)), [image_id for image_id, _ in pool]
         )
+        return result.truncate(top_k)
 
 
 class CorrelationTemplateModel(LearnedModel):
@@ -144,14 +190,21 @@ class CorrelationTemplateModel(LearnedModel):
 
     def rank(
         self,
-        candidates: Iterable[RetrievalCandidate],
+        corpus,
         exclude: Iterable[str] = (),
+        *,
+        top_k: int | None = None,
+        category_filter: str | None = None,
     ) -> RetrievalResult:
-        excluded = set(exclude)
-        chosen = [c.image_id for c in candidates if c.image_id not in excluded]
-        return correlation_ranking(
+        chosen = [
+            image_id
+            for image_id, _ in _filtered_pool(corpus, exclude, category_filter,
+                                              top_k)
+        ]
+        result = correlation_ranking(
             self._database, self._template, chosen, self._resolution
         )
+        return result.truncate(top_k)
 
 
 # --------------------------------------------------------------------- #
@@ -167,7 +220,7 @@ class Learner(abc.ABC):
         learner.bind(database)                  # optional database capture
         corpus = learner.corpus(database)       # which bag view to use
         model = learner.fit(bag_set)            # train on example bags
-        result = model.rank(candidates, ...)    # rank the corpus
+        result = model.rank(corpus.packed(), ...)   # rank the packed corpus
 
     Subclasses set :attr:`name` (the registry key they are usually
     registered under) and implement :meth:`fit`.

@@ -2,13 +2,16 @@
 
 A :class:`Query` is one self-contained retrieval request — example image
 ids, which learner to use (by registry name) and with which parameters,
-an optional candidate subset and an optional ``top_k`` — so requests can
-be built anywhere, validated once, queued, and executed by
-:class:`~repro.api.service.RetrievalService` in any order or thread.
+an optional candidate subset, an optional ``top_k`` and an optional
+``category_filter`` — so requests can be built anywhere, validated once,
+queued, and executed by :class:`~repro.api.service.RetrievalService` in
+any order or thread.
 
-A :class:`QueryResult` pairs the request with the full ranking, the
-learned concept (when the learner produces one), the training diagnostics
-and per-phase wall-clock timing.
+A :class:`QueryResult` pairs the request with the ranking (truncated to
+``top_k`` when requested, while
+:attr:`~repro.core.retrieval.RetrievalResult.total_candidates` still
+reports the full candidate count), the learned concept (when the learner
+produces one), the training diagnostics and per-phase wall-clock timing.
 """
 
 from __future__ import annotations
@@ -44,14 +47,18 @@ class Query:
             read-only mapping once constructed).
         candidate_ids: which images to rank; the whole database when ``None``.
             Example images are always excluded from the ranking.
-        top_k: how many results :meth:`QueryResult.top` returns by default;
-            ``None`` keeps the full ranking.
+        top_k: truncate the ranking to the best ``top_k`` entries
+            (``None`` keeps the full ranking); the result still reports
+            its ``total_candidates``, and :meth:`QueryResult.top` uses
+            this as its default ``k``.
+        category_filter: rank only candidates of this ground-truth
+            category; ``None`` ranks every candidate.
         query_id: optional caller-supplied tag carried through to the result
             and the service's timing records.
 
     Raises:
         QueryError: on empty positives, duplicate/overlapping example ids,
-            or a non-positive ``top_k``.
+            a non-positive ``top_k``, or an empty ``category_filter``.
     """
 
     positive_ids: tuple[str, ...]
@@ -62,6 +69,7 @@ class Query:
     params: Mapping[str, object] = field(default_factory=dict, hash=False)
     candidate_ids: tuple[str, ...] | None = None
     top_k: int | None = None
+    category_filter: str | None = None
     query_id: str = ""
 
     def __post_init__(self) -> None:
@@ -82,6 +90,13 @@ class Query:
             raise QueryError("learner name must be a non-empty string")
         if self.top_k is not None and self.top_k < 1:
             raise QueryError(f"top_k must be >= 1 or None, got {self.top_k}")
+        if self.category_filter is not None and (
+            not isinstance(self.category_filter, str) or not self.category_filter
+        ):
+            raise QueryError(
+                f"category_filter must be a non-empty string or None, "
+                f"got {self.category_filter!r}"
+            )
         candidates = (
             None
             if self.candidate_ids is None
@@ -113,7 +128,10 @@ class QueryResult:
 
     Attributes:
         query: the request that ran.
-        ranking: the full ranking (example images excluded).
+        ranking: the ranking, example images excluded and truncated to the
+            query's ``top_k`` when one was requested
+            (``ranking.total_candidates`` still reports how many images
+            competed).
         concept: the learned concept, or ``None`` for non-concept learners.
         training: full training diagnostics, or ``None``.
         timing: per-phase wall-clock timing.
@@ -124,6 +142,11 @@ class QueryResult:
     concept: LearnedConcept | None
     training: TrainingResult | None
     timing: QueryTiming
+
+    @property
+    def total_candidates(self) -> int:
+        """How many images competed (delegates to the ranking)."""
+        return self.ranking.total_candidates
 
     def top(self, k: int | None = None) -> tuple[RankedImage, ...]:
         """The best ``k`` matches (defaults to the query's ``top_k``)."""

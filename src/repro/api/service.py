@@ -7,7 +7,9 @@ system, SBN colour bags for the Maron–Ratan baseline), and executes
 :class:`~repro.api.query.Query` requests:
 
 * :meth:`RetrievalService.query` — resolve the learner from the registry,
-  build the example bags, fit, rank, and time each phase;
+  build the example bags, fit, rank (vectorised, over the corpus's cached
+  :class:`~repro.core.retrieval.PackedCorpus` view, honouring the query's
+  ``top_k`` and ``category_filter``), and time each phase;
 * :meth:`RetrievalService.batch_query` — fan a list of queries out over a
   thread pool (multi-user traffic); results come back in request order and
   are bit-identical to sequential execution because every learner is
@@ -34,7 +36,7 @@ from repro.api.learners import LearnedModel, Learner, make_learner
 from repro.api.query import Query, QueryResult, QueryTiming
 from repro.bags.bag import Bag, BagSet
 from repro.core.feedback import Corpus
-from repro.core.retrieval import RetrievalResult
+from repro.core.retrieval import RetrievalResult, packed_view
 from repro.database.store import ImageDatabase
 from repro.errors import DatabaseError, QueryError
 
@@ -108,14 +110,19 @@ class RetrievalService:
     def warm(self, learner: str = "dd", **params) -> int:
         """Precompute the bag corpus a learner family uses; returns the image count.
 
-        Run this before timing-sensitive serving so feature extraction is
-        not charged to the first query.
+        Builds the corpus's cached packed view (the serving hot path ranks
+        against it), so neither feature extraction nor packing is charged
+        to the first query.
         """
         resolved = make_learner(learner, **params)
         resolved.bind(self._database)
         corpus = self.corpus_for(resolved)
-        for image_id in self._database.image_ids:
-            corpus.instances_for(image_id)
+        packer = getattr(corpus, "packed", None)
+        if callable(packer):
+            packer()  # featurises every image while building the cached view
+        else:
+            for image_id in self._database.image_ids:
+                corpus.instances_for(image_id)
         return len(self._database)
 
     # ------------------------------------------------------------------ #
@@ -164,23 +171,39 @@ class RetrievalService:
         fitted: FittedQuery,
         candidate_ids: Sequence[str] | None = None,
         exclude: Sequence[str] = (),
+        *,
+        top_k: int | None = None,
+        category_filter: str | None = None,
     ) -> RetrievalResult:
         """Rank database images with an already-fitted model.
+
+        The corpus is consumed in packed (columnar) form — the service asks
+        the fitted corpus for its cached
+        :class:`~repro.core.retrieval.PackedCorpus` view and hands that to
+        the model's vectorised rank path.
 
         Args:
             fitted: the :meth:`fit` output.
             candidate_ids: which images to rank; all images when ``None``.
             exclude: image ids to leave out (e.g. the training examples).
+            top_k: truncate the ranking to the best ``top_k`` entries; the
+                result still reports its ``total_candidates``.
+            category_filter: rank only candidates of this category.
         """
         if candidate_ids is None:
-            chosen: tuple[str, ...] = self._database.image_ids
+            chosen: tuple[str, ...] | None = None
+            if not callable(getattr(fitted.corpus, "packed", None)):
+                # Legacy custom corpora only answer explicit id lists.
+                chosen = self._database.image_ids
         else:
             chosen = tuple(candidate_ids)
             for image_id in chosen:
                 if image_id not in self._database:
                     raise DatabaseError(f"unknown image id {image_id!r}")
-        candidates = fitted.corpus.retrieval_candidates(chosen)
-        return fitted.model.rank(candidates, exclude=exclude)
+        packed = packed_view(fitted.corpus, chosen)
+        return fitted.model.rank(
+            packed, exclude=exclude, top_k=top_k, category_filter=category_filter
+        )
 
     def query(self, query: Query) -> QueryResult:
         """Execute one query end to end (fit + rank + timing)."""
@@ -195,7 +218,11 @@ class RetrievalService:
         )
         rank_started_at = time.perf_counter()
         ranking = self.rank_with(
-            fitted, candidate_ids=query.candidate_ids, exclude=query.example_ids
+            fitted,
+            candidate_ids=query.candidate_ids,
+            exclude=query.example_ids,
+            top_k=query.top_k,
+            category_filter=query.category_filter,
         )
         finished_at = time.perf_counter()
         timing = QueryTiming(
@@ -208,7 +235,7 @@ class RetrievalService:
                 QueryRecord(
                     query_id=query.query_id,
                     learner=query.learner,
-                    n_candidates=len(ranking),
+                    n_candidates=ranking.total_candidates,
                     timing=timing,
                 )
             )

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.retrieval import RetrievalCandidate
+from repro.core.retrieval import CorpusPacker, PackedCorpus, RetrievalCandidate
 from repro.database.store import ImageDatabase
 from repro.errors import DatabaseError, FeatureError
 
@@ -83,9 +83,10 @@ class ColorCorpus:
     """Corpus adapter exposing SBN colour bags over an image database.
 
     Implements the :class:`~repro.core.feedback.Corpus` protocol
-    (``instances_for`` / ``category_of`` / ``retrieval_candidates``) so the
-    standard feedback loop and retrieval engine run unmodified on colour
-    features.
+    (``instances_for`` / ``category_of`` / ``packed`` /
+    ``retrieval_candidates``) so the standard feedback loop and the
+    vectorised :class:`~repro.core.retrieval.Ranker` run unmodified on
+    colour features — both learner families share one fast path.
 
     Args:
         database: must contain images stored with RGB data.
@@ -96,6 +97,7 @@ class ColorCorpus:
         self._database = database
         self._grid = grid
         self._cache: dict[str, np.ndarray] = {}
+        self._packer = CorpusPacker()
 
     @property
     def grid(self) -> int:
@@ -119,8 +121,30 @@ class ColorCorpus:
         """Ground-truth category (delegates to the database)."""
         return self._database.category_of(image_id)
 
+    def packed(self, ids=None) -> PackedCorpus:
+        """Columnar SBN corpus view (cached over the whole database).
+
+        Built once from every image's SBN bag — the same packed layout the
+        region-bag path uses, so both learner families share the ranking
+        kernel.  ``ids`` selects a sub-corpus in the given order; a subset
+        request before the cache exists packs only the requested images
+        (mixed colour/gray databases stay rankable by colour subset).
+        The cache is keyed on the database's mutation counter, so adding
+        images is picked up on the next call.
+
+        Raises:
+            DatabaseError: for an unknown id or a gray-only image.
+        """
+        return self._packer.packed(
+            ids,
+            all_ids=self._database.image_ids,
+            category_of=self.category_of,
+            instances_for=self.instances_for,
+            version=self._database.version,
+        )
+
     def retrieval_candidates(self, ids) -> list[RetrievalCandidate]:
-        """Rankable colour-feature view of the given images."""
+        """Per-image compatibility view (zero-copy over the SBN cache)."""
         return [
             RetrievalCandidate(
                 image_id=image_id,

@@ -3,10 +3,11 @@
 Five subcommands cover the everyday workflows::
 
     python -m repro build-db    --kind scenes --per-category 20 --out db.npz
-    python -m repro query       --db db.npz --category waterfall --top 10
+    python -m repro query       --db db.npz --category waterfall --top-k 10
     python -m repro batch-query --db db.npz --categories waterfall,sunset --workers 4
     python -m repro experiment  --db db.npz --category waterfall --scheme inequality
     python -m repro info        --db db.npz
+    python -m repro --version
 
 All commands are seeded and print plain text; they are thin wrappers over
 the library API (each maps to a handful of calls documented in the README),
@@ -33,6 +34,7 @@ from repro.datasets.loader import build_object_database, build_scene_database
 from repro.errors import ReproError
 from repro.eval.experiment import ExperimentConfig, RetrievalExperiment
 from repro.eval.reporting import ascii_table
+from repro.version import __version__
 
 _SCHEMES = ["original", "identical", "alpha_hack", "inequality"]
 
@@ -42,6 +44,9 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Image retrieval with multiple-instance learning "
         "(Yang & Lozano-Perez, ICDE 2000 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -62,7 +67,9 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--beta", type=float, default=0.5)
     query.add_argument("--positives", type=int, default=4)
     query.add_argument("--negatives", type=int, default=4)
-    query.add_argument("--top", type=int, default=10)
+    query.add_argument("--top-k", "--top", dest="top", type=int, default=10,
+                       help="truncate the ranking to the best K matches "
+                       "(server-side top-k)")
     query.add_argument("--seed", type=int, default=0)
 
     batch = commands.add_parser(
@@ -79,7 +86,9 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--beta", type=float, default=0.5)
     batch.add_argument("--positives", type=int, default=4)
     batch.add_argument("--negatives", type=int, default=4)
-    batch.add_argument("--top", type=int, default=10)
+    batch.add_argument("--top-k", "--top", dest="top", type=int, default=10,
+                       help="truncate each ranking to the best K matches "
+                       "(server-side top-k)")
     batch.add_argument("--workers", type=int, default=1,
                        help="thread-pool size (1 = sequential)")
     batch.add_argument("--seed", type=int, default=0)
@@ -168,6 +177,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
     hits = sum(1 for entry in result.top() if entry.category == args.category)
     print(f"precision@{args.top} = {hits / args.top:.2f}")
     print(
+        f"ranked {result.total_candidates} candidates "
+        f"(kept top {len(result.ranking)}); "
         f"timing: fit {result.timing.fit_seconds:.2f}s, "
         f"rank {result.timing.rank_seconds:.2f}s"
     )

@@ -19,7 +19,15 @@ from repro.core.concept import LearnedConcept
 from repro.core.diverse_density import DiverseDensityTrainer, TrainerConfig, TrainingResult
 from repro.core.feedback import FeedbackLoop, FeedbackRound
 from repro.core.objective import DiverseDensityObjective
-from repro.core.retrieval import RankedImage, RetrievalEngine, RetrievalResult
+from repro.core.retrieval import (
+    PackedCorpus,
+    RankedImage,
+    Ranker,
+    RetrievalEngine,
+    RetrievalResult,
+    packed_view,
+    rank_by_loop,
+)
 from repro.core.schemes import WeightScheme, make_scheme
 
 __all__ = [
@@ -30,9 +38,13 @@ __all__ = [
     "FeedbackLoop",
     "FeedbackRound",
     "DiverseDensityObjective",
+    "PackedCorpus",
     "RankedImage",
+    "Ranker",
     "RetrievalEngine",
     "RetrievalResult",
+    "packed_view",
+    "rank_by_loop",
     "WeightScheme",
     "make_scheme",
 ]

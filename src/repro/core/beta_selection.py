@@ -21,7 +21,7 @@ from typing import Sequence
 from repro.bags.bag import Bag, BagSet
 from repro.core.diverse_density import DiverseDensityTrainer, TrainerConfig
 from repro.core.feedback import Corpus, ExampleSelection
-from repro.core.retrieval import RetrievalEngine
+from repro.core.retrieval import Ranker, packed_view
 from repro.errors import TrainingError
 from repro.eval.metrics import average_precision
 
@@ -102,7 +102,8 @@ def select_beta(
             Bag(instances=corpus.instances_for(image_id), label=False, bag_id=image_id)
         )
 
-    engine = RetrievalEngine()
+    ranker = Ranker()
+    held_in_packed = packed_view(corpus, held_in)
     candidates = []
     for beta in betas:
         trainer = DiverseDensityTrainer(
@@ -116,9 +117,7 @@ def select_beta(
             )
         )
         concept = trainer.train(bag_set).concept
-        ranking = engine.rank(
-            concept, corpus.retrieval_candidates(held_in), exclude=example_ids
-        )
+        ranking = ranker.rank(concept, held_in_packed, exclude=example_ids)
         relevance = ranking.relevance(target_category)
         validation_ap = average_precision(relevance) if relevance.any() else 0.0
         candidates.append(

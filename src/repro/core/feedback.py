@@ -13,9 +13,14 @@ offering::
 
     instances_for(image_id) -> np.ndarray      # the image's bag instances
     category_of(image_id) -> str               # ground-truth label
-    retrieval_candidates(ids) -> Iterable[RetrievalCandidate]
+    packed(ids) -> PackedCorpus                # columnar rankable view
+    retrieval_candidates(ids) -> Iterable[RetrievalCandidate]   # compat
 
-which :class:`~repro.database.store.ImageDatabase` implements.
+which :class:`~repro.database.store.ImageDatabase` implements.  The packed
+view is the canonical one — rankings run through the vectorised
+:class:`~repro.core.retrieval.Ranker`; legacy corpora offering only
+``retrieval_candidates`` are packed on the fly by
+:func:`~repro.core.retrieval.packed_view`.
 """
 
 from __future__ import annotations
@@ -27,7 +32,13 @@ import numpy as np
 
 from repro.bags.bag import Bag, BagSet
 from repro.core.diverse_density import DiverseDensityTrainer, TrainingResult
-from repro.core.retrieval import RetrievalCandidate, RetrievalEngine, RetrievalResult
+from repro.core.retrieval import (
+    PackedCorpus,
+    Ranker,
+    RetrievalCandidate,
+    RetrievalResult,
+    packed_view,
+)
 from repro.errors import TrainingError
 
 
@@ -42,8 +53,12 @@ class Corpus(Protocol):
         """Ground-truth category of one image."""
         ...  # pragma: no cover - protocol
 
+    def packed(self, ids: Sequence[str] | None = None) -> PackedCorpus:
+        """Columnar corpus view of the given images (all when ``None``)."""
+        ...  # pragma: no cover - protocol
+
     def retrieval_candidates(self, ids: Sequence[str]) -> list[RetrievalCandidate]:
-        """Corpus view of the given images."""
+        """Per-image compatibility view of the given images."""
         ...  # pragma: no cover - protocol
 
 
@@ -174,7 +189,7 @@ class FeedbackLoop:
         self._test_ids = tuple(test_ids)
         self._rounds = rounds
         self._fp_per_round = false_positives_per_round
-        self._engine = RetrievalEngine()
+        self._ranker = Ranker()
 
     def run(self, selection: ExampleSelection) -> FeedbackOutcome:
         """Execute the full protocol from an initial example selection."""
@@ -182,6 +197,8 @@ class FeedbackLoop:
         negative_ids = list(selection.negative_ids)
         round_records: list[FeedbackRound] = []
         training: TrainingResult | None = None
+        # The potential-set view is loop-invariant; pack it once for all rounds.
+        potential_packed = packed_view(self._corpus, self._potential_ids)
 
         for round_index in range(1, self._rounds + 1):
             bag_set = self._build_bag_set(positive_ids, negative_ids)
@@ -189,10 +206,8 @@ class FeedbackLoop:
             concept = training.concept
 
             example_ids = set(positive_ids) | set(negative_ids)
-            training_ranking = self._engine.rank(
-                concept,
-                self._corpus.retrieval_candidates(self._potential_ids),
-                exclude=example_ids,
+            training_ranking = self._ranker.rank(
+                concept, potential_packed, exclude=example_ids
             )
             added: tuple[str, ...] = ()
             if round_index < self._rounds and self._fp_per_round:
@@ -220,9 +235,9 @@ class FeedbackLoop:
 
         assert training is not None  # rounds >= 1
         all_examples = set(positive_ids) | set(negative_ids)
-        test_ranking = self._engine.rank(
+        test_ranking = self._ranker.rank(
             training.concept,
-            self._corpus.retrieval_candidates(self._test_ids),
+            packed_view(self._corpus, self._test_ids),
             exclude=all_examples,
         )
         return FeedbackOutcome(

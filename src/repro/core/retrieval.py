@@ -3,10 +3,26 @@
 After training, the system "goes to the image database and ranks all images
 based on their weighted Euclidean distances to the ideal point", where an
 image's distance is the minimum over its instances.  This module implements
-that ranking over any *corpus* — an object yielding
-:class:`RetrievalCandidate` items — so the engine is independent of the
-storage layer (the :class:`~repro.database.store.ImageDatabase` provides the
-corpus view).
+that ranking over a *corpus* in columnar form:
+
+* :class:`PackedCorpus` — the canonical corpus representation: one stacked
+  ``(N, d)`` instance matrix for all images, bag-boundary offsets, and
+  parallel id/category arrays.  Storage layers
+  (:class:`~repro.database.store.ImageDatabase`, the colour corpora) build
+  and cache packed views; anything yielding
+  :class:`RetrievalCandidate` items can be packed with
+  :meth:`PackedCorpus.from_candidates`.
+* :class:`Ranker` — the vectorised ranking kernel: one broadcast weighted
+  distance over the whole matrix, a segmented minimum per bag
+  (``np.minimum.reduceat``) and an id-tie-broken argsort, with ``top_k``
+  truncation, id exclusion and category filtering.
+* :func:`rank_by_loop` — the legacy per-bag reference implementation, kept
+  for equivalence tests and the loop-vs-vectorised benchmark
+  (``benchmarks/bench_rank_corpus.py``).
+
+:class:`RetrievalEngine` survives as a thin compatibility wrapper that
+delegates to :class:`Ranker`, so older call sites get the fast path for
+free.
 """
 
 from __future__ import annotations
@@ -29,6 +45,347 @@ class RetrievalCandidate:
     instances: np.ndarray
 
 
+class PackedCorpus:
+    """A corpus in columnar form: stacked instances plus parallel metadata.
+
+    Attributes:
+        instances: ``(N, d)`` float64 matrix — every image's instances,
+            stacked in bag order.
+        offsets: ``(n_bags + 1,)`` int64 bag boundaries; bag ``i`` owns the
+            rows ``instances[offsets[i]:offsets[i + 1]]``.
+        image_ids: image ids, parallel to the bags.
+        categories: ground-truth categories, parallel to the bags.
+
+    The arrays are validated on construction (monotone offsets covering the
+    matrix exactly, unique ids, matching lengths, at least one instance per
+    bag) and should be treated as immutable.
+    """
+
+    __slots__ = (
+        "instances",
+        "offsets",
+        "image_ids",
+        "categories",
+        "_id_array",
+        "_category_array",
+        "_position",
+        "_squared",
+    )
+
+    def __init__(
+        self,
+        instances: np.ndarray,
+        offsets: np.ndarray,
+        image_ids: Sequence[str],
+        categories: Sequence[str],
+    ):
+        matrix = np.asarray(instances, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise DatabaseError(
+                f"packed instances must form a 2-D matrix, got shape {matrix.shape}"
+            )
+        bounds = np.asarray(offsets, dtype=np.int64).reshape(-1)
+        ids = tuple(image_ids)
+        labels = tuple(categories)
+        if len(labels) != len(ids):
+            raise DatabaseError(
+                f"{len(ids)} image ids but {len(labels)} categories"
+            )
+        if len(set(ids)) != len(ids):
+            raise DatabaseError("packed corpus contains duplicate image ids")
+        if bounds.size != len(ids) + 1:
+            raise DatabaseError(
+                f"offsets must hold n_bags + 1 entries, got {bounds.size} "
+                f"for {len(ids)} bags"
+            )
+        if bounds[0] != 0 or bounds[-1] != matrix.shape[0]:
+            raise DatabaseError(
+                f"offsets must span the instance matrix exactly "
+                f"(got [{bounds[0]}, {bounds[-1]}] over {matrix.shape[0]} rows)"
+            )
+        if np.any(np.diff(bounds) < 1):
+            raise DatabaseError("every packed bag needs at least one instance")
+        object.__setattr__(self, "instances", matrix)
+        object.__setattr__(self, "offsets", bounds)
+        object.__setattr__(self, "image_ids", ids)
+        object.__setattr__(self, "categories", labels)
+        object.__setattr__(self, "_id_array", np.array(ids, dtype=np.str_))
+        object.__setattr__(self, "_category_array", np.array(labels, dtype=np.str_))
+        object.__setattr__(self, "_position", {i: p for p, i in enumerate(ids)})
+        object.__setattr__(self, "_squared", None)
+
+    def __setattr__(self, name, value):  # immutability guard
+        raise AttributeError("PackedCorpus is immutable")
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers                                                #
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def pack(
+        cls,
+        image_ids: Sequence[str],
+        categories: Sequence[str],
+        matrices: Sequence[np.ndarray],
+    ) -> "PackedCorpus":
+        """Stack per-image instance matrices into one packed corpus."""
+        ids = tuple(image_ids)
+        if len(matrices) != len(ids):
+            raise DatabaseError(
+                f"{len(ids)} image ids but {len(matrices)} instance matrices"
+            )
+        coerced = []
+        for image_id, matrix in zip(ids, matrices):
+            block = np.asarray(matrix, dtype=np.float64)
+            if block.ndim == 1:
+                block = block.reshape(1, -1)
+            if block.ndim != 2 or block.shape[0] == 0 or block.shape[1] == 0:
+                raise DatabaseError(
+                    f"image {image_id!r} has an unusable instance matrix "
+                    f"of shape {np.shape(matrix)}"
+                )
+            if coerced and block.shape[1] != coerced[0].shape[1]:
+                raise DatabaseError(
+                    f"image {image_id!r} has {block.shape[1]}-dim instances "
+                    f"but the corpus holds {coerced[0].shape[1]} dims"
+                )
+            coerced.append(block)
+        if not coerced:
+            return cls(
+                instances=np.zeros((0, 0)),
+                offsets=np.zeros(1, dtype=np.int64),
+                image_ids=(),
+                categories=(),
+            )
+        counts = np.array([block.shape[0] for block in coerced], dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+        return cls(
+            instances=np.vstack(coerced),
+            offsets=offsets,
+            image_ids=ids,
+            categories=tuple(categories),
+        )
+
+    @classmethod
+    def from_candidates(
+        cls, candidates: Iterable[RetrievalCandidate]
+    ) -> "PackedCorpus":
+        """Pack an iterable of :class:`RetrievalCandidate` items."""
+        items = list(candidates)
+        return cls.pack(
+            image_ids=[c.image_id for c in items],
+            categories=[c.category for c in items],
+            matrices=[c.instances for c in items],
+        )
+
+    @classmethod
+    def coerce(cls, corpus) -> "PackedCorpus":
+        """Accept any corpus spelling and return a packed view.
+
+        ``corpus`` may be a :class:`PackedCorpus` (returned as-is), an
+        object offering ``packed()`` (the
+        :class:`~repro.core.feedback.Corpus` protocol), a legacy corpus
+        offering only ``retrieval_candidates()``, or a plain iterable of
+        :class:`RetrievalCandidate` items (packed on the spot).
+        """
+        return packed_view(corpus)
+
+    # ------------------------------------------------------------------ #
+    # Shape and access                                                    #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_bags(self) -> int:
+        """Number of packed images."""
+        return len(self.image_ids)
+
+    @property
+    def n_instances(self) -> int:
+        """Total instances across all packed images."""
+        return self.instances.shape[0]
+
+    @property
+    def n_dims(self) -> int:
+        """Feature dimensionality."""
+        return self.instances.shape[1]
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Per-bag instance counts."""
+        return np.diff(self.offsets)
+
+    @property
+    def id_array(self) -> np.ndarray:
+        """Image ids as a numpy string array (parallel to the bags)."""
+        return self._id_array
+
+    @property
+    def category_array(self) -> np.ndarray:
+        """Categories as a numpy string array (parallel to the bags)."""
+        return self._category_array
+
+    def __len__(self) -> int:
+        return self.n_bags
+
+    def __contains__(self, image_id: str) -> bool:
+        return image_id in self._position
+
+    def bag_instances(self, image_id: str) -> np.ndarray:
+        """The instance rows of one image (a view into the stacked matrix).
+
+        Raises:
+            DatabaseError: for an unknown id.
+        """
+        try:
+            index = self._position[image_id]
+        except KeyError:
+            raise DatabaseError(f"unknown image id {image_id!r}") from None
+        return self.instances[self.offsets[index] : self.offsets[index + 1]]
+
+    def candidates(self) -> Iterator[RetrievalCandidate]:
+        """Compatibility iterator over per-image candidates (views)."""
+        for index, (image_id, category) in enumerate(
+            zip(self.image_ids, self.categories)
+        ):
+            yield RetrievalCandidate(
+                image_id=image_id,
+                category=category,
+                instances=self.instances[
+                    self.offsets[index] : self.offsets[index + 1]
+                ],
+            )
+
+    def select(self, ids: Sequence[str]) -> "PackedCorpus":
+        """A packed sub-corpus holding ``ids`` in the given order.
+
+        Raises:
+            DatabaseError: for an unknown id.
+        """
+        chosen = tuple(ids)
+        try:
+            indices = np.array(
+                [self._position[image_id] for image_id in chosen], dtype=np.int64
+            )
+        except KeyError as exc:
+            raise DatabaseError(f"unknown image id {exc.args[0]!r}") from None
+        if not chosen:
+            return PackedCorpus(
+                instances=np.zeros((0, self.n_dims)),
+                offsets=np.zeros(1, dtype=np.int64),
+                image_ids=(),
+                categories=(),
+            )
+        lengths = self.lengths[indices]
+        starts = self.offsets[:-1][indices]
+        new_offsets = np.concatenate([[0], np.cumsum(lengths)]).astype(np.int64)
+        # Gather the selected bags' rows in one fancy-index pass.
+        row_index = (
+            np.arange(int(new_offsets[-1]), dtype=np.int64)
+            - np.repeat(new_offsets[:-1], lengths)
+            + np.repeat(starts, lengths)
+        )
+        return PackedCorpus(
+            instances=self.instances[row_index],
+            offsets=new_offsets,
+            image_ids=chosen,
+            categories=tuple(self.categories[i] for i in indices),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Scoring kernel                                                      #
+    # ------------------------------------------------------------------ #
+
+    def min_distances(self, concept: LearnedConcept) -> np.ndarray:
+        """Per-image min weighted squared distance to the concept.
+
+        Uses the expanded quadratic form over the stacked matrix ``X``::
+
+            sum_j w_j (x_j - t_j)^2  =  (X^2) @ w  -  2 X @ (w t)  +  w . t^2
+
+        where ``X^2`` is squared once per corpus and cached, so each query
+        costs two matrix-vector products plus a segmented minimum per bag
+        (``np.minimum.reduceat``) — no per-query ``(N, d)`` temporaries.
+        Distances agree with the naive per-bag formula to ~1e-15 relative
+        (clamped at zero); the equivalence suite asserts the resulting
+        *orderings* are identical to the reference loop.
+
+        Raises:
+            DatabaseError: if the concept's dimensionality does not match
+                the corpus.
+        """
+        if self.n_bags == 0:
+            return np.zeros(0)
+        if concept.n_dims != self.n_dims:
+            raise DatabaseError(
+                f"concept has {concept.n_dims} dims but the packed corpus "
+                f"holds {self.n_dims}"
+            )
+        if self._squared is None:
+            object.__setattr__(self, "_squared", self.instances * self.instances)
+        weighted_t = concept.w * concept.t
+        per_instance = self._squared @ concept.w
+        per_instance -= 2.0 * (self.instances @ weighted_t)
+        per_instance += float(weighted_t @ concept.t)
+        np.maximum(per_instance, 0.0, out=per_instance)
+        return np.minimum.reduceat(per_instance, self.offsets[:-1])
+
+    def __repr__(self) -> str:
+        return (
+            f"PackedCorpus({self.n_bags} images, {self.n_instances} instances, "
+            f"{self.n_dims} dims)"
+        )
+
+
+class CorpusPacker:
+    """Cache-or-pack policy shared by the corpus adapters.
+
+    Every adapter (the image database, the colour corpora) wants the same
+    behaviour: pack the *full* corpus once and cache it, answer subset
+    requests from the cache, pack a subset directly when the cache does
+    not exist yet (never touching images outside the subset — they may be
+    unfeaturisable), and drop the cache when the owner's ``version``
+    (a mutation counter) changes.
+    """
+
+    def __init__(self):
+        self._packed: PackedCorpus | None = None
+        self._version = None
+
+    def packed(
+        self,
+        ids: Sequence[str] | None,
+        *,
+        all_ids: Sequence[str],
+        category_of,
+        instances_for,
+        version=None,
+    ) -> PackedCorpus:
+        """The packed view for ``ids`` (the full corpus when ``None``).
+
+        Args:
+            ids: requested image ids, in order; ``None`` means all.
+            all_ids: every id the corpus covers, in canonical order.
+            category_of: ``image_id -> category`` lookup.
+            instances_for: ``image_id -> (n, d) matrix`` lookup.
+            version: the owner's mutation counter; a change invalidates
+                the cached full view.
+        """
+        if self._version != version:
+            self._packed = None
+        if self._packed is not None:
+            return self._packed if ids is None else self._packed.select(tuple(ids))
+        chosen = tuple(all_ids if ids is None else ids)
+        packed = PackedCorpus.pack(
+            image_ids=chosen,
+            categories=tuple(category_of(i) for i in chosen),
+            matrices=[instances_for(i) for i in chosen],
+        )
+        if ids is None:
+            self._packed = packed
+            self._version = version
+        return packed
+
+
 @dataclass(frozen=True)
 class RankedImage:
     """One entry of a retrieval ranking.
@@ -47,9 +404,18 @@ class RankedImage:
 
 
 class RetrievalResult:
-    """An ordered retrieval ranking with evaluation helpers."""
+    """An ordered retrieval ranking with evaluation helpers.
 
-    def __init__(self, ranked: Sequence[RankedImage]):
+    A result may be *truncated*: a ``top_k`` ranking keeps only the best
+    ``k`` entries while :attr:`total_candidates` still reports how many
+    images competed.  Helpers that need unseen tail entries
+    (:meth:`precision_at` beyond the kept prefix) refuse to guess on a
+    truncated result.
+    """
+
+    def __init__(
+        self, ranked: Sequence[RankedImage], total_candidates: int | None = None
+    ):
         self._ranked = tuple(ranked)
         for position, entry in enumerate(self._ranked):
             if entry.rank != position:
@@ -57,14 +423,53 @@ class RetrievalResult:
                     f"ranking entry {entry.image_id!r} has rank {entry.rank}, "
                     f"expected {position}"
                 )
+        if total_candidates is None:
+            total_candidates = len(self._ranked)
+        if total_candidates < len(self._ranked):
+            raise DatabaseError(
+                f"total_candidates ({total_candidates}) cannot be smaller "
+                f"than the ranking length ({len(self._ranked)})"
+            )
+        self._total_candidates = int(total_candidates)
 
     @property
     def ranked(self) -> tuple[RankedImage, ...]:
-        """All entries, best match first."""
+        """All kept entries, best match first."""
         return self._ranked
 
+    @property
+    def total_candidates(self) -> int:
+        """How many images competed, including any truncated away."""
+        return self._total_candidates
+
+    @property
+    def is_truncated(self) -> bool:
+        """True when a ``top_k`` request dropped lower-ranked entries."""
+        return len(self._ranked) < self._total_candidates
+
+    def truncate(self, k: int | None) -> "RetrievalResult":
+        """The same ranking keeping only the best ``k`` entries.
+
+        ``total_candidates`` is preserved, so the result remembers how many
+        images it was ranked against.  ``None`` returns ``self`` unchanged.
+        """
+        if k is None:
+            return self
+        if k < 0:
+            raise DatabaseError(f"k must be >= 0, got {k}")
+        if k >= len(self._ranked):
+            return self
+        return RetrievalResult(
+            self._ranked[:k], total_candidates=self._total_candidates
+        )
+
     def top(self, k: int) -> tuple[RankedImage, ...]:
-        """The best ``k`` matches."""
+        """The best ``k`` matches.
+
+        When ``k`` exceeds the (possibly truncated) ranking length, every
+        kept entry is returned — ``top`` never invents entries and never
+        raises for an over-large ``k``.
+        """
         if k < 0:
             raise DatabaseError(f"k must be >= 0, got {k}")
         return self._ranked[:k]
@@ -90,6 +495,9 @@ class RetrievalResult:
     ) -> tuple[RankedImage, ...]:
         """The top-ranked *incorrect* images (the feedback loop's fodder).
 
+        Operates on the kept entries only; on a truncated result the tail
+        beyond ``top_k`` is never consulted.
+
         Args:
             target_category: what the user is searching for.
             limit: how many false positives to return at most.
@@ -107,9 +515,26 @@ class RetrievalResult:
         return tuple(found)
 
     def precision_at(self, k: int, target_category: str) -> float:
-        """Precision among the top ``k`` results."""
+        """Precision among the top ``k`` results.
+
+        When ``k`` exceeds the length of a *complete* ranking, precision is
+        computed over the full ranking (there is nothing below it).  On a
+        *truncated* ranking the entries beyond the kept prefix are unknown,
+        so asking for ``k`` past the prefix raises instead of silently
+        returning a wrong number.
+
+        Raises:
+            DatabaseError: for ``k < 1``, or ``k`` beyond the kept prefix
+                of a truncated ranking.
+        """
         if k < 1:
             raise DatabaseError(f"k must be >= 1, got {k}")
+        if k > len(self._ranked) and self.is_truncated:
+            raise DatabaseError(
+                f"precision@{k} is undefined: the ranking was truncated to "
+                f"its top {len(self._ranked)} of {self._total_candidates} "
+                "candidates"
+            )
         top = self._ranked[:k]
         if not top:
             return 0.0
@@ -123,11 +548,160 @@ class RetrievalResult:
         return iter(self._ranked)
 
     def __repr__(self) -> str:
+        if self.is_truncated:
+            return (
+                f"RetrievalResult(top {len(self._ranked)} of "
+                f"{self._total_candidates} images)"
+            )
         return f"RetrievalResult({len(self._ranked)} images)"
 
 
+def packed_view(corpus, ids: Sequence[str] | None = None) -> PackedCorpus:
+    """The best packed view a corpus offers for the given ids.
+
+    Accepts every corpus spelling: a :class:`PackedCorpus` (sub-selected
+    when ``ids`` is given), an object offering ``packed(ids)`` (answered
+    from its cache), a legacy corpus offering only
+    ``retrieval_candidates(ids)``, or a plain iterable of
+    :class:`RetrievalCandidate` items (``ids`` must be ``None``).
+    """
+    if isinstance(corpus, PackedCorpus):
+        return corpus if ids is None else corpus.select(tuple(ids))
+    packer = getattr(corpus, "packed", None)
+    if callable(packer):
+        return packer(ids)
+    legacy = getattr(corpus, "retrieval_candidates", None)
+    if callable(legacy):
+        if ids is None:
+            # The legacy protocol took an explicit id list; recover the
+            # whole-corpus spelling from ``image_ids`` when offered.
+            all_ids = getattr(corpus, "image_ids", None)
+            if all_ids is not None:
+                ids = tuple(all_ids)
+        return PackedCorpus.from_candidates(legacy(ids))
+    return PackedCorpus.from_candidates(corpus)
+
+
+class Ranker:
+    """Vectorised top-k ranking of a corpus against a learned concept.
+
+    The serving hot path: scores every candidate with one broadcast
+    weighted-distance kernel (:meth:`PackedCorpus.min_distances`), orders by
+    ``(distance, image_id)`` via ``np.lexsort`` — identical tie-breaking to
+    the legacy loop — and optionally truncates to the best ``top_k``
+    while preserving :attr:`RetrievalResult.total_candidates`.
+    """
+
+    def rank(
+        self,
+        concept: LearnedConcept,
+        corpus,
+        *,
+        top_k: int | None = None,
+        exclude: Iterable[str] = (),
+        category_filter: str | None = None,
+    ) -> RetrievalResult:
+        """Rank a corpus, best match first.
+
+        Args:
+            concept: the learned ``(t, w)``.
+            corpus: a :class:`PackedCorpus`, an object offering
+                ``packed()``, or an iterable of
+                :class:`RetrievalCandidate` items.
+            top_k: keep only the best ``top_k`` entries (``None`` keeps
+                the full ranking); the result still reports
+                ``total_candidates``.
+            exclude: image ids to leave out (e.g. the training examples).
+            category_filter: keep only candidates of this ground-truth
+                category (evaluation workflows).
+
+        Ties in distance are broken by image id so rankings are
+        deterministic across runs.
+
+        Raises:
+            DatabaseError: on a non-positive ``top_k`` or a concept whose
+                dimensionality does not match the corpus.
+        """
+        if top_k is not None and top_k < 1:
+            raise DatabaseError(f"top_k must be >= 1 or None, got {top_k}")
+        packed = PackedCorpus.coerce(corpus)
+        if packed.n_bags == 0:
+            return RetrievalResult((), total_candidates=0)
+        keep = np.ones(packed.n_bags, dtype=bool)
+        excluded = set(exclude)
+        if excluded:
+            keep &= ~np.isin(packed.id_array, sorted(excluded))
+        if category_filter is not None:
+            keep &= packed.category_array == category_filter
+        if not keep.any():
+            return RetrievalResult((), total_candidates=0)
+        distances = packed.min_distances(concept)[keep]
+        ids = packed.id_array[keep]
+        categories = packed.category_array[keep]
+        # Primary key: distance; secondary key: image id (lexsort reads the
+        # keys back to front) — the legacy loop's exact ordering.
+        order = np.lexsort((ids, distances))
+        total = int(ids.size)
+        if top_k is not None:
+            order = order[:top_k]
+        # tolist() converts to native str/float in bulk — far cheaper than
+        # per-element numpy scalar coercion when building the result.
+        ranked = [
+            RankedImage(rank=position, image_id=image_id, category=category,
+                        distance=distance)
+            for position, (image_id, category, distance) in enumerate(
+                zip(
+                    ids[order].tolist(),
+                    categories[order].tolist(),
+                    distances[order].tolist(),
+                )
+            )
+        ]
+        return RetrievalResult(ranked, total_candidates=total)
+
+
+def rank_by_loop(
+    concept: LearnedConcept,
+    candidates: Iterable[RetrievalCandidate],
+    exclude: Iterable[str] = (),
+) -> RetrievalResult:
+    """The legacy per-bag ranking loop, kept as the reference implementation.
+
+    Scores one candidate at a time with :meth:`LearnedConcept.bag_distance`
+    and sorts in Python.  The vectorised :class:`Ranker` is asserted
+    order-identical to this function by the equivalence suite
+    (``tests/test_rank_equivalence.py``) and raced against it in
+    ``benchmarks/bench_rank_corpus.py``; production code should use
+    :class:`Ranker`.
+    """
+    excluded = set(exclude)
+    scored: list[tuple[float, str, str]] = []
+    for candidate in candidates:
+        if candidate.image_id in excluded:
+            continue
+        distance = concept.bag_distance(candidate.instances)
+        scored.append((distance, candidate.image_id, candidate.category))
+    scored.sort(key=lambda item: (item[0], item[1]))
+    ranked = [
+        RankedImage(rank=position, image_id=image_id, category=category, distance=distance)
+        for position, (distance, image_id, category) in enumerate(scored)
+    ]
+    return RetrievalResult(ranked)
+
+
 class RetrievalEngine:
-    """Ranks corpus candidates by min-instance distance to a concept."""
+    """Compatibility facade over :class:`Ranker`.
+
+    Older call sites built against the per-bag engine keep working — and
+    now get the vectorised kernel.  Inputs the columnar representation
+    cannot express (duplicate image ids in a candidate list) fall back to
+    the reference loop, so the legacy contract holds in full.  New code
+    should use :class:`Ranker` directly, which also exposes ``top_k`` and
+    ``category_filter``.
+    """
+
+    def __init__(self):
+        self._ranker = Ranker()
 
     def rank(
         self,
@@ -135,26 +709,10 @@ class RetrievalEngine:
         candidates: Iterable[RetrievalCandidate],
         exclude: Iterable[str] = (),
     ) -> RetrievalResult:
-        """Produce the full ranking, best match first.
-
-        Args:
-            concept: the learned ``(t, w)``.
-            candidates: the corpus to rank.
-            exclude: image ids to leave out (e.g. the training examples).
-
-        Ties in distance are broken by image id so rankings are
-        deterministic across runs.
-        """
-        excluded = set(exclude)
-        scored: list[tuple[float, str, str]] = []
-        for candidate in candidates:
-            if candidate.image_id in excluded:
-                continue
-            distance = concept.bag_distance(candidate.instances)
-            scored.append((distance, candidate.image_id, candidate.category))
-        scored.sort(key=lambda item: (item[0], item[1]))
-        ranked = [
-            RankedImage(rank=position, image_id=image_id, category=category, distance=distance)
-            for position, (distance, image_id, category) in enumerate(scored)
-        ]
-        return RetrievalResult(ranked)
+        """Produce the full ranking, best match first (delegates to Ranker)."""
+        items = candidates if isinstance(candidates, (list, tuple)) else list(candidates)
+        try:
+            packed = PackedCorpus.from_candidates(items)
+        except DatabaseError:
+            return rank_by_loop(concept, items, exclude=exclude)
+        return self._ranker.rank(concept, packed, exclude=exclude)

@@ -1,10 +1,9 @@
 """Batch retrieval index: rank a whole database in one vectorised pass.
 
-:class:`~repro.core.retrieval.RetrievalEngine` scores candidates one bag at
-a time — clear, but each query pays a Python-loop cost per image.  For
-interactive use over larger databases, :class:`StackedIndex` pre-stacks
-every image's instances into a single matrix once, and answers a query with
-one matrix product plus a segmented minimum:
+:class:`StackedIndex` predates the :class:`~repro.core.retrieval.PackedCorpus`
+redesign and survives as a thin view over it: construction grabs the
+database's cached packed corpus (building it on first use), and ranking
+delegates to the vectorised :class:`~repro.core.retrieval.Ranker`:
 
     distances = ((X - t)^2) @ w          # all instances at once
     per_image = segment_min(distances)   # min over each image's rows
@@ -13,9 +12,9 @@ The index is immutable with respect to the feature configuration it was
 built from; rebuilding after :meth:`ImageDatabase.reconfigure` is the
 caller's responsibility (a stale index raises on dimension mismatch).
 
-The result is identical to the per-bag engine (a test asserts ranking
-equality), just faster — the speedup is measured in
-``benchmarks/bench_core_kernels.py``.
+The result is identical to the per-bag reference loop (a test asserts
+ranking equality), just faster — the speedup is measured in
+``benchmarks/bench_rank_corpus.py`` and ``benchmarks/bench_core_kernels.py``.
 """
 
 from __future__ import annotations
@@ -23,7 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.concept import LearnedConcept
-from repro.core.retrieval import RankedImage, RetrievalResult
+from repro.core.retrieval import PackedCorpus, Ranker, RetrievalResult
 from repro.database.store import ImageDatabase
 from repro.errors import DatabaseError
 
@@ -40,36 +39,48 @@ class StackedIndex:
     """
 
     def __init__(self, database: ImageDatabase, ids=None):
-        chosen = tuple(database.image_ids if ids is None else ids)
-        if not chosen:
+        # ids=None passes through so the full index shares (and populates)
+        # the database's cached packed view instead of copying it.
+        packed = database.packed(None if ids is None else tuple(ids))
+        if packed.n_bags == 0:
             raise DatabaseError("cannot build an index over zero images")
-        matrices = [database.instances_for(image_id) for image_id in chosen]
-        counts = np.array([m.shape[0] for m in matrices], dtype=np.int64)
-        self._ids = chosen
-        self._categories = tuple(database.category_of(i) for i in chosen)
-        self._matrix = np.vstack(matrices)
-        self._starts = np.concatenate([[0], np.cumsum(counts)])[:-1]
-        self._n_dims = self._matrix.shape[1]
+        self._packed = packed
+        self._ranker = Ranker()
+
+    def packed(self, ids=None) -> PackedCorpus:
+        """The underlying columnar corpus view (a sub-view for ``ids``).
+
+        A method, not a property, so the index itself satisfies the corpus
+        protocol and can be handed to :class:`Ranker` or ``packed_view``.
+        """
+        return self._packed if ids is None else self._packed.select(tuple(ids))
 
     @property
     def n_images(self) -> int:
         """Number of indexed images."""
-        return len(self._ids)
+        return self._packed.n_bags
 
     @property
     def n_instances(self) -> int:
         """Total instances across all indexed images."""
-        return self._matrix.shape[0]
+        return self._packed.n_instances
 
     @property
     def n_dims(self) -> int:
         """Feature dimensionality of the index."""
-        return self._n_dims
+        return self._packed.n_dims
 
     @property
     def image_ids(self) -> tuple[str, ...]:
         """Indexed image ids, in index order."""
-        return self._ids
+        return self._packed.image_ids
+
+    def _check_dims(self, concept: LearnedConcept) -> None:
+        if concept.n_dims != self._packed.n_dims:
+            raise DatabaseError(
+                f"concept has {concept.n_dims} dims but the index holds "
+                f"{self._packed.n_dims}; rebuild the index after reconfiguring"
+            )
 
     def distances(self, concept: LearnedConcept) -> np.ndarray:
         """Per-image min weighted squared distance to the concept.
@@ -78,36 +89,29 @@ class StackedIndex:
             DatabaseError: if the concept's dimensionality does not match
                 the index (stale index after a reconfigure).
         """
-        if concept.n_dims != self._n_dims:
-            raise DatabaseError(
-                f"concept has {concept.n_dims} dims but the index holds "
-                f"{self._n_dims}; rebuild the index after reconfiguring"
-            )
-        diff = self._matrix - concept.t
-        instance_distances = (diff * diff) @ concept.w
-        return np.minimum.reduceat(instance_distances, self._starts)
+        self._check_dims(concept)
+        return self._packed.min_distances(concept)
 
     def rank(
-        self, concept: LearnedConcept, exclude=()
+        self,
+        concept: LearnedConcept,
+        exclude=(),
+        *,
+        top_k: int | None = None,
+        category_filter: str | None = None,
     ) -> RetrievalResult:
-        """Full ranking, identical to the per-bag engine's but vectorised."""
-        excluded = set(exclude)
-        per_image = self.distances(concept)
-        scored = [
-            (float(per_image[i]), self._ids[i], self._categories[i])
-            for i in range(len(self._ids))
-            if self._ids[i] not in excluded
-        ]
-        scored.sort(key=lambda item: (item[0], item[1]))
-        ranked = [
-            RankedImage(rank=position, image_id=image_id, category=category,
-                        distance=distance)
-            for position, (distance, image_id, category) in enumerate(scored)
-        ]
-        return RetrievalResult(ranked)
+        """Ranking identical to the per-bag reference loop, but vectorised."""
+        self._check_dims(concept)
+        return self._ranker.rank(
+            concept,
+            self._packed,
+            top_k=top_k,
+            exclude=exclude,
+            category_filter=category_filter,
+        )
 
     def __repr__(self) -> str:
         return (
             f"StackedIndex({self.n_images} images, {self.n_instances} instances, "
-            f"{self._n_dims} dims)"
+            f"{self.n_dims} dims)"
         )

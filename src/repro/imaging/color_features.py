@@ -93,15 +93,19 @@ class RgbFeatureExtractor:
 class RgbRegionCorpus:
     """Corpus adapter serving tripled-RGB region bags over a database.
 
-    Implements ``instances_for`` / ``category_of`` / ``retrieval_candidates``
-    so the standard :class:`~repro.core.feedback.FeedbackLoop` and
-    :class:`~repro.core.retrieval.RetrievalEngine` run on colour features.
+    Implements ``instances_for`` / ``category_of`` / ``packed`` /
+    ``retrieval_candidates`` so the standard
+    :class:`~repro.core.feedback.FeedbackLoop` and the vectorised
+    :class:`~repro.core.retrieval.Ranker` run on colour features.
     """
 
     def __init__(self, database: ImageDatabase, config: FeatureConfig | None = None):
+        from repro.core.retrieval import CorpusPacker
+
         self._database = database
         self._extractor = RgbFeatureExtractor(config)
         self._cache: dict[str, np.ndarray] = {}
+        self._packer = CorpusPacker()
 
     @property
     def extractor(self) -> RgbFeatureExtractor:
@@ -125,8 +129,23 @@ class RgbRegionCorpus:
         """Ground-truth category (delegates to the database)."""
         return self._database.category_of(image_id)
 
+    def packed(self, ids=None):
+        """Columnar tripled-RGB corpus view (cached over the whole database,
+        keyed on the database's mutation counter).
+
+        Raises:
+            DatabaseError: for an unknown id or a gray-only image.
+        """
+        return self._packer.packed(
+            ids,
+            all_ids=self._database.image_ids,
+            category_of=self.category_of,
+            instances_for=self.instances_for,
+            version=self._database.version,
+        )
+
     def retrieval_candidates(self, ids) -> "list[RetrievalCandidate]":
-        """Rankable colour-region view of the given images."""
+        """Per-image compatibility view (zero-copy over the feature cache)."""
         from repro.core.retrieval import RetrievalCandidate
 
         return [

@@ -221,19 +221,38 @@ class RetrievalSession:
             )
         return training
 
-    def rank(self, ids: tuple[str, ...] | list[str] | None = None) -> RetrievalResult:
-        """Rank database images (examples excluded) with the current model."""
+    def rank(
+        self,
+        ids: tuple[str, ...] | list[str] | None = None,
+        *,
+        top_k: int | None = None,
+        category_filter: str | None = None,
+    ) -> RetrievalResult:
+        """Rank database images (examples excluded) with the current model.
+
+        Args:
+            ids: which images to rank; the whole database when ``None``.
+            top_k: truncate to the best ``top_k`` entries; the result still
+                reports its ``total_candidates``.
+            category_filter: rank only candidates of this category.
+        """
         if self._fitted is None:
             raise TrainingError("no current concept; call train() first")
         return self._service.rank_with(
             self._fitted,
             candidate_ids=ids,
             exclude=tuple(self._positive_ids) + tuple(self._negative_ids),
+            top_k=top_k,
+            category_filter=category_filter,
         )
 
     def train_and_rank(
-        self, ids: tuple[str, ...] | list[str] | None = None
+        self,
+        ids: tuple[str, ...] | list[str] | None = None,
+        *,
+        top_k: int | None = None,
+        category_filter: str | None = None,
     ) -> RetrievalResult:
         """Convenience: train, then rank in one call (works for any learner)."""
         self._fit()
-        return self.rank(ids)
+        return self.rank(ids, top_k=top_k, category_filter=category_filter)

@@ -51,6 +51,19 @@ class TestQueryValidation:
         with pytest.raises(QueryError, match="top_k"):
             Query(positive_ids=("a",), top_k=0)
 
+    def test_category_filter_accepted(self):
+        query = Query(positive_ids=("a",), category_filter="waterfall")
+        assert query.category_filter == "waterfall"
+        assert Query(positive_ids=("a",)).category_filter is None
+
+    def test_empty_category_filter_rejected(self):
+        with pytest.raises(QueryError, match="category_filter"):
+            Query(positive_ids=("a",), category_filter="")
+
+    def test_non_string_category_filter_rejected(self):
+        with pytest.raises(QueryError, match="category_filter"):
+            Query(positive_ids=("a",), category_filter=7)
+
     def test_empty_learner_rejected(self):
         with pytest.raises(QueryError, match="learner"):
             Query(positive_ids=("a",), learner="")

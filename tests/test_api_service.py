@@ -36,7 +36,11 @@ class TestSingleQuery:
         result = service.query(query)
         assert result.concept is not None
         assert result.training is not None
-        assert len(result.ranking) == len(tiny_scene_db) - 6
+        # top_k truncates the ranking server-side; total_candidates still
+        # reports how many images competed (everything but the examples).
+        assert len(result.ranking) == 5
+        assert result.ranking.is_truncated
+        assert result.total_candidates == len(tiny_scene_db) - 6
         assert len(result.top()) == 5
         assert result.timing.total_seconds > 0
 
@@ -71,11 +75,107 @@ class TestSingleQuery:
             assert result.concept is None
             assert len(result.ranking) == len(tiny_scene_db) - 6
 
+    def test_baseline_learners_honour_top_k(self, service, tiny_scene_db):
+        for learner, params in (("random", {"seed": 3}),
+                                ("global-correlation", {"resolution": 6})):
+            result = service.query(
+                _waterfall_query(
+                    tiny_scene_db, learner=learner, params=params, top_k=4
+                )
+            )
+            assert len(result.ranking) == 4, learner
+            assert result.total_candidates == len(tiny_scene_db) - 6, learner
+
+    def test_legacy_custom_corpus_ranks_whole_database(self, tiny_scene_db):
+        # A user learner whose corpus only implements the legacy protocol
+        # (explicit-id retrieval_candidates, no packed()) must still serve
+        # the default whole-database query.
+        from repro.api.learners import (
+            DiverseDensityLearner,
+            register_learner,
+        )
+        from repro.core.retrieval import RetrievalCandidate
+
+        class LegacyCorpus:
+            def __init__(self, database):
+                self._database = database
+
+            def instances_for(self, image_id):
+                return self._database.instances_for(image_id)
+
+            def category_of(self, image_id):
+                return self._database.category_of(image_id)
+
+            def retrieval_candidates(self, ids):
+                return [
+                    RetrievalCandidate(
+                        image_id=i,
+                        category=self.category_of(i),
+                        instances=self.instances_for(i),
+                    )
+                    for i in ids
+                ]
+
+        class LegacyCorpusLearner(DiverseDensityLearner):
+            name = "legacy-corpus-dd"
+
+            def corpus(self, database):
+                return LegacyCorpus(database)
+
+            @property
+            def corpus_key(self):
+                return "legacy-corpus"
+
+        register_learner("legacy-corpus-dd", LegacyCorpusLearner,
+                         overwrite=True)
+        service = RetrievalService(tiny_scene_db)
+        result = service.query(
+            _waterfall_query(tiny_scene_db, learner="legacy-corpus-dd")
+        )
+        assert len(result.ranking) == len(tiny_scene_db) - 6
+
+    def test_every_learner_rejects_non_positive_top_k(self, service, tiny_scene_db):
+        # The Query validates top_k itself; the model-level check keeps the
+        # direct rank_with path consistent across learner families.
+        for learner, params in (("dd", None), ("random", {"seed": 3}),
+                                ("global-correlation", {"resolution": 6})):
+            fitted = service.fit(
+                tiny_scene_db.ids_in_category("waterfall")[:2],
+                learner=learner,
+                params=params or {"scheme": "identical", "max_iterations": 20,
+                                  "seed": 3},
+            )
+            with pytest.raises(DatabaseError, match="top_k"):
+                service.rank_with(fitted, top_k=0)
+
     def test_candidate_subset(self, service, tiny_scene_db):
         subset = tiny_scene_db.ids_in_category("sunset")
         query = _waterfall_query(tiny_scene_db, candidate_ids=subset)
         result = service.query(query)
         assert set(result.ranking.image_ids) <= set(subset)
+
+    def test_category_filter_round_trip(self, service, tiny_scene_db):
+        query = _waterfall_query(tiny_scene_db, category_filter="sunset")
+        result = service.query(query)
+        expected = [
+            i for i in tiny_scene_db.ids_in_category("sunset")
+            if i not in query.example_ids
+        ]
+        assert result.ranking.total_candidates == len(expected)
+        assert all(e.category == "sunset" for e in result.ranking)
+
+    def test_top_k_ranking_is_prefix_of_full(self, service, tiny_scene_db):
+        full = service.query(_waterfall_query(tiny_scene_db))
+        truncated = service.query(_waterfall_query(tiny_scene_db, top_k=3))
+        assert truncated.ranking.image_ids == full.ranking.image_ids[:3]
+        assert truncated.total_candidates == len(full.ranking)
+
+    def test_history_counts_all_candidates_despite_top_k(
+        self, service, tiny_scene_db
+    ):
+        service.query(_waterfall_query(tiny_scene_db, top_k=2, query_id="t"))
+        record = service.history[-1]
+        assert record.n_candidates == len(tiny_scene_db) - 6
 
     def test_unknown_example_id(self, service):
         with pytest.raises(DatabaseError, match="unknown image id"):

@@ -89,6 +89,43 @@ class TestColorCorpus:
         assert [c.image_id for c in candidates] == ["c-0", "c-2"]
         assert candidates[0].instances.shape == (16, 15)
 
+    def test_packed_subset_on_mixed_database(self):
+        # The gray image stays out of the subset, so packing must succeed
+        # without touching it.
+        corpus = ColorCorpus(self.make_db())
+        packed = corpus.packed(["c-0", "c-1", "c-2"])
+        assert packed.image_ids == ("c-0", "c-1", "c-2")
+        assert packed.n_instances == 3 * 16
+        assert packed.n_dims == 15
+
+    def test_packed_full_database_rejects_gray(self):
+        corpus = ColorCorpus(self.make_db())
+        with pytest.raises(DatabaseError):
+            corpus.packed()
+
+    def test_packed_cached_on_color_only_database(self):
+        color_only = ImageDatabase()
+        rng = np.random.default_rng(1)
+        for index in range(3):
+            color_only.add_image(rng.uniform(size=(48, 48, 3)), "c", f"c-{index}")
+        corpus = ColorCorpus(color_only)
+        packed = corpus.packed()
+        assert corpus.packed() is packed
+        assert corpus.packed(["c-1"]).image_ids == ("c-1",)
+
+    def test_packed_cache_invalidated_by_database_mutation(self):
+        color_only = ImageDatabase()
+        rng = np.random.default_rng(1)
+        for index in range(3):
+            color_only.add_image(rng.uniform(size=(48, 48, 3)), "c", f"c-{index}")
+        corpus = ColorCorpus(color_only)
+        before = corpus.packed()
+        color_only.add_image(rng.uniform(size=(48, 48, 3)), "c", "c-new")
+        after = corpus.packed()
+        assert after is not before
+        assert "c-new" in after.image_ids
+        assert corpus.packed(["c-new"]).image_ids == ("c-new",)
+
 
 class TestRandomRanker:
     def make_db(self) -> ImageDatabase:

@@ -136,6 +136,54 @@ class TestExperiment:
         assert "round" in output
 
 
+class TestVersionFlag:
+    def test_version_printed(self, capsys):
+        from repro.version import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+
+class TestTopK:
+    def test_top_k_flag_truncates(self, snapshot, capsys):
+        code = main(
+            [
+                "query", "--db", snapshot, "--category", "sunset",
+                "--scheme", "identical", "--positives", "2", "--negatives", "2",
+                "--top-k", "3", "--seed", "3",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "top 3 matches" in output
+        assert "kept top 3" in output
+        assert "precision@3" in output
+
+    def test_legacy_top_alias_still_works(self, snapshot, capsys):
+        code = main(
+            [
+                "query", "--db", snapshot, "--category", "sunset",
+                "--scheme", "identical", "--positives", "2", "--negatives", "2",
+                "--top", "3", "--seed", "3",
+            ]
+        )
+        assert code == 0
+        assert "top 3 matches" in capsys.readouterr().out
+
+    def test_batch_query_top_k(self, snapshot, capsys):
+        code = main(
+            [
+                "batch-query", "--db", snapshot, "--categories", "sunset",
+                "--scheme", "identical", "--positives", "2", "--negatives", "2",
+                "--top-k", "3", "--seed", "3",
+            ]
+        )
+        assert code == 0
+        assert "p@3" in capsys.readouterr().out
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

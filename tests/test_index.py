@@ -89,3 +89,18 @@ class TestStackedIndex:
     def test_repr(self, indexed):
         _, index = indexed
         assert "images" in repr(index)
+
+    def test_index_satisfies_the_corpus_protocol(self, indexed):
+        # packed() is a method, so the index itself can be ranked.
+        from repro.core.retrieval import Ranker
+
+        database, index = indexed
+        concept = concept_for(database)
+        via_index = Ranker().rank(concept, index)
+        direct = Ranker().rank(concept, database.packed())
+        assert via_index.image_ids == direct.image_ids
+
+    def test_full_index_shares_the_database_cache(self, indexed):
+        database, _ = indexed
+        index = StackedIndex(database)
+        assert index.packed() is database.packed()

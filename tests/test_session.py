@@ -88,6 +88,25 @@ class TestTrainingAndRanking:
         result = session.rank(subset)
         assert set(result.image_ids) <= set(subset)
 
+    def test_rank_top_k(self, session, tiny_scene_db):
+        session.add_examples("waterfall", 3, 3)
+        full = session.train_and_rank()
+        truncated = session.rank(top_k=5)
+        assert truncated.image_ids == full.image_ids[:5]
+        assert truncated.total_candidates == len(full)
+        assert truncated.is_truncated
+
+    def test_rank_category_filter(self, session, tiny_scene_db):
+        session.add_examples("waterfall", 2, 2)
+        result = session.train_and_rank(category_filter="sunset")
+        assert all(e.category == "sunset" for e in result)
+        examples = set(session.positive_ids) | set(session.negative_ids)
+        expected = [
+            i for i in tiny_scene_db.ids_in_category("sunset")
+            if i not in examples
+        ]
+        assert result.total_candidates == len(expected)
+
 
 class TestMarkFalsePositivesAtomicity:
     def test_unknown_id_applies_nothing(self, session, tiny_scene_db):

@@ -124,6 +124,33 @@ class TestCorpusViews:
         assert [c.image_id for c in candidates] == ["beta-0", "alpha-3"]
         assert candidates[0].category == "beta"
 
+    def test_packed_full_view_cached(self, db):
+        packed = db.packed()
+        assert packed.n_bags == 7
+        assert packed.image_ids == db.image_ids
+        assert db.packed() is packed  # cached
+        np.testing.assert_array_equal(
+            packed.bag_instances("alpha-0"), db.instances_for("alpha-0")
+        )
+
+    def test_packed_subset_uses_cache(self, db):
+        full = db.packed()
+        subset = db.packed(["beta-0", "alpha-3"])
+        assert subset.image_ids == ("beta-0", "alpha-3")
+        assert subset.n_dims == full.n_dims
+
+    def test_packed_unknown_id(self, db):
+        db.packed()
+        with pytest.raises(DatabaseError, match="unknown image id"):
+            db.packed(["nope"])
+
+    def test_packed_invalidated_by_add_image(self, db):
+        before = db.packed()
+        db.add_image(textured(77), "alpha", "alpha-new")
+        after = db.packed()
+        assert after is not before
+        assert "alpha-new" in after.image_ids
+
     def test_precompute_features(self, db):
         assert db.precompute_features() == 7
 
