@@ -52,7 +52,9 @@ def _build_queries(database, scale) -> list[Query]:
 def test_batch_query_throughput(benchmark, report, scale):
     def run_both():
         database = scene_database(scale)
-        service = RetrievalService(database)
+        # The concept cache would answer the second (parallel) pass without
+        # training; disable it so the bench keeps measuring thread scaling.
+        service = RetrievalService(database, cache_size=0)
         service.warm("dd")  # charge feature extraction up front, not per run
         queries = _build_queries(database, scale)
 

@@ -71,8 +71,15 @@ from repro.api.learners import (
 from repro.api.query import Query, QueryResult, QueryTiming
 from repro.api.service import RetrievalService
 from repro.bags.bag import Bag, BagSet, Instance
+from repro.core.cache import CacheStats, ConceptCache
 from repro.core.concept import LearnedConcept
-from repro.core.diverse_density import DiverseDensityTrainer, TrainerConfig, TrainingResult
+from repro.core.diverse_density import (
+    DiverseDensityTrainer,
+    ExtraStart,
+    StartRecord,
+    TrainerConfig,
+    TrainingResult,
+)
 from repro.core.emdd import EMDDConfig, EMDDTrainer
 from repro.core.feedback import FeedbackLoop, FeedbackRound
 from repro.core.retrieval import (
@@ -105,8 +112,12 @@ __all__ = [
     "Bag",
     "BagSet",
     "Instance",
+    "CacheStats",
+    "ConceptCache",
     "LearnedConcept",
     "DiverseDensityTrainer",
+    "ExtraStart",
+    "StartRecord",
     "TrainerConfig",
     "TrainingResult",
     "EMDDConfig",

@@ -248,7 +248,7 @@ class Learner(abc.ABC):
 class ConceptLearner(Learner):
     """Base for learners that wrap a ``train(bag_set) -> TrainingResult`` trainer."""
 
-    def __init__(self, trainer):
+    def __init__(self, trainer) -> None:
         self._trainer = trainer
 
     @property
@@ -261,8 +261,16 @@ class ConceptLearner(Learner):
         """The underlying trainer's configuration."""
         return self._trainer.config
 
-    def train(self, bag_set: BagSet) -> TrainingResult:
+    @property
+    def fingerprint(self) -> str | None:
+        """Concept-cache identity of the wrapped trainer (None if it has none)."""
+        fingerprint = getattr(self._trainer, "fingerprint", None)
+        return fingerprint if isinstance(fingerprint, str) else None
+
+    def train(self, bag_set: BagSet, extra_starts=()) -> TrainingResult:
         """FeedbackLoop-compatible alias: train and return the full result."""
+        if extra_starts:
+            return self._trainer.train(bag_set, extra_starts=tuple(extra_starts))
         return self._trainer.train(bag_set)
 
     def fit(self, bag_set: BagSet) -> ConceptModel:
@@ -283,7 +291,9 @@ class DiverseDensityLearner(ConceptLearner):
         start_bag_subset: int | None = None,
         start_instance_stride: int = 1,
         seed: int = 0,
-    ):
+        engine: str = "batched",
+        restart_prune_margin: float | None = None,
+    ) -> None:
         super().__init__(
             DiverseDensityTrainer(
                 TrainerConfig(
@@ -294,6 +304,8 @@ class DiverseDensityLearner(ConceptLearner):
                     start_bag_subset=start_bag_subset,
                     start_instance_stride=start_instance_stride,
                     seed=seed,
+                    engine=engine,
+                    restart_prune_margin=restart_prune_margin,
                 )
             )
         )
@@ -315,7 +327,9 @@ class EMDDLearner(ConceptLearner):
         start_bag_subset: int | None = None,
         start_instance_stride: int = 1,
         seed: int = 0,
-    ):
+        engine: str = "batched",
+        restart_prune_margin: float | None = None,
+    ) -> None:
         super().__init__(
             EMDDTrainer(
                 EMDDConfig(
@@ -328,6 +342,8 @@ class EMDDLearner(ConceptLearner):
                     start_bag_subset=start_bag_subset,
                     start_instance_stride=start_instance_stride,
                     seed=seed,
+                    engine=engine,
+                    restart_prune_margin=restart_prune_margin,
                 )
             )
         )
@@ -352,7 +368,9 @@ class MaronRatanLearner(ConceptLearner):
         start_bag_subset: int | None = None,
         start_instance_stride: int = 1,
         seed: int = 0,
-    ):
+        engine: str = "batched",
+        restart_prune_margin: float | None = None,
+    ) -> None:
         super().__init__(
             DiverseDensityTrainer(
                 TrainerConfig(
@@ -363,6 +381,8 @@ class MaronRatanLearner(ConceptLearner):
                     start_bag_subset=start_bag_subset,
                     start_instance_stride=start_instance_stride,
                     seed=seed,
+                    engine=engine,
+                    restart_prune_margin=restart_prune_margin,
                 )
             )
         )
@@ -491,6 +511,8 @@ def shape_learner_params(
     start_bag_subset: int | None = None,
     start_instance_stride: int = 1,
     seed: int = 0,
+    engine: str = "batched",
+    restart_prune_margin: float | None = None,
 ) -> dict[str, object]:
     """Map the historical DD-style knobs onto a built-in learner's parameters.
 
@@ -510,6 +532,8 @@ def shape_learner_params(
             "start_bag_subset": start_bag_subset,
             "start_instance_stride": start_instance_stride,
             "seed": seed,
+            "engine": engine,
+            "restart_prune_margin": restart_prune_margin,
         }
     if learner == "random":
         return {"seed": seed}
@@ -524,6 +548,8 @@ def shape_learner_params(
         "start_bag_subset": start_bag_subset,
         "start_instance_stride": start_instance_stride,
         "seed": seed,
+        "engine": engine,
+        "restart_prune_margin": restart_prune_margin,
     }
 
 

@@ -35,6 +35,7 @@ from typing import Mapping, Sequence
 from repro.api.learners import LearnedModel, Learner, make_learner
 from repro.api.query import Query, QueryResult, QueryTiming
 from repro.bags.bag import Bag, BagSet
+from repro.core.cache import CacheStats, ConceptCache
 from repro.core.feedback import Corpus
 from repro.core.retrieval import RetrievalResult, packed_view
 from repro.database.store import ImageDatabase
@@ -72,20 +73,42 @@ class RetrievalService:
     does exactly that).  Corpus caches are shared across queries; all
     learners are seeded, so concurrent execution cannot change results.
 
+    Repeated training is short-circuited by a trained-concept cache keyed
+    on the learner's configuration fingerprint plus a content hash of the
+    example bags: a query whose (learner, params, example images) repeat —
+    common under real traffic and in ``batch_query`` bursts — reuses the
+    fitted model instead of re-running the multi-start optimisation.  Hits
+    are bit-identical to retraining because every learner is deterministic.
+
     Args:
         database: the populated image database to serve.
+        cache_size: capacity of the trained-concept cache; ``0`` or ``None``
+            disables caching entirely.
     """
 
-    def __init__(self, database: ImageDatabase):
+    def __init__(self, database: ImageDatabase, cache_size: int | None = 128) -> None:
         self._database = database
         self._corpora: dict[str, Corpus] = {"region-bags": database}
         self._lock = threading.Lock()
         self._history: list[QueryRecord] = []
+        self._cache = ConceptCache(cache_size) if cache_size else None
 
     @property
     def database(self) -> ImageDatabase:
         """The database being served."""
         return self._database
+
+    @property
+    def concept_cache(self) -> ConceptCache | None:
+        """The trained-concept cache (``None`` when disabled)."""
+        return self._cache
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss counters of the concept cache (zeros when disabled)."""
+        if self._cache is None:
+            return CacheStats(hits=0, misses=0, entries=0, max_entries=0)
+        return self._cache.stats
 
     @property
     def history(self) -> tuple[QueryRecord, ...]:
@@ -158,13 +181,27 @@ class RetrievalService:
             bag_set.add(
                 Bag(instances=corpus.instances_for(image_id), label=False, bag_id=image_id)
             )
-        model = resolved.fit(bag_set)
+        model = self._fit_cached(resolved, bag_set)
         return FittedQuery(
             model=model,
             learner=resolved,
             corpus=corpus,
             fit_seconds=time.perf_counter() - started_at,
         )
+
+    def _fit_cached(self, learner: Learner, bag_set: BagSet) -> LearnedModel:
+        """Fit through the concept cache when the learner is fingerprintable.
+
+        Only learners exposing a configuration ``fingerprint`` (the concept
+        learners) are cached; the sanity rankers train in microseconds and
+        the fingerprint cannot vouch for them.
+        """
+        fingerprint = getattr(learner, "fingerprint", None)
+        if self._cache is None or not isinstance(fingerprint, str):
+            return learner.fit(bag_set)
+        key = ConceptCache.key_for("model", fingerprint, bag_set)
+        model, _ = self._cache.compute_if_absent(key, lambda: learner.fit(bag_set))
+        return model
 
     def rank_with(
         self,

@@ -13,6 +13,7 @@ the vectorised objective works on.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
@@ -64,7 +65,10 @@ class Bag:
     sources: tuple[str, ...] = field(default=())
 
     def __post_init__(self) -> None:
-        matrix = np.asarray(self.instances, dtype=np.float64)
+        # Copy unconditionally: the bag must own its matrix, so that a
+        # caller mutating the source buffer afterwards cannot desynchronise
+        # the content fingerprints the trained-concept cache keys on.
+        matrix = np.array(self.instances, dtype=np.float64)
         if matrix.ndim == 1:
             matrix = matrix.reshape(1, -1)
         if matrix.ndim != 2:
@@ -78,6 +82,7 @@ class Bag:
                 f"bag {self.bag_id!r}: {matrix.shape[0]} instances but "
                 f"{len(self.sources)} sources"
             )
+        matrix.setflags(write=False)
         object.__setattr__(self, "instances", matrix)
 
     @classmethod
@@ -132,10 +137,11 @@ class BagSet:
     pre-computes the stacked views used by the vectorised objective.
     """
 
-    def __init__(self, bags: Iterable[Bag] = ()):
+    def __init__(self, bags: Iterable[Bag] = ()) -> None:
         self._bags: list[Bag] = []
         self._ids: set[str] = set()
         self._n_dims: int | None = None
+        self._fingerprint: str | None = None
         for bag in bags:
             self.add(bag)
 
@@ -156,6 +162,7 @@ class BagSet:
                 raise BagError(f"duplicate bag id {bag.bag_id!r}")
             self._ids.add(bag.bag_id)
         self._bags.append(bag)
+        self._fingerprint = None
 
     def extend(self, bags: Iterable[Bag]) -> None:
         """Add several bags."""
@@ -201,6 +208,24 @@ class BagSet:
     def contains_id(self, bag_id: str) -> bool:
         """Whether a bag with this id is already present."""
         return bag_id in self._ids
+
+    def fingerprint(self) -> str:
+        """Content hash of the set: bag ids, labels and instance values.
+
+        Two bag sets with equal fingerprints are indistinguishable to a
+        trainer (same bags, same order, same instance matrices), so the
+        fingerprint can key a trained-concept cache.  The digest is cached
+        and invalidated by :meth:`add`.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            for bag in self._bags:
+                digest.update(bag.bag_id.encode())
+                digest.update(b"+" if bag.label else b"-")
+                digest.update(np.asarray(bag.instances.shape, dtype=np.int64).tobytes())
+                digest.update(np.ascontiguousarray(bag.instances).tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def validate_for_training(self) -> None:
         """Check the set is trainable: at least one positive bag.

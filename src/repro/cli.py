@@ -37,6 +37,24 @@ from repro.eval.reporting import ascii_table
 from repro.version import __version__
 
 _SCHEMES = ["original", "identical", "alpha_hack", "inequality"]
+_ENGINES = ["batched", "sequential"]
+
+
+def _add_training_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by every command that trains a concept."""
+    parser.add_argument("--train-engine", dest="train_engine", default="batched",
+                        choices=_ENGINES,
+                        help="multi-start execution engine: 'batched' steps "
+                        "all restarts in lockstep (one tensor pass per "
+                        "step), 'sequential' runs one solver per restart")
+    parser.add_argument("--restart-prune-margin", dest="restart_prune_margin",
+                        type=float, default=None, metavar="MARGIN",
+                        help="batched engine only: freeze restarts whose "
+                        "NLL trails the incumbent best by more than MARGIN "
+                        "(dynamic Section 4.3 thinning; default off)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print training diagnostics (wall time, pruned "
+                        "restart counts, concept-cache stats)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -71,6 +89,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="truncate the ranking to the best K matches "
                        "(server-side top-k)")
     query.add_argument("--seed", type=int, default=0)
+    _add_training_flags(query)
 
     batch = commands.add_parser(
         "batch-query", help="run one query per category through the service"
@@ -92,6 +111,7 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--workers", type=int, default=1,
                        help="thread-pool size (1 = sequential)")
     batch.add_argument("--seed", type=int, default=0)
+    _add_training_flags(batch)
 
     experiment = commands.add_parser(
         "experiment", help="run the full Section 4.1 protocol"
@@ -107,6 +127,7 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--negatives", type=int, default=5)
     experiment.add_argument("--training-fraction", type=float, default=0.4)
     experiment.add_argument("--seed", type=int, default=0)
+    _add_training_flags(experiment)
 
     info = commands.add_parser("info", help="describe a database snapshot")
     info.add_argument("--db", required=True)
@@ -122,6 +143,17 @@ def _learner_params(args: argparse.Namespace) -> dict[str, object]:
         beta=args.beta,
         start_bag_subset=2,
         seed=args.seed,
+        engine=args.train_engine,
+        restart_prune_margin=args.restart_prune_margin,
+    )
+
+
+def _cache_line(service: RetrievalService) -> str:
+    """One-line concept-cache summary for ``--verbose`` output."""
+    stats = service.cache_stats
+    return (
+        f"concept cache: {stats.hits} hits / {stats.misses} misses "
+        f"(hit rate {stats.hit_rate:.0%}), {stats.entries} entries"
     )
 
 
@@ -182,6 +214,15 @@ def _cmd_query(args: argparse.Namespace) -> int:
         f"timing: fit {result.timing.fit_seconds:.2f}s, "
         f"rank {result.timing.rank_seconds:.2f}s"
     )
+    if args.verbose and result.training is not None:
+        training = result.training
+        engine = training.concept.metadata.get("engine", args.train_engine)
+        print(
+            f"training: engine {engine}, "
+            f"wall time {training.wall_time_s:.3f}s, "
+            f"{training.n_starts} starts ({training.n_starts_pruned} pruned)"
+        )
+        print(_cache_line(service))
     return 0
 
 
@@ -223,6 +264,18 @@ def _cmd_batch_query(args: argparse.Namespace) -> int:
         f"wall time {elapsed:.2f}s, "
         f"throughput {len(results) / elapsed:.2f} queries/s"
     )
+    if args.verbose:
+        trainings = [r.training for r in results if r.training is not None]
+        pruned = sum(training.n_starts_pruned for training in trainings)
+        engines = {
+            training.concept.metadata.get("engine", args.train_engine)
+            for training in trainings
+        } or {args.train_engine}
+        print(
+            f"training engine {'/'.join(sorted(engines))}, "
+            f"{pruned} restarts pruned"
+        )
+        print(_cache_line(service))
     return 0
 
 
@@ -241,6 +294,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         start_instance_stride=2,
         max_iterations=60,
         seed=args.seed,
+        engine=args.train_engine,
+        restart_prune_margin=args.restart_prune_margin,
     )
     result = RetrievalExperiment(database, config).run()
     base_rate = result.n_relevant / len(result.relevance)
@@ -261,6 +316,14 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         f"band precision [0.3,0.4] = {result.band_precision:.3f}; "
         f"{result.elapsed_seconds:.1f}s"
     )
+    if args.verbose:
+        final = result.outcome.final_training
+        engine = final.concept.metadata.get("engine", args.train_engine)
+        print(
+            f"final round: engine {engine}, "
+            f"wall time {final.wall_time_s:.3f}s, "
+            f"{final.n_starts} starts ({final.n_starts_pruned} pruned)"
+        )
     return 0
 
 

@@ -7,18 +7,30 @@
 * :mod:`repro.core.projection` — exact projection onto the weight constraint
   set and projected-gradient / SLSQP constrained minimisers (Section 3.6.3).
 * :mod:`repro.core.schemes` — the four weight-control schemes of Section 3.6.
+* :mod:`repro.core.engine` — the lockstep batched multi-start engine with
+  per-restart convergence masks and dynamic restart pruning.
 * :mod:`repro.core.diverse_density` — multi-restart training facade with the
-  subset-of-positive-bags speed-up of Section 4.3.
+  subset-of-positive-bags speed-up of Section 4.3 and the
+  batched/sequential engine switch.
+* :mod:`repro.core.cache` — the fingerprint-keyed trained-concept cache.
 * :mod:`repro.core.concept` — the learned concept ``(t, w)`` and bag scoring.
 * :mod:`repro.core.retrieval` — min-distance ranking over an image database.
 * :mod:`repro.core.feedback` — the simulated relevance-feedback loop of
   Section 4.1.
 """
 
+from repro.core.cache import CacheStats, ConceptCache
 from repro.core.concept import LearnedConcept
-from repro.core.diverse_density import DiverseDensityTrainer, TrainerConfig, TrainingResult
+from repro.core.diverse_density import (
+    DiverseDensityTrainer,
+    ExtraStart,
+    StartRecord,
+    TrainerConfig,
+    TrainingResult,
+)
+from repro.core.engine import BatchedArmijoDescent, BatchedProjectedDescent
 from repro.core.feedback import FeedbackLoop, FeedbackRound
-from repro.core.objective import DiverseDensityObjective
+from repro.core.objective import BatchedDiverseDensityObjective, DiverseDensityObjective
 from repro.core.retrieval import (
     PackedCorpus,
     RankedImage,
@@ -31,12 +43,19 @@ from repro.core.retrieval import (
 from repro.core.schemes import WeightScheme, make_scheme
 
 __all__ = [
+    "CacheStats",
+    "ConceptCache",
     "LearnedConcept",
     "DiverseDensityTrainer",
+    "ExtraStart",
+    "StartRecord",
     "TrainerConfig",
     "TrainingResult",
+    "BatchedArmijoDescent",
+    "BatchedProjectedDescent",
     "FeedbackLoop",
     "FeedbackRound",
+    "BatchedDiverseDensityObjective",
     "DiverseDensityObjective",
     "PackedCorpus",
     "RankedImage",

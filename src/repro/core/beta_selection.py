@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.bags.bag import Bag, BagSet
+from repro.core.cache import ConceptCache
 from repro.core.diverse_density import DiverseDensityTrainer, TrainerConfig
 from repro.core.feedback import Corpus, ExampleSelection
 from repro.core.retrieval import Ranker, packed_view
@@ -64,6 +65,9 @@ def select_beta(
     start_bag_subset: int | None = 2,
     start_instance_stride: int = 2,
     seed: int = 0,
+    engine: str = "batched",
+    restart_prune_margin: float | None = None,
+    cache: ConceptCache | None = None,
 ) -> BetaSelection:
     """Validate candidate betas on the potential training set.
 
@@ -76,6 +80,12 @@ def select_beta(
         betas: candidate constraint levels.
         max_iterations / start_bag_subset / start_instance_stride / seed:
             trainer knobs (validation can afford the Section 4.3 speed-up).
+        engine: training engine for the per-beta sweeps; the batched engine
+            turns each candidate's restart population into one tensor pass.
+        restart_prune_margin: optional dynamic restart thinning (the sweep
+            only needs a winner, so aggressive pruning is usually safe).
+        cache: optional trained-concept cache shared with other sweeps — a
+            beta already validated on identical bags is never retrained.
 
     Returns:
         The best beta (ties break toward the larger, i.e. more constrained,
@@ -114,9 +124,15 @@ def select_beta(
                 start_bag_subset=start_bag_subset,
                 start_instance_stride=start_instance_stride,
                 seed=seed,
+                engine=engine,
+                restart_prune_margin=restart_prune_margin,
             )
         )
-        concept = trainer.train(bag_set).concept
+        if cache is not None:
+            training, _ = cache.fetch_or_train(trainer, bag_set)
+        else:
+            training = trainer.train(bag_set)
+        concept = training.concept
         ranking = ranker.rank(concept, held_in_packed, exclude=example_ids)
         relevance = ranking.relevance(target_category)
         validation_ap = average_precision(relevance) if relevance.any() else 0.0

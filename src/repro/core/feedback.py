@@ -31,7 +31,8 @@ from typing import Protocol, Sequence
 import numpy as np
 
 from repro.bags.bag import Bag, BagSet
-from repro.core.diverse_density import DiverseDensityTrainer, TrainingResult
+from repro.core.cache import ConceptCache
+from repro.core.diverse_density import DiverseDensityTrainer, ExtraStart, TrainingResult
 from repro.core.retrieval import (
     PackedCorpus,
     Ranker,
@@ -164,6 +165,14 @@ class FeedbackLoop:
         rounds: total training rounds (paper default 3).
         false_positives_per_round: negatives promoted after each
             non-final round (paper default 5).
+        cache: optional trained-concept cache — rounds whose (trainer, bag
+            set, warm start) fingerprints were seen before reuse the cached
+            :class:`TrainingResult` instead of retraining.  Cache hits are
+            bit-identical to retraining, so sharing one cache across
+            repeated loops is safe.
+        warm_start: seed every round after the first with one extra restart
+            at the previous round's concept ``(t, w)``.  The restart
+            population only grows, so the per-round NLL can only improve.
     """
 
     def __init__(
@@ -175,7 +184,9 @@ class FeedbackLoop:
         test_ids: Sequence[str],
         rounds: int = 3,
         false_positives_per_round: int = 5,
-    ):
+        cache: ConceptCache | None = None,
+        warm_start: bool = False,
+    ) -> None:
         if rounds < 1:
             raise TrainingError(f"rounds must be >= 1, got {rounds}")
         if false_positives_per_round < 0:
@@ -189,6 +200,8 @@ class FeedbackLoop:
         self._test_ids = tuple(test_ids)
         self._rounds = rounds
         self._fp_per_round = false_positives_per_round
+        self._cache = cache
+        self._warm_start = warm_start
         self._ranker = Ranker()
 
     def run(self, selection: ExampleSelection) -> FeedbackOutcome:
@@ -202,7 +215,11 @@ class FeedbackLoop:
 
         for round_index in range(1, self._rounds + 1):
             bag_set = self._build_bag_set(positive_ids, negative_ids)
-            training = self._trainer.train(bag_set)
+            extra_starts: tuple[ExtraStart, ...] = ()
+            if self._warm_start and training is not None:
+                previous = training.concept
+                extra_starts = (ExtraStart(t=previous.t, w=previous.w),)
+            training = self._train(bag_set, extra_starts)
             concept = training.concept
 
             example_ids = set(positive_ids) | set(negative_ids)
@@ -246,6 +263,17 @@ class FeedbackLoop:
             test_ranking=test_ranking,
             example_ids=tuple(sorted(all_examples)),
         )
+
+    def _train(
+        self, bag_set: BagSet, extra_starts: tuple[ExtraStart, ...]
+    ) -> TrainingResult:
+        """Train one round, through the concept cache when one is attached."""
+        if self._cache is not None:
+            result, _ = self._cache.fetch_or_train(self._trainer, bag_set, extra_starts)
+            return result
+        if extra_starts:
+            return self._trainer.train(bag_set, extra_starts=extra_starts)
+        return self._trainer.train(bag_set)
 
     def _build_bag_set(
         self, positive_ids: Sequence[str], negative_ids: Sequence[str]

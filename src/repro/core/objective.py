@@ -1,4 +1,4 @@
-"""The Diverse Density objective (Section 2.2).
+"""The Diverse Density objective (Section 2.2), single-start and batched.
 
 Diverse Density at a point ``t`` with per-dimension weights ``w`` is
 
@@ -12,10 +12,20 @@ under the noisy-or model
     ||x - t||^2_w = sum_k w_k (x_k - t_k)^2.
 
 We minimise the negative log, ``NLL = -log DD``, which decomposes over bags.
-This module evaluates the NLL and its analytic gradients with respect to both
-``t`` and ``w`` in fully vectorised form: all instances of all bags are
-stacked once at construction and each evaluation costs one pass over the
-stacked matrix.
+
+Multi-restart training evaluates this objective at many concepts per
+descent step, so the primary implementation here is *batched*:
+:class:`BatchedDiverseDensityObjective` takes ``R`` concept points ``T``
+(shape ``(R, d)``) and weights ``W`` at once and returns ``R`` values and
+gradients from one ``(R, n_instances)`` distance tensor per side, built
+with the same cached-squares expansion used by
+:class:`~repro.core.retrieval.PackedCorpus`:
+
+    d2[r, j] = (x_j * x_j) . W[r] - 2 x_j . (W[r] * T[r]) + (W[r] * T[r]) . T[r]
+
+:class:`DiverseDensityObjective` — the historical single-start interface —
+is a thin ``R = 1`` view over the batched objective, so the sequential and
+batched training engines share bit-identical arithmetic.
 
 Gradient derivation (used below): with ``d2_j = ||x_j - t||^2_w`` and
 ``p_j = exp(-d2_j)``, every bag contributes per-instance coefficients
@@ -30,9 +40,16 @@ and then
     dNLL/dt_k = 2 w_k sum_j c_j (t_k - x_jk).
 
 The paper optimises weights through the substitution ``w_k = s_k^2`` to keep
-them non-negative; :meth:`DiverseDensityObjective.value_and_grad_squared`
-exposes that parametrisation (including the "alpha hack" of Section 3.6.2,
-which divides the weight gradient by a constant ``alpha``).
+them non-negative; ``value_and_grad_squared`` exposes that parametrisation
+(including the "alpha hack" of Section 3.6.2, which divides the weight
+gradient by a constant ``alpha``).
+
+A note on determinism: every reduction in this module is *restart-slice
+stable* — evaluating a subset of restarts (down to a single one) produces
+bit-identical rows to evaluating the full batch.  That is why the
+contractions use :func:`numpy.einsum` (whose per-row accumulation order is
+independent of the batch composition) rather than BLAS matrix products
+(whose blocking is not).  The engine equivalence suite relies on this.
 """
 
 from __future__ import annotations
@@ -49,26 +66,57 @@ _P_EPS = 1e-12
 _LOG_FLOOR = 1e-300
 
 
-class DiverseDensityObjective:
-    """Vectorised noisy-or negative-log Diverse Density for one bag set.
+def batched_weighted_distances(
+    x: np.ndarray, x_squared: np.ndarray, t: np.ndarray, w: np.ndarray
+) -> np.ndarray:
+    """Weighted squared distances of every instance to every concept.
+
+    Args:
+        x: ``(n, d)`` stacked instances.
+        x_squared: ``x * x``, precomputed once per training run.
+        t: ``(R, d)`` concept points.
+        w: ``(R, d)`` non-negative weights.
+
+    Returns:
+        ``(R, n)`` tensor ``d2[r, j] = sum_k w[r, k] (x[j, k] - t[r, k])^2``
+        via the cached-squares expansion.  Tiny negative values can appear
+        through cancellation; callers clamp the derived probabilities.
+    """
+    wt = w * t
+    d2 = np.einsum("rd,nd->rn", w, x_squared)
+    d2 -= 2.0 * np.einsum("rd,nd->rn", wt, x)
+    d2 += np.einsum("rd,rd->r", wt, t)[:, None]
+    return d2
+
+
+class BatchedDiverseDensityObjective:
+    """Vectorised noisy-or negative-log Diverse Density for ``R`` restarts.
 
     Args:
         bag_set: the labelled bags; must contain at least one positive bag.
 
     The objective is stateless after construction; it can be shared across
-    restarts and schemes.
+    restarts, schemes and engines.  All evaluation methods accept ``(R, d)``
+    concept/weight matrices for any ``R >= 1``.
     """
 
-    def __init__(self, bag_set: BagSet):
+    def __init__(self, bag_set: BagSet) -> None:
         bag_set.validate_for_training()
         self._n_dims = bag_set.n_dims
         self._pos_x, self._pos_bounds = bag_set.stacked(label=True)
         self._neg_x, self._neg_bounds = bag_set.stacked(label=False)
+        # Cached squares: the expansion evaluates x*x once per training run
+        # instead of (x - t)^2 once per restart per step.
+        self._pos_sq = self._pos_x * self._pos_x
+        self._neg_sq = self._neg_x * self._neg_x
         self._n_pos_bags = len(self._pos_bounds) - 1
         self._n_neg_bags = len(self._neg_bounds) - 1
         # Map every positive instance row to its bag index for fast segment
         # products/sums via np.add.reduceat.
         self._pos_starts = self._pos_bounds[:-1]
+        self._pos_bag_of = np.repeat(
+            np.arange(self._n_pos_bags), np.diff(self._pos_bounds)
+        )
 
     @property
     def n_dims(self) -> int:
@@ -85,12 +133,18 @@ class DiverseDensityObjective:
         """Number of negative bags in the objective."""
         return self._n_neg_bags
 
-    def _check(self, t: np.ndarray, w: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        t = np.asarray(t, dtype=np.float64).reshape(-1)
-        w = np.asarray(w, dtype=np.float64).reshape(-1)
-        if t.size != self._n_dims or w.size != self._n_dims:
+    def _check(
+        self, t: np.ndarray, w: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        t = np.atleast_2d(np.asarray(t, dtype=np.float64))
+        w = np.atleast_2d(np.asarray(w, dtype=np.float64))
+        if t.shape[1] != self._n_dims or w.shape[1] != self._n_dims:
             raise TrainingError(
-                f"expected {self._n_dims}-dim t and w, got {t.size} and {w.size}"
+                f"expected {self._n_dims}-dim t and w, got {t.shape[1]} and {w.shape[1]}"
+            )
+        if t.shape[0] != w.shape[0]:
+            raise TrainingError(
+                f"batch size mismatch: {t.shape[0]} concepts, {w.shape[0]} weight rows"
             )
         if np.any(w < 0):
             raise TrainingError("weights must be non-negative")
@@ -98,26 +152,187 @@ class DiverseDensityObjective:
 
     @staticmethod
     def _instance_probabilities(
-        x: np.ndarray, t: np.ndarray, w: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Return (diff, p) where diff = x - t and p_j = exp(-||diff_j||^2_w)."""
-        diff = x - t
-        d2 = (diff * diff) @ w
-        p = np.exp(-d2)
+        x: np.ndarray, x_squared: np.ndarray, t: np.ndarray, w: np.ndarray
+    ) -> np.ndarray:
+        """``(R, n)`` clamped probabilities ``p[r, j] = exp(-d2[r, j])``."""
+        p = np.exp(-batched_weighted_distances(x, x_squared, t, w))
         np.clip(p, 0.0, 1.0 - _P_EPS, out=p)
-        return diff, p
+        return p
+
+    def value(self, t: np.ndarray, w: np.ndarray) -> np.ndarray:
+        """``(R,)`` NLL values at the batch.  Lower is better."""
+        values, _, _ = self._evaluate(t, w, with_grad=False)
+        return values
+
+    def value_and_grad(
+        self, t: np.ndarray, w: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """NLL and gradients ``(values, grad_t, grad_w)``, each batched."""
+        values, grad_t, grad_w = self._evaluate(t, w, with_grad=True)
+        assert grad_t is not None and grad_w is not None
+        return values, grad_t, grad_w
+
+    def value_and_grad_squared(
+        self, t: np.ndarray, s: np.ndarray, alpha: float = 1.0
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """NLL and gradients under the ``w = s**2`` parametrisation.
+
+        Args:
+            t: ``(R, d)`` concept points.
+            s: ``(R, d)`` signed square-root weights; effective weights are
+                ``s**2``.
+            alpha: the Section 3.6.2 hack — the weight gradient is divided
+                by ``alpha``.  ``alpha = 1`` is the original algorithm.
+
+        Returns:
+            ``(values, grad_t, grad_s)``.
+        """
+        if alpha <= 0:
+            raise TrainingError(f"alpha must be positive, got {alpha}")
+        s = np.atleast_2d(np.asarray(s, dtype=np.float64))
+        values, grad_t, grad_w = self._evaluate(t, s * s, with_grad=True)
+        assert grad_t is not None and grad_w is not None
+        grad_s = grad_w * (2.0 * s) / alpha
+        return values, grad_t, grad_s
+
+    def bag_probabilities(
+        self, t: np.ndarray, w: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Noisy-or ``Pr(t|B)`` for (positive, negative) bags, batched.
+
+        For positive bags this is ``1 - prod(1 - p_j)``; for negative bags
+        ``prod(1 - p_j)`` — both as defined in Section 2.2.1.  Shapes are
+        ``(R, n_positive_bags)`` and ``(R, n_negative_bags)``.
+        """
+        t, w = self._check(t, w)
+        batch = t.shape[0]
+        pos = np.ones((batch, self._n_pos_bags))
+        neg = np.ones((batch, self._n_neg_bags))
+        if self._pos_x.shape[0]:
+            p = self._instance_probabilities(self._pos_x, self._pos_sq, t, w)
+            log_q = np.add.reduceat(np.log1p(-p), self._pos_starts, axis=1)
+            pos = -np.expm1(log_q)
+        if self._neg_x.shape[0]:
+            p = self._instance_probabilities(self._neg_x, self._neg_sq, t, w)
+            log_q = np.add.reduceat(np.log1p(-p), self._neg_bounds[:-1], axis=1)
+            neg = np.exp(log_q)
+        return pos, neg
+
+    def _accumulate_gradients(
+        self,
+        coeff: np.ndarray,
+        x: np.ndarray,
+        x_squared: np.ndarray,
+        t: np.ndarray,
+        w: np.ndarray,
+        grad_t: np.ndarray,
+        grad_w: np.ndarray,
+    ) -> None:
+        """Add one side's per-instance coefficient contributions in place.
+
+        Uses the expanded forms
+
+            sum_j c_j (x_j - t)^2 = C.x² - 2 t (C.x) + t² (C.1)
+            sum_j c_j (x_j - t)   = C.x  - t (C.1)
+
+        so the contractions stay restart-slice stable.
+        """
+        cx = np.einsum("rn,nd->rd", coeff, x)
+        cx2 = np.einsum("rn,nd->rd", coeff, x_squared)
+        csum = coeff.sum(axis=1)[:, None]
+        grad_w += cx2 - 2.0 * t * cx + t * t * csum
+        grad_t += -2.0 * w * (cx - t * csum)
+
+    def _evaluate(
+        self, t: np.ndarray, w: np.ndarray, with_grad: bool
+    ) -> tuple[np.ndarray, np.ndarray | None, np.ndarray | None]:
+        t, w = self._check(t, w)
+        batch = t.shape[0]
+        values = np.zeros(batch)
+        grad_t = np.zeros((batch, self._n_dims)) if with_grad else None
+        grad_w = np.zeros((batch, self._n_dims)) if with_grad else None
+
+        # ---- positive bags: -sum_i log(1 - prod_j (1 - p_j)) -------------
+        if self._pos_x.shape[0]:
+            p = self._instance_probabilities(self._pos_x, self._pos_sq, t, w)
+            log1m = np.log1p(-p)
+            # log prod(1-p) per bag per restart
+            log_q = np.add.reduceat(log1m, self._pos_starts, axis=1)
+            bag_p = np.maximum(-np.expm1(log_q), _LOG_FLOOR)  # P_i = 1 - Q_i
+            values -= np.log(bag_p).sum(axis=1)
+            if with_grad:
+                assert grad_t is not None and grad_w is not None
+                q_over_p = np.exp(log_q) / bag_p  # Q_i / P_i per bag
+                ratio = p / (1.0 - p)  # per instance
+                coeff = q_over_p[:, self._pos_bag_of] * ratio
+                self._accumulate_gradients(
+                    coeff, self._pos_x, self._pos_sq, t, w, grad_t, grad_w
+                )
+
+        # ---- negative bags: -sum_ij log(1 - p_j) --------------------------
+        if self._neg_x.shape[0]:
+            p = self._instance_probabilities(self._neg_x, self._neg_sq, t, w)
+            values -= np.log1p(-p).sum(axis=1)
+            if with_grad:
+                assert grad_t is not None and grad_w is not None
+                coeff = -(p / (1.0 - p))
+                self._accumulate_gradients(
+                    coeff, self._neg_x, self._neg_sq, t, w, grad_t, grad_w
+                )
+
+        return values, grad_t, grad_w
+
+
+class DiverseDensityObjective:
+    """Single-start view over :class:`BatchedDiverseDensityObjective`.
+
+    Args:
+        bag_set: the labelled bags; must contain at least one positive bag.
+
+    This is the historical scalar interface consumed by the per-start
+    weight schemes and solvers; it evaluates through the batched objective
+    with ``R = 1`` so both training engines share identical arithmetic.
+    """
+
+    def __init__(self, bag_set: BagSet) -> None:
+        self._batched = BatchedDiverseDensityObjective(bag_set)
+
+    @property
+    def batched(self) -> BatchedDiverseDensityObjective:
+        """The underlying batched objective (shared, stateless)."""
+        return self._batched
+
+    @property
+    def n_dims(self) -> int:
+        """Feature dimensionality."""
+        return self._batched.n_dims
+
+    @property
+    def n_positive_bags(self) -> int:
+        """Number of positive bags in the objective."""
+        return self._batched.n_positive_bags
+
+    @property
+    def n_negative_bags(self) -> int:
+        """Number of negative bags in the objective."""
+        return self._batched.n_negative_bags
+
+    @staticmethod
+    def _as_row(vector: np.ndarray) -> np.ndarray:
+        return np.asarray(vector, dtype=np.float64).reshape(1, -1)
 
     def value(self, t: np.ndarray, w: np.ndarray) -> float:
         """NLL at ``(t, w)``.  Lower is better (higher Diverse Density)."""
-        return self._evaluate(t, w, with_grad=False)[0]
+        return float(self._batched.value(self._as_row(t), self._as_row(w))[0])
 
     def value_and_grad(
         self, t: np.ndarray, w: np.ndarray
     ) -> tuple[float, np.ndarray, np.ndarray]:
         """NLL and its gradients ``(value, grad_t, grad_w)`` at ``(t, w)``."""
-        value, grad_t, grad_w = self._evaluate(t, w, with_grad=True)
-        assert grad_t is not None and grad_w is not None
-        return value, grad_t, grad_w
+        values, grad_t, grad_w = self._batched.value_and_grad(
+            self._as_row(t), self._as_row(w)
+        )
+        return float(values[0]), grad_t[0], grad_w[0]
 
     def value_and_grad_squared(
         self, t: np.ndarray, s: np.ndarray, alpha: float = 1.0
@@ -135,68 +350,16 @@ class DiverseDensityObjective:
         Returns:
             ``(value, grad_t, grad_s)``.
         """
-        if alpha <= 0:
-            raise TrainingError(f"alpha must be positive, got {alpha}")
-        s = np.asarray(s, dtype=np.float64).reshape(-1)
-        value, grad_t, grad_w = self._evaluate(t, s * s, with_grad=True)
-        assert grad_t is not None and grad_w is not None
-        grad_s = grad_w * (2.0 * s) / alpha
-        return value, grad_t, grad_s
+        values, grad_t, grad_s = self._batched.value_and_grad_squared(
+            self._as_row(t), self._as_row(s), alpha=alpha
+        )
+        return float(values[0]), grad_t[0], grad_s[0]
 
     def bag_probabilities(
         self, t: np.ndarray, w: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Noisy-or probabilities ``Pr(t|B)`` for (positive, negative) bags.
-
-        For positive bags this is ``1 - prod(1 - p_j)``; for negative bags
-        ``prod(1 - p_j)`` — both as defined in Section 2.2.1, evaluated at
-        the supplied concept.
-        """
-        t, w = self._check(t, w)
-        pos = np.ones(self._n_pos_bags)
-        neg = np.ones(self._n_neg_bags)
-        if self._pos_x.shape[0]:
-            _, p = self._instance_probabilities(self._pos_x, t, w)
-            log_q = np.add.reduceat(np.log1p(-p), self._pos_starts)
-            pos = -np.expm1(log_q)
-        if self._neg_x.shape[0]:
-            _, p = self._instance_probabilities(self._neg_x, t, w)
-            log_q = np.add.reduceat(np.log1p(-p), self._neg_bounds[:-1])
-            neg = np.exp(log_q)
-        return pos, neg
-
-    def _evaluate(
-        self, t: np.ndarray, w: np.ndarray, with_grad: bool
-    ) -> tuple[float, np.ndarray | None, np.ndarray | None]:
-        t, w = self._check(t, w)
-        value = 0.0
-        grad_t = np.zeros(self._n_dims) if with_grad else None
-        grad_w = np.zeros(self._n_dims) if with_grad else None
-
-        # ---- positive bags: -sum_i log(1 - prod_j (1 - p_j)) -------------
-        if self._pos_x.shape[0]:
-            diff, p = self._instance_probabilities(self._pos_x, t, w)
-            log1m = np.log1p(-p)
-            log_q = np.add.reduceat(log1m, self._pos_starts)  # log prod(1-p) per bag
-            bag_p = np.maximum(-np.expm1(log_q), _LOG_FLOOR)  # P_i = 1 - Q_i
-            value -= float(np.log(bag_p).sum())
-            if with_grad:
-                q_over_p = np.exp(log_q) / bag_p  # Q_i / P_i per bag
-                ratio = p / (1.0 - p)  # per instance
-                bag_of = np.repeat(
-                    np.arange(self._n_pos_bags), np.diff(self._pos_bounds)
-                )
-                coeff = q_over_p[bag_of] * ratio
-                grad_w += coeff @ (diff * diff)
-                grad_t += -2.0 * w * (coeff @ diff)
-
-        # ---- negative bags: -sum_ij log(1 - p_j) --------------------------
-        if self._neg_x.shape[0]:
-            diff, p = self._instance_probabilities(self._neg_x, t, w)
-            value -= float(np.log1p(-p).sum())
-            if with_grad:
-                coeff = -(p / (1.0 - p))
-                grad_w += coeff @ (diff * diff)
-                grad_t += -2.0 * w * (coeff @ diff)
-
-        return value, grad_t, grad_w
+        """Noisy-or probabilities ``Pr(t|B)`` for (positive, negative) bags."""
+        pos, neg = self._batched.bag_probabilities(
+            self._as_row(t), self._as_row(w)
+        )
+        return pos[0], neg[0]

@@ -28,6 +28,22 @@ from repro.errors import OptimizationError
 ValueAndGrad = Callable[[np.ndarray], tuple[float, np.ndarray]]
 
 
+def row_dots(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Per-row dot products of two ``(R, m)`` matrices.
+
+    Implemented with :func:`numpy.einsum` so every row's accumulation order
+    is independent of the batch composition — the sequential solvers and
+    their lockstep batched counterparts in :mod:`repro.core.engine` share
+    this helper and therefore produce bit-identical scalars per restart.
+    """
+    return np.einsum("rm,rm->r", a, b)
+
+
+def _dot(a: np.ndarray, b: np.ndarray) -> float:
+    """Scalar dot product through :func:`row_dots` (rounding-compatible)."""
+    return float(row_dots(a.reshape(1, -1), b.reshape(1, -1))[0])
+
+
 @dataclass(frozen=True)
 class OptimizationOutcome:
     """Result of one local minimisation.
@@ -76,7 +92,7 @@ class ArmijoGradientDescent:
         backtrack_factor: float = 0.5,
         armijo_c: float = 1e-4,
         max_backtracks: int = 40,
-    ):
+    ) -> None:
         if max_iterations < 1:
             raise OptimizationError(f"max_iterations must be >= 1, got {max_iterations}")
         if not 0 < backtrack_factor < 1:
@@ -102,7 +118,7 @@ class ArmijoGradientDescent:
             if grad_norm <= self._gtol:
                 return OptimizationOutcome(x, value, iteration, converged=True)
             direction = -grad
-            slope = float(grad @ direction)  # = -||grad||^2 < 0
+            slope = _dot(grad, direction)  # = -||grad||^2 < 0
             accepted = False
             trial_step = step
             for _ in range(self._max_backtracks):
@@ -131,17 +147,27 @@ class LBFGSOptimizer:
         gradient_tolerance: ``pgtol`` analogue; scipy's ``gtol``.
     """
 
-    def __init__(self, max_iterations: int = 200, gradient_tolerance: float = 1e-6):
+    def __init__(self, max_iterations: int = 200, gradient_tolerance: float = 1e-6) -> None:
         if max_iterations < 1:
             raise OptimizationError(f"max_iterations must be >= 1, got {max_iterations}")
         self._max_iterations = max_iterations
         self._gtol = gradient_tolerance
 
     def minimize(self, fun: ValueAndGrad, x0: np.ndarray) -> OptimizationOutcome:
-        """Minimise ``fun`` from ``x0``; see :class:`OptimizationOutcome`."""
+        """Minimise ``fun`` from ``x0``; see :class:`OptimizationOutcome`.
+
+        Raises:
+            OptimizationError: if the objective is non-finite at ``x0`` (a
+                NaN objective would otherwise silently poison scipy's line
+                search) or the solver returns a non-finite point.
+        """
+        x0 = np.asarray(x0, dtype=np.float64)
+        initial_value, _ = fun(x0)
+        if not np.isfinite(initial_value):
+            raise OptimizationError("objective is non-finite at the starting point")
         result = scipy_optimize.minimize(
             fun,
-            np.asarray(x0, dtype=np.float64),
+            x0,
             jac=True,
             method="L-BFGS-B",
             options={"maxiter": self._max_iterations, "gtol": self._gtol},

@@ -27,12 +27,60 @@ from typing import Callable
 import numpy as np
 from scipy import optimize as scipy_optimize
 
+from repro.core.optimizer import row_dots
 from repro.errors import OptimizationError
 
 #: ``value_and_grad`` over the stacked vector ``z = [t, w]``.
 StackedValueAndGrad = Callable[[np.ndarray, np.ndarray], tuple[float, np.ndarray, np.ndarray]]
 
 _BISECT_ITERATIONS = 64
+
+
+def project_weights_batch(weights: np.ndarray, beta: float) -> np.ndarray:
+    """Row-wise exact Euclidean projection of ``(R, n)`` weights onto ``C(beta)``.
+
+    Every row is projected independently with the same clip-then-bisect
+    scheme as :func:`project_weights`; the arithmetic per row is identical
+    regardless of which other rows share the batch (elementwise ops plus
+    per-row sums only), which the batched training engine relies on.
+
+    Args:
+        weights: ``(R, n)`` matrix of arbitrary real rows.
+        beta: the constraint level in ``[0, 1]``; each projected row sums to
+            at least ``beta * n``.
+
+    Returns:
+        ``(R, n)`` matrix whose rows are the unique closest points of
+        ``C(beta)``.
+
+    Raises:
+        OptimizationError: if ``beta`` is outside ``[0, 1]`` or the rows are
+            empty.
+    """
+    if not 0.0 <= beta <= 1.0:
+        raise OptimizationError(f"beta must lie in [0, 1], got {beta}")
+    y = np.atleast_2d(np.asarray(weights, dtype=np.float64))
+    n = y.shape[1]
+    if n == 0:
+        raise OptimizationError("cannot project an empty weight vector")
+    target = beta * n
+    clipped = np.clip(y, 0.0, 1.0)
+    # Sum constraint active: w = clip(y + lam, 0, 1), sum(w) = target.
+    # sum(clip(y + lam)) is continuous and non-decreasing in lam, reaching n
+    # once lam >= 1 - min(y); bisect on [0, 1 - min(y)] per needy row.
+    needy = clipped.sum(axis=1) < target - 1e-12
+    if not needy.any():
+        return clipped
+    rows = y[needy]
+    low = np.zeros(rows.shape[0])
+    high = 1.0 - rows.min(axis=1)
+    for _ in range(_BISECT_ITERATIONS):
+        mid = 0.5 * (low + high)
+        below = np.clip(rows + mid[:, None], 0.0, 1.0).sum(axis=1) < target
+        low = np.where(below, mid, low)
+        high = np.where(below, high, mid)
+    clipped[needy] = np.clip(rows + high[:, None], 0.0, 1.0)
+    return clipped
 
 
 def project_weights(weights: np.ndarray, beta: float) -> np.ndarray:
@@ -49,28 +97,10 @@ def project_weights(weights: np.ndarray, beta: float) -> np.ndarray:
     Raises:
         OptimizationError: if ``beta`` is outside ``[0, 1]``.
     """
-    if not 0.0 <= beta <= 1.0:
-        raise OptimizationError(f"beta must lie in [0, 1], got {beta}")
     y = np.asarray(weights, dtype=np.float64).reshape(-1)
-    n = y.size
-    if n == 0:
+    if y.size == 0:
         raise OptimizationError("cannot project an empty weight vector")
-    target = beta * n
-    clipped = np.clip(y, 0.0, 1.0)
-    if clipped.sum() >= target - 1e-12:
-        return clipped
-    # Sum constraint active: w = clip(y + lam, 0, 1), sum(w) = target.
-    # sum(clip(y + lam)) is continuous and non-decreasing in lam, reaching n
-    # once lam >= 1 - min(y); bisect on [0, 1 - min(y)].
-    low, high = 0.0, 1.0 - float(y.min())
-    for _ in range(_BISECT_ITERATIONS):
-        mid = 0.5 * (low + high)
-        if np.clip(y + mid, 0.0, 1.0).sum() < target:
-            low = mid
-        else:
-            high = mid
-    projected = np.clip(y + high, 0.0, 1.0)
-    return projected
+    return project_weights_batch(y.reshape(1, -1), beta)[0]
 
 
 def is_feasible(weights: np.ndarray, beta: float, tolerance: float = 1e-9) -> bool:
@@ -109,7 +139,7 @@ class ProjectedGradientDescent:
         initial_step: float = 0.5,
         backtrack_factor: float = 0.5,
         max_backtracks: int = 40,
-    ):
+    ) -> None:
         if not 0.0 <= beta <= 1.0:
             raise OptimizationError(f"beta must lie in [0, 1], got {beta}")
         if max_iterations < 1:
@@ -142,9 +172,11 @@ class ProjectedGradientDescent:
             for _ in range(self._max_backtracks):
                 cand_t = t - step * grad_t
                 cand_w = project_weights(w - step * grad_w, self._beta)
-                move_t = cand_t - t
-                move_w = cand_w - w
-                move_norm2 = float(move_t @ move_t + move_w @ move_w)
+                move_t = (cand_t - t).reshape(1, -1)
+                move_w = (cand_w - w).reshape(1, -1)
+                move_norm2 = float(
+                    row_dots(move_t, move_t)[0] + row_dots(move_w, move_w)[0]
+                )
                 if move_norm2 <= self._gtol**2:
                     # The projected step no longer moves: stationary point of
                     # the projected dynamics.
@@ -171,7 +203,7 @@ class SLSQPBackend:
     inequality ``sum(w) >= beta * n``.
     """
 
-    def __init__(self, beta: float, max_iterations: int = 150):
+    def __init__(self, beta: float, max_iterations: int = 150) -> None:
         if not 0.0 <= beta <= 1.0:
             raise OptimizationError(f"beta must lie in [0, 1], got {beta}")
         self._beta = beta

@@ -78,7 +78,7 @@ class PackedCorpus:
         offsets: np.ndarray,
         image_ids: Sequence[str],
         categories: Sequence[str],
-    ):
+    ) -> None:
         matrix = np.asarray(instances, dtype=np.float64)
         if matrix.ndim != 2:
             raise DatabaseError(
@@ -114,7 +114,7 @@ class PackedCorpus:
         object.__setattr__(self, "_position", {i: p for p, i in enumerate(ids)})
         object.__setattr__(self, "_squared", None)
 
-    def __setattr__(self, name, value):  # immutability guard
+    def __setattr__(self, name: str, value: object) -> None:  # immutability guard
         raise AttributeError("PackedCorpus is immutable")
 
     # ------------------------------------------------------------------ #
@@ -347,7 +347,7 @@ class CorpusPacker:
     (a mutation counter) changes.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._packed: PackedCorpus | None = None
         self._version = None
 
@@ -415,7 +415,7 @@ class RetrievalResult:
 
     def __init__(
         self, ranked: Sequence[RankedImage], total_candidates: int | None = None
-    ):
+    ) -> None:
         self._ranked = tuple(ranked)
         for position, entry in enumerate(self._ranked):
             if entry.rank != position:
@@ -700,7 +700,7 @@ class RetrievalEngine:
     ``category_filter``.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._ranker = Ranker()
 
     def rank(

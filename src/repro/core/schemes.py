@@ -61,11 +61,28 @@ class WeightScheme(ABC):
     #: Short identifier used in reports and experiment configs.
     name: str = ""
 
-    def __init__(self, max_iterations: int = 150, gradient_tolerance: float = 1e-6):
+    def __init__(self, max_iterations: int = 150, gradient_tolerance: float = 1e-6) -> None:
         if max_iterations < 1:
             raise TrainingError(f"max_iterations must be >= 1, got {max_iterations}")
         self._max_iterations = max_iterations
         self._gtol = gradient_tolerance
+        #: Solver backend name, recorded by subclasses that offer a choice.
+        self._backend: str = ""
+
+    @property
+    def max_iterations(self) -> int:
+        """Per-start solver iteration cap."""
+        return self._max_iterations
+
+    @property
+    def gradient_tolerance(self) -> float:
+        """Solver stopping tolerance."""
+        return self._gtol
+
+    @property
+    def backend(self) -> str:
+        """Solver backend name ('' when the scheme has a fixed solver)."""
+        return self._backend
 
     @abstractmethod
     def optimize(
@@ -98,6 +115,18 @@ class WeightScheme(ABC):
         """One-line description for reports."""
         return self.name
 
+    def fingerprint(self) -> str:
+        """Stable identity string for concept-cache keys.
+
+        Covers everything that changes the optimisation outcome: the scheme
+        class, its report description (which embeds beta/alpha), the solver
+        backend, the iteration cap and the stopping tolerance.
+        """
+        return (
+            f"{type(self).__name__}:{self.describe()}"
+            f"|backend={self._backend}|it={self._max_iterations}|tol={self._gtol:g}"
+        )
+
 
 class OriginalDDScheme(WeightScheme):
     """Free weights via the ``w = s**2`` substitution (the original algorithm).
@@ -113,8 +142,9 @@ class OriginalDDScheme(WeightScheme):
         max_iterations: int = 150,
         gradient_tolerance: float = 1e-6,
         backend: str = "lbfgs",
-    ):
+    ) -> None:
         super().__init__(max_iterations, gradient_tolerance)
+        self._backend = backend
         self._minimizer = make_minimizer(backend, max_iterations, gradient_tolerance)
 
     def optimize(
@@ -152,8 +182,9 @@ class IdenticalWeightsScheme(WeightScheme):
         max_iterations: int = 150,
         gradient_tolerance: float = 1e-6,
         backend: str = "lbfgs",
-    ):
+    ) -> None:
         super().__init__(max_iterations, gradient_tolerance)
+        self._backend = backend
         self._minimizer = make_minimizer(backend, max_iterations, gradient_tolerance)
 
     def optimize(
@@ -194,11 +225,12 @@ class AlphaHackScheme(WeightScheme):
         alpha: float = 50.0,
         max_iterations: int = 150,
         gradient_tolerance: float = 1e-6,
-    ):
+    ) -> None:
         super().__init__(max_iterations, gradient_tolerance)
         if alpha <= 0:
             raise TrainingError(f"alpha must be positive, got {alpha}")
         self._alpha = alpha
+        self._backend = "armijo"
         self._minimizer = ArmijoGradientDescent(max_iterations, gradient_tolerance)
 
     @property
@@ -253,11 +285,12 @@ class InequalityScheme(WeightScheme):
         max_iterations: int = 150,
         gradient_tolerance: float = 1e-6,
         backend: str = "projected",
-    ):
+    ) -> None:
         super().__init__(max_iterations, gradient_tolerance)
         if not 0.0 <= beta <= 1.0:
             raise TrainingError(f"beta must lie in [0, 1], got {beta}")
         self._beta = beta
+        self._backend = backend
         if backend == "projected":
             self._solver: ProjectedGradientDescent | SLSQPBackend = ProjectedGradientDescent(
                 beta, max_iterations, gradient_tolerance

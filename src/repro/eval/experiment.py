@@ -52,6 +52,12 @@ class ExperimentConfig:
         start_instance_stride: restart thinning within each start bag.
         max_iterations: per-start solver iteration cap.
         seed: master seed for split, example selection and subset choice.
+        engine: training engine, ``"batched"`` (lockstep multi-start) or
+            ``"sequential"`` (one solver per restart).
+        restart_prune_margin: batched engine only — freeze restarts that
+            trail the incumbent best by more than this margin.
+        warm_start: seed each feedback round after the first with an extra
+            restart at the previous round's concept.
     """
 
     target_category: str
@@ -68,6 +74,9 @@ class ExperimentConfig:
     start_instance_stride: int = 1
     max_iterations: int = 100
     seed: int = 0
+    engine: str = "batched"
+    restart_prune_margin: float | None = None
+    warm_start: bool = False
 
     def with_overrides(self, **changes) -> "ExperimentConfig":
         """A copy with the given fields replaced."""
@@ -162,6 +171,8 @@ class RetrievalExperiment:
             start_bag_subset=cfg.start_bag_subset,
             start_instance_stride=cfg.start_instance_stride,
             seed=cfg.seed,
+            engine=cfg.engine,
+            restart_prune_margin=cfg.restart_prune_margin,
         )
         learner = make_learner(cfg.learner, **params)
         if not isinstance(learner, ConceptLearner):
@@ -196,6 +207,7 @@ class RetrievalExperiment:
             test_ids=self._split.test_ids,
             rounds=cfg.rounds,
             false_positives_per_round=cfg.false_positives_per_round,
+            warm_start=cfg.warm_start,
         )
         outcome = loop.run(selection)
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from repro.api.learners import shape_learner_params
 from repro.api.service import FittedQuery, RetrievalService
+from repro.core.cache import CacheStats
 from repro.core.concept import LearnedConcept
 from repro.core.diverse_density import TrainingResult
 from repro.core.feedback import select_examples
@@ -48,10 +49,15 @@ class RetrievalSession:
         start_bag_subset: optional Section 4.3 speed-up.
         seed: seed used by ``add_examples`` and the trainer.
         learner: registry name of the concept learner to train with.
+        engine: training engine, ``"batched"`` (lockstep multi-start, the
+            default) or ``"sequential"`` (one solver per restart).
+        restart_prune_margin: batched engine only — freeze restarts that
+            trail the incumbent best by more than this margin.
         learner_params: explicit learner parameters; overrides the mapping
             derived from the DD-style keyword arguments above.
         service: share an existing :class:`RetrievalService` (and its bag
-            caches) across sessions; one is created per session by default.
+            and concept caches) across sessions; one is created per session
+            by default.
     """
 
     def __init__(
@@ -64,9 +70,11 @@ class RetrievalSession:
         start_bag_subset: int | None = None,
         seed: int = 0,
         learner: str = "dd",
+        engine: str = "batched",
+        restart_prune_margin: float | None = None,
         learner_params: dict[str, object] | None = None,
         service: RetrievalService | None = None,
-    ):
+    ) -> None:
         self._service = service or RetrievalService(database)
         if self._service.database is not database:
             raise DatabaseError("the shared service must serve the same database")
@@ -84,6 +92,8 @@ class RetrievalSession:
                 max_iterations=max_iterations,
                 start_bag_subset=start_bag_subset,
                 seed=seed,
+                engine=engine,
+                restart_prune_margin=restart_prune_margin,
             )
         )
         self._positive_ids: list[str] = []
@@ -99,6 +109,11 @@ class RetrievalSession:
     def learner(self) -> str:
         """The registry name of the learner in use."""
         return self._learner
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Concept-cache counters of the underlying service."""
+        return self._service.cache_stats
 
     # ------------------------------------------------------------------ #
     # Example management                                                  #

@@ -184,6 +184,80 @@ class TestTopK:
         assert "p@3" in capsys.readouterr().out
 
 
+class TestTrainingFlags:
+    def test_query_verbose_reports_training_and_cache(self, snapshot, capsys):
+        code = main(
+            [
+                "query", "--db", snapshot, "--category", "waterfall",
+                "--scheme", "identical", "--positives", "2", "--negatives", "2",
+                "--seed", "3", "--verbose",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "wall time" in output
+        assert "pruned" in output
+        assert "concept cache:" in output
+
+    def test_query_sequential_engine(self, snapshot, capsys):
+        code = main(
+            [
+                "query", "--db", snapshot, "--category", "waterfall",
+                "--scheme", "identical", "--positives", "2", "--negatives", "2",
+                "--seed", "3", "--train-engine", "sequential", "--verbose",
+            ]
+        )
+        assert code == 0
+        assert "engine sequential" in capsys.readouterr().out
+
+    def test_query_prune_margin(self, snapshot, capsys):
+        code = main(
+            [
+                "query", "--db", snapshot, "--category", "waterfall",
+                "--scheme", "identical", "--positives", "2", "--negatives", "2",
+                "--seed", "3", "--restart-prune-margin", "0.5", "--verbose",
+            ]
+        )
+        assert code == 0
+        assert "pruned" in capsys.readouterr().out
+
+    def test_unknown_engine_rejected(self, snapshot):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "query", "--db", snapshot, "--category", "waterfall",
+                    "--train-engine", "warp-drive",
+                ]
+            )
+
+    def test_batch_query_verbose_cache_stats(self, snapshot, capsys):
+        code = main(
+            [
+                "batch-query", "--db", snapshot,
+                "--categories", "sunset,sunset",
+                "--scheme", "identical", "--positives", "2", "--negatives", "2",
+                "--seed", "3", "--verbose",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "concept cache:" in output
+        assert "restarts pruned" in output
+
+    def test_experiment_verbose(self, snapshot, capsys):
+        code = main(
+            [
+                "experiment", "--db", snapshot, "--category", "waterfall",
+                "--scheme", "identical", "--rounds", "2",
+                "--positives", "2", "--negatives", "2", "--verbose",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "final round:" in output
+        assert "wall time" in output
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,403 @@
+"""The trained-concept cache: fingerprints, LRU behaviour, and its wiring
+into the service, the feedback loop and beta selection."""
+
+import numpy as np
+import pytest
+
+from repro.api.query import Query
+from repro.api.service import RetrievalService
+from repro.bags.bag import Bag, BagSet
+from repro.core.beta_selection import select_beta
+from repro.core.cache import ConceptCache
+from repro.core.diverse_density import DiverseDensityTrainer, ExtraStart, TrainerConfig
+from repro.core.feedback import FeedbackLoop, select_examples
+from repro.errors import TrainingError
+from repro.session import RetrievalSession
+from tests.conftest import make_planted_bag_set
+from tests.test_feedback import ToyCorpus
+
+
+class CountingTrainer:
+    """Wraps a trainer, counting real ``train`` executions."""
+
+    def __init__(self, trainer):
+        self._trainer = trainer
+        self.calls = 0
+
+    @property
+    def fingerprint(self):
+        return self._trainer.fingerprint
+
+    @property
+    def config(self):
+        return self._trainer.config
+
+    def train(self, bag_set, extra_starts=()):
+        self.calls += 1
+        if extra_starts:
+            return self._trainer.train(bag_set, extra_starts=extra_starts)
+        return self._trainer.train(bag_set)
+
+
+def quick_trainer(**overrides) -> DiverseDensityTrainer:
+    config = TrainerConfig(scheme="identical", max_iterations=40, **overrides)
+    return DiverseDensityTrainer(config)
+
+
+class TestBagSetFingerprint:
+    def test_equal_content_equal_fingerprint(self):
+        a, _ = make_planted_bag_set(seed=3)
+        b, _ = make_planted_bag_set(seed=3)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_different_instances_differ(self):
+        a, _ = make_planted_bag_set(seed=3)
+        b, _ = make_planted_bag_set(seed=4)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_label_flip_differs(self):
+        instances = np.ones((2, 3))
+        a = BagSet([Bag(instances=instances, label=True, bag_id="x")])
+        b = BagSet([Bag(instances=instances, label=False, bag_id="x")])
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_bag_id_differs(self):
+        instances = np.ones((2, 3))
+        a = BagSet([Bag(instances=instances, label=True, bag_id="x")])
+        b = BagSet([Bag(instances=instances, label=True, bag_id="y")])
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_add_invalidates_cached_digest(self):
+        bag_set = BagSet([Bag(instances=np.ones((1, 2)), label=True, bag_id="a")])
+        before = bag_set.fingerprint()
+        bag_set.add(Bag(instances=np.zeros((1, 2)), label=False, bag_id="b"))
+        assert bag_set.fingerprint() != before
+
+
+class TestConceptCache:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(TrainingError):
+            ConceptCache(max_entries=0)
+
+    def test_lookup_miss_then_hit(self):
+        cache = ConceptCache()
+        assert cache.lookup("k") is None
+        cache.store("k", "value")
+        assert cache.lookup("k") == "value"
+        stats = cache.stats
+        assert (stats.hits, stats.misses, stats.entries) == (1, 1, 1)
+
+    def test_lru_eviction(self):
+        cache = ConceptCache(max_entries=2)
+        cache.store("a", 1)
+        cache.store("b", 2)
+        assert cache.lookup("a") == 1  # refresh 'a'; 'b' is now LRU
+        cache.store("c", 3)
+        assert cache.lookup("b") is None
+        assert cache.lookup("a") == 1
+        assert cache.lookup("c") == 3
+
+    def test_clear_drops_entries(self):
+        cache = ConceptCache()
+        cache.store("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.lookup("a") is None
+
+    def test_kind_namespaces_do_not_collide(self):
+        bag_set, _ = make_planted_bag_set(seed=5)
+        model_key = ConceptCache.key_for("model", "fp", bag_set)
+        training_key = ConceptCache.key_for("training", "fp", bag_set)
+        assert model_key != training_key
+
+    def test_extra_starts_change_key(self):
+        bag_set, _ = make_planted_bag_set(seed=5)
+        plain = ConceptCache.key_for("training", "fp", bag_set)
+        warm = ConceptCache.key_for(
+            "training", "fp", bag_set, (ExtraStart(t=np.zeros(4)),)
+        )
+        other = ConceptCache.key_for(
+            "training", "fp", bag_set, (ExtraStart(t=np.ones(4)),)
+        )
+        assert len({plain, warm, other}) == 3
+
+    def test_fetch_or_train_caches(self):
+        bag_set, _ = make_planted_bag_set(seed=6)
+        trainer = CountingTrainer(quick_trainer())
+        cache = ConceptCache()
+        first, hit_first = cache.fetch_or_train(trainer, bag_set)
+        second, hit_second = cache.fetch_or_train(trainer, bag_set)
+        assert (hit_first, hit_second) == (False, True)
+        assert trainer.calls == 1
+        assert second is first
+
+    def test_different_config_misses(self):
+        bag_set, _ = make_planted_bag_set(seed=6)
+        cache = ConceptCache()
+        cache.fetch_or_train(quick_trainer(seed=0), bag_set)
+        _, hit = cache.fetch_or_train(quick_trainer(seed=1), bag_set)
+        assert not hit
+
+    def test_unfingerprintable_trainer_trains_directly(self):
+        class Anonymous:
+            def __init__(self):
+                self.calls = 0
+                self.inner = quick_trainer()
+
+            def train(self, bag_set):
+                self.calls += 1
+                return self.inner.train(bag_set)
+
+        bag_set, _ = make_planted_bag_set(seed=6)
+        cache = ConceptCache()
+        trainer = Anonymous()
+        cache.fetch_or_train(trainer, bag_set)
+        cache.fetch_or_train(trainer, bag_set)
+        assert trainer.calls == 2
+        assert cache.stats.misses == 0  # never counted against the cache
+
+
+class TestBagOwnership:
+    def test_bag_copies_caller_array(self):
+        # The cache keys on bag content, so a bag must not alias a buffer
+        # the caller can mutate afterwards.
+        buffer = np.ones((2, 3))
+        bag = Bag(instances=buffer, label=True, bag_id="a")
+        before = BagSet([bag]).fingerprint()
+        buffer[0, 0] = 99.0
+        assert np.all(bag.instances[0] == 1.0)
+        assert BagSet([bag]).fingerprint() == before
+
+    def test_bag_matrix_is_read_only(self):
+        bag = Bag(instances=np.ones((2, 3)), label=True, bag_id="a")
+        with pytest.raises(ValueError):
+            bag.instances[0, 0] = 5.0
+
+
+class TestInFlightDedup:
+    def test_concurrent_compute_if_absent_runs_factory_once(self):
+        import threading
+
+        cache = ConceptCache()
+        calls = []
+        gate = threading.Barrier(4)
+
+        def factory():
+            calls.append(1)
+            time_like = sum(range(10000))  # a little work
+            return time_like
+
+        def worker():
+            gate.wait()
+            cache.compute_if_absent("shared-key", factory)
+
+        import time  # noqa: F401
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(calls) == 1
+        stats = cache.stats
+        assert stats.misses == 1
+        assert stats.hits == 3
+
+    def test_raising_factory_releases_key_lock_and_counts_miss(self):
+        cache = ConceptCache()
+
+        def boom():
+            raise TrainingError("no finite optimum")
+
+        with pytest.raises(TrainingError):
+            cache.compute_if_absent("k", boom)
+        assert cache.stats.misses == 1
+        assert cache._key_locks == {}  # no leak on failure
+        # The key is computable again afterwards.
+        value, hit = cache.compute_if_absent("k", lambda: 42)
+        assert (value, hit) == (42, False)
+
+    def test_concurrent_duplicate_batch_query_trains_once(self, tiny_scene_db):
+        service = RetrievalService(tiny_scene_db)
+        service.warm("dd")
+        selection = select_examples(
+            tiny_scene_db, tiny_scene_db.image_ids, "waterfall", 3, 3, seed=2
+        )
+        query = Query(
+            positive_ids=selection.positive_ids,
+            negative_ids=selection.negative_ids,
+            learner="dd",
+            params={"scheme": "identical", "max_iterations": 30, "seed": 5},
+            top_k=5,
+        )
+        results = service.batch_query([query] * 4, workers=4)
+        stats = service.cache_stats
+        assert stats.misses == 1  # in-flight dedup: one training run total
+        assert stats.hits == 3
+        ids = {tuple(result.ranking.image_ids) for result in results}
+        assert len(ids) == 1
+
+
+class TestFeedbackLoopCache:
+    def make_loop(self, corpus, trainer, cache=None, warm_start=False):
+        potential = [i for i in corpus.ids if int(i.split("-")[1]) < 4]
+        test = [i for i in corpus.ids if int(i.split("-")[1]) >= 4]
+        return FeedbackLoop(
+            corpus=corpus,
+            trainer=trainer,
+            target_category="pos",
+            potential_ids=potential,
+            test_ids=test,
+            rounds=3,
+            false_positives_per_round=2,
+            cache=cache,
+            warm_start=warm_start,
+        )
+
+    def selection(self, corpus):
+        potential = [i for i in corpus.ids if int(i.split("-")[1]) < 4]
+        return select_examples(corpus, potential, "pos", 2, 2, seed=0)
+
+    def test_repeated_identical_run_hits_cache_with_zero_retrains(self):
+        corpus = ToyCorpus()
+        cache = ConceptCache()
+        trainer = CountingTrainer(quick_trainer())
+        first = self.make_loop(corpus, trainer, cache=cache).run(self.selection(corpus))
+        trained_rounds = trainer.calls
+        assert trained_rounds == 3
+
+        second = self.make_loop(corpus, trainer, cache=cache).run(self.selection(corpus))
+        assert trainer.calls == trained_rounds  # 0 retrains on the repeat
+        assert cache.stats.hits >= 3
+        assert second.test_ranking.image_ids == first.test_ranking.image_ids
+        assert [r.nll for r in second.rounds] == [r.nll for r in first.rounds]
+
+    def test_warm_start_rounds_carry_extra_restart(self):
+        corpus = ToyCorpus()
+        outcome = self.make_loop(corpus, quick_trainer(), warm_start=True).run(
+            self.selection(corpus)
+        )
+        final = outcome.final_training
+        assert final.starts[-1].bag_id == "warm-start"
+        assert final.starts[-1].instance_index == -1
+
+    def test_warm_start_with_cache_replays_identically(self):
+        corpus = ToyCorpus()
+        cache = ConceptCache()
+        trainer = CountingTrainer(quick_trainer())
+        first = self.make_loop(corpus, trainer, cache=cache, warm_start=True).run(
+            self.selection(corpus)
+        )
+        calls = trainer.calls
+        second = self.make_loop(corpus, trainer, cache=cache, warm_start=True).run(
+            self.selection(corpus)
+        )
+        assert trainer.calls == calls
+        assert second.test_ranking.image_ids == first.test_ranking.image_ids
+
+    def test_warm_start_never_worse_per_round(self):
+        # The warm restart only grows the restart population, so each
+        # round's best NLL cannot regress against the cold-started loop.
+        corpus = ToyCorpus()
+        cold = self.make_loop(corpus, quick_trainer()).run(self.selection(corpus))
+        warm = self.make_loop(corpus, quick_trainer(), warm_start=True).run(
+            self.selection(corpus)
+        )
+        assert warm.rounds[0].nll == cold.rounds[0].nll  # round 1 identical
+
+
+class TestServiceCache:
+    def build_query(self, database, seed=0):
+        selection = select_examples(
+            database, database.image_ids, "waterfall", 3, 3, seed=seed
+        )
+        return Query(
+            positive_ids=selection.positive_ids,
+            negative_ids=selection.negative_ids,
+            learner="dd",
+            params={"scheme": "identical", "max_iterations": 30, "seed": 7},
+            top_k=5,
+        )
+
+    def test_repeated_query_hits_cache(self, tiny_scene_db):
+        service = RetrievalService(tiny_scene_db)
+        query = self.build_query(tiny_scene_db)
+        first = service.query(query)
+        assert service.cache_stats.misses == 1
+        second = service.query(query)
+        assert service.cache_stats.hits == 1
+        assert second.ranking.image_ids == first.ranking.image_ids
+        assert second.concept.nll == first.concept.nll
+
+    def test_batch_query_duplicates_train_once(self, tiny_scene_db):
+        service = RetrievalService(tiny_scene_db)
+        queries = [self.build_query(tiny_scene_db) for _ in range(4)]
+        results = service.batch_query(queries, workers=1)
+        stats = service.cache_stats
+        assert stats.misses == 1
+        assert stats.hits == 3
+        ids = {tuple(result.ranking.image_ids) for result in results}
+        assert len(ids) == 1
+
+    def test_cache_disabled(self, tiny_scene_db):
+        service = RetrievalService(tiny_scene_db, cache_size=0)
+        assert service.concept_cache is None
+        query = self.build_query(tiny_scene_db)
+        service.query(query)
+        service.query(query)
+        stats = service.cache_stats
+        assert (stats.hits, stats.misses, stats.max_entries) == (0, 0, 0)
+
+    def test_sanity_rankers_not_cached(self, tiny_scene_db):
+        service = RetrievalService(tiny_scene_db)
+        selection = select_examples(
+            tiny_scene_db, tiny_scene_db.image_ids, "waterfall", 2, 2, seed=1
+        )
+        query = Query(
+            positive_ids=selection.positive_ids,
+            negative_ids=selection.negative_ids,
+            learner="random",
+            params={"seed": 3},
+        )
+        service.query(query)
+        service.query(query)
+        stats = service.cache_stats
+        assert (stats.hits, stats.misses) == (0, 0)
+
+    def test_session_exposes_cache_stats(self, tiny_scene_db):
+        service = RetrievalService(tiny_scene_db)
+        session = RetrievalSession(
+            tiny_scene_db,
+            scheme="identical",
+            max_iterations=30,
+            service=service,
+        )
+        session.add_examples("waterfall", n_positive=3, n_negative=3)
+        session.train_and_rank(top_k=5)
+        assert session.cache_stats.misses == 1
+        # Re-fitting the same examples is answered by the cache.
+        session.train_and_rank(top_k=5)
+        assert session.cache_stats.hits == 1
+
+
+class TestBetaSelectionCache:
+    def test_repeated_sweep_hits_cache(self):
+        corpus = ToyCorpus()
+        selection = select_examples(corpus, corpus.ids, "pos", 2, 2, seed=0)
+        cache = ConceptCache()
+        kwargs = dict(
+            corpus=corpus,
+            selection=selection,
+            target_category="pos",
+            validation_ids=corpus.ids,
+            betas=(0.25, 0.75),
+            max_iterations=30,
+            cache=cache,
+        )
+        first = select_beta(**kwargs)
+        misses = cache.stats.misses
+        assert misses == 2
+        second = select_beta(**kwargs)
+        assert cache.stats.misses == misses  # every beta served from cache
+        assert cache.stats.hits == 2
+        assert second.best_beta == first.best_beta

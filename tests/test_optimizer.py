@@ -86,6 +86,15 @@ class TestArmijo:
         with pytest.raises(OptimizationError):
             ArmijoGradientDescent().minimize(bad, np.zeros(2))
 
+    def test_lbfgs_nonfinite_start_raises(self):
+        # Both backends must reject a NaN starting objective instead of
+        # handing scipy a poisoned line search.
+        def bad(x):
+            return np.nan, np.zeros_like(x)
+
+        with pytest.raises(OptimizationError):
+            LBFGSOptimizer().minimize(bad, np.zeros(2))
+
     def test_iteration_cap_respected(self):
         minimizer = ArmijoGradientDescent(max_iterations=3, gradient_tolerance=0.0)
         outcome = minimizer.minimize(rosenbrock, np.array([-1.2, 1.0]))
