@@ -1,0 +1,127 @@
+"""Extension bench — serving-layer throughput (wire codec + HTTP workers).
+
+Not a paper artefact.  The ``repro.serve`` redesign added a versioned wire
+format and an HTTP worker; this bench measures what crossing the process
+boundary costs and what a warm snapshot buys:
+
+* **codec round-trip** — encode+decode of a full ``QueryResult`` (ranking,
+  concept, training diagnostics) must be cheap relative to ranking itself;
+* **end-to-end requests/sec over localhost** — the same repeated wire
+  query against a *cold* worker (concept cache disabled, every request
+  trains) and a *warm* worker (snapshot-restored concept cache, every
+  request is a cache hit).
+
+Claims: the wire round-trip reproduces the ranking exactly, and the warm
+worker sustains strictly higher throughput than the cold one (it skips the
+multi-start training entirely).
+"""
+
+import time
+
+from repro.api.query import Query
+from repro.api.service import RetrievalService
+from repro.core.feedback import select_examples
+from repro.eval.reporting import ascii_table
+from repro.experiments.databases import scene_database
+from repro.serve import (
+    ReproClient,
+    ReproServer,
+    ServiceApp,
+    decode,
+    encode,
+    load_service,
+    save_service,
+    wire_equal,
+)
+
+CODEC_REPEATS = 200
+REQUEST_REPEATS = 5
+
+
+def _build_query(database, scale) -> Query:
+    category = database.categories()[0]
+    selection = select_examples(
+        database, database.image_ids, category, n_positive=3, n_negative=3, seed=47
+    )
+    return Query(
+        positive_ids=selection.positive_ids,
+        negative_ids=selection.negative_ids,
+        learner="dd",
+        params={
+            "scheme": "identical",
+            "max_iterations": scale.max_iterations,
+            "start_bag_subset": scale.start_bag_subset,
+            "start_instance_stride": scale.start_instance_stride,
+            "seed": 47,
+        },
+        top_k=10,
+        query_id=category,
+    )
+
+
+def _requests_per_second(client: ReproClient, query: Query) -> tuple[float, tuple]:
+    started = time.perf_counter()
+    ids = None
+    for _ in range(REQUEST_REPEATS):
+        ids = client.query(query).ranking.image_ids
+    elapsed = time.perf_counter() - started
+    return REQUEST_REPEATS / elapsed, ids
+
+
+def test_serve_throughput(benchmark, report, scale, tmp_path):
+    def run_all():
+        database = scene_database(scale)
+        service = RetrievalService(database)
+        service.warm("dd")
+        query = _build_query(database, scale)
+        reference = service.query(query)
+
+        # Codec round-trip throughput on a real result payload.
+        started = time.perf_counter()
+        for _ in range(CODEC_REPEATS):
+            rebuilt = decode(encode(reference))
+        codec_s = (time.perf_counter() - started) / CODEC_REPEATS
+        codec_exact = wire_equal(rebuilt, reference)
+
+        # Warm snapshot taken after the service has trained the concept.
+        snapshot_path = save_service(service, tmp_path / "worker.npz").path
+
+        cold_service = RetrievalService(database, cache_size=0)
+        cold_service.warm("dd")
+        with ReproServer(ServiceApp(cold_service), port=0) as server:
+            cold_rps, cold_ids = _requests_per_second(ReproClient(server.url), query)
+
+        warm_service, _ = load_service(snapshot_path)
+        with ReproServer(ServiceApp(warm_service), port=0) as server:
+            warm_rps, warm_ids = _requests_per_second(ReproClient(server.url), query)
+        warm_misses = warm_service.cache_stats.misses
+
+        identical = (
+            cold_ids == warm_ids == reference.ranking.image_ids
+        )
+        return codec_s, codec_exact, cold_rps, warm_rps, warm_misses, identical
+
+    codec_s, codec_exact, cold_rps, warm_rps, warm_misses, identical = (
+        benchmark.pedantic(run_all, rounds=1, iterations=1)
+    )
+
+    report(
+        ascii_table(
+            ["path", "throughput"],
+            [
+                ["codec round-trip", f"{1.0 / codec_s:.0f} results/s"],
+                ["cold worker (trains per request)", f"{cold_rps:.2f} req/s"],
+                ["warm worker (snapshot cache)", f"{warm_rps:.2f} req/s"],
+                ["warm/cold speed-up", f"{warm_rps / cold_rps:.1f}x"],
+            ],
+            title="serving throughput (localhost, single client)",
+        )
+    )
+
+    assert codec_exact, "codec round-trip changed the result"
+    assert identical, "served rankings diverged from the in-process reference"
+    assert warm_misses == 0, "warm worker retrained despite the snapshot cache"
+    assert warm_rps > cold_rps, (
+        f"warm worker ({warm_rps:.2f} req/s) should beat the cold worker "
+        f"({cold_rps:.2f} req/s)"
+    )

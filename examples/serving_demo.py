@@ -1,0 +1,106 @@
+"""Serving demo: HTTP worker, wire queries, feedback sessions, warm snapshots.
+
+Walks the full ``repro.serve`` surface in one process:
+
+1. start an HTTP worker (:class:`~repro.serve.http.ReproServer`) over a
+   small synthetic database,
+2. run the same frozen :class:`~repro.api.query.Query` in-process and over
+   the wire and verify the rankings are identical,
+3. drive a two-round relevance-feedback session through the stateless API
+   (the token is the only state the client holds),
+4. snapshot the warmed service and restore it as a new worker that answers
+   the repeated query from the concept cache — zero retrains.
+
+    python examples/serving_demo.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import Query, RetrievalService, quick_database
+from repro.core.feedback import select_examples
+from repro.serve import ReproClient, ReproServer, ServiceApp, load_service, save_service
+
+
+def main() -> None:
+    database = quick_database("scenes", images_per_category=6, seed=7)
+    service = RetrievalService(database)
+    service.warm("dd")
+    print(f"serving {database}")
+
+    selection = select_examples(
+        database, database.image_ids, "waterfall", n_positive=3, n_negative=3, seed=7
+    )
+    query = Query(
+        positive_ids=selection.positive_ids,
+        negative_ids=selection.negative_ids,
+        learner="dd",
+        params={"scheme": "identical", "max_iterations": 40, "seed": 7},
+        top_k=5,
+    )
+
+    local = service.query(query)
+
+    with ReproServer(ServiceApp(service), port=0) as server:
+        client = ReproClient(server.url)
+        health = client.health()
+        print(f"worker up at {server.url} (wire v{health['wire_version']})")
+
+        # Served and in-process retrieval are interchangeable: same wire
+        # query, bit-identical ranking.
+        remote = client.query(query)
+        assert remote.ranking.image_ids == local.ranking.image_ids
+        print("served top 5:", [entry.image_id for entry in remote.top()])
+
+        # A relevance-feedback loop across stateless requests: the session
+        # token is the only state the client keeps.
+        round1 = client.feedback(
+            learner="dd",
+            params=dict(query.params),
+            add_positive_ids=selection.positive_ids,
+            add_negative_ids=selection.negative_ids,
+            top_k=5,
+        )
+        token = round1["session"]
+        false_positives = [
+            entry.image_id
+            for entry in round1["ranking"]
+            if entry.category != "waterfall"
+        ][:2]
+        round2 = client.feedback(
+            token, false_positive_ids=false_positives, top_k=5
+        )
+        print(
+            f"feedback session {token[:8]}…: "
+            f"{len(round1['negative_ids'])} -> {len(round2['negative_ids'])} "
+            f"negatives, new top: {round2['ranking'].image_ids[:3]}"
+        )
+
+        stats = client.stats()
+        cache = stats["service"]["cache"]
+        print(
+            f"server stats: {stats['service']['n_queries']} queries, "
+            f"cache {cache['hits']} hits / {cache['misses']} misses"
+        )
+
+    # Snapshot the warmed worker and start a new one hot: the repeated
+    # query is answered from the restored concept cache — zero retrains.
+    with tempfile.TemporaryDirectory() as tmp:
+        info = save_service(service, Path(tmp) / "worker.npz")
+        print(
+            f"snapshot: {info.path.stat().st_size / 1024:.0f} KiB, "
+            f"{info.n_cache_entries} cached concepts, corpora {info.corpus_keys}"
+        )
+        restored, _ = load_service(info.path)
+        rerun = restored.query(query)
+        cache = restored.cache_stats
+        assert rerun.ranking.image_ids == local.ranking.image_ids
+        assert cache.misses == 0, "warm worker should not retrain"
+        print(
+            f"restored worker answered with {cache.hits} cache hit(s), "
+            f"{cache.misses} misses — no retraining"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -30,6 +30,11 @@ Layering (bottom to top):
     EM-DD and baseline strategies, frozen ``Query``/``QueryResult``
     request–response objects, and the :class:`RetrievalService` facade
     with cached bag corpora and multi-worker ``batch_query`` execution.
+``repro.serve``
+    The serving subsystem: schema-versioned wire codecs, the
+    dict-in/dict-out :class:`ServiceApp` facade, token-addressed
+    multi-tenant feedback sessions, a stdlib HTTP worker + thin client,
+    and warm-worker snapshots (database + packed corpora + concept cache).
 ``repro.eval``
     Precision/recall machinery, experiment runner and ASCII reporting.
 ``repro.experiments``
@@ -97,6 +102,15 @@ from repro.database.splits import DatabaseSplit, split_database
 from repro.datasets.loader import build_object_database, build_scene_database, quick_database
 from repro.eval.experiment import ExperimentConfig, ExperimentResult, RetrievalExperiment
 from repro.session import RetrievalSession
+from repro.serve import (
+    WIRE_VERSION,
+    ReproClient,
+    ReproServer,
+    ServiceApp,
+    SessionStore,
+    load_service,
+    save_service,
+)
 
 __all__ = [
     "__version__",
@@ -137,6 +151,13 @@ __all__ = [
     "split_database",
     "save_database",
     "load_database",
+    "WIRE_VERSION",
+    "ServiceApp",
+    "SessionStore",
+    "ReproServer",
+    "ReproClient",
+    "save_service",
+    "load_service",
     "build_scene_database",
     "build_object_database",
     "quick_database",

@@ -84,13 +84,26 @@ class RetrievalService:
         database: the populated image database to serve.
         cache_size: capacity of the trained-concept cache; ``0`` or ``None``
             disables caching entirely.
+        max_history: keep at most this many per-query timing records
+            (oldest dropped first) so long-running servers do not leak
+            memory; ``None`` keeps everything.  The lifetime query count
+            survives trimming (see :meth:`stats`).
     """
 
-    def __init__(self, database: ImageDatabase, cache_size: int | None = 128) -> None:
+    def __init__(
+        self,
+        database: ImageDatabase,
+        cache_size: int | None = 128,
+        max_history: int | None = 1000,
+    ) -> None:
+        if max_history is not None and max_history < 0:
+            raise QueryError(f"max_history must be >= 0 or None, got {max_history}")
         self._database = database
         self._corpora: dict[str, Corpus] = {"region-bags": database}
         self._lock = threading.Lock()
         self._history: list[QueryRecord] = []
+        self._max_history = max_history
+        self._n_queries = 0
         self._cache = ConceptCache(cache_size) if cache_size else None
 
     @property
@@ -112,9 +125,48 @@ class RetrievalService:
 
     @property
     def history(self) -> tuple[QueryRecord, ...]:
-        """Per-query timing records, in completion order."""
+        """Per-query timing records, in completion order.
+
+        Bounded to the most recent ``max_history`` records; the lifetime
+        query count is reported by :meth:`stats`.
+        """
         with self._lock:
             return tuple(self._history)
+
+    @property
+    def max_history(self) -> int | None:
+        """The configured history bound (``None`` = unbounded)."""
+        return self._max_history
+
+    def stats(self) -> dict:
+        """Point-in-time serving counters (plain JSON-safe dict).
+
+        Keys: ``n_queries`` (lifetime, survives history trimming),
+        ``history_len`` / ``max_history``, ``n_images`` / ``database_name``,
+        ``corpus_keys`` (which bag corpora are warmed) and the concept
+        cache's ``hits`` / ``misses`` / ``hit_rate`` / ``entries`` /
+        ``max_entries``.
+        """
+        cache = self.cache_stats
+        with self._lock:
+            history_len = len(self._history)
+            n_queries = self._n_queries
+            corpus_keys = sorted(self._corpora)
+        return {
+            "n_queries": n_queries,
+            "history_len": history_len,
+            "max_history": self._max_history,
+            "n_images": len(self._database),
+            "database_name": self._database.name,
+            "corpus_keys": corpus_keys,
+            "cache": {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "hit_rate": cache.hit_rate,
+                "entries": cache.entries,
+                "max_entries": cache.max_entries,
+            },
+        }
 
     # ------------------------------------------------------------------ #
     # Corpus management                                                   #
@@ -129,6 +181,37 @@ class RetrievalService:
                 corpus = learner.corpus(self._database)
                 self._corpora[key] = corpus
         return corpus
+
+    @property
+    def corpus_keys(self) -> tuple[str, ...]:
+        """Keys of the currently cached bag corpora (sorted)."""
+        with self._lock:
+            return tuple(sorted(self._corpora))
+
+    def get_corpus(self, key: str) -> Corpus:
+        """The cached corpus under a key (snapshot layer's accessor).
+
+        Raises:
+            QueryError: when no corpus is cached under ``key``.
+        """
+        with self._lock:
+            try:
+                return self._corpora[key]
+            except KeyError:
+                raise QueryError(f"no corpus cached under key {key!r}") from None
+
+    def adopt_corpus(self, key: str, corpus: Corpus) -> None:
+        """Install a pre-built corpus under a learner family's corpus key.
+
+        The snapshot layer uses this to restore warmed corpora (e.g. the
+        colour baseline's SBN bags, rehydrated as a bare
+        :class:`~repro.core.retrieval.PackedCorpus`) so a fresh worker
+        never re-featurises them.
+        """
+        if not key:
+            raise QueryError("corpus key must be a non-empty string")
+        with self._lock:
+            self._corpora[key] = corpus
 
     def warm(self, learner: str = "dd", **params) -> int:
         """Precompute the bag corpus a learner family uses; returns the image count.
@@ -268,6 +351,7 @@ class RetrievalService:
             total_seconds=finished_at - started_at,
         )
         with self._lock:
+            self._n_queries += 1
             self._history.append(
                 QueryRecord(
                     query_id=query.query_id,
@@ -276,6 +360,8 @@ class RetrievalService:
                     timing=timing,
                 )
             )
+            if self._max_history is not None and len(self._history) > self._max_history:
+                del self._history[: len(self._history) - self._max_history]
         return QueryResult(
             query=query,
             ranking=ranking,

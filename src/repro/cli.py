@@ -1,13 +1,21 @@
-"""Command-line interface: build databases, run queries, run experiments.
+"""Command-line interface: build databases, run queries, serve, run experiments.
 
-Five subcommands cover the everyday workflows::
+Seven subcommands cover the everyday workflows::
 
-    python -m repro build-db    --kind scenes --per-category 20 --out db.npz
-    python -m repro query       --db db.npz --category waterfall --top-k 10
-    python -m repro batch-query --db db.npz --categories waterfall,sunset --workers 4
-    python -m repro experiment  --db db.npz --category waterfall --scheme inequality
-    python -m repro info        --db db.npz
+    python -m repro build-db     --kind scenes --per-category 20 --out db.npz
+    python -m repro query        --db db.npz --category waterfall --top-k 10
+    python -m repro batch-query  --db db.npz --categories waterfall,sunset --workers 4
+    python -m repro serve        --db db.npz --port 8000
+    python -m repro client-query --url http://127.0.0.1:8000 --positive id1,id2
+    python -m repro experiment   --db db.npz --category waterfall --scheme inequality
+    python -m repro info         --db db.npz
     python -m repro --version
+
+``serve`` starts an HTTP worker (``repro.serve``) over a database snapshot
+— or a warm service snapshot (``--snapshot``), which restores the packed
+corpora and the trained-concept cache so the first repeated query needs no
+retraining.  ``client-query`` drives a running worker through the
+versioned wire format.
 
 All commands are seeded and print plain text; they are thin wrappers over
 the library API (each maps to a handful of calls documented in the README),
@@ -34,6 +42,10 @@ from repro.datasets.loader import build_object_database, build_scene_database
 from repro.errors import ReproError
 from repro.eval.experiment import ExperimentConfig, RetrievalExperiment
 from repro.eval.reporting import ascii_table
+from repro.serve.app import ServiceApp
+from repro.serve.http import ReproClient, ReproServer
+from repro.serve.sessions import SessionStore
+from repro.serve.snapshot import load_service
 from repro.version import __version__
 
 _SCHEMES = ["original", "identical", "alpha_hack", "inequality"]
@@ -131,6 +143,49 @@ def _build_parser() -> argparse.ArgumentParser:
 
     info = commands.add_parser("info", help="describe a database snapshot")
     info.add_argument("--db", required=True)
+
+    serve = commands.add_parser(
+        "serve", help="serve the retrieval API over HTTP (repro.serve worker)"
+    )
+    source = serve.add_mutually_exclusive_group(required=True)
+    source.add_argument("--db", help="database snapshot path (cold worker)")
+    source.add_argument("--snapshot",
+                        help="warm service snapshot path (packed corpora + "
+                        "trained-concept cache restored; see "
+                        "repro.serve.save_service)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8000,
+                       help="bind port (0 picks a free one)")
+    serve.add_argument("--cache-size", type=int, default=128,
+                       help="trained-concept cache capacity (0 disables)")
+    serve.add_argument("--max-history", type=int, default=1000,
+                       help="per-query timing records kept (memory bound)")
+    serve.add_argument("--session-ttl", type=float, default=1800.0,
+                       help="idle feedback-session lifetime in seconds")
+    serve.add_argument("--max-sessions", type=int, default=1024,
+                       help="concurrent feedback sessions held (LRU beyond)")
+    serve.add_argument("--warm", default="dd", metavar="LEARNERS",
+                       help="comma-separated learner families whose corpora "
+                       "to precompute before serving ('' skips warming)")
+
+    client = commands.add_parser(
+        "client-query", help="query a running repro serve worker"
+    )
+    client.add_argument("--url", required=True,
+                        help="server base URL, e.g. http://127.0.0.1:8000")
+    client.add_argument("--positive", required=True,
+                        help="comma-separated positive example image ids")
+    client.add_argument("--negative", default="",
+                        help="comma-separated negative example image ids")
+    client.add_argument("--learner", default="dd",
+                        help=f"learner registry name (known: "
+                        f"{', '.join(available_learners())})")
+    client.add_argument("--scheme", default="inequality", choices=_SCHEMES)
+    client.add_argument("--beta", type=float, default=0.5)
+    client.add_argument("--top-k", "--top", dest="top", type=int, default=10)
+    client.add_argument("--seed", type=int, default=0)
+    client.add_argument("--timeout", type=float, default=60.0,
+                        help="per-request timeout in seconds")
 
     return parser
 
@@ -341,12 +396,97 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def build_server(args: argparse.Namespace):
+    """Assemble the HTTP worker the ``serve`` command runs (test seam).
+
+    Loads either a cold database snapshot (``--db``) or a warm service
+    snapshot (``--snapshot``), warms the requested learner corpora, and
+    returns an unstarted :class:`~repro.serve.http.ReproServer`.
+    """
+    if args.snapshot:
+        service, info = load_service(
+            args.snapshot, cache_size=args.cache_size, max_history=args.max_history
+        )
+        print(
+            f"restored warm worker from {info.path.name}: {info.n_images} images, "
+            f"{len(info.corpus_keys)} corpora, {info.n_cache_entries} cached concepts"
+        )
+    else:
+        service = RetrievalService(
+            load_database(args.db),
+            cache_size=args.cache_size,
+            max_history=args.max_history,
+        )
+    for learner in [name.strip() for name in args.warm.split(",") if name.strip()]:
+        service.warm(learner)
+    sessions = SessionStore(
+        service, ttl_seconds=args.session_ttl, max_sessions=args.max_sessions
+    )
+    return ReproServer(ServiceApp(service, sessions=sessions),
+                       host=args.host, port=args.port)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    server = build_server(args)
+    database = server.app.service.database
+    print(
+        f"serving {database!r}\n"
+        f"repro API at {server.url}/v1 "
+        f"(endpoints: query, batch_query, feedback, rank, health, stats)\n"
+        f"press Ctrl-C to stop"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nstopping")
+    finally:
+        server.stop()
+    return 0
+
+
+def _cmd_client_query(args: argparse.Namespace) -> int:
+    positives = tuple(i.strip() for i in args.positive.split(",") if i.strip())
+    negatives = tuple(i.strip() for i in args.negative.split(",") if i.strip())
+    query = Query(
+        positive_ids=positives,
+        negative_ids=negatives,
+        learner=args.learner,
+        params=shape_learner_params(
+            args.learner, scheme=args.scheme, beta=args.beta,
+            start_bag_subset=2, seed=args.seed,
+        ),
+        top_k=args.top,
+    )
+    client = ReproClient(args.url, timeout=args.timeout)
+    result = client.query(query)
+    rows = [
+        [entry.rank + 1, entry.image_id, entry.category, entry.distance]
+        for entry in result.top()
+    ]
+    print(
+        ascii_table(
+            ["rank", "image", "category", "distance"],
+            rows,
+            title=f"top {args.top} matches from {args.url} "
+            f"({args.learner} learner)",
+        )
+    )
+    print(
+        f"ranked {result.total_candidates} candidates remotely; "
+        f"server timing: fit {result.timing.fit_seconds:.2f}s, "
+        f"rank {result.timing.rank_seconds:.2f}s"
+    )
+    return 0
+
+
 _HANDLERS = {
     "build-db": _cmd_build_db,
     "query": _cmd_query,
     "batch-query": _cmd_batch_query,
     "experiment": _cmd_experiment,
     "info": _cmd_info,
+    "serve": _cmd_serve,
+    "client-query": _cmd_client_query,
 }
 
 

@@ -29,7 +29,7 @@ import hashlib
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -177,6 +177,33 @@ class ConceptCache:
         """Drop every entry (the counters keep accumulating)."""
         with self._lock:
             self._entries.clear()
+
+    def export_entries(self) -> tuple[tuple[str, Any], ...]:
+        """Every ``(key, value)`` pair, least-recently-used first.
+
+        The order is chosen so that feeding the pairs back through
+        :meth:`import_entries` reproduces the exact LRU state — the snapshot
+        layer uses this to persist a warmed cache and restart workers hot.
+        Values are returned as-is; serialising them is the caller's job.
+        """
+        with self._lock:
+            return tuple(self._entries.items())
+
+    def import_entries(self, entries: Iterable[tuple[str, Any]]) -> int:
+        """Insert ``(key, value)`` pairs in order; returns how many were written.
+
+        Pairs are stored through the normal LRU path, so importing more
+        entries than ``max_entries`` keeps only the most recent tail (the
+        cache may retain fewer than the returned count).  Counters are not
+        touched — imported entries count as neither hits nor misses until
+        they are looked up.
+        """
+        written = 0
+        with self._lock:
+            for key, value in entries:
+                self._store_locked(str(key), value)
+                written += 1
+        return written
 
     @property
     def stats(self) -> CacheStats:

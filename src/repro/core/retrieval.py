@@ -242,6 +242,31 @@ class PackedCorpus:
             raise DatabaseError(f"unknown image id {image_id!r}") from None
         return self.instances[self.offsets[index] : self.offsets[index + 1]]
 
+    def instances_for(self, image_id: str) -> np.ndarray:
+        """Corpus-protocol alias of :meth:`bag_instances`.
+
+        Lets a bare :class:`PackedCorpus` stand in for a storage-layer
+        corpus (the snapshot layer restores warmed corpora as packed views
+        with no backing image store).
+        """
+        return self.bag_instances(image_id)
+
+    def category_of(self, image_id: str) -> str:
+        """Ground-truth category of one packed image (corpus protocol).
+
+        Raises:
+            DatabaseError: for an unknown id.
+        """
+        try:
+            index = self._position[image_id]
+        except KeyError:
+            raise DatabaseError(f"unknown image id {image_id!r}") from None
+        return self.categories[index]
+
+    def packed(self, ids: Sequence[str] | None = None) -> "PackedCorpus":
+        """Corpus-protocol spelling: itself (or a sub-selection)."""
+        return self if ids is None else self.select(tuple(ids))
+
     def candidates(self) -> Iterator[RetrievalCandidate]:
         """Compatibility iterator over per-image candidates (views)."""
         for index, (image_id, category) in enumerate(
@@ -350,6 +375,21 @@ class CorpusPacker:
     def __init__(self) -> None:
         self._packed: PackedCorpus | None = None
         self._version = None
+
+    def cached(self, version=None) -> PackedCorpus | None:
+        """The cached full view, or ``None`` when absent or stale.
+
+        Lets persistence snapshot the packed corpus without forcing a
+        (potentially expensive) build on databases that never ranked.
+        """
+        if self._version != version:
+            return None
+        return self._packed
+
+    def adopt(self, packed: PackedCorpus, version=None) -> None:
+        """Install an externally built full view (snapshot restore path)."""
+        self._packed = packed
+        self._version = version
 
     def packed(
         self,

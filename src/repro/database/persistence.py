@@ -3,36 +3,57 @@
 A snapshot stores every image's pixels (gray plane and, when present, the
 RGB plane), its id and category, plus the feature configuration fingerprint.
 Features themselves are *not* stored — they are cheap to recompute relative
-to their size and depend on the configuration anyway.
+to their size and depend on the configuration anyway — with one exception:
+when the database carries a cached :class:`~repro.core.retrieval.PackedCorpus`
+(the columnar view every ranking touches), format version 2 snapshots carry
+it along and restore it on load, so a restored serving worker answers its
+first query without re-featurising the whole corpus.
+
+The module-level :func:`save_database` / :func:`load_database` pair writes a
+standalone ``.npz``; :func:`database_payload` / :func:`database_from_payload`
+expose the same encoding as (manifest, arrays) pieces so other snapshot
+formats (``repro.serve.snapshot``) can embed a database in a larger archive.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import Mapping
 
 import numpy as np
 
+from repro.core.retrieval import PackedCorpus
 from repro.database.store import ImageDatabase
 from repro.errors import DatabaseError
 from repro.imaging.features import FeatureConfig
 from repro.imaging.image import GrayImage
 from repro.imaging.regions import region_family
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+#: Snapshot versions :func:`load_database` understands.  Version 1 predates
+#: the packed-corpus round-trip; its snapshots load fine (and simply start
+#: with a cold packed cache).
+SUPPORTED_VERSIONS = (1, 2)
 
 
-def save_database(database: ImageDatabase, path: str | Path) -> Path:
-    """Write a snapshot; returns the path written.
+def database_payload(
+    database: ImageDatabase, key_prefix: str = ""
+) -> tuple[dict, dict[str, np.ndarray]]:
+    """Encode a database as a JSON manifest plus named arrays.
 
-    The snapshot is a single ``.npz`` with one gray array per image plus a
-    JSON manifest entry (ids, categories, configuration).
+    Args:
+        database: the database to encode.
+        key_prefix: prepended to every array key, so several payloads can
+            share one ``.npz`` namespace.
+
+    Returns:
+        ``(manifest, arrays)``.  The manifest references arrays by key; the
+        cached packed corpus rides along (under ``manifest["packed"]``) when
+        the database has one.
     """
-    path = Path(path)
-    if path.suffix != ".npz":
-        path = path.with_suffix(".npz")
     config = database.feature_config
-    manifest = {
+    manifest: dict = {
         "version": _FORMAT_VERSION,
         "name": database.name,
         "images": [],
@@ -46,14 +67,100 @@ def save_database(database: ImageDatabase, path: str | Path) -> Path:
     }
     arrays: dict[str, np.ndarray] = {}
     for index, record in enumerate(database):
-        gray_key = f"gray_{index:06d}"
+        gray_key = f"{key_prefix}gray_{index:06d}"
         arrays[gray_key] = record.image.pixels
         entry = {"id": record.image_id, "category": record.category, "gray": gray_key}
         if record.image.rgb is not None:
-            rgb_key = f"rgb_{index:06d}"
+            rgb_key = f"{key_prefix}rgb_{index:06d}"
             arrays[rgb_key] = record.image.rgb
             entry["rgb"] = rgb_key
         manifest["images"].append(entry)
+    packed = database.cached_packed
+    if packed is not None:
+        instances_key = f"{key_prefix}packed_instances"
+        offsets_key = f"{key_prefix}packed_offsets"
+        arrays[instances_key] = packed.instances
+        arrays[offsets_key] = packed.offsets
+        manifest["packed"] = {"instances": instances_key, "offsets": offsets_key}
+    return manifest, arrays
+
+
+def database_from_payload(
+    manifest: Mapping, arrays: Mapping[str, np.ndarray]
+) -> ImageDatabase:
+    """Inverse of :func:`database_payload`.
+
+    Restores the cached packed corpus when the manifest carries one,
+    verifying it against the restored images (id coverage, bag structure,
+    feature dimensionality) — a snapshot whose packed view does not match
+    its own images raises instead of silently serving wrong rankings.
+
+    Raises:
+        DatabaseError: on a malformed manifest or an inconsistent packed view.
+    """
+    version = manifest.get("version")
+    if version not in SUPPORTED_VERSIONS:
+        raise DatabaseError(
+            f"snapshot has version {version}, "
+            f"expected one of {SUPPORTED_VERSIONS}"
+        )
+    try:
+        config_info = manifest["config"]
+        config = FeatureConfig(
+            resolution=int(config_info["resolution"]),
+            region_family=region_family(config_info["region_family"]),
+            include_mirrors=bool(config_info["include_mirrors"]),
+            variance_threshold=float(config_info["variance_threshold"]),
+            keep_full_frame=bool(config_info["keep_full_frame"]),
+        )
+        database = ImageDatabase(feature_config=config, name=manifest.get("name", ""))
+        for entry in manifest["images"]:
+            gray = arrays[entry["gray"]]
+            if "rgb" in entry:
+                image = GrayImage(
+                    pixels=gray,
+                    image_id=entry["id"],
+                    category=entry["category"],
+                    _rgb=arrays[entry["rgb"]],
+                )
+                database.add_image(image, entry["category"], image_id=entry["id"])
+            else:
+                database.add_image(gray, entry["category"], image_id=entry["id"])
+        packed_info = manifest.get("packed")
+        if packed_info is not None:
+            packed = PackedCorpus(
+                instances=arrays[packed_info["instances"]],
+                offsets=arrays[packed_info["offsets"]],
+                image_ids=[entry["id"] for entry in manifest["images"]],
+                categories=[entry["category"] for entry in manifest["images"]],
+            )
+            if packed.n_dims != config.n_dims:
+                raise DatabaseError(
+                    f"snapshot packed corpus has {packed.n_dims}-dim instances "
+                    f"but the feature configuration produces {config.n_dims}"
+                )
+            database.adopt_packed(packed)
+    except KeyError as exc:
+        raise DatabaseError(f"snapshot manifest is missing key {exc}") from exc
+    except (TypeError, ValueError) as exc:
+        # e.g. "resolution": null, or "images" holding the wrong shape —
+        # the loader's contract is DatabaseError, not a raw traceback.
+        raise DatabaseError(f"snapshot manifest is malformed: {exc}") from exc
+    return database
+
+
+def save_database(database: ImageDatabase, path: str | Path) -> Path:
+    """Write a snapshot; returns the path written.
+
+    The snapshot is a single ``.npz`` with one gray array per image plus a
+    JSON manifest entry (ids, categories, configuration).  When the database
+    holds a cached packed corpus (it served at least one full ranking), the
+    packed arrays are included so :func:`load_database` restores a warm view.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    manifest, arrays = database_payload(database)
     arrays["manifest"] = np.frombuffer(
         json.dumps(manifest).encode("utf-8"), dtype=np.uint8
     )
@@ -66,7 +173,8 @@ def load_database(path: str | Path) -> ImageDatabase:
     """Read a snapshot back into a fresh :class:`ImageDatabase`.
 
     Raises:
-        DatabaseError: on a missing file or malformed snapshot.
+        DatabaseError: on a missing file, malformed snapshot or unsupported
+            format version.
     """
     path = Path(path)
     if not path.exists():
@@ -80,30 +188,4 @@ def load_database(path: str | Path) -> ImageDatabase:
             manifest = json.loads(bytes(payload["manifest"]).decode("utf-8"))
         except (KeyError, json.JSONDecodeError) as exc:
             raise DatabaseError(f"snapshot {path} has no valid manifest: {exc}") from exc
-        if manifest.get("version") != _FORMAT_VERSION:
-            raise DatabaseError(
-                f"snapshot {path} has version {manifest.get('version')}, "
-                f"expected {_FORMAT_VERSION}"
-            )
-        config_info = manifest["config"]
-        config = FeatureConfig(
-            resolution=int(config_info["resolution"]),
-            region_family=region_family(config_info["region_family"]),
-            include_mirrors=bool(config_info["include_mirrors"]),
-            variance_threshold=float(config_info["variance_threshold"]),
-            keep_full_frame=bool(config_info["keep_full_frame"]),
-        )
-        database = ImageDatabase(feature_config=config, name=manifest.get("name", ""))
-        for entry in manifest["images"]:
-            gray = payload[entry["gray"]]
-            if "rgb" in entry:
-                image = GrayImage(
-                    pixels=gray,
-                    image_id=entry["id"],
-                    category=entry["category"],
-                    _rgb=payload[entry["rgb"]],
-                )
-                database.add_image(image, entry["category"], image_id=entry["id"])
-            else:
-                database.add_image(gray, entry["category"], image_id=entry["id"])
-    return database
+        return database_from_payload(manifest, payload)

@@ -57,3 +57,15 @@ class EvaluationError(ReproError):
 
 class DatasetError(ReproError):
     """A synthetic dataset generator was configured incorrectly."""
+
+
+class CodecError(ReproError):
+    """A wire payload cannot be encoded or decoded (bad kind, version or fields)."""
+
+
+class SessionError(ReproError):
+    """A serving session token is unknown, expired or misused."""
+
+
+class ServeError(ReproError):
+    """The serving layer was configured or invoked incorrectly."""

@@ -1,0 +1,92 @@
+"""The serving subsystem: versioned wire format + multi-tenant workers.
+
+Everything needed to consume the retrieval system across a process
+boundary, layered bottom-up:
+
+:mod:`repro.serve.codec`
+    Schema-versioned JSON codecs for every wire DTO (``Query``,
+    ``QueryResult``, ``LearnedConcept``, ``TrainingResult``, cache
+    counters).  Unknown versions are rejected, unknown fields tolerated,
+    and ``decode(encode(x))`` is exact.
+:mod:`repro.serve.sessions`
+    :class:`SessionStore` — token-addressed, TTL-expiring, LRU-bounded
+    multi-tenant :class:`~repro.session.RetrievalSession` resources, so
+    relevance-feedback loops survive stateless requests.
+:mod:`repro.serve.app`
+    :class:`ServiceApp` — the transport-agnostic facade: ``query`` /
+    ``batch_query`` / ``feedback`` / ``rank`` / ``health`` / ``stats`` as
+    dict-in/dict-out endpoints.
+:mod:`repro.serve.http`
+    :class:`ReproServer` (stdlib ``http.server`` worker) and
+    :class:`ReproClient` (decoding thin client) — ``repro serve`` /
+    ``repro client-query`` on the CLI.
+:mod:`repro.serve.snapshot`
+    :func:`save_service` / :func:`load_service` — warm-worker snapshots
+    (database + packed corpora + trained-concept cache), so new workers
+    answer repeated queries with zero retrains.
+
+Quickstart::
+
+    from repro import quick_database
+    from repro.api.service import RetrievalService
+    from repro.serve import ReproClient, ReproServer, ServiceApp
+
+    service = RetrievalService(quick_database("scenes", seed=7))
+    with ReproServer(ServiceApp(service), port=0) as server:
+        client = ReproClient(server.url)
+        print(client.health()["status"])
+"""
+
+from repro.serve.app import ServiceApp, error_payload, handle_safely
+from repro.serve.codec import (
+    WIRE_VERSION,
+    decode,
+    decode_cache_stats,
+    decode_concept,
+    decode_query,
+    decode_query_result,
+    decode_ranking,
+    decode_training_result,
+    encode,
+    encode_cache_stats,
+    encode_concept,
+    encode_query,
+    encode_query_result,
+    encode_ranking,
+    encode_training_result,
+    open_envelope,
+    wire_equal,
+)
+from repro.serve.http import ReproClient, ReproServer
+from repro.serve.sessions import FeedbackRoundResult, SessionStore
+from repro.serve.snapshot import SnapshotInfo, load_service, save_service
+
+__all__ = [
+    "WIRE_VERSION",
+    "ServiceApp",
+    "SessionStore",
+    "FeedbackRoundResult",
+    "ReproServer",
+    "ReproClient",
+    "SnapshotInfo",
+    "save_service",
+    "load_service",
+    "encode",
+    "decode",
+    "wire_equal",
+    "open_envelope",
+    "encode_query",
+    "decode_query",
+    "encode_query_result",
+    "decode_query_result",
+    "encode_ranking",
+    "decode_ranking",
+    "encode_concept",
+    "decode_concept",
+    "encode_training_result",
+    "decode_training_result",
+    "encode_cache_stats",
+    "decode_cache_stats",
+    "error_payload",
+    "handle_safely",
+]

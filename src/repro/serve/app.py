@@ -1,0 +1,279 @@
+"""The transport-agnostic serving facade.
+
+:class:`ServiceApp` exposes the retrieval system as six plain
+dict-in/dict-out endpoints — ``query``, ``batch_query``, ``feedback``,
+``rank``, ``health`` and ``stats`` — over one shared
+:class:`~repro.api.service.RetrievalService` and one multi-tenant
+:class:`~repro.serve.sessions.SessionStore`.  Payloads are the versioned
+wire envelopes of :mod:`repro.serve.codec`; the app never touches a socket,
+so the same instance serves the stdlib HTTP transport
+(:mod:`repro.serve.http`), an in-process test driver, or any transport a
+deployment prefers (WSGI, gRPC, a queue) without change.
+
+Endpoints are stateless with one deliberate exception: ``feedback`` (and
+session-addressed ``rank``) resolve their token through the session store,
+which is exactly the state a relevance-feedback loop needs to survive
+stateless requests.
+
+Request/response shapes (all enveloped, version-checked)::
+
+    query        <- {"kind": "query", ...}                      -> query_result
+    batch_query  <- {"kind": "batch_query", "queries": [...]}   -> batch_query_result
+    feedback     <- {"kind": "feedback", "session": tok|None,   -> feedback_result
+                     "add_positive_ids": [...], ...}
+    rank         <- {"kind": "rank", "session": tok             -> rank_result
+                     | "concept": {...}, "top_k": ...}
+    health       <- (no payload)                                -> health
+    stats        <- (no payload)                                -> stats
+
+Errors raise the package's typed exceptions (:class:`CodecError`,
+:class:`QueryError`, :class:`SessionError`, ...); transports map them to
+their native failure shape (:func:`error_payload` builds the wire form).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.api.learners import available_learners
+from repro.api.service import RetrievalService
+from repro.core.retrieval import Ranker
+from repro.serve import codec
+from repro.serve.sessions import SessionStore
+from repro.errors import CodecError, QueryError, ReproError, SessionError
+from repro.version import __version__
+
+
+def error_payload(exc: BaseException) -> dict:
+    """The wire form of a failure (an enveloped ``error`` payload)."""
+    return codec.envelope(
+        "error",
+        {"error": type(exc).__name__, "message": str(exc)},
+    )
+
+
+class ServiceApp:
+    """Dict-in/dict-out serving endpoints over one retrieval service.
+
+    Args:
+        service: the warmed retrieval service to serve.
+        sessions: an existing session store to use; one is created over
+            ``service`` by default.
+        name: service name reported by ``health``.
+    """
+
+    #: Endpoint names accepted by :meth:`dispatch`.
+    ENDPOINTS = ("query", "batch_query", "feedback", "rank", "health", "stats")
+
+    #: Server-side ceiling on the wire-requested ``batch_query`` worker
+    #: count — the request may ask, but it does not size our thread pool.
+    MAX_BATCH_WORKERS = 16
+
+    def __init__(
+        self,
+        service: RetrievalService,
+        sessions: SessionStore | None = None,
+        name: str = "repro",
+    ) -> None:
+        if sessions is not None and sessions.service is not service:
+            raise SessionError("the session store must wrap the served service")
+        self._service = service
+        # `is not None`, not truthiness: a freshly built store is empty and
+        # __len__-falsy, but its TTL/capacity configuration must be kept.
+        self._sessions = sessions if sessions is not None else SessionStore(service)
+        self._name = name
+
+    @property
+    def service(self) -> RetrievalService:
+        """The underlying retrieval service."""
+        return self._service
+
+    @property
+    def sessions(self) -> SessionStore:
+        """The multi-tenant session store."""
+        return self._sessions
+
+    def dispatch(self, endpoint: str, payload: Mapping | None = None) -> dict:
+        """Route one request by endpoint name.
+
+        Raises:
+            QueryError: unknown endpoint.
+            CodecError / ReproError subclasses: whatever the endpoint raises.
+        """
+        name = endpoint.replace("-", "_")
+        if name not in self.ENDPOINTS:
+            raise QueryError(
+                f"unknown endpoint {endpoint!r} "
+                f"(known: {', '.join(self.ENDPOINTS)})"
+            )
+        if name in ("health", "stats"):
+            return getattr(self, name)()
+        return getattr(self, name)(payload)
+
+    # ------------------------------------------------------------------ #
+    # Stateless retrieval                                                 #
+    # ------------------------------------------------------------------ #
+
+    def query(self, payload: Mapping) -> dict:
+        """Execute one wire query; returns the wire result.
+
+        The result is exactly what an in-process
+        :meth:`RetrievalService.query` returns, encoded — served and
+        embedded rankings are interchangeable.
+        """
+        query = codec.decode_query(payload)
+        return codec.encode_query_result(self._service.query(query))
+
+    def batch_query(self, payload: Mapping) -> dict:
+        """Execute a batch of wire queries (optionally multi-worker)."""
+        data = codec.open_envelope(payload, "batch_query")
+        queries_field = data.get("queries")
+        if not isinstance(queries_field, (list, tuple)):
+            raise CodecError("batch_query payload needs a 'queries' list")
+        queries = [codec.decode_query(entry) for entry in queries_field]
+        workers = data.get("workers")
+        if workers is not None:
+            workers = min(int(workers), self.MAX_BATCH_WORKERS)
+        results = self._service.batch_query(queries, workers=workers)
+        return codec.envelope(
+            "batch_query_result",
+            {"results": [codec.encode_query_result(result) for result in results]},
+        )
+
+    def rank(self, payload: Mapping) -> dict:
+        """Rank the database with a session's model or an explicit concept.
+
+        With ``"session"``, re-ranks using that tenant's current trained
+        model (examples excluded, no retraining).  With ``"concept"``, ranks
+        the region corpus against a concept shipped over the wire — the
+        train-once / rank-anywhere path.
+        """
+        data = codec.open_envelope(payload, "rank")
+        top_k = data.get("top_k")
+        category_filter = data.get("category_filter")
+        token = data.get("session")
+        if token is not None:
+            session = self._sessions.get(str(token))
+            ranking = session.rank(
+                data.get("candidate_ids"),
+                top_k=None if top_k is None else int(top_k),
+                category_filter=category_filter,
+                exclude=tuple(data.get("exclude", ())),
+            )
+        elif data.get("concept") is not None:
+            concept = codec.decode_concept(data["concept"])
+            candidate_ids = data.get("candidate_ids")
+            packed = self._service.database.packed(
+                None if candidate_ids is None else tuple(candidate_ids)
+            )
+            ranking = Ranker().rank(
+                concept,
+                packed,
+                top_k=None if top_k is None else int(top_k),
+                exclude=tuple(data.get("exclude", ())),
+                category_filter=category_filter,
+            )
+        else:
+            raise CodecError("rank payload needs a 'session' token or a 'concept'")
+        return codec.envelope("rank_result", {"ranking": codec.encode_ranking(ranking)})
+
+    # ------------------------------------------------------------------ #
+    # Stateful feedback                                                   #
+    # ------------------------------------------------------------------ #
+
+    def feedback(self, payload: Mapping) -> dict:
+        """One relevance-feedback round for a (possibly new) session.
+
+        Without a ``"session"`` token a session is created (honouring
+        ``"learner"`` / ``"params"``) — the response always echoes the token
+        so the client can continue the loop.
+        """
+        data = codec.open_envelope(payload, "feedback")
+        token = data.get("session")
+        created = token is None
+        if created:
+            params = data.get("params")
+            token = self._sessions.create(
+                learner=str(data.get("learner", "dd")),
+                params=None if params is None else dict(params),
+            )
+        top_k = data.get("top_k")
+        try:
+            round_result = self._sessions.feedback_round(
+                str(token),
+                add_positive_ids=tuple(data.get("add_positive_ids", ())),
+                add_negative_ids=tuple(data.get("add_negative_ids", ())),
+                false_positive_ids=tuple(data.get("false_positive_ids", ())),
+                rank=bool(data.get("rank", True)),
+                top_k=None if top_k is None else int(top_k),
+                category_filter=data.get("category_filter"),
+            )
+        except Exception:
+            # A round that never succeeded should not leave an orphaned
+            # session behind: the client has no token to continue with, and
+            # retry storms would otherwise fill max_sessions with orphans.
+            if created:
+                self._sessions.drop(str(token))
+            raise
+        concept = round_result.concept
+        return codec.envelope(
+            "feedback_result",
+            {
+                "session": round_result.token,
+                "positive_ids": list(round_result.positive_ids),
+                "negative_ids": list(round_result.negative_ids),
+                "ranking": (
+                    None
+                    if round_result.ranking is None
+                    else codec.encode_ranking(round_result.ranking)
+                ),
+                "concept": None if concept is None else codec.encode_concept(concept),
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                       #
+    # ------------------------------------------------------------------ #
+
+    def health(self) -> dict:
+        """Liveness + identity (cheap enough for load-balancer probes)."""
+        return codec.envelope(
+            "health",
+            {
+                "status": "ok",
+                "service": self._name,
+                "package_version": __version__,
+                "wire_version": codec.WIRE_VERSION,
+                "database": self._service.database.name,
+                "n_images": len(self._service.database),
+                "learners": list(available_learners()),
+            },
+        )
+
+    def stats(self) -> dict:
+        """Serving counters: service (incl. concept cache) and sessions."""
+        return codec.envelope(
+            "stats",
+            {
+                "service": self._service.stats(),
+                "sessions": self._sessions.stats(),
+            },
+        )
+
+
+def handle_safely(app: ServiceApp, endpoint: str, payload: Mapping | None) -> tuple[int, dict]:
+    """Dispatch and map failures to ``(status, wire payload)``.
+
+    The shared transport glue: 200 on success, 404 for unknown sessions,
+    400 for every other deliberate package error, 500 for genuine bugs.
+    Transports that have status codes (HTTP) use the integer directly;
+    others can key off the payload's ``kind``.
+    """
+    try:
+        return 200, app.dispatch(endpoint, payload)
+    except SessionError as exc:
+        return 404, error_payload(exc)
+    except ReproError as exc:
+        return 400, error_payload(exc)
+    except Exception as exc:  # noqa: BLE001 - the server must not die mid-request
+        return 500, error_payload(exc)

@@ -1,0 +1,353 @@
+"""Stdlib HTTP transport for the serving layer.
+
+:class:`ReproServer` binds a :class:`~repro.serve.app.ServiceApp` to a
+threaded ``http.server`` — no third-party web framework, so any box with a
+Python interpreter can serve the retrieval API.  :class:`ReproClient` is
+the matching thin client: it speaks the same versioned wire format and
+hands back *decoded* package objects (:class:`~repro.api.query.QueryResult`,
+:class:`~repro.core.retrieval.RetrievalResult`, ...), so remote and
+in-process retrieval are interchangeable at the call site.
+
+Routes (all JSON, wire-enveloped)::
+
+    POST /v1/query         POST /v1/batch_query
+    POST /v1/feedback      POST /v1/rank
+    GET  /v1/health        GET  /v1/stats
+
+Errors come back as enveloped ``error`` payloads with an HTTP status (400
+bad request, 404 unknown session, 500 bug); the client re-raises them as
+the matching :class:`~repro.errors.ReproError` subclass.
+
+The server is intentionally a *worker*, not a load balancer: run one per
+core/host behind whatever fronting tier the deployment has, and start them
+hot from a snapshot (:mod:`repro.serve.snapshot`).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Mapping, Sequence
+from urllib import error as urlerror
+from urllib import request as urlrequest
+
+from repro import errors as errors_module
+from repro.api.query import Query, QueryResult
+from repro.core.concept import LearnedConcept
+from repro.core.retrieval import RetrievalResult
+from repro.errors import CodecError, ReproError, ServeError
+from repro.serve import codec
+from repro.serve.app import ServiceApp, error_payload, handle_safely
+
+_API_PREFIX = "/v1/"
+
+#: Largest request body a worker will buffer.  Generous for real payloads
+#: (a 1000-query batch is well under 1 MiB) while bounding what a single
+#: connection can make the process hold in memory.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request: parse JSON, dispatch to the app, write the wire reply."""
+
+    app: ServiceApp  # injected by ReproServer via a subclass attribute
+    protocol_version = "HTTP/1.1"
+
+    # The default handler logs every request to stderr; a serving worker
+    # should stay quiet unless asked.
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    def _endpoint(self) -> str | None:
+        if not self.path.startswith(_API_PREFIX):
+            return None
+        return self.path[len(_API_PREFIX):].strip("/")
+
+    def _reply(self, status: int, payload: Mapping) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            # Tell the client explicitly; set when the connection cannot be
+            # kept in sync (e.g. an undrainable request body).
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        endpoint = self._endpoint()
+        if endpoint not in ("health", "stats"):
+            self._reply(404, error_payload(ServeError(f"no GET route {self.path!r}")))
+            return
+        status, payload = handle_safely(self.app, endpoint, None)
+        self._reply(status, payload)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        # Always drain the body first: replying without reading it would
+        # desync a keep-alive connection (the unread bytes get parsed as
+        # the next request line).
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            # The body length is unknowable, so the connection cannot be
+            # resynchronised — reply and close it.
+            self.close_connection = True
+            self._reply(
+                400, error_payload(CodecError("malformed Content-Length header"))
+            )
+            return
+        if length > MAX_BODY_BYTES:
+            # Refuse to buffer it; draining would be as expensive as
+            # reading, so close the connection instead.
+            self.close_connection = True
+            self._reply(
+                413,
+                error_payload(
+                    CodecError(
+                        f"request body of {length} bytes exceeds the "
+                        f"{MAX_BODY_BYTES}-byte limit"
+                    )
+                ),
+            )
+            return
+        raw = self.rfile.read(length) if length > 0 else b""
+        endpoint = self._endpoint()
+        if endpoint is None:
+            self._reply(404, error_payload(ServeError(f"no POST route {self.path!r}")))
+            return
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else None
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._reply(400, error_payload(CodecError(f"request body is not JSON: {exc}")))
+            return
+        status, reply = handle_safely(self.app, endpoint, payload)
+        self._reply(status, reply)
+
+
+class ReproServer:
+    """A threaded HTTP worker serving one :class:`ServiceApp`.
+
+    Args:
+        app: the serving facade (or build one from a service via
+            ``ReproServer(ServiceApp(service))``).
+        host: bind address.
+        port: bind port; ``0`` picks a free one (see :attr:`port`).
+
+    Usage::
+
+        with ReproServer(ServiceApp(service), port=0) as server:
+            client = ReproClient(server.url)
+            result = client.query(query)
+    """
+
+    def __init__(self, app: ServiceApp, host: str = "127.0.0.1", port: int = 8000) -> None:
+        handler = type("_BoundHandler", (_Handler,), {"app": app})
+        self._app = app
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def app(self) -> ServiceApp:
+        """The serving facade behind this server."""
+        return self._app
+
+    @property
+    def host(self) -> str:
+        """The bound address."""
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0``)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should talk to."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ReproServer":
+        """Serve on a background thread; returns ``self``."""
+        if self._thread is not None:
+            raise ServeError("server is already running")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`stop` (CLI path)."""
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        """Stop serving and release the socket."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ReproServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def _raise_wire_error(payload: Any, status: int) -> None:
+    """Re-raise a wire ``error`` payload as its package exception."""
+    message = f"server returned HTTP {status}"
+    if isinstance(payload, Mapping):
+        name = payload.get("error")
+        message = str(payload.get("message", message))
+        cls = getattr(errors_module, str(name), None)
+        if isinstance(cls, type) and issubclass(cls, ReproError):
+            raise cls(message)
+    raise ServeError(message)
+
+
+class ReproClient:
+    """Thin wire client for a :class:`ReproServer`.
+
+    Args:
+        base_url: e.g. ``http://127.0.0.1:8000`` (with or without ``/v1``).
+        timeout: per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self._base = base_url.rstrip("/")
+        if self._base.endswith("/v1"):
+            self._base = self._base[:-3]
+        self._timeout = timeout
+
+    def _call(self, endpoint: str, payload: Mapping | None = None) -> dict:
+        url = f"{self._base}/v1/{endpoint}"
+        if payload is None:
+            req = urlrequest.Request(url, method="GET")
+        else:
+            req = urlrequest.Request(
+                url,
+                data=json.dumps(payload).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+        try:
+            with urlrequest.urlopen(req, timeout=self._timeout) as response:
+                body = json.loads(response.read().decode("utf-8"))
+        except urlerror.HTTPError as exc:
+            try:
+                body = json.loads(exc.read().decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                body = None
+            _raise_wire_error(body, exc.code)
+        except urlerror.URLError as exc:
+            raise ServeError(f"cannot reach {url}: {exc.reason}") from exc
+        return body
+
+    # ------------------------------------------------------------------ #
+    # Endpoints                                                           #
+    # ------------------------------------------------------------------ #
+
+    def query(self, query: Query) -> QueryResult:
+        """Run one query remotely; returns the decoded result."""
+        return codec.decode_query_result(self._call("query", codec.encode_query(query)))
+
+    def batch_query(
+        self, queries: Sequence[Query], workers: int | None = None
+    ) -> list[QueryResult]:
+        """Run many queries remotely (request order preserved)."""
+        payload = codec.envelope(
+            "batch_query",
+            {
+                "queries": [codec.encode_query(query) for query in queries],
+                "workers": workers,
+            },
+        )
+        body = codec.open_envelope(
+            self._call("batch_query", payload), "batch_query_result"
+        )
+        return [codec.decode_query_result(entry) for entry in body["results"]]
+
+    def feedback(
+        self,
+        session: str | None = None,
+        *,
+        learner: str = "dd",
+        params: Mapping[str, object] | None = None,
+        add_positive_ids: Sequence[str] = (),
+        add_negative_ids: Sequence[str] = (),
+        false_positive_ids: Sequence[str] = (),
+        rank: bool = True,
+        top_k: int | None = None,
+        category_filter: str | None = None,
+    ) -> dict:
+        """One feedback round; creates a session when ``session`` is None.
+
+        Returns a dict with the ``"session"`` token, the example id lists,
+        and (when ranking ran) a decoded ``"ranking"``
+        :class:`RetrievalResult` and ``"concept"``
+        :class:`LearnedConcept`.
+        """
+        payload = codec.envelope(
+            "feedback",
+            {
+                "session": session,
+                "learner": learner,
+                "params": None if params is None else dict(params),
+                "add_positive_ids": list(add_positive_ids),
+                "add_negative_ids": list(add_negative_ids),
+                "false_positive_ids": list(false_positive_ids),
+                "rank": rank,
+                "top_k": top_k,
+                "category_filter": category_filter,
+            },
+        )
+        body = codec.open_envelope(self._call("feedback", payload), "feedback_result")
+        ranking = body.get("ranking")
+        concept = body.get("concept")
+        return {
+            "session": body["session"],
+            "positive_ids": tuple(body.get("positive_ids", ())),
+            "negative_ids": tuple(body.get("negative_ids", ())),
+            "ranking": None if ranking is None else codec.decode_ranking(ranking),
+            "concept": None if concept is None else codec.decode_concept(concept),
+        }
+
+    def rank(
+        self,
+        *,
+        session: str | None = None,
+        concept: LearnedConcept | None = None,
+        candidate_ids: Sequence[str] | None = None,
+        exclude: Sequence[str] = (),
+        top_k: int | None = None,
+        category_filter: str | None = None,
+    ) -> RetrievalResult:
+        """Re-rank remotely with a session's model or an explicit concept."""
+        payload = codec.envelope(
+            "rank",
+            {
+                "session": session,
+                "concept": None if concept is None else codec.encode_concept(concept),
+                "candidate_ids": (
+                    None if candidate_ids is None else list(candidate_ids)
+                ),
+                "exclude": list(exclude),
+                "top_k": top_k,
+                "category_filter": category_filter,
+            },
+        )
+        body = codec.open_envelope(self._call("rank", payload), "rank_result")
+        return codec.decode_ranking(body["ranking"])
+
+    def health(self) -> dict:
+        """The server's health envelope (validated)."""
+        return codec.open_envelope(self._call("health"), "health")
+
+    def stats(self) -> dict:
+        """The server's stats envelope (validated)."""
+        return codec.open_envelope(self._call("stats"), "stats")

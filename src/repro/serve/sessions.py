@@ -1,0 +1,294 @@
+"""Token-addressed retrieval sessions for stateless serving.
+
+The paper's relevance-feedback workflow is inherently stateful — the user
+accumulates positive/negative examples across rounds — but HTTP requests
+are not.  :class:`SessionStore` bridges the two: it turns
+:class:`~repro.session.RetrievalSession` into a multi-tenant resource
+addressed by an opaque token.
+
+* ``create`` mints a token and a session bound to the store's shared
+  :class:`~repro.api.service.RetrievalService` (one database, one concept
+  cache — tenants share cache *hits* but never examples);
+* ``feedback_round`` applies one round of example edits + train/rank under
+  a per-session lock, so concurrent requests for the same token serialise
+  while distinct tenants proceed in parallel;
+* sessions expire after ``ttl_seconds`` of inactivity and the store holds
+  at most ``max_sessions`` (least-recently-used evicted first), so an
+  abandoned tenant can never pin memory forever.
+
+The clock is injectable (monotonic seconds) so expiry is testable without
+sleeping.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.api.service import RetrievalService
+from repro.core.concept import LearnedConcept
+from repro.core.retrieval import RetrievalResult
+from repro.errors import SessionError
+from repro.session import RetrievalSession
+
+
+@dataclass
+class _Entry:
+    session: RetrievalSession
+    deadline: float
+    lock: threading.Lock
+
+
+@dataclass(frozen=True)
+class FeedbackRoundResult:
+    """What one serving feedback round produced.
+
+    Attributes:
+        token: the session token (echoed back so create-on-first-use flows
+            can keep the handle).
+        positive_ids: the session's positive examples after the round.
+        negative_ids: the session's negative examples after the round.
+        ranking: the fresh ranking, or ``None`` when ``rank=False``.
+        concept: the concept trained this round (captured under the
+            session lock — consistent with ``ranking`` even under
+            concurrent rounds), or ``None`` when not trained / not a
+            concept learner.
+    """
+
+    token: str
+    positive_ids: tuple[str, ...]
+    negative_ids: tuple[str, ...]
+    ranking: RetrievalResult | None
+    concept: LearnedConcept | None = None
+
+
+class SessionStore:
+    """Thread-safe, bounded, expiring store of retrieval sessions.
+
+    Args:
+        service: the shared retrieval service every session queries
+            through (and whose concept cache all tenants share).
+        ttl_seconds: idle lifetime; any access (get/feedback) refreshes it.
+        max_sessions: capacity; creating past it evicts the
+            least-recently-used session.
+        clock: monotonic-seconds source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        service: RetrievalService,
+        *,
+        ttl_seconds: float = 1800.0,
+        max_sessions: int = 1024,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if ttl_seconds <= 0:
+            raise SessionError(f"ttl_seconds must be > 0, got {ttl_seconds}")
+        if max_sessions < 1:
+            raise SessionError(f"max_sessions must be >= 1, got {max_sessions}")
+        self._service = service
+        self._ttl = float(ttl_seconds)
+        self._max_sessions = int(max_sessions)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, _Entry] = OrderedDict()
+        # Earliest deadline any entry can have; sweeps are skipped until the
+        # clock reaches it, so the hot path never pays an O(n) scan.
+        self._soonest_deadline = float("inf")
+        self._n_created = 0
+        self._n_expired = 0
+        self._n_evicted = 0
+
+    @property
+    def service(self) -> RetrievalService:
+        """The shared retrieval service."""
+        return self._service
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle                                                           #
+    # ------------------------------------------------------------------ #
+
+    def create(
+        self,
+        learner: str = "dd",
+        params: dict[str, object] | None = None,
+        **session_kwargs,
+    ) -> str:
+        """Mint a new session; returns its token.
+
+        Args:
+            learner: registry name the session trains with.
+            params: explicit learner parameters (see
+                :class:`~repro.session.RetrievalSession`'s
+                ``learner_params``).
+            session_kwargs: forwarded to :class:`RetrievalSession` (scheme,
+                beta, seed, ...; ignored when ``params`` is given).
+        """
+        session = RetrievalSession(
+            self._service.database,
+            learner=learner,
+            learner_params=params,
+            service=self._service,
+            **session_kwargs,
+        )
+        token = secrets.token_hex(16)
+        now = self._clock()
+        with self._lock:
+            self._sweep_locked(now)
+            while len(self._entries) >= self._max_sessions:
+                victim = self._lru_idle_token_locked()
+                if victim is None:
+                    raise SessionError(
+                        "session store is full and every session is mid-round"
+                    )
+                del self._entries[victim]
+                self._n_evicted += 1
+            deadline = now + self._ttl
+            self._entries[token] = _Entry(
+                session=session, deadline=deadline, lock=threading.Lock()
+            )
+            self._soonest_deadline = min(self._soonest_deadline, deadline)
+            self._n_created += 1
+        return token
+
+    def _lru_idle_token_locked(self) -> str | None:
+        """The least-recently-used token whose round is not in flight.
+
+        A session holding its round lock is actively training — evicting
+        it would silently destroy a live tenant's examples, so eviction
+        skips it and takes the next-idlest instead.
+        """
+        for token, entry in self._entries.items():
+            if not entry.lock.locked():
+                return token
+        return None
+
+    def get(self, token: str) -> RetrievalSession:
+        """The live session for a token (refreshes its TTL).
+
+        Raises:
+            SessionError: unknown or expired token.
+        """
+        return self._entry(token).session
+
+    def drop(self, token: str) -> bool:
+        """Explicitly end a session; returns whether it existed."""
+        with self._lock:
+            return self._entries.pop(token, None) is not None
+
+    def expire(self) -> int:
+        """Sweep expired sessions now; returns how many were dropped."""
+        with self._lock:
+            before = len(self._entries)
+            self._sweep_locked(self._clock())
+            return before - len(self._entries)
+
+    def _entry(self, token: str) -> _Entry:
+        now = self._clock()
+        with self._lock:
+            self._sweep_locked(now)
+            entry = self._entries.get(token)
+            if entry is None:
+                raise SessionError(f"unknown or expired session token {token!r}")
+            entry.deadline = now + self._ttl
+            self._entries.move_to_end(token)
+            return entry
+
+    def _sweep_locked(self, now: float) -> None:
+        # Deadlines only ever move later (touch refreshes), so nothing can
+        # have expired before the soonest deadline recorded at insert time.
+        if now < self._soonest_deadline:
+            return
+        expired = [
+            token
+            for token, entry in self._entries.items()
+            # A held round lock means the tenant is mid-training right now;
+            # a live round must not have its session destroyed under it.
+            if entry.deadline <= now and not entry.lock.locked()
+        ]
+        for token in expired:
+            del self._entries[token]
+        self._n_expired += len(expired)
+        self._soonest_deadline = min(
+            (entry.deadline for entry in self._entries.values()),
+            default=float("inf"),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Feedback                                                            #
+    # ------------------------------------------------------------------ #
+
+    def feedback_round(
+        self,
+        token: str,
+        *,
+        add_positive_ids: Sequence[str] = (),
+        add_negative_ids: Sequence[str] = (),
+        false_positive_ids: Sequence[str] = (),
+        rank: bool = True,
+        top_k: int | None = None,
+        category_filter: str | None = None,
+    ) -> FeedbackRoundResult:
+        """One serving round: apply example edits, then train and rank.
+
+        Runs under the session's own lock, so concurrent rounds on the same
+        token serialise (examples never interleave) while other tenants are
+        untouched.  With ``rank=False`` only the example edits are applied.
+
+        The edits are atomic: every id across all three lists is validated
+        before any is applied, so a rejected round leaves the session's
+        examples untouched and the client can simply retry with a corrected
+        request.  (A :class:`TrainingError` from the ranking step happens
+        *after* valid edits were applied — retry with ``rank`` only.)
+
+        Raises:
+            SessionError: unknown or expired token.
+            DatabaseError: an edit references an unknown image, an existing
+                example, or a duplicate across the edit lists (nothing is
+                applied).
+            TrainingError: ranking requested with no positive example.
+        """
+        entry = self._entry(token)
+        with entry.lock:
+            session = entry.session
+            session.apply_edits(
+                add_positive_ids=tuple(add_positive_ids),
+                add_negative_ids=tuple(add_negative_ids),
+                false_positive_ids=tuple(false_positive_ids),
+            )
+            ranking = None
+            if rank:
+                ranking = session.train_and_rank(
+                    top_k=top_k, category_filter=category_filter
+                )
+            return FeedbackRoundResult(
+                token=token,
+                positive_ids=session.positive_ids,
+                negative_ids=session.negative_ids,
+                ranking=ranking,
+                concept=session.peek_concept(),
+            )
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                       #
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        """Point-in-time session counters (plain JSON-safe dict)."""
+        with self._lock:
+            return {
+                "active": len(self._entries),
+                "created": self._n_created,
+                "expired": self._n_expired,
+                "evicted": self._n_evicted,
+                "ttl_seconds": self._ttl,
+                "max_sessions": self._max_sessions,
+            }

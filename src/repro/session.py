@@ -177,14 +177,38 @@ class RetrievalSession:
             DatabaseError: on an unknown id, an id that is already an
                 example, or a duplicate within ``image_ids``.
         """
-        ids = list(image_ids)
+        self.apply_edits(false_positive_ids=tuple(image_ids))
+
+    def apply_edits(
+        self,
+        add_positive_ids: tuple[str, ...] | list[str] = (),
+        add_negative_ids: tuple[str, ...] | list[str] = (),
+        false_positive_ids: tuple[str, ...] | list[str] = (),
+    ) -> None:
+        """Apply one round of example edits atomically.
+
+        Every id across all three lists is validated (in the database, not
+        already an example, no duplicates) before any is applied, so a
+        rejected edit leaves the session untouched — the contract the
+        serving layer relies on for safe client retries.  False positives
+        become negative examples.
+
+        Raises:
+            DatabaseError: on an unknown id, an id that is already an
+                example, or a duplicate across the lists (nothing applied).
+        """
+        ids = (*add_positive_ids, *add_negative_ids, *false_positive_ids)
         seen: set[str] = set()
         for image_id in ids:
             if image_id in seen:
-                raise DatabaseError(f"duplicate image id {image_id!r} in feedback")
+                raise DatabaseError(
+                    f"duplicate image id {image_id!r} across example edits"
+                )
             self._validate_new_example(image_id)
             seen.add(image_id)
-        self._negative_ids.extend(ids)
+        self._positive_ids.extend(add_positive_ids)
+        self._negative_ids.extend(add_negative_ids)
+        self._negative_ids.extend(false_positive_ids)
         if ids:
             self._fitted = None
 
@@ -208,6 +232,17 @@ class RetrievalSession:
                 f"learner {self._learner!r} does not produce a concept"
             )
         return concept
+
+    def peek_concept(self) -> LearnedConcept | None:
+        """The current concept, or ``None`` when there is none.
+
+        Unlike :attr:`concept` this never raises — serving endpoints use it
+        to report the concept opportunistically (stale examples or a
+        non-concept learner simply yield ``None``).
+        """
+        if self._fitted is None:
+            return None
+        return self._fitted.model.concept
 
     def _fit(self) -> None:
         if not self._positive_ids:
@@ -242,6 +277,7 @@ class RetrievalSession:
         *,
         top_k: int | None = None,
         category_filter: str | None = None,
+        exclude: tuple[str, ...] | list[str] = (),
     ) -> RetrievalResult:
         """Rank database images (examples excluded) with the current model.
 
@@ -250,13 +286,17 @@ class RetrievalSession:
             top_k: truncate to the best ``top_k`` entries; the result still
                 reports its ``total_candidates``.
             category_filter: rank only candidates of this category.
+            exclude: additional image ids to leave out (the session's own
+                examples are always excluded).
         """
         if self._fitted is None:
             raise TrainingError("no current concept; call train() first")
         return self._service.rank_with(
             self._fitted,
             candidate_ids=ids,
-            exclude=tuple(self._positive_ids) + tuple(self._negative_ids),
+            exclude=tuple(self._positive_ids)
+            + tuple(self._negative_ids)
+            + tuple(exclude),
             top_k=top_k,
             category_filter=category_filter,
         )

@@ -310,3 +310,70 @@ class TestSessionServiceParity:
         a.train_and_rank()
         b.train_and_rank()
         assert len(service.history) == 0  # sessions use fit/rank_with, not query
+
+
+class TestHistoryBoundAndStats:
+    def test_history_is_bounded(self, tiny_scene_db):
+        service = RetrievalService(tiny_scene_db, max_history=2)
+        queries = [
+            _waterfall_query(tiny_scene_db, learner="random", params={"seed": s},
+                             query_id=f"q{s}")
+            for s in range(4)
+        ]
+        for query in queries:
+            service.query(query)
+        history = service.history
+        assert len(history) == 2
+        # The most recent records survive, oldest are dropped.
+        assert [record.query_id for record in history] == ["q2", "q3"]
+
+    def test_lifetime_count_survives_trimming(self, tiny_scene_db):
+        service = RetrievalService(tiny_scene_db, max_history=1)
+        for s in range(3):
+            service.query(
+                _waterfall_query(tiny_scene_db, learner="random",
+                                 params={"seed": s})
+            )
+        stats = service.stats()
+        assert stats["n_queries"] == 3
+        assert stats["history_len"] == 1
+        assert stats["max_history"] == 1
+
+    def test_unbounded_history_still_supported(self, tiny_scene_db):
+        service = RetrievalService(tiny_scene_db, max_history=None)
+        for s in range(3):
+            service.query(
+                _waterfall_query(tiny_scene_db, learner="random",
+                                 params={"seed": s})
+            )
+        assert len(service.history) == 3
+        assert service.stats()["max_history"] is None
+
+    def test_zero_history_keeps_nothing_but_counts(self, tiny_scene_db):
+        service = RetrievalService(tiny_scene_db, max_history=0)
+        service.query(
+            _waterfall_query(tiny_scene_db, learner="random", params={"seed": 0})
+        )
+        assert service.history == ()
+        assert service.stats()["n_queries"] == 1
+
+    def test_negative_bound_rejected(self, tiny_scene_db):
+        with pytest.raises(QueryError, match="max_history"):
+            RetrievalService(tiny_scene_db, max_history=-1)
+
+    def test_stats_reports_cache_and_corpora(self, service, tiny_scene_db):
+        service.query(_waterfall_query(tiny_scene_db))
+        stats = service.stats()
+        assert stats["n_images"] == len(tiny_scene_db)
+        assert "region-bags" in stats["corpus_keys"]
+        assert stats["cache"]["misses"] >= 1
+        assert 0.0 <= stats["cache"]["hit_rate"] <= 1.0
+
+    def test_adopt_corpus_requires_a_key(self, service, tiny_scene_db):
+        with pytest.raises(QueryError, match="non-empty"):
+            service.adopt_corpus("", tiny_scene_db)
+        service.adopt_corpus("custom", tiny_scene_db)
+        assert "custom" in service.corpus_keys
+        assert service.get_corpus("custom") is tiny_scene_db
+        with pytest.raises(QueryError, match="no corpus cached"):
+            service.get_corpus("missing")

@@ -401,3 +401,35 @@ class TestBetaSelectionCache:
         assert cache.stats.misses == misses  # every beta served from cache
         assert cache.stats.hits == 2
         assert second.best_beta == first.best_beta
+
+
+class TestExportImport:
+    """Snapshot support: entries leave and re-enter preserving LRU order."""
+
+    def test_export_preserves_lru_order(self):
+        cache = ConceptCache(max_entries=8)
+        cache.store("a", 1)
+        cache.store("b", 2)
+        cache.store("c", 3)
+        cache.lookup("a")  # refresh: a becomes most recently used
+        assert cache.export_entries() == (("b", 2), ("c", 3), ("a", 1))
+
+    def test_import_round_trips_state(self):
+        cache = ConceptCache(max_entries=8)
+        cache.store("a", 1)
+        cache.store("b", 2)
+        restored = ConceptCache(max_entries=8)
+        assert restored.import_entries(cache.export_entries()) == 2
+        assert restored.export_entries() == cache.export_entries()
+        # Imported entries are hits-in-waiting, not counted yet.
+        assert restored.stats.hits == 0 and restored.stats.misses == 0
+        assert restored.lookup("a") == 1
+        assert restored.stats.hits == 1
+
+    def test_import_beyond_capacity_keeps_recent_tail(self):
+        small = ConceptCache(max_entries=2)
+        written = small.import_entries([("a", 1), ("b", 2), ("c", 3)])
+        assert written == 3
+        assert len(small) == 2
+        assert small.lookup("a") is None
+        assert small.lookup("b") == 2 and small.lookup("c") == 3

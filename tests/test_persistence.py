@@ -78,3 +78,117 @@ class TestErrors:
         path.write_bytes(b"")
         with pytest.raises(DatabaseError):
             load_database(path)
+
+
+class TestPackedRoundTrip:
+    """Format v2: the cached PackedCorpus rides along instead of being dropped."""
+
+    def test_cold_database_snapshots_without_packed(self, tmp_path):
+        database = make_db()
+        assert database.cached_packed is None
+        restored = load_database(save_database(database, tmp_path / "cold.npz"))
+        assert restored.cached_packed is None  # nothing to carry, nothing invented
+
+    def test_warm_database_restores_packed_without_rebuild(self, tmp_path):
+        database = make_db()
+        packed_before = database.packed()  # build + cache the columnar view
+        restored = load_database(save_database(database, tmp_path / "warm.npz"))
+        packed_after = restored.cached_packed
+        assert packed_after is not None, "packed corpus was silently dropped"
+        assert packed_after.image_ids == packed_before.image_ids
+        assert packed_after.categories == packed_before.categories
+        np.testing.assert_array_equal(packed_after.instances, packed_before.instances)
+        np.testing.assert_array_equal(packed_after.offsets, packed_before.offsets)
+
+    def test_restored_packed_matches_a_fresh_build(self, tmp_path):
+        database = make_db()
+        database.packed()
+        restored = load_database(save_database(database, tmp_path / "warm.npz"))
+        adopted = restored.cached_packed
+        fresh = make_db().packed()
+        np.testing.assert_array_equal(adopted.instances, fresh.instances)
+
+    def test_mutation_invalidates_restored_packed(self, tmp_path):
+        database = make_db()
+        database.packed()
+        restored = load_database(save_database(database, tmp_path / "warm.npz"))
+        rng = np.random.default_rng(9)
+        restored.add_image(rng.uniform(0.1, 0.9, (24, 24)), "gray-cat", "g-1")
+        assert restored.cached_packed is None
+        assert len(restored.packed()) == 3
+
+    def test_version_1_snapshots_still_load(self, tmp_path):
+        """Pre-packed-era snapshots (format v1) stay readable."""
+        import json
+
+        database = make_db()
+        path = save_database(database, tmp_path / "v1.npz")
+        with np.load(path) as payload:
+            manifest = json.loads(bytes(payload["manifest"]).decode("utf-8"))
+            arrays = {key: payload[key] for key in payload.files if key != "manifest"}
+        manifest["version"] = 1
+        manifest.pop("packed", None)
+        arrays["manifest"] = np.frombuffer(
+            json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+        )
+        legacy = tmp_path / "legacy.npz"
+        np.savez_compressed(legacy, **arrays)
+        restored = load_database(legacy)
+        assert len(restored) == 2
+        assert restored.cached_packed is None
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        import json
+
+        database = make_db()
+        path = save_database(database, tmp_path / "fut.npz")
+        with np.load(path) as payload:
+            manifest = json.loads(bytes(payload["manifest"]).decode("utf-8"))
+            arrays = {key: payload[key] for key in payload.files if key != "manifest"}
+        manifest["version"] = 99
+        arrays["manifest"] = np.frombuffer(
+            json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+        )
+        future = tmp_path / "future.npz"
+        np.savez_compressed(future, **arrays)
+        with pytest.raises(DatabaseError, match="version 99"):
+            load_database(future)
+
+    def test_corrupt_packed_arrays_rejected(self, tmp_path):
+        """A packed view inconsistent with the images raises, never adopts."""
+        import json
+
+        database = make_db()
+        database.packed()
+        path = save_database(database, tmp_path / "warm.npz")
+        with np.load(path) as payload:
+            manifest = json.loads(bytes(payload["manifest"]).decode("utf-8"))
+            arrays = {key: payload[key] for key in payload.files if key != "manifest"}
+        # Truncate the instance matrix so the offsets no longer span it.
+        arrays["packed_instances"] = arrays["packed_instances"][:-1]
+        arrays["manifest"] = np.frombuffer(
+            json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+        )
+        corrupt = tmp_path / "corrupt.npz"
+        np.savez_compressed(corrupt, **arrays)
+        with pytest.raises(DatabaseError):
+            load_database(corrupt)
+
+
+class TestMalformedManifestTypes:
+    def test_type_malformed_manifest_raises_database_error(self, tmp_path):
+        """Wrong-typed manifest values surface as DatabaseError, not TypeError."""
+        import json
+
+        path = save_database(make_db(), tmp_path / "ok.npz")
+        with np.load(path) as payload:
+            manifest = json.loads(bytes(payload["manifest"]).decode("utf-8"))
+            arrays = {key: payload[key] for key in payload.files if key != "manifest"}
+        manifest["config"]["resolution"] = None
+        arrays["manifest"] = np.frombuffer(
+            json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+        )
+        broken = tmp_path / "broken.npz"
+        np.savez_compressed(broken, **arrays)
+        with pytest.raises(DatabaseError, match="malformed"):
+            load_database(broken)

@@ -1,0 +1,269 @@
+"""ServiceApp tests: dict-in/dict-out endpoints, served-vs-in-process
+parity, feedback sessions over the wire, and error mapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.query import Query
+from repro.api.service import RetrievalService
+from repro.errors import CodecError, DatabaseError, QueryError, SessionError
+from repro.serve import codec
+from repro.serve.app import ServiceApp, error_payload, handle_safely
+from repro.serve.sessions import SessionStore
+
+_PARAMS = {"scheme": "identical", "max_iterations": 25, "seed": 5}
+
+
+@pytest.fixture()
+def service(tiny_scene_db) -> RetrievalService:
+    return RetrievalService(tiny_scene_db)
+
+
+@pytest.fixture()
+def app(service) -> ServiceApp:
+    return ServiceApp(service)
+
+
+def _query(tiny_scene_db, **kwargs) -> Query:
+    ids = tiny_scene_db.ids_in_category("waterfall")
+    negs = tiny_scene_db.ids_in_category("field")
+    defaults = dict(
+        positive_ids=ids[:2],
+        negative_ids=negs[:2],
+        learner="dd",
+        params=dict(_PARAMS),
+        top_k=5,
+    )
+    defaults.update(kwargs)
+    return Query(**defaults)
+
+
+class TestQueryEndpoints:
+    def test_served_query_matches_in_process_ranking(self, app, tiny_scene_db):
+        """The acceptance property: served == in-process on the same db."""
+        query = _query(tiny_scene_db)
+        reference = RetrievalService(tiny_scene_db).query(query)
+        reply = app.query(codec.encode_query(query))
+        served = codec.decode_query_result(reply)
+        assert served.ranking.image_ids == reference.ranking.image_ids
+        assert served.ranking.distances.tolist() == (
+            reference.ranking.distances.tolist()
+        )
+        assert codec.wire_equal(served.query, query)
+
+    def test_batch_query(self, app, tiny_scene_db):
+        queries = [
+            _query(tiny_scene_db),
+            _query(tiny_scene_db, learner="random", params={"seed": 1}),
+        ]
+        reply = app.batch_query(
+            codec.envelope(
+                "batch_query",
+                {"queries": [codec.encode_query(q) for q in queries], "workers": 2},
+            )
+        )
+        body = codec.open_envelope(reply, "batch_query_result")
+        results = [codec.decode_query_result(entry) for entry in body["results"]]
+        assert len(results) == 2
+        assert results[0].query.learner == "dd"
+        assert results[1].query.learner == "random"
+
+    def test_batch_query_needs_queries_list(self, app):
+        with pytest.raises(CodecError, match="'queries' list"):
+            app.batch_query(codec.envelope("batch_query", {}))
+
+    def test_batch_query_clamps_wire_requested_workers(self, app, tiny_scene_db):
+        """The request may ask for any worker count; the server caps it."""
+        queries = [
+            _query(tiny_scene_db, learner="random", params={"seed": s})
+            for s in range(2)
+        ]
+        reply = app.batch_query(
+            codec.envelope(
+                "batch_query",
+                {
+                    "queries": [codec.encode_query(q) for q in queries],
+                    "workers": 100000,
+                },
+            )
+        )
+        body = codec.open_envelope(reply, "batch_query_result")
+        assert len(body["results"]) == 2
+
+    def test_dispatch_routes_and_rejects(self, app, tiny_scene_db):
+        reply = app.dispatch("query", codec.encode_query(_query(tiny_scene_db)))
+        assert reply["kind"] == "query_result"
+        with pytest.raises(QueryError, match="unknown endpoint"):
+            app.dispatch("drop_tables", {})
+
+    def test_query_rejects_version_skew(self, app, tiny_scene_db):
+        payload = codec.encode_query(_query(tiny_scene_db))
+        payload["version"] = 999
+        with pytest.raises(CodecError, match="unsupported wire version"):
+            app.query(payload)
+
+
+class TestFeedbackEndpoint:
+    def test_feedback_creates_session_and_ranks(self, app, tiny_scene_db):
+        ids = tiny_scene_db.ids_in_category("waterfall")
+        negs = tiny_scene_db.ids_in_category("field")
+        reply = app.feedback(
+            codec.envelope(
+                "feedback",
+                {
+                    "learner": "dd",
+                    "params": dict(_PARAMS),
+                    "add_positive_ids": list(ids[:2]),
+                    "add_negative_ids": list(negs[:1]),
+                    "top_k": 5,
+                },
+            )
+        )
+        body = codec.open_envelope(reply, "feedback_result")
+        assert body["session"]
+        assert tuple(body["positive_ids"]) == ids[:2]
+        ranking = codec.decode_ranking(body["ranking"])
+        assert len(ranking) == 5
+        assert codec.decode_concept(body["concept"]).n_dims > 0
+
+    def test_feedback_round_two_reuses_session(self, app, tiny_scene_db):
+        ids = tiny_scene_db.ids_in_category("waterfall")
+        first = app.feedback(
+            codec.envelope(
+                "feedback",
+                {
+                    "params": dict(_PARAMS),
+                    "add_positive_ids": list(ids[:2]),
+                    "top_k": 5,
+                },
+            )
+        )
+        token = first["session"]
+        bad = first["ranking"]["ranked"][0]["image_id"]
+        second = app.feedback(
+            codec.envelope(
+                "feedback",
+                {"session": token, "false_positive_ids": [bad], "top_k": 5},
+            )
+        )
+        assert second["session"] == token
+        assert bad in second["negative_ids"]
+        assert bad not in [
+            entry["image_id"] for entry in second["ranking"]["ranked"]
+        ]
+
+    def test_feedback_unknown_session(self, app):
+        with pytest.raises(SessionError):
+            app.feedback(
+                codec.envelope("feedback", {"session": "bogus", "rank": False})
+            )
+
+    def test_failed_first_round_does_not_leak_a_session(self, app):
+        """Create-on-first-use must clean up when the round is rejected."""
+        with pytest.raises(DatabaseError):
+            app.feedback(
+                codec.envelope(
+                    "feedback",
+                    {"add_positive_ids": ["no-such-image"], "rank": False},
+                )
+            )
+        assert len(app.sessions) == 0
+
+
+class TestRankEndpoint:
+    def test_rank_by_session(self, app, tiny_scene_db):
+        ids = tiny_scene_db.ids_in_category("waterfall")
+        created = app.feedback(
+            codec.envelope(
+                "feedback",
+                {"params": dict(_PARAMS), "add_positive_ids": list(ids[:2]),
+                 "top_k": 5},
+            )
+        )
+        reply = app.rank(
+            codec.envelope(
+                "rank", {"session": created["session"], "top_k": 3}
+            )
+        )
+        ranking = codec.decode_ranking(
+            codec.open_envelope(reply, "rank_result")["ranking"]
+        )
+        assert len(ranking) == 3
+
+    def test_rank_by_wire_concept(self, app, service, tiny_scene_db):
+        query = _query(tiny_scene_db)
+        concept = service.query(query).concept
+        reply = app.rank(
+            codec.envelope(
+                "rank",
+                {
+                    "concept": codec.encode_concept(concept),
+                    "exclude": list(query.example_ids),
+                    "top_k": 5,
+                },
+            )
+        )
+        ranking = codec.decode_ranking(
+            codec.open_envelope(reply, "rank_result")["ranking"]
+        )
+        # Ranking a shipped concept reproduces the query's own ranking.
+        reference = service.query(query).ranking
+        assert ranking.image_ids == reference.image_ids
+
+    def test_rank_needs_session_or_concept(self, app):
+        with pytest.raises(CodecError, match="'session' token or a 'concept'"):
+            app.rank(codec.envelope("rank", {"top_k": 3}))
+
+
+class TestIntrospection:
+    def test_health(self, app, tiny_scene_db):
+        body = codec.open_envelope(app.health(), "health")
+        assert body["status"] == "ok"
+        assert body["n_images"] == len(tiny_scene_db)
+        assert body["wire_version"] == codec.WIRE_VERSION
+        assert "dd" in body["learners"]
+
+    def test_stats_reports_service_cache_and_sessions(self, app, tiny_scene_db):
+        app.query(codec.encode_query(_query(tiny_scene_db)))
+        body = codec.open_envelope(app.stats(), "stats")
+        assert body["service"]["n_queries"] == 1
+        assert body["service"]["max_history"] == app.service.max_history
+        assert body["sessions"]["active"] == 0
+        assert body["service"]["cache"]["misses"] >= 1
+
+    def test_app_keeps_a_provided_empty_session_store(self, service):
+        """An empty store is __len__-falsy but its configuration must win."""
+        store = SessionStore(service, ttl_seconds=60.0, max_sessions=4)
+        app = ServiceApp(service, sessions=store)
+        assert app.sessions is store
+        assert app.sessions.stats()["max_sessions"] == 4
+
+    def test_app_rejects_foreign_session_store(self, service, tiny_scene_db):
+        other = RetrievalService(tiny_scene_db)
+        with pytest.raises(SessionError, match="must wrap the served service"):
+            ServiceApp(service, sessions=SessionStore(other))
+
+
+class TestErrorMapping:
+    def test_handle_safely_statuses(self, app):
+        status, payload = handle_safely(app, "health", None)
+        assert status == 200 and payload["kind"] == "health"
+        status, payload = handle_safely(
+            app, "feedback",
+            codec.envelope("feedback", {"session": "bogus", "rank": False}),
+        )
+        assert status == 404 and payload["error"] == "SessionError"
+        status, payload = handle_safely(app, "query", {"kind": "query"})
+        assert status == 400 and payload["kind"] == "error"
+        status, payload = handle_safely(app, "nope", None)
+        assert status == 400 and payload["error"] == "QueryError"
+
+    def test_error_payload_shape(self):
+        payload = error_payload(CodecError("boom"))
+        assert payload == {
+            "kind": "error",
+            "version": codec.WIRE_VERSION,
+            "error": "CodecError",
+            "message": "boom",
+        }

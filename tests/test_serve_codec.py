@@ -1,0 +1,272 @@
+"""Wire-codec tests: exact round-trips (property-based), version gating,
+unknown-field tolerance and envelope validation."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.query import Query, QueryResult, QueryTiming
+from repro.core.cache import CacheStats
+from repro.core.concept import LearnedConcept
+from repro.core.diverse_density import StartRecord, TrainingResult
+from repro.core.retrieval import RankedImage, RetrievalResult
+from repro.errors import CodecError
+from repro.serve import codec
+
+# --------------------------------------------------------------------- #
+# Strategies                                                             #
+# --------------------------------------------------------------------- #
+
+_ids = st.text(
+    alphabet="abcdefghij-0123456789", min_size=1, max_size=12
+).filter(lambda s: s.strip())
+_floats = st.floats(allow_nan=False, allow_infinity=False, width=64)
+_pos_floats = st.floats(min_value=0.0, max_value=1e9, allow_nan=False)
+
+
+@st.composite
+def queries(draw) -> Query:
+    positives = draw(st.lists(_ids, min_size=1, max_size=4, unique=True))
+    negatives = draw(
+        st.lists(
+            _ids.filter(lambda s: s not in positives),
+            max_size=4,
+            unique=True,
+        )
+    )
+    params = draw(
+        st.dictionaries(
+            st.sampled_from(["scheme", "beta", "seed", "max_iterations"]),
+            st.one_of(st.integers(0, 100), _pos_floats, st.sampled_from(["a", "b"])),
+            max_size=3,
+        )
+    )
+    return Query(
+        positive_ids=tuple(positives),
+        negative_ids=tuple(negatives),
+        learner=draw(st.sampled_from(["dd", "emdd", "random"])),
+        params=params,
+        candidate_ids=draw(
+            st.none() | st.lists(_ids, max_size=4, unique=True).map(tuple)
+        ),
+        top_k=draw(st.none() | st.integers(1, 50)),
+        category_filter=draw(st.none() | st.sampled_from(["waterfall", "field"])),
+        query_id=draw(st.sampled_from(["", "q-1", "tenant/7"])),
+    )
+
+
+@st.composite
+def rankings(draw) -> RetrievalResult:
+    ids = draw(st.lists(_ids, max_size=6, unique=True))
+    ranked = tuple(
+        RankedImage(
+            rank=position,
+            image_id=image_id,
+            category=draw(st.sampled_from(["waterfall", "field", "sunset"])),
+            distance=draw(_pos_floats),
+        )
+        for position, image_id in enumerate(ids)
+    )
+    extra = draw(st.integers(0, 5))
+    return RetrievalResult(ranked, total_candidates=len(ranked) + extra)
+
+
+@st.composite
+def concepts(draw) -> LearnedConcept:
+    n_dims = draw(st.integers(1, 6))
+    t = draw(
+        st.lists(_floats.filter(lambda x: abs(x) < 1e12), min_size=n_dims,
+                 max_size=n_dims)
+    )
+    w = draw(st.lists(_pos_floats, min_size=n_dims, max_size=n_dims))
+    return LearnedConcept(
+        t=np.asarray(t),
+        w=np.asarray(w),
+        nll=draw(_floats.filter(lambda x: abs(x) < 1e12)),
+        scheme=draw(st.sampled_from(["", "inequality", "identical"])),
+        metadata=draw(
+            st.dictionaries(
+                st.sampled_from(["engine", "note"]),
+                st.sampled_from(["batched", "sequential", "x"]),
+                max_size=2,
+            )
+        ),
+    )
+
+
+@st.composite
+def training_results(draw) -> TrainingResult:
+    starts = tuple(
+        StartRecord(
+            bag_id=draw(_ids),
+            instance_index=draw(st.integers(-1, 20)),
+            value=draw(_pos_floats),
+            n_iterations=draw(st.integers(0, 200)),
+            converged=draw(st.booleans()),
+            pruned=draw(st.booleans()),
+        )
+        for _ in range(draw(st.integers(0, 3)))
+    )
+    return TrainingResult(
+        concept=draw(concepts()),
+        starts=starts,
+        n_starts=len(starts),
+        elapsed_seconds=draw(_pos_floats),
+        n_starts_pruned=sum(record.pruned for record in starts),
+    )
+
+
+@st.composite
+def query_results(draw) -> QueryResult:
+    with_concept = draw(st.booleans())
+    training = draw(training_results()) if with_concept else None
+    return QueryResult(
+        query=draw(queries()),
+        ranking=draw(rankings()),
+        concept=training.concept if training else None,
+        training=training,
+        timing=QueryTiming(
+            fit_seconds=draw(_pos_floats),
+            rank_seconds=draw(_pos_floats),
+            total_seconds=draw(_pos_floats),
+        ),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Round-trip properties                                                  #
+# --------------------------------------------------------------------- #
+
+
+@settings(max_examples=50, deadline=None)
+@given(queries())
+def test_query_round_trip(query):
+    rebuilt = codec.decode(codec.encode(query))
+    assert isinstance(rebuilt, Query)
+    assert codec.wire_equal(rebuilt, query)
+    assert rebuilt == query  # Query supports plain equality (no arrays)
+
+
+@settings(max_examples=50, deadline=None)
+@given(rankings())
+def test_ranking_round_trip(ranking):
+    rebuilt = codec.decode(codec.encode(ranking))
+    assert isinstance(rebuilt, RetrievalResult)
+    assert codec.wire_equal(rebuilt, ranking)
+    assert rebuilt.ranked == ranking.ranked
+    assert rebuilt.total_candidates == ranking.total_candidates
+
+
+@settings(max_examples=50, deadline=None)
+@given(concepts())
+def test_concept_round_trip(concept):
+    rebuilt = codec.decode(codec.encode(concept))
+    assert isinstance(rebuilt, LearnedConcept)
+    assert codec.wire_equal(rebuilt, concept)
+    np.testing.assert_array_equal(rebuilt.t, concept.t)
+    np.testing.assert_array_equal(rebuilt.w, concept.w)
+    assert rebuilt.nll == concept.nll
+
+
+@settings(max_examples=50, deadline=None)
+@given(training_results())
+def test_training_result_round_trip(training):
+    rebuilt = codec.decode(codec.encode(training))
+    assert isinstance(rebuilt, TrainingResult)
+    assert codec.wire_equal(rebuilt, training)
+    assert rebuilt.starts == training.starts
+
+
+@settings(max_examples=25, deadline=None)
+@given(query_results())
+def test_query_result_round_trip(result):
+    rebuilt = codec.decode(codec.encode(result))
+    assert isinstance(rebuilt, QueryResult)
+    assert codec.wire_equal(rebuilt, result)
+    assert rebuilt.ranking.image_ids == result.ranking.image_ids
+
+
+@settings(max_examples=25, deadline=None)
+@given(query_results())
+def test_wire_payloads_survive_json(result):
+    """The wire form must survive an actual JSON round-trip unchanged."""
+    payload = codec.encode(result)
+    rebuilt = codec.decode(json.loads(json.dumps(payload)))
+    assert codec.wire_equal(rebuilt, result)
+
+
+def test_cache_stats_round_trip():
+    stats = CacheStats(hits=7, misses=3, entries=2, max_entries=128)
+    rebuilt = codec.decode(codec.encode(stats))
+    assert rebuilt == stats
+
+
+# --------------------------------------------------------------------- #
+# Envelope contract                                                      #
+# --------------------------------------------------------------------- #
+
+
+def _sample_query_payload() -> dict:
+    return codec.encode_query(Query(positive_ids=("a",), learner="dd"))
+
+
+def test_unknown_version_rejected():
+    payload = _sample_query_payload()
+    payload["version"] = codec.WIRE_VERSION + 1
+    with pytest.raises(CodecError, match="unsupported wire version"):
+        codec.decode_query(payload)
+
+
+def test_missing_version_rejected():
+    payload = _sample_query_payload()
+    del payload["version"]
+    with pytest.raises(CodecError, match="unsupported wire version"):
+        codec.decode(payload)
+
+
+def test_unknown_fields_tolerated():
+    payload = _sample_query_payload()
+    payload["added_in_a_future_minor_rev"] = {"anything": [1, 2, 3]}
+    assert codec.decode_query(payload) == Query(positive_ids=("a",), learner="dd")
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(CodecError, match="unknown wire kind"):
+        codec.decode({"kind": "mystery", "version": codec.WIRE_VERSION})
+
+
+def test_kind_mismatch_rejected():
+    with pytest.raises(CodecError, match="expected a 'concept' payload"):
+        codec.decode_concept(_sample_query_payload())
+
+
+def test_non_mapping_rejected():
+    with pytest.raises(CodecError, match="must be a mapping"):
+        codec.decode(["not", "a", "dict"])
+
+
+def test_missing_required_field_rejected():
+    payload = _sample_query_payload()
+    del payload["positive_ids"]
+    with pytest.raises(CodecError, match="missing field 'positive_ids'"):
+        codec.decode_query(payload)
+
+
+def test_encode_rejects_unknown_type():
+    with pytest.raises(CodecError, match="no wire codec"):
+        codec.encode(object())
+
+
+def test_nested_envelopes_are_version_checked():
+    """A stale inner envelope (old concept inside a new result) is rejected."""
+    concept = LearnedConcept(t=np.ones(2), w=np.ones(2), nll=0.5)
+    training = TrainingResult(concept=concept)
+    payload = codec.encode_training_result(training)
+    payload["concept"]["version"] = 99
+    with pytest.raises(CodecError, match="unsupported wire version"):
+        codec.decode_training_result(payload)

@@ -1,0 +1,255 @@
+"""HTTP transport tests: server + client round-trips over localhost,
+error statuses, and the `serve` / `client-query` CLI wiring."""
+
+from __future__ import annotations
+
+import json
+from urllib import error as urlerror
+from urllib import request as urlrequest
+
+import pytest
+
+from repro.api.query import Query
+from repro.api.service import RetrievalService
+from repro.cli import _build_parser, build_server, main
+from repro.database.persistence import save_database
+from repro.errors import CodecError, QueryError, ServeError, SessionError
+from repro.serve import codec
+from repro.serve.app import ServiceApp
+from repro.serve.http import ReproClient, ReproServer
+
+_PARAMS = {"scheme": "identical", "max_iterations": 25, "seed": 5}
+
+
+@pytest.fixture(scope="module")
+def server(tiny_scene_db):
+    service = RetrievalService(tiny_scene_db)
+    with ReproServer(ServiceApp(service), port=0) as running:
+        yield running
+
+
+@pytest.fixture(scope="module")
+def client(server) -> ReproClient:
+    return ReproClient(server.url)
+
+
+def _query(tiny_scene_db, **kwargs) -> Query:
+    ids = tiny_scene_db.ids_in_category("waterfall")
+    negs = tiny_scene_db.ids_in_category("field")
+    defaults = dict(
+        positive_ids=ids[:2],
+        negative_ids=negs[:2],
+        learner="dd",
+        params=dict(_PARAMS),
+        top_k=5,
+    )
+    defaults.update(kwargs)
+    return Query(**defaults)
+
+
+class TestHttpRoundTrip:
+    def test_query_over_localhost_matches_in_process(self, client, tiny_scene_db):
+        query = _query(tiny_scene_db)
+        reference = RetrievalService(tiny_scene_db).query(query)
+        result = client.query(query)
+        assert result.ranking.image_ids == reference.ranking.image_ids
+        assert result.concept is not None
+        assert result.training is not None
+
+    def test_batch_query_order_preserved(self, client, tiny_scene_db):
+        queries = [
+            _query(tiny_scene_db, query_id="a"),
+            _query(tiny_scene_db, learner="random", params={"seed": 3},
+                   query_id="b"),
+        ]
+        results = client.batch_query(queries, workers=2)
+        assert [r.query.query_id for r in results] == ["a", "b"]
+
+    def test_feedback_loop_over_http(self, client, tiny_scene_db):
+        ids = tiny_scene_db.ids_in_category("waterfall")
+        round1 = client.feedback(
+            params=dict(_PARAMS), add_positive_ids=ids[:2], top_k=5
+        )
+        token = round1["session"]
+        assert round1["ranking"] is not None
+        bad = round1["ranking"].image_ids[0]
+        round2 = client.feedback(token, false_positive_ids=[bad], top_k=5)
+        assert round2["session"] == token
+        assert bad in round2["negative_ids"]
+        assert bad not in round2["ranking"].image_ids
+        ranking = client.rank(session=token, top_k=3)
+        assert len(ranking) == 3
+
+    def test_rank_honours_exclude_on_session_path(self, client, tiny_scene_db):
+        ids = tiny_scene_db.ids_in_category("waterfall")
+        created = client.feedback(
+            params=dict(_PARAMS), add_positive_ids=ids[:2], top_k=5
+        )
+        top = created["ranking"].image_ids[0]
+        ranking = client.rank(session=created["session"], exclude=[top], top_k=5)
+        assert top not in ranking.image_ids
+
+    def test_keep_alive_survives_an_unknown_route(self, server):
+        """A 404 must drain the request body, not desync the connection."""
+        import http.client
+
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=10)
+        try:
+            connection.request(
+                "POST", "/bad", body=json.dumps({"kind": "query"}),
+                headers={"Content-Type": "application/json"},
+            )
+            first = connection.getresponse()
+            assert first.status == 404
+            first.read()
+            # Same connection: the next request must parse cleanly.
+            connection.request("GET", "/v1/health")
+            second = connection.getresponse()
+            assert second.status == 200
+            assert json.loads(second.read())["status"] == "ok"
+        finally:
+            connection.close()
+
+    def test_rank_with_wire_concept(self, client, tiny_scene_db):
+        query = _query(tiny_scene_db)
+        concept = RetrievalService(tiny_scene_db).query(query).concept
+        ranking = client.rank(
+            concept=concept, exclude=query.example_ids, top_k=4
+        )
+        assert len(ranking) == 4
+
+    def test_health_and_stats(self, client, tiny_scene_db):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["n_images"] == len(tiny_scene_db)
+        stats = client.stats()
+        assert stats["service"]["n_queries"] >= 1
+        assert "max_history" in stats["service"]
+
+
+class TestHttpErrors:
+    def test_bad_query_is_a_400_typed_error(self, client):
+        with pytest.raises(CodecError, match="missing field"):
+            client._call("query", {"kind": "query", "version": codec.WIRE_VERSION})
+
+    def test_unknown_session_is_a_404_session_error(self, client):
+        with pytest.raises(SessionError, match="unknown or expired"):
+            client.rank(session="bogus")
+
+    def test_unknown_route_404(self, server):
+        with pytest.raises(urlerror.HTTPError) as excinfo:
+            urlrequest.urlopen(f"{server.url}/v1/nope", timeout=10)
+        assert excinfo.value.code == 404
+
+    def test_non_json_body_400(self, server):
+        request = urlrequest.Request(
+            f"{server.url}/v1/query", data=b"not json", method="POST"
+        )
+        with pytest.raises(urlerror.HTTPError) as excinfo:
+            urlrequest.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+        body = json.loads(excinfo.value.read().decode("utf-8"))
+        assert body["error"] == "CodecError"
+
+    def test_malformed_content_length_400_and_connection_closed(self, server):
+        import http.client
+
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=10)
+        try:
+            connection.putrequest("POST", "/v1/query")
+            connection.putheader("Content-Length", "12abc")
+            connection.putheader("Content-Type", "application/json")
+            connection.endheaders()
+            connection.send(b'{"kind": "q"}')
+            response = connection.getresponse()
+            assert response.status == 400
+            body = json.loads(response.read())
+            assert "Content-Length" in body["message"]
+            # The server cannot resync an unknown-length body, so it closes.
+            assert response.getheader("Connection") == "close"
+        finally:
+            connection.close()
+
+    def test_oversized_body_rejected_with_413(self, server):
+        import http.client
+
+        from repro.serve.http import MAX_BODY_BYTES
+
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=10)
+        try:
+            connection.putrequest("POST", "/v1/query")
+            connection.putheader("Content-Length", str(MAX_BODY_BYTES + 1))
+            connection.putheader("Content-Type", "application/json")
+            connection.endheaders()
+            # The server must reply without waiting for the body.
+            response = connection.getresponse()
+            assert response.status == 413
+            assert response.getheader("Connection") == "close"
+        finally:
+            connection.close()
+
+    def test_unknown_endpoint_post_400(self, client):
+        with pytest.raises(QueryError, match="unknown endpoint"):
+            client._call("query2", {"kind": "query"})
+
+    def test_unreachable_server(self):
+        dead = ReproClient("http://127.0.0.1:9", timeout=2.0)
+        with pytest.raises(ServeError, match="cannot reach"):
+            dead.health()
+
+    def test_double_start_rejected(self, server):
+        with pytest.raises(ServeError, match="already running"):
+            server.start()
+
+
+class TestCli:
+    def test_build_server_from_db_snapshot(self, tiny_scene_db, tmp_path):
+        path = save_database(tiny_scene_db, tmp_path / "db.npz")
+        args = _build_parser().parse_args(
+            ["serve", "--db", str(path), "--port", "0", "--warm", ""]
+        )
+        server = build_server(args)
+        try:
+            server.start()
+            client = ReproClient(server.url)
+            assert client.health()["n_images"] == len(tiny_scene_db)
+        finally:
+            server.stop()
+
+    def test_client_query_command(self, tiny_scene_db, capsys):
+        service = RetrievalService(tiny_scene_db)
+        ids = tiny_scene_db.ids_in_category("waterfall")
+        negs = tiny_scene_db.ids_in_category("field")
+        with ReproServer(ServiceApp(service), port=0) as running:
+            code = main(
+                [
+                    "client-query",
+                    "--url", running.url,
+                    "--positive", ",".join(ids[:2]),
+                    "--negative", ",".join(negs[:2]),
+                    "--scheme", "identical",
+                    "--top-k", "5",
+                ]
+            )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "top 5 matches" in out
+        assert "ranked" in out
+
+    def test_client_query_reports_server_errors(self, tiny_scene_db, capsys):
+        service = RetrievalService(tiny_scene_db)
+        with ReproServer(ServiceApp(service), port=0) as running:
+            code = main(
+                [
+                    "client-query",
+                    "--url", running.url,
+                    "--positive", "does-not-exist",
+                    "--scheme", "identical",
+                ]
+            )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_requires_a_source(self, capsys):
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(["serve"])

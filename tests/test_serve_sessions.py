@@ -1,0 +1,330 @@
+"""SessionStore tests: lifecycle, TTL/LRU bounds, and the multi-tenant
+serving guarantees (no cross-contamination, shared cache hits)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api.service import RetrievalService
+from repro.errors import DatabaseError, SessionError, TrainingError
+from repro.serve.sessions import SessionStore
+
+_PARAMS = {"scheme": "identical", "max_iterations": 25, "seed": 5}
+
+
+class _FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def service(tiny_scene_db) -> RetrievalService:
+    return RetrievalService(tiny_scene_db)
+
+
+@pytest.fixture()
+def clock() -> _FakeClock:
+    return _FakeClock()
+
+
+class TestLifecycle:
+    def test_create_and_get(self, service):
+        store = SessionStore(service)
+        token = store.create(learner="dd", params=dict(_PARAMS))
+        session = store.get(token)
+        assert session.learner == "dd"
+        assert session.service is service
+        assert len(store) == 1
+
+    def test_tokens_are_unique_and_opaque(self, service):
+        store = SessionStore(service)
+        tokens = {store.create() for _ in range(10)}
+        assert len(tokens) == 10
+        assert all(len(token) == 32 for token in tokens)
+
+    def test_unknown_token(self, service):
+        store = SessionStore(service)
+        with pytest.raises(SessionError, match="unknown or expired"):
+            store.get("no-such-token")
+
+    def test_drop(self, service):
+        store = SessionStore(service)
+        token = store.create()
+        assert store.drop(token) is True
+        assert store.drop(token) is False
+        with pytest.raises(SessionError):
+            store.get(token)
+
+    def test_invalid_bounds(self, service):
+        with pytest.raises(SessionError, match="ttl_seconds"):
+            SessionStore(service, ttl_seconds=0.0)
+        with pytest.raises(SessionError, match="max_sessions"):
+            SessionStore(service, max_sessions=0)
+
+
+class TestExpiry:
+    def test_ttl_expires_idle_sessions(self, service, clock):
+        store = SessionStore(service, ttl_seconds=100.0, clock=clock)
+        token = store.create()
+        clock.advance(99.0)
+        store.get(token)  # touch refreshes the deadline
+        clock.advance(99.0)
+        store.get(token)  # still alive thanks to the refresh
+        clock.advance(101.0)
+        with pytest.raises(SessionError):
+            store.get(token)
+
+    def test_expire_sweeps_and_counts(self, service, clock):
+        store = SessionStore(service, ttl_seconds=10.0, clock=clock)
+        tokens = [store.create() for _ in range(3)]
+        clock.advance(11.0)
+        fresh = store.create()
+        assert store.expire() == 0  # create already swept the stale three
+        assert len(store) == 1
+        stats = store.stats()
+        assert stats["expired"] == 3 and stats["created"] == 4
+        assert store.get(fresh) is not None
+        assert all(t != fresh for t in tokens)
+
+    def test_mid_round_sessions_are_never_evicted(self, service, clock):
+        """A session holding its round lock is skipped by LRU eviction."""
+        store = SessionStore(service, max_sessions=2, clock=clock)
+        busy = store.create()
+        idle = store.create()
+        entry_lock = store._entries[busy].lock
+        entry_lock.acquire()  # simulate a round in flight
+        try:
+            third = store.create()  # must evict `idle`, not the busy LRU
+            assert store.get(busy) is not None
+            assert store.get(third) is not None
+            with pytest.raises(SessionError):
+                store.get(idle)
+        finally:
+            entry_lock.release()
+
+    def test_store_full_of_active_sessions_refuses_creation(self, service, clock):
+        store = SessionStore(service, max_sessions=1, clock=clock)
+        busy = store.create()
+        entry_lock = store._entries[busy].lock
+        entry_lock.acquire()
+        try:
+            with pytest.raises(SessionError, match="mid-round"):
+                store.create()
+        finally:
+            entry_lock.release()
+        assert store.create()  # idle again: eviction works
+
+    def test_mid_round_sessions_survive_ttl_expiry(self, service, clock):
+        store = SessionStore(service, ttl_seconds=10.0, clock=clock)
+        busy = store.create()
+        entry_lock = store._entries[busy].lock
+        entry_lock.acquire()
+        try:
+            clock.advance(11.0)
+            assert store.expire() == 0
+            assert store.get(busy) is not None  # touch refreshed the deadline
+        finally:
+            entry_lock.release()
+
+    def test_lru_eviction_beyond_capacity(self, service, clock):
+        store = SessionStore(service, max_sessions=2, clock=clock)
+        first = store.create()
+        second = store.create()
+        store.get(first)  # first is now most recently used
+        third = store.create()  # evicts second (the LRU entry)
+        assert len(store) == 2
+        store.get(first)
+        store.get(third)
+        with pytest.raises(SessionError):
+            store.get(second)
+        assert store.stats()["evicted"] == 1
+
+
+class TestFeedbackRound:
+    def test_round_trains_and_ranks(self, service, tiny_scene_db):
+        store = SessionStore(service)
+        ids = tiny_scene_db.ids_in_category("waterfall")
+        negs = tiny_scene_db.ids_in_category("field")
+        token = store.create(learner="dd", params=dict(_PARAMS))
+        result = store.feedback_round(
+            token,
+            add_positive_ids=ids[:2],
+            add_negative_ids=negs[:2],
+            top_k=5,
+        )
+        assert result.token == token
+        assert result.positive_ids == ids[:2]
+        assert result.negative_ids == negs[:2]
+        assert result.ranking is not None and len(result.ranking) == 5
+        # Examples are excluded from the ranking.
+        assert not set(result.ranking.image_ids) & (set(ids[:2]) | set(negs[:2]))
+        # The concept is captured with the ranking, under the session lock.
+        assert result.concept is not None and result.concept.n_dims > 0
+
+    def test_round_without_rank_only_edits(self, service, tiny_scene_db):
+        store = SessionStore(service)
+        ids = tiny_scene_db.ids_in_category("waterfall")
+        token = store.create(learner="dd", params=dict(_PARAMS))
+        result = store.feedback_round(token, add_positive_ids=ids[:1], rank=False)
+        assert result.ranking is None
+        assert result.positive_ids == ids[:1]
+
+    def test_false_positive_promotion(self, service, tiny_scene_db):
+        store = SessionStore(service)
+        ids = tiny_scene_db.ids_in_category("waterfall")
+        negs = tiny_scene_db.ids_in_category("field")
+        token = store.create(learner="dd", params=dict(_PARAMS))
+        round1 = store.feedback_round(
+            token, add_positive_ids=ids[:2], add_negative_ids=negs[:1]
+        )
+        bad = [
+            entry.image_id
+            for entry in round1.ranking
+            if entry.category != "waterfall"
+        ][:2]
+        round2 = store.feedback_round(token, false_positive_ids=bad)
+        assert set(bad) <= set(round2.negative_ids)
+
+    def test_bad_edits_raise_and_rank_needs_positives(self, service):
+        store = SessionStore(service)
+        token = store.create(learner="dd", params=dict(_PARAMS))
+        with pytest.raises(DatabaseError):
+            store.feedback_round(token, add_positive_ids=["nope"], rank=False)
+        with pytest.raises(TrainingError, match="positive example"):
+            store.feedback_round(token)
+
+    def test_edits_are_atomic_across_all_lists(self, service, tiny_scene_db):
+        """A rejected round applies nothing, so a corrected retry succeeds."""
+        store = SessionStore(service)
+        ids = tiny_scene_db.ids_in_category("waterfall")
+        negs = tiny_scene_db.ids_in_category("field")
+        token = store.create(learner="dd", params=dict(_PARAMS))
+        with pytest.raises(DatabaseError, match="unknown image id"):
+            store.feedback_round(
+                token,
+                add_positive_ids=[ids[0], "typo-id"],
+                add_negative_ids=negs[:1],
+                rank=False,
+            )
+        session = store.get(token)
+        assert session.positive_ids == () and session.negative_ids == ()
+        # The corrected retry (including the previously good ids) works.
+        result = store.feedback_round(
+            token, add_positive_ids=ids[:2], add_negative_ids=negs[:1], rank=False
+        )
+        assert result.positive_ids == ids[:2]
+
+    def test_duplicate_across_edit_lists_rejected(self, service, tiny_scene_db):
+        store = SessionStore(service)
+        ids = tiny_scene_db.ids_in_category("waterfall")
+        token = store.create(learner="dd", params=dict(_PARAMS))
+        with pytest.raises(DatabaseError, match="duplicate image id"):
+            store.feedback_round(
+                token,
+                add_positive_ids=ids[:1],
+                add_negative_ids=ids[:1],
+                rank=False,
+            )
+        assert store.get(token).positive_ids == ()
+
+
+class TestMultiTenant:
+    def test_concurrent_tenants_never_cross_contaminate(self, service, tiny_scene_db):
+        """N threads on distinct tokens: examples stay per-tenant."""
+        store = SessionStore(service)
+        categories = tiny_scene_db.categories()
+        n_tenants = 8
+        plans = []
+        for index in range(n_tenants):
+            category = categories[index % len(categories)]
+            other = categories[(index + 1) % len(categories)]
+            plans.append(
+                (
+                    store.create(learner="dd", params=dict(_PARAMS, seed=index)),
+                    tiny_scene_db.ids_in_category(category)[:2],
+                    tiny_scene_db.ids_in_category(other)[:2],
+                )
+            )
+        results: dict[str, object] = {}
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(n_tenants)
+
+        def tenant(token, positives, negatives):
+            try:
+                barrier.wait(timeout=30)
+                store.feedback_round(
+                    token, add_positive_ids=positives, rank=False
+                )
+                store.feedback_round(
+                    token, add_negative_ids=negatives, rank=False
+                )
+                results[token] = store.feedback_round(token, top_k=5)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=tenant, args=plan) for plan in plans
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors, errors
+        assert len(results) == n_tenants
+        for token, positives, negatives in plans:
+            outcome = results[token]
+            assert outcome.positive_ids == positives
+            assert outcome.negative_ids == negatives
+            assert outcome.ranking is not None
+            # A tenant's own examples never leak into its ranking.
+            assert not set(outcome.ranking.image_ids) & (
+                set(positives) | set(negatives)
+            )
+
+    def test_cache_hits_are_shared_across_tenants(self, service, tiny_scene_db):
+        """Two tenants with identical examples share one training run."""
+        store = SessionStore(service)
+        ids = tiny_scene_db.ids_in_category("waterfall")[:2]
+        negs = tiny_scene_db.ids_in_category("field")[:2]
+        first = store.create(learner="dd", params=dict(_PARAMS))
+        second = store.create(learner="dd", params=dict(_PARAMS))
+        before = service.cache_stats
+        round1 = store.feedback_round(
+            first, add_positive_ids=ids, add_negative_ids=negs, top_k=5
+        )
+        round2 = store.feedback_round(
+            second, add_positive_ids=ids, add_negative_ids=negs, top_k=5
+        )
+        after = service.cache_stats
+        assert after.misses == before.misses + 1  # one tenant trained...
+        assert after.hits == before.hits + 1  # ...the other reused it
+        assert round1.ranking.image_ids == round2.ranking.image_ids
+
+    def test_same_token_rounds_serialise(self, service, tiny_scene_db):
+        """Concurrent rounds on one token interleave safely (no lost edits)."""
+        store = SessionStore(service)
+        token = store.create(learner="dd", params=dict(_PARAMS))
+        all_ids = tiny_scene_db.image_ids[:8]
+        errors: list[BaseException] = []
+
+        def add(image_id):
+            try:
+                store.feedback_round(token, add_negative_ids=[image_id], rank=False)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=add, args=(i,)) for i in all_ids]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors
+        assert set(store.get(token).negative_ids) == set(all_ids)
