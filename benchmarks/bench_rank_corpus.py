@@ -27,7 +27,6 @@ overhead, not numpy dispatch, dominates).
 """
 
 import os
-import time
 
 import numpy as np
 
@@ -64,16 +63,7 @@ def synthetic_corpus(n_images: int, seed: int = 17):
     return candidates
 
 
-def best_of(repeats, fn):
-    elapsed = []
-    for _ in range(repeats):
-        started = time.perf_counter()
-        fn()
-        elapsed.append(time.perf_counter() - started)
-    return min(elapsed)
-
-
-def test_vectorized_ranker_vs_loop(report):
+def test_vectorized_ranker_vs_loop(report, bench_json, best_of):
     candidates = synthetic_corpus(N_IMAGES)
     packed = PackedCorpus.from_candidates(candidates)
     rng = np.random.default_rng(5)
@@ -117,6 +107,19 @@ def test_vectorized_ranker_vs_loop(report):
             ),
         )
     )
+
+    bench_json("rank", "vectorized_vs_loop", {
+        "n_images": N_IMAGES,
+        "n_instances": packed.n_instances,
+        "n_dims": N_DIMS,
+        "loop_seconds": loop_s,
+        "vectorized_full_seconds": kernel_s,
+        "vectorized_top10_seconds": top_k_s,
+        "vectorized_ops_per_s": 1.0 / kernel_s if kernel_s > 0 else None,
+        "top_k_ops_per_s": 1.0 / top_k_s if top_k_s > 0 else None,
+        "full_speedup_vs_loop": full_speedup,
+        "top_k_speedup_vs_loop": top_k_speedup,
+    })
 
     if N_IMAGES >= 1000:
         assert top_k_speedup >= TOP_K_SPEEDUP_FLOOR, (

@@ -68,7 +68,7 @@ def _requests_per_second(client: ReproClient, query: Query) -> tuple[float, tupl
     return REQUEST_REPEATS / elapsed, ids
 
 
-def test_serve_throughput(benchmark, report, scale, tmp_path):
+def test_serve_throughput(benchmark, report, scale, tmp_path, bench_json):
     def run_all():
         database = scene_database(scale)
         service = RetrievalService(database)
@@ -99,11 +99,11 @@ def test_serve_throughput(benchmark, report, scale, tmp_path):
         identical = (
             cold_ids == warm_ids == reference.ranking.image_ids
         )
-        return codec_s, codec_exact, cold_rps, warm_rps, warm_misses, identical
+        return (codec_s, codec_exact, cold_rps, warm_rps, warm_misses,
+                identical, len(database))
 
-    codec_s, codec_exact, cold_rps, warm_rps, warm_misses, identical = (
-        benchmark.pedantic(run_all, rounds=1, iterations=1)
-    )
+    (codec_s, codec_exact, cold_rps, warm_rps, warm_misses, identical,
+     n_images) = benchmark.pedantic(run_all, rounds=1, iterations=1)
 
     report(
         ascii_table(
@@ -117,6 +117,16 @@ def test_serve_throughput(benchmark, report, scale, tmp_path):
             title="serving throughput (localhost, single client)",
         )
     )
+
+    bench_json("serve", "codec_and_workers", {
+        "n_images": n_images,
+        "codec_roundtrips_per_s": 1.0 / codec_s if codec_s > 0 else None,
+        "cold_requests_per_s": cold_rps,
+        "warm_requests_per_s": warm_rps,
+        "warm_vs_cold_speedup": warm_rps / cold_rps if cold_rps > 0 else None,
+        "warm_cache_misses": warm_misses,
+        "rankings_identical": bool(identical),
+    })
 
     assert codec_exact, "codec round-trip changed the result"
     assert identical, "served rankings diverged from the in-process reference"

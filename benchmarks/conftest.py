@@ -4,11 +4,21 @@ Every benchmark prints a "paper vs measured" report for its artefact; the
 ``report`` fixture collects those blocks and emits them after the run so
 they survive pytest-benchmark's own output.
 
+The ``bench_json`` fixture additionally writes machine-readable results —
+``BENCH_rank.json``, ``BENCH_serve.json``, ... — so the perf trajectory
+(ops/s, speedups, corpus sizes) is tracked across PRs and uploadable as a
+CI artifact.  ``REPRO_BENCH_JSON_DIR`` overrides the output directory
+(default: this ``benchmarks/`` directory).
+
 Scale is controlled by ``REPRO_BENCH_SCALE`` (quick | medium | paper); see
 :mod:`repro.experiments.scale`.
 """
 
 from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
 
 import pytest
 
@@ -21,6 +31,50 @@ _REPORTS: list[str] = []
 def scale():
     """The active benchmark scale."""
     return resolve_scale()
+
+
+@pytest.fixture(scope="session")
+def best_of():
+    """Callable timing ``fn`` ``repeats`` times and returning the minimum."""
+    import time
+
+    def _best(repeats: int, fn) -> float:
+        elapsed = []
+        for _ in range(repeats):
+            started = time.perf_counter()
+            fn()
+            elapsed.append(time.perf_counter() - started)
+        return min(elapsed)
+
+    return _best
+
+
+@pytest.fixture(scope="session")
+def bench_json():
+    """Callable merging one benchmark's results into ``BENCH_<name>.json``.
+
+    ``bench_json("rank", "sharded_vs_exhaustive", {...})`` read-modifies
+    ``BENCH_rank.json`` so several benchmark files can contribute entries
+    to one report without clobbering each other.
+    """
+    directory = Path(
+        os.environ.get("REPRO_BENCH_JSON_DIR", Path(__file__).resolve().parent)
+    )
+
+    def _write(name: str, entry: str, payload: dict) -> Path:
+        path = directory / f"BENCH_{name}.json"
+        results: dict = {}
+        if path.exists():
+            try:
+                results = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                results = {}
+        results[entry] = payload
+        directory.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+        return path
+
+    return _write
 
 
 @pytest.fixture(scope="session")

@@ -37,7 +37,12 @@ from repro.api.query import Query, QueryResult, QueryTiming
 from repro.bags.bag import Bag, BagSet
 from repro.core.cache import CacheStats, ConceptCache
 from repro.core.feedback import Corpus
-from repro.core.retrieval import RetrievalResult, packed_view
+from repro.core.retrieval import (
+    AUTO_SHARD_MIN_BAGS,
+    PackedCorpus,
+    RetrievalResult,
+    packed_view,
+)
 from repro.database.store import ImageDatabase
 from repro.errors import DatabaseError, QueryError
 
@@ -88,6 +93,11 @@ class RetrievalService:
             (oldest dropped first) so long-running servers do not leak
             memory; ``None`` keeps everything.  The lifetime query count
             survives trimming (see :meth:`stats`).
+        rank_index: allow ``top_k`` queries over large corpora to route
+            through the sharded bound-pruned rank index
+            (:mod:`repro.core.sharding`); rankings are identical either
+            way, so this is purely a performance knob.
+        rank_shards: pin the index's shard count (``None`` = automatic).
     """
 
     def __init__(
@@ -95,9 +105,13 @@ class RetrievalService:
         database: ImageDatabase,
         cache_size: int | None = 128,
         max_history: int | None = 1000,
+        rank_index: bool = True,
+        rank_shards: int | None = None,
     ) -> None:
         if max_history is not None and max_history < 0:
             raise QueryError(f"max_history must be >= 0 or None, got {max_history}")
+        if rank_shards is not None and rank_shards < 1:
+            raise QueryError(f"rank_shards must be >= 1 or None, got {rank_shards}")
         self._database = database
         self._corpora: dict[str, Corpus] = {"region-bags": database}
         self._lock = threading.Lock()
@@ -105,6 +119,8 @@ class RetrievalService:
         self._max_history = max_history
         self._n_queries = 0
         self._cache = ConceptCache(cache_size) if cache_size else None
+        self._rank_index = bool(rank_index)
+        self._rank_shards = rank_shards
 
     @property
     def database(self) -> ImageDatabase:
@@ -122,6 +138,16 @@ class RetrievalService:
         if self._cache is None:
             return CacheStats(hits=0, misses=0, entries=0, max_entries=0)
         return self._cache.stats
+
+    @property
+    def rank_index(self) -> bool:
+        """Whether the sharded rank index may serve ``top_k`` queries."""
+        return self._rank_index
+
+    @property
+    def rank_shards(self) -> int | None:
+        """Pinned shard count for the rank index (``None`` = automatic)."""
+        return self._rank_shards
 
     @property
     def history(self) -> tuple[QueryRecord, ...]:
@@ -159,6 +185,10 @@ class RetrievalService:
             "n_images": len(self._database),
             "database_name": self._database.name,
             "corpus_keys": corpus_keys,
+            "rank_index": {
+                "enabled": self._rank_index,
+                "shards": self._rank_shards,
+            },
             "cache": {
                 "hits": cache.hits,
                 "misses": cache.misses,
@@ -217,15 +247,22 @@ class RetrievalService:
         """Precompute the bag corpus a learner family uses; returns the image count.
 
         Builds the corpus's cached packed view (the serving hot path ranks
-        against it), so neither feature extraction nor packing is charged
-        to the first query.
+        against it) — and, on corpora large enough for the bound-pruned
+        rank path, the shard index too — so neither feature extraction nor
+        packing nor the index build is charged to the first query.
         """
         resolved = make_learner(learner, **params)
         resolved.bind(self._database)
         corpus = self.corpus_for(resolved)
         packer = getattr(corpus, "packed", None)
         if callable(packer):
-            packer()  # featurises every image while building the cached view
+            packed = packer()  # featurises every image into the cached view
+            if (
+                self._rank_index
+                and isinstance(packed, PackedCorpus)
+                and packed.n_bags >= AUTO_SHARD_MIN_BAGS
+            ):
+                packed.shard_index(self._rank_shards)
         else:
             for image_id in self._database.image_ids:
                 corpus.instances_for(image_id)
@@ -321,9 +358,38 @@ class RetrievalService:
                 if image_id not in self._database:
                     raise DatabaseError(f"unknown image id {image_id!r}")
         packed = packed_view(fitted.corpus, chosen)
+        if isinstance(packed, PackedCorpus):
+            self.apply_rank_policy(packed, ephemeral=chosen is not None)
         return fitted.model.rank(
             packed, exclude=exclude, top_k=top_k, category_filter=category_filter
         )
+
+    def apply_rank_policy(
+        self, packed: PackedCorpus, *, ephemeral: bool = False
+    ) -> None:
+        """Stamp this service's rank-index policy onto a packed view.
+
+        The policy travels with the corpus view, so the model's Ranker
+        routes (or refuses to route) accordingly.  Ephemeral views —
+        subset selections and legacy re-packs, discarded when the query
+        returns — never route: a shard index built on them would be thrown
+        away, costing far more than the exhaustive kernel.  On the cached
+        full view the policy is only stamped when it differs from the
+        view's current one, so a default-configured service never perturbs
+        a view another service over the same database configured
+        explicitly.
+        """
+        if ephemeral:
+            if packed.rank_index_enabled:
+                packed.configure_rank_index(enabled=False)
+            return
+        if not self._rank_index and packed.rank_index_enabled:
+            packed.configure_rank_index(enabled=False)
+        if (
+            self._rank_shards is not None
+            and packed.rank_index_shards != self._rank_shards
+        ):
+            packed.configure_rank_index(n_shards=self._rank_shards)
 
     def query(self, query: Query) -> QueryResult:
         """Execute one query end to end (fit + rank + timing)."""

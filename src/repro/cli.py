@@ -167,6 +167,14 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--warm", default="dd", metavar="LEARNERS",
                        help="comma-separated learner families whose corpora "
                        "to precompute before serving ('' skips warming)")
+    serve.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="shard count for the bound-pruned rank index "
+                       "(default: automatic, ~one shard per 16k images)")
+    serve.add_argument("--no-rank-index", dest="rank_index",
+                       action="store_false",
+                       help="rank exhaustively: never route top-k queries "
+                       "through the sharded rank index (rankings are "
+                       "identical either way)")
 
     client = commands.add_parser(
         "client-query", help="query a running repro serve worker"
@@ -405,7 +413,11 @@ def build_server(args: argparse.Namespace):
     """
     if args.snapshot:
         service, info = load_service(
-            args.snapshot, cache_size=args.cache_size, max_history=args.max_history
+            args.snapshot,
+            cache_size=args.cache_size,
+            max_history=args.max_history,
+            rank_index=args.rank_index,
+            rank_shards=args.shards,
         )
         print(
             f"restored warm worker from {info.path.name}: {info.n_images} images, "
@@ -416,6 +428,8 @@ def build_server(args: argparse.Namespace):
             load_database(args.db),
             cache_size=args.cache_size,
             max_history=args.max_history,
+            rank_index=args.rank_index,
+            rank_shards=args.shards,
         )
     for learner in [name.strip() for name in args.warm.split(",") if name.strip()]:
         service.warm(learner)

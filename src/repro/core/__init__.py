@@ -15,6 +15,8 @@
 * :mod:`repro.core.cache` — the fingerprint-keyed trained-concept cache.
 * :mod:`repro.core.concept` — the learned concept ``(t, w)`` and bag scoring.
 * :mod:`repro.core.retrieval` — min-distance ranking over an image database.
+* :mod:`repro.core.sharding` — the sharded bound-pruned exact top-k rank
+  index (per-bag envelopes, pruning threshold, thread fan-out).
 * :mod:`repro.core.feedback` — the simulated relevance-feedback loop of
   Section 4.1.
 """
@@ -32,6 +34,7 @@ from repro.core.engine import BatchedArmijoDescent, BatchedProjectedDescent
 from repro.core.feedback import FeedbackLoop, FeedbackRound
 from repro.core.objective import BatchedDiverseDensityObjective, DiverseDensityObjective
 from repro.core.retrieval import (
+    AUTO_SHARD_MIN_BAGS,
     PackedCorpus,
     RankedImage,
     Ranker,
@@ -41,6 +44,7 @@ from repro.core.retrieval import (
     rank_by_loop,
 )
 from repro.core.schemes import WeightScheme, make_scheme
+from repro.core.sharding import ShardIndex, ShardedRanker
 
 __all__ = [
     "CacheStats",
@@ -57,11 +61,14 @@ __all__ = [
     "FeedbackRound",
     "BatchedDiverseDensityObjective",
     "DiverseDensityObjective",
+    "AUTO_SHARD_MIN_BAGS",
     "PackedCorpus",
     "RankedImage",
     "Ranker",
     "RetrievalEngine",
     "RetrievalResult",
+    "ShardIndex",
+    "ShardedRanker",
     "packed_view",
     "rank_by_loop",
     "WeightScheme",

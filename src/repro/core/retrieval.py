@@ -35,6 +35,10 @@ import numpy as np
 from repro.core.concept import LearnedConcept
 from repro.errors import DatabaseError
 
+#: Distinguishes "argument omitted" from an explicit ``None`` in
+#: :meth:`PackedCorpus.configure_rank_index`.
+_UNSET = object()
+
 
 @dataclass(frozen=True)
 class RetrievalCandidate:
@@ -43,6 +47,27 @@ class RetrievalCandidate:
     image_id: str
     category: str
     instances: np.ndarray
+
+
+def concat_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenate ``[starts[i], starts[i] + lengths[i])`` integer ranges.
+
+    The gather idiom behind every fancy-index row collection in the rank
+    path (bag sub-selection, chunked evaluation, group sweeps): one
+    ``arange`` offset by per-range start/cursor differences — no Python
+    loop over ranges.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    offsets = np.concatenate([[0], np.cumsum(lengths)]).astype(np.int64)
+    total = int(offsets[-1])
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    return (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(offsets[:-1], lengths)
+        + np.repeat(starts, lengths)
+    )
 
 
 class PackedCorpus:
@@ -70,6 +95,9 @@ class PackedCorpus:
         "_category_array",
         "_position",
         "_squared",
+        "_shard_index",
+        "_rank_index_enabled",
+        "_rank_index_shards",
     )
 
     def __init__(
@@ -113,6 +141,9 @@ class PackedCorpus:
         object.__setattr__(self, "_category_array", np.array(labels, dtype=np.str_))
         object.__setattr__(self, "_position", {i: p for p, i in enumerate(ids)})
         object.__setattr__(self, "_squared", None)
+        object.__setattr__(self, "_shard_index", None)
+        object.__setattr__(self, "_rank_index_enabled", True)
+        object.__setattr__(self, "_rank_index_shards", None)
 
     def __setattr__(self, name: str, value: object) -> None:  # immutability guard
         raise AttributeError("PackedCorpus is immutable")
@@ -304,11 +335,7 @@ class PackedCorpus:
         starts = self.offsets[:-1][indices]
         new_offsets = np.concatenate([[0], np.cumsum(lengths)]).astype(np.int64)
         # Gather the selected bags' rows in one fancy-index pass.
-        row_index = (
-            np.arange(int(new_offsets[-1]), dtype=np.int64)
-            - np.repeat(new_offsets[:-1], lengths)
-            + np.repeat(starts, lengths)
-        )
+        row_index = concat_ranges(starts, lengths)
         return PackedCorpus(
             instances=self.instances[row_index],
             offsets=new_offsets,
@@ -353,6 +380,143 @@ class PackedCorpus:
         per_instance += float(weighted_t @ concept.t)
         np.maximum(per_instance, 0.0, out=per_instance)
         return np.minimum.reduceat(per_instance, self.offsets[:-1])
+
+    def min_distances_at(
+        self, concept: LearnedConcept, bag_indices: Sequence[int] | np.ndarray
+    ) -> np.ndarray:
+        """Per-bag min weighted squared distances for a subset of bags.
+
+        The pruned rank path evaluates surviving bags in memory-bounded
+        chunks: the selected bags' rows are gathered in one fancy-index
+        pass and scored with the same expanded quadratic form as
+        :meth:`min_distances` (reusing the cached squares when they exist),
+        so chunked evaluation never materialises an ``(N, d)`` temporary.
+
+        Args:
+            bag_indices: positions (0-based) of the bags to score, in the
+                order the distances should come back.
+
+        Raises:
+            DatabaseError: on an out-of-range index or a concept whose
+                dimensionality does not match the corpus.
+        """
+        if concept.n_dims != self.n_dims:
+            raise DatabaseError(
+                f"concept has {concept.n_dims} dims but the packed corpus "
+                f"holds {self.n_dims}"
+            )
+        chosen = np.asarray(bag_indices, dtype=np.int64).reshape(-1)
+        if chosen.size == 0:
+            return np.zeros(0)
+        if chosen.min() < 0 or chosen.max() >= self.n_bags:
+            raise DatabaseError(
+                f"bag indices must lie in [0, {self.n_bags}), got "
+                f"[{chosen.min()}, {chosen.max()}]"
+            )
+        lengths = self.lengths[chosen]
+        starts = self.offsets[:-1][chosen]
+        local_offsets = np.concatenate([[0], np.cumsum(lengths)]).astype(np.int64)
+        row_index = concat_ranges(starts, lengths)
+        rows = self.instances[row_index]
+        weighted_t = concept.w * concept.t
+        if self._squared is not None:
+            per_instance = self._squared[row_index] @ concept.w
+        else:
+            per_instance = np.square(rows) @ concept.w
+        per_instance -= 2.0 * (rows @ weighted_t)
+        per_instance += float(weighted_t @ concept.t)
+        np.maximum(per_instance, 0.0, out=per_instance)
+        return np.minimum.reduceat(per_instance, local_offsets[:-1])
+
+    # ------------------------------------------------------------------ #
+    # Rank index (repro.core.sharding)                                    #
+    # ------------------------------------------------------------------ #
+
+    def shard_index(self, n_shards: int | None = None):
+        """The (cached) bound-pruning shard index over this corpus.
+
+        Built lazily on first use — one min/max ``reduceat`` pass over the
+        stacked matrix — and cached on the corpus, so the build cost is
+        amortised across every subsequent query.  Because storage adapters
+        drop their packed view on mutation, a stale index can never survive
+        a database change.  Passing an explicit ``n_shards`` that differs
+        from the cached partition re-shards cheaply (the per-bag envelopes
+        are partition-independent).
+        """
+        from repro.core.sharding import ShardIndex
+
+        index = self._shard_index
+        if n_shards is None:
+            n_shards = self._rank_index_shards
+        if index is None:
+            index = ShardIndex.build(self, n_shards=n_shards)
+            object.__setattr__(self, "_shard_index", index)
+        elif n_shards is not None and index.n_shards != n_shards:
+            index = index.reshard(n_shards)
+            object.__setattr__(self, "_shard_index", index)
+        return index
+
+    @property
+    def cached_shard_index(self):
+        """The cached shard index, or ``None`` — never triggers a build.
+
+        The snapshot layer uses this to decide whether the index rides
+        along with a warm-worker snapshot.
+        """
+        return self._shard_index
+
+    def adopt_shard_index(self, index) -> None:
+        """Install an externally built shard index (snapshot restore path).
+
+        Raises:
+            DatabaseError: if the index does not describe this corpus.
+        """
+        if index.n_bags != self.n_bags or index.n_dims != self.n_dims:
+            raise DatabaseError(
+                f"adopted shard index covers {index.n_bags} bags x "
+                f"{index.n_dims} dims but the corpus holds "
+                f"{self.n_bags} x {self.n_dims}"
+            )
+        object.__setattr__(self, "_shard_index", index)
+
+    def configure_rank_index(
+        self,
+        *,
+        enabled: bool | None = None,
+        n_shards: "int | None" = _UNSET,
+    ) -> None:
+        """Set the serving policy for the bound-pruned rank index.
+
+        The policy travels with the corpus view (it is cache state, like
+        the squared-instance cache, not corpus data): ``enabled=False``
+        makes :class:`Ranker` rank this corpus exhaustively regardless of
+        size, ``n_shards`` pins the shard count the index is built with
+        (``None`` clears a pin back to automatic).  Omitted arguments
+        leave their part of the policy unchanged.
+
+        Raises:
+            DatabaseError: on a non-positive ``n_shards``.
+        """
+        if enabled is not None:
+            object.__setattr__(self, "_rank_index_enabled", bool(enabled))
+        if n_shards is not _UNSET:
+            if n_shards is not None and n_shards < 1:
+                raise DatabaseError(f"n_shards must be >= 1, got {n_shards}")
+            object.__setattr__(
+                self,
+                "_rank_index_shards",
+                None if n_shards is None else int(n_shards),
+            )
+
+    @property
+    def rank_index_enabled(self) -> bool:
+        """Whether :class:`Ranker` may route this corpus through the index."""
+        return self._rank_index_enabled
+
+    @property
+    def rank_index_shards(self) -> int | None:
+        """Pinned shard count for the rank index (``None`` = automatic)."""
+        return self._rank_index_shards
 
     def __repr__(self) -> str:
         return (
@@ -622,15 +786,114 @@ def packed_view(corpus, ids: Sequence[str] | None = None) -> PackedCorpus:
     return PackedCorpus.from_candidates(corpus)
 
 
+#: Bag count above which :class:`Ranker` routes a ``top_k`` query through
+#: the bound-pruned shard index by default.  Below it the exhaustive kernel
+#: is already a handful of microseconds and the index build would never pay
+#: for itself.
+AUTO_SHARD_MIN_BAGS = 4096
+
+
+def top_order(
+    ids: np.ndarray, distances: np.ndarray, top_k: int | None
+) -> np.ndarray:
+    """Indices of the best entries in ``(distance, image_id)`` order.
+
+    The exact prefix of the full id-tie-broken lexsort.  When ``top_k`` is
+    set and smaller than the pool, an ``np.partition`` pass finds the kth
+    smallest distance and only the contenders at or below it (distance ties
+    kept, so id tie-breaking stays exact) are lexsorted — O(N + c log c)
+    instead of the O(N log N) full sort the serving path used to pay.
+    """
+    if top_k is None or top_k >= ids.size:
+        return np.lexsort((ids, distances))[:top_k]
+    kth = np.partition(distances, top_k - 1)[top_k - 1]
+    contenders = np.nonzero(distances <= kth)[0]
+    order = contenders[np.lexsort((ids[contenders], distances[contenders]))]
+    return order[:top_k]
+
+
+def keep_mask(
+    packed: PackedCorpus,
+    exclude: Iterable[str] = (),
+    category_filter: str | None = None,
+) -> np.ndarray:
+    """Boolean mask of the bags surviving id exclusion and category filtering."""
+    keep = np.ones(packed.n_bags, dtype=bool)
+    excluded = set(exclude)
+    if excluded:
+        keep &= ~np.isin(packed.id_array, sorted(excluded))
+    if category_filter is not None:
+        keep &= packed.category_array == category_filter
+    return keep
+
+
+def build_result(
+    ids: np.ndarray,
+    categories: np.ndarray,
+    distances: np.ndarray,
+    order: np.ndarray,
+    total: int,
+) -> RetrievalResult:
+    """Materialise a :class:`RetrievalResult` from ordered array indices.
+
+    ``tolist()`` converts to native str/float in bulk — far cheaper than
+    per-element numpy scalar coercion when building the result.
+    """
+    ranked = [
+        RankedImage(rank=position, image_id=image_id, category=category,
+                    distance=distance)
+        for position, (image_id, category, distance) in enumerate(
+            zip(
+                ids[order].tolist(),
+                categories[order].tolist(),
+                distances[order].tolist(),
+            )
+        )
+    ]
+    return RetrievalResult(ranked, total_candidates=total)
+
+
 class Ranker:
     """Vectorised top-k ranking of a corpus against a learned concept.
 
     The serving hot path: scores every candidate with one broadcast
     weighted-distance kernel (:meth:`PackedCorpus.min_distances`), orders by
-    ``(distance, image_id)`` via ``np.lexsort`` — identical tie-breaking to
-    the legacy loop — and optionally truncates to the best ``top_k``
-    while preserving :attr:`RetrievalResult.total_candidates`.
+    ``(distance, image_id)`` — identical tie-breaking to the legacy loop,
+    via :func:`top_order`'s partial sort when ``top_k`` is set — and
+    truncates to the best ``top_k`` while preserving
+    :attr:`RetrievalResult.total_candidates`.
+
+    Large corpora take the bound-pruned path instead: a ``top_k`` query
+    over a :class:`PackedCorpus` of at least ``min_shard_bags`` bags is
+    routed through :class:`repro.core.sharding.ShardedRanker`, which skips
+    every bag whose geometric lower bound proves it cannot enter the top
+    ``k``.  The routed ranking is ordering-identical to the exhaustive one
+    (the pruning bound is exact), so routing is purely a performance
+    decision.
+
+    Args:
+        auto_shard: allow routing through the shard index (default on).
+        min_shard_bags: corpus size at which routing starts.
+        workers: thread-pool width for the sharded path (``None`` = one
+            thread per shard, capped by the machine).
     """
+
+    def __init__(
+        self,
+        *,
+        auto_shard: bool = True,
+        min_shard_bags: int = AUTO_SHARD_MIN_BAGS,
+        workers: int | None = None,
+    ) -> None:
+        if min_shard_bags < 1:
+            raise DatabaseError(
+                f"min_shard_bags must be >= 1, got {min_shard_bags}"
+            )
+        if workers is not None and workers < 1:
+            raise DatabaseError(f"workers must be >= 1 or None, got {workers}")
+        self._auto_shard = auto_shard
+        self._min_shard_bags = min_shard_bags
+        self._workers = workers
 
     def rank(
         self,
@@ -665,39 +928,31 @@ class Ranker:
         if top_k is not None and top_k < 1:
             raise DatabaseError(f"top_k must be >= 1 or None, got {top_k}")
         packed = PackedCorpus.coerce(corpus)
+        if (
+            self._auto_shard
+            and top_k is not None
+            and packed.rank_index_enabled
+            and packed.n_bags >= self._min_shard_bags
+        ):
+            from repro.core.sharding import ShardedRanker
+
+            return ShardedRanker(workers=self._workers).rank(
+                concept,
+                packed,
+                top_k=top_k,
+                exclude=exclude,
+                category_filter=category_filter,
+            )
         if packed.n_bags == 0:
             return RetrievalResult((), total_candidates=0)
-        keep = np.ones(packed.n_bags, dtype=bool)
-        excluded = set(exclude)
-        if excluded:
-            keep &= ~np.isin(packed.id_array, sorted(excluded))
-        if category_filter is not None:
-            keep &= packed.category_array == category_filter
+        keep = keep_mask(packed, exclude, category_filter)
         if not keep.any():
             return RetrievalResult((), total_candidates=0)
         distances = packed.min_distances(concept)[keep]
         ids = packed.id_array[keep]
         categories = packed.category_array[keep]
-        # Primary key: distance; secondary key: image id (lexsort reads the
-        # keys back to front) — the legacy loop's exact ordering.
-        order = np.lexsort((ids, distances))
-        total = int(ids.size)
-        if top_k is not None:
-            order = order[:top_k]
-        # tolist() converts to native str/float in bulk — far cheaper than
-        # per-element numpy scalar coercion when building the result.
-        ranked = [
-            RankedImage(rank=position, image_id=image_id, category=category,
-                        distance=distance)
-            for position, (image_id, category, distance) in enumerate(
-                zip(
-                    ids[order].tolist(),
-                    categories[order].tolist(),
-                    distances[order].tolist(),
-                )
-            )
-        ]
-        return RetrievalResult(ranked, total_candidates=total)
+        order = top_order(ids, distances, top_k)
+        return build_result(ids, categories, distances, order, int(ids.size))
 
 
 def rank_by_loop(

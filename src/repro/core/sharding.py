@@ -1,0 +1,556 @@
+"""Sharded, bound-pruned exact top-k ranking (the serving rank index).
+
+The exhaustive :class:`~repro.core.retrieval.Ranker` streams every instance
+of the corpus through the weighted-distance kernel on every query.  MIL's
+ranking score — the *minimum* over a bag's instances — admits a cheap and
+provably exact per-bag lower bound: for a bag whose instances lie inside
+the coordinate box ``[lo, hi]`` (the per-coordinate min/max envelope over
+its instances), every instance ``x`` satisfies
+
+    sum_j w_j (x_j - t_j)^2  >=  sum_j w_j * clip_j^2,
+    clip_j = max(0, lo_j - t_j, t_j - hi_j)
+
+because each coordinate of ``x`` lies in ``[lo_j, hi_j]`` and the weights
+are non-negative.  The bound costs O(n_bags * d) per query — one envelope
+pass instead of one pass per instance — and any bag whose bound exceeds
+the current kth-best *exact* distance can be skipped without evaluating a
+single instance.  Pruning is deliberately conservative: the cutoff is the
+threshold widened by :data:`PRUNE_SLACK` (absorbing the few-ulp formula
+difference between the clip-form bound and the expanded-form kernel) and
+ties at the cutoff are always evaluated, so a bag whose exact distance
+ties the kth-best (and might win on the id tie-break) is never skipped:
+the pruned ranking is **ordering-identical** to the exhaustive one,
+asserted by the equivalence suites.
+
+:class:`ShardIndex` precomputes the envelopes once per corpus (cached on
+the :class:`~repro.core.retrieval.PackedCorpus`, so corpus mutation —
+which rebuilds the packed view — can never serve a stale index) and
+partitions the bags into contiguous shards.  :class:`ShardedRanker` fans
+the shards out over a thread pool (the numpy kernels release the GIL),
+each shard scanning its bags in ascending-bound order in memory-bounded
+chunks while all shards share one running top-k threshold; the per-shard
+survivors are merged with the same id-tie-broken partial sort the
+exhaustive path uses, so the output is deterministic regardless of thread
+scheduling.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.concept import LearnedConcept
+from repro.core.retrieval import (
+    PackedCorpus,
+    RetrievalResult,
+    Ranker,
+    build_result,
+    concat_ranges,
+    keep_mask,
+    top_order,
+)
+from repro.errors import DatabaseError
+
+#: Target bags per shard when the shard count is chosen automatically.
+DEFAULT_SHARD_BAGS = 16384
+#: Cap on automatically chosen shard counts (thread fan-out width).
+MAX_AUTO_SHARDS = 16
+#: Bags evaluated per chunk inside a shard scan (memory bound: one chunk of
+#: gathered instance rows is the largest per-query temporary).
+DEFAULT_CHUNK_BAGS = 1024
+#: Bags per group envelope (the coarse first pruning level).  A group's
+#: envelope is the union box of its bags' envelopes, so one group-bound
+#: comparison can rule out all of its bags before any per-bag bound is
+#: computed — the per-query bound pass drops from O(n_bags x d) to
+#: O(n_bags / group_size x d) plus the surviving groups.
+DEFAULT_GROUP_BAGS = 64
+#: Relative slack applied to the pruning threshold.  The bound (clip form)
+#: and the exact kernel (expanded form) compute the same real quantity
+#: through different floating-point formulas, so on non-dyadic data the
+#: computed bound of a boundary bag can land a few ulps *above* its
+#: computed exact distance; widening the cutoff by this factor keeps every
+#: such bag in the evaluated set.  Slack only ever causes extra exact
+#: evaluations — it can never prune a candidate — so exactness is
+#: preserved and the cost is a handful of borderline bags per query.
+PRUNE_SLACK = 1e-9
+
+
+def _cutoff(threshold: float) -> float:
+    """The widened pruning cutoff for a running kth-best distance."""
+    return threshold + PRUNE_SLACK * threshold
+
+
+def shard_boundaries(n_bags: int, n_shards: int | None = None) -> np.ndarray:
+    """Contiguous shard boundaries (``n_shards + 1`` offsets) over the bags.
+
+    ``n_shards=None`` picks one shard per :data:`DEFAULT_SHARD_BAGS` bags,
+    capped at :data:`MAX_AUTO_SHARDS`.  An explicit count is clamped to the
+    bag count (a shard is never empty) and must be positive.
+
+    Raises:
+        DatabaseError: on a non-positive explicit ``n_shards``.
+    """
+    if n_shards is not None and n_shards < 1:
+        raise DatabaseError(f"n_shards must be >= 1, got {n_shards}")
+    if n_bags <= 0:
+        return np.zeros(1, dtype=np.int64)
+    if n_shards is None:
+        n_shards = max(1, min(MAX_AUTO_SHARDS, -(-n_bags // DEFAULT_SHARD_BAGS)))
+    n_shards = min(n_shards, n_bags)
+    return np.array(
+        [i * n_bags // n_shards for i in range(n_shards + 1)], dtype=np.int64
+    )
+
+
+class ShardIndex:
+    """Per-bag pruning envelopes plus a shard partition over one corpus.
+
+    Attributes:
+        corpus: the :class:`PackedCorpus` the index describes.
+        lower / upper: ``(n_bags, d)`` per-bag coordinate min/max envelopes.
+        boundaries: ``(n_shards + 1,)`` contiguous bag-range offsets.
+        group_size: bags per coarse group envelope.
+        group_lower / group_upper: ``(n_groups, d)`` union envelopes of
+            each block of ``group_size`` consecutive bags (derived from the
+            per-bag envelopes on construction, never persisted).
+
+    The envelopes are partition-independent, so :meth:`reshard` changes the
+    fan-out width without touching the instance matrix.
+    """
+
+    __slots__ = (
+        "corpus",
+        "lower",
+        "upper",
+        "boundaries",
+        "group_size",
+        "group_lower",
+        "group_upper",
+    )
+
+    def __init__(
+        self,
+        corpus: PackedCorpus,
+        lower: np.ndarray,
+        upper: np.ndarray,
+        boundaries: np.ndarray,
+        group_size: int = DEFAULT_GROUP_BAGS,
+    ) -> None:
+        lower = np.asarray(lower, dtype=np.float64)
+        upper = np.asarray(upper, dtype=np.float64)
+        bounds = np.asarray(boundaries, dtype=np.int64).reshape(-1)
+        expected = (corpus.n_bags, corpus.n_dims)
+        if lower.shape != expected or upper.shape != expected:
+            raise DatabaseError(
+                f"shard index envelopes must have shape {expected}, got "
+                f"{lower.shape} and {upper.shape}"
+            )
+        if np.any(lower > upper):
+            raise DatabaseError("shard index envelope has lower > upper")
+        if (
+            bounds.size < 1
+            or bounds[0] != 0
+            or bounds[-1] != corpus.n_bags
+            or (bounds.size > 1 and np.any(np.diff(bounds) < 1))
+        ):
+            raise DatabaseError(
+                f"shard boundaries must partition [0, {corpus.n_bags}] into "
+                f"non-empty ranges, got {bounds.tolist()}"
+            )
+        if group_size < 1:
+            raise DatabaseError(f"group_size must be >= 1, got {group_size}")
+        self.corpus = corpus
+        self.lower = lower
+        self.upper = upper
+        self.boundaries = bounds
+        self.group_size = int(group_size)
+        if lower.shape[0] == 0:
+            self.group_lower = lower
+            self.group_upper = upper
+        else:
+            group_starts = np.arange(0, lower.shape[0], group_size,
+                                     dtype=np.int64)
+            self.group_lower = np.minimum.reduceat(lower, group_starts, axis=0)
+            self.group_upper = np.maximum.reduceat(upper, group_starts, axis=0)
+
+    @classmethod
+    def build(
+        cls,
+        corpus,
+        n_shards: int | None = None,
+        group_size: int = DEFAULT_GROUP_BAGS,
+    ) -> "ShardIndex":
+        """Build the index for a corpus: one min/max pass over the matrix."""
+        packed = PackedCorpus.coerce(corpus)
+        if packed.n_bags == 0:
+            empty = np.zeros((0, packed.n_dims))
+            return cls(packed, empty, empty.copy(), np.zeros(1, dtype=np.int64),
+                       group_size)
+        lower = np.minimum.reduceat(packed.instances, packed.offsets[:-1], axis=0)
+        upper = np.maximum.reduceat(packed.instances, packed.offsets[:-1], axis=0)
+        return cls(packed, lower, upper,
+                   shard_boundaries(packed.n_bags, n_shards), group_size)
+
+    @property
+    def n_bags(self) -> int:
+        """Bags covered by the index."""
+        return self.lower.shape[0]
+
+    @property
+    def n_dims(self) -> int:
+        """Feature dimensionality."""
+        return self.lower.shape[1]
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards in the partition."""
+        return max(1, self.boundaries.size - 1)
+
+    def reshard(self, n_shards: int | None) -> "ShardIndex":
+        """The same envelopes under a different shard partition (cheap)."""
+        return ShardIndex(
+            self.corpus,
+            self.lower,
+            self.upper,
+            shard_boundaries(self.n_bags, n_shards),
+            self.group_size,
+        )
+
+    def lower_bounds(self, concept: LearnedConcept) -> np.ndarray:
+        """Exact per-bag lower bounds on the min weighted squared distance.
+
+        Never exceeds :meth:`PackedCorpus.min_distances` (asserted by the
+        unit suite); equals it when a bag's envelope is a point.
+
+        Raises:
+            DatabaseError: on a concept whose dimensionality does not match.
+        """
+        if concept.n_dims != self.n_dims:
+            raise DatabaseError(
+                f"concept has {concept.n_dims} dims but the shard index "
+                f"holds {self.n_dims}"
+            )
+        return envelope_bounds(self.lower, self.upper, concept)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardIndex({self.n_bags} bags, {self.n_dims} dims, "
+            f"{self.n_shards} shards)"
+        )
+
+
+def envelope_bounds(
+    lower: np.ndarray, upper: np.ndarray, concept: LearnedConcept
+) -> np.ndarray:
+    """The box lower bound for each envelope row: ``w . clip(t,lo,hi)-t)^2``.
+
+    ``clip`` projects the concept point onto each bag's box, so the result
+    is the exact weighted squared distance from ``t`` to the box — the
+    infimum of the instance kernel over it.  One clip, one in-place square
+    and one matrix-vector product; no O(bags x dims) temporary beyond the
+    clipped matrix itself.
+    """
+    gap = np.clip(concept.t, lower, upper)
+    gap -= concept.t
+    np.multiply(gap, gap, out=gap)
+    return gap @ concept.w
+
+
+class _ThresholdBox:
+    """Thread-shared upper bound on the final kth-best distance.
+
+    Every shard publishes its local kth-smallest evaluated distance; since
+    each local kth is computed over a subset of the candidates, it can only
+    over-estimate the global kth-best, so the shared minimum is always a
+    *safe* pruning threshold — the pruned ranking does not depend on the
+    order in which shards publish, only the amount of work skipped does.
+    """
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = np.inf
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def update(self, candidate: float) -> None:
+        with self._lock:
+            if candidate < self._value:
+                self._value = candidate
+
+
+class ShardedRanker:
+    """Exact top-k ranking that skips bags the lower bound rules out.
+
+    Produces orderings identical to the exhaustive
+    :class:`~repro.core.retrieval.Ranker` (and therefore to
+    :func:`~repro.core.retrieval.rank_by_loop`) for every input — the
+    bound is geometric and the pruning cutoff slack-widened
+    (:data:`PRUNE_SLACK`), so no tie-break or rounding case can diverge.
+    Queries that cannot prune (``top_k`` ``None`` or at least the
+    surviving pool size) fall back to the exhaustive kernel.
+
+    Args:
+        n_shards: shard count used when the corpus has no cached index
+            (``None`` = automatic, see :func:`shard_boundaries`).
+        workers: thread-pool width; ``None`` sizes to the shard count
+            (capped by the CPU count), ``1`` scans shards sequentially.
+        chunk_bags: bags evaluated per kernel call inside a shard scan.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_shards: int | None = None,
+        workers: int | None = None,
+        chunk_bags: int = DEFAULT_CHUNK_BAGS,
+    ) -> None:
+        if n_shards is not None and n_shards < 1:
+            raise DatabaseError(f"n_shards must be >= 1, got {n_shards}")
+        if workers is not None and workers < 1:
+            raise DatabaseError(f"workers must be >= 1 or None, got {workers}")
+        if chunk_bags < 1:
+            raise DatabaseError(f"chunk_bags must be >= 1, got {chunk_bags}")
+        self._n_shards = n_shards
+        self._workers = workers
+        self._chunk_bags = chunk_bags
+
+    def rank(
+        self,
+        concept: LearnedConcept,
+        corpus,
+        *,
+        top_k: int | None = None,
+        exclude: Iterable[str] = (),
+        category_filter: str | None = None,
+        index: ShardIndex | None = None,
+    ) -> RetrievalResult:
+        """Rank a corpus, best match first — same contract as ``Ranker.rank``.
+
+        Args:
+            index: a prebuilt :class:`ShardIndex` to use instead of the
+                corpus's cached one (benchmark/offline-build workflows).
+
+        Raises:
+            DatabaseError: on a non-positive ``top_k``, a mismatched
+                concept, or an ``index`` built over a different corpus.
+        """
+        if top_k is not None and top_k < 1:
+            raise DatabaseError(f"top_k must be >= 1 or None, got {top_k}")
+        packed = PackedCorpus.coerce(corpus)
+        if packed.n_bags == 0:
+            return RetrievalResult((), total_candidates=0)
+        exclude = tuple(exclude)  # consumed twice when the fallback runs
+        keep = keep_mask(packed, exclude, category_filter)
+        total = int(np.count_nonzero(keep))
+        if total == 0:
+            return RetrievalResult((), total_candidates=0)
+        if top_k is None or top_k >= total:
+            # Nothing can be pruned — every survivor must be ranked.
+            return Ranker(auto_shard=False).rank(
+                concept,
+                packed,
+                top_k=top_k,
+                exclude=exclude,
+                category_filter=category_filter,
+            )
+        if index is None:
+            index = packed.shard_index(self._n_shards)
+        elif index.n_bags != packed.n_bags or index.n_dims != packed.n_dims:
+            raise DatabaseError(
+                f"shard index covers {index.n_bags} bags x {index.n_dims} "
+                f"dims but the corpus holds {packed.n_bags} x {packed.n_dims}"
+            )
+        if concept.n_dims != packed.n_dims:
+            raise DatabaseError(
+                f"concept has {concept.n_dims} dims but the packed corpus "
+                f"holds {packed.n_dims}"
+            )
+        box = _ThresholdBox()
+        ranges = [
+            (int(index.boundaries[i]), int(index.boundaries[i + 1]))
+            for i in range(index.n_shards)
+        ]
+        if len(ranges) > 1 and (self._workers is None or self._workers > 1):
+            width = self._workers
+            if width is None:
+                width = min(len(ranges), max(1, (os.cpu_count() or 2)))
+            with ThreadPoolExecutor(max_workers=width) as pool:
+                parts = list(
+                    pool.map(
+                        lambda span: self._shard_candidates(
+                            packed, concept, index, keep, top_k, box, *span
+                        ),
+                        ranges,
+                    )
+                )
+        else:
+            parts = [
+                self._shard_candidates(
+                    packed, concept, index, keep, top_k, box, start, stop
+                )
+                for start, stop in ranges
+            ]
+        candidate_idx = np.concatenate([part[0] for part in parts])
+        candidate_dist = np.concatenate([part[1] for part in parts])
+        ids = packed.id_array[candidate_idx]
+        categories = packed.category_array[candidate_idx]
+        order = top_order(ids, candidate_dist, top_k)
+        return build_result(ids, categories, candidate_dist, order, total)
+
+    def _shard_candidates(
+        self,
+        packed: PackedCorpus,
+        concept: LearnedConcept,
+        index: ShardIndex,
+        keep: np.ndarray,
+        k: int,
+        box: _ThresholdBox,
+        start: int,
+        stop: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One shard's top-k candidates: ``(bag positions, exact distances)``.
+
+        Two-level, two-phase scan.  Level one compares *group* envelope
+        bounds (``group_size`` bags share one union box), so most bags are
+        ruled out without ever computing their per-bag bound; level two
+        bounds and then exactly evaluates only the bags of surviving
+        groups.  Phase one (*seed*) evaluates the ``k`` smallest per-bag
+        bounds of a small pool (edge bags + lowest-bound groups) via
+        ``np.argpartition`` — no full sort — tightening the shared
+        threshold as early as possible; phase two (*sweep*) evaluates the
+        remaining survivors in memory-bounded chunks, re-checking the
+        monotonically tightening threshold before each chunk.
+
+        Exactness: a pruned bag's distance is >= its bag bound >= its
+        group's bound > the slack-widened cutoff of a valid threshold >=
+        the final kth-best distance, so no pruned bag can enter the top-k;
+        ties at (or within :data:`PRUNE_SLACK` of) the threshold are
+        always evaluated, so id tie-breaking cannot diverge.
+        Bound computation happens here, per shard, so the thread pool
+        parallelises it too.  The returned candidates are trimmed to the
+        shard's own kth-smallest distance with ties kept, which preserves
+        every possible member of the global top-k.
+        """
+        empty = (np.zeros(0, dtype=np.int64), np.zeros(0))
+        group = index.group_size
+        # Whole groups [first_group, last_group) lie inside the shard; the
+        # (up to 2 * (group - 1)) edge bags at unaligned boundaries are
+        # treated as always-surviving seed-pool members.
+        first_group = -(-start // group)
+        last_group = max(first_group, stop // group)
+        edges = np.concatenate([
+            np.arange(start, min(first_group * group, stop), dtype=np.int64),
+            np.arange(max(last_group * group, start), stop, dtype=np.int64),
+        ])
+        if edges.size:
+            edges = edges[keep[edges]]
+        group_ids = np.arange(first_group, last_group, dtype=np.int64)
+        if group_ids.size:
+            group_bounds = envelope_bounds(
+                index.group_lower[first_group:last_group],
+                index.group_upper[first_group:last_group],
+                concept,
+            )
+            group_order = np.argsort(group_bounds)
+        else:
+            group_bounds = np.zeros(0)
+            group_order = np.zeros(0, dtype=np.int64)
+
+        # Seed pool: the edge bags plus the lowest-bound groups, until the
+        # pool can fill a local top-k.  Evaluating the pool's k smallest
+        # per-bag bounds first tightens the shared threshold as early as
+        # possible; the pool's leftovers re-enter the sweep below.
+        pool_parts = [edges]
+        n_pool = edges.size
+        n_seed_groups = 0
+        while n_pool < k and n_seed_groups < group_order.size:
+            g = int(group_ids[group_order[n_seed_groups]])
+            members = np.arange(g * group, min((g + 1) * group, stop),
+                                dtype=np.int64)
+            members = members[keep[members]]
+            pool_parts.append(members)
+            n_pool += members.size
+            n_seed_groups += 1
+        pool = np.concatenate(pool_parts)
+        if pool.size == 0:
+            return empty
+        pool_bounds = envelope_bounds(
+            index.lower[pool], index.upper[pool], concept
+        )
+        if pool.size > k:
+            seed = np.argpartition(pool_bounds, k - 1)[:k]
+        else:
+            seed = np.arange(pool.size)
+        kept_idx = [pool[seed]]
+        kept_dist = [packed.min_distances_at(concept, pool[seed])]
+        best = kept_dist[0]
+        if best.size > k:
+            best = np.partition(best, k - 1)[:k]
+        if best.size >= k:
+            box.update(float(best.max()))
+
+        # Sweep: the pool's unevaluated bags plus every bag of a surviving
+        # group (group bound <= widened threshold; a group whose bound
+        # exceeds a valid threshold cannot hold any top-k member).
+        threshold = _cutoff(box.value)
+        sweep_positions = [np.zeros(0, dtype=np.int64)]
+        sweep_bounds = [np.zeros(0)]
+        if pool.size > k:
+            leftovers = np.ones(pool.size, dtype=bool)
+            leftovers[seed] = False
+            sweep_positions.append(pool[leftovers])
+            sweep_bounds.append(pool_bounds[leftovers])
+        rest = group_order[n_seed_groups:]
+        if rest.size:
+            surviving = rest[group_bounds[rest] <= threshold]
+            if surviving.size:
+                starts = group_ids[surviving] * group
+                positions = concat_ranges(
+                    starts, np.minimum(starts + group, stop) - starts
+                )
+                positions = positions[keep[positions]]
+                if positions.size:
+                    sweep_positions.append(positions)
+                    sweep_bounds.append(
+                        envelope_bounds(
+                            index.lower[positions],
+                            index.upper[positions],
+                            concept,
+                        )
+                    )
+        positions = np.concatenate(sweep_positions)
+        position_bounds = np.concatenate(sweep_bounds)
+        survivors = np.nonzero(position_bounds <= threshold)[0]
+        cursor = 0
+        while cursor < survivors.size:
+            chunk = survivors[cursor : cursor + self._chunk_bags]
+            cursor += self._chunk_bags
+            # The threshold only tightens: re-filter the chunk.
+            chunk = chunk[position_bounds[chunk] <= _cutoff(box.value)]
+            if chunk.size == 0:
+                continue
+            distances = packed.min_distances_at(concept, positions[chunk])
+            kept_idx.append(positions[chunk])
+            kept_dist.append(distances)
+            best = np.concatenate((best, distances))
+            if best.size > k:
+                best = np.partition(best, k - 1)[:k]
+            if best.size >= k:
+                box.update(float(best.max()))
+        idx = np.concatenate(kept_idx)
+        dist = np.concatenate(kept_dist)
+        if dist.size > k:
+            kth = np.partition(dist, k - 1)[k - 1]
+            contenders = dist <= kth
+            idx = idx[contenders]
+            dist = dist[contenders]
+        return idx, dist

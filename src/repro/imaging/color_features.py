@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.errors import DatabaseError, FeatureError
 from repro.imaging.features import FeatureConfig
-from repro.imaging.smoothing import smooth_and_sample
+from repro.imaging.smoothing import smooth_and_sample, smooth_and_sample_stack
 from repro.imaging.transform import normalize_feature
 
 if TYPE_CHECKING:  # imported lazily at runtime to keep layering acyclic
@@ -49,6 +49,14 @@ class RgbFeatureExtractor:
     def extract(self, rgb: np.ndarray) -> np.ndarray:
         """Instance matrix of one RGB image.
 
+        The per-channel work is batched: each region is cropped once from
+        the ``(m, n, 3)`` array, the channel variances come from one
+        reduction, and all three channels ride through a single
+        integral-image smoothing pass
+        (:func:`~repro.imaging.smoothing.smooth_and_sample_stack`) instead
+        of three — the feature vectors are identical to the per-channel
+        loop (:func:`extract_rgb_by_loop`, asserted by the test suite).
+
         Args:
             rgb: ``(m, n, 3)`` float array in [0, 1].
 
@@ -67,19 +75,23 @@ class RgbFeatureExtractor:
         cfg = self._config
         vectors: list[np.ndarray] = []
         for index, region in enumerate(cfg.region_family):
-            crops = [region.extract(rgb[..., channel]) for channel in range(3)]
-            variance = float(np.mean([crop.var() for crop in crops]))
+            top, left, height, width = region.pixel_box(rgb.shape[0], rgb.shape[1])
+            crop = rgb[top : top + height, left : left + width, :]
             keep_anyway = cfg.keep_full_frame and index == 0
-            if not keep_anyway and variance < cfg.variance_threshold:
-                continue
-            matrices = [smooth_and_sample(crop, cfg.resolution) for crop in crops]
+            if not keep_anyway:
+                variance = float(crop.var(axis=(0, 1)).mean())
+                if variance < cfg.variance_threshold:
+                    continue
+            stack = smooth_and_sample_stack(crop, cfg.resolution)
             for mirrored in (False, True) if cfg.include_mirrors else (False,):
+                oriented = stack[:, ::-1, :] if mirrored else stack
                 blocks = []
                 failed = False
-                for matrix in matrices:
-                    oriented = matrix[:, ::-1] if mirrored else matrix
+                for channel in range(3):
                     try:
-                        blocks.append(normalize_feature(oriented.reshape(-1)))
+                        blocks.append(
+                            normalize_feature(oriented[..., channel].reshape(-1))
+                        )
                     except FeatureError:
                         failed = True
                         break
@@ -88,6 +100,52 @@ class RgbFeatureExtractor:
         if not vectors:
             raise FeatureError("no region survived RGB feature extraction")
         return np.vstack(vectors)
+
+
+def extract_rgb_by_loop(
+    rgb: np.ndarray, config: FeatureConfig | None = None
+) -> np.ndarray:
+    """The per-region/per-channel reference implementation of RGB extraction.
+
+    Crops, measures and smooths each colour channel separately — three
+    :func:`~repro.imaging.smoothing.smooth_and_sample` calls per region.
+    Kept as the reference the batched
+    :meth:`RgbFeatureExtractor.extract` is asserted feature-identical to
+    (``tests/test_color_features.py``); production code should use the
+    extractor.
+
+    Raises:
+        FeatureError: if no region survives or the input is not RGB.
+    """
+    rgb = np.asarray(rgb, dtype=np.float64)
+    if rgb.ndim != 3 or rgb.shape[2] != 3:
+        raise FeatureError(
+            f"RGB features require an (m, n, 3) array, got shape {rgb.shape}"
+        )
+    cfg = config or FeatureConfig()
+    vectors: list[np.ndarray] = []
+    for index, region in enumerate(cfg.region_family):
+        crops = [region.extract(rgb[..., channel]) for channel in range(3)]
+        variance = float(np.mean([crop.var() for crop in crops]))
+        keep_anyway = cfg.keep_full_frame and index == 0
+        if not keep_anyway and variance < cfg.variance_threshold:
+            continue
+        matrices = [smooth_and_sample(crop, cfg.resolution) for crop in crops]
+        for mirrored in (False, True) if cfg.include_mirrors else (False,):
+            blocks = []
+            failed = False
+            for matrix in matrices:
+                oriented = matrix[:, ::-1] if mirrored else matrix
+                try:
+                    blocks.append(normalize_feature(oriented.reshape(-1)))
+                except FeatureError:
+                    failed = True
+                    break
+            if not failed:
+                vectors.append(np.concatenate(blocks))
+    if not vectors:
+        raise FeatureError("no region survived RGB feature extraction")
+    return np.vstack(vectors)
 
 
 class RgbRegionCorpus:

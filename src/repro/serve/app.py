@@ -166,6 +166,11 @@ class ServiceApp:
             packed = self._service.database.packed(
                 None if candidate_ids is None else tuple(candidate_ids)
             )
+            # Honour the service's rank-index policy here too (and never
+            # build a throwaway index on a subset view).
+            self._service.apply_rank_policy(
+                packed, ephemeral=candidate_ids is not None
+            )
             ranking = Ranker().rank(
                 concept,
                 packed,

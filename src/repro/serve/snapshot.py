@@ -27,8 +27,9 @@ from repro.api.learners import ConceptModel, LearnedModel
 from repro.api.service import RetrievalService
 from repro.core.diverse_density import TrainingResult
 from repro.core.retrieval import PackedCorpus, packed_view
+from repro.core.sharding import ShardIndex
 from repro.database.persistence import database_from_payload, database_payload
-from repro.errors import CodecError, ServeError
+from repro.errors import CodecError, DatabaseError, ServeError
 from repro.serve import codec
 
 _SNAPSHOT_VERSION = 1
@@ -87,12 +88,48 @@ def _decode_cache_entry(entry: dict) -> tuple[str, object] | None:
     return None
 
 
+def _index_arrays(index: ShardIndex, prefix: str, arrays: dict) -> dict:
+    """Stash a shard index's arrays under ``prefix``; returns its manifest."""
+    arrays[f"{prefix}_lower"] = index.lower
+    arrays[f"{prefix}_upper"] = index.upper
+    arrays[f"{prefix}_boundaries"] = index.boundaries
+    return {
+        "lower": f"{prefix}_lower",
+        "upper": f"{prefix}_upper",
+        "boundaries": f"{prefix}_boundaries",
+    }
+
+
+def _restore_index(packed: PackedCorpus, info: dict | None, payload) -> None:
+    """Rebuild and adopt a snapshotted shard index onto a restored corpus.
+
+    Raises:
+        DatabaseError: when the index arrays do not describe the corpus
+            (a corrupt snapshot must not silently serve wrong prunings).
+    """
+    if info is None:
+        return
+    try:
+        lower = payload[info["lower"]]
+        upper = payload[info["upper"]]
+        boundaries = payload[info["boundaries"]]
+    except (KeyError, TypeError) as exc:
+        raise DatabaseError(
+            f"snapshot manifest references missing shard-index arrays: {exc}"
+        ) from exc
+    packed.adopt_shard_index(
+        ShardIndex(packed, lower=lower, upper=upper, boundaries=boundaries)
+    )
+
+
 def save_service(service: RetrievalService, path: str | Path) -> SnapshotInfo:
     """Write a warm-worker snapshot; returns what it carried.
 
     The snapshot holds the database (pixels + cached packed corpus), every
-    additional warmed corpus as a bare packed view, and the concept cache's
-    serialisable entries in LRU order.
+    additional warmed corpus as a bare packed view, the shard index of any
+    corpus that built one (so a warm worker's first large ``top_k`` query
+    skips the index build too), and the concept cache's serialisable
+    entries in LRU order.
     """
     path = Path(path)
     if path.suffix != ".npz":
@@ -101,6 +138,12 @@ def save_service(service: RetrievalService, path: str | Path) -> SnapshotInfo:
     # corpus to exist so it always rides along.
     service.database.packed()
     db_manifest, arrays = database_payload(service.database, key_prefix="db_")
+    manifest_extra: dict[str, dict] = {}
+    db_packed = service.database.cached_packed
+    if db_packed is not None and db_packed.cached_shard_index is not None:
+        manifest_extra["database_index"] = _index_arrays(
+            db_packed.cached_shard_index, "db_index", arrays
+        )
 
     corpora_manifest: dict[str, dict] = {}
     n_corpora_skipped = 0
@@ -124,6 +167,10 @@ def save_service(service: RetrievalService, path: str | Path) -> SnapshotInfo:
             "image_ids": list(packed.image_ids),
             "categories": list(packed.categories),
         }
+        if packed.cached_shard_index is not None:
+            corpora_manifest[key]["index"] = _index_arrays(
+                packed.cached_shard_index, f"{slug}_index", arrays
+            )
 
     cache_entries: list[dict] = []
     n_skipped = 0
@@ -143,6 +190,7 @@ def save_service(service: RetrievalService, path: str | Path) -> SnapshotInfo:
         "corpora": corpora_manifest,
         "cache": cache_entries,
         "service": {"max_history": service.max_history},
+        **manifest_extra,
     }
     arrays["manifest"] = np.frombuffer(
         json.dumps(manifest).encode("utf-8"), dtype=np.uint8
@@ -164,6 +212,8 @@ def load_service(
     *,
     cache_size: int | None = 128,
     max_history: int | None = None,
+    rank_index: bool = True,
+    rank_shards: int | None = None,
 ) -> tuple[RetrievalService, SnapshotInfo]:
     """Restore a warm service from a snapshot.
 
@@ -172,6 +222,9 @@ def load_service(
         cache_size: concept-cache capacity of the restored service
             (``0``/``None`` disables it — cached concepts are then dropped).
         max_history: history bound; ``None`` keeps the saved service's.
+        rank_index: allow the sharded bound-pruned rank index; snapshotted
+            indexes are restored either way (they are inert when disabled).
+        rank_shards: pin the restored service's shard count.
 
     Returns:
         ``(service, info)`` — the service answers a repeated query without
@@ -205,8 +258,16 @@ def load_service(
         if max_history is None:
             max_history = manifest.get("service", {}).get("max_history")
         service = RetrievalService(
-            database, cache_size=cache_size, max_history=max_history
+            database,
+            cache_size=cache_size,
+            max_history=max_history,
+            rank_index=rank_index,
+            rank_shards=rank_shards,
         )
+        if database.cached_packed is not None:
+            _restore_index(
+                database.cached_packed, manifest.get("database_index"), payload
+            )
         corpus_keys = [_DATABASE_KEY]
         for key, info in manifest.get("corpora", {}).items():
             packed = PackedCorpus(
@@ -215,6 +276,7 @@ def load_service(
                 image_ids=info["image_ids"],
                 categories=info["categories"],
             )
+            _restore_index(packed, info.get("index"), payload)
             service.adopt_corpus(key, packed)
             corpus_keys.append(key)
 

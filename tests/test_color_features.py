@@ -6,7 +6,11 @@ import pytest
 from repro.core.diverse_density import DiverseDensityTrainer, TrainerConfig
 from repro.core.feedback import FeedbackLoop, select_examples
 from repro.errors import DatabaseError, FeatureError
-from repro.imaging.color_features import RgbFeatureExtractor, RgbRegionCorpus
+from repro.imaging.color_features import (
+    RgbFeatureExtractor,
+    RgbRegionCorpus,
+    extract_rgb_by_loop,
+)
 from repro.imaging.features import FeatureConfig
 from repro.imaging.regions import region_family
 
@@ -62,6 +66,55 @@ class TestRgbFeatureExtractor:
         np.testing.assert_array_equal(
             extractor.extract(rgb_image(4)), extractor.extract(rgb_image(4))
         )
+
+
+class TestBatchedEqualsLoop:
+    """The channel-batched extractor must equal the per-channel loop exactly."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_feature_vectors_identical(self, seed):
+        image = rgb_image(seed, size=48 + seed)
+        config = small_config()
+        np.testing.assert_array_equal(
+            RgbFeatureExtractor(config).extract(image),
+            extract_rgb_by_loop(image, config),
+        )
+
+    def test_identical_without_mirrors(self):
+        config = FeatureConfig(
+            resolution=6, region_family=region_family("small9"),
+            include_mirrors=False,
+        )
+        image = rgb_image(9)
+        np.testing.assert_array_equal(
+            RgbFeatureExtractor(config).extract(image),
+            extract_rgb_by_loop(image, config),
+        )
+
+    def test_identical_under_default_config(self):
+        image = np.random.default_rng(11).uniform(0.05, 0.95, size=(64, 80, 3))
+        np.testing.assert_array_equal(
+            RgbFeatureExtractor().extract(image),
+            extract_rgb_by_loop(image),
+        )
+
+    def test_variance_gating_decisions_agree(self):
+        # Structure in one corner only: low-variance regions must be
+        # dropped by both paths, and the survivors must match exactly.
+        rng = np.random.default_rng(21)
+        image = np.full((40, 40, 3), 0.5)
+        image += rng.uniform(0, 1e-3, image.shape)  # sub-threshold noise
+        image[:20, :20, :] = rng.uniform(0, 1, (20, 20, 3))
+        config = small_config()
+        batched = RgbFeatureExtractor(config).extract(image)
+        looped = extract_rgb_by_loop(image, config)
+        np.testing.assert_array_equal(batched, looped)
+        # The gate actually fired: fewer instances than the full family.
+        assert batched.shape[0] < 2 * len(config.region_family)
+
+    def test_loop_reference_rejects_gray(self):
+        with pytest.raises(FeatureError):
+            extract_rgb_by_loop(np.zeros((32, 32)), small_config())
 
 
 class TestRgbRegionCorpus:

@@ -63,6 +63,77 @@ class TestRoundTrip:
         assert packed.image_ids == original.image_ids
         assert packed.instances.shape == original.instances.shape
 
+    def test_shard_index_rides_along(self, warmed, tmp_path):
+        """A built rank index is snapshotted and restored without a rebuild."""
+        import numpy as np
+
+        service, query, reference = warmed
+        original = service.database.packed()
+        index = original.shard_index(2)
+        info = save_service(service, tmp_path / "worker.npz")
+        restored, _ = load_service(info.path)
+        packed = restored.database.cached_packed
+        assert packed is not None
+        adopted = packed.cached_shard_index
+        assert adopted is not None, "shard index was not restored"
+        assert adopted.n_shards == index.n_shards
+        np.testing.assert_array_equal(adopted.lower, index.lower)
+        np.testing.assert_array_equal(adopted.upper, index.upper)
+        # The restored index serves the pruned path with identical output.
+        from repro.core.sharding import ShardedRanker
+
+        fast = ShardedRanker().rank(
+            reference.concept, packed, top_k=5, index=adopted,
+            exclude=query.example_ids,
+        )
+        assert fast.image_ids == reference.ranking.image_ids
+
+    def test_snapshot_without_index_still_loads(self, tmp_path):
+        # A fresh database: the shared fixture may already carry an index.
+        from repro.datasets.loader import quick_database
+        from repro.imaging.features import FeatureConfig
+        from repro.imaging.regions import region_family
+
+        database = quick_database(
+            "scenes", images_per_category=2, size=(48, 48), seed=3,
+            feature_config=FeatureConfig(
+                resolution=5, region_family=region_family("small9")
+            ),
+        )
+        service = RetrievalService(database)
+        assert database.packed().cached_shard_index is None
+        info = save_service(service, tmp_path / "worker.npz")
+        restored, _ = load_service(info.path)
+        assert restored.database.cached_packed.cached_shard_index is None
+
+    def test_manifest_with_missing_index_arrays_raises_database_error(
+        self, warmed, tmp_path
+    ):
+        import json
+
+        import numpy as np
+
+        from repro.errors import DatabaseError
+
+        service, _, _ = warmed
+        service.database.packed().shard_index(2)
+        info = save_service(service, tmp_path / "worker.npz")
+        with np.load(info.path) as payload:
+            arrays = {k: payload[k] for k in payload.files}
+        manifest = json.loads(bytes(arrays["manifest"]).decode("utf-8"))
+        assert "database_index" in manifest
+        del arrays[manifest["database_index"]["lower"]]
+        np.savez_compressed(tmp_path / "corrupt.npz", **arrays)
+        with pytest.raises(DatabaseError):
+            load_service(tmp_path / "corrupt.npz")
+
+    def test_load_service_forwards_rank_knobs(self, warmed, tmp_path):
+        service, _, _ = warmed
+        info = save_service(service, tmp_path / "worker.npz")
+        restored, _ = load_service(info.path, rank_index=False, rank_shards=4)
+        assert restored.rank_index is False
+        assert restored.rank_shards == 4
+
     def test_extra_corpora_survive(self, tiny_scene_db, tmp_path):
         """A warmed colour corpus rides along and serves fit + rank."""
         service = RetrievalService(tiny_scene_db)

@@ -1,0 +1,375 @@
+"""Unit tests for the sharded bound-pruned rank index (repro.core.sharding)."""
+
+import numpy as np
+import pytest
+
+from repro.api.service import RetrievalService
+from repro.core.concept import LearnedConcept
+from repro.core.retrieval import (
+    AUTO_SHARD_MIN_BAGS,
+    PackedCorpus,
+    Ranker,
+    RetrievalCandidate,
+    rank_by_loop,
+)
+from repro.core.sharding import (
+    DEFAULT_SHARD_BAGS,
+    MAX_AUTO_SHARDS,
+    ShardIndex,
+    ShardedRanker,
+    shard_boundaries,
+)
+from repro.errors import DatabaseError, QueryError
+
+
+def synthetic_packed(n_bags=300, n_dims=8, seed=3, max_instances=5):
+    rng = np.random.default_rng(seed)
+    candidates = []
+    for index in range(n_bags):
+        n = int(rng.integers(1, max_instances + 1))
+        candidates.append(
+            RetrievalCandidate(
+                image_id=f"img-{index:05d}",
+                category=("even", "odd")[index % 2],
+                instances=rng.normal(size=(n, n_dims)),
+            )
+        )
+    return PackedCorpus.from_candidates(candidates)
+
+
+def seeded_concept(n_dims, seed=7):
+    rng = np.random.default_rng(seed)
+    return LearnedConcept(
+        t=rng.normal(size=n_dims), w=rng.uniform(0.05, 1.0, n_dims), nll=0.0
+    )
+
+
+class TestShardBoundaries:
+    def test_automatic_partition_scales_with_bags(self):
+        assert shard_boundaries(10).tolist() == [0, 10]
+        two = shard_boundaries(2 * DEFAULT_SHARD_BAGS)
+        assert len(two) == 3 and two[-1] == 2 * DEFAULT_SHARD_BAGS
+
+    def test_automatic_partition_is_capped(self):
+        huge = shard_boundaries(100 * DEFAULT_SHARD_BAGS)
+        assert len(huge) == MAX_AUTO_SHARDS + 1
+
+    def test_explicit_count_clamped_to_bags(self):
+        assert shard_boundaries(3, 10).tolist() == [0, 1, 2, 3]
+
+    def test_partition_covers_exactly(self):
+        bounds = shard_boundaries(1000, 7)
+        assert bounds[0] == 0 and bounds[-1] == 1000
+        assert np.all(np.diff(bounds) >= 1)
+
+    def test_empty_and_invalid(self):
+        assert shard_boundaries(0).tolist() == [0]
+        with pytest.raises(DatabaseError):
+            shard_boundaries(10, 0)
+
+
+class TestShardIndex:
+    def test_lower_bounds_never_exceed_exact_distances(self):
+        packed = synthetic_packed()
+        index = ShardIndex.build(packed, 4)
+        for seed in range(5):
+            concept = seeded_concept(packed.n_dims, seed)
+            bounds = index.lower_bounds(concept)
+            exact = packed.min_distances(concept)
+            assert np.all(bounds <= exact + 1e-9)
+
+    def test_bound_is_tight_for_single_instance_bags(self):
+        packed = synthetic_packed(max_instances=1)
+        index = ShardIndex.build(packed)
+        concept = seeded_concept(packed.n_dims)
+        np.testing.assert_allclose(
+            index.lower_bounds(concept), packed.min_distances(concept),
+            rtol=1e-9,
+        )
+
+    def test_reshard_keeps_envelopes(self):
+        packed = synthetic_packed(50)
+        index = ShardIndex.build(packed, 2)
+        resharded = index.reshard(5)
+        assert resharded.n_shards == 5
+        assert resharded.lower is index.lower
+        assert resharded.upper is index.upper
+
+    def test_dimension_mismatch_rejected(self):
+        index = ShardIndex.build(synthetic_packed(20, n_dims=4))
+        with pytest.raises(DatabaseError):
+            index.lower_bounds(seeded_concept(5))
+
+    def test_empty_corpus(self):
+        packed = PackedCorpus.pack([], [], [])
+        index = ShardIndex.build(packed)
+        assert index.n_bags == 0 and index.n_shards == 1
+
+    def test_malformed_boundaries_rejected(self):
+        packed = synthetic_packed(10)
+        good = ShardIndex.build(packed, 2)
+        with pytest.raises(DatabaseError):
+            ShardIndex(packed, good.lower, good.upper, np.array([0, 3]))
+        with pytest.raises(DatabaseError):
+            ShardIndex(packed, good.upper, good.lower, good.boundaries)
+
+    def test_corpus_caches_and_reshards_index(self):
+        packed = synthetic_packed(40)
+        assert packed.cached_shard_index is None
+        index = packed.shard_index(3)
+        assert packed.cached_shard_index is index
+        assert packed.shard_index() is index  # None keeps the cached one
+        resharded = packed.shard_index(5)
+        assert resharded.n_shards == 5
+        assert packed.cached_shard_index is resharded
+
+    def test_adopt_rejects_foreign_index(self):
+        packed = synthetic_packed(40)
+        other = ShardIndex.build(synthetic_packed(10))
+        with pytest.raises(DatabaseError):
+            packed.adopt_shard_index(other)
+
+
+class TestShardedRankerEquivalence:
+    """Sharded output must be ordering-identical to Ranker and the loop."""
+
+    @pytest.mark.parametrize("n_shards,workers,chunk_bags", [
+        (1, 1, 1024), (4, 1, 16), (4, 3, 16), (7, 2, 1),
+    ])
+    def test_matches_exhaustive_and_loop(self, n_shards, workers, chunk_bags):
+        packed = synthetic_packed()
+        candidates = list(packed.candidates())
+        sharded = ShardedRanker(
+            n_shards=n_shards, workers=workers, chunk_bags=chunk_bags
+        )
+        for seed in range(3):
+            concept = seeded_concept(packed.n_dims, seed)
+            for top_k in (1, 10, packed.n_bags, packed.n_bags + 7, None):
+                fast = sharded.rank(concept, packed, top_k=top_k)
+                slow = Ranker(auto_shard=False).rank(concept, packed,
+                                                     top_k=top_k)
+                assert fast.image_ids == slow.image_ids
+                assert fast.total_candidates == slow.total_candidates
+                np.testing.assert_allclose(
+                    fast.distances, slow.distances, rtol=1e-9
+                )
+            loop = rank_by_loop(concept, candidates)
+            top = sharded.rank(concept, packed, top_k=25)
+            assert top.image_ids == loop.image_ids[:25]
+
+    def test_exclude_and_category_filter(self):
+        packed = synthetic_packed()
+        concept = seeded_concept(packed.n_dims)
+        excluded = packed.image_ids[::13]
+        fast = ShardedRanker(n_shards=5, chunk_bags=7).rank(
+            concept, packed, top_k=9, exclude=excluded, category_filter="odd"
+        )
+        slow = Ranker(auto_shard=False).rank(
+            concept, packed, top_k=9, exclude=excluded, category_filter="odd"
+        )
+        assert fast.image_ids == slow.image_ids
+        assert fast.total_candidates == slow.total_candidates
+        assert fast.is_truncated and slow.is_truncated
+
+    def test_single_bag_shards(self):
+        packed = synthetic_packed(30)
+        concept = seeded_concept(packed.n_dims)
+        fast = ShardedRanker(n_shards=packed.n_bags, chunk_bags=1).rank(
+            concept, packed, top_k=5
+        )
+        slow = Ranker(auto_shard=False).rank(concept, packed, top_k=5)
+        assert fast.image_ids == slow.image_ids
+
+    def test_ties_at_the_top_k_boundary(self):
+        # Five identical bags tie; k=3 must cut by id, exactly like the
+        # exhaustive path, even when pruning is active.
+        rng = np.random.default_rng(2)
+        shared = rng.normal(size=(2, 4))
+        names = ["m-2", "a-9", "z-1", "a-1", "m-1"]
+        candidates = [
+            RetrievalCandidate(name, "tied", shared.copy()) for name in names
+        ] + [
+            RetrievalCandidate(f"far-{i}", "far", shared + 40.0 + i)
+            for i in range(20)
+        ]
+        packed = PackedCorpus.from_candidates(candidates)
+        concept = seeded_concept(4)
+        fast = ShardedRanker(n_shards=6, chunk_bags=2).rank(
+            concept, packed, top_k=3
+        )
+        slow = Ranker(auto_shard=False).rank(concept, packed, top_k=3)
+        assert fast.image_ids == slow.image_ids == ("a-1", "a-9", "m-1")
+
+    def test_explicit_prebuilt_index(self):
+        packed = synthetic_packed(60)
+        index = ShardIndex.build(packed, 3)
+        concept = seeded_concept(packed.n_dims)
+        fast = ShardedRanker().rank(concept, packed, top_k=4, index=index)
+        slow = Ranker(auto_shard=False).rank(concept, packed, top_k=4)
+        assert fast.image_ids == slow.image_ids
+        assert packed.cached_shard_index is None  # explicit index, no cache
+
+    def test_mismatched_index_rejected(self):
+        packed = synthetic_packed(60)
+        foreign = ShardIndex.build(synthetic_packed(10))
+        with pytest.raises(DatabaseError):
+            ShardedRanker().rank(
+                seeded_concept(packed.n_dims), packed, top_k=4, index=foreign
+            )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DatabaseError):
+            ShardedRanker(n_shards=0)
+        with pytest.raises(DatabaseError):
+            ShardedRanker(workers=0)
+        with pytest.raises(DatabaseError):
+            ShardedRanker(chunk_bags=0)
+        with pytest.raises(DatabaseError):
+            ShardedRanker().rank(
+                seeded_concept(4), synthetic_packed(10, n_dims=4), top_k=0
+            )
+
+    def test_one_shot_exclude_iterator_survives_the_fallback(self):
+        # top_k >= total routes to the exhaustive fallback, which must not
+        # re-consume an already-exhausted exclude generator.
+        packed = synthetic_packed(20, n_dims=4)
+        concept = seeded_concept(4)
+        excluded = packed.image_ids[:3]
+        result = ShardedRanker(n_shards=4).rank(
+            concept, packed, top_k=packed.n_bags, exclude=iter(excluded)
+        )
+        assert not set(excluded) & set(result.image_ids)
+        assert result.total_candidates == packed.n_bags - 3
+
+    def test_empty_and_fully_excluded(self):
+        empty = PackedCorpus.pack([], [], [])
+        concept = seeded_concept(4)
+        assert len(ShardedRanker().rank(concept, empty, top_k=3)) == 0
+        packed = synthetic_packed(12, n_dims=4)
+        result = ShardedRanker(n_shards=3).rank(
+            concept, packed, top_k=3, exclude=packed.image_ids
+        )
+        assert len(result) == 0 and result.total_candidates == 0
+
+
+class TestRankerRouting:
+    def test_default_ranker_never_routes_small_corpora(self):
+        packed = synthetic_packed(50)
+        Ranker().rank(seeded_concept(packed.n_dims), packed, top_k=5)
+        assert packed.cached_shard_index is None
+
+    def test_low_threshold_ranker_routes_and_caches_the_index(self):
+        packed = synthetic_packed(50)
+        concept = seeded_concept(packed.n_dims)
+        routed = Ranker(min_shard_bags=10).rank(concept, packed, top_k=5)
+        assert packed.cached_shard_index is not None
+        exhaustive = Ranker(auto_shard=False).rank(concept, packed, top_k=5)
+        assert routed.image_ids == exhaustive.image_ids
+
+    def test_full_rankings_never_route(self):
+        packed = synthetic_packed(50)
+        Ranker(min_shard_bags=10).rank(seeded_concept(packed.n_dims), packed)
+        assert packed.cached_shard_index is None
+
+    def test_policy_disables_routing(self):
+        packed = synthetic_packed(50)
+        packed.configure_rank_index(enabled=False)
+        Ranker(min_shard_bags=10).rank(
+            seeded_concept(packed.n_dims), packed, top_k=5
+        )
+        assert packed.cached_shard_index is None
+
+    def test_policy_pins_shard_count(self):
+        packed = synthetic_packed(50)
+        packed.configure_rank_index(n_shards=5)
+        assert packed.rank_index_shards == 5
+        Ranker(min_shard_bags=10).rank(
+            seeded_concept(packed.n_dims), packed, top_k=5
+        )
+        assert packed.cached_shard_index.n_shards == 5
+
+    def test_policy_validates(self):
+        with pytest.raises(DatabaseError):
+            synthetic_packed(10).configure_rank_index(n_shards=0)
+        with pytest.raises(DatabaseError):
+            Ranker(min_shard_bags=0)
+        with pytest.raises(DatabaseError):
+            Ranker(workers=0)
+
+
+class TestMinDistancesAt:
+    def test_matches_full_kernel_subset(self):
+        packed = synthetic_packed()
+        concept = seeded_concept(packed.n_dims)
+        full = packed.min_distances(concept)
+        chosen = np.array([17, 3, 250, 3, 0, 299])
+        np.testing.assert_allclose(
+            packed.min_distances_at(concept, chosen), full[chosen], rtol=1e-9
+        )
+
+    def test_matches_after_squared_cache_exists(self):
+        packed = synthetic_packed(40)
+        concept = seeded_concept(packed.n_dims)
+        before = packed.min_distances_at(concept, [5, 1])
+        packed.min_distances(concept)  # builds the squared cache
+        after = packed.min_distances_at(concept, [5, 1])
+        np.testing.assert_allclose(before, after, rtol=1e-12)
+
+    def test_validates_inputs(self):
+        packed = synthetic_packed(10)
+        concept = seeded_concept(packed.n_dims)
+        assert packed.min_distances_at(concept, []).size == 0
+        with pytest.raises(DatabaseError):
+            packed.min_distances_at(concept, [10])
+        with pytest.raises(DatabaseError):
+            packed.min_distances_at(concept, [-1])
+        with pytest.raises(DatabaseError):
+            packed.min_distances_at(seeded_concept(packed.n_dims + 1), [0])
+
+
+class TestServiceKnobs:
+    def test_rank_shards_validated(self, tiny_scene_db):
+        with pytest.raises(QueryError):
+            RetrievalService(tiny_scene_db, rank_shards=0)
+
+    def test_policy_applied_to_served_corpus(self, tiny_scene_db):
+        service = RetrievalService(tiny_scene_db, rank_index=False,
+                                   rank_shards=3)
+        assert service.rank_index is False and service.rank_shards == 3
+        fitted = service.fit(
+            tiny_scene_db.ids_in_category("sunset")[:2],
+            learner="random",
+        )
+        service.rank_with(fitted, top_k=3)
+        packed = tiny_scene_db.cached_packed
+        assert packed is not None
+        assert packed.rank_index_enabled is False
+        assert packed.rank_index_shards == 3
+        # A default-configured service must not flip a policy another
+        # service stamped on the shared view.
+        RetrievalService(tiny_scene_db).rank_with(fitted, top_k=3)
+        assert packed.rank_index_enabled is False
+        # The fixture is session-shared: restore the default policy
+        # (n_shards=None clears the pin back to automatic).
+        packed.configure_rank_index(enabled=True, n_shards=None)
+        assert packed.rank_index_shards is None
+
+    def test_subset_queries_never_index_the_ephemeral_view(self, tiny_scene_db):
+        service = RetrievalService(tiny_scene_db)
+        fitted = service.fit(
+            tiny_scene_db.ids_in_category("sunset")[:2], learner="random"
+        )
+        subset = tiny_scene_db.image_ids[:8]
+        result = service.rank_with(fitted, candidate_ids=subset, top_k=3)
+        assert result.total_candidates == len(subset)
+        cached = tiny_scene_db.cached_packed
+        if cached is not None:  # the full view, if built, keeps its policy
+            assert cached.rank_index_enabled is True
+
+    def test_stats_report_the_policy(self, tiny_scene_db):
+        service = RetrievalService(tiny_scene_db, rank_shards=2)
+        stats = service.stats()
+        assert stats["rank_index"] == {"enabled": True, "shards": 2}
+
+    def test_default_threshold_constant_is_sane(self):
+        assert AUTO_SHARD_MIN_BAGS >= 1024
