@@ -359,30 +359,24 @@ class RetrievalService:
                     raise DatabaseError(f"unknown image id {image_id!r}")
         packed = packed_view(fitted.corpus, chosen)
         if isinstance(packed, PackedCorpus):
-            self.apply_rank_policy(packed, ephemeral=chosen is not None)
+            self.apply_rank_policy(packed)
         return fitted.model.rank(
             packed, exclude=exclude, top_k=top_k, category_filter=category_filter
         )
 
-    def apply_rank_policy(
-        self, packed: PackedCorpus, *, ephemeral: bool = False
-    ) -> None:
+    def apply_rank_policy(self, packed: PackedCorpus) -> None:
         """Stamp this service's rank-index policy onto a packed view.
 
         The policy travels with the corpus view, so the model's Ranker
         routes (or refuses to route) accordingly.  Ephemeral views —
         subset selections and legacy re-packs, discarded when the query
-        returns — never route: a shard index built on them would be thrown
-        away, costing far more than the exhaustive kernel.  On the cached
-        full view the policy is only stamped when it differs from the
-        view's current one, so a default-configured service never perturbs
-        a view another service over the same database configured
-        explicitly.
+        returns — arrive already non-routable
+        (:func:`~repro.core.retrieval.packed_view` disables the index on
+        every view no cache owns), and nothing here re-enables them.  The
+        policy is only stamped when it differs from the view's current
+        one, so a default-configured service never perturbs a view
+        another service over the same database configured explicitly.
         """
-        if ephemeral:
-            if packed.rank_index_enabled:
-                packed.configure_rank_index(enabled=False)
-            return
         if not self._rank_index and packed.rank_index_enabled:
             packed.configure_rank_index(enabled=False)
         if (

@@ -70,6 +70,29 @@ def concat_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
     )
 
 
+def _expanded_min_kernel(
+    rows: np.ndarray, squares: np.ndarray, concept, reduce_offsets: np.ndarray
+) -> np.ndarray:
+    """Per-bag min of the expanded weighted-distance quadratic form.
+
+    The single definition of the exact scoring kernel::
+
+        sum_j w_j (x_j - t_j)^2  =  (X^2) @ w  -  2 X @ (w t)  +  w . t^2
+
+    shared by :meth:`PackedCorpus.min_distances` (full corpus) and
+    :meth:`PackedCorpus.min_distances_at` (gathered subset).  Sharing one
+    formula is load-bearing: the sharded rank path's ordering-identical
+    guarantee relies on both paths computing bit-identical distances, so
+    any change to the term order here changes both together.
+    """
+    weighted_t = concept.w * concept.t
+    per_instance = squares @ concept.w
+    per_instance -= 2.0 * (rows @ weighted_t)
+    per_instance += float(weighted_t @ concept.t)
+    np.maximum(per_instance, 0.0, out=per_instance)
+    return np.minimum.reduceat(per_instance, reduce_offsets)
+
+
 class PackedCorpus:
     """A corpus in columnar form: stacked instances plus parallel metadata.
 
@@ -374,12 +397,9 @@ class PackedCorpus:
             )
         if self._squared is None:
             object.__setattr__(self, "_squared", self.instances * self.instances)
-        weighted_t = concept.w * concept.t
-        per_instance = self._squared @ concept.w
-        per_instance -= 2.0 * (self.instances @ weighted_t)
-        per_instance += float(weighted_t @ concept.t)
-        np.maximum(per_instance, 0.0, out=per_instance)
-        return np.minimum.reduceat(per_instance, self.offsets[:-1])
+        return _expanded_min_kernel(
+            self.instances, self._squared, concept, self.offsets[:-1]
+        )
 
     def min_distances_at(
         self, concept: LearnedConcept, bag_indices: Sequence[int] | np.ndarray
@@ -418,15 +438,12 @@ class PackedCorpus:
         local_offsets = np.concatenate([[0], np.cumsum(lengths)]).astype(np.int64)
         row_index = concat_ranges(starts, lengths)
         rows = self.instances[row_index]
-        weighted_t = concept.w * concept.t
-        if self._squared is not None:
-            per_instance = self._squared[row_index] @ concept.w
-        else:
-            per_instance = np.square(rows) @ concept.w
-        per_instance -= 2.0 * (rows @ weighted_t)
-        per_instance += float(weighted_t @ concept.t)
-        np.maximum(per_instance, 0.0, out=per_instance)
-        return np.minimum.reduceat(per_instance, local_offsets[:-1])
+        squares = (
+            self._squared[row_index]
+            if self._squared is not None
+            else np.square(rows)
+        )
+        return _expanded_min_kernel(rows, squares, concept, local_offsets[:-1])
 
     # ------------------------------------------------------------------ #
     # Rank index (repro.core.sharding)                                    #
@@ -760,6 +777,18 @@ class RetrievalResult:
         return f"RetrievalResult({len(self._ranked)} images)"
 
 
+def _ephemeral_view(packed: PackedCorpus) -> PackedCorpus:
+    """Mark a view no cache owns as non-routable for the rank index.
+
+    A shard index built on such a view dies with it when the caller
+    returns, so routing would pay an index build *plus* the bound pass on
+    every query — strictly more than one exhaustive kernel pass.
+    """
+    if packed.rank_index_enabled:
+        packed.configure_rank_index(enabled=False)
+    return packed
+
+
 def packed_view(corpus, ids: Sequence[str] | None = None) -> PackedCorpus:
     """The best packed view a corpus offers for the given ids.
 
@@ -768,12 +797,23 @@ def packed_view(corpus, ids: Sequence[str] | None = None) -> PackedCorpus:
     from its cache), a legacy corpus offering only
     ``retrieval_candidates(ids)``, or a plain iterable of
     :class:`RetrievalCandidate` items (``ids`` must be ``None``).
+
+    Views this function creates that no adapter cache owns — id subsets,
+    legacy re-packs, raw-iterable packs — come back with the rank index
+    disabled (:meth:`PackedCorpus.configure_rank_index`): they are
+    discarded when the caller returns, so :class:`Ranker` must never
+    build a throwaway shard index on them.  Caller-held views (a
+    :class:`PackedCorpus` passed directly, an adapter's cached full view)
+    keep their own policy.
     """
     if isinstance(corpus, PackedCorpus):
-        return corpus if ids is None else corpus.select(tuple(ids))
+        if ids is None:
+            return corpus
+        return _ephemeral_view(corpus.select(tuple(ids)))
     packer = getattr(corpus, "packed", None)
     if callable(packer):
-        return packer(ids)
+        view = packer(ids)
+        return view if ids is None else _ephemeral_view(view)
     legacy = getattr(corpus, "retrieval_candidates", None)
     if callable(legacy):
         if ids is None:
@@ -782,8 +822,8 @@ def packed_view(corpus, ids: Sequence[str] | None = None) -> PackedCorpus:
             all_ids = getattr(corpus, "image_ids", None)
             if all_ids is not None:
                 ids = tuple(all_ids)
-        return PackedCorpus.from_candidates(legacy(ids))
-    return PackedCorpus.from_candidates(corpus)
+        return _ephemeral_view(PackedCorpus.from_candidates(legacy(ids)))
+    return _ephemeral_view(PackedCorpus.from_candidates(corpus))
 
 
 #: Bag count above which :class:`Ranker` routes a ``top_k`` query through

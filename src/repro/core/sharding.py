@@ -15,9 +15,12 @@ are non-negative.  The bound costs O(n_bags * d) per query — one envelope
 pass instead of one pass per instance — and any bag whose bound exceeds
 the current kth-best *exact* distance can be skipped without evaluating a
 single instance.  Pruning is deliberately conservative: the cutoff is the
-threshold widened by :data:`PRUNE_SLACK` (absorbing the few-ulp formula
-difference between the clip-form bound and the expanded-form kernel) and
-ties at the cutoff are always evaluated, so a bag whose exact distance
+threshold widened by the relative :data:`PRUNE_SLACK` *and* an absolute
+floor scaled to the corpus/query magnitude
+(:meth:`ShardIndex.prune_floor` — together absorbing the formula
+difference between the clip-form bound and the expanded-form kernel,
+including its cancellation error near distance 0) and ties at the cutoff
+are always evaluated, so a bag whose exact distance
 ties the kth-best (and might win on the id tie-break) is never skipped:
 the pruned ranking is **ordering-identical** to the exhaustive one,
 asserted by the equivalence suites.
@@ -77,11 +80,53 @@ DEFAULT_GROUP_BAGS = 64
 #: evaluations — it can never prune a candidate — so exactness is
 #: preserved and the cost is a handful of borderline bags per query.
 PRUNE_SLACK = 1e-9
+#: Safety factor on the absolute cutoff floor (:meth:`ShardIndex.prune_floor`).
+#: The floor bounds the expanded quadratic form's cancellation error; the
+#: analytic bound is ~``n_dims * eps * kernel_scale`` and this factor covers
+#: the accumulation constants the analysis elides.  Like :data:`PRUNE_SLACK`,
+#: a generous floor only costs extra exact evaluations, never exactness.
+PRUNE_FLOOR_SAFETY = 8.0
 
 
-def _cutoff(threshold: float) -> float:
-    """The widened pruning cutoff for a running kth-best distance."""
-    return threshold + PRUNE_SLACK * threshold
+_POOL_LOCK = threading.Lock()
+_SHARED_POOL: ThreadPoolExecutor | None = None
+
+
+def _shared_pool() -> ThreadPoolExecutor:
+    """The process-wide shard-scan thread pool, created on first use.
+
+    A routed query's scan targets single-digit milliseconds, so paying
+    thread spawn/teardown per query (every :meth:`Ranker.rank` call
+    constructs a fresh :class:`ShardedRanker`) would cost a double-digit
+    share of the budget.  The pool is shared by all default-width queries
+    — numpy releases the GIL inside the kernels, concurrent ``map`` calls
+    interleave safely, and the deterministic merge makes scheduling
+    invisible in the output.  An explicit ``workers`` width still gets a
+    private pool (tests and benchmarks pin widths).
+    """
+    global _SHARED_POOL
+    with _POOL_LOCK:
+        if _SHARED_POOL is None:
+            _SHARED_POOL = ThreadPoolExecutor(
+                max_workers=min(MAX_AUTO_SHARDS, max(1, os.cpu_count() or 2)),
+                thread_name_prefix="repro-shard",
+            )
+        return _SHARED_POOL
+
+
+def _cutoff(threshold: float, floor: float) -> float:
+    """The widened pruning cutoff for a running kth-best distance.
+
+    Relative slack alone collapses to zero width when the running
+    threshold is 0 — exactly the regime where the expanded-form kernel's
+    cancellation error (clamped at 0 by ``min_distances``) is largest
+    relative to the clip-form bound, so a bag whose computed exact
+    distance rounds to the threshold could still be pruned by its
+    positive bound.  The absolute ``floor`` (scaled to the corpus/query
+    magnitude, see :meth:`ShardIndex.prune_floor`) keeps the cutoff wider
+    than that cancellation error at every threshold.
+    """
+    return threshold + max(PRUNE_SLACK * threshold, floor)
 
 
 def shard_boundaries(n_bags: int, n_shards: int | None = None) -> np.ndarray:
@@ -117,6 +162,9 @@ class ShardIndex:
         group_lower / group_upper: ``(n_groups, d)`` union envelopes of
             each block of ``group_size`` consecutive bags (derived from the
             per-bag envelopes on construction, never persisted).
+        extent: ``(d,)`` per-coordinate max absolute value over all bag
+            envelopes — the corpus-magnitude input to :meth:`prune_floor`
+            (derived on construction, never persisted).
 
     The envelopes are partition-independent, so :meth:`reshard` changes the
     fan-out width without touching the instance matrix.
@@ -130,6 +178,7 @@ class ShardIndex:
         "group_size",
         "group_lower",
         "group_upper",
+        "extent",
     )
 
     def __init__(
@@ -139,6 +188,8 @@ class ShardIndex:
         upper: np.ndarray,
         boundaries: np.ndarray,
         group_size: int = DEFAULT_GROUP_BAGS,
+        *,
+        _derived: tuple | None = None,
     ) -> None:
         lower = np.asarray(lower, dtype=np.float64)
         upper = np.asarray(upper, dtype=np.float64)
@@ -168,10 +219,16 @@ class ShardIndex:
         self.upper = upper
         self.boundaries = bounds
         self.group_size = int(group_size)
-        if lower.shape[0] == 0:
+        if _derived is not None:
+            # Partition-independent derived arrays handed over by
+            # :meth:`reshard`, which must stay O(n_shards) as documented.
+            self.group_lower, self.group_upper, self.extent = _derived
+        elif lower.shape[0] == 0:
             self.group_lower = lower
             self.group_upper = upper
+            self.extent = np.zeros(lower.shape[1])
         else:
+            self.extent = np.maximum(np.abs(lower), np.abs(upper)).max(axis=0)
             group_starts = np.arange(0, lower.shape[0], group_size,
                                      dtype=np.int64)
             self.group_lower = np.minimum.reduceat(lower, group_starts, axis=0)
@@ -211,13 +268,19 @@ class ShardIndex:
         return max(1, self.boundaries.size - 1)
 
     def reshard(self, n_shards: int | None) -> "ShardIndex":
-        """The same envelopes under a different shard partition (cheap)."""
+        """The same envelopes under a different shard partition (cheap).
+
+        The per-bag and group envelopes plus the extent are partition
+        independent, so only the boundary offsets are recomputed —
+        O(n_shards), not O(n_bags x d).
+        """
         return ShardIndex(
             self.corpus,
             self.lower,
             self.upper,
             shard_boundaries(self.n_bags, n_shards),
             self.group_size,
+            _derived=(self.group_lower, self.group_upper, self.extent),
         )
 
     def lower_bounds(self, concept: LearnedConcept) -> np.ndarray:
@@ -235,6 +298,31 @@ class ShardIndex:
                 f"holds {self.n_dims}"
             )
         return envelope_bounds(self.lower, self.upper, concept)
+
+    def prune_floor(self, concept: LearnedConcept) -> float:
+        """Absolute cutoff slack covering the exact kernel's rounding error.
+
+        ``min_distances`` evaluates the expanded quadratic form
+        ``(X^2) @ w - 2 X @ (w t) + w . t^2``, whose terms can each reach
+        ``kernel_scale = w @ (extent + |t|)^2`` in magnitude; catastrophic
+        cancellation between them (clamped at 0) can therefore push a
+        computed distance below its true value — and below the clip-form
+        bound — by up to ``O(n_dims * eps * kernel_scale)``.  The floor
+        (that bound times :data:`PRUNE_FLOOR_SAFETY`) widens the pruning
+        cutoff by at least this error at every threshold, so a bag whose
+        computed exact distance ties the running kth-best is never pruned
+        on the strength of its (more accurate) bound, even when the
+        threshold itself is 0 and relative slack has no width.  O(d) per
+        query.
+        """
+        if concept.n_dims != self.n_dims:
+            raise DatabaseError(
+                f"concept has {concept.n_dims} dims but the shard index "
+                f"holds {self.n_dims}"
+            )
+        scale = float(concept.w @ (self.extent + np.abs(concept.t)) ** 2)
+        eps = float(np.finfo(np.float64).eps)
+        return PRUNE_FLOOR_SAFETY * max(1, self.n_dims) * eps * scale
 
     def __repr__(self) -> str:
         return (
@@ -294,15 +382,19 @@ class ShardedRanker:
     :class:`~repro.core.retrieval.Ranker` (and therefore to
     :func:`~repro.core.retrieval.rank_by_loop`) for every input — the
     bound is geometric and the pruning cutoff slack-widened
-    (:data:`PRUNE_SLACK`), so no tie-break or rounding case can diverge.
+    (:data:`PRUNE_SLACK` plus the absolute
+    :meth:`ShardIndex.prune_floor`), so no tie-break or rounding case can
+    diverge.
     Queries that cannot prune (``top_k`` ``None`` or at least the
     surviving pool size) fall back to the exhaustive kernel.
 
     Args:
         n_shards: shard count used when the corpus has no cached index
             (``None`` = automatic, see :func:`shard_boundaries`).
-        workers: thread-pool width; ``None`` sizes to the shard count
-            (capped by the CPU count), ``1`` scans shards sequentially.
+        workers: thread-pool width; ``None`` fans out over the shared
+            process-wide pool (:func:`_shared_pool` — no per-query thread
+            spawn on the serving hot path), an explicit width gets a
+            private pool, ``1`` scans shards sequentially.
         chunk_bags: bags evaluated per kernel call inside a shard scan.
     """
 
@@ -364,10 +456,15 @@ class ShardedRanker:
             )
         if index is None:
             index = packed.shard_index(self._n_shards)
-        elif index.n_bags != packed.n_bags or index.n_dims != packed.n_dims:
+        elif index.corpus is not packed:
+            # A same-shaped index over *different* instances would prune
+            # silently wrong; the index carries its corpus, so identity is
+            # checkable for free.
             raise DatabaseError(
-                f"shard index covers {index.n_bags} bags x {index.n_dims} "
-                f"dims but the corpus holds {packed.n_bags} x {packed.n_dims}"
+                f"the supplied shard index ({index.n_bags} bags x "
+                f"{index.n_dims} dims) was built over a different corpus "
+                f"than the one being ranked ({packed.n_bags} x "
+                f"{packed.n_dims}); build the index over the ranked corpus"
             )
         if concept.n_dims != packed.n_dims:
             raise DatabaseError(
@@ -375,30 +472,21 @@ class ShardedRanker:
                 f"holds {packed.n_dims}"
             )
         box = _ThresholdBox()
+        floor = index.prune_floor(concept)
         ranges = [
             (int(index.boundaries[i]), int(index.boundaries[i + 1]))
             for i in range(index.n_shards)
         ]
-        if len(ranges) > 1 and (self._workers is None or self._workers > 1):
-            width = self._workers
-            if width is None:
-                width = min(len(ranges), max(1, (os.cpu_count() or 2)))
-            with ThreadPoolExecutor(max_workers=width) as pool:
-                parts = list(
-                    pool.map(
-                        lambda span: self._shard_candidates(
-                            packed, concept, index, keep, top_k, box, *span
-                        ),
-                        ranges,
-                    )
-                )
+        scan = lambda span: self._shard_candidates(  # noqa: E731
+            packed, concept, index, keep, top_k, box, floor, *span
+        )
+        if len(ranges) > 1 and self._workers is None:
+            parts = list(_shared_pool().map(scan, ranges))
+        elif len(ranges) > 1 and self._workers > 1:
+            with ThreadPoolExecutor(max_workers=self._workers) as pool:
+                parts = list(pool.map(scan, ranges))
         else:
-            parts = [
-                self._shard_candidates(
-                    packed, concept, index, keep, top_k, box, start, stop
-                )
-                for start, stop in ranges
-            ]
+            parts = [scan(span) for span in ranges]
         candidate_idx = np.concatenate([part[0] for part in parts])
         candidate_dist = np.concatenate([part[1] for part in parts])
         ids = packed.id_array[candidate_idx]
@@ -414,6 +502,7 @@ class ShardedRanker:
         keep: np.ndarray,
         k: int,
         box: _ThresholdBox,
+        floor: float,
         start: int,
         stop: int,
     ) -> tuple[np.ndarray, np.ndarray]:
@@ -433,8 +522,9 @@ class ShardedRanker:
         Exactness: a pruned bag's distance is >= its bag bound >= its
         group's bound > the slack-widened cutoff of a valid threshold >=
         the final kth-best distance, so no pruned bag can enter the top-k;
-        ties at (or within :data:`PRUNE_SLACK` of) the threshold are
-        always evaluated, so id tie-breaking cannot diverge.
+        ties at (or within the :data:`PRUNE_SLACK` / ``floor`` widening
+        of) the threshold are always evaluated, so id tie-breaking cannot
+        diverge.
         Bound computation happens here, per shard, so the thread pool
         parallelises it too.  The returned candidates are trimmed to the
         shard's own kth-smallest distance with ties kept, which preserves
@@ -501,7 +591,7 @@ class ShardedRanker:
         # Sweep: the pool's unevaluated bags plus every bag of a surviving
         # group (group bound <= widened threshold; a group whose bound
         # exceeds a valid threshold cannot hold any top-k member).
-        threshold = _cutoff(box.value)
+        threshold = _cutoff(box.value, floor)
         sweep_positions = [np.zeros(0, dtype=np.int64)]
         sweep_bounds = [np.zeros(0)]
         if pool.size > k:
@@ -535,7 +625,7 @@ class ShardedRanker:
             chunk = survivors[cursor : cursor + self._chunk_bags]
             cursor += self._chunk_bags
             # The threshold only tightens: re-filter the chunk.
-            chunk = chunk[position_bounds[chunk] <= _cutoff(box.value)]
+            chunk = chunk[position_bounds[chunk] <= _cutoff(box.value, floor)]
             if chunk.size == 0:
                 continue
             distances = packed.min_distances_at(concept, positions[chunk])

@@ -50,9 +50,10 @@ class RgbFeatureExtractor:
         """Instance matrix of one RGB image.
 
         The per-channel work is batched: each region is cropped once from
-        the ``(m, n, 3)`` array, the channel variances come from one
-        reduction, and all three channels ride through a single
-        integral-image smoothing pass
+        the ``(m, n, 3)`` array, the channel variances reduce over views
+        of that one crop (computed per channel so the floating-point
+        summation matches the reference loop bit-for-bit), and all three
+        channels ride through a single integral-image smoothing pass
         (:func:`~repro.imaging.smoothing.smooth_and_sample_stack`) instead
         of three — the feature vectors are identical to the per-channel
         loop (:func:`extract_rgb_by_loop`, asserted by the test suite).
@@ -79,7 +80,13 @@ class RgbFeatureExtractor:
             crop = rgb[top : top + height, left : left + width, :]
             keep_anyway = cfg.keep_full_frame and index == 0
             if not keep_anyway:
-                variance = float(crop.var(axis=(0, 1)).mean())
+                # Per-channel .var() over 2-D views that share the reference
+                # loop's memory layout — a joint var(axis=(0, 1)) groups
+                # numpy's pairwise summation differently and can move a
+                # region sitting exactly on the threshold by ulps.
+                variance = float(
+                    np.mean([crop[..., channel].var() for channel in range(3)])
+                )
                 if variance < cfg.variance_threshold:
                     continue
             stack = smooth_and_sample_stack(crop, cfg.resolution)

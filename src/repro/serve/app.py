@@ -37,7 +37,7 @@ from typing import Any, Mapping
 
 from repro.api.learners import available_learners
 from repro.api.service import RetrievalService
-from repro.core.retrieval import Ranker
+from repro.core.retrieval import Ranker, packed_view
 from repro.serve import codec
 from repro.serve.sessions import SessionStore
 from repro.errors import CodecError, QueryError, ReproError, SessionError
@@ -163,14 +163,13 @@ class ServiceApp:
         elif data.get("concept") is not None:
             concept = codec.decode_concept(data["concept"])
             candidate_ids = data.get("candidate_ids")
-            packed = self._service.database.packed(
-                None if candidate_ids is None else tuple(candidate_ids)
+            # packed_view marks subset views non-routable (no throwaway
+            # shard index); the policy stamp covers the cached full view.
+            packed = packed_view(
+                self._service.database,
+                None if candidate_ids is None else tuple(candidate_ids),
             )
-            # Honour the service's rank-index policy here too (and never
-            # build a throwaway index on a subset view).
-            self._service.apply_rank_policy(
-                packed, ephemeral=candidate_ids is not None
-            )
+            self._service.apply_rank_policy(packed)
             ranking = Ranker().rank(
                 concept,
                 packed,

@@ -27,7 +27,7 @@ from repro.api.learners import ConceptModel, LearnedModel
 from repro.api.service import RetrievalService
 from repro.core.diverse_density import TrainingResult
 from repro.core.retrieval import PackedCorpus, packed_view
-from repro.core.sharding import ShardIndex
+from repro.core.sharding import DEFAULT_GROUP_BAGS, ShardIndex
 from repro.database.persistence import database_from_payload, database_payload
 from repro.errors import CodecError, DatabaseError, ServeError
 from repro.serve import codec
@@ -97,6 +97,7 @@ def _index_arrays(index: ShardIndex, prefix: str, arrays: dict) -> dict:
         "lower": f"{prefix}_lower",
         "upper": f"{prefix}_upper",
         "boundaries": f"{prefix}_boundaries",
+        "group_size": int(index.group_size),
     }
 
 
@@ -118,7 +119,14 @@ def _restore_index(packed: PackedCorpus, info: dict | None, payload) -> None:
             f"snapshot manifest references missing shard-index arrays: {exc}"
         ) from exc
     packed.adopt_shard_index(
-        ShardIndex(packed, lower=lower, upper=upper, boundaries=boundaries)
+        ShardIndex(
+            packed,
+            lower=lower,
+            upper=upper,
+            boundaries=boundaries,
+            # Snapshots predating the group_size field restore the default.
+            group_size=int(info.get("group_size", DEFAULT_GROUP_BAGS)),
+        )
     )
 
 

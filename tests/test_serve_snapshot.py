@@ -88,6 +88,22 @@ class TestRoundTrip:
         )
         assert fast.image_ids == reference.ranking.image_ids
 
+    def test_shard_index_group_size_round_trips(self, warmed, tmp_path):
+        # Regression: the manifest used to omit group_size, silently
+        # restoring a non-default index with DEFAULT_GROUP_BAGS.
+        from repro.core.sharding import ShardIndex
+
+        service, _, _ = warmed
+        original = service.database.packed()
+        original.adopt_shard_index(
+            ShardIndex.build(original, 2, group_size=3)
+        )
+        info = save_service(service, tmp_path / "worker.npz")
+        restored, _ = load_service(info.path)
+        adopted = restored.database.cached_packed.cached_shard_index
+        assert adopted is not None
+        assert adopted.group_size == 3
+
     def test_snapshot_without_index_still_loads(self, tmp_path):
         # A fresh database: the shared fixture may already carry an index.
         from repro.datasets.loader import quick_database

@@ -10,6 +10,7 @@ from repro.core.retrieval import (
     PackedCorpus,
     Ranker,
     RetrievalCandidate,
+    packed_view,
     rank_by_loop,
 )
 from repro.core.sharding import (
@@ -94,6 +95,11 @@ class TestShardIndex:
         assert resharded.n_shards == 5
         assert resharded.lower is index.lower
         assert resharded.upper is index.upper
+        # Partition-independent derived arrays are handed over, not
+        # recomputed — reshard is O(n_shards).
+        assert resharded.group_lower is index.group_lower
+        assert resharded.group_upper is index.group_upper
+        assert resharded.extent is index.extent
 
     def test_dimension_mismatch_rejected(self):
         index = ShardIndex.build(synthetic_packed(20, n_dims=4))
@@ -128,6 +134,19 @@ class TestShardIndex:
         other = ShardIndex.build(synthetic_packed(10))
         with pytest.raises(DatabaseError):
             packed.adopt_shard_index(other)
+
+    def test_prune_floor_tracks_corpus_and_query_magnitude(self):
+        packed = synthetic_packed(20)
+        index = ShardIndex.build(packed)
+        concept = seeded_concept(packed.n_dims)
+        small = index.prune_floor(concept)
+        assert small > 0.0
+        shifted = LearnedConcept(t=concept.t + 1e8, w=concept.w, nll=0.0)
+        # A huge translation inflates the expanded form's cancellation
+        # error, so the floor must grow with it.
+        assert index.prune_floor(shifted) > 1e10 * small
+        with pytest.raises(DatabaseError):
+            index.prune_floor(seeded_concept(packed.n_dims + 1))
 
 
 class TestShardedRankerEquivalence:
@@ -200,6 +219,35 @@ class TestShardedRankerEquivalence:
         slow = Ranker(auto_shard=False).rank(concept, packed, top_k=3)
         assert fast.image_ids == slow.image_ids == ("a-1", "a-9", "m-1")
 
+    @pytest.mark.parametrize("n_shards,workers", [(1, 1), (3, 2)])
+    def test_zero_threshold_cancellation_regime(self, n_shards, workers):
+        # Regression (review of PR 5): relative slack alone gives the
+        # cutoff zero width once the running kth-best distance is 0.  A
+        # huge translation puts the expanded-form kernel deep in
+        # cancellation: bags sitting exactly at ``t`` score a computed 0,
+        # and the bag offset by 1e-4 (true distance 1e-8) *also* clamps to
+        # 0 — while its clip-form bound is a clean positive 1e-8.  Without
+        # the absolute prune floor that bag is skipped even though it ties
+        # the kth-best and wins the id tie-break, diverging from the
+        # exhaustive ranker.
+        t = 1e8
+        candidates = [
+            RetrievalCandidate(
+                "aaa-extra", "x", np.array([[t + 1e-4]])
+            )
+        ] + [
+            RetrievalCandidate(f"zzz-{i:03d}", "x", np.array([[t]]))
+            for i in range(6)
+        ]
+        packed = PackedCorpus.from_candidates(candidates)
+        concept = LearnedConcept(t=np.array([t]), w=np.array([1.0]), nll=0.0)
+        assert packed.min_distances(concept)[0] == 0.0  # the clamped tie
+        fast = ShardedRanker(n_shards=n_shards, workers=workers).rank(
+            concept, packed, top_k=2
+        )
+        slow = Ranker(auto_shard=False).rank(concept, packed, top_k=2)
+        assert fast.image_ids == slow.image_ids == ("aaa-extra", "zzz-000")
+
     def test_explicit_prebuilt_index(self):
         packed = synthetic_packed(60)
         index = ShardIndex.build(packed, 3)
@@ -215,6 +263,13 @@ class TestShardedRankerEquivalence:
         with pytest.raises(DatabaseError):
             ShardedRanker().rank(
                 seeded_concept(packed.n_dims), packed, top_k=4, index=foreign
+            )
+        # Same shape is not enough: an index over different instances
+        # would prune silently wrong, so corpus identity is required.
+        twin = ShardIndex.build(synthetic_packed(60, seed=99))
+        with pytest.raises(DatabaseError):
+            ShardedRanker().rank(
+                seeded_concept(packed.n_dims), packed, top_k=4, index=twin
             )
 
     def test_invalid_parameters(self):
@@ -295,6 +350,38 @@ class TestRankerRouting:
             Ranker(min_shard_bags=0)
         with pytest.raises(DatabaseError):
             Ranker(workers=0)
+
+    def test_views_packed_on_the_spot_never_route(self):
+        # Regression (review of PR 5): packed_view's throwaway creations
+        # — id subsets, legacy re-packs, raw-iterable packs — die with
+        # the call, so routing them would build a discarded shard index
+        # on every query.  They come back non-routable; caller-held views
+        # keep their policy.
+        packed = synthetic_packed(30, n_dims=4)
+        assert packed_view(packed).rank_index_enabled
+        assert not packed_view(packed, packed.image_ids[:10]).rank_index_enabled
+
+        rng = np.random.default_rng(5)
+        candidates = [
+            RetrievalCandidate(f"img-{i:03d}", "c", rng.normal(size=(2, 4)))
+            for i in range(30)
+        ]
+        assert not packed_view(candidates).rank_index_enabled
+
+        class LegacyOnly:
+            image_ids = tuple(c.image_id for c in candidates)
+
+            def retrieval_candidates(self, ids):
+                by_id = {c.image_id: c for c in candidates}
+                return [by_id[i] for i in ids]
+
+        assert not packed_view(LegacyOnly()).rank_index_enabled
+        # A low-threshold Ranker fed the raw list stays exhaustive — and
+        # correct.
+        concept = seeded_concept(4)
+        routed = Ranker(min_shard_bags=5).rank(concept, candidates, top_k=3)
+        exhaustive = Ranker(auto_shard=False).rank(concept, candidates, top_k=3)
+        assert routed.image_ids == exhaustive.image_ids
 
 
 class TestMinDistancesAt:
