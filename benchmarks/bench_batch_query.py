@@ -49,7 +49,7 @@ def _build_queries(database, scale) -> list[Query]:
     return queries
 
 
-def test_batch_query_throughput(benchmark, report, scale):
+def test_batch_query_throughput(benchmark, report, scale, bench_json):
     def run_both():
         database = scene_database(scale)
         # The concept cache would answer the second (parallel) pass without
@@ -78,6 +78,17 @@ def test_batch_query_throughput(benchmark, report, scale):
     assert identical, "multi-worker batch diverged from sequential execution"
     # Threads must not make things pathologically slower.
     assert parallel_s < sequential_s * 3.0
+
+    bench_json("batch", "batch_query_throughput", {
+        "n_queries": n_queries,
+        "workers": WORKERS,
+        "sequential_seconds": sequential_s,
+        "parallel_seconds": parallel_s,
+        "sequential_queries_per_s": n_queries / sequential_s,
+        "parallel_queries_per_s": n_queries / parallel_s,
+        "speedup_parallel": sequential_s / parallel_s,
+        "rankings_identical": identical,
+    })
 
     rows = [
         ["sequential (workers=1)", f"{sequential_s:.2f}",

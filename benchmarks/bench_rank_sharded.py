@@ -28,6 +28,13 @@ itself: the default 4x holds on dedicated hardware, but shared CI runners
 step asserts "sharded beats exhaustive" without flaking on wall-clock
 variance.  Results land in ``BENCH_rank.json`` via the shared JSON
 reporter.
+
+The corpus comes from :mod:`repro.datasets.synth` in feature mode: a
+"clean" scenario (tight clusters, no clutter) over 64 categories is
+exactly the regime this index exists for, and building it through the
+generator means the bench exercises the same deterministic
+``(seed, category, index)`` derivation the million-bag corpora use —
+any corpus this bench times can be regenerated bit-identically.
 """
 
 import os
@@ -36,8 +43,9 @@ import time
 import numpy as np
 
 from repro.core.concept import LearnedConcept
-from repro.core.retrieval import PackedCorpus, Ranker
+from repro.core.retrieval import Ranker
 from repro.core.sharding import ShardIndex, ShardedRanker
+from repro.datasets.synth import ScenarioConfig, corpus_from_config, feature_center
 from repro.eval.reporting import ascii_table
 
 N_BAGS = int(os.environ.get("REPRO_SHARD_BENCH_BAGS", "100000"))
@@ -50,45 +58,43 @@ REPEATS = 5
 
 
 def clustered_corpus(n_bags: int, seed: int = 11):
-    """Bags of 4-8 instances drawn around one of 64 well-separated centres.
+    """A synth feature-mode corpus: 64 tight clusters, ingested per category.
 
-    Returns the packed corpus and the cluster centres.  Cluster spread is
-    small relative to centre separation, so per-bag envelopes are tight and
-    a concept near one centre is *selective*: almost every other cluster's
-    bags are bound-prunable.  Bags are ingested cluster-by-cluster —
-    exactly how every :class:`~repro.database.store.ImageDatabase` in this
-    repo is populated (images added per category) — which is the layout
-    the index's coarse group envelopes exploit.
+    Returns the packed corpus and its :class:`ScenarioConfig`.  Cluster
+    spread is small relative to centre separation, so per-bag envelopes
+    are tight and a concept near one centre is *selective*: almost every
+    other cluster's bags are bound-prunable.  The generator emits bags
+    category-by-category — exactly how every
+    :class:`~repro.database.store.ImageDatabase` in this repo is populated
+    — which is the layout the index's coarse group envelopes exploit.
     """
-    rng = np.random.default_rng(seed)
-    centers = rng.normal(scale=4.0, size=(N_CLUSTERS, N_DIMS))
-    assignment = np.sort(rng.integers(0, N_CLUSTERS, size=n_bags))
-    lengths = rng.integers(4, 9, size=n_bags).astype(np.int64)
-    offsets = np.concatenate([[0], np.cumsum(lengths)]).astype(np.int64)
-    rows = centers[np.repeat(assignment, lengths)]
-    rows = rows + rng.normal(scale=0.05, size=rows.shape)
-    packed = PackedCorpus(
-        instances=rows,
-        offsets=offsets,
-        image_ids=[f"img-{i:06d}" for i in range(n_bags)],
-        categories=[f"cluster-{c:02d}" for c in assignment],
-    )
-    return packed, centers
+    config = ScenarioConfig(
+        name="bench-clusters",
+        mode="feature",
+        categories=tuple(f"cluster-{c:02d}" for c in range(N_CLUSTERS)),
+        bags_per_category=1,
+        seed=seed,
+        feature_dims=N_DIMS,
+        instances_per_bag=6,
+        cluster_spread=0.05,
+    ).with_total_bags(n_bags)
+    return corpus_from_config(config), config
 
 
-def selective_concept(centers: np.ndarray, seed: int = 23) -> LearnedConcept:
-    """A trained-concept stand-in sitting near one cluster centre."""
+def selective_concept(config: ScenarioConfig, seed: int = 23) -> LearnedConcept:
+    """A trained-concept stand-in sitting near one category's centre."""
     rng = np.random.default_rng(seed)
+    center = feature_center(config, config.categories[0])
     return LearnedConcept(
-        t=centers[0] + rng.normal(scale=0.02, size=N_DIMS),
-        w=rng.uniform(0.5, 1.0, size=N_DIMS),
+        t=center + rng.normal(scale=0.02, size=config.feature_dims),
+        w=rng.uniform(0.5, 1.0, size=config.feature_dims),
         nll=0.0,
     )
 
 
 def test_sharded_rank_vs_exhaustive(report, bench_json, best_of):
-    packed, centers = clustered_corpus(N_BAGS)
-    concept = selective_concept(centers)
+    packed, config = clustered_corpus(N_BAGS)
+    concept = selective_concept(config)
     exhaustive = Ranker(auto_shard=False)
     sharded = ShardedRanker()
 

@@ -1,0 +1,157 @@
+"""Extension bench — synth corpus generation throughput and end-to-end rank.
+
+Not a paper artefact.  The :mod:`repro.datasets.synth` subsystem exists to
+put million-bag corpora behind the retrieval stack without ever holding a
+million bags in memory; this bench measures the full path at a configurable
+scale:
+
+* **generation throughput** — ``generate_corpus`` streaming a feature-mode
+  scenario into checksummed npz shards, reported as bags/s;
+* **resume** — the same call again must adopt every shard by checksum and
+  generate nothing;
+* **image-mode throughput** — the procedural renderer + feature extractor,
+  at a small fixed count (rendering is orders of magnitude slower than
+  feature-mode synthesis and scales linearly, so a sample is enough);
+* **end-to-end sharded rank** — the corpus read back shard-by-shard into a
+  :class:`~repro.core.retrieval.PackedCorpus`, a
+  :class:`~repro.core.sharding.ShardIndex` built over it, and the sharded
+  path raced against the exhaustive ranker with the ordering-identity
+  assertion that makes the race meaningful.
+
+``REPRO_SYNTH_BENCH_BAGS`` sets the corpus size (default 8000 so CI stays
+fast; set it to 1000000 for the million-bag configuration — generation is
+O(bags) in time and O(shard_size) in memory, so nothing else changes).
+Results land in ``BENCH_synth.json`` via the shared JSON reporter.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.core.concept import LearnedConcept
+from repro.core.retrieval import Ranker
+from repro.core.sharding import ShardIndex, ShardedRanker
+from repro.datasets.synth import (
+    ScenarioConfig,
+    ShardedCorpusReader,
+    feature_center,
+    generate_corpus,
+    iter_bags,
+)
+from repro.eval.reporting import ascii_table
+
+N_BAGS = int(os.environ.get("REPRO_SYNTH_BENCH_BAGS", "8000"))
+N_IMAGE_BAGS = int(os.environ.get("REPRO_SYNTH_BENCH_IMAGE_BAGS", "60"))
+N_CLUSTERS = 32
+N_DIMS = 16
+SHARD_SIZE = 2048
+TOP_K = 50
+REPEATS = 3
+
+
+def bench_config(n_bags: int) -> ScenarioConfig:
+    """A feature-mode scenario with mild clutter at the bench scale."""
+    return ScenarioConfig(
+        name="bench-synth-scale",
+        mode="feature",
+        categories=tuple(f"cluster-{c:02d}" for c in range(N_CLUSTERS)),
+        bags_per_category=1,
+        seed=7,
+        feature_dims=N_DIMS,
+        instances_per_bag=6,
+        cluster_spread=0.05,
+        clutter=0.1,
+    ).with_total_bags(n_bags)
+
+
+def test_synth_generate_and_rank(tmp_path, report, bench_json, best_of):
+    config = bench_config(N_BAGS)
+    corpus_dir = tmp_path / "corpus"
+
+    generated = generate_corpus(config, corpus_dir, shard_size=SHARD_SIZE)
+    assert generated.n_shards_skipped == 0
+
+    resumed = generate_corpus(config, corpus_dir, shard_size=SHARD_SIZE)
+    assert resumed.n_shards_skipped == resumed.n_shards, (
+        "resume regenerated shards that were already on disk"
+    )
+
+    # Image-mode throughput: sample the renderer, do not persist.
+    image_config = ScenarioConfig(name="bench-synth-image", mode="image")
+    image_count = 0
+    image_started = time.perf_counter()
+    for _ in iter_bags(image_config, 0, N_IMAGE_BAGS):
+        image_count += 1
+    image_s = time.perf_counter() - image_started
+    image_rate = image_count / image_s if image_s > 0 else float("inf")
+
+    # End-to-end: read the store back and race the rank paths over it.
+    reader = ShardedCorpusReader(corpus_dir)
+    read_started = time.perf_counter()
+    packed = reader.packed()
+    read_s = time.perf_counter() - read_started
+    assert packed.n_bags == generated.n_bags
+
+    rng = np.random.default_rng(23)
+    concept = LearnedConcept(
+        t=feature_center(config, config.categories[0])
+        + rng.normal(scale=0.02, size=N_DIMS),
+        w=rng.uniform(0.5, 1.0, size=N_DIMS),
+        nll=0.0,
+    )
+    index = ShardIndex.build(packed)
+    sharded = ShardedRanker()
+    exhaustive = Ranker(auto_shard=False)
+
+    fast = sharded.rank(concept, packed, top_k=TOP_K, index=index)
+    slow = exhaustive.rank(concept, packed, top_k=TOP_K)
+    assert fast.image_ids == slow.image_ids, "pruned ranking diverged"
+
+    exhaustive_s = best_of(
+        REPEATS, lambda: exhaustive.rank(concept, packed, top_k=TOP_K)
+    )
+    sharded_s = best_of(
+        REPEATS, lambda: sharded.rank(concept, packed, top_k=TOP_K, index=index)
+    )
+    speedup = exhaustive_s / sharded_s if sharded_s > 0 else float("inf")
+
+    rows = [
+        ["generate (feature mode)", f"{generated.elapsed_seconds:.2f}",
+         f"{generated.bags_per_second:.0f} bags/s"],
+        ["generate (image mode sample)", f"{image_s:.2f}",
+         f"{image_rate:.0f} bags/s"],
+        ["read shards -> packed", f"{read_s:.2f}", "-"],
+        ["exhaustive rank", f"{exhaustive_s * 1e3:.2f} ms", "1.0x"],
+        ["sharded rank", f"{sharded_s * 1e3:.2f} ms", f"{speedup:.1f}x"],
+    ]
+    report(
+        ascii_table(
+            ["stage", "wall", "rate / speedup"],
+            rows,
+            title=(
+                f"synth scale bench: {generated.n_bags} bags / "
+                f"{generated.n_instances} instances in "
+                f"{generated.n_shards} shards (shard_size={SHARD_SIZE})"
+            ),
+        )
+    )
+    bench_json("synth", "generate_and_rank", {
+        "n_bags": generated.n_bags,
+        "n_instances": generated.n_instances,
+        "n_dims": N_DIMS,
+        "n_shards": generated.n_shards,
+        "shard_size": SHARD_SIZE,
+        "fingerprint": generated.fingerprint,
+        "generate_seconds": generated.elapsed_seconds,
+        "generate_bags_per_s": generated.bags_per_second,
+        "resume_shards_adopted": resumed.n_shards_skipped,
+        "image_mode_bags": image_count,
+        "image_mode_bags_per_s": image_rate,
+        "read_packed_seconds": read_s,
+        "top_k": TOP_K,
+        "exhaustive_seconds": exhaustive_s,
+        "sharded_seconds": sharded_s,
+        "speedup_vs_exhaustive": speedup,
+        "orderings_identical": True,
+    })

@@ -69,7 +69,7 @@ def _train(bag_set: BagSet, engine: str, margin: float | None = None):
     return result, time.perf_counter() - started
 
 
-def test_batched_engine_speedup(benchmark, report):
+def test_batched_engine_speedup(benchmark, report, bench_json):
     def run_all():
         bag_set = twenty_bag_set()
         sequential, sequential_s = _train(bag_set, "sequential")
@@ -92,6 +92,20 @@ def test_batched_engine_speedup(benchmark, report):
         f"batched engine only {speedup:.2f}x faster than sequential "
         f"(required {MIN_SPEEDUP:.1f}x)"
     )
+
+    bench_json("train", "multistart_engines", {
+        "n_bags": N_POSITIVE + N_NEGATIVE,
+        "n_dims": N_DIMS,
+        "n_starts": batched.n_starts,
+        "max_iterations": MAX_ITERATIONS,
+        "sequential_seconds": sequential_s,
+        "batched_seconds": batched_s,
+        "pruned_seconds": pruned_s,
+        "speedup_batched": speedup,
+        "speedup_pruned": sequential_s / pruned_s,
+        "n_starts_pruned": pruned.n_starts_pruned,
+        "bit_identical": True,
+    })
 
     rows = [
         ["sequential", f"{sequential_s:.3f}", "1.00",

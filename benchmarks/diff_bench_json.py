@@ -1,0 +1,114 @@
+"""Diff two directories of ``BENCH_*.json`` reports (report-only).
+
+Usage::
+
+    python benchmarks/diff_bench_json.py PREVIOUS_DIR CURRENT_DIR
+
+Prints one table per ``BENCH_<name>.json`` comparing every numeric metric
+in the previous and current runs, with the relative change.  Non-numeric
+fields, missing files, and unparsable JSON are noted, never fatal: this
+script is CI's perf-trajectory commentary, not a gate, so it **always
+exits 0**.  Regressions are for humans to read, not for the build to
+block on — shared runners are far too noisy for wall-clock assertions
+beyond the loose floors the benches themselves own.
+
+Stdlib only (CI runs it before any dependency install step).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def _load(path: Path) -> dict | None:
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"  [skip] {path}: {exc}")
+        return None
+    return data if isinstance(data, dict) else None
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 1:
+        return f"{value:.3f}"
+    return f"{value:.5f}"
+
+
+def _diff_entry(entry: str, prev: dict, curr: dict) -> list[list[str]]:
+    rows: list[list[str]] = []
+    for key in sorted(set(prev) | set(curr)):
+        before, after = prev.get(key), curr.get(key)
+        numeric = all(
+            isinstance(v, (int, float)) and not isinstance(v, bool)
+            for v in (before, after)
+        )
+        if not numeric:
+            if before != after:
+                rows.append([f"{entry}.{key}", repr(before), repr(after), "-"])
+            continue
+        if before == after:
+            continue
+        if before:
+            change = f"{(after - before) / abs(before) * 100.0:+.1f}%"
+        else:
+            change = "-"
+        rows.append([f"{entry}.{key}", _fmt(before), _fmt(after), change])
+    return rows
+
+
+def _print_table(title: str, rows: list[list[str]]) -> None:
+    headers = ["metric", "previous", "current", "change"]
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in rows))
+        for col in range(len(headers))
+    ]
+    print(title)
+    print(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    print("-+-".join("-" * w for w in widths))
+    for row in rows:
+        print(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    print()
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(f"usage: {argv[0]} PREVIOUS_DIR CURRENT_DIR")
+        return 0
+    previous_dir, current_dir = Path(argv[1]), Path(argv[2])
+    current_files = sorted(current_dir.glob("BENCH_*.json"))
+    if not current_files:
+        print(f"no BENCH_*.json in {current_dir}; nothing to diff")
+        return 0
+    print(f"bench diff: {previous_dir} -> {current_dir}\n")
+    for current_path in current_files:
+        previous_path = previous_dir / current_path.name
+        if not previous_path.exists():
+            print(f"{current_path.name}: new in this run (no previous data)\n")
+            continue
+        prev, curr = _load(previous_path), _load(current_path)
+        if prev is None or curr is None:
+            continue
+        rows: list[list[str]] = []
+        for entry in sorted(set(prev) | set(curr)):
+            entry_prev, entry_curr = prev.get(entry), curr.get(entry)
+            if not isinstance(entry_prev, dict) or not isinstance(entry_curr, dict):
+                rows.append([entry, "present" if entry_prev else "-",
+                             "present" if entry_curr else "-", "-"])
+                continue
+            rows.extend(_diff_entry(entry, entry_prev, entry_curr))
+        if rows:
+            _print_table(current_path.name, rows)
+        else:
+            print(f"{current_path.name}: unchanged\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -183,7 +183,9 @@ class RetrievalService:
             "history_len": history_len,
             "max_history": self._max_history,
             "n_images": len(self._database),
-            "database_name": self._database.name,
+            # A service can wrap a bare PackedCorpus (sharded synthetic
+            # corpora have no database object), which carries no name.
+            "database_name": getattr(self._database, "name", ""),
             "corpus_keys": corpus_keys,
             "rank_index": {
                 "enabled": self._rank_index,

@@ -9,13 +9,25 @@ Seven subcommands cover the everyday workflows::
     python -m repro client-query --url http://127.0.0.1:8000 --positive id1,id2
     python -m repro experiment   --db db.npz --category waterfall --scheme inequality
     python -m repro info         --db db.npz
+    python -m repro synth generate --preset cluttered --bags 100000 --out corpus/
+    python -m repro synth inspect  --dir corpus/ --verify
+    python -m repro synth pack     --dir corpus/ --out corpus.npz
     python -m repro --version
+
+``build-db`` resolves ``--kind`` through the dataset registry
+(:func:`repro.datasets.loader.make_dataset`), the same way queries resolve
+learners.  ``synth`` drives the streamed procedural corpus generator
+(:mod:`repro.datasets.synth`): ``generate`` writes checksummed npz shards
+in bounded memory and resumes interrupted runs, ``inspect`` reads the
+manifest back, ``pack`` folds a shard directory into one packed-corpus
+archive.
 
 ``serve`` starts an HTTP worker (``repro.serve``) over a database snapshot
 — or a warm service snapshot (``--snapshot``), which restores the packed
 corpora and the trained-concept cache so the first repeated query needs no
-retraining.  ``client-query`` drives a running worker through the
-versioned wire format.
+retraining, or a sharded synthetic corpus directory (``--corpus-dir``).
+``client-query`` drives a running worker through the versioned wire
+format.
 
 All commands are seeded and print plain text; they are thin wrappers over
 the library API (each maps to a handful of calls documented in the README),
@@ -38,14 +50,21 @@ from repro.api.query import Query
 from repro.api.service import RetrievalService
 from repro.core.feedback import select_examples
 from repro.database.persistence import load_database, save_database
-from repro.datasets.loader import build_object_database, build_scene_database
+from repro.datasets.loader import available_datasets, make_dataset
+from repro.datasets.synth import (
+    ShardedCorpusReader,
+    available_presets,
+    generate_corpus,
+    get_preset,
+    save_packed_corpus,
+)
 from repro.errors import ReproError
 from repro.eval.experiment import ExperimentConfig, RetrievalExperiment
 from repro.eval.reporting import ascii_table
 from repro.serve.app import ServiceApp
 from repro.serve.http import ReproClient, ReproServer
 from repro.serve.sessions import SessionStore
-from repro.serve.snapshot import load_service
+from repro.serve.snapshot import load_corpus_service, load_service
 from repro.version import __version__
 
 _SCHEMES = ["original", "identical", "alpha_hack", "inequality"]
@@ -81,7 +100,9 @@ def _build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     build = commands.add_parser("build-db", help="render a synthetic database")
-    build.add_argument("--kind", choices=["scenes", "objects"], default="scenes")
+    build.add_argument("--kind", default="scenes",
+                       help=f"dataset registry name (known: "
+                       f"{', '.join(available_datasets())})")
     build.add_argument("--per-category", type=int, default=20)
     build.add_argument("--size", type=int, default=80, help="image side in pixels")
     build.add_argument("--seed", type=int, default=0)
@@ -153,6 +174,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="warm service snapshot path (packed corpora + "
                         "trained-concept cache restored; see "
                         "repro.serve.save_service)")
+    source.add_argument("--corpus-dir", dest="corpus_dir",
+                        help="sharded synthetic corpus directory "
+                        "(repro synth generate output)")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8000,
                        help="bind port (0 picks a free one)")
@@ -194,6 +218,42 @@ def _build_parser() -> argparse.ArgumentParser:
     client.add_argument("--seed", type=int, default=0)
     client.add_argument("--timeout", type=float, default=60.0,
                         help="per-request timeout in seconds")
+
+    synth = commands.add_parser(
+        "synth", help="generate/inspect/pack procedural corpora at scale"
+    )
+    synth_commands = synth.add_subparsers(dest="synth_command", required=True)
+
+    generate = synth_commands.add_parser(
+        "generate", help="stream a scenario corpus into a sharded directory"
+    )
+    generate.add_argument("--preset", default="clean",
+                          help=f"scenario preset (known: "
+                          f"{', '.join(available_presets())})")
+    generate.add_argument("--bags", type=int, default=None,
+                          help="total bag target; overrides the preset's "
+                          "bags-per-category (rounded up per category)")
+    generate.add_argument("--seed", type=int, default=None,
+                          help="override the preset's master seed")
+    generate.add_argument("--shard-size", dest="shard_size", type=int,
+                          default=1024, help="bags per npz shard")
+    generate.add_argument("--out", required=True, help="corpus directory")
+    generate.add_argument("--fresh", action="store_true",
+                          help="regenerate everything (default: resume, "
+                          "adopting shards whose checksum matches)")
+
+    inspect_cmd = synth_commands.add_parser(
+        "inspect", help="describe a sharded corpus directory"
+    )
+    inspect_cmd.add_argument("--dir", dest="corpus_dir", required=True)
+    inspect_cmd.add_argument("--verify", action="store_true",
+                             help="re-checksum every shard")
+
+    pack = synth_commands.add_parser(
+        "pack", help="fold a sharded corpus into one packed .npz"
+    )
+    pack.add_argument("--dir", dest="corpus_dir", required=True)
+    pack.add_argument("--out", required=True, help="output .npz path")
 
     return parser
 
@@ -243,11 +303,12 @@ def _category_query(
 
 
 def _cmd_build_db(args: argparse.Namespace) -> int:
-    size = (args.size, args.size)
-    if args.kind == "scenes":
-        database = build_scene_database(args.per_category, size, args.seed)
-    else:
-        database = build_object_database(args.per_category, size, args.seed)
+    database = make_dataset(
+        args.kind,
+        images_per_category=args.per_category,
+        size=(args.size, args.size),
+        seed=args.seed,
+    )
     path = save_database(database, Path(args.out))
     print(f"wrote {database} to {path}")
     return 0
@@ -407,11 +468,21 @@ def _cmd_info(args: argparse.Namespace) -> int:
 def build_server(args: argparse.Namespace):
     """Assemble the HTTP worker the ``serve`` command runs (test seam).
 
-    Loads either a cold database snapshot (``--db``) or a warm service
-    snapshot (``--snapshot``), warms the requested learner corpora, and
-    returns an unstarted :class:`~repro.serve.http.ReproServer`.
+    Loads a cold database snapshot (``--db``), a warm service snapshot
+    (``--snapshot``) or a sharded synthetic corpus directory
+    (``--corpus-dir``), warms the requested learner corpora, and returns
+    an unstarted :class:`~repro.serve.http.ReproServer`.
     """
-    if args.snapshot:
+    if getattr(args, "corpus_dir", None):
+        service, info = load_corpus_service(
+            args.corpus_dir,
+            cache_size=args.cache_size,
+            max_history=args.max_history,
+            rank_index=args.rank_index,
+            rank_shards=args.shards,
+        )
+        print(f"opened sharded corpus {info.path}: {info.n_images} bags")
+    elif args.snapshot:
         service, info = load_service(
             args.snapshot,
             cache_size=args.cache_size,
@@ -493,6 +564,90 @@ def _cmd_client_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_synth_generate(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    config = get_preset(args.preset)
+    if args.seed is not None:
+        config = dataclasses.replace(config, seed=args.seed)
+    if args.bags is not None:
+        config = config.with_total_bags(args.bags)
+    report = generate_corpus(
+        config,
+        args.out,
+        shard_size=args.shard_size,
+        resume=not args.fresh,
+    )
+    generated = report.n_shards - report.n_shards_skipped
+    print(
+        f"corpus {report.fingerprint} ({config.name}, {config.mode} mode): "
+        f"{report.n_bags} bags / {report.n_instances} instances in "
+        f"{report.n_shards} shards at {report.directory}"
+    )
+    if report.n_shards_skipped:
+        print(
+            f"resumed: adopted {report.n_shards_skipped} checksum-matching "
+            f"shards, generated {generated}"
+        )
+    if report.bags_per_second > 0:
+        print(
+            f"generated in {report.elapsed_seconds:.1f}s "
+            f"({report.bags_per_second:.0f} bags/s)"
+        )
+    return 0
+
+
+def _cmd_synth_inspect(args: argparse.Namespace) -> int:
+    reader = ShardedCorpusReader(args.corpus_dir)
+    config = reader.config
+    rows = [
+        ["bags", reader.n_bags],
+        ["instances", reader.n_instances],
+        ["dims", reader.n_dims],
+        ["shards", reader.n_shards],
+        ["fingerprint", reader.fingerprint or "-"],
+    ]
+    if config is not None:
+        rows.extend(
+            [
+                ["scenario", config.name],
+                ["mode", config.mode],
+                ["categories", len(config.categories)],
+                ["seed", config.seed],
+            ]
+        )
+    print(ascii_table(["field", "value"], rows,
+                      title=f"sharded corpus at {reader.directory}"))
+    if args.verify:
+        reader.verify()
+        print(f"verified: all {reader.n_shards} shard checksums match")
+    return 0
+
+
+def _cmd_synth_pack(args: argparse.Namespace) -> int:
+    reader = ShardedCorpusReader(args.corpus_dir)
+    packed = reader.packed()
+    path = save_packed_corpus(
+        packed, args.out, fingerprint=reader.fingerprint, config=reader.config
+    )
+    print(
+        f"packed {packed.n_bags} bags / {packed.n_instances} instances "
+        f"from {reader.n_shards} shards into {path}"
+    )
+    return 0
+
+
+_SYNTH_HANDLERS = {
+    "generate": _cmd_synth_generate,
+    "inspect": _cmd_synth_inspect,
+    "pack": _cmd_synth_pack,
+}
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    return _SYNTH_HANDLERS[args.synth_command](args)
+
+
 _HANDLERS = {
     "build-db": _cmd_build_db,
     "query": _cmd_query,
@@ -501,6 +656,7 @@ _HANDLERS = {
     "info": _cmd_info,
     "serve": _cmd_serve,
     "client-query": _cmd_client_query,
+    "synth": _cmd_synth,
 }
 
 

@@ -11,22 +11,32 @@ paper's analysis relies on (see DESIGN.md, "Substitutions"):
   near-uniform backgrounds with low intra-class variation.
 * :mod:`repro.datasets.signals` — 1-D demonstration signals (Figure 3-1).
 * :mod:`repro.datasets.loader` — builders that populate
-  :class:`~repro.database.store.ImageDatabase` instances.
+  :class:`~repro.database.store.ImageDatabase` instances, plus the string
+  -name dataset registry the CLI resolves through.
+* :mod:`repro.datasets.synth` — the streamed procedural corpus generator
+  (scenario presets, sharded checksummed store, resumable generation).
 """
 
 from repro.datasets.loader import (
+    available_datasets,
     build_object_database,
     build_scene_database,
+    make_dataset,
     quick_database,
+    register_dataset,
 )
 from repro.datasets.objects import OBJECT_CATEGORIES, render_object
-from repro.datasets.scenes import SCENE_CATEGORIES, render_scene
+from repro.datasets.scenes import SCENE_CATEGORIES, paint_scene, render_scene
 
 __all__ = [
     "build_scene_database",
     "build_object_database",
     "quick_database",
+    "register_dataset",
+    "make_dataset",
+    "available_datasets",
     "SCENE_CATEGORIES",
+    "paint_scene",
     "render_scene",
     "OBJECT_CATEGORIES",
     "render_object",

@@ -8,9 +8,19 @@ These mirror the paper's two test databases:
   default (the 228-image web object database).
 
 :func:`quick_database` builds small versions for examples and tests.
+
+The builders are also registered under string names — ``scenes``,
+``objects``, ``quick``, ``quick-scenes``, ``quick-objects`` — mirroring the
+learner registry, so the CLI (``repro build-db --kind``) and the experiment
+runner resolve datasets exactly the way they resolve learners:
+:func:`make_dataset` validates parameters against the factory's signature
+before calling it, and user code can :func:`register_dataset` its own.
 """
 
 from __future__ import annotations
+
+import inspect
+from typing import Callable
 
 from repro.database.store import ImageDatabase
 from repro.datasets.base import category_rng
@@ -108,3 +118,75 @@ def quick_database(
             images_per_category, size, seed, feature_config=feature_config
         )
     raise DatasetError(f"unknown database kind {kind!r}; known: 'scenes', 'objects'")
+
+
+# ---------------------------------------------------------------------- #
+# Dataset registry                                                        #
+# ---------------------------------------------------------------------- #
+
+_DATASETS: dict[str, Callable[..., ImageDatabase]] = {}
+
+
+def register_dataset(
+    name: str, factory: Callable[..., ImageDatabase], overwrite: bool = False
+) -> None:
+    """Register a database builder under a string name.
+
+    Raises:
+        DatasetError: empty name, non-callable factory, or a duplicate
+            name without ``overwrite``.
+    """
+    if not name:
+        raise DatasetError("dataset name must be a non-empty string")
+    if not callable(factory):
+        raise DatasetError(f"dataset factory for {name!r} must be callable")
+    if name in _DATASETS and not overwrite:
+        raise DatasetError(
+            f"dataset {name!r} is already registered (pass overwrite=True)"
+        )
+    _DATASETS[name] = factory
+
+
+def make_dataset(name: str, **params) -> ImageDatabase:
+    """Build a registered dataset by name, validating parameters first.
+
+    Mirrors the learner registry: parameters are bound against the
+    factory's signature *before* the (potentially expensive) build starts,
+    so a typoed knob fails fast with the factory's real parameter list.
+
+    Raises:
+        DatasetError: unknown name or parameters the factory does not take.
+    """
+    try:
+        factory = _DATASETS[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; known: {', '.join(available_datasets())}"
+        ) from None
+    try:
+        inspect.signature(factory).bind(**params)
+    except TypeError as exc:
+        raise DatasetError(f"invalid parameters for dataset {name!r}: {exc}") from exc
+    return factory(**params)
+
+
+def available_datasets() -> tuple[str, ...]:
+    """Names of every registered dataset builder (sorted)."""
+    return tuple(sorted(_DATASETS))
+
+
+register_dataset("scenes", build_scene_database)
+register_dataset("objects", build_object_database)
+register_dataset("quick", quick_database)
+register_dataset(
+    "quick-scenes",
+    lambda images_per_category=12, size=(64, 64), seed=0, feature_config=None: (
+        quick_database("scenes", images_per_category, size, seed, feature_config)
+    ),
+)
+register_dataset(
+    "quick-objects",
+    lambda images_per_category=12, size=(64, 64), seed=0, feature_config=None: (
+        quick_database("objects", images_per_category, size, seed, feature_config)
+    ),
+)

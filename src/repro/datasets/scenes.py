@@ -230,6 +230,25 @@ _RENDERERS = {
 _SCENE_NOISE_SIGMA = 0.02
 
 
+def paint_scene(canvas: Canvas, category: str, rng: np.random.Generator) -> None:
+    """Paint a category's scene structure onto an existing canvas.
+
+    The composable half of :func:`render_scene`: no smoothing and no sensor
+    noise, so callers (the procedural corpus generator in
+    :mod:`repro.datasets.synth`) can layer clutter and distractor objects
+    on top before finishing the image.
+
+    Raises:
+        DatasetError: for an unknown category.
+    """
+    try:
+        renderer = _RENDERERS[category]
+    except KeyError:
+        known = ", ".join(SCENE_CATEGORIES)
+        raise DatasetError(f"unknown scene category {category!r}; known: {known}") from None
+    renderer(canvas, rng)
+
+
 def render_scene(
     category: str,
     rng: np.random.Generator,
@@ -249,13 +268,8 @@ def render_scene(
     Raises:
         DatasetError: for an unknown category.
     """
-    try:
-        renderer = _RENDERERS[category]
-    except KeyError:
-        known = ", ".join(SCENE_CATEGORIES)
-        raise DatasetError(f"unknown scene category {category!r}; known: {known}") from None
     canvas = Canvas(size[0], size[1])
-    renderer(canvas, rng)
+    paint_scene(canvas, category, rng)
     canvas.smooth(iterations=1)
     canvas.add_noise(rng, _SCENE_NOISE_SIGMA)
     return canvas.rgb

@@ -1,0 +1,79 @@
+"""Streamed procedural corpus generation at scale.
+
+The subsystem that takes the repo past the paper's few-thousand-image
+experiments: scenario-knobbed, schema-versioned configs
+(:mod:`~repro.datasets.synth.config`), bags that are pure functions of
+``(config, category, index)`` (:mod:`~repro.datasets.synth.render`), a
+checksummed sharded on-disk store with resumable generation
+(:mod:`~repro.datasets.synth.store`,
+:mod:`~repro.datasets.synth.generate`), and CLI/serve integration
+(``repro synth``, ``repro serve --corpus-dir``).
+
+Quick start::
+
+    from repro.datasets.synth import ScenarioConfig, generate_corpus, \\
+        ShardedCorpusReader
+
+    config = ScenarioConfig(mode="feature", bags_per_category=20_000,
+                            categories=tuple(f"c{i}" for i in range(50)))
+    generate_corpus(config, "corpus-dir", shard_size=4096)
+    packed = ShardedCorpusReader("corpus-dir").packed()
+"""
+
+from repro.datasets.synth.config import (
+    SCENARIO_SCHEMA_VERSION,
+    ScenarioConfig,
+    available_presets,
+    get_preset,
+    register_preset,
+)
+from repro.datasets.synth.generate import (
+    GenerationReport,
+    corpus_from_config,
+    generate_corpus,
+)
+from repro.datasets.synth.render import (
+    SynthBag,
+    bag_rng,
+    feature_center,
+    generate_bag,
+    iter_bags,
+    render_scenario_image,
+)
+from repro.datasets.synth.store import (
+    DEFAULT_SHARD_SIZE,
+    MANIFEST_NAME,
+    PARTIAL_MANIFEST_NAME,
+    STORE_VERSION,
+    ShardedCorpusReader,
+    ShardedCorpusWriter,
+    load_packed_corpus,
+    save_packed_corpus,
+    shard_filename,
+)
+
+__all__ = [
+    "SCENARIO_SCHEMA_VERSION",
+    "ScenarioConfig",
+    "available_presets",
+    "get_preset",
+    "register_preset",
+    "GenerationReport",
+    "corpus_from_config",
+    "generate_corpus",
+    "SynthBag",
+    "bag_rng",
+    "feature_center",
+    "generate_bag",
+    "iter_bags",
+    "render_scenario_image",
+    "DEFAULT_SHARD_SIZE",
+    "MANIFEST_NAME",
+    "PARTIAL_MANIFEST_NAME",
+    "STORE_VERSION",
+    "ShardedCorpusReader",
+    "ShardedCorpusWriter",
+    "load_packed_corpus",
+    "save_packed_corpus",
+    "shard_filename",
+]

@@ -1,0 +1,387 @@
+"""Scenario configuration for the procedural corpus generator.
+
+A :class:`ScenarioConfig` is the *identity* of a synthetic corpus: every
+bag is a pure function of ``(config, category, index)``, so two corpora
+built from equal configs are bit-identical regardless of shard size,
+machine, or interruption history.  The config is schema-versioned like the
+serve codec — :meth:`ScenarioConfig.to_dict` embeds
+:data:`SCENARIO_SCHEMA_VERSION`, :meth:`ScenarioConfig.from_dict` rejects
+versions it does not understand while tolerating unknown fields — and
+:attr:`ScenarioConfig.fingerprint` (SHA-256 of the canonical JSON form) is
+what the sharded store's manifest records, so a half-generated directory
+can never be silently resumed with different knobs.
+
+Two generation modes share the scenario knobs:
+
+* ``"image"`` — bags come from the :mod:`repro.datasets.base` Canvas
+  renderers through the full feature pipeline (render, variance-filter,
+  smooth-and-sample, normalise).  Honest but ~ms per bag.
+* ``"feature"`` — bags are drawn directly in feature space around
+  well-separated per-category centres (the regime the sharded rank index
+  exists for).  ~µs per bag; the mode million-bag benches use.
+
+:data:`PRESETS` names the scenario families the benches and the CLI speak:
+``clean``, ``cluttered``, ``noisy-labels``, ``skewed`` and ``tiny-target``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.datasets.scenes import SCENE_CATEGORIES
+from repro.errors import DatasetError
+
+#: Schema version embedded in every serialised config and corpus manifest.
+SCENARIO_SCHEMA_VERSION = 1
+
+#: Scale of the per-category feature-space centres (feature mode).  Matches
+#: the clustered corpus the sharded-rank bench has always used: centre
+#: separation ~``4.0`` against an instance spread of ``cluster_spread``.
+FEATURE_CENTER_SCALE = 4.0
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Knobs describing one synthetic corpus scenario.
+
+    Attributes:
+        name: preset/scenario label (documentation only — it is part of the
+            fingerprint, so rename deliberately).
+        mode: ``"image"`` (Canvas renderers + feature pipeline) or
+            ``"feature"`` (direct feature-space draws).
+        categories: category names.  Image mode requires a subset of
+            :data:`~repro.datasets.scenes.SCENE_CATEGORIES`; feature mode
+            accepts arbitrary unique names.
+        bags_per_category: bags per category before skew (see
+            :meth:`category_counts`).
+        seed: master seed — part of the config, so one object fully
+            determines the corpus.
+        image_size: square canvas side in pixels (image mode).
+        resolution: feature sampling resolution ``h`` (image mode).
+        region_family: region family name (``small9``/``default20``/
+            ``large42``) — the instances-per-bag knob of image mode.
+        include_mirrors: add mirrored instances (image mode).
+        feature_dims: instance dimensionality (feature mode).
+        instances_per_bag: instances per bag (feature mode).
+        cluster_spread: instance spread around the category centre
+            (feature mode).
+        objects_per_image: how many category motifs a bag contains; values
+            above 1 inject that many distractor objects from *other*
+            categories.
+        clutter: background clutter level in ``[0, 1]``.  Image mode paints
+            that fraction of extra random shapes; feature mode replaces
+            that fraction of instances with uniform background draws
+            (which inflates bag envelopes — clutter genuinely degrades
+            bound pruning, by design).
+        label_noise: probability a bag's *recorded* category is flipped to
+            another category.  Content and bag id keep the true category.
+        category_skew: Zipf exponent over categories; ``0`` is uniform.
+        target_scale: size of the category-discriminative structure in
+            ``(0, 1]``; below 1, image mode shrinks the cue into a small
+            motif on a generic backdrop (the ``tiny-target`` regime).
+        color_jitter: colour jitter half-width for painted shapes.
+        texture_amplitude: low-frequency value-texture amplitude.
+        noise_sigma: per-pixel sensor noise sigma (image mode).
+    """
+
+    name: str = "custom"
+    mode: str = "image"
+    categories: tuple[str, ...] = SCENE_CATEGORIES
+    bags_per_category: int = 200
+    seed: int = 0
+    # image mode
+    image_size: int = 48
+    resolution: int = 6
+    region_family: str = "small9"
+    include_mirrors: bool = True
+    # feature mode
+    feature_dims: int = 16
+    instances_per_bag: int = 6
+    cluster_spread: float = 0.05
+    # scenario knobs (both modes)
+    objects_per_image: int = 1
+    clutter: float = 0.0
+    label_noise: float = 0.0
+    category_skew: float = 0.0
+    target_scale: float = 1.0
+    color_jitter: float = 0.05
+    texture_amplitude: float = 0.06
+    noise_sigma: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("image", "feature"):
+            raise DatasetError(
+                f"mode must be 'image' or 'feature', got {self.mode!r}"
+            )
+        categories = tuple(self.categories)
+        object.__setattr__(self, "categories", categories)
+        if not categories:
+            raise DatasetError("a scenario needs at least one category")
+        if len(set(categories)) != len(categories):
+            raise DatasetError(f"duplicate category names in {categories}")
+        if self.mode == "image":
+            unknown = set(categories) - set(SCENE_CATEGORIES)
+            if unknown:
+                raise DatasetError(
+                    f"image mode only renders scene categories "
+                    f"{SCENE_CATEGORIES}; unknown: {sorted(unknown)}"
+                )
+        if self.bags_per_category < 1:
+            raise DatasetError(
+                f"bags_per_category must be >= 1, got {self.bags_per_category}"
+            )
+        if self.image_size < 16:
+            raise DatasetError(f"image_size must be >= 16, got {self.image_size}")
+        if self.resolution < 2:
+            raise DatasetError(f"resolution must be >= 2, got {self.resolution}")
+        if self.feature_dims < 2:
+            raise DatasetError(f"feature_dims must be >= 2, got {self.feature_dims}")
+        if self.instances_per_bag < 1:
+            raise DatasetError(
+                f"instances_per_bag must be >= 1, got {self.instances_per_bag}"
+            )
+        if self.cluster_spread <= 0:
+            raise DatasetError(
+                f"cluster_spread must be > 0, got {self.cluster_spread}"
+            )
+        if self.objects_per_image < 1:
+            raise DatasetError(
+                f"objects_per_image must be >= 1, got {self.objects_per_image}"
+            )
+        if self.mode == "feature" and self.objects_per_image > self.instances_per_bag:
+            raise DatasetError(
+                f"objects_per_image ({self.objects_per_image}) cannot exceed "
+                f"instances_per_bag ({self.instances_per_bag}) in feature mode"
+            )
+        if not 0.0 <= self.clutter <= 1.0:
+            raise DatasetError(f"clutter must lie in [0, 1], got {self.clutter}")
+        if not 0.0 <= self.label_noise <= 1.0:
+            raise DatasetError(
+                f"label_noise must lie in [0, 1], got {self.label_noise}"
+            )
+        if self.category_skew < 0:
+            raise DatasetError(
+                f"category_skew must be >= 0, got {self.category_skew}"
+            )
+        if not 0.0 < self.target_scale <= 1.0:
+            raise DatasetError(
+                f"target_scale must lie in (0, 1], got {self.target_scale}"
+            )
+        for knob in ("color_jitter", "texture_amplitude", "noise_sigma"):
+            if getattr(self, knob) < 0:
+                raise DatasetError(f"{knob} must be >= 0, got {getattr(self, knob)}")
+        # Fail at config time, not mid-generation, on a bad family name.
+        if self.mode == "image":
+            from repro.imaging.regions import available_families
+
+            if self.region_family not in available_families():
+                raise DatasetError(
+                    f"unknown region family {self.region_family!r}; "
+                    f"known: {', '.join(available_families())}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Serialisation and identity                                          #
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict:
+        """The schema-versioned JSON form (canonical corpus identity)."""
+        payload = dataclasses.asdict(self)
+        payload["categories"] = list(self.categories)
+        payload["schema_version"] = SCENARIO_SCHEMA_VERSION
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ScenarioConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown fields are tolerated (a newer writer may add knobs); an
+        unknown ``schema_version`` is not.
+
+        Raises:
+            DatasetError: missing/unsupported version or invalid values.
+        """
+        if not isinstance(payload, dict):
+            raise DatasetError(
+                f"scenario config payload must be a dict, got {type(payload).__name__}"
+            )
+        version = payload.get("schema_version")
+        if version != SCENARIO_SCHEMA_VERSION:
+            raise DatasetError(
+                f"unsupported scenario schema version {version!r} "
+                f"(this build reads {SCENARIO_SCHEMA_VERSION})"
+            )
+        known = {field.name for field in dataclasses.fields(cls)}
+        kwargs = {key: value for key, value in payload.items() if key in known}
+        if "categories" in kwargs:
+            kwargs["categories"] = tuple(kwargs["categories"])
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise DatasetError(f"invalid scenario config payload: {exc}") from exc
+
+    @property
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical JSON form (first 16 hex chars).
+
+        Any knob change — including the seed — changes the fingerprint,
+        which is what makes resume-into-a-different-corpus detectable.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    # ------------------------------------------------------------------ #
+    # Corpus layout                                                       #
+    # ------------------------------------------------------------------ #
+
+    def category_counts(self) -> tuple[int, ...]:
+        """Bags per category after skew; sums to :attr:`total_bags` exactly.
+
+        With ``category_skew == 0`` every category gets
+        ``bags_per_category``.  Otherwise Zipf weights ``(i+1)**-skew``
+        (category order = rank) are scaled to the same total and rounded
+        cumulatively, so the counts are deterministic and sum-exact.
+        """
+        n = len(self.categories)
+        total = self.bags_per_category * n
+        if self.category_skew == 0:
+            return (self.bags_per_category,) * n
+        weights = np.arange(1, n + 1, dtype=np.float64) ** (-self.category_skew)
+        cumulative = np.cumsum(weights / weights.sum()) * total
+        bounds = np.rint(cumulative).astype(np.int64)
+        bounds[-1] = total
+        counts = np.diff(np.concatenate([[0], bounds]))
+        return tuple(int(count) for count in counts)
+
+    @property
+    def total_bags(self) -> int:
+        """Total bags in the corpus (``bags_per_category * len(categories)``)."""
+        return self.bags_per_category * len(self.categories)
+
+    def with_total_bags(self, total: int) -> "ScenarioConfig":
+        """A copy sized to *at least* ``total`` bags (category-rounded up)."""
+        if total < 1:
+            raise DatasetError(f"total bags must be >= 1, got {total}")
+        per_category = max(1, math.ceil(total / len(self.categories)))
+        return dataclasses.replace(self, bags_per_category=per_category)
+
+    def iter_specs(
+        self, start: int = 0, stop: int | None = None
+    ) -> Iterator[tuple[int, str, int]]:
+        """Yield ``(position, category, index)`` for a slice of the corpus.
+
+        The global bag order is category-major (category 0's bags first),
+        mirroring how every database in this repo is populated — the layout
+        the shard index's coarse group envelopes exploit.  The mapping is
+        pure arithmetic over :meth:`category_counts`, which is what makes
+        any slice generable without its prefix.
+        """
+        total = self.total_bags
+        if stop is None:
+            stop = total
+        if not 0 <= start <= stop <= total:
+            raise DatasetError(
+                f"invalid bag slice [{start}, {stop}) of a {total}-bag corpus"
+            )
+        offset = 0
+        for category, count in zip(self.categories, self.category_counts()):
+            lo = max(start, offset)
+            hi = min(stop, offset + count)
+            for position in range(lo, hi):
+                yield position, category, position - offset
+            offset += count
+            if offset >= stop:
+                return
+
+    def feature_config(self):
+        """The image-mode feature pipeline this scenario implies."""
+        from repro.imaging.features import FeatureConfig
+        from repro.imaging.regions import region_family
+
+        return FeatureConfig(
+            resolution=self.resolution,
+            region_family=region_family(self.region_family),
+            include_mirrors=self.include_mirrors,
+        )
+
+    @property
+    def n_dims(self) -> int:
+        """Instance dimensionality the generated bags will have."""
+        if self.mode == "feature":
+            return self.feature_dims
+        return self.resolution * self.resolution
+
+
+# ---------------------------------------------------------------------- #
+# Preset registry                                                         #
+# ---------------------------------------------------------------------- #
+
+_PRESETS: dict[str, Callable[[], ScenarioConfig]] = {}
+
+
+def register_preset(
+    name: str, factory: Callable[[], ScenarioConfig], overwrite: bool = False
+) -> None:
+    """Register a named scenario preset (mirrors the learner registry).
+
+    Raises:
+        DatasetError: empty name, or duplicate without ``overwrite``.
+    """
+    if not name:
+        raise DatasetError("preset name must be a non-empty string")
+    if name in _PRESETS and not overwrite:
+        raise DatasetError(
+            f"preset {name!r} is already registered (pass overwrite=True)"
+        )
+    _PRESETS[name] = factory
+
+
+def get_preset(name: str) -> ScenarioConfig:
+    """Build a registered preset's config.
+
+    Raises:
+        DatasetError: unknown preset name.
+    """
+    try:
+        factory = _PRESETS[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown scenario preset {name!r}; known: {', '.join(available_presets())}"
+        ) from None
+    return factory()
+
+
+def available_presets() -> tuple[str, ...]:
+    """Names of every registered preset (sorted)."""
+    return tuple(sorted(_PRESETS))
+
+
+register_preset("clean", lambda: ScenarioConfig(name="clean"))
+register_preset(
+    "cluttered",
+    lambda: ScenarioConfig(
+        name="cluttered",
+        clutter=0.6,
+        objects_per_image=3,
+        texture_amplitude=0.10,
+    ),
+)
+register_preset(
+    "noisy-labels",
+    lambda: ScenarioConfig(name="noisy-labels", label_noise=0.15),
+)
+register_preset(
+    "skewed",
+    lambda: ScenarioConfig(name="skewed", category_skew=1.0),
+)
+register_preset(
+    "tiny-target",
+    lambda: ScenarioConfig(name="tiny-target", target_scale=0.35, clutter=0.3),
+)

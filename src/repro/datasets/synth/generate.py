@@ -1,0 +1,201 @@
+"""Corpus generation drivers: streamed-to-disk and direct in-memory.
+
+:func:`generate_corpus` walks the corpus shard by shard, materialising at
+most one shard of bags at a time, and writes through
+:class:`~repro.datasets.synth.store.ShardedCorpusWriter` — so a million-bag
+run holds ~``shard_size`` bags in RAM regardless of corpus size.  An
+interrupted run leaves a valid partial manifest behind; re-running with the
+same config *resumes*: every shard whose on-disk checksum still matches is
+adopted without regeneration, and because bags are pure functions of
+``(config, category, index)``, the resumed corpus is bit-identical to an
+uninterrupted one.
+
+:func:`corpus_from_config` is the one-pass in-memory reference build the
+equivalence tests compare the streamed path against.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.core.retrieval import PackedCorpus
+from repro.datasets.synth.config import ScenarioConfig
+from repro.datasets.synth.render import generate_bag, iter_bags
+from repro.datasets.synth.store import (
+    DEFAULT_SHARD_SIZE,
+    MANIFEST_NAME,
+    PARTIAL_MANIFEST_NAME,
+    ShardedCorpusWriter,
+    _load_manifest_file,
+    file_sha256,
+)
+from repro.errors import DatasetError
+
+
+@dataclass(frozen=True)
+class GenerationReport:
+    """What one :func:`generate_corpus` run did.
+
+    Attributes:
+        directory: the corpus directory.
+        fingerprint: the config fingerprint stamped into the manifest.
+        n_bags: total bags in the (now complete) corpus.
+        n_instances: total instances.
+        n_shards: total shards.
+        n_shards_skipped: shards adopted from a previous interrupted run.
+        elapsed_seconds: wall time of this run.
+        bags_per_second: generation throughput over the bags actually
+            generated this run (``inf``-free: 0.0 when everything was
+            adopted).
+    """
+
+    directory: Path
+    fingerprint: str
+    n_bags: int
+    n_instances: int
+    n_shards: int
+    n_shards_skipped: int
+    elapsed_seconds: float
+    bags_per_second: float
+
+
+def _existing_entries(
+    directory: Path, config: ScenarioConfig, shard_size: int, resume: bool
+) -> list[dict]:
+    """Prior shard entries eligible for adoption, with identity checks.
+
+    A manifest (complete or partial) for a *different* fingerprint or shard
+    size is never silently overwritten while resuming — that is someone
+    else's corpus.
+    """
+    manifest_path = directory / MANIFEST_NAME
+    partial_path = directory / PARTIAL_MANIFEST_NAME
+    source = manifest_path if manifest_path.exists() else partial_path
+    if not source.exists():
+        return []
+    if not resume:
+        # A fresh run owns the directory: drop stale manifests up front so
+        # an interrupted fresh run can never mix old and new shards.
+        for stale in (manifest_path, partial_path):
+            if stale.exists():
+                stale.unlink()
+        return []
+    payload = _load_manifest_file(source)
+    recorded = payload.get("fingerprint")
+    if recorded != config.fingerprint:
+        raise DatasetError(
+            f"directory {directory} holds a corpus with fingerprint "
+            f"{recorded!r}, not {config.fingerprint!r} — refusing to resume "
+            f"a different scenario over it (use a fresh directory, or "
+            f"resume=False to regenerate)"
+        )
+    if payload.get("shard_size") != shard_size:
+        raise DatasetError(
+            f"directory {directory} was sharded {payload.get('shard_size')} "
+            f"bags/shard, not {shard_size} — shard size is part of the "
+            f"layout and cannot change on resume"
+        )
+    return list(payload["shards"])
+
+
+def generate_corpus(
+    config: ScenarioConfig,
+    directory: str | Path,
+    *,
+    shard_size: int = DEFAULT_SHARD_SIZE,
+    resume: bool = True,
+    progress: Callable[[int, int], None] | None = None,
+) -> GenerationReport:
+    """Generate (or resume generating) a corpus into a sharded directory.
+
+    Args:
+        config: the scenario; its fingerprint becomes the corpus identity.
+        directory: target directory.
+        shard_size: bags per shard (fixed for the corpus's lifetime).
+        resume: adopt checksum-matching shards from a previous run; when
+            ``False`` the directory's manifests are discarded and every
+            shard is regenerated.
+        progress: optional ``(shards_done, n_shards)`` callback after each
+            shard.
+
+    Returns:
+        A :class:`GenerationReport`; the directory then opens cleanly with
+        :class:`~repro.datasets.synth.store.ShardedCorpusReader`.
+
+    Raises:
+        DatasetError: resuming over a different corpus (fingerprint or
+            shard-size mismatch), or any store failure.
+    """
+    directory = Path(directory)
+    started_at = time.perf_counter()
+    prior = _existing_entries(directory, config, shard_size, resume)
+    writer = ShardedCorpusWriter(directory, config=config, shard_size=shard_size)
+    total = config.total_bags
+    n_shards = -(-total // shard_size)
+    n_skipped = 0
+    n_generated_bags = 0
+    generation_seconds = 0.0
+    for shard_index in range(n_shards):
+        start = shard_index * shard_size
+        stop = min(start + shard_size, total)
+        entry = prior[shard_index] if shard_index < len(prior) else None
+        if entry is not None:
+            path = directory / str(entry["file"])
+            if path.exists() and file_sha256(path) == entry["sha256"]:
+                writer.adopt_shard(entry)
+                n_skipped += 1
+                if progress is not None:
+                    progress(shard_index + 1, n_shards)
+                continue
+        shard_started = time.perf_counter()
+        for bag in iter_bags(config, start, stop):
+            writer.append(bag.bag_id, bag.category, bag.instances)
+        generation_seconds += time.perf_counter() - shard_started
+        n_generated_bags += stop - start
+        if progress is not None:
+            progress(shard_index + 1, n_shards)
+    writer.finalize()
+    elapsed = time.perf_counter() - started_at
+    return GenerationReport(
+        directory=directory,
+        fingerprint=config.fingerprint,
+        n_bags=total,
+        n_instances=int(sum(entry["n_instances"] for entry in writer.entries)),
+        n_shards=n_shards,
+        n_shards_skipped=n_skipped,
+        elapsed_seconds=elapsed,
+        bags_per_second=(
+            n_generated_bags / generation_seconds if generation_seconds > 0 else 0.0
+        ),
+    )
+
+
+def corpus_from_config(config: ScenarioConfig) -> PackedCorpus:
+    """The whole corpus as one in-memory :class:`PackedCorpus` (one pass).
+
+    The reference the streamed path is tested against; also the fast road
+    for benches that do not need the disk round-trip.  Materialises every
+    instance — use :func:`generate_corpus` for corpora that should not fit
+    in RAM twice.
+    """
+    ids: list[str] = []
+    categories: list[str] = []
+    matrices: list[np.ndarray] = []
+    lengths: list[int] = []
+    for bag in iter_bags(config):
+        ids.append(bag.bag_id)
+        categories.append(bag.category)
+        matrices.append(bag.instances)
+        lengths.append(bag.instances.shape[0])
+    offsets = np.concatenate([[0], np.cumsum(np.asarray(lengths, dtype=np.int64))])
+    return PackedCorpus(
+        instances=np.vstack(matrices),
+        offsets=offsets.astype(np.int64),
+        image_ids=ids,
+        categories=categories,
+    )

@@ -1,0 +1,343 @@
+"""Deterministic bag generation for the procedural corpus.
+
+Every bag is a pure function of ``(config, category, index)``: the per-bag
+generator comes from :func:`repro.datasets.base.category_rng` keyed on the
+config's seed and a ``synth:``-prefixed stream name, so any slice of a
+corpus can be produced without generating its prefix — the property the
+sharded store's resumability and the chunking-invariance tests rely on.
+
+Image mode builds on the :mod:`repro.datasets.scenes` painters, extended
+with the scenario knobs: scaled-down category *motifs* (the ``tiny-target``
+regime and the distractor-object injection), random clutter shapes, extra
+value texture, and deterministic label flipping.  Feature mode draws bags
+directly around well-separated per-category centres — the clustered layout
+the sharded rank index exists for — with the same clutter/distractor/label
+semantics mapped into feature space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterator
+
+import numpy as np
+
+from repro.datasets.base import Canvas, category_rng, jitter, jitter_color
+from repro.datasets.scenes import paint_scene
+from repro.datasets.synth.config import FEATURE_CENTER_SCALE, ScenarioConfig
+from repro.errors import DatasetError, FeatureError
+
+#: Uniform background-clutter instances are drawn from this box (feature
+#: mode); 1.5x the centre scale, so clutter genuinely spans the space the
+#: category centres occupy.
+_BACKGROUND_BOX = FEATURE_CENTER_SCALE * 1.5
+
+#: Clutter level 1.0 paints this many random shapes (image mode).
+_MAX_CLUTTER_SHAPES = 6
+
+
+@dataclass(frozen=True)
+class SynthBag:
+    """One generated bag.
+
+    Attributes:
+        bag_id: ``{true_category}-{index:07d}`` — stable across label noise.
+        category: the *recorded* label (flipped under label noise).
+        true_category: the category whose structure the bag contains.
+        instances: ``(n_instances, n_dims)`` float64 feature matrix.
+    """
+
+    bag_id: str
+    category: str
+    true_category: str
+    instances: np.ndarray
+
+
+def bag_rng(config: ScenarioConfig, category: str, index: int) -> np.random.Generator:
+    """The per-bag generator — stable in ``(seed, category, index)`` alone.
+
+    The ``synth:`` prefix keeps the stream disjoint from the plain database
+    builders', so a scenario corpus never accidentally reproduces
+    ``build_scene_database`` images.
+    """
+    return category_rng(config.seed, f"synth:{category}", index)
+
+
+# ---------------------------------------------------------------------- #
+# Feature mode                                                            #
+# ---------------------------------------------------------------------- #
+
+
+@lru_cache(maxsize=8192)
+def _center_cached(seed: int, category: str, dims: int) -> np.ndarray:
+    rng = category_rng(seed, f"synth-center:{category}", 0)
+    center = rng.normal(scale=FEATURE_CENTER_SCALE, size=dims)
+    center.setflags(write=False)
+    return center
+
+def feature_center(config: ScenarioConfig, category: str) -> np.ndarray:
+    """The feature-space centre of a category (feature mode)."""
+    return _center_cached(config.seed, category, config.feature_dims).copy()
+
+
+def _feature_bag(
+    config: ScenarioConfig, category: str, rng: np.random.Generator
+) -> np.ndarray:
+    n = config.instances_per_bag
+    dims = config.feature_dims
+    center = _center_cached(config.seed, category, dims)
+    rows = center + rng.normal(scale=config.cluster_spread, size=(n, dims))
+    others = [name for name in config.categories if name != category]
+    # Distractor objects: trailing instances jump to other categories'
+    # centres (an image containing other objects).
+    n_distractors = min(config.objects_per_image - 1, n - 1) if others else 0
+    for slot in range(n_distractors):
+        other = others[int(rng.integers(len(others)))]
+        rows[n - 1 - slot] = _center_cached(
+            config.seed, other, dims
+        ) + rng.normal(scale=config.cluster_spread, size=dims)
+    # Background clutter: that fraction of the remaining instances becomes
+    # a uniform draw over the whole feature box.  This inflates the bag's
+    # envelope — clutter is *supposed* to degrade bound pruning.
+    if config.clutter > 0 and n > 1 + n_distractors:
+        replace = rng.random(n) < config.clutter
+        replace[0] = False  # the target instance always survives
+        if n_distractors:
+            replace[n - n_distractors :] = False
+        n_replace = int(replace.sum())
+        if n_replace:
+            rows[replace] = rng.uniform(
+                -_BACKGROUND_BOX, _BACKGROUND_BOX, size=(n_replace, dims)
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------- #
+# Image mode                                                              #
+# ---------------------------------------------------------------------- #
+
+
+def _motif_waterfall(canvas, rng, row, col, scale, cj) -> None:
+    width = 0.05 * scale
+    height = 0.45 * scale
+    bottom = min(1.0, row + height)
+    white = jitter_color(rng, (0.90, 0.92, 0.95), cj)
+    canvas.rect(row, col - 2 * width, bottom, col + 2 * width,
+                jitter_color(rng, (0.30, 0.24, 0.20), cj))
+    canvas.rect(row, col - width, bottom, col + width, white)
+    canvas.line((row, col), (bottom, col), max(0.008, 0.012 * scale),
+                (1.0, 1.0, 1.0), alpha=0.5)
+
+
+def _motif_mountain(canvas, rng, row, col, scale, cj) -> None:
+    half = 0.22 * scale
+    base = min(1.0, row + 0.4 * scale)
+    rock = jitter_color(rng, (0.28, 0.26, 0.28), cj)
+    canvas.triangle((row, col), (base, col - half), (base, col + half), rock)
+    drop = 0.3
+    canvas.triangle(
+        (row, col),
+        (row + drop * (base - row), col - drop * half),
+        (row + drop * (base - row), col + drop * half),
+        jitter_color(rng, (0.94, 0.95, 0.97), min(cj, 0.04)),
+    )
+
+
+def _motif_field(canvas, rng, row, col, scale, cj) -> None:
+    half_w = 0.3 * scale
+    half_h = 0.15 * scale
+    green = jitter_color(rng, (0.45, 0.58, 0.25), cj)
+    canvas.rect(row - half_h, col - half_w, row + half_h, col + half_w, green)
+    furrow = jitter_color(rng, (0.35, 0.45, 0.20), cj)
+    canvas.rect(row, col - half_w, min(1.0, row + 0.02 * scale + 0.008),
+                col + half_w, furrow, alpha=0.7)
+
+
+def _motif_lake_river(canvas, rng, row, col, scale, cj) -> None:
+    half_w = 0.3 * scale
+    half_h = 0.12 * scale
+    water = jitter_color(rng, (0.50, 0.66, 0.82), cj)
+    canvas.rect(row - half_h, col - half_w, row + half_h, col + half_w, water)
+    bright = jitter_color(rng, (0.80, 0.88, 0.95), cj)
+    canvas.rect(row, col - half_w, min(1.0, row + 0.015 * scale + 0.006),
+                col + half_w, bright, alpha=0.65)
+
+
+def _motif_sunset(canvas, rng, row, col, scale, cj) -> None:
+    radius = max(0.03, 0.09 * scale)
+    canvas.disc(row, col, radius * 2.0, (1.0, 0.75, 0.45), alpha=0.35)
+    canvas.disc(row, col, radius, jitter_color(rng, (1.0, 0.92, 0.70), cj))
+    dark = jitter_color(rng, (0.10, 0.08, 0.10), min(cj, 0.04))
+    canvas.rect(min(1.0 - 0.02, row + radius), col - radius * 2.2,
+                min(1.0, row + radius * 2.5), col + radius * 2.2, dark, alpha=0.8)
+
+
+#: Scaled-down category cues, used for tiny targets and distractor objects.
+_MOTIFS = {
+    "waterfall": _motif_waterfall,
+    "mountain": _motif_mountain,
+    "field": _motif_field,
+    "lake_river": _motif_lake_river,
+    "sunset": _motif_sunset,
+}
+
+
+def _paint_backdrop(canvas: Canvas, rng: np.random.Generator, cj: float) -> None:
+    """A category-neutral sky/ground backdrop for tiny-target images."""
+    horizon = jitter(rng, 0.55, 0.1)
+    top = jitter_color(rng, (0.50, 0.62, 0.78), cj)
+    low = jitter_color(rng, (0.70, 0.76, 0.82), cj)
+    canvas.vertical_gradient(top, low, 0.0, horizon)
+    ground = jitter_color(rng, (0.42, 0.44, 0.36), cj)
+    canvas.rect(horizon, 0.0, 1.0, 1.0, ground)
+
+
+def _paint_clutter(canvas: Canvas, rng: np.random.Generator, clutter: float,
+                   cj: float) -> None:
+    """Random non-category shapes; count scales with the clutter knob."""
+    n_shapes = int(round(clutter * _MAX_CLUTTER_SHAPES))
+    for _ in range(n_shapes):
+        row = rng.uniform(0.1, 0.9)
+        col = rng.uniform(0.1, 0.9)
+        color = jitter_color(
+            rng, (rng.uniform(0.2, 0.8), rng.uniform(0.2, 0.8), rng.uniform(0.2, 0.8)), cj
+        )
+        kind = int(rng.integers(3))
+        if kind == 0:
+            half = rng.uniform(0.03, 0.10)
+            canvas.rect(row - half, col - half, row + half, col + half,
+                        color, alpha=0.85)
+        elif kind == 1:
+            canvas.disc(row, col, rng.uniform(0.03, 0.09), color, alpha=0.85)
+        else:
+            half = rng.uniform(0.04, 0.11)
+            canvas.triangle((row - half, col), (row + half, col - half),
+                            (row + half, col + half), color, alpha=0.85)
+
+
+def render_scenario_image(
+    config: ScenarioConfig, category: str, rng: np.random.Generator
+) -> np.ndarray:
+    """Render one scenario image: scene (or tiny motif) + distractors + clutter.
+
+    Returns:
+        ``(image_size, image_size, 3)`` float RGB array in [0, 1].
+    """
+    canvas = Canvas(config.image_size, config.image_size)
+    cj = config.color_jitter
+    if config.target_scale >= 1.0:
+        paint_scene(canvas, category, rng)
+    else:
+        # Tiny-target regime: the category cue shrinks to a motif on a
+        # neutral backdrop, so only a small sub-region is discriminative.
+        _paint_backdrop(canvas, rng, cj)
+        _MOTIFS[category](
+            canvas, rng, jitter(rng, 0.45, 0.25), jitter(rng, 0.5, 0.3),
+            config.target_scale, cj,
+        )
+    others = [name for name in config.categories if name != category]
+    if others:
+        for _ in range(config.objects_per_image - 1):
+            other = others[int(rng.integers(len(others)))]
+            _MOTIFS[other](
+                canvas, rng, jitter(rng, 0.5, 0.3), jitter(rng, 0.5, 0.35),
+                0.45 * config.target_scale, cj,
+            )
+    if config.clutter > 0:
+        _paint_clutter(canvas, rng, config.clutter, cj)
+    if config.texture_amplitude > 0:
+        canvas.add_value_texture(rng, cells=5, amplitude=config.texture_amplitude)
+    canvas.smooth(iterations=1)
+    canvas.add_noise(rng, config.noise_sigma)
+    return canvas.rgb
+
+
+# ---------------------------------------------------------------------- #
+# Bag assembly                                                            #
+# ---------------------------------------------------------------------- #
+
+
+def _recorded_category(
+    config: ScenarioConfig, category: str, rng: np.random.Generator
+) -> str:
+    """The label the corpus records — flipped under label noise.
+
+    Drawn *after* the bag content, so the pixels/instances of a given
+    ``(seed, category, index)`` are identical across label-noise settings.
+    """
+    if config.label_noise <= 0 or len(config.categories) < 2:
+        return category
+    if rng.random() >= config.label_noise:
+        return category
+    others = [name for name in config.categories if name != category]
+    return others[int(rng.integers(len(others)))]
+
+
+def generate_bag(
+    config: ScenarioConfig,
+    category: str,
+    index: int,
+    _extractor=None,
+) -> SynthBag:
+    """Generate one bag from ``(config, category, index)`` — no prefix needed.
+
+    Args:
+        config: the scenario.
+        category: one of ``config.categories``.
+        index: the bag's index within its category (>= 0).
+        _extractor: a reusable :class:`~repro.imaging.features.FeatureExtractor`
+            (image mode); built on the fly when omitted.
+
+    Raises:
+        DatasetError: unknown category, negative index, or an image whose
+            every region fails feature extraction.
+    """
+    if category not in config.categories:
+        raise DatasetError(
+            f"category {category!r} is not part of this scenario "
+            f"({', '.join(config.categories)})"
+        )
+    if index < 0:
+        raise DatasetError(f"bag index must be >= 0, got {index}")
+    rng = bag_rng(config, category, index)
+    if config.mode == "feature":
+        instances = _feature_bag(config, category, rng)
+    else:
+        from repro.imaging.features import FeatureExtractor
+        from repro.imaging.image import GrayImage
+
+        pixels = render_scenario_image(config, category, rng)
+        extractor = _extractor or FeatureExtractor(config.feature_config())
+        image = GrayImage.from_array(
+            pixels, image_id=f"{category}-{index:07d}", category=category
+        )
+        try:
+            instances = extractor.extract(image).vectors
+        except FeatureError as exc:
+            raise DatasetError(
+                f"scenario {config.name!r} produced an unfeaturisable image "
+                f"({category}, index {index}): {exc}"
+            ) from exc
+    return SynthBag(
+        bag_id=f"{category}-{index:07d}",
+        category=_recorded_category(config, category, rng),
+        true_category=category,
+        instances=instances,
+    )
+
+
+def iter_bags(
+    config: ScenarioConfig, start: int = 0, stop: int | None = None
+) -> Iterator[SynthBag]:
+    """Yield a slice of the corpus in global (category-major) order.
+
+    Memory use is one bag at a time; the slice never generates its prefix.
+    """
+    extractor = None
+    if config.mode == "image":
+        from repro.imaging.features import FeatureExtractor
+
+        extractor = FeatureExtractor(config.feature_config())
+    for _position, category, index in config.iter_specs(start, stop):
+        yield generate_bag(config, category, index, _extractor=extractor)

@@ -1,0 +1,544 @@
+"""The sharded on-disk corpus store: npz shards + a checksummed manifest.
+
+Layout of a corpus directory::
+
+    manifest.json            # STORE_VERSION, config + fingerprint, totals,
+                             # per-shard {file, n_bags, n_instances, sha256}
+    manifest.partial.json    # same shape, present only mid-generation
+    shard-00000.npz          # instances/offsets/image_ids/categories arrays
+    shard-00001.npz
+    ...
+
+Writes are streamed: :class:`ShardedCorpusWriter` holds at most one shard
+of bags in memory (its ``max_buffered_bags``/``max_buffered_instances``
+counters are the bounded-memory proxy the tests assert on), and the
+partial manifest is rewritten atomically after every shard, which is what
+makes generation resumable — a restart adopts every shard whose file
+checksum still matches and regenerates the rest.
+
+Reads are verified: :class:`ShardedCorpusReader` validates the manifest up
+front and (by default) re-checksums every shard as it streams, raising
+typed :class:`~repro.errors.DatasetError`\\ s for missing, truncated,
+corrupted or mismatched data — a short corpus is never silently returned.
+:meth:`ShardedCorpusReader.packed` preallocates the full arrays from the
+manifest totals and fills them shard by shard, so building the
+:class:`~repro.core.retrieval.PackedCorpus` for an N-bag corpus needs the
+final arrays plus one shard, never 2x.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Iterator
+from zipfile import BadZipFile
+
+import numpy as np
+
+from repro.core.retrieval import PackedCorpus
+from repro.datasets.synth.config import ScenarioConfig
+from repro.errors import DatasetError
+
+#: On-disk format version of the shard store.
+STORE_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+PARTIAL_MANIFEST_NAME = "manifest.partial.json"
+
+#: Default bags per shard.
+DEFAULT_SHARD_SIZE = 1024
+
+
+def shard_filename(index: int) -> str:
+    """The canonical shard file name for a shard index."""
+    return f"shard-{index:05d}.npz"
+
+
+def file_sha256(path: str | Path) -> str:
+    """SHA-256 of a file's bytes (streamed; shards can be large)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _write_json_atomic(path: Path, payload: dict) -> None:
+    """Write JSON via a temp file + rename, so a crash never half-writes."""
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+def _load_manifest_file(path: Path) -> dict:
+    """Parse one manifest file with typed failures."""
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        raise DatasetError(f"cannot read corpus manifest {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise DatasetError(f"corpus manifest {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise DatasetError(f"corpus manifest {path} must be a JSON object")
+    version = payload.get("version")
+    if version != STORE_VERSION:
+        raise DatasetError(
+            f"corpus manifest {path} has store version {version!r}; "
+            f"this build reads {STORE_VERSION}"
+        )
+    shards = payload.get("shards")
+    if not isinstance(shards, list):
+        raise DatasetError(f"corpus manifest {path} has no 'shards' list")
+    for entry in shards:
+        for field in ("file", "n_bags", "n_instances", "n_dims", "sha256"):
+            if not isinstance(entry, dict) or field not in entry:
+                raise DatasetError(
+                    f"corpus manifest {path} has a shard entry missing {field!r}"
+                )
+    return payload
+
+
+class ShardedCorpusWriter:
+    """Streams bags into npz shards under a directory, bounded-memory.
+
+    Args:
+        directory: target directory (created if missing).
+        config: the scenario the corpus realises; embedded (with its
+            fingerprint) in the manifest.  ``None`` writes a config-less
+            manifest (corpora packed from other sources).
+        shard_size: bags per shard.
+
+    Use :meth:`append` per bag (shards flush automatically), or
+    :meth:`adopt_shard` to keep an already-on-disk shard during a resumed
+    generation, then :meth:`finalize`.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        config: ScenarioConfig | None = None,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+    ) -> None:
+        if shard_size < 1:
+            raise DatasetError(f"shard_size must be >= 1, got {shard_size}")
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self._config = config
+        self._shard_size = int(shard_size)
+        self._entries: list[dict] = []
+        self._buffer: list[tuple[str, str, np.ndarray]] = []
+        self._buffered_instances = 0
+        self._finalized = False
+        #: High-water marks — the bounded-memory proxy tests assert on.
+        self.max_buffered_bags = 0
+        self.max_buffered_instances = 0
+
+    @property
+    def directory(self) -> Path:
+        """The corpus directory being written."""
+        return self._directory
+
+    @property
+    def shard_size(self) -> int:
+        """Bags per shard."""
+        return self._shard_size
+
+    @property
+    def n_shards(self) -> int:
+        """Shards recorded so far (written or adopted)."""
+        return len(self._entries)
+
+    @property
+    def entries(self) -> tuple[dict, ...]:
+        """Manifest entries of the shards recorded so far (copies)."""
+        return tuple(dict(entry) for entry in self._entries)
+
+    def _manifest_payload(self) -> dict:
+        payload: dict = {
+            "version": STORE_VERSION,
+            "shard_size": self._shard_size,
+            "shards": self._entries,
+        }
+        if self._config is not None:
+            payload["config"] = self._config.to_dict()
+            payload["fingerprint"] = self._config.fingerprint
+        return payload
+
+    def _write_partial(self) -> None:
+        _write_json_atomic(
+            self._directory / PARTIAL_MANIFEST_NAME, self._manifest_payload()
+        )
+
+    def append(self, bag_id: str, category: str, instances: np.ndarray) -> None:
+        """Buffer one bag; flushes a shard when ``shard_size`` is reached."""
+        if self._finalized:
+            raise DatasetError("writer is finalized; no more bags accepted")
+        matrix = np.ascontiguousarray(instances, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] < 1:
+            raise DatasetError(
+                f"bag {bag_id!r} instances must be a non-empty 2-D matrix, "
+                f"got shape {matrix.shape}"
+            )
+        self._buffer.append((str(bag_id), str(category), matrix))
+        self._buffered_instances += matrix.shape[0]
+        self.max_buffered_bags = max(self.max_buffered_bags, len(self._buffer))
+        self.max_buffered_instances = max(
+            self.max_buffered_instances, self._buffered_instances
+        )
+        if len(self._buffer) >= self._shard_size:
+            self._flush()
+
+    def adopt_shard(self, entry: dict) -> None:
+        """Record an existing on-disk shard without rewriting it (resume).
+
+        Only legal on a shard boundary (generation fills shards exactly).
+        """
+        if self._buffer:
+            raise DatasetError(
+                "cannot adopt a shard while bags are buffered mid-shard"
+            )
+        self._entries.append(dict(entry))
+        self._write_partial()
+
+    def _flush(self) -> None:
+        if not self._buffer:
+            return
+        index = len(self._entries)
+        path = self._directory / shard_filename(index)
+        lengths = np.array([m.shape[0] for _, _, m in self._buffer], dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(lengths)]).astype(np.int64)
+        instances = np.vstack([m for _, _, m in self._buffer])
+        image_ids = np.array([i for i, _, _ in self._buffer])
+        categories = np.array([c for _, c, _ in self._buffer])
+        np.savez(
+            path,
+            instances=instances,
+            offsets=offsets,
+            image_ids=image_ids,
+            categories=categories,
+        )
+        self._entries.append(
+            {
+                "file": path.name,
+                "n_bags": int(lengths.size),
+                "n_instances": int(instances.shape[0]),
+                "n_dims": int(instances.shape[1]),
+                "sha256": file_sha256(path),
+            }
+        )
+        self._buffer.clear()
+        self._buffered_instances = 0
+        self._write_partial()
+
+    def finalize(self) -> Path:
+        """Flush the tail shard and write the final manifest.
+
+        Returns the manifest path; the partial manifest is removed.
+        """
+        if self._finalized:
+            return self._directory / MANIFEST_NAME
+        self._flush()
+        if not self._entries:
+            raise DatasetError("refusing to finalize an empty corpus")
+        dims = {entry["n_dims"] for entry in self._entries}
+        if len(dims) != 1:
+            raise DatasetError(
+                f"shards disagree on instance dimensionality: {sorted(dims)}"
+            )
+        payload = self._manifest_payload()
+        payload["n_shards"] = len(self._entries)
+        payload["n_bags"] = int(sum(e["n_bags"] for e in self._entries))
+        payload["n_instances"] = int(sum(e["n_instances"] for e in self._entries))
+        payload["n_dims"] = int(dims.pop())
+        manifest_path = self._directory / MANIFEST_NAME
+        _write_json_atomic(manifest_path, payload)
+        partial = self._directory / PARTIAL_MANIFEST_NAME
+        if partial.exists():
+            partial.unlink()
+        self._finalized = True
+        return manifest_path
+
+
+class ShardedCorpusReader:
+    """Opens a finalized corpus directory; validates before serving data.
+
+    Raises:
+        DatasetError: missing directory/manifest, unreadable or
+            version-mismatched manifest, or (still-)incomplete generation.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self._directory = Path(directory)
+        if not self._directory.is_dir():
+            raise DatasetError(f"corpus directory {self._directory} does not exist")
+        manifest_path = self._directory / MANIFEST_NAME
+        if not manifest_path.exists():
+            if (self._directory / PARTIAL_MANIFEST_NAME).exists():
+                raise DatasetError(
+                    f"corpus at {self._directory} is incomplete (generation "
+                    f"was interrupted); re-run generation to resume it"
+                )
+            raise DatasetError(
+                f"{self._directory} holds no corpus manifest ({MANIFEST_NAME})"
+            )
+        manifest = _load_manifest_file(manifest_path)
+        for field in ("n_bags", "n_instances", "n_dims", "n_shards"):
+            if field not in manifest:
+                raise DatasetError(
+                    f"corpus manifest {manifest_path} is missing {field!r} "
+                    f"(incomplete finalize?)"
+                )
+        if manifest["n_shards"] != len(manifest["shards"]):
+            raise DatasetError(
+                f"corpus manifest {manifest_path} lists "
+                f"{len(manifest['shards'])} shards but claims "
+                f"{manifest['n_shards']}"
+            )
+        self._manifest = manifest
+        config_payload = manifest.get("config")
+        self._config = (
+            None if config_payload is None else ScenarioConfig.from_dict(config_payload)
+        )
+        if self._config is not None:
+            recorded = manifest.get("fingerprint")
+            if recorded != self._config.fingerprint:
+                raise DatasetError(
+                    f"corpus manifest fingerprint {recorded!r} does not match "
+                    f"its embedded config ({self._config.fingerprint}); "
+                    f"the manifest was tampered with or corrupted"
+                )
+
+    @property
+    def directory(self) -> Path:
+        """The corpus directory."""
+        return self._directory
+
+    @property
+    def manifest(self) -> dict:
+        """The parsed manifest (do not mutate)."""
+        return self._manifest
+
+    @property
+    def config(self) -> ScenarioConfig | None:
+        """The scenario that generated the corpus, when recorded."""
+        return self._config
+
+    @property
+    def fingerprint(self) -> str:
+        """The config fingerprint (empty for config-less corpora)."""
+        return str(self._manifest.get("fingerprint", ""))
+
+    @property
+    def n_bags(self) -> int:
+        """Total bags across all shards."""
+        return int(self._manifest["n_bags"])
+
+    @property
+    def n_instances(self) -> int:
+        """Total instances across all shards."""
+        return int(self._manifest["n_instances"])
+
+    @property
+    def n_dims(self) -> int:
+        """Instance dimensionality."""
+        return int(self._manifest["n_dims"])
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards."""
+        return int(self._manifest["n_shards"])
+
+    def _load_shard(self, entry: dict, verify: bool) -> PackedCorpus:
+        path = self._directory / str(entry["file"])
+        if not path.exists():
+            raise DatasetError(f"corpus shard {path.name} is missing from disk")
+        if verify:
+            digest = file_sha256(path)
+            if digest != entry["sha256"]:
+                raise DatasetError(
+                    f"corpus shard {path.name} fails its checksum "
+                    f"(expected {entry['sha256'][:12]}…, got {digest[:12]}…); "
+                    f"the file is corrupted or truncated"
+                )
+        try:
+            with np.load(path, allow_pickle=False) as payload:
+                instances = payload["instances"]
+                offsets = payload["offsets"]
+                image_ids = [str(i) for i in payload["image_ids"]]
+                categories = [str(c) for c in payload["categories"]]
+        except (OSError, EOFError, ValueError, KeyError, BadZipFile) as exc:
+            raise DatasetError(
+                f"corpus shard {path.name} is not a readable shard archive: {exc}"
+            ) from exc
+        if instances.shape[0] != int(entry["n_instances"]) or len(image_ids) != int(
+            entry["n_bags"]
+        ):
+            raise DatasetError(
+                f"corpus shard {path.name} holds {len(image_ids)} bags / "
+                f"{instances.shape[0]} instances but the manifest promises "
+                f"{entry['n_bags']} / {entry['n_instances']}"
+            )
+        return PackedCorpus(
+            instances=instances,
+            offsets=offsets,
+            image_ids=image_ids,
+            categories=categories,
+        )
+
+    def iter_shards(self, verify: bool = True) -> Iterator[PackedCorpus]:
+        """Yield each shard as its own small :class:`PackedCorpus`.
+
+        Args:
+            verify: re-checksum each shard file before trusting it.
+
+        Raises:
+            DatasetError: missing/corrupt/short shard data.
+        """
+        for entry in self._manifest["shards"]:
+            yield self._load_shard(entry, verify)
+
+    def verify(self) -> None:
+        """Checksum and structurally validate every shard (full pass)."""
+        total_bags = 0
+        total_instances = 0
+        for shard in self.iter_shards(verify=True):
+            total_bags += shard.n_bags
+            total_instances += shard.n_instances
+        if total_bags != self.n_bags or total_instances != self.n_instances:
+            raise DatasetError(
+                f"corpus at {self._directory} holds {total_bags} bags / "
+                f"{total_instances} instances but the manifest promises "
+                f"{self.n_bags} / {self.n_instances}"
+            )
+
+    def packed(self, verify: bool = True) -> PackedCorpus:
+        """The whole corpus as one :class:`PackedCorpus`, built shard-by-shard.
+
+        The final arrays are preallocated from the manifest totals and each
+        shard is copied in then dropped, so peak memory is the result plus
+        one shard — a 1M-bag corpus never exists twice.
+
+        Raises:
+            DatasetError: any shard failure, or totals short of the manifest.
+        """
+        instances = np.empty((self.n_instances, self.n_dims), dtype=np.float64)
+        offsets = np.empty(self.n_bags + 1, dtype=np.int64)
+        offsets[0] = 0
+        image_ids: list[str] = []
+        categories: list[str] = []
+        bag_at = 0
+        row_at = 0
+        for shard in self.iter_shards(verify=verify):
+            n_rows = shard.n_instances
+            if row_at + n_rows > self.n_instances or bag_at + shard.n_bags > self.n_bags:
+                raise DatasetError(
+                    f"corpus at {self._directory} holds more data than its "
+                    f"manifest promises ({self.n_bags} bags / "
+                    f"{self.n_instances} instances)"
+                )
+            instances[row_at : row_at + n_rows] = shard.instances
+            offsets[bag_at + 1 : bag_at + shard.n_bags + 1] = (
+                shard.offsets[1:] + row_at
+            )
+            image_ids.extend(shard.image_ids)
+            categories.extend(shard.categories)
+            bag_at += shard.n_bags
+            row_at += n_rows
+        if bag_at != self.n_bags or row_at != self.n_instances:
+            raise DatasetError(
+                f"corpus at {self._directory} yielded {bag_at} bags / "
+                f"{row_at} instances, short of the manifest's "
+                f"{self.n_bags} / {self.n_instances}"
+            )
+        return PackedCorpus(
+            instances=instances,
+            offsets=offsets,
+            image_ids=image_ids,
+            categories=categories,
+        )
+
+
+def save_packed_corpus(
+    packed: PackedCorpus,
+    path: str | Path,
+    *,
+    fingerprint: str = "",
+    config: ScenarioConfig | None = None,
+) -> Path:
+    """Write one packed corpus as a single ``.npz`` (the ``synth pack`` output).
+
+    The manifest rides inside the archive as a uint8-encoded JSON array,
+    the same trick the serve snapshots use.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    manifest: dict = {
+        "version": STORE_VERSION,
+        "n_bags": packed.n_bags,
+        "n_instances": packed.n_instances,
+        "n_dims": packed.n_dims,
+        "fingerprint": fingerprint,
+    }
+    if config is not None:
+        manifest["config"] = config.to_dict()
+        manifest["fingerprint"] = config.fingerprint
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(
+        path,
+        manifest=np.frombuffer(json.dumps(manifest).encode("utf-8"), dtype=np.uint8),
+        instances=packed.instances,
+        offsets=packed.offsets,
+        image_ids=np.array(list(packed.image_ids)),
+        categories=np.array(list(packed.categories)),
+    )
+    return path
+
+
+def load_packed_corpus(path: str | Path) -> tuple[PackedCorpus, dict]:
+    """Read a :func:`save_packed_corpus` archive; returns (corpus, manifest).
+
+    Raises:
+        DatasetError: missing/unreadable file, bad manifest or version.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"packed corpus {path} does not exist")
+    try:
+        archive = np.load(path, allow_pickle=False)
+    except (OSError, EOFError, ValueError, BadZipFile) as exc:
+        raise DatasetError(
+            f"packed corpus {path} is not a readable .npz archive: {exc}"
+        ) from exc
+    with archive as payload:
+        try:
+            manifest = json.loads(bytes(payload["manifest"]).decode("utf-8"))
+        except (KeyError, json.JSONDecodeError) as exc:
+            raise DatasetError(f"packed corpus {path} has no valid manifest: {exc}") from exc
+        version = manifest.get("version")
+        if version != STORE_VERSION:
+            raise DatasetError(
+                f"packed corpus {path} has store version {version!r}; "
+                f"this build reads {STORE_VERSION}"
+            )
+        try:
+            packed = PackedCorpus(
+                instances=payload["instances"],
+                offsets=payload["offsets"],
+                image_ids=[str(i) for i in payload["image_ids"]],
+                categories=[str(c) for c in payload["categories"]],
+            )
+        except KeyError as exc:
+            raise DatasetError(f"packed corpus {path} is missing array {exc}") from exc
+    if packed.n_bags != manifest.get("n_bags") or packed.n_instances != manifest.get(
+        "n_instances"
+    ):
+        raise DatasetError(
+            f"packed corpus {path} holds {packed.n_bags} bags / "
+            f"{packed.n_instances} instances but its manifest promises "
+            f"{manifest.get('n_bags')} / {manifest.get('n_instances')}"
+        )
+    return packed, manifest

@@ -59,7 +59,12 @@ from repro.serve.codec import (
 )
 from repro.serve.http import ReproClient, ReproServer
 from repro.serve.sessions import FeedbackRoundResult, SessionStore
-from repro.serve.snapshot import SnapshotInfo, load_service, save_service
+from repro.serve.snapshot import (
+    SnapshotInfo,
+    load_corpus_service,
+    load_service,
+    save_service,
+)
 
 __all__ = [
     "WIRE_VERSION",
@@ -71,6 +76,7 @@ __all__ = [
     "SnapshotInfo",
     "save_service",
     "load_service",
+    "load_corpus_service",
     "encode",
     "decode",
     "wire_equal",

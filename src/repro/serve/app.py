@@ -248,7 +248,7 @@ class ServiceApp:
                 "service": self._name,
                 "package_version": __version__,
                 "wire_version": codec.WIRE_VERSION,
-                "database": self._service.database.name,
+                "database": getattr(self._service.database, "name", ""),
                 "n_images": len(self._service.database),
                 "learners": list(available_learners()),
             },

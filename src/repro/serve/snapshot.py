@@ -13,6 +13,12 @@ repeated query with **zero retrains** (the first lookup is a cache hit).
 Cache entries whose values the codec cannot express (custom model types
 without training diagnostics) are skipped, counted, and reported in the
 returned :class:`SnapshotInfo` rather than silently dropped.
+
+:func:`load_corpus_service` is the third way to start a worker: it opens a
+sharded synthetic corpus directory (``repro synth generate`` output),
+builds the packed view shard by shard, and serves the bare
+:class:`~repro.core.retrieval.PackedCorpus` directly — no pixel database
+exists for generated corpora, and none is needed to rank.
 """
 
 from __future__ import annotations
@@ -312,4 +318,54 @@ def load_service(
         corpus_keys=tuple(corpus_keys),
         n_cache_entries=n_entries,
         n_cache_skipped=n_skipped,
+    )
+
+
+def load_corpus_service(
+    path: str | Path,
+    *,
+    cache_size: int | None = 128,
+    max_history: int | None = 1000,
+    rank_index: bool = True,
+    rank_shards: int | None = None,
+    verify: bool = True,
+) -> tuple[RetrievalService, SnapshotInfo]:
+    """Serve a sharded synthetic corpus directory directly.
+
+    The directory is a ``repro synth generate`` output
+    (:class:`~repro.datasets.synth.store.ShardedCorpusReader` layout).  Its
+    packed view becomes the service's database stand-in: ranking, the
+    concept cache, ``batch_query`` and the rank-index policy all work
+    unchanged; only pixel-level operations (there are no pixels) do not.
+
+    Args:
+        path: the corpus directory.
+        cache_size / max_history / rank_index / rank_shards: as
+            :class:`~repro.api.service.RetrievalService`.
+        verify: re-checksum every shard while building the packed view.
+
+    Returns:
+        ``(service, info)`` — ``info.corpus_keys`` is the region-bag key,
+        cache counters are zero (generated corpora carry no trained cache).
+
+    Raises:
+        DatasetError: missing/corrupt/incomplete corpus directory.
+    """
+    from repro.datasets.synth.store import ShardedCorpusReader
+
+    reader = ShardedCorpusReader(path)
+    packed = reader.packed(verify=verify)
+    service = RetrievalService(
+        packed,
+        cache_size=cache_size,
+        max_history=max_history,
+        rank_index=rank_index,
+        rank_shards=rank_shards,
+    )
+    return service, SnapshotInfo(
+        path=reader.directory,
+        n_images=packed.n_bags,
+        corpus_keys=(_DATABASE_KEY,),
+        n_cache_entries=0,
+        n_cache_skipped=0,
     )

@@ -1,0 +1,74 @@
+"""Tests for the string-name dataset registry in :mod:`repro.datasets.loader`."""
+
+import pytest
+
+from repro.database.store import ImageDatabase
+from repro.datasets import available_datasets, make_dataset, register_dataset
+from repro.errors import DatasetError
+
+
+class TestRegistry:
+    def test_builtin_names_registered(self):
+        names = available_datasets()
+        for expected in ("scenes", "objects", "quick", "quick-scenes", "quick-objects"):
+            assert expected in names
+
+    def test_make_dataset_builds_database(self):
+        database = make_dataset(
+            "quick-scenes", images_per_category=2, size=(48, 48), seed=3
+        )
+        assert isinstance(database, ImageDatabase)
+        assert len(database) == 10
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError, match="unknown dataset"):
+            make_dataset("corel")
+
+    def test_bad_params_fail_before_building(self):
+        with pytest.raises(DatasetError, match="invalid parameters"):
+            make_dataset("quick-scenes", images_per_category=2, nonsense_knob=1)
+
+    def test_register_and_overwrite(self):
+        marker = object()
+        register_dataset("registry-test", lambda: marker)
+        try:
+            assert make_dataset("registry-test") is marker
+            with pytest.raises(DatasetError, match="already registered"):
+                register_dataset("registry-test", lambda: None)
+            register_dataset("registry-test", lambda: None, overwrite=True)
+            assert make_dataset("registry-test") is None
+        finally:
+            from repro.datasets.loader import _DATASETS
+
+            _DATASETS.pop("registry-test", None)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(DatasetError, match="non-empty"):
+            register_dataset("", lambda: None)
+
+
+class TestCliIntegration:
+    def test_build_db_resolves_registry_names(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.database.persistence import load_database
+
+        out = tmp_path / "db.npz"
+        code = main(
+            [
+                "build-db", "--kind", "quick-objects", "--per-category", "2",
+                "--size", "48", "--seed", "1", "--out", str(out),
+            ]
+        )
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        assert len(load_database(out)) > 0
+
+    def test_build_db_unknown_kind_exits_with_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["build-db", "--kind", "corel", "--per-category", "2",
+             "--out", str(tmp_path / "db.npz")]
+        )
+        assert code == 2
+        assert "unknown dataset" in capsys.readouterr().err

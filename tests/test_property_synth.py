@@ -1,0 +1,114 @@
+"""Property suite: the synth corpus is invariant to how it is produced.
+
+The generator's contract is that a corpus is a pure function of its
+:class:`~repro.datasets.synth.ScenarioConfig` — shard size, interruption
+history and the disk round trip are execution details that must not leave a
+trace.  Hypothesis drives those details while the resulting
+:class:`~repro.core.retrieval.PackedCorpus` is required to stay
+bit-identical (float64 equality, not tolerance) to the one-pass in-memory
+reference build.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synth import (
+    ScenarioConfig,
+    ShardedCorpusReader,
+    corpus_from_config,
+    generate_corpus,
+    load_packed_corpus,
+    save_packed_corpus,
+)
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings, strategies as st  # noqa: E402
+
+
+@st.composite
+def scenario_configs(draw):
+    """Small feature-mode scenarios across the interesting knobs."""
+    n_categories = draw(st.integers(2, 4))
+    return ScenarioConfig(
+        name="prop",
+        mode="feature",
+        categories=tuple(f"cat-{i}" for i in range(n_categories)),
+        bags_per_category=draw(st.integers(1, 5)),
+        seed=draw(st.integers(0, 3)),
+        feature_dims=draw(st.integers(2, 5)),
+        instances_per_bag=draw(st.integers(2, 5)),
+        clutter=draw(st.sampled_from([0.0, 0.5])),
+        label_noise=draw(st.sampled_from([0.0, 0.3])),
+        category_skew=draw(st.sampled_from([0.0, 1.0])),
+        objects_per_image=draw(st.integers(1, 2)),
+    )
+
+
+def assert_corpora_identical(actual, reference):
+    np.testing.assert_array_equal(actual.instances, reference.instances)
+    np.testing.assert_array_equal(actual.offsets, reference.offsets)
+    assert list(actual.image_ids) == list(reference.image_ids)
+    assert list(actual.categories) == list(reference.categories)
+
+
+common_settings = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+@common_settings
+@given(config=scenario_configs(), shard_size=st.integers(1, 7))
+def test_shard_size_never_changes_the_corpus(tmp_path_factory, config, shard_size):
+    directory = tmp_path_factory.mktemp("shards")
+    generate_corpus(config, directory, shard_size=shard_size)
+    assert_corpora_identical(
+        ShardedCorpusReader(directory).packed(), corpus_from_config(config)
+    )
+
+
+@common_settings
+@given(
+    config=scenario_configs(),
+    shard_size=st.integers(1, 5),
+    interrupt_after=st.integers(1, 4),
+)
+def test_resume_after_interrupt_never_changes_the_corpus(
+    tmp_path_factory, config, shard_size, interrupt_after
+):
+    directory = tmp_path_factory.mktemp("resume")
+
+    class Interrupt(RuntimeError):
+        pass
+
+    def bomb(done, total):
+        if done == interrupt_after:
+            raise Interrupt()
+
+    try:
+        generate_corpus(config, directory, shard_size=shard_size, progress=bomb)
+    except Interrupt:
+        pass
+    resumed = generate_corpus(config, directory, shard_size=shard_size)
+    assert resumed.n_bags == config.total_bags
+    assert_corpora_identical(
+        ShardedCorpusReader(directory).packed(), corpus_from_config(config)
+    )
+
+
+@common_settings
+@given(config=scenario_configs(), shard_size=st.integers(1, 7))
+def test_generate_then_pack_equals_direct_build(
+    tmp_path_factory, config, shard_size
+):
+    directory = tmp_path_factory.mktemp("pack")
+    generate_corpus(config, directory / "corpus", shard_size=shard_size)
+    reader = ShardedCorpusReader(directory / "corpus")
+    path = save_packed_corpus(
+        reader.packed(), directory / "corpus.npz",
+        fingerprint=reader.fingerprint, config=reader.config,
+    )
+    loaded, manifest = load_packed_corpus(path)
+    assert manifest["fingerprint"] == config.fingerprint
+    assert_corpora_identical(loaded, corpus_from_config(config))

@@ -1,0 +1,109 @@
+"""CLI tests for the ``repro synth`` command group and corpus serving."""
+
+import pytest
+
+from repro.cli import _build_parser, build_server, main
+from repro.datasets.synth import (
+    ShardedCorpusReader,
+    generate_corpus,
+    get_preset,
+    load_packed_corpus,
+)
+
+
+@pytest.fixture()
+def corpus_dir(tmp_path):
+    """A tiny generated corpus directory (feature-mode clean scenario)."""
+    import dataclasses
+
+    config = dataclasses.replace(
+        get_preset("clean"), mode="feature", feature_dims=4, instances_per_bag=3
+    ).with_total_bags(20)
+    directory = tmp_path / "corpus"
+    generate_corpus(config, directory, shard_size=8)
+    return directory
+
+
+class TestSynthGenerate:
+    def test_generates_and_reports(self, tmp_path, capsys):
+        out = tmp_path / "corpus"
+        code = main(
+            [
+                "synth", "generate", "--preset", "clean", "--bags", "15",
+                "--shard-size", "8", "--out", str(out),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "bags" in printed and "shards" in printed
+        reader = ShardedCorpusReader(out)
+        assert reader.n_bags >= 15
+
+    def test_rerun_reports_adoption(self, tmp_path, capsys):
+        out = str(tmp_path / "corpus")
+        argv = [
+            "synth", "generate", "--preset", "clean", "--bags", "10",
+            "--shard-size", "4", "--out", out,
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "resumed" in capsys.readouterr().out
+
+    def test_seed_override_changes_fingerprint(self, tmp_path):
+        a = tmp_path / "a"
+        b = tmp_path / "b"
+        base = ["synth", "generate", "--preset", "clean", "--bags", "5",
+                "--shard-size", "8"]
+        assert main(base + ["--out", str(a)]) == 0
+        assert main(base + ["--seed", "9", "--out", str(b)]) == 0
+        assert (
+            ShardedCorpusReader(a).fingerprint != ShardedCorpusReader(b).fingerprint
+        )
+
+    def test_unknown_preset_exits_with_error(self, tmp_path, capsys):
+        code = main(["synth", "generate", "--preset", "pristine",
+                     "--out", str(tmp_path / "x")])
+        assert code == 2
+        assert "unknown scenario preset" in capsys.readouterr().err
+
+
+class TestSynthInspect:
+    def test_prints_manifest_summary(self, corpus_dir, capsys):
+        assert main(["synth", "inspect", "--dir", str(corpus_dir)]) == 0
+        printed = capsys.readouterr().out
+        assert "fingerprint" in printed
+        assert "clean" in printed
+
+    def test_verify_flag_checksums(self, corpus_dir, capsys):
+        assert main(["synth", "inspect", "--dir", str(corpus_dir), "--verify"]) == 0
+        assert "verified" in capsys.readouterr().out
+
+    def test_missing_directory_exits_with_error(self, tmp_path, capsys):
+        code = main(["synth", "inspect", "--dir", str(tmp_path / "nowhere")])
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+
+class TestSynthPack:
+    def test_packs_to_single_archive(self, corpus_dir, tmp_path, capsys):
+        out = tmp_path / "packed.npz"
+        assert main(["synth", "pack", "--dir", str(corpus_dir),
+                     "--out", str(out)]) == 0
+        assert "packed" in capsys.readouterr().out
+        packed, manifest = load_packed_corpus(out)
+        reader = ShardedCorpusReader(corpus_dir)
+        assert packed.n_bags == reader.n_bags
+        assert manifest["fingerprint"] == reader.fingerprint
+
+
+class TestServeCorpusDir:
+    def test_build_server_opens_sharded_corpus(self, corpus_dir, capsys):
+        args = _build_parser().parse_args(
+            ["serve", "--corpus-dir", str(corpus_dir), "--port", "0"]
+        )
+        server = build_server(args)
+        assert "opened sharded corpus" in capsys.readouterr().out
+        health = server.app.health()
+        assert health["status"] == "ok"
+        assert health["n_images"] == ShardedCorpusReader(corpus_dir).n_bags

@@ -1,0 +1,197 @@
+"""Unit tests for the scenario configuration and preset registry."""
+
+import dataclasses
+
+import pytest
+
+from repro.datasets.scenes import SCENE_CATEGORIES
+from repro.datasets.synth import (
+    SCENARIO_SCHEMA_VERSION,
+    ScenarioConfig,
+    available_presets,
+    get_preset,
+    register_preset,
+)
+from repro.errors import DatasetError
+
+
+def feature_config(**overrides) -> ScenarioConfig:
+    """A tiny feature-mode scenario for fast tests."""
+    defaults = dict(
+        name="test",
+        mode="feature",
+        categories=("alpha", "beta", "gamma"),
+        bags_per_category=4,
+        feature_dims=4,
+        instances_per_bag=3,
+    )
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+class TestValidation:
+    def test_defaults_are_valid_image_mode(self):
+        config = ScenarioConfig()
+        assert config.mode == "image"
+        assert config.categories == SCENE_CATEGORIES
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"mode": "movie"},
+            {"categories": ()},
+            {"categories": ("a", "a")},
+            {"bags_per_category": 0},
+            {"image_size": 8},
+            {"resolution": 1},
+            {"feature_dims": 1},
+            {"instances_per_bag": 0},
+            {"cluster_spread": 0.0},
+            {"objects_per_image": 0},
+            {"clutter": 1.5},
+            {"label_noise": -0.1},
+            {"category_skew": -1.0},
+            {"target_scale": 0.0},
+            {"target_scale": 1.5},
+            {"color_jitter": -0.01},
+            {"region_family": "nope"},
+        ],
+    )
+    def test_bad_knobs_raise(self, overrides):
+        with pytest.raises(DatasetError):
+            ScenarioConfig(**overrides)
+
+    def test_image_mode_rejects_non_scene_categories(self):
+        with pytest.raises(DatasetError, match="scene categories"):
+            ScenarioConfig(categories=("waterfall", "spaceship"))
+
+    def test_feature_mode_accepts_arbitrary_categories(self):
+        config = feature_config(categories=("x", "y"))
+        assert config.categories == ("x", "y")
+
+    def test_feature_mode_distractors_bounded_by_bag_size(self):
+        with pytest.raises(DatasetError, match="objects_per_image"):
+            feature_config(instances_per_bag=2, objects_per_image=5)
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        config = feature_config(clutter=0.4, label_noise=0.1, seed=9)
+        assert ScenarioConfig.from_dict(config.to_dict()) == config
+
+    def test_to_dict_embeds_schema_version(self):
+        assert ScenarioConfig().to_dict()["schema_version"] == SCENARIO_SCHEMA_VERSION
+
+    def test_unknown_schema_version_rejected(self):
+        payload = feature_config().to_dict()
+        payload["schema_version"] = 99
+        with pytest.raises(DatasetError, match="schema version"):
+            ScenarioConfig.from_dict(payload)
+
+    def test_missing_schema_version_rejected(self):
+        payload = feature_config().to_dict()
+        del payload["schema_version"]
+        with pytest.raises(DatasetError, match="schema version"):
+            ScenarioConfig.from_dict(payload)
+
+    def test_unknown_fields_tolerated(self):
+        payload = feature_config().to_dict()
+        payload["future_knob"] = 42
+        assert ScenarioConfig.from_dict(payload) == feature_config()
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(DatasetError, match="must be a dict"):
+            ScenarioConfig.from_dict(["not", "a", "dict"])
+
+
+class TestFingerprint:
+    def test_stable_for_equal_configs(self):
+        assert feature_config().fingerprint == feature_config().fingerprint
+
+    def test_every_knob_changes_it(self):
+        base = feature_config()
+        for overrides in (
+            {"seed": 1},
+            {"clutter": 0.2},
+            {"label_noise": 0.2},
+            {"bags_per_category": 5},
+            {"name": "renamed"},
+        ):
+            assert dataclasses.replace(base, **overrides).fingerprint != base.fingerprint
+
+
+class TestLayout:
+    def test_uniform_counts(self):
+        assert feature_config().category_counts() == (4, 4, 4)
+
+    def test_skewed_counts_sum_exactly(self):
+        config = feature_config(bags_per_category=7, category_skew=1.0)
+        counts = config.category_counts()
+        assert sum(counts) == config.total_bags
+        assert counts[0] > counts[-1]
+
+    def test_with_total_bags_rounds_up(self):
+        config = feature_config().with_total_bags(10)
+        assert config.total_bags >= 10
+        assert config.bags_per_category == 4
+
+    def test_with_total_bags_rejects_nonpositive(self):
+        with pytest.raises(DatasetError):
+            feature_config().with_total_bags(0)
+
+    def test_iter_specs_covers_corpus_in_order(self):
+        config = feature_config()
+        specs = list(config.iter_specs())
+        assert len(specs) == config.total_bags
+        assert [position for position, _, _ in specs] == list(range(config.total_bags))
+        assert specs[0] == (0, "alpha", 0)
+        assert specs[-1] == (11, "gamma", 3)
+
+    def test_iter_specs_slice_matches_full_listing(self):
+        config = feature_config(bags_per_category=5, category_skew=0.7)
+        full = list(config.iter_specs())
+        assert list(config.iter_specs(3, 11)) == full[3:11]
+
+    def test_iter_specs_rejects_bad_slices(self):
+        config = feature_config()
+        with pytest.raises(DatasetError, match="slice"):
+            list(config.iter_specs(5, 3))
+        with pytest.raises(DatasetError, match="slice"):
+            list(config.iter_specs(0, config.total_bags + 1))
+
+    def test_n_dims_per_mode(self):
+        assert feature_config(feature_dims=7).n_dims == 7
+        assert ScenarioConfig(resolution=5).n_dims == 25
+
+
+class TestPresets:
+    def test_expected_presets_registered(self):
+        names = available_presets()
+        for expected in ("clean", "cluttered", "noisy-labels", "skewed", "tiny-target"):
+            assert expected in names
+
+    def test_presets_build_valid_configs(self):
+        for name in available_presets():
+            config = get_preset(name)
+            assert isinstance(config, ScenarioConfig)
+            assert config.name == name
+
+    def test_cluttered_differs_from_clean(self):
+        assert get_preset("cluttered").fingerprint != get_preset("clean").fingerprint
+        assert get_preset("cluttered").clutter > 0
+
+    def test_unknown_preset(self):
+        with pytest.raises(DatasetError, match="unknown scenario preset"):
+            get_preset("pristine")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(DatasetError, match="already registered"):
+            register_preset("clean", lambda: ScenarioConfig())
+
+    def test_overwrite_allows_replacement(self):
+        original = get_preset("clean")
+        register_preset("clean", lambda: ScenarioConfig(seed=123), overwrite=True)
+        try:
+            assert get_preset("clean").seed == 123
+        finally:
+            register_preset("clean", lambda: original, overwrite=True)

@@ -1,0 +1,196 @@
+"""Tests for deterministic bag generation and the streamed corpus driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.concept import LearnedConcept
+from repro.core.retrieval import Ranker
+from repro.datasets.synth import (
+    ScenarioConfig,
+    ShardedCorpusReader,
+    corpus_from_config,
+    feature_center,
+    generate_bag,
+    generate_corpus,
+    iter_bags,
+)
+from repro.errors import DatasetError
+
+
+def tiny_config(**overrides) -> ScenarioConfig:
+    defaults = dict(
+        name="gen-test",
+        mode="feature",
+        categories=("alpha", "beta", "gamma"),
+        bags_per_category=6,
+        feature_dims=4,
+        instances_per_bag=4,
+    )
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+class TestBagGeneration:
+    def test_bag_is_pure_in_config_category_index(self):
+        config = tiny_config()
+        first = generate_bag(config, "beta", 3)
+        second = generate_bag(config, "beta", 3)
+        assert first.bag_id == second.bag_id == "beta-0000003"
+        np.testing.assert_array_equal(first.instances, second.instances)
+
+    def test_slice_never_needs_its_prefix(self):
+        config = tiny_config()
+        full = list(iter_bags(config))
+        window = list(iter_bags(config, 5, 12))
+        assert [b.bag_id for b in window] == [b.bag_id for b in full[5:12]]
+        for sliced, reference in zip(window, full[5:12]):
+            np.testing.assert_array_equal(sliced.instances, reference.instances)
+
+    def test_content_invariant_under_label_noise(self):
+        clean = tiny_config()
+        noisy = tiny_config(label_noise=0.5)
+        for index in range(4):
+            a = generate_bag(clean, "alpha", index)
+            b = generate_bag(noisy, "alpha", index)
+            np.testing.assert_array_equal(a.instances, b.instances)
+            assert b.true_category == "alpha"
+            assert b.bag_id == a.bag_id
+
+    def test_label_noise_flips_some_recorded_labels(self):
+        noisy = tiny_config(label_noise=0.5, bags_per_category=20)
+        flipped = [
+            bag for bag in iter_bags(noisy) if bag.category != bag.true_category
+        ]
+        assert flipped, "0.5 label noise flipped nothing across 60 bags"
+
+    def test_distractors_sit_near_other_centres(self):
+        config = tiny_config(objects_per_image=2, cluster_spread=0.01)
+        bag = generate_bag(config, "alpha", 0)
+        own = feature_center(config, "alpha")
+        distractor = bag.instances[-1]
+        assert np.linalg.norm(distractor - own) > 1.0
+        others = [
+            np.linalg.norm(distractor - feature_center(config, name))
+            for name in ("beta", "gamma")
+        ]
+        assert min(others) < 0.5
+
+    def test_clutter_inflates_bag_envelope(self):
+        tight = generate_bag(tiny_config(instances_per_bag=16), "alpha", 0)
+        loose = generate_bag(
+            tiny_config(instances_per_bag=16, clutter=0.8), "alpha", 0
+        )
+        spread = lambda bag: float(
+            np.ptp(bag.instances, axis=0).max()  # noqa: E731
+        )
+        assert spread(loose) > spread(tight) * 5
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(DatasetError, match="not part of this scenario"):
+            generate_bag(tiny_config(), "delta", 0)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(DatasetError, match=">= 0"):
+            generate_bag(tiny_config(), "alpha", -1)
+
+    def test_image_mode_bags_featurise(self):
+        config = ScenarioConfig(
+            name="img", categories=("waterfall", "sunset"), bags_per_category=1,
+            image_size=32, resolution=4,
+        )
+        bag = generate_bag(config, "waterfall", 0)
+        assert bag.instances.shape[1] == config.n_dims
+        assert bag.instances.shape[0] >= 1
+
+
+class TestGenerateCorpus:
+    def test_sharded_equals_in_memory_build(self, tmp_path):
+        config = tiny_config()
+        report = generate_corpus(config, tmp_path / "c", shard_size=5)
+        assert report.n_shards == 4
+        assert report.n_shards_skipped == 0
+        packed = ShardedCorpusReader(tmp_path / "c").packed()
+        reference = corpus_from_config(config)
+        np.testing.assert_array_equal(packed.instances, reference.instances)
+        np.testing.assert_array_equal(packed.offsets, reference.offsets)
+        assert list(packed.image_ids) == list(reference.image_ids)
+        assert list(packed.categories) == list(reference.categories)
+
+    def test_rerun_adopts_every_shard(self, tmp_path):
+        config = tiny_config()
+        generate_corpus(config, tmp_path / "c", shard_size=5)
+        again = generate_corpus(config, tmp_path / "c", shard_size=5)
+        assert again.n_shards_skipped == again.n_shards == 4
+        assert again.bags_per_second == 0.0
+
+    def test_resume_after_interrupt_is_bit_identical(self, tmp_path):
+        config = tiny_config()
+
+        class Interrupt(RuntimeError):
+            pass
+
+        def bomb(done, total):
+            if done == 2:
+                raise Interrupt()
+
+        with pytest.raises(Interrupt):
+            generate_corpus(config, tmp_path / "c", shard_size=5, progress=bomb)
+        # The interrupted directory is readable only as "incomplete".
+        with pytest.raises(DatasetError, match="incomplete"):
+            ShardedCorpusReader(tmp_path / "c")
+
+        resumed = generate_corpus(config, tmp_path / "c", shard_size=5)
+        assert resumed.n_shards_skipped == 2
+        packed = ShardedCorpusReader(tmp_path / "c").packed()
+        reference = corpus_from_config(config)
+        np.testing.assert_array_equal(packed.instances, reference.instances)
+        assert list(packed.image_ids) == list(reference.image_ids)
+
+    def test_resume_rejects_different_fingerprint(self, tmp_path):
+        generate_corpus(tiny_config(), tmp_path / "c", shard_size=5)
+        with pytest.raises(DatasetError, match="refusing to resume"):
+            generate_corpus(tiny_config(seed=99), tmp_path / "c", shard_size=5)
+
+    def test_resume_rejects_different_shard_size(self, tmp_path):
+        generate_corpus(tiny_config(), tmp_path / "c", shard_size=5)
+        with pytest.raises(DatasetError, match="shard size"):
+            generate_corpus(tiny_config(), tmp_path / "c", shard_size=3)
+
+    def test_fresh_run_replaces_other_corpus(self, tmp_path):
+        generate_corpus(tiny_config(), tmp_path / "c", shard_size=5)
+        other = tiny_config(seed=99)
+        report = generate_corpus(other, tmp_path / "c", shard_size=5, resume=False)
+        assert report.n_shards_skipped == 0
+        reader = ShardedCorpusReader(tmp_path / "c")
+        assert reader.fingerprint == other.fingerprint
+
+    def test_skewed_corpus_counts_match_config(self, tmp_path):
+        config = tiny_config(category_skew=1.0, bags_per_category=8)
+        generate_corpus(config, tmp_path / "c", shard_size=7)
+        packed = ShardedCorpusReader(tmp_path / "c").packed()
+        counts = config.category_counts()
+        for category, expected in zip(config.categories, counts):
+            assert sum(1 for c in packed.categories if c == category) == expected
+
+
+class TestRankEquivalence:
+    def test_shards_and_one_pass_rank_identically(self, tmp_path):
+        config = tiny_config(bags_per_category=10, cluster_spread=0.05)
+        generate_corpus(config, tmp_path / "c", shard_size=8)
+        from_shards = ShardedCorpusReader(tmp_path / "c").packed()
+        direct = corpus_from_config(config)
+
+        rng = np.random.default_rng(5)
+        concept = LearnedConcept(
+            t=feature_center(config, "beta") + rng.normal(scale=0.02, size=4),
+            w=rng.uniform(0.5, 1.0, size=4),
+            nll=0.0,
+        )
+        ranker = Ranker()
+        a = ranker.rank(concept, from_shards, top_k=10)
+        b = ranker.rank(concept, direct, top_k=10)
+        assert a.image_ids == b.image_ids
+        assert [entry.distance for entry in a.ranked] == [
+            entry.distance for entry in b.ranked
+        ]
+        assert a.image_ids[0].startswith("beta-")

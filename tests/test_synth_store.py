@@ -1,0 +1,225 @@
+"""Unit tests for the sharded corpus store: round trips and typed failures.
+
+The failure-path tests are the important half: a corrupted, truncated or
+tampered corpus must raise :class:`~repro.errors.DatasetError` — a short
+corpus silently served would poison every experiment downstream.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.datasets.synth import (
+    MANIFEST_NAME,
+    PARTIAL_MANIFEST_NAME,
+    STORE_VERSION,
+    ScenarioConfig,
+    ShardedCorpusReader,
+    ShardedCorpusWriter,
+    corpus_from_config,
+    generate_corpus,
+    load_packed_corpus,
+    save_packed_corpus,
+    shard_filename,
+)
+from repro.errors import DatasetError
+
+
+def tiny_config(**overrides) -> ScenarioConfig:
+    defaults = dict(
+        name="store-test",
+        mode="feature",
+        categories=("alpha", "beta"),
+        bags_per_category=6,
+        feature_dims=4,
+        instances_per_bag=3,
+    )
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+@pytest.fixture()
+def corpus_dir(tmp_path):
+    """A generated 12-bag corpus in 3 shards."""
+    directory = tmp_path / "corpus"
+    generate_corpus(tiny_config(), directory, shard_size=4)
+    return directory
+
+
+def _edit_manifest(directory, mutate):
+    path = directory / MANIFEST_NAME
+    payload = json.loads(path.read_text())
+    mutate(payload)
+    path.write_text(json.dumps(payload))
+
+
+class TestWriter:
+    def test_round_trip_through_reader(self, tmp_path):
+        writer = ShardedCorpusWriter(tmp_path / "c", shard_size=2)
+        rng = np.random.default_rng(0)
+        bags = [(f"bag-{i}", "cat", rng.normal(size=(3, 4))) for i in range(5)]
+        for bag_id, category, instances in bags:
+            writer.append(bag_id, category, instances)
+        writer.finalize()
+        reader = ShardedCorpusReader(tmp_path / "c")
+        assert reader.n_shards == 3  # 2 + 2 + 1
+        packed = reader.packed()
+        assert packed.n_bags == 5
+        assert list(packed.image_ids) == [b[0] for b in bags]
+        np.testing.assert_array_equal(
+            packed.instances, np.vstack([b[2] for b in bags])
+        )
+
+    def test_buffer_never_exceeds_shard_size(self, tmp_path):
+        writer = ShardedCorpusWriter(tmp_path / "c", shard_size=3)
+        for i in range(20):
+            writer.append(f"bag-{i}", "cat", np.zeros((2, 4)))
+        writer.finalize()
+        assert writer.max_buffered_bags <= 3
+        assert writer.max_buffered_instances <= 3 * 2
+
+    def test_rejects_bad_instances(self, tmp_path):
+        writer = ShardedCorpusWriter(tmp_path / "c")
+        with pytest.raises(DatasetError, match="non-empty 2-D"):
+            writer.append("bag", "cat", np.zeros(4))
+        with pytest.raises(DatasetError, match="non-empty 2-D"):
+            writer.append("bag", "cat", np.zeros((0, 4)))
+
+    def test_rejects_append_after_finalize(self, tmp_path):
+        writer = ShardedCorpusWriter(tmp_path / "c")
+        writer.append("bag", "cat", np.zeros((1, 4)))
+        writer.finalize()
+        with pytest.raises(DatasetError, match="finalized"):
+            writer.append("bag2", "cat", np.zeros((1, 4)))
+
+    def test_refuses_empty_finalize(self, tmp_path):
+        with pytest.raises(DatasetError, match="empty corpus"):
+            ShardedCorpusWriter(tmp_path / "c").finalize()
+
+    def test_refuses_mixed_dims(self, tmp_path):
+        writer = ShardedCorpusWriter(tmp_path / "c", shard_size=1)
+        writer.append("a", "cat", np.zeros((1, 4)))
+        writer.append("b", "cat", np.zeros((1, 5)))
+        with pytest.raises(DatasetError, match="dimensionality"):
+            writer.finalize()
+
+    def test_rejects_adopt_mid_shard(self, tmp_path):
+        writer = ShardedCorpusWriter(tmp_path / "c", shard_size=4)
+        writer.append("bag", "cat", np.zeros((1, 4)))
+        with pytest.raises(DatasetError, match="buffered"):
+            writer.adopt_shard({"file": "shard-00000.npz"})
+
+    def test_rejects_bad_shard_size(self, tmp_path):
+        with pytest.raises(DatasetError, match="shard_size"):
+            ShardedCorpusWriter(tmp_path / "c", shard_size=0)
+
+    def test_partial_manifest_removed_on_finalize(self, tmp_path):
+        writer = ShardedCorpusWriter(tmp_path / "c", shard_size=1)
+        writer.append("bag", "cat", np.zeros((1, 4)))
+        assert (tmp_path / "c" / PARTIAL_MANIFEST_NAME).exists()
+        writer.finalize()
+        assert not (tmp_path / "c" / PARTIAL_MANIFEST_NAME).exists()
+        assert (tmp_path / "c" / MANIFEST_NAME).exists()
+
+
+class TestReaderFailures:
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(DatasetError, match="does not exist"):
+            ShardedCorpusReader(tmp_path / "nowhere")
+
+    def test_directory_without_manifest(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(DatasetError, match="no corpus manifest"):
+            ShardedCorpusReader(tmp_path / "empty")
+
+    def test_partial_only_directory_reports_incomplete(self, corpus_dir):
+        (corpus_dir / MANIFEST_NAME).rename(corpus_dir / PARTIAL_MANIFEST_NAME)
+        with pytest.raises(DatasetError, match="incomplete"):
+            ShardedCorpusReader(corpus_dir)
+
+    def test_unparsable_manifest(self, corpus_dir):
+        (corpus_dir / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(DatasetError, match="not valid JSON"):
+            ShardedCorpusReader(corpus_dir)
+
+    def test_wrong_store_version(self, corpus_dir):
+        _edit_manifest(corpus_dir, lambda m: m.update(version=STORE_VERSION + 1))
+        with pytest.raises(DatasetError, match="store version"):
+            ShardedCorpusReader(corpus_dir)
+
+    def test_shard_count_mismatch(self, corpus_dir):
+        _edit_manifest(corpus_dir, lambda m: m.update(n_shards=7))
+        with pytest.raises(DatasetError, match="claims"):
+            ShardedCorpusReader(corpus_dir)
+
+    def test_tampered_fingerprint(self, corpus_dir):
+        _edit_manifest(corpus_dir, lambda m: m.update(fingerprint="deadbeef"))
+        with pytest.raises(DatasetError, match="does not match"):
+            ShardedCorpusReader(corpus_dir)
+
+    def test_missing_shard_file(self, corpus_dir):
+        (corpus_dir / shard_filename(1)).unlink()
+        with pytest.raises(DatasetError, match="missing from disk"):
+            ShardedCorpusReader(corpus_dir).packed()
+
+    def test_truncated_shard_fails_checksum(self, corpus_dir):
+        path = corpus_dir / shard_filename(0)
+        path.write_bytes(path.read_bytes()[:-40])
+        with pytest.raises(DatasetError, match="corrupted or truncated"):
+            ShardedCorpusReader(corpus_dir).packed()
+
+    def test_corrupted_shard_fails_checksum(self, corpus_dir):
+        path = corpus_dir / shard_filename(2)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(DatasetError, match="checksum"):
+            ShardedCorpusReader(corpus_dir).verify()
+
+    def test_unverified_garbage_shard_still_typed(self, corpus_dir):
+        # Even with verify=False, unreadable bytes must raise DatasetError,
+        # not leak a zipfile/numpy exception.
+        (corpus_dir / shard_filename(0)).write_bytes(b"not an npz at all")
+        with pytest.raises(DatasetError, match="readable shard archive"):
+            ShardedCorpusReader(corpus_dir).packed(verify=False)
+
+    def test_tampered_entry_counts_never_short_corpus(self, corpus_dir):
+        def shrink(manifest):
+            manifest["shards"][0]["n_bags"] -= 1
+
+        _edit_manifest(corpus_dir, shrink)
+        with pytest.raises(DatasetError, match="promises"):
+            ShardedCorpusReader(corpus_dir).packed(verify=False)
+
+    def test_tampered_totals_never_short_corpus(self, corpus_dir):
+        _edit_manifest(corpus_dir, lambda m: m.update(n_bags=m["n_bags"] + 4))
+        with pytest.raises(DatasetError, match="short of"):
+            ShardedCorpusReader(corpus_dir).packed()
+
+
+class TestPackedArchive:
+    def test_round_trip(self, tmp_path):
+        config = tiny_config()
+        packed = corpus_from_config(config)
+        path = save_packed_corpus(
+            packed, tmp_path / "corpus.npz",
+            fingerprint=config.fingerprint, config=config,
+        )
+        loaded, manifest = load_packed_corpus(path)
+        assert manifest["fingerprint"] == config.fingerprint
+        assert loaded.n_bags == packed.n_bags
+        np.testing.assert_array_equal(loaded.instances, packed.instances)
+        np.testing.assert_array_equal(loaded.offsets, packed.offsets)
+        assert list(loaded.image_ids) == list(packed.image_ids)
+        assert list(loaded.categories) == list(packed.categories)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError, match="does not exist"):
+            load_packed_corpus(tmp_path / "nope.npz")
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"garbage")
+        with pytest.raises(DatasetError, match="readable"):
+            load_packed_corpus(path)
