@@ -1,0 +1,189 @@
+"""Extension bench — multi-process worker pool vs single-process serving.
+
+Not a paper artefact.  The ``repro.serve.workers`` subsystem pre-forks N
+worker processes over **one** shared-memory corpus mapping
+(:class:`~repro.serve.shm.SharedPackedCorpus`), so concurrent rank
+requests fan out across cores instead of queueing behind a single
+process.  This bench builds the same clustered synthetic corpus as
+``bench_rank_sharded`` (64 tight clusters — the regime the serving rank
+index exists for), then races:
+
+* a single in-process :class:`~repro.serve.app.ServiceApp` answering a
+  batch of rank requests sequentially (the ``repro serve`` default),
+  against
+* a :class:`~repro.serve.workers.WorkerPool` behind a
+  :class:`~repro.serve.workers.WorkerDispatchApp`, the same requests
+  issued from one client thread per worker (the ``repro serve
+  --workers N`` configuration).
+
+Assertions (always): every worker reports ``owns_instances: False`` —
+its instance matrix is a *view* into the shared segment, not a per-worker
+copy — and the pool's rankings are identical to the single-process
+answers (ids and distances; the deep equivalence lives in
+``tests/test_serve_workers``).  At full scale on a multi-core machine the
+pool must beat the sequential baseline by ``REPRO_WORKER_BENCH_FLOOR``
+(default 1.2x; CI's oversubscribed runners set 1.0).  On a single-core
+machine the speedup is report-only: N workers time-slicing one core
+measure scheduling overhead, not the subsystem.
+
+``REPRO_WORKER_BENCH_BAGS`` overrides the corpus size,
+``REPRO_WORKER_BENCH_WORKERS`` the pool width.  Results land in
+``BENCH_serve_workers.json`` via the shared JSON reporter.
+"""
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.api.service import RetrievalService
+from repro.core.concept import LearnedConcept
+from repro.datasets.synth import ScenarioConfig, corpus_from_config, feature_center
+from repro.eval.reporting import ascii_table
+from repro.serve import codec
+from repro.serve.app import ServiceApp, handle_safely
+from repro.serve.workers import WorkerDispatchApp, WorkerPool
+
+N_BAGS = int(os.environ.get("REPRO_WORKER_BENCH_BAGS", "100000"))
+N_WORKERS = int(os.environ.get("REPRO_WORKER_BENCH_WORKERS", "2"))
+SPEEDUP_FLOOR = float(os.environ.get("REPRO_WORKER_BENCH_FLOOR", "1.2"))
+N_DIMS = 16
+N_CLUSTERS = 64
+TOP_K = 50
+N_REQUESTS = 24
+FULL_SCALE = 100_000
+REPEATS = 3
+
+
+def clustered_corpus(n_bags: int, seed: int = 11):
+    """Same corpus family as ``bench_rank_sharded`` (see its docstring)."""
+    config = ScenarioConfig(
+        name="bench-clusters",
+        mode="feature",
+        categories=tuple(f"cluster-{c:02d}" for c in range(N_CLUSTERS)),
+        bags_per_category=1,
+        seed=seed,
+        feature_dims=N_DIMS,
+        instances_per_bag=6,
+        cluster_spread=0.05,
+    ).with_total_bags(n_bags)
+    return corpus_from_config(config), config
+
+
+def rank_requests(config: ScenarioConfig, seed: int = 23) -> list[dict]:
+    """Wire-ready rank envelopes, one selective concept per cluster."""
+    rng = np.random.default_rng(seed)
+    payloads = []
+    for i in range(N_REQUESTS):
+        center = feature_center(config, config.categories[i % N_CLUSTERS])
+        concept = LearnedConcept(
+            t=center + rng.normal(scale=0.02, size=config.feature_dims),
+            w=rng.uniform(0.5, 1.0, size=config.feature_dims),
+            nll=0.0,
+        )
+        payloads.append(codec.envelope("rank", {
+            "concept": codec.encode_concept(concept), "top_k": TOP_K,
+        }))
+    return payloads
+
+
+def _drain(app, payloads) -> list:
+    """Answer every request sequentially on the calling thread."""
+    replies = []
+    for payload in payloads:
+        status, reply = handle_safely(app, "rank", payload)
+        assert status == 200, reply
+        replies.append(reply)
+    return replies
+
+
+def _fan_out(app, payloads, n_clients: int) -> list:
+    """Answer every request from a pool of concurrent client threads."""
+    def one(payload):
+        status, reply = handle_safely(app, "rank", payload)
+        assert status == 200, reply
+        return reply
+
+    with ThreadPoolExecutor(max_workers=n_clients) as pool:
+        return list(pool.map(one, payloads))
+
+
+def test_worker_pool_vs_single_process(report, bench_json, best_of):
+    packed, config = clustered_corpus(N_BAGS)
+    service = RetrievalService(packed)
+    payloads = rank_requests(config)
+    single_app = ServiceApp(service)
+
+    with WorkerPool.from_service(service, N_WORKERS) as pool:
+        dispatch_app = WorkerDispatchApp(pool)
+
+        # The tentpole claim: N workers, one corpus mapping.  Every
+        # worker's instance matrix must be a shared-segment view.
+        pongs = pool.ping()
+        assert len(pongs) == N_WORKERS
+        for pong in pongs:
+            assert pong["owns_instances"] is False, (
+                "worker holds a private corpus copy — sharing is broken"
+            )
+        segment_mb = sum(s.nbytes for s in pool.shared.values()) / 2**20
+
+        # Correctness before anything is timed: identical answers.
+        local = _drain(single_app, payloads)
+        remote = _drain(dispatch_app, payloads)
+        for mine, theirs in zip(local, remote):
+            a = codec.decode_ranking(mine["ranking"])
+            b = codec.decode_ranking(theirs["ranking"])
+            assert a.image_ids == b.image_ids, "pool ranking diverged"
+            np.testing.assert_array_equal(a.distances, b.distances)
+
+        single_s = best_of(REPEATS, lambda: _drain(single_app, payloads))
+        pool_s = best_of(
+            REPEATS, lambda: _fan_out(dispatch_app, payloads, N_WORKERS)
+        )
+
+    speedup = single_s / pool_s if pool_s > 0 else float("inf")
+    n_cores = os.cpu_count() or 1
+
+    rows = [
+        ["single process (sequential)", f"{single_s * 1e3:.1f}", "1.0x"],
+        [f"{N_WORKERS}-worker pool ({N_WORKERS} clients)",
+         f"{pool_s * 1e3:.1f}", f"{speedup:.2f}x"],
+    ]
+    report(
+        ascii_table(
+            ["serving path", f"{N_REQUESTS} ranks, best of {REPEATS} (ms)",
+             "speedup"],
+            rows,
+            title=(
+                f"worker-pool bench: {packed.n_bags} bags, top_k={TOP_K}, "
+                f"{n_cores} cores, {segment_mb:.0f} MiB shared"
+            ),
+        )
+    )
+    bench_json("serve_workers", "pool_vs_single_process", {
+        "n_bags": packed.n_bags,
+        "n_instances": packed.n_instances,
+        "n_dims": N_DIMS,
+        "top_k": TOP_K,
+        "n_requests": N_REQUESTS,
+        "n_workers": N_WORKERS,
+        "n_cores": n_cores,
+        "shared_segment_mib": segment_mb,
+        "workers_own_instances": False,
+        "single_process_seconds": single_s,
+        "pool_seconds": pool_s,
+        "single_requests_per_s": N_REQUESTS / single_s,
+        "pool_requests_per_s": N_REQUESTS / pool_s,
+        "speedup_vs_single_process": speedup,
+        "rankings_identical": True,
+    })
+
+    # A 1-core machine runs N workers by time-slicing; the pool then pays
+    # dispatch overhead for no parallelism and the number is report-only.
+    if N_BAGS >= FULL_SCALE and n_cores >= 2:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"{N_WORKERS}-worker pool only {speedup:.2f}x faster than "
+            f"single-process serving (needs >= {SPEEDUP_FLOOR}x at "
+            f"{N_BAGS} bags on {n_cores} cores)"
+        )

@@ -41,7 +41,9 @@ learner registered by user code).
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
+import threading
 import time
 from pathlib import Path
 
@@ -194,6 +196,13 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--shards", type=int, default=None, metavar="N",
                        help="shard count for the bound-pruned rank index "
                        "(default: automatic, ~one shard per 16k images)")
+    serve.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="serve from N pre-forked worker processes sharing "
+                            "one shared-memory corpus (1 = in-process)")
+    serve.add_argument("--drain-timeout", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="how long a SIGTERM/SIGINT shutdown waits for "
+                            "in-flight requests to finish")
     serve.add_argument("--no-rank-index", dest="rank_index",
                        action="store_false",
                        help="rank exhaustively: never route top-k queries "
@@ -504,6 +513,22 @@ def build_server(args: argparse.Namespace):
         )
     for learner in [name.strip() for name in args.warm.split(",") if name.strip()]:
         service.warm(learner)
+    n_workers = getattr(args, "workers", 1) or 1
+    if n_workers > 1:
+        from repro.serve.workers import WorkerDispatchApp, WorkerPool
+
+        pool = WorkerPool.from_service(
+            service,
+            n_workers,
+            session_ttl=args.session_ttl,
+            max_sessions=args.max_sessions,
+        )
+        print(
+            f"started {pool.n_workers} workers "
+            f"(pids {', '.join(map(str, pool.worker_pids()))}) over one "
+            f"shared-memory corpus"
+        )
+        return ReproServer(WorkerDispatchApp(pool), host=args.host, port=args.port)
     sessions = SessionStore(
         service, ttl_seconds=args.session_ttl, max_sessions=args.max_sessions
     )
@@ -513,19 +538,43 @@ def build_server(args: argparse.Namespace):
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     server = build_server(args)
-    database = server.app.service.database
+    app = server.app
+    if hasattr(app, "pool"):
+        database_repr = f"worker pool x{app.pool.n_workers}"
+    else:
+        database_repr = repr(app.service.database)
     print(
-        f"serving {database!r}\n"
+        f"serving {database_repr}\n"
         f"repro API at {server.url}/v1 "
         f"(endpoints: query, batch_query, feedback, rank, health, stats)\n"
-        f"press Ctrl-C to stop"
+        f"press Ctrl-C or send SIGTERM to stop (drains in-flight requests)"
     )
+    # serve_forever() runs on a background thread and the main thread waits
+    # on an Event: calling server.stop() from inside a signal handler that
+    # interrupted serve_forever's own thread would deadlock in shutdown().
+    stop_event = threading.Event()
+
+    def _request_stop(signum, frame) -> None:  # noqa: ARG001 - signal API
+        stop_event.set()
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        previous[signum] = signal.signal(signum, _request_stop)
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        print("\nstopping")
+        server.start()
+        stop_event.wait()
+        print("\ndraining")
+    except KeyboardInterrupt:  # pragma: no cover - racing a late Ctrl+C
+        pass
     finally:
-        server.stop()
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        drain = getattr(args, "drain_timeout", 5.0)
+        server.stop(drain_timeout=drain)
+        closer = getattr(app, "close", None)
+        if callable(closer):
+            closer()
+    print("stopped")
     return 0
 
 

@@ -331,6 +331,59 @@ class ShardIndex:
         )
 
 
+def index_payload(index: ShardIndex, prefix: str, arrays: dict) -> dict:
+    """Stash an index's persistent arrays under ``prefix``; returns its manifest.
+
+    Only the partition-dependent essentials are persisted (per-bag
+    envelopes, shard boundaries, group size); the group envelopes and the
+    extent are rederived on restore.  Snapshot formats (database format
+    v3, serve snapshots) and the shared-memory worker layout all encode
+    the index through this one helper.
+    """
+    arrays[f"{prefix}_lower"] = index.lower
+    arrays[f"{prefix}_upper"] = index.upper
+    arrays[f"{prefix}_boundaries"] = index.boundaries
+    return {
+        "lower": f"{prefix}_lower",
+        "upper": f"{prefix}_upper",
+        "boundaries": f"{prefix}_boundaries",
+        "group_size": int(index.group_size),
+    }
+
+
+def adopt_index_payload(packed: PackedCorpus, info, arrays) -> None:
+    """Rebuild and adopt a persisted shard index onto a restored corpus.
+
+    ``info`` is an :func:`index_payload` manifest (``None`` is a no-op, so
+    callers can pass ``manifest.get(...)`` directly).
+
+    Raises:
+        DatabaseError: when the index arrays are missing or do not
+            describe the corpus (a corrupt snapshot must not silently
+            serve wrong prunings).
+    """
+    if info is None:
+        return
+    try:
+        lower = arrays[info["lower"]]
+        upper = arrays[info["upper"]]
+        boundaries = arrays[info["boundaries"]]
+    except (KeyError, TypeError) as exc:
+        raise DatabaseError(
+            f"snapshot manifest references missing shard-index arrays: {exc}"
+        ) from exc
+    packed.adopt_shard_index(
+        ShardIndex(
+            packed,
+            lower=lower,
+            upper=upper,
+            boundaries=boundaries,
+            # Payloads predating the group_size field restore the default.
+            group_size=int(info.get("group_size", DEFAULT_GROUP_BAGS)),
+        )
+    )
+
+
 def envelope_bounds(
     lower: np.ndarray, upper: np.ndarray, concept: LearnedConcept
 ) -> np.ndarray:

@@ -7,7 +7,12 @@ to their size and depend on the configuration anyway — with one exception:
 when the database carries a cached :class:`~repro.core.retrieval.PackedCorpus`
 (the columnar view every ranking touches), format version 2 snapshots carry
 it along and restore it on load, so a restored serving worker answers its
-first query without re-featurising the whole corpus.
+first query without re-featurising the whole corpus.  Format version 3
+additionally persists the packed view's bound-pruned rank index
+(:class:`~repro.core.sharding.ShardIndex`) when one was built, so a cold
+worker — or every worker of a ``repro serve --workers N`` pool — skips the
+O(N·d) envelope build too.  Versions 1 and 2 still load (they simply start
+with a cold packed cache / cold index).
 
 The module-level :func:`save_database` / :func:`load_database` pair writes a
 standalone ``.npz``; :func:`database_payload` / :func:`database_from_payload`
@@ -24,17 +29,19 @@ from typing import Mapping
 import numpy as np
 
 from repro.core.retrieval import PackedCorpus
+from repro.core.sharding import adopt_index_payload, index_payload
 from repro.database.store import ImageDatabase
 from repro.errors import DatabaseError
 from repro.imaging.features import FeatureConfig
 from repro.imaging.image import GrayImage
 from repro.imaging.regions import region_family
 
-_FORMAT_VERSION = 2
+_FORMAT_VERSION = 3
 #: Snapshot versions :func:`load_database` understands.  Version 1 predates
-#: the packed-corpus round-trip; its snapshots load fine (and simply start
-#: with a cold packed cache).
-SUPPORTED_VERSIONS = (1, 2)
+#: the packed-corpus round-trip; version 2 predates the persisted rank
+#: index.  Both load fine (and simply start with a cold packed cache /
+#: cold index).
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 
 def database_payload(
@@ -82,6 +89,10 @@ def database_payload(
         arrays[instances_key] = packed.instances
         arrays[offsets_key] = packed.offsets
         manifest["packed"] = {"instances": instances_key, "offsets": offsets_key}
+        if packed.cached_shard_index is not None:
+            manifest["packed"]["index"] = index_payload(
+                packed.cached_shard_index, f"{key_prefix}packed_index", arrays
+            )
     return manifest, arrays
 
 
@@ -139,6 +150,7 @@ def database_from_payload(
                     f"snapshot packed corpus has {packed.n_dims}-dim instances "
                     f"but the feature configuration produces {config.n_dims}"
                 )
+            adopt_index_payload(packed, packed_info.get("index"), arrays)
             database.adopt_packed(packed)
     except KeyError as exc:
         raise DatabaseError(f"snapshot manifest is missing key {exc}") from exc

@@ -24,6 +24,12 @@ boundary, layered bottom-up:
     :func:`save_service` / :func:`load_service` — warm-worker snapshots
     (database + packed corpora + trained-concept cache), so new workers
     answer repeated queries with zero retrains.
+:mod:`repro.serve.shm` / :mod:`repro.serve.workers`
+    :class:`SharedPackedCorpus` — the packed corpus (and its rank index)
+    in one ``multiprocessing.shared_memory`` segment — plus
+    :class:`WorkerPool` / :class:`WorkerDispatchApp`: N spawn-started
+    worker processes ranking that one zero-copy mapping behind the same
+    HTTP server (``repro serve --workers N``).
 
 Quickstart::
 
@@ -37,7 +43,12 @@ Quickstart::
         print(client.health()["status"])
 """
 
-from repro.serve.app import ServiceApp, error_payload, handle_safely
+from repro.serve.app import (
+    ServiceApp,
+    error_payload,
+    handle_safely,
+    raise_error_payload,
+)
 from repro.serve.codec import (
     WIRE_VERSION,
     decode,
@@ -59,12 +70,16 @@ from repro.serve.codec import (
 )
 from repro.serve.http import ReproClient, ReproServer
 from repro.serve.sessions import FeedbackRoundResult, SessionStore
+from repro.serve.shm import SharedPackedCorpus
 from repro.serve.snapshot import (
     SnapshotInfo,
+    decode_cache_entry,
+    encode_cache_entry,
     load_corpus_service,
     load_service,
     save_service,
 )
+from repro.serve.workers import WorkerDispatchApp, WorkerPool
 
 __all__ = [
     "WIRE_VERSION",
@@ -95,4 +110,10 @@ __all__ = [
     "decode_cache_stats",
     "error_payload",
     "handle_safely",
+    "raise_error_payload",
+    "encode_cache_entry",
+    "decode_cache_entry",
+    "SharedPackedCorpus",
+    "WorkerPool",
+    "WorkerDispatchApp",
 ]

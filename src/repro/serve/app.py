@@ -40,7 +40,8 @@ from repro.api.service import RetrievalService
 from repro.core.retrieval import Ranker, packed_view
 from repro.serve import codec
 from repro.serve.sessions import SessionStore
-from repro.errors import CodecError, QueryError, ReproError, SessionError
+from repro import errors as errors_module
+from repro.errors import CodecError, QueryError, ReproError, ServeError, SessionError
 from repro.version import __version__
 
 
@@ -265,14 +266,26 @@ class ServiceApp:
         )
 
 
-def handle_safely(app: ServiceApp, endpoint: str, payload: Mapping | None) -> tuple[int, dict]:
+def handle_safely(app, endpoint: str, payload: Mapping | None) -> tuple[int, dict]:
     """Dispatch and map failures to ``(status, wire payload)``.
 
     The shared transport glue: 200 on success, 404 for unknown sessions,
     400 for every other deliberate package error, 500 for genuine bugs.
     Transports that have status codes (HTTP) use the integer directly;
     others can key off the payload's ``kind``.
+
+    Apps that already produce ``(status, payload)`` pairs — the worker
+    pool's :class:`~repro.serve.workers.WorkerDispatchApp`, whose statuses
+    were assigned by this very function inside a worker process — expose a
+    ``handle`` method instead, and their statuses pass through verbatim (a
+    worker's 500 must not be downgraded to the parent's 400).
     """
+    handle = getattr(app, "handle", None)
+    if callable(handle):
+        try:
+            return handle(endpoint, payload)
+        except Exception as exc:  # noqa: BLE001 - transport glue must not die
+            return 500, error_payload(exc)
     try:
         return 200, app.dispatch(endpoint, payload)
     except SessionError as exc:
@@ -281,3 +294,22 @@ def handle_safely(app: ServiceApp, endpoint: str, payload: Mapping | None) -> tu
         return 400, error_payload(exc)
     except Exception as exc:  # noqa: BLE001 - the server must not die mid-request
         return 500, error_payload(exc)
+
+
+def raise_error_payload(payload: Any, status: int | None = None) -> None:
+    """Re-raise a wire ``error`` payload as its typed package exception.
+
+    The inverse of :func:`error_payload`, shared by the HTTP client and the
+    worker pool's dispatch: a failure that crossed a process or network
+    boundary surfaces to the caller as the same exception type the far side
+    raised.  Unknown or missing exception names degrade to
+    :class:`~repro.errors.ServeError` — this function *always* raises.
+    """
+    message = f"request failed with status {status}" if status else "request failed"
+    if isinstance(payload, Mapping):
+        name = payload.get("error")
+        message = str(payload.get("message", message))
+        cls = getattr(errors_module, str(name), None)
+        if isinstance(cls, type) and issubclass(cls, ReproError):
+            raise cls(message)
+    raise ServeError(message)

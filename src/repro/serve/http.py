@@ -27,18 +27,23 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Mapping, Sequence
+from typing import Mapping, Sequence
 from urllib import error as urlerror
 from urllib import request as urlrequest
 
-from repro import errors as errors_module
 from repro.api.query import Query, QueryResult
 from repro.core.concept import LearnedConcept
 from repro.core.retrieval import RetrievalResult
-from repro.errors import CodecError, ReproError, ServeError
+from repro.errors import CodecError, ServeError
 from repro.serve import codec
-from repro.serve.app import ServiceApp, error_payload, handle_safely
+from repro.serve.app import (
+    ServiceApp,
+    error_payload,
+    handle_safely,
+    raise_error_payload,
+)
 
 _API_PREFIX = "/v1/"
 
@@ -46,6 +51,52 @@ _API_PREFIX = "/v1/"
 #: (a 1000-query batch is well under 1 MiB) while bounding what a single
 #: connection can make the process hold in memory.
 MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class _ReproHTTPServer(ThreadingHTTPServer):
+    """The threaded server plus what graceful shutdown needs.
+
+    ``allow_reuse_address`` is pinned explicitly (SO_REUSEADDR): a worker
+    restarting on the port it just released must not fail with
+    ``EADDRINUSE`` because the old socket lingers in TIME_WAIT.
+
+    The server also counts in-flight requests so :meth:`wait_idle` can
+    drain them: ``shutdown()`` only stops *accepting* connections — handler
+    threads already parsing or answering a request keep running, and with
+    ``daemon_threads`` they would be killed mid-response at interpreter
+    exit.  Handlers bracket each request with :meth:`begin_request` /
+    :meth:`end_request` (per request, not per connection — a keep-alive
+    connection idling between requests must not block the drain forever).
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._inflight = 0
+        self._idle = threading.Condition()
+
+    def begin_request(self) -> None:
+        with self._idle:
+            self._inflight += 1
+
+    def end_request(self) -> None:
+        with self._idle:
+            self._inflight = max(0, self._inflight - 1)
+            if self._inflight == 0:
+                self._idle.notify_all()
+
+    def wait_idle(self, timeout: float | None) -> bool:
+        """Block until no request is in flight; False on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._idle:
+            while self._inflight > 0:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+        return True
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -77,6 +128,24 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        # The begin/end bracket feeds the server's drain accounting.  It
+        # wraps only the dispatch-and-reply span (keep-alive connections
+        # idle *between* requests inside handle_one_request's readline,
+        # which must not count as in flight).
+        self.server.begin_request()
+        try:
+            self._do_get()
+        finally:
+            self.server.end_request()
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self.server.begin_request()
+        try:
+            self._do_post()
+        finally:
+            self.server.end_request()
+
+    def _do_get(self) -> None:
         endpoint = self._endpoint()
         if endpoint not in ("health", "stats"):
             self._reply(404, error_payload(ServeError(f"no GET route {self.path!r}")))
@@ -84,7 +153,7 @@ class _Handler(BaseHTTPRequestHandler):
         status, payload = handle_safely(self.app, endpoint, None)
         self._reply(status, payload)
 
-    def do_POST(self) -> None:  # noqa: N802 - http.server API
+    def _do_post(self) -> None:
         # Always drain the body first: replying without reading it would
         # desync a keep-alive connection (the unread bytes get parsed as
         # the next request line).
@@ -142,16 +211,17 @@ class ReproServer:
             result = client.query(query)
     """
 
-    def __init__(self, app: ServiceApp, host: str = "127.0.0.1", port: int = 8000) -> None:
+    def __init__(self, app, host: str = "127.0.0.1", port: int = 8000) -> None:
         handler = type("_BoundHandler", (_Handler,), {"app": app})
         self._app = app
-        self._httpd = ThreadingHTTPServer((host, port), handler)
-        self._httpd.daemon_threads = True
+        self._httpd = _ReproHTTPServer((host, port), handler)
         self._thread: threading.Thread | None = None
 
     @property
-    def app(self) -> ServiceApp:
-        """The serving facade behind this server."""
+    def app(self):
+        """The serving facade behind this server (a :class:`ServiceApp` or
+        any object :func:`~repro.serve.app.handle_safely` accepts, e.g. the
+        worker pool's dispatch app)."""
         return self._app
 
     @property
@@ -183,9 +253,17 @@ class ReproServer:
         """Serve on the calling thread until :meth:`stop` (CLI path)."""
         self._httpd.serve_forever()
 
-    def stop(self) -> None:
-        """Stop serving and release the socket."""
+    def stop(self, drain_timeout: float = 5.0) -> None:
+        """Stop accepting, drain in-flight requests, release the socket.
+
+        Args:
+            drain_timeout: how long to wait for requests already being
+                handled to finish writing their responses (``0`` stops
+                immediately, ``None`` waits indefinitely).
+        """
         self._httpd.shutdown()
+        if drain_timeout is None or drain_timeout > 0:
+            self._httpd.wait_idle(drain_timeout)
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
@@ -196,18 +274,6 @@ class ReproServer:
 
     def __exit__(self, *exc_info) -> None:
         self.stop()
-
-
-def _raise_wire_error(payload: Any, status: int) -> None:
-    """Re-raise a wire ``error`` payload as its package exception."""
-    message = f"server returned HTTP {status}"
-    if isinstance(payload, Mapping):
-        name = payload.get("error")
-        message = str(payload.get("message", message))
-        cls = getattr(errors_module, str(name), None)
-        if isinstance(cls, type) and issubclass(cls, ReproError):
-            raise cls(message)
-    raise ServeError(message)
 
 
 class ReproClient:
@@ -243,7 +309,7 @@ class ReproClient:
                 body = json.loads(exc.read().decode("utf-8"))
             except (ValueError, UnicodeDecodeError):
                 body = None
-            _raise_wire_error(body, exc.code)
+            raise_error_payload(body, exc.code)
         except urlerror.URLError as exc:
             raise ServeError(f"cannot reach {url}: {exc.reason}") from exc
         return body

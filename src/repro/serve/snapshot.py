@@ -33,9 +33,9 @@ from repro.api.learners import ConceptModel, LearnedModel
 from repro.api.service import RetrievalService
 from repro.core.diverse_density import TrainingResult
 from repro.core.retrieval import PackedCorpus, packed_view
-from repro.core.sharding import DEFAULT_GROUP_BAGS, ShardIndex
+from repro.core.sharding import adopt_index_payload, index_payload
 from repro.database.persistence import database_from_payload, database_payload
-from repro.errors import CodecError, DatabaseError, ServeError
+from repro.errors import CodecError, ServeError
 from repro.serve import codec
 
 _SNAPSHOT_VERSION = 1
@@ -67,8 +67,13 @@ class SnapshotInfo:
     n_corpora_skipped: int = 0
 
 
-def _encode_cache_entry(key: str, value: object) -> dict | None:
-    """The JSON form of one cache entry, or ``None`` when not expressible."""
+def encode_cache_entry(key: str, value: object) -> dict | None:
+    """The JSON form of one cache entry, or ``None`` when not expressible.
+
+    Shared by serve snapshots and the worker pool's warm-start handoff
+    (:mod:`repro.serve.workers`): both carry trained-concept cache entries
+    across a process boundary through the versioned wire codec.
+    """
     if isinstance(value, TrainingResult):
         return {
             "key": key,
@@ -84,7 +89,8 @@ def _encode_cache_entry(key: str, value: object) -> dict | None:
     return None
 
 
-def _decode_cache_entry(entry: dict) -> tuple[str, object] | None:
+def decode_cache_entry(entry: dict) -> tuple[str, object] | None:
+    """Inverse of :func:`encode_cache_entry` (``None`` for unknown kinds)."""
     value_kind = entry.get("value_kind")
     training = codec.decode_training_result(entry["payload"])
     if value_kind == "training":
@@ -92,48 +98,6 @@ def _decode_cache_entry(entry: dict) -> tuple[str, object] | None:
     if value_kind == "model":
         return str(entry["key"]), ConceptModel(training)
     return None
-
-
-def _index_arrays(index: ShardIndex, prefix: str, arrays: dict) -> dict:
-    """Stash a shard index's arrays under ``prefix``; returns its manifest."""
-    arrays[f"{prefix}_lower"] = index.lower
-    arrays[f"{prefix}_upper"] = index.upper
-    arrays[f"{prefix}_boundaries"] = index.boundaries
-    return {
-        "lower": f"{prefix}_lower",
-        "upper": f"{prefix}_upper",
-        "boundaries": f"{prefix}_boundaries",
-        "group_size": int(index.group_size),
-    }
-
-
-def _restore_index(packed: PackedCorpus, info: dict | None, payload) -> None:
-    """Rebuild and adopt a snapshotted shard index onto a restored corpus.
-
-    Raises:
-        DatabaseError: when the index arrays do not describe the corpus
-            (a corrupt snapshot must not silently serve wrong prunings).
-    """
-    if info is None:
-        return
-    try:
-        lower = payload[info["lower"]]
-        upper = payload[info["upper"]]
-        boundaries = payload[info["boundaries"]]
-    except (KeyError, TypeError) as exc:
-        raise DatabaseError(
-            f"snapshot manifest references missing shard-index arrays: {exc}"
-        ) from exc
-    packed.adopt_shard_index(
-        ShardIndex(
-            packed,
-            lower=lower,
-            upper=upper,
-            boundaries=boundaries,
-            # Snapshots predating the group_size field restore the default.
-            group_size=int(info.get("group_size", DEFAULT_GROUP_BAGS)),
-        )
-    )
 
 
 def save_service(service: RetrievalService, path: str | Path) -> SnapshotInfo:
@@ -151,13 +115,9 @@ def save_service(service: RetrievalService, path: str | Path) -> SnapshotInfo:
     # A snapshot exists to start workers hot — force the packed region
     # corpus to exist so it always rides along.
     service.database.packed()
+    # The database's rank index (when built) now rides inside the database
+    # payload itself (format v3); serve snapshots no longer duplicate it.
     db_manifest, arrays = database_payload(service.database, key_prefix="db_")
-    manifest_extra: dict[str, dict] = {}
-    db_packed = service.database.cached_packed
-    if db_packed is not None and db_packed.cached_shard_index is not None:
-        manifest_extra["database_index"] = _index_arrays(
-            db_packed.cached_shard_index, "db_index", arrays
-        )
 
     corpora_manifest: dict[str, dict] = {}
     n_corpora_skipped = 0
@@ -182,7 +142,7 @@ def save_service(service: RetrievalService, path: str | Path) -> SnapshotInfo:
             "categories": list(packed.categories),
         }
         if packed.cached_shard_index is not None:
-            corpora_manifest[key]["index"] = _index_arrays(
+            corpora_manifest[key]["index"] = index_payload(
                 packed.cached_shard_index, f"{slug}_index", arrays
             )
 
@@ -191,7 +151,7 @@ def save_service(service: RetrievalService, path: str | Path) -> SnapshotInfo:
     cache = service.concept_cache
     if cache is not None:
         for key, value in cache.export_entries():
-            encoded = _encode_cache_entry(key, value)
+            encoded = encode_cache_entry(key, value)
             if encoded is None:
                 n_skipped += 1
             else:
@@ -204,7 +164,6 @@ def save_service(service: RetrievalService, path: str | Path) -> SnapshotInfo:
         "corpora": corpora_manifest,
         "cache": cache_entries,
         "service": {"max_history": service.max_history},
-        **manifest_extra,
     }
     arrays["manifest"] = np.frombuffer(
         json.dumps(manifest).encode("utf-8"), dtype=np.uint8
@@ -279,7 +238,9 @@ def load_service(
             rank_shards=rank_shards,
         )
         if database.cached_packed is not None:
-            _restore_index(
+            # Snapshots written before database format v3 carried the
+            # database's rank index beside the database payload.
+            adopt_index_payload(
                 database.cached_packed, manifest.get("database_index"), payload
             )
         corpus_keys = [_DATABASE_KEY]
@@ -290,7 +251,7 @@ def load_service(
                 image_ids=info["image_ids"],
                 categories=info["categories"],
             )
-            _restore_index(packed, info.get("index"), payload)
+            adopt_index_payload(packed, info.get("index"), payload)
             service.adopt_corpus(key, packed)
             corpus_keys.append(key)
 
@@ -301,7 +262,7 @@ def load_service(
             restored: list[tuple[str, object]] = []
             for entry in manifest.get("cache", ()):
                 try:
-                    decoded = _decode_cache_entry(entry)
+                    decoded = decode_cache_entry(entry)
                 except (CodecError, KeyError, TypeError):
                     # An entry this codec cannot reconstruct (e.g. written
                     # by a newer wire version) costs a cold cache slot, not

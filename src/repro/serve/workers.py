@@ -1,0 +1,600 @@
+"""Pre-fork worker pool: N processes ranking one shared-memory corpus.
+
+One serving process is GIL-bound — the exact ranking kernels never use
+more than ~1 core.  :class:`WorkerPool` spawns N worker processes, each
+running its own :class:`~repro.serve.app.ServiceApp` over a
+:class:`~repro.api.service.RetrievalService`, all ranking against **one**
+:class:`~repro.serve.shm.SharedPackedCorpus` mapping (zero per-worker
+copies of the instance matrix, squares cache, or shard-index envelopes).
+Requests travel over per-worker ``multiprocessing`` pipes carrying the
+PR 4 wire payloads; replies come back as the ``(status, payload)`` pairs
+:func:`~repro.serve.app.handle_safely` produced *inside* the worker, so
+typed errors cross the process boundary with their HTTP status intact.
+
+:class:`WorkerDispatchApp` adapts the pool to the transport layer: it
+quacks like a :class:`~repro.serve.app.ServiceApp` as far as
+:class:`~repro.serve.http.ReproServer` is concerned (``repro serve
+--workers N`` is the same HTTP server, dispatching into the pool instead
+of a local service).
+
+Session state lives *inside* each worker's
+:class:`~repro.serve.sessions.SessionStore`; the pool keeps a bounded
+token → worker affinity map so every round of a feedback session lands on
+the worker that holds it.  Stateless endpoints round-robin.
+
+Workers are spawn-started (fork-safety with threads in the parent),
+warm-started from the parent service — the trained-concept cache entries
+travel through the same codec the snapshot layer uses — health-checked by
+ping, and restarted automatically when one crashes (its sessions are
+lost, which the restart reports; everything stateless continues).
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import signal
+import threading
+from collections import OrderedDict
+from typing import Any, Mapping
+
+from repro.core.retrieval import packed_view
+from repro.errors import ServeError
+from repro.serve.app import ServiceApp, handle_safely, raise_error_payload
+from repro.serve.shm import SharedPackedCorpus
+
+#: The database corpus key (mirrors ``repro.serve.snapshot``).
+_DATABASE_KEY = "region-bags"
+#: Control verbs on the worker pipe (never valid endpoint names).
+_PING = "__ping__"
+_READY = "__ready__"
+#: Endpoints whose payload may address a session.
+_SESSION_ENDPOINTS = ("feedback", "rank")
+#: Affinity-map bound — tokens beyond this drop oldest-first (the worker
+#: still holds the session; a dropped route just falls back to round-robin
+#: and surfaces as an unknown session only if it lands elsewhere).
+MAX_ROUTES = 65536
+#: How long to wait for a spawned worker to report ready.
+READY_TIMEOUT = 60.0
+
+
+def _worker_main(conn, specs: dict, knobs: dict) -> None:
+    """Worker process entry point (module-level: spawn must import it).
+
+    Attaches every shared corpus in ``specs``, rebuilds a warm
+    :class:`RetrievalService` + :class:`ServiceApp`, then answers
+    ``(endpoint, payload)`` requests until the ``None`` sentinel.
+    """
+    # The pool owns worker lifetime: a Ctrl+C aimed at the parent must not
+    # kill workers mid-drain (the parent stops them after the HTTP drain).
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+    # Imports deferred so their cost lands in the worker, and so a spawn
+    # re-import of this module stays cheap.
+    from repro.api.service import RetrievalService
+    from repro.serve.sessions import SessionStore
+    from repro.serve.snapshot import decode_cache_entry
+
+    attachments = []
+    try:
+        shared = SharedPackedCorpus.attach(specs["database"])
+        attachments.append(shared)
+        database = shared.corpus()
+        service = RetrievalService(
+            database,
+            cache_size=knobs.get("cache_size", 128),
+            max_history=knobs.get("max_history", 1000),
+            rank_index=knobs.get("rank_index", True),
+            rank_shards=knobs.get("rank_shards"),
+        )
+        for key, spec in specs.get("corpora", {}).items():
+            extra = SharedPackedCorpus.attach(spec)
+            attachments.append(extra)
+            service.adopt_corpus(key, extra.corpus())
+        cache = service.concept_cache
+        if cache is not None:
+            restored = []
+            for entry in knobs.get("cache_entries", ()):
+                try:
+                    decoded = decode_cache_entry(entry)
+                except Exception:  # noqa: BLE001 - a bad entry costs a slot
+                    decoded = None
+                if decoded is not None:
+                    restored.append(decoded)
+            cache.import_entries(restored)
+        sessions = SessionStore(
+            service,
+            ttl_seconds=knobs.get("session_ttl", 1800.0),
+            max_sessions=knobs.get("max_sessions", 1024),
+        )
+        app = ServiceApp(service, sessions, name=knobs.get("name", "repro"))
+    except BaseException as exc:  # noqa: BLE001 - report, don't vanish
+        try:
+            conn.send((_READY, {"error": f"{type(exc).__name__}: {exc}"}))
+        finally:
+            conn.close()
+        return
+
+    info = {
+        "pid": mp.current_process().pid,
+        # False proves the ranking arrays are views into the shared
+        # segment, not private copies (the bench asserts on this).
+        "owns_instances": bool(database.instances.flags["OWNDATA"]),
+        "n_bags": database.n_bags,
+    }
+    conn.send((_READY, info))
+    try:
+        while True:
+            try:
+                request = conn.recv()
+            except (EOFError, OSError):
+                break
+            if request is None:
+                break
+            endpoint, payload = request
+            if endpoint == _PING:
+                conn.send((200, {"kind": "pong", **info,
+                                 "sessions": sessions.stats()}))
+                continue
+            conn.send(handle_safely(app, endpoint, payload))
+    finally:
+        try:
+            conn.close()
+        finally:
+            for attachment in attachments:
+                attachment.close()
+
+
+class _Worker:
+    """Parent-side handle: process + pipe + a lock serialising the pipe."""
+
+    def __init__(self, context, worker_id: int, specs: dict, knobs: dict) -> None:
+        self.worker_id = worker_id
+        parent_conn, child_conn = context.Pipe(duplex=True)
+        self.conn = parent_conn
+        self.lock = threading.Lock()
+        self.process = context.Process(
+            target=_worker_main,
+            args=(child_conn, specs, knobs),
+            name=f"repro-worker-{worker_id}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        if not parent_conn.poll(READY_TIMEOUT):
+            self.terminate()
+            raise ServeError(
+                f"worker {worker_id} did not report ready within "
+                f"{READY_TIMEOUT:.0f}s"
+            )
+        verb, info = parent_conn.recv()
+        if verb != _READY or "error" in info:
+            detail = info.get("error", f"unexpected {verb!r} message")
+            self.terminate()
+            raise ServeError(f"worker {worker_id} failed to start: {detail}")
+        self.info = info
+
+    def request(self, endpoint: str, payload: Mapping | None) -> tuple[int, dict]:
+        """One request/reply round trip (raises on a dead worker)."""
+        with self.lock:
+            try:
+                self.conn.send((endpoint, payload))
+                return self.conn.recv()
+            except (EOFError, BrokenPipeError, OSError) as exc:
+                raise ServeError(
+                    f"worker {self.worker_id} (pid {self.process.pid}) "
+                    f"died mid-request: {type(exc).__name__}"
+                ) from exc
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Graceful: sentinel, then join, then escalate."""
+        try:
+            with self.lock:
+                self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout)
+        if self.process.is_alive():
+            self.terminate()
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+    def terminate(self) -> None:
+        try:
+            self.process.terminate()
+            self.process.join(5.0)
+        finally:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+
+
+class WorkerPool:
+    """N spawn-started serving workers over one shared-memory corpus.
+
+    Build with :meth:`from_service` (shares the parent service's packed
+    corpora and trained-concept cache) or :meth:`from_snapshot` /
+    :meth:`from_corpus_dir` (load, then share).  Use as a context manager
+    or call :meth:`stop` — the pool owns the shared segments and unlinks
+    them on stop.
+    """
+
+    def __init__(
+        self,
+        shared: dict[str, SharedPackedCorpus],
+        n_workers: int,
+        knobs: dict | None = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ServeError(f"n_workers must be >= 1, got {n_workers}")
+        if _DATABASE_KEY not in shared:
+            raise ServeError(
+                f"the pool needs a {_DATABASE_KEY!r} shared corpus"
+            )
+        self._shared = shared
+        self._knobs = dict(knobs or {})
+        self._specs = {
+            "database": shared[_DATABASE_KEY].spec,
+            "corpora": {
+                key: corpus.spec
+                for key, corpus in shared.items()
+                if key != _DATABASE_KEY
+            },
+        }
+        self._context = mp.get_context("spawn")
+        self._lock = threading.Lock()
+        self._restart_lock = threading.Lock()
+        self._routes: OrderedDict[str, int] = OrderedDict()
+        self._rr = itertools.count()
+        self._n_restarts = 0
+        self._stopped = False
+        self._workers: list[_Worker] = []
+        try:
+            for worker_id in range(n_workers):
+                self._workers.append(
+                    _Worker(self._context, worker_id, self._specs, self._knobs)
+                )
+        except BaseException:
+            self.stop()
+            raise
+
+    # ------------------------------------------------------------------ #
+    # Constructors                                                        #
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_service(
+        cls,
+        service,
+        n_workers: int,
+        *,
+        share_squares: bool = True,
+        session_ttl: float = 1800.0,
+        max_sessions: int = 1024,
+        name: str = "repro",
+    ) -> "WorkerPool":
+        """Share a warmed service's corpora + concept cache with N workers.
+
+        The database's packed view (built on demand), its rank index when
+        one exists, every extra packed corpus, and the codec-serialisable
+        concept-cache entries all travel to the workers — a pool answers a
+        repeated query with zero retrains, exactly like a snapshot restore.
+        """
+        from repro.serve.snapshot import encode_cache_entry
+
+        shared: dict[str, SharedPackedCorpus] = {}
+        try:
+            packed = packed_view(service.database)
+            service.apply_rank_policy(packed)
+            shared[_DATABASE_KEY] = SharedPackedCorpus.create(
+                packed, share_squares=share_squares
+            )
+            for key in service.corpus_keys:
+                if key == _DATABASE_KEY:
+                    continue
+                try:
+                    extra = packed_view(service.get_corpus(key))
+                except Exception:  # noqa: BLE001 - unpackable corpora rebuild cold
+                    continue
+                shared[key] = SharedPackedCorpus.create(
+                    extra, share_squares=share_squares
+                )
+            cache_entries = []
+            cache = service.concept_cache
+            if cache is not None:
+                for key, value in cache.export_entries():
+                    encoded = encode_cache_entry(key, value)
+                    if encoded is not None:
+                        cache_entries.append(encoded)
+            knobs = {
+                "cache_size": service.cache_stats.max_entries or None,
+                "max_history": service.max_history,
+                "rank_index": service.rank_index,
+                "rank_shards": service.rank_shards,
+                "cache_entries": cache_entries,
+                "session_ttl": session_ttl,
+                "max_sessions": max_sessions,
+                "name": name,
+            }
+            return cls(shared, n_workers, knobs)
+        except BaseException:
+            for corpus in shared.values():
+                corpus.unlink()
+            raise
+
+    @classmethod
+    def from_snapshot(cls, path, n_workers: int, **kwargs) -> "WorkerPool":
+        """Load a serve snapshot once, then share it with N workers."""
+        from repro.serve.snapshot import load_service
+
+        service, _ = load_service(path)
+        return cls.from_service(service, n_workers, **kwargs)
+
+    @classmethod
+    def from_corpus_dir(cls, path, n_workers: int, **kwargs) -> "WorkerPool":
+        """Open a generated corpus directory once, then share it."""
+        from repro.serve.snapshot import load_corpus_service
+
+        service, _ = load_corpus_service(path)
+        return cls.from_service(service, n_workers, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Dispatch                                                            #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_workers(self) -> int:
+        return len(self._workers)
+
+    @property
+    def n_restarts(self) -> int:
+        """How many crashed workers the pool has replaced."""
+        return self._n_restarts
+
+    @property
+    def shared(self) -> dict:
+        """The shared-memory corpora by key (read-only view)."""
+        return dict(self._shared)
+
+    def worker_pids(self) -> tuple[int, ...]:
+        return tuple(worker.process.pid for worker in self._workers)
+
+    def _session_token(self, endpoint: str, payload: Mapping | None) -> str | None:
+        if endpoint not in _SESSION_ENDPOINTS or not isinstance(payload, Mapping):
+            return None
+        token = payload.get("session")
+        return None if token is None else str(token)
+
+    def _pick(self, endpoint: str, payload: Mapping | None) -> int:
+        token = self._session_token(endpoint, payload)
+        if token is not None:
+            with self._lock:
+                index = self._routes.get(token)
+                if index is not None and index < len(self._workers):
+                    self._routes.move_to_end(token)
+                    return index
+        # Round-robin; a session-addressed request with no route falls
+        # through here and gets the far worker's authoritative 404.
+        return next(self._rr) % len(self._workers)
+
+    def _remember(self, index: int, status: int, payload: Mapping) -> None:
+        """Record the token → worker route a successful reply implies."""
+        if status != 200 or not isinstance(payload, Mapping):
+            return
+        token = payload.get("session")
+        if payload.get("kind") != "feedback_result" or token is None:
+            return
+        with self._lock:
+            self._routes[str(token)] = index
+            self._routes.move_to_end(str(token))
+            while len(self._routes) > MAX_ROUTES:
+                self._routes.popitem(last=False)
+
+    def handle(self, endpoint: str, payload: Mapping | None) -> tuple[int, dict]:
+        """Route one request to a worker; returns its ``(status, payload)``.
+
+        A worker that dies mid-request is restarted (its routes dropped,
+        its sessions lost) and the in-flight request fails with a 500 —
+        the caller may retry against the replacement.
+        """
+        if self._stopped:
+            raise ServeError("worker pool is stopped")
+        index = self._pick(endpoint, payload)
+        worker = self._workers[index]
+        try:
+            status, reply = worker.request(endpoint, payload)
+        except ServeError as exc:
+            self._restart(index, failed=worker)
+            from repro.serve.app import error_payload
+
+            return 500, error_payload(exc)
+        self._remember(index, status, reply)
+        return status, reply
+
+    def broadcast(self, endpoint: str) -> list[tuple[int, dict]]:
+        """Send a payload-less request to every worker, in worker order."""
+        return [
+            worker.request(endpoint, None) for worker in list(self._workers)
+        ]
+
+    def request(self, endpoint: str, payload: Mapping | None = None) -> dict:
+        """Dispatch and return the wire payload, raising typed errors.
+
+        The programmatic twin of :meth:`handle`: a non-200 reply re-raises
+        as the package exception the worker raised.
+        """
+        status, payload_out = self.handle(endpoint, payload)
+        if status != 200:
+            raise_error_payload(payload_out, status)
+        return payload_out
+
+    # ------------------------------------------------------------------ #
+    # Health                                                              #
+    # ------------------------------------------------------------------ #
+
+    def ping(self) -> list[dict]:
+        """One pong per worker (restarting any that are found dead)."""
+        pongs = []
+        for index in range(len(self._workers)):
+            worker = self._workers[index]
+            try:
+                status, pong = worker.request(_PING, None)
+            except ServeError:
+                self._restart(index, failed=worker)
+                status, pong = self._workers[index].request(_PING, None)
+            pong["worker_id"] = index
+            pongs.append(pong)
+        return pongs
+
+    def ensure_healthy(self) -> int:
+        """Restart workers whose processes have died; returns how many."""
+        restarted = 0
+        for index, worker in enumerate(self._workers):
+            if not worker.alive():
+                self._restart(index, failed=worker)
+                restarted += 1
+        return restarted
+
+    def _restart(self, index: int, *, failed: "_Worker | None" = None) -> None:
+        with self._restart_lock:
+            if self._stopped:
+                return
+            old = self._workers[index]
+            if failed is not None and old is not failed:
+                # Another thread already replaced this worker; don't kill
+                # the healthy replacement.
+                return
+            old.terminate()
+            self._workers[index] = _Worker(
+                self._context, index, self._specs, self._knobs
+            )
+            self._n_restarts += 1
+        with self._lock:
+            stale = [
+                token for token, owner in self._routes.items() if owner == index
+            ]
+            for token in stale:
+                del self._routes[token]
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle                                                           #
+    # ------------------------------------------------------------------ #
+
+    def stop(self) -> None:
+        """Stop every worker and release the shared segments (idempotent)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        for worker in self._workers:
+            worker.stop()
+        self._workers = []
+        for corpus in self._shared.values():
+            try:
+                corpus.unlink()
+            except ServeError:  # pragma: no cover - non-owner handles
+                corpus.close()
+        with self._lock:
+            self._routes.clear()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        state = "stopped" if self._stopped else f"{len(self._workers)} workers"
+        return f"WorkerPool({state}, {self._n_restarts} restarts)"
+
+
+class WorkerDispatchApp:
+    """The pool dressed as a :class:`~repro.serve.app.ServiceApp`.
+
+    :class:`~repro.serve.http.ReproServer` (and anything else that calls
+    :func:`~repro.serve.app.handle_safely`) dispatches into the pool
+    through :meth:`handle`, preserving the worker-assigned status codes.
+    ``health`` and ``stats`` aggregate across workers — ``stats`` sums the
+    per-worker session and query counters and reports pool shape.
+    """
+
+    ENDPOINTS = ServiceApp.ENDPOINTS
+
+    def __init__(self, pool: WorkerPool) -> None:
+        self._pool = pool
+
+    @property
+    def pool(self) -> WorkerPool:
+        return self._pool
+
+    def handle(self, endpoint: str, payload: Mapping | None) -> tuple[int, dict]:
+        """Transport glue entry point (statuses pass through verbatim)."""
+        name = endpoint.replace("-", "_")
+        if name == "health":
+            return 200, self.health()
+        if name == "stats":
+            return 200, self.stats()
+        return self._pool.handle(name, payload)
+
+    def dispatch(self, endpoint: str, payload: Mapping | None = None) -> dict:
+        """Programmatic dispatch: non-200 replies raise typed errors."""
+        status, reply = self.handle(endpoint, payload)
+        if status != 200:
+            raise_error_payload(reply, status)
+        return reply
+
+    def health(self) -> dict:
+        """Worker 0's health envelope plus pool shape."""
+        payload = self._pool.request("health")
+        payload["workers"] = self._pool.n_workers
+        payload["worker_restarts"] = self._pool.n_restarts
+        return payload
+
+    def stats(self) -> dict:
+        """Aggregated stats: summed counters, pool shape, per-worker pids."""
+        totals: dict[str, Any] = {}
+        sessions: dict[str, Any] = {}
+        per_worker = []
+        for index, (status, payload) in enumerate(self._pool.broadcast("stats")):
+            if status != 200:
+                raise_error_payload(payload, status)
+            service_stats = payload.get("service", {})
+            session_stats = payload.get("sessions", {})
+            per_worker.append(
+                {
+                    "worker_id": index,
+                    "n_queries": service_stats.get("n_queries", 0),
+                    "active_sessions": session_stats.get("active", 0),
+                }
+            )
+            for key in ("n_queries", "history_len"):
+                totals[key] = totals.get(key, 0) + service_stats.get(key, 0)
+            for key in ("n_images", "database_name", "corpus_keys", "cache"):
+                totals.setdefault(key, service_stats.get(key))
+            for key in ("active", "created", "expired", "evicted"):
+                sessions[key] = sessions.get(key, 0) + session_stats.get(key, 0)
+            for key in ("ttl_seconds", "max_sessions"):
+                sessions.setdefault(key, session_stats.get(key))
+        from repro.serve import codec
+
+        return codec.envelope(
+            "stats",
+            {
+                "service": totals,
+                "sessions": sessions,
+                "workers": {
+                    "n_workers": self._pool.n_workers,
+                    "restarts": self._pool.n_restarts,
+                    "per_worker": per_worker,
+                },
+            },
+        )
+
+    def close(self) -> None:
+        """Stop the pool (the HTTP layer calls this after its own drain)."""
+        self._pool.stop()

@@ -175,6 +175,91 @@ class TestPackedRoundTrip:
             load_database(corrupt)
 
 
+class TestRankIndexRoundTrip:
+    """Format v3: the packed view's shard index rides inside the snapshot."""
+
+    def _warm_db_with_index(self):
+        database = make_db()
+        packed = database.packed()
+        index = packed.shard_index()  # build + cache the envelopes
+        return database, packed, index
+
+    def test_index_survives_roundtrip(self, tmp_path):
+        database, _, index_before = self._warm_db_with_index()
+        restored = load_database(save_database(database, tmp_path / "v3.npz"))
+        index_after = restored.cached_packed.cached_shard_index
+        assert index_after is not None, "rank index was silently dropped"
+        np.testing.assert_array_equal(index_after.lower, index_before.lower)
+        np.testing.assert_array_equal(index_after.upper, index_before.upper)
+        np.testing.assert_array_equal(
+            index_after.boundaries, index_before.boundaries
+        )
+        assert index_after.group_size == index_before.group_size
+
+    def test_cold_index_snapshots_without_index(self, tmp_path):
+        database = make_db()
+        database.packed()  # packed view, but no index built
+        restored = load_database(save_database(database, tmp_path / "v3.npz"))
+        assert restored.cached_packed is not None
+        assert restored.cached_packed.cached_shard_index is None
+
+    def test_version_2_snapshots_still_load(self, tmp_path):
+        """Pre-rank-index snapshots (format v2) stay readable."""
+        import json
+
+        database, _, _ = self._warm_db_with_index()
+        path = save_database(database, tmp_path / "v3.npz")
+        with np.load(path) as payload:
+            manifest = json.loads(bytes(payload["manifest"]).decode("utf-8"))
+            arrays = {key: payload[key] for key in payload.files if key != "manifest"}
+        manifest["version"] = 2
+        index_info = manifest["packed"].pop("index")
+        for key in (index_info["lower"], index_info["upper"],
+                    index_info["boundaries"]):
+            arrays.pop(key)
+        arrays["manifest"] = np.frombuffer(
+            json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+        )
+        legacy = tmp_path / "v2.npz"
+        np.savez_compressed(legacy, **arrays)
+        restored = load_database(legacy)
+        assert restored.cached_packed is not None
+        assert restored.cached_packed.cached_shard_index is None
+
+    def test_corrupt_index_payload_rejected(self, tmp_path):
+        """An index manifest pointing at missing arrays raises, never adopts."""
+        import json
+
+        database, _, _ = self._warm_db_with_index()
+        path = save_database(database, tmp_path / "v3.npz")
+        with np.load(path) as payload:
+            manifest = json.loads(bytes(payload["manifest"]).decode("utf-8"))
+            arrays = {key: payload[key] for key in payload.files if key != "manifest"}
+        arrays.pop(manifest["packed"]["index"]["lower"])
+        arrays["manifest"] = np.frombuffer(
+            json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+        )
+        corrupt = tmp_path / "corrupt.npz"
+        np.savez_compressed(corrupt, **arrays)
+        with pytest.raises(DatabaseError, match="shard-index"):
+            load_database(corrupt)
+
+    def test_restored_index_ranks_identically(self, tmp_path):
+        """Ranking over the restored packed view matches the original."""
+        from repro.core.concept import LearnedConcept
+        from repro.core.retrieval import Ranker
+
+        database, packed_before, _ = self._warm_db_with_index()
+        restored = load_database(save_database(database, tmp_path / "v3.npz"))
+        packed_after = restored.cached_packed
+        concept = LearnedConcept(
+            t=packed_after.instances[0], w=np.ones(packed_after.n_dims), nll=0.0
+        )
+        fresh = Ranker().rank(concept, packed_before)
+        again = Ranker().rank(concept, packed_after)
+        assert [e.image_id for e in fresh] == [e.image_id for e in again]
+
+
 class TestMalformedManifestTypes:
     def test_type_malformed_manifest_raises_database_error(self, tmp_path):
         """Wrong-typed manifest values surface as DatabaseError, not TypeError."""

@@ -202,6 +202,129 @@ class TestHttpErrors:
             server.start()
 
 
+class TestRestartOnSamePort:
+    def test_allow_reuse_address_is_set(self, server):
+        assert server._httpd.allow_reuse_address is True
+
+    def test_restart_on_same_port(self, tiny_scene_db):
+        """A fast restart must rebind the port the old server just left.
+
+        Without SO_REUSEADDR the old socket lingers in TIME_WAIT (a client
+        connection ensures there was traffic) and the rebind fails with
+        EADDRINUSE.
+        """
+        service = RetrievalService(tiny_scene_db)
+        first = ReproServer(ServiceApp(service), port=0).start()
+        port = first.port
+        assert ReproClient(first.url).health()["status"] == "ok"
+        first.stop()
+        second = ReproServer(ServiceApp(service), port=port).start()
+        try:
+            assert second.port == port
+            assert ReproClient(second.url).health()["status"] == "ok"
+        finally:
+            second.stop()
+
+
+class TestGracefulDrain:
+    def test_stop_drains_in_flight_requests(self, tiny_scene_db):
+        """stop() lets a request that is already being handled finish."""
+        import threading
+        import time as time_module
+
+        release = threading.Event()
+
+        class SlowApp(ServiceApp):
+            def health(self) -> dict:
+                release.set()
+                time_module.sleep(0.5)
+                return super().health()
+
+        app = SlowApp(RetrievalService(tiny_scene_db))
+        server = ReproServer(app, port=0).start()
+        outcome: dict = {}
+
+        def slow_call() -> None:
+            try:
+                outcome["health"] = ReproClient(server.url, timeout=10).health()
+            except Exception as exc:  # noqa: BLE001 - recorded for the assert
+                outcome["error"] = exc
+
+        caller = threading.Thread(target=slow_call)
+        caller.start()
+        assert release.wait(5.0), "request never reached the app"
+        server.stop(drain_timeout=5.0)
+        caller.join(10.0)
+        assert "error" not in outcome, f"request died mid-drain: {outcome.get('error')}"
+        assert outcome["health"]["status"] == "ok"
+
+    def test_stop_without_drain_does_not_hang(self, tiny_scene_db):
+        server = ReproServer(ServiceApp(RetrievalService(tiny_scene_db)), port=0)
+        server.start()
+        server.stop(drain_timeout=0)  # nothing in flight; returns at once
+
+
+class TestConcurrentLoad:
+    N_CLIENTS = 8
+
+    def test_no_cross_tenant_leakage_under_concurrency(self, tiny_scene_db):
+        """Many threads hammering /v1/query + /v1/feedback on one server:
+        every session only ever sees its own examples, tokens stay unique,
+        and the store's session counters match the number of tenants."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        service = RetrievalService(tiny_scene_db)
+        app = ServiceApp(service)
+        ids = tiny_scene_db.ids_in_category("waterfall")
+        negs = tiny_scene_db.ids_in_category("field")
+        n_clients = min(self.N_CLIENTS, len(ids))
+        with ReproServer(app, port=0) as running:
+            def tenant(i: int) -> dict:
+                client = ReproClient(running.url, timeout=30)
+                # Unique positive per tenant: any cross-tenant bleed is
+                # visible as a foreign id in the echoed example lists.
+                mine_pos = ids[i]
+                mine_negs = [negs[(i + r) % len(negs)] for r in range(3)]
+                created = client.feedback(
+                    params=dict(_PARAMS), add_positive_ids=[mine_pos],
+                    rank=False,
+                )
+                token = created["session"]
+                rounds = [created]
+                for neg in mine_negs:
+                    rounds.append(
+                        client.feedback(token, add_negative_ids=[neg], rank=False)
+                    )
+                result = client.query(
+                    _query(tiny_scene_db, learner="random", params={"seed": i})
+                )
+                return {
+                    "token": token,
+                    "rounds": rounds,
+                    "positive": mine_pos,
+                    "negatives": mine_negs,
+                    "n_ranked": len(result.ranking),
+                }
+
+            with ThreadPoolExecutor(max_workers=n_clients) as executor:
+                tenants = list(executor.map(tenant, range(n_clients)))
+
+            tokens = [t["token"] for t in tenants]
+            assert len(set(tokens)) == n_clients, "session tokens collided"
+            for t in tenants:
+                for entry in t["rounds"]:
+                    assert entry["session"] == t["token"]
+                    # No other tenant's examples may ever appear here.
+                    assert set(entry["positive_ids"]) == {t["positive"]}
+                    assert set(entry["negative_ids"]) <= set(t["negatives"])
+                final = t["rounds"][-1]
+                assert list(final["negative_ids"]) == t["negatives"]
+                assert t["n_ranked"] > 0
+            stats = app.sessions.stats()
+            assert stats["active"] == n_clients
+            assert stats["created"] == n_clients
+
+
 class TestCli:
     def test_build_server_from_db_snapshot(self, tiny_scene_db, tmp_path):
         path = save_database(tiny_scene_db, tmp_path / "db.npz")

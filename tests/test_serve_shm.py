@@ -1,0 +1,192 @@
+"""Unit tests for the shared-memory corpus layout (repro.serve.shm)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.retrieval import Ranker, rank_by_loop
+from repro.core.concept import LearnedConcept
+from repro.datasets.synth import corpus_from_config
+from repro.datasets.synth.config import ScenarioConfig
+from repro.errors import ServeError
+from repro.serve.shm import SharedPackedCorpus
+
+
+@pytest.fixture(scope="module")
+def packed():
+    config = ScenarioConfig(
+        name="shm-test",
+        mode="feature",
+        categories=tuple(f"cat{i}" for i in range(6)),
+        feature_dims=7,
+        instances_per_bag=3,
+        cluster_spread=0.15,
+    ).with_total_bags(48)
+    return corpus_from_config(config)
+
+
+@pytest.fixture()
+def shared(packed):
+    shared = SharedPackedCorpus.create(packed)
+    yield shared
+    shared.unlink()
+
+
+class TestRoundTrip:
+    def test_attached_corpus_equals_original(self, packed, shared):
+        attached = SharedPackedCorpus.attach(shared.spec)
+        try:
+            corpus = attached.corpus()
+            np.testing.assert_array_equal(corpus.instances, packed.instances)
+            np.testing.assert_array_equal(corpus.offsets, packed.offsets)
+            assert corpus.image_ids == packed.image_ids
+            assert corpus.categories == packed.categories
+            np.testing.assert_array_equal(corpus.id_array, packed.id_array)
+            np.testing.assert_array_equal(
+                corpus.category_array, packed.category_array
+            )
+        finally:
+            attached.close()
+
+    def test_attached_arrays_are_views_not_copies(self, shared):
+        attached = SharedPackedCorpus.attach(shared.spec)
+        try:
+            corpus = attached.corpus()
+            assert not corpus.instances.flags["OWNDATA"]
+            assert not corpus.offsets.flags["OWNDATA"]
+            assert not corpus.id_array.flags["OWNDATA"]
+        finally:
+            attached.close()
+
+    def test_mutation_visible_through_segment(self, shared):
+        """Both handles map the same physical memory."""
+        attached = SharedPackedCorpus.attach(shared.spec)
+        try:
+            owner_view = shared.corpus().instances
+            other_view = attached.corpus().instances
+            original = owner_view[0, 0]
+            owner_view[0, 0] = original + 1.0
+            assert other_view[0, 0] == original + 1.0
+            owner_view[0, 0] = original
+        finally:
+            attached.close()
+
+    def test_spec_is_json_safe(self, shared):
+        round_tripped = json.loads(json.dumps(shared.spec))
+        attached = SharedPackedCorpus.attach(round_tripped)
+        try:
+            assert attached.corpus().n_bags == shared.corpus().n_bags
+        finally:
+            attached.close()
+
+    def test_squares_cache_is_shared(self, packed, shared):
+        attached = SharedPackedCorpus.attach(shared.spec)
+        try:
+            corpus = attached.corpus()
+            assert "squared" in shared.spec["arrays"]
+            # min_distances uses the squares cache; correctness proves the
+            # precomputed shared cache holds the right values.
+            concept = LearnedConcept(
+                t=packed.instances[0], w=np.ones(packed.n_dims), nll=0.0
+            )
+            np.testing.assert_array_equal(
+                corpus.min_distances(concept), packed.min_distances(concept)
+            )
+        finally:
+            attached.close()
+
+
+class TestIndexSharing:
+    def test_cached_index_rides_along(self, packed):
+        index = packed.shard_index()
+        shared = SharedPackedCorpus.create(packed)
+        try:
+            attached = SharedPackedCorpus.attach(shared.spec)
+            try:
+                restored = attached.corpus().cached_shard_index
+                assert restored is not None
+                np.testing.assert_array_equal(restored.lower, index.lower)
+                np.testing.assert_array_equal(restored.upper, index.upper)
+                np.testing.assert_array_equal(
+                    restored.boundaries, index.boundaries
+                )
+                assert restored.group_size == index.group_size
+                assert not restored.lower.flags["OWNDATA"]
+            finally:
+                attached.close()
+        finally:
+            shared.unlink()
+
+    def test_rankings_identical_through_shared_corpus(self, packed, shared):
+        attached = SharedPackedCorpus.attach(shared.spec)
+        try:
+            corpus = attached.corpus()
+            concept = LearnedConcept(
+                t=packed.instances[4], w=np.full(packed.n_dims, 0.7), nll=0.0
+            )
+            via_shared = Ranker().rank(concept, corpus)
+            via_local = Ranker().rank(concept, packed)
+            via_loop = rank_by_loop(concept, packed.candidates())
+            assert [e.image_id for e in via_shared] == [
+                e.image_id for e in via_local
+            ]
+            assert [e.image_id for e in via_shared] == [
+                e.image_id for e in via_loop
+            ]
+            np.testing.assert_array_equal(
+                [e.distance for e in via_shared],
+                [e.distance for e in via_local],
+            )
+        finally:
+            attached.close()
+
+
+class TestLifecycleAndErrors:
+    def test_unknown_spec_version_rejected(self, shared):
+        bad = dict(shared.spec, version=99)
+        with pytest.raises(ServeError, match="version"):
+            SharedPackedCorpus.attach(bad)
+
+    def test_missing_segment_rejected(self, shared):
+        bad = dict(shared.spec, segment="psm_repro_does_not_exist")
+        with pytest.raises(ServeError, match="cannot attach"):
+            SharedPackedCorpus.attach(bad)
+
+    def test_out_of_range_offsets_rejected(self, shared):
+        bad = json.loads(json.dumps(shared.spec))
+        bad["arrays"]["instances"]["offset"] = shared.nbytes
+        with pytest.raises(ServeError, match="outside"):
+            SharedPackedCorpus.attach(bad)
+
+    def test_only_owner_can_unlink(self, shared):
+        attached = SharedPackedCorpus.attach(shared.spec)
+        try:
+            with pytest.raises(ServeError, match="creating process"):
+                attached.unlink()
+        finally:
+            attached.close()
+
+    def test_closed_handle_refuses_corpus(self, shared):
+        attached = SharedPackedCorpus.attach(shared.spec)
+        attached.close()
+        with pytest.raises(ServeError, match="closed"):
+            attached.corpus()
+
+    def test_unlink_is_idempotent(self, packed):
+        shared = SharedPackedCorpus.create(packed)
+        shared.unlink()
+        shared.unlink()  # second call must not raise
+
+    def test_segment_gone_after_unlink(self, packed):
+        shared = SharedPackedCorpus.create(packed)
+        spec = shared.spec
+        shared.unlink()
+        with pytest.raises(ServeError, match="cannot attach"):
+            SharedPackedCorpus.attach(spec)
+
+    def test_context_manager_owner_unlinks(self, packed):
+        with SharedPackedCorpus.create(packed) as shared:
+            spec = shared.spec
+        with pytest.raises(ServeError, match="cannot attach"):
+            SharedPackedCorpus.attach(spec)

@@ -137,11 +137,39 @@ class TestRoundTrip:
         with np.load(info.path) as payload:
             arrays = {k: payload[k] for k in payload.files}
         manifest = json.loads(bytes(arrays["manifest"]).decode("utf-8"))
-        assert "database_index" in manifest
-        del arrays[manifest["database_index"]["lower"]]
+        # The index rides inside the database payload (format v3).
+        index_info = manifest["database"]["packed"]["index"]
+        assert index_info is not None
+        del arrays[index_info["lower"]]
         np.savez_compressed(tmp_path / "corrupt.npz", **arrays)
-        with pytest.raises(DatabaseError):
+        with pytest.raises(DatabaseError, match="shard-index"):
             load_service(tmp_path / "corrupt.npz")
+
+    def test_legacy_database_index_key_still_adopted(self, warmed, tmp_path):
+        """Old snapshots stashed the index beside the database payload."""
+        import json
+
+        import numpy as np
+
+        service, _, _ = warmed
+        index = service.database.packed().shard_index(2)
+        info = save_service(service, tmp_path / "worker.npz")
+        with np.load(info.path) as payload:
+            arrays = {k: payload[k] for k in payload.files}
+        manifest = json.loads(bytes(arrays["manifest"]).decode("utf-8"))
+        # Rewrite to the pre-v3 layout: index beside the database payload
+        # under the legacy manifest key, nothing inside it.
+        index_info = manifest["database"]["packed"].pop("index")
+        manifest["database_index"] = index_info
+        arrays["manifest"] = np.frombuffer(
+            json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+        )
+        legacy = tmp_path / "legacy.npz"
+        np.savez_compressed(legacy, **arrays)
+        restored, _ = load_service(legacy)
+        adopted = restored.database.cached_packed.cached_shard_index
+        assert adopted is not None, "legacy index key was ignored"
+        np.testing.assert_array_equal(adopted.lower, index.lower)
 
     def test_load_service_forwards_rank_knobs(self, warmed, tmp_path):
         service, _, _ = warmed
