@@ -1,0 +1,204 @@
+"""Extension bench — cross-process scatter/gather rank vs single process.
+
+Not a paper artefact.  The PR 7 worker pool parallelises across
+*requests*; :class:`~repro.serve.scatter.ScatterRanker` makes a **single**
+rank query scale out: the coordinator cuts the
+:class:`~repro.core.sharding.ShardIndex`'s contiguous shard partition into
+one bag range per worker, ships each range as an internal
+``rank_fragment`` request seeded with an argpartition-sample threshold,
+and merges the compact ``(positions, distances)`` fragments with the same
+id-tie-broken partial sort the single-process path ends with.
+
+This bench builds the same clustered corpus as ``bench_rank_sharded``
+(64 tight clusters — the regime the rank index exists for) and races,
+query by query:
+
+* the exhaustive :class:`~repro.core.retrieval.Ranker` (no pruning),
+* the single-process :class:`~repro.core.sharding.ShardedRanker`
+  (PR 5 bound-pruned path, thread fan-out inside one process),
+* the scatter path through :class:`~repro.serve.workers.WorkerDispatchApp`
+  (bound pass + survivor evaluation split across worker *processes*).
+
+Assertions (always): all three orderings are identical — ids and
+bit-identical distances — and every query scattered (no fallbacks).
+At full scale on a multi-core machine with >= 2 workers the scatter path
+must beat single-process sharded by ``REPRO_SCATTER_BENCH_FLOOR``
+(default 1.2x; CI's oversubscribed runners set 1.0).  On a single-core
+machine the speedup is report-only: worker processes time-slicing one
+core measure IPC overhead, not the subsystem.
+
+``REPRO_SCATTER_BENCH_BAGS`` overrides the corpus size,
+``REPRO_SCATTER_BENCH_WORKERS`` the pool width.  Results land in
+``BENCH_scatter.json`` via the shared JSON reporter.
+"""
+
+import os
+
+import numpy as np
+
+from repro.api.service import RetrievalService
+from repro.core.concept import LearnedConcept
+from repro.core.retrieval import Ranker
+from repro.core.sharding import ShardedRanker
+from repro.datasets.synth import ScenarioConfig, corpus_from_config, feature_center
+from repro.eval.reporting import ascii_table
+from repro.serve import codec
+from repro.serve.app import handle_safely
+from repro.serve.workers import WorkerDispatchApp, WorkerPool
+
+N_BAGS = int(os.environ.get("REPRO_SCATTER_BENCH_BAGS", "100000"))
+N_WORKERS = int(os.environ.get("REPRO_SCATTER_BENCH_WORKERS", "2"))
+SPEEDUP_FLOOR = float(os.environ.get("REPRO_SCATTER_BENCH_FLOOR", "1.2"))
+N_DIMS = 16
+N_CLUSTERS = 64
+TOP_K = 50
+N_QUERIES = 8
+FULL_SCALE = 100_000
+REPEATS = 3
+
+
+def clustered_corpus(n_bags: int, seed: int = 11):
+    """Same corpus family as ``bench_rank_sharded`` (see its docstring)."""
+    config = ScenarioConfig(
+        name="bench-clusters",
+        mode="feature",
+        categories=tuple(f"cluster-{c:02d}" for c in range(N_CLUSTERS)),
+        bags_per_category=1,
+        seed=seed,
+        feature_dims=N_DIMS,
+        instances_per_bag=6,
+        cluster_spread=0.05,
+    ).with_total_bags(n_bags)
+    return corpus_from_config(config), config
+
+
+def selective_concepts(config: ScenarioConfig, seed: int = 23):
+    """One selective concept per cluster — the regime pruning thrives in."""
+    rng = np.random.default_rng(seed)
+    concepts = []
+    for i in range(N_QUERIES):
+        center = feature_center(config, config.categories[i % N_CLUSTERS])
+        concepts.append(LearnedConcept(
+            t=center + rng.normal(scale=0.02, size=config.feature_dims),
+            w=rng.uniform(0.5, 1.0, size=config.feature_dims),
+            nll=0.0,
+        ))
+    return concepts
+
+
+def _rank_all_exhaustive(packed, concepts):
+    ranker = Ranker(auto_shard=False)
+    return [ranker.rank(c, packed, top_k=TOP_K) for c in concepts]
+
+
+def _rank_all_sharded(packed, concepts):
+    ranker = ShardedRanker()
+    return [ranker.rank(c, packed, top_k=TOP_K) for c in concepts]
+
+
+def _rank_all_scatter(app, payloads):
+    results = []
+    for payload in payloads:
+        status, reply = handle_safely(app, "rank", payload)
+        assert status == 200, reply
+        results.append(codec.decode_ranking(reply["ranking"]))
+    return results
+
+
+def test_scatter_vs_single_process(report, bench_json, best_of):
+    packed, config = clustered_corpus(N_BAGS)
+    service = RetrievalService(packed)
+    concepts = selective_concepts(config)
+    payloads = [
+        codec.envelope("rank", {
+            "concept": codec.encode_concept(c), "top_k": TOP_K,
+        })
+        for c in concepts
+    ]
+    index = packed.shard_index()  # build once; every path reuses the cache
+
+    with WorkerPool.from_service(service, N_WORKERS) as pool:
+        app = WorkerDispatchApp(pool, service=service, min_scatter_bags=1)
+        assert app.scatter is not None
+
+        # Correctness before anything is timed: three paths, one ordering.
+        exhaustive = _rank_all_exhaustive(packed, concepts)
+        sharded = _rank_all_sharded(packed, concepts)
+        scattered = _rank_all_scatter(app, payloads)
+        for a, b, c in zip(exhaustive, sharded, scattered):
+            assert a.image_ids == b.image_ids == c.image_ids, (
+                "scatter ranking diverged from the single-process paths"
+            )
+            np.testing.assert_array_equal(a.distances, b.distances)
+            np.testing.assert_array_equal(a.distances, c.distances)
+        scatter_stats = app.scatter.stats()
+        assert scatter_stats["requests"] == N_QUERIES
+        assert scatter_stats["fallbacks"] == 0, "a scatter fell back"
+        fan_out = scatter_stats["last"]["fan_out"]
+        assert fan_out == min(N_WORKERS, index.n_shards)
+
+        exhaustive_s = best_of(
+            REPEATS, lambda: _rank_all_exhaustive(packed, concepts)
+        )
+        sharded_s = best_of(
+            REPEATS, lambda: _rank_all_sharded(packed, concepts)
+        )
+        scatter_s = best_of(
+            REPEATS, lambda: _rank_all_scatter(app, payloads)
+        )
+        last = app.scatter.stats()["last"]
+
+    speedup_sharded = sharded_s / scatter_s if scatter_s > 0 else float("inf")
+    speedup_exhaustive = (
+        exhaustive_s / scatter_s if scatter_s > 0 else float("inf")
+    )
+    n_cores = os.cpu_count() or 1
+
+    rows = [
+        ["exhaustive Ranker", f"{exhaustive_s * 1e3:.1f}",
+         f"{exhaustive_s / sharded_s:.2f}x"],
+        ["single-process sharded", f"{sharded_s * 1e3:.1f}", "1.0x"],
+        [f"scatter across {N_WORKERS} workers", f"{scatter_s * 1e3:.1f}",
+         f"{speedup_sharded:.2f}x"],
+    ]
+    report(
+        ascii_table(
+            ["rank path", f"{N_QUERIES} queries, best of {REPEATS} (ms)",
+             "vs sharded"],
+            rows,
+            title=(
+                f"scatter bench: {packed.n_bags} bags, top_k={TOP_K}, "
+                f"fan-out {fan_out}, {n_cores} cores"
+            ),
+        )
+    )
+    bench_json("scatter", "scatter_vs_single_process", {
+        "n_bags": packed.n_bags,
+        "n_instances": packed.n_instances,
+        "n_dims": N_DIMS,
+        "top_k": TOP_K,
+        "n_queries": N_QUERIES,
+        "n_workers": N_WORKERS,
+        "n_cores": n_cores,
+        "fan_out": fan_out,
+        "n_shards": index.n_shards,
+        "survivors_per_worker": last["survivors_per_worker"],
+        "seed_threshold_finite": last["seed_threshold"] is not None,
+        "exhaustive_seconds": exhaustive_s,
+        "sharded_seconds": sharded_s,
+        "scatter_seconds": scatter_s,
+        "speedup_vs_sharded": speedup_sharded,
+        "speedup_vs_exhaustive": speedup_exhaustive,
+        "fallbacks": 0,
+        "rankings_identical": True,
+    })
+
+    # A 1-core machine runs the workers by time-slicing; the scatter path
+    # then pays IPC overhead for no parallelism and the number is
+    # report-only (same regime as bench_serve_workers).
+    if N_BAGS >= FULL_SCALE and n_cores >= 2 and N_WORKERS >= 2:
+        assert speedup_sharded >= SPEEDUP_FLOOR, (
+            f"scatter across {N_WORKERS} workers only {speedup_sharded:.2f}x "
+            f"faster than single-process sharded (needs >= "
+            f"{SPEEDUP_FLOOR}x at {N_BAGS} bags on {n_cores} cores)"
+        )

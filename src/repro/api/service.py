@@ -366,6 +366,26 @@ class RetrievalService:
             packed, exclude=exclude, top_k=top_k, category_filter=category_filter
         )
 
+    def packed_database(
+        self, candidate_ids: Sequence[str] | None = None
+    ) -> PackedCorpus:
+        """The database's packed view with this service's rank policy applied.
+
+        The one spelling of "give me the corpus the rank path scores"
+        shared by the wire ``rank`` endpoint, the ``rank_fragment``
+        scatter workers, and the scatter coordinator — all three must
+        score the *same* cached view under the *same* policy or their
+        results could diverge.  ``candidate_ids`` selects a subset view
+        (non-routable, see :func:`~repro.core.retrieval.packed_view`).
+        """
+        packed = packed_view(
+            self._database,
+            None if candidate_ids is None else tuple(candidate_ids),
+        )
+        if isinstance(packed, PackedCorpus):
+            self.apply_rank_policy(packed)
+        return packed
+
     def apply_rank_policy(self, packed: PackedCorpus) -> None:
         """Stamp this service's rank-index policy onto a packed view.
 

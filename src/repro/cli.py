@@ -199,6 +199,13 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=1, metavar="N",
                        help="serve from N pre-forked worker processes sharing "
                             "one shared-memory corpus (1 = in-process)")
+    serve.add_argument("--scatter", dest="min_scatter_bags", type=int,
+                       default=None, metavar="BAGS",
+                       help="with --workers N: scatter one rank query's "
+                            "shard ranges across every worker when the "
+                            "corpus holds at least BAGS bags (default: the "
+                            "4096-bag auto-shard threshold; 0 disables "
+                            "scatter)")
     serve.add_argument("--drain-timeout", type=float, default=5.0,
                        metavar="SECONDS",
                        help="how long a SIGTERM/SIGINT shutdown waits for "
@@ -528,7 +535,17 @@ def build_server(args: argparse.Namespace):
             f"(pids {', '.join(map(str, pool.worker_pids()))}) over one "
             f"shared-memory corpus"
         )
-        return ReproServer(WorkerDispatchApp(pool), host=args.host, port=args.port)
+        app = WorkerDispatchApp(
+            pool,
+            service=service,
+            min_scatter_bags=getattr(args, "min_scatter_bags", None),
+        )
+        if app.scatter is not None:
+            print(
+                f"scatter/gather ranking on from "
+                f"{app.scatter.min_scatter_bags} bags"
+            )
+        return ReproServer(app, host=args.host, port=args.port)
     sessions = SessionStore(
         service, ttl_seconds=args.session_ttl, max_sessions=args.max_sessions
     )

@@ -80,6 +80,11 @@ DEFAULT_GROUP_BAGS = 64
 #: evaluations — it can never prune a candidate — so exactness is
 #: preserved and the cost is a handful of borderline bags per query.
 PRUNE_SLACK = 1e-9
+#: Surviving bags sampled by :func:`seed_threshold` when the coordinator
+#: pre-tightens the pruning threshold for a scattered query.  The sample is
+#: a deterministic stride over the survivors, so the seed — and therefore
+#: the amount of work each worker skips — is reproducible run to run.
+SEED_SAMPLE_BAGS = 4096
 #: Safety factor on the absolute cutoff floor (:meth:`ShardIndex.prune_floor`).
 #: The floor bounds the expanded quadratic form's cancellation error; the
 #: analytic bound is ~``n_dims * eps * kernel_scale`` and this factor covers
@@ -89,29 +94,40 @@ PRUNE_FLOOR_SAFETY = 8.0
 
 
 _POOL_LOCK = threading.Lock()
-_SHARED_POOL: ThreadPoolExecutor | None = None
+_SHARED_POOLS: dict[int | None, ThreadPoolExecutor] = {}
 
 
-def _shared_pool() -> ThreadPoolExecutor:
-    """The process-wide shard-scan thread pool, created on first use.
+def _shared_pool(workers: int | None = None) -> ThreadPoolExecutor:
+    """The process-wide shard-scan thread pool for a width, created on first use.
 
     A routed query's scan targets single-digit milliseconds, so paying
     thread spawn/teardown per query (every :meth:`Ranker.rank` call
     constructs a fresh :class:`ShardedRanker`) would cost a double-digit
-    share of the budget.  The pool is shared by all default-width queries
-    — numpy releases the GIL inside the kernels, concurrent ``map`` calls
-    interleave safely, and the deterministic merge makes scheduling
-    invisible in the output.  An explicit ``workers`` width still gets a
-    private pool (tests and benchmarks pin widths).
+    share of the budget.  Pools are cached per requested width — ``None``
+    (the machine-sized default) and every explicit ``workers`` value get
+    one long-lived executor each, so pinned-width callers (serving knobs,
+    benchmarks) stop spawning a throwaway pool per query.  The cache is
+    keyed by width and never evicts: real deployments use a handful of
+    configured widths, so the executor count is bounded by configuration,
+    not traffic.  numpy releases the GIL inside the kernels, concurrent
+    ``map`` calls interleave safely, and the deterministic merge makes
+    scheduling invisible in the output.
     """
-    global _SHARED_POOL
     with _POOL_LOCK:
-        if _SHARED_POOL is None:
-            _SHARED_POOL = ThreadPoolExecutor(
-                max_workers=min(MAX_AUTO_SHARDS, max(1, os.cpu_count() or 2)),
-                thread_name_prefix="repro-shard",
+        pool = _SHARED_POOLS.get(workers)
+        if pool is None:
+            width = (
+                min(MAX_AUTO_SHARDS, max(1, os.cpu_count() or 2))
+                if workers is None
+                else workers
             )
-        return _SHARED_POOL
+            suffix = "auto" if workers is None else str(workers)
+            pool = ThreadPoolExecutor(
+                max_workers=width,
+                thread_name_prefix=f"repro-shard-{suffix}",
+            )
+            _SHARED_POOLS[workers] = pool
+        return pool
 
 
 def _cutoff(threshold: float, floor: float) -> float:
@@ -428,6 +444,66 @@ class _ThresholdBox:
                 self._value = candidate
 
 
+def seed_threshold(
+    packed: PackedCorpus,
+    index: ShardIndex,
+    concept: LearnedConcept,
+    keep: np.ndarray,
+    top_k: int,
+    *,
+    sample_bags: int = SEED_SAMPLE_BAGS,
+) -> float:
+    """A safe initial pruning threshold from a small evaluated sample.
+
+    Strides deterministically over the surviving bag positions, keeps the
+    ``top_k`` smallest *envelope bounds* of the sample (one
+    ``np.argpartition`` — no sort), exactly evaluates just those bags, and
+    returns their kth-smallest exact distance.  The kth-smallest distance
+    over any subset of the survivors can only over-estimate the global
+    kth-best, so seeding a :class:`_ThresholdBox` with this value is safe
+    for exactly the reason per-shard threshold publishing is — pruning
+    against it skips work but can never skip a top-k contender.  Returns
+    ``inf`` (a no-op seed) when the sample cannot fill a top-k.
+
+    The scatter coordinator computes this once per query and ships it to
+    every worker, so even the *first* chunk a late worker evaluates prunes
+    against an already tight threshold instead of rediscovering one from
+    scratch per fragment.
+
+    Raises:
+        DatabaseError: on a non-positive ``top_k`` / ``sample_bags``, an
+            index built over a different corpus, or a mismatched concept.
+    """
+    if top_k < 1:
+        raise DatabaseError(f"top_k must be >= 1, got {top_k}")
+    if sample_bags < 1:
+        raise DatabaseError(f"sample_bags must be >= 1, got {sample_bags}")
+    if index.corpus is not packed:
+        raise DatabaseError(
+            "the shard index was built over a different corpus than the "
+            "one being seeded"
+        )
+    if concept.n_dims != index.n_dims:
+        raise DatabaseError(
+            f"concept has {concept.n_dims} dims but the shard index "
+            f"holds {index.n_dims}"
+        )
+    positions = np.nonzero(keep)[0]
+    if positions.size > sample_bags:
+        stride = -(-positions.size // sample_bags)
+        positions = positions[::stride]
+    if positions.size <= top_k:
+        # Fewer sampled bags than k: the sample's maximum says nothing
+        # about the global kth-best, so no safe seed exists.
+        return float("inf")
+    bounds = envelope_bounds(
+        index.lower[positions], index.upper[positions], concept
+    )
+    pick = np.argpartition(bounds, top_k - 1)[:top_k]
+    distances = packed.min_distances_at(concept, positions[pick])
+    return float(np.partition(distances, top_k - 1)[top_k - 1])
+
+
 class ShardedRanker:
     """Exact top-k ranking that skips bags the lower bound rules out.
 
@@ -445,9 +521,10 @@ class ShardedRanker:
         n_shards: shard count used when the corpus has no cached index
             (``None`` = automatic, see :func:`shard_boundaries`).
         workers: thread-pool width; ``None`` fans out over the shared
-            process-wide pool (:func:`_shared_pool` — no per-query thread
-            spawn on the serving hot path), an explicit width gets a
-            private pool, ``1`` scans shards sequentially.
+            machine-sized pool (:func:`_shared_pool` — no per-query thread
+            spawn on the serving hot path), an explicit width fans out
+            over a cached pool of that width, ``1`` scans shards
+            sequentially.
         chunk_bags: bags evaluated per kernel call inside a shard scan.
     """
 
@@ -533,11 +610,8 @@ class ShardedRanker:
         scan = lambda span: self._shard_candidates(  # noqa: E731
             packed, concept, index, keep, top_k, box, floor, *span
         )
-        if len(ranges) > 1 and self._workers is None:
-            parts = list(_shared_pool().map(scan, ranges))
-        elif len(ranges) > 1 and self._workers > 1:
-            with ThreadPoolExecutor(max_workers=self._workers) as pool:
-                parts = list(pool.map(scan, ranges))
+        if len(ranges) > 1 and (self._workers is None or self._workers > 1):
+            parts = list(_shared_pool(self._workers).map(scan, ranges))
         else:
             parts = [scan(span) for span in ranges]
         candidate_idx = np.concatenate([part[0] for part in parts])
@@ -546,6 +620,107 @@ class ShardedRanker:
         categories = packed.category_array[candidate_idx]
         order = top_order(ids, candidate_dist, top_k)
         return build_result(ids, categories, candidate_dist, order, total)
+
+    def fragment_candidates(
+        self,
+        concept: LearnedConcept,
+        corpus,
+        *,
+        top_k: int,
+        start: int,
+        stop: int,
+        exclude: Iterable[str] = (),
+        category_filter: str | None = None,
+        index: ShardIndex | None = None,
+        initial_threshold: float = np.inf,
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """One contiguous bag range's top-k candidates (the scatter half).
+
+        Runs the same bound pass + chunked survivor evaluation as
+        :meth:`rank`, restricted to bags in ``[start, stop)``, and returns
+        ``(bag positions, exact distances, bags exactly evaluated)`` —
+        the compact fragment a scatter worker ships back instead of a full
+        ranking.  The candidate set is trimmed to the fragment's own
+        kth-smallest distance with ties kept, exactly like a shard's.
+
+        Merging fragments from a disjoint cover of the corpus through
+        :func:`~repro.core.retrieval.top_order` reproduces :meth:`rank`
+        bit for bit: every fragment keeps each of its bags whose exact
+        distance can reach the global top-k (trimming only drops distances
+        strictly above the fragment's kth-smallest, which is >= the global
+        kth-best because the fragment's candidates are a subset of the
+        query's), the distances come from the same expanded-form kernel
+        over the same float64 data, and disjoint ranges mean no bag is
+        ever a candidate twice.
+
+        ``initial_threshold`` pre-seeds the shared pruning threshold; any
+        upper bound on the query's true kth-best distance is safe
+        (:func:`seed_threshold` computes one), ``inf`` disables seeding.
+
+        Raises:
+            DatabaseError: on a non-positive ``top_k``, a range outside
+                ``[0, n_bags]``, a mismatched concept, or an ``index``
+                built over a different corpus.
+        """
+        if top_k < 1:
+            raise DatabaseError(f"top_k must be >= 1, got {top_k}")
+        packed = PackedCorpus.coerce(corpus)
+        if not 0 <= start <= stop <= packed.n_bags:
+            raise DatabaseError(
+                f"fragment range [{start}, {stop}) must lie inside "
+                f"[0, {packed.n_bags}]"
+            )
+        empty = (np.zeros(0, dtype=np.int64), np.zeros(0), 0)
+        if start == stop:
+            return empty
+        if index is None:
+            index = packed.shard_index(self._n_shards)
+        elif index.corpus is not packed:
+            raise DatabaseError(
+                f"the supplied shard index ({index.n_bags} bags x "
+                f"{index.n_dims} dims) was built over a different corpus "
+                f"than the one being ranked ({packed.n_bags} x "
+                f"{packed.n_dims}); build the index over the ranked corpus"
+            )
+        if concept.n_dims != packed.n_dims:
+            raise DatabaseError(
+                f"concept has {concept.n_dims} dims but the packed corpus "
+                f"holds {packed.n_dims}"
+            )
+        keep = keep_mask(packed, tuple(exclude), category_filter)
+        box = _ThresholdBox()
+        if np.isfinite(initial_threshold):
+            box.update(float(initial_threshold))
+        floor = index.prune_floor(concept)
+        # The fragment scans its intersection with the index's shard
+        # partition, so the in-range bound pass parallelises exactly like
+        # a whole-corpus scan (and the partition the *coordinator* used to
+        # cut fragments need not match this index's — correctness is
+        # partition-independent).
+        spans = []
+        for i in range(index.n_shards):
+            lo = max(start, int(index.boundaries[i]))
+            hi = min(stop, int(index.boundaries[i + 1]))
+            if lo < hi:
+                spans.append((lo, hi))
+        if not spans:
+            return empty
+        scan = lambda span: self._shard_candidates(  # noqa: E731
+            packed, concept, index, keep, top_k, box, floor, *span
+        )
+        if len(spans) > 1 and (self._workers is None or self._workers > 1):
+            parts = list(_shared_pool(self._workers).map(scan, spans))
+        else:
+            parts = [scan(span) for span in spans]
+        idx = np.concatenate([part[0] for part in parts])
+        dist = np.concatenate([part[1] for part in parts])
+        n_evaluated = int(sum(part[2] for part in parts))
+        if dist.size > top_k:
+            kth = np.partition(dist, top_k - 1)[top_k - 1]
+            contenders = dist <= kth
+            idx = idx[contenders]
+            dist = dist[contenders]
+        return idx, dist, n_evaluated
 
     def _shard_candidates(
         self,
@@ -558,8 +733,9 @@ class ShardedRanker:
         floor: float,
         start: int,
         stop: int,
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """One shard's top-k candidates: ``(bag positions, exact distances)``.
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """One shard's top-k candidates:
+        ``(bag positions, exact distances, bags exactly evaluated)``.
 
         Two-level, two-phase scan.  Level one compares *group* envelope
         bounds (``group_size`` bags share one union box), so most bags are
@@ -583,7 +759,7 @@ class ShardedRanker:
         shard's own kth-smallest distance with ties kept, which preserves
         every possible member of the global top-k.
         """
-        empty = (np.zeros(0, dtype=np.int64), np.zeros(0))
+        empty = (np.zeros(0, dtype=np.int64), np.zeros(0), 0)
         group = index.group_size
         # Whole groups [first_group, last_group) lie inside the shard; the
         # (up to 2 * (group - 1)) edge bags at unaligned boundaries are
@@ -691,9 +867,10 @@ class ShardedRanker:
                 box.update(float(best.max()))
         idx = np.concatenate(kept_idx)
         dist = np.concatenate(kept_dist)
+        n_evaluated = int(idx.size)
         if dist.size > k:
             kth = np.partition(dist, k - 1)[k - 1]
             contenders = dist <= kth
             idx = idx[contenders]
             dist = dist[contenders]
-        return idx, dist
+        return idx, dist, n_evaluated

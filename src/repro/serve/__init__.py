@@ -30,6 +30,11 @@ boundary, layered bottom-up:
     :class:`WorkerPool` / :class:`WorkerDispatchApp`: N spawn-started
     worker processes ranking that one zero-copy mapping behind the same
     HTTP server (``repro serve --workers N``).
+:mod:`repro.serve.scatter`
+    :class:`ScatterRanker` — cross-process scatter/gather for a single
+    rank query: contiguous shard ranges fan out across the pool as
+    ``rank_fragment`` requests and merge into one bit-identical ranking
+    (``repro serve --workers N --scatter BAGS``).
 
 Quickstart::
 
@@ -79,6 +84,7 @@ from repro.serve.snapshot import (
     load_service,
     save_service,
 )
+from repro.serve.scatter import ScatterRanker
 from repro.serve.workers import WorkerDispatchApp, WorkerPool
 
 __all__ = [
@@ -116,4 +122,5 @@ __all__ = [
     "SharedPackedCorpus",
     "WorkerPool",
     "WorkerDispatchApp",
+    "ScatterRanker",
 ]

@@ -1,8 +1,8 @@
 """The transport-agnostic serving facade.
 
-:class:`ServiceApp` exposes the retrieval system as six plain
-dict-in/dict-out endpoints — ``query``, ``batch_query``, ``feedback``,
-``rank``, ``health`` and ``stats`` — over one shared
+:class:`ServiceApp` exposes the retrieval system as plain dict-in/dict-out
+endpoints — ``query``, ``batch_query``, ``feedback``, ``rank``,
+``rank_fragment``, ``health`` and ``stats`` — over one shared
 :class:`~repro.api.service.RetrievalService` and one multi-tenant
 :class:`~repro.serve.sessions.SessionStore`.  Payloads are the versioned
 wire envelopes of :mod:`repro.serve.codec`; the app never touches a socket,
@@ -23,8 +23,17 @@ Request/response shapes (all enveloped, version-checked)::
                      "add_positive_ids": [...], ...}
     rank         <- {"kind": "rank", "session": tok             -> rank_result
                      | "concept": {...}, "top_k": ...}
+    rank_fragment<- {"kind": "rank_fragment", "concept": {...}, -> rank_fragment_result
+                     "top_k": ..., "start": ..., "stop": ...}
     health       <- (no payload)                                -> health
     stats        <- (no payload)                                -> stats
+
+``rank_fragment`` is the internal scatter/gather half of a distributed
+rank: it evaluates one contiguous bag range and returns the compact
+``(positions, distances)`` candidate fragment the coordinator merges
+(:mod:`repro.serve.scatter`).  It is a public endpoint like the others —
+a fragment request over plain HTTP gets the same answer a pooled worker
+computes over its pipe.
 
 Errors raise the package's typed exceptions (:class:`CodecError`,
 :class:`QueryError`, :class:`SessionError`, ...); transports map them to
@@ -37,7 +46,8 @@ from typing import Any, Mapping
 
 from repro.api.learners import available_learners
 from repro.api.service import RetrievalService
-from repro.core.retrieval import Ranker, packed_view
+from repro.core.retrieval import Ranker
+from repro.core.sharding import ShardedRanker
 from repro.serve import codec
 from repro.serve.sessions import SessionStore
 from repro import errors as errors_module
@@ -64,7 +74,15 @@ class ServiceApp:
     """
 
     #: Endpoint names accepted by :meth:`dispatch`.
-    ENDPOINTS = ("query", "batch_query", "feedback", "rank", "health", "stats")
+    ENDPOINTS = (
+        "query",
+        "batch_query",
+        "feedback",
+        "rank",
+        "rank_fragment",
+        "health",
+        "stats",
+    )
 
     #: Server-side ceiling on the wire-requested ``batch_query`` worker
     #: count — the request may ask, but it does not size our thread pool.
@@ -164,13 +182,11 @@ class ServiceApp:
         elif data.get("concept") is not None:
             concept = codec.decode_concept(data["concept"])
             candidate_ids = data.get("candidate_ids")
-            # packed_view marks subset views non-routable (no throwaway
-            # shard index); the policy stamp covers the cached full view.
-            packed = packed_view(
-                self._service.database,
-                None if candidate_ids is None else tuple(candidate_ids),
+            # packed_database applies the service's rank policy; subset
+            # views arrive non-routable (no throwaway shard index).
+            packed = self._service.packed_database(
+                None if candidate_ids is None else tuple(candidate_ids)
             )
-            self._service.apply_rank_policy(packed)
             ranking = Ranker().rank(
                 concept,
                 packed,
@@ -181,6 +197,56 @@ class ServiceApp:
         else:
             raise CodecError("rank payload needs a 'session' token or a 'concept'")
         return codec.envelope("rank_result", {"ranking": codec.encode_ranking(ranking)})
+
+    def rank_fragment(self, payload: Mapping) -> dict:
+        """Evaluate one contiguous bag range of a scattered rank query.
+
+        The worker half of the cross-process scatter path
+        (:mod:`repro.serve.scatter`): runs the bound pass + chunked
+        survivor evaluation over bags ``[start, stop)`` of the database's
+        packed view and returns the compact candidate fragment — bag
+        *positions* plus exact distances (the coordinator owns the
+        position → id/category mapping, so ids never cross the wire
+        twice) and the bound-pass survivor count for ``stats()``.  An
+        optional ``threshold`` pre-seeds pruning; the coordinator sends
+        the :func:`~repro.core.sharding.seed_threshold` sample's kth-best
+        so every fragment prunes against an already tight cutoff.
+        """
+        data = codec.open_envelope(payload, "rank_fragment")
+        if data.get("concept") is None:
+            raise CodecError("rank_fragment payload needs a 'concept'")
+        concept = codec.decode_concept(data["concept"])
+        for field in ("top_k", "start", "stop"):
+            value = data.get(field)
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise CodecError(
+                    f"rank_fragment payload needs an integer {field!r}, "
+                    f"got {value!r}"
+                )
+        top_k = int(data["top_k"])
+        start = int(data["start"])
+        stop = int(data["stop"])
+        threshold = data.get("threshold")
+        positions, distances, n_evaluated = ShardedRanker().fragment_candidates(
+            concept,
+            self._service.packed_database(),
+            top_k=top_k,
+            start=start,
+            stop=stop,
+            exclude=tuple(data.get("exclude", ())),
+            category_filter=data.get("category_filter"),
+            initial_threshold=(
+                float("inf") if threshold is None else float(threshold)
+            ),
+        )
+        return codec.envelope(
+            "rank_fragment_result",
+            {
+                "positions": [int(position) for position in positions],
+                "distances": [float(distance) for distance in distances],
+                "n_evaluated": int(n_evaluated),
+            },
+        )
 
     # ------------------------------------------------------------------ #
     # Stateful feedback                                                   #

@@ -146,6 +146,12 @@ class SharedPackedCorpus:
             plan.append(("index_lower", index.lower))
             plan.append(("index_upper", index.upper))
             plan.append(("index_boundaries", index.boundaries))
+            # The derived arrays too (group envelopes + extent): spec
+            # evolution is add-only, so old attachers simply ignore them,
+            # while new ones skip the per-worker O(n_bags x d) rederive.
+            plan.append(("index_group_lower", index.group_lower))
+            plan.append(("index_group_upper", index.group_upper))
+            plan.append(("index_extent", index.extent))
 
         arrays: dict[str, dict] = {}
         cursor = 0
@@ -292,6 +298,17 @@ class SharedPackedCorpus:
         )
         index_info = self._spec.get("index")
         if index_info is not None:
+            derived_keys = (
+                "index_group_lower", "index_group_upper", "index_extent"
+            )
+            present = self._spec.get("arrays", {})
+            derived = (
+                tuple(self._view(key) for key in derived_keys)
+                if all(key in present for key in derived_keys)
+                # Spec written before the derived arrays shipped: the
+                # constructor rederives them locally (same values).
+                else None
+            )
             packed.adopt_shard_index(
                 ShardIndex(
                     packed,
@@ -301,6 +318,7 @@ class SharedPackedCorpus:
                     group_size=int(
                         index_info.get("group_size", DEFAULT_GROUP_BAGS)
                     ),
+                    _derived=derived,
                 )
             )
         self._corpus = packed

@@ -36,11 +36,13 @@ import multiprocessing as mp
 import signal
 import threading
 from collections import OrderedDict
-from typing import Any, Mapping
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Mapping, Sequence
 
-from repro.core.retrieval import packed_view
+from repro.core.retrieval import AUTO_SHARD_MIN_BAGS, packed_view
 from repro.errors import ServeError
 from repro.serve.app import ServiceApp, handle_safely, raise_error_payload
+from repro.serve.scatter import ScatterRanker
 from repro.serve.shm import SharedPackedCorpus
 
 #: The database corpus key (mirrors ``repro.serve.snapshot``).
@@ -254,6 +256,7 @@ class WorkerPool:
         self._rr = itertools.count()
         self._n_restarts = 0
         self._stopped = False
+        self._fan_out: ThreadPoolExecutor | None = None
         self._workers: list[_Worker] = []
         try:
             for worker_id in range(n_workers):
@@ -292,6 +295,16 @@ class WorkerPool:
         try:
             packed = packed_view(service.database)
             service.apply_rank_policy(packed)
+            if (
+                packed.rank_index_enabled
+                and packed.n_bags >= AUTO_SHARD_MIN_BAGS
+                and packed.cached_shard_index is None
+            ):
+                # Build the rank index once, parent-side, so its envelopes
+                # (including the derived group envelopes) ride the shared
+                # segment — N workers adopt zero-copy views instead of
+                # each paying an O(n_bags x d) rebuild on first query.
+                packed.shard_index(service.rank_shards)
             shared[_DATABASE_KEY] = SharedPackedCorpus.create(
                 packed, share_squares=share_squares
             )
@@ -418,10 +431,80 @@ class WorkerPool:
         return status, reply
 
     def broadcast(self, endpoint: str) -> list[tuple[int, dict]]:
-        """Send a payload-less request to every worker, in worker order."""
-        return [
-            worker.request(endpoint, None) for worker in list(self._workers)
+        """Send a payload-less request to every worker, in worker order.
+
+        A worker that died since the last health check is restarted and
+        the request retried once on the replacement (mirroring
+        :meth:`ping`), so an aggregation like ``stats`` never surfaces a
+        transport error for a crash the pool can absorb.  The retry is
+        allowed to raise: a replacement dying instantly means something
+        systemic, not a race.
+        """
+        replies = []
+        for index in range(len(self._workers)):
+            worker = self._workers[index]
+            try:
+                replies.append(worker.request(endpoint, None))
+            except ServeError:
+                self._restart(index, failed=worker)
+                replies.append(self._workers[index].request(endpoint, None))
+        return replies
+
+    def scatter(
+        self, endpoint: str, payloads: Sequence[Mapping | None]
+    ) -> list[tuple[int, dict]]:
+        """Send ``payloads[i]`` to worker ``i`` concurrently; gather replies.
+
+        The transport primitive under the scatter/gather rank path
+        (:class:`~repro.serve.scatter.ScatterRanker`): at most one payload
+        per worker, all in flight at once, replies in payload order.  A
+        worker that dies mid-fragment is restarted (route cleanup
+        included) and the scatter fails with :class:`ServeError` — the
+        coordinator falls back to single-worker dispatch rather than
+        merging a partial gather.
+
+        Raises:
+            ServeError: stopped pool, more payloads than workers, or a
+                worker dying mid-scatter (after its restart is arranged).
+        """
+        if self._stopped:
+            raise ServeError("worker pool is stopped")
+        if len(payloads) > len(self._workers):
+            raise ServeError(
+                f"cannot scatter {len(payloads)} payloads over "
+                f"{len(self._workers)} workers"
+            )
+
+        def one(index: int, payload: Mapping | None) -> tuple[int, dict]:
+            worker = self._workers[index]
+            try:
+                return worker.request(endpoint, payload)
+            except ServeError:
+                self._restart(index, failed=worker)
+                raise
+
+        with self._lock:
+            if self._fan_out is None:
+                self._fan_out = ThreadPoolExecutor(
+                    max_workers=len(self._workers),
+                    thread_name_prefix="repro-scatter",
+                )
+            executor = self._fan_out
+        futures = [
+            executor.submit(one, index, payload)
+            for index, payload in enumerate(payloads)
         ]
+        replies, failure = [], None
+        for future in futures:
+            try:
+                replies.append(future.result())
+            except ServeError as exc:
+                # Drain every future before raising so no fragment is
+                # left racing a future scatter for its worker's pipe.
+                failure = exc
+        if failure is not None:
+            raise failure
+        return replies
 
     def request(self, endpoint: str, payload: Mapping | None = None) -> dict:
         """Dispatch and return the wire payload, raising typed errors.
@@ -491,6 +574,9 @@ class WorkerPool:
         if self._stopped:
             return
         self._stopped = True
+        if self._fan_out is not None:
+            self._fan_out.shutdown(wait=True)
+            self._fan_out = None
         for worker in self._workers:
             worker.stop()
         self._workers = []
@@ -521,16 +607,48 @@ class WorkerDispatchApp:
     through :meth:`handle`, preserving the worker-assigned status codes.
     ``health`` and ``stats`` aggregate across workers — ``stats`` sums the
     per-worker session and query counters and reports pool shape.
+
+    Given the parent-side ``service`` the pool was built from, stateless
+    wire-concept ``rank`` requests over a large enough corpus scatter
+    their shard ranges across *all* workers and gather one merged,
+    bit-identical ranking (:class:`~repro.serve.scatter.ScatterRanker`)
+    instead of running the whole fan-out inside a single worker.
+
+    Args:
+        pool: the worker pool to dispatch into.
+        service: the service the pool was built from
+            (``WorkerPool.from_service``'s argument); enables the scatter
+            path.  ``None`` (the default) keeps pure per-request
+            dispatch.
+        min_scatter_bags: corpus size at which rank requests scatter
+            (``None`` = the auto-shard threshold; ``0`` disables the
+            scatter path entirely).
     """
 
     ENDPOINTS = ServiceApp.ENDPOINTS
 
-    def __init__(self, pool: WorkerPool) -> None:
+    def __init__(
+        self,
+        pool: WorkerPool,
+        *,
+        service=None,
+        min_scatter_bags: int | None = None,
+    ) -> None:
         self._pool = pool
+        self._scatter: ScatterRanker | None = None
+        if service is not None and min_scatter_bags != 0:
+            self._scatter = ScatterRanker(
+                pool, service, min_scatter_bags=min_scatter_bags
+            )
 
     @property
     def pool(self) -> WorkerPool:
         return self._pool
+
+    @property
+    def scatter(self) -> ScatterRanker | None:
+        """The scatter coordinator (``None`` when disabled)."""
+        return self._scatter
 
     def handle(self, endpoint: str, payload: Mapping | None) -> tuple[int, dict]:
         """Transport glue entry point (statuses pass through verbatim)."""
@@ -539,6 +657,12 @@ class WorkerDispatchApp:
             return 200, self.health()
         if name == "stats":
             return 200, self.stats()
+        if (
+            name == "rank"
+            and self._scatter is not None
+            and self._scatter.eligible(payload)
+        ):
+            return self._scatter.handle(payload)
         return self._pool.handle(name, payload)
 
     def dispatch(self, endpoint: str, payload: Mapping | None = None) -> dict:
@@ -592,6 +716,9 @@ class WorkerDispatchApp:
                     "restarts": self._pool.n_restarts,
                     "per_worker": per_worker,
                 },
+                "scatter": (
+                    None if self._scatter is None else self._scatter.stats()
+                ),
             },
         )
 
