@@ -1,0 +1,206 @@
+"""Extension bench — hash-coded approximate top-k vs the exact rank paths.
+
+Not a paper artefact.  The approximate tier (:mod:`repro.index.ann`) puts
+a signed-random-projection coarse filter in front of the exact ranker:
+per-bag envelope summaries are hashed into packed bit codes, a banded
+multi-table lookup plus a Hamming sweep selects a candidate set (15% of
+the corpus by default), and only the candidates are re-ranked exactly.
+This bench builds the same clustered synthetic corpus as
+``bench_rank_sharded`` (re-packed in clustered-centroid order — the
+``repro serve --rank-mode approx --reorder`` configuration), then races:
+
+* the exhaustive :class:`~repro.core.retrieval.Ranker`,
+* the exact sharded path (:class:`~repro.core.sharding.ShardedRanker`
+  over a prebuilt index — the PR 5 serving configuration), and
+* :class:`~repro.index.ann.ApproxRanker` at default knobs,
+
+and measures recall@10 / recall@50 of the approximate ordering against
+the exact one, plus the fraction of bags the approx path evaluated
+exactly (its probe budget + bound-pruned re-rank, from the coarse
+index's own counters).
+
+Assertions (at >= 4096 bags, where the serving tiers engage): recall@10
+and recall@50 at default knobs clear ``REPRO_ANN_BENCH_FLOOR`` (default
+0.9), while the approx path exactly evaluates under 25% of the corpus.
+``REPRO_ANN_BENCH_BAGS`` overrides the corpus size (default 100k, the
+acceptance configuration).  Wall-clock speedups are recorded in
+``BENCH_ann.json`` for trend tracking but never gated — shared CI
+runners make timing floors flaky, and the recall/evaluated-fraction pair
+is the property this tier actually promises.
+
+One-off costs (centroid reorder, shard-index build, coarse-tier build)
+are timed and reported separately: a serving worker pays them once and
+snapshots/shared-memory segments carry all three
+(:mod:`repro.database.persistence` format v4, :mod:`repro.serve.shm`).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.core.concept import LearnedConcept
+from repro.core.retrieval import Ranker
+from repro.core.sharding import ShardIndex, ShardedRanker
+from repro.datasets.synth import ScenarioConfig, feature_center
+from repro.eval.reporting import ascii_table
+from repro.index.ann import ApproxRanker, CoarseIndex, recall_at_k
+
+from bench_rank_sharded import clustered_corpus, selective_concept
+
+N_BAGS = int(os.environ.get("REPRO_ANN_BENCH_BAGS", "100000"))
+RECALL_FLOOR = float(os.environ.get("REPRO_ANN_BENCH_FLOOR", "0.9"))
+MAX_EVALUATED_FRACTION = 0.25
+ASSERT_SCALE = 4096  # below this the tiers fall back / evaluate everything
+REPEATS = 5
+
+
+def unselective_concept(config: ScenarioConfig) -> LearnedConcept:
+    """A concept at the global centroid: every cluster is competitive.
+
+    The bound-pruner's worst case — the top-k threshold sits inside the
+    bulk of the distance distribution, so envelope lower bounds prune
+    almost nothing and the exact sharded path degrades toward exhaustive.
+    The hash filter's cost stays bounded at its candidate budget
+    regardless, which is the regime the approximate tier exists for.
+    """
+    centers = np.stack(
+        [feature_center(config, category) for category in config.categories]
+    )
+    return LearnedConcept(
+        t=centers.mean(axis=0),
+        w=np.full(config.feature_dims, 0.5),
+        nll=0.0,
+    )
+
+
+def test_approx_rank_recall_and_speed(report, bench_json, best_of):
+    packed, config = clustered_corpus(N_BAGS, seed=11)
+    concept = selective_concept(config, seed=23)
+
+    reorder_started = time.perf_counter()
+    packed, _ = packed.reordered_by_centroid()
+    reorder_s = time.perf_counter() - reorder_started
+
+    build_started = time.perf_counter()
+    index = ShardIndex.build(packed)
+    packed.adopt_shard_index(index)
+    index_s = time.perf_counter() - build_started
+
+    build_started = time.perf_counter()
+    coarse = CoarseIndex.build(packed, index=index)
+    packed.adopt_coarse_index(coarse)
+    coarse_s = time.perf_counter() - build_started
+
+    exhaustive = Ranker(auto_shard=False)
+    sharded = ShardedRanker()
+    approx = ApproxRanker()
+
+    # Quality before timing: recall of the approximate ordering against
+    # the exact one (the sharded path is ordering-identical to exhaustive;
+    # tests/test_property_sharded_rank proves it).
+    exact_50 = sharded.rank(concept, packed, top_k=50, index=index)
+    approx_50 = approx.rank(concept, packed, top_k=50)
+    recall_10 = recall_at_k(exact_50, approx_50, 10)
+    recall_50 = recall_at_k(exact_50, approx_50, 50)
+    stats = coarse.stats()
+    evaluated_fraction = (
+        stats["mean_evaluated"] / packed.n_bags if packed.n_bags else 0.0
+    )
+
+    exhaustive_s = best_of(
+        REPEATS, lambda: exhaustive.rank(concept, packed, top_k=50)
+    )
+    sharded_s = best_of(
+        REPEATS, lambda: sharded.rank(concept, packed, top_k=50, index=index)
+    )
+    approx_s = best_of(REPEATS, lambda: approx.rank(concept, packed, top_k=50))
+    speedup_vs_exhaustive = (
+        exhaustive_s / approx_s if approx_s > 0 else float("inf")
+    )
+    speedup_vs_sharded = sharded_s / approx_s if approx_s > 0 else float("inf")
+
+    # The pruning-hostile regime: an unselective concept, where the exact
+    # sharded path cannot prune but the hash filter's cost stays bounded.
+    hard = unselective_concept(config)
+    hard_exact = sharded.rank(hard, packed, top_k=50, index=index)
+    hard_approx = approx.rank(hard, packed, top_k=50)
+    hard_recall_50 = recall_at_k(hard_exact, hard_approx, 50)
+    hard_sharded_s = best_of(
+        REPEATS, lambda: sharded.rank(hard, packed, top_k=50, index=index)
+    )
+    hard_approx_s = best_of(REPEATS, lambda: approx.rank(hard, packed, top_k=50))
+    hard_speedup = (
+        hard_sharded_s / hard_approx_s if hard_approx_s > 0 else float("inf")
+    )
+
+    rows = [
+        ["exhaustive Ranker", f"{exhaustive_s * 1e3:.2f}", "1.0x", "-"],
+        ["sharded exact (PR 5 path)", f"{sharded_s * 1e3:.2f}",
+         f"{exhaustive_s / sharded_s:.1f}x", "1.000"],
+        [f"approx ({stats['n_bits']} bits, {stats['n_tables']} tables)",
+         f"{approx_s * 1e3:.2f}", f"{speedup_vs_exhaustive:.1f}x",
+         f"{recall_50:.3f}"],
+        ["sharded exact, unselective concept", f"{hard_sharded_s * 1e3:.2f}",
+         f"{exhaustive_s / hard_sharded_s:.1f}x", "1.000"],
+        ["approx, unselective concept", f"{hard_approx_s * 1e3:.2f}",
+         f"{exhaustive_s / hard_approx_s:.1f}x", f"{hard_recall_50:.3f}"],
+        ["centroid reorder (one-off)", f"{reorder_s * 1e3:.2f}", "-", "-"],
+        ["shard index build (one-off)", f"{index_s * 1e3:.2f}", "-", "-"],
+        ["coarse tier build (one-off)", f"{coarse_s * 1e3:.2f}", "-", "-"],
+    ]
+    report(
+        ascii_table(
+            ["rank path", f"best of {REPEATS} (ms)", "speedup", "recall@50"],
+            rows,
+            title=(
+                f"approx rank bench: {packed.n_bags} bags, "
+                f"recall@10={recall_10:.3f}, "
+                f"evaluated {evaluated_fraction:.1%} of bags exactly"
+            ),
+        )
+    )
+    bench_json("ann", "approx_vs_exact", {
+        "n_bags": packed.n_bags,
+        "n_instances": packed.n_instances,
+        "top_k": 50,
+        "n_bits": stats["n_bits"],
+        "n_tables": stats["n_tables"],
+        "band_bits": stats["band_bits"],
+        "recall_at_10": recall_10,
+        "recall_at_50": recall_50,
+        "evaluated_fraction": evaluated_fraction,
+        "bucket_hit_rate": stats["hit_rate"],
+        "mean_candidates": stats["mean_candidates"],
+        "reorder_seconds": reorder_s,
+        "index_build_seconds": index_s,
+        "coarse_build_seconds": coarse_s,
+        "exhaustive_seconds": exhaustive_s,
+        "sharded_seconds": sharded_s,
+        "approx_seconds": approx_s,
+        "approx_ops_per_s": 1.0 / approx_s,
+        "speedup_vs_exhaustive": speedup_vs_exhaustive,
+        "speedup_vs_sharded": speedup_vs_sharded,
+        "unselective_sharded_seconds": hard_sharded_s,
+        "unselective_approx_seconds": hard_approx_s,
+        "unselective_speedup_vs_sharded": hard_speedup,
+        "unselective_recall_at_50": hard_recall_50,
+    })
+
+    # Sanity at any scale: the approx results are true survivors with
+    # exact distances (subset-of-exact membership is the deep property;
+    # tests/test_property_ann_rank proves it on adversarial corpora).
+    exact_by_id = dict(zip(exact_50.image_ids, exact_50.distances))
+    for entry in approx_50:
+        if entry.image_id in exact_by_id:
+            assert entry.distance == exact_by_id[entry.image_id]
+
+    if N_BAGS >= ASSERT_SCALE:
+        assert recall_10 >= RECALL_FLOOR and recall_50 >= RECALL_FLOOR, (
+            f"approx recall@10={recall_10:.3f} / recall@50={recall_50:.3f} "
+            f"below the {RECALL_FLOOR} floor at {N_BAGS} bags"
+        )
+        assert evaluated_fraction < MAX_EVALUATED_FRACTION, (
+            f"approx path evaluated {evaluated_fraction:.1%} of bags "
+            f"exactly (must stay under {MAX_EVALUATED_FRACTION:.0%})"
+        )

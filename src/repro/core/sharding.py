@@ -39,8 +39,10 @@ scheduling.
 
 from __future__ import annotations
 
+import atexit
 import os
 import threading
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable
 
@@ -94,7 +96,12 @@ PRUNE_FLOOR_SAFETY = 8.0
 
 
 _POOL_LOCK = threading.Lock()
-_SHARED_POOLS: dict[int | None, ThreadPoolExecutor] = {}
+_SHARED_POOLS: "OrderedDict[int | None, ThreadPoolExecutor]" = OrderedDict()
+#: Cap on cached shard-scan pools.  Widths are configuration, not traffic,
+#: so a handful suffices — but a caller sweeping widths (benchmarks, a
+#: misconfigured client) must not leak one live executor per width
+#: forever, so least-recently-used pools beyond the cap are shut down.
+MAX_POOL_CACHE = 8
 
 
 def _shared_pool(workers: int | None = None) -> ThreadPoolExecutor:
@@ -107,12 +114,15 @@ def _shared_pool(workers: int | None = None) -> ThreadPoolExecutor:
     (the machine-sized default) and every explicit ``workers`` value get
     one long-lived executor each, so pinned-width callers (serving knobs,
     benchmarks) stop spawning a throwaway pool per query.  The cache is
-    keyed by width and never evicts: real deployments use a handful of
-    configured widths, so the executor count is bounded by configuration,
-    not traffic.  numpy releases the GIL inside the kernels, concurrent
+    LRU-bounded at :data:`MAX_POOL_CACHE` widths; an evicted pool is shut
+    down without waiting (its already-queued scans still finish — only
+    new submissions are refused, and a re-requested width simply gets a
+    fresh pool).  All cached pools are shut down at interpreter exit via
+    :func:`atexit`.  numpy releases the GIL inside the kernels, concurrent
     ``map`` calls interleave safely, and the deterministic merge makes
     scheduling invisible in the output.
     """
+    evicted = None
     with _POOL_LOCK:
         pool = _SHARED_POOLS.get(workers)
         if pool is None:
@@ -127,7 +137,25 @@ def _shared_pool(workers: int | None = None) -> ThreadPoolExecutor:
                 thread_name_prefix=f"repro-shard-{suffix}",
             )
             _SHARED_POOLS[workers] = pool
-        return pool
+            if len(_SHARED_POOLS) > MAX_POOL_CACHE:
+                _, evicted = _SHARED_POOLS.popitem(last=False)
+        else:
+            _SHARED_POOLS.move_to_end(workers)
+    if evicted is not None:
+        evicted.shutdown(wait=False)
+    return pool
+
+
+def _shutdown_shared_pools() -> None:
+    """Shut down every cached shard-scan pool (registered with atexit)."""
+    with _POOL_LOCK:
+        pools = list(_SHARED_POOLS.values())
+        _SHARED_POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=False)
+
+
+atexit.register(_shutdown_shared_pools)
 
 
 def _cutoff(threshold: float, floor: float) -> float:

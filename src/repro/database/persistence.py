@@ -11,8 +11,14 @@ first query without re-featurising the whole corpus.  Format version 3
 additionally persists the packed view's bound-pruned rank index
 (:class:`~repro.core.sharding.ShardIndex`) when one was built, so a cold
 worker — or every worker of a ``repro serve --workers N`` pool — skips the
-O(N·d) envelope build too.  Versions 1 and 2 still load (they simply start
-with a cold packed cache / cold index).
+O(N·d) envelope build too.  Format version 4 adds the approximate tier:
+the packed view's hash-coded coarse index (codes + projection planes,
+:mod:`repro.index.ann`) when one was built, and the packed view's own bag
+order — a view re-packed in clustered-centroid order
+(:meth:`~repro.core.retrieval.PackedCorpus.reordered_by_centroid`) round-
+trips as-is instead of being silently un-reordered on load.  Versions 1–3
+still load (they simply start with a cold packed cache / cold index / no
+coarse tier).
 
 The module-level :func:`save_database` / :func:`load_database` pair writes a
 standalone ``.npz``; :func:`database_payload` / :func:`database_from_payload`
@@ -30,18 +36,20 @@ import numpy as np
 
 from repro.core.retrieval import PackedCorpus
 from repro.core.sharding import adopt_index_payload, index_payload
+from repro.index.ann import adopt_ann_payload, ann_payload
 from repro.database.store import ImageDatabase
 from repro.errors import DatabaseError
 from repro.imaging.features import FeatureConfig
 from repro.imaging.image import GrayImage
 from repro.imaging.regions import region_family
 
-_FORMAT_VERSION = 3
+_FORMAT_VERSION = 4
 #: Snapshot versions :func:`load_database` understands.  Version 1 predates
 #: the packed-corpus round-trip; version 2 predates the persisted rank
-#: index.  Both load fine (and simply start with a cold packed cache /
-#: cold index).
-SUPPORTED_VERSIONS = (1, 2, 3)
+#: index; version 3 predates the coarse tier and the persisted bag order.
+#: All load fine (and simply start with a cold packed cache / cold index /
+#: no coarse tier).
+SUPPORTED_VERSIONS = (1, 2, 3, 4)
 
 
 def database_payload(
@@ -89,9 +97,27 @@ def database_payload(
         arrays[instances_key] = packed.instances
         arrays[offsets_key] = packed.offsets
         manifest["packed"] = {"instances": instances_key, "offsets": offsets_key}
+        image_order = [entry["id"] for entry in manifest["images"]]
+        if list(packed.image_ids) != image_order:
+            # A view adopted after centroid reordering: persist the bag
+            # order as positions into the manifest's image list, so the
+            # load rebuilds the same (reordered) view.
+            position_of = {
+                image_id: index for index, image_id in enumerate(image_order)
+            }
+            order_key = f"{key_prefix}packed_order"
+            arrays[order_key] = np.asarray(
+                [position_of[image_id] for image_id in packed.image_ids],
+                dtype=np.int64,
+            )
+            manifest["packed"]["order"] = order_key
         if packed.cached_shard_index is not None:
             manifest["packed"]["index"] = index_payload(
                 packed.cached_shard_index, f"{key_prefix}packed_index", arrays
+            )
+        if packed.cached_coarse_index is not None:
+            manifest["packed"]["ann"] = ann_payload(
+                packed.cached_coarse_index, f"{key_prefix}packed_ann", arrays
             )
     return manifest, arrays
 
@@ -139,11 +165,25 @@ def database_from_payload(
                 database.add_image(gray, entry["category"], image_id=entry["id"])
         packed_info = manifest.get("packed")
         if packed_info is not None:
+            entries = manifest["images"]
+            order_key = packed_info.get("order")
+            if order_key is not None:
+                order = np.asarray(arrays[order_key], dtype=np.int64)
+                if (
+                    order.shape != (len(entries),)
+                    or len(np.unique(order)) != len(entries)
+                    or (len(entries) and not 0 <= order.min() <= order.max() < len(entries))
+                ):
+                    raise DatabaseError(
+                        "snapshot packed corpus bag order is not a "
+                        "permutation of the image list"
+                    )
+                entries = [entries[int(position)] for position in order]
             packed = PackedCorpus(
                 instances=arrays[packed_info["instances"]],
                 offsets=arrays[packed_info["offsets"]],
-                image_ids=[entry["id"] for entry in manifest["images"]],
-                categories=[entry["category"] for entry in manifest["images"]],
+                image_ids=[entry["id"] for entry in entries],
+                categories=[entry["category"] for entry in entries],
             )
             if packed.n_dims != config.n_dims:
                 raise DatabaseError(
@@ -151,6 +191,7 @@ def database_from_payload(
                     f"but the feature configuration produces {config.n_dims}"
                 )
             adopt_index_payload(packed, packed_info.get("index"), arrays)
+            adopt_ann_payload(packed, packed_info.get("ann"), arrays)
             database.adopt_packed(packed)
     except KeyError as exc:
         raise DatabaseError(f"snapshot manifest is missing key {exc}") from exc

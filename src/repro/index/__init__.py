@@ -1,0 +1,39 @@
+"""Approximate indexing tiers in front of the exact rank path.
+
+``repro.index.ann`` holds the hash-coded coarse tier: signed-random-
+projection bag codes (:class:`~repro.index.ann.BagCoder`), the banded
+candidate lookup (:class:`~repro.index.ann.CoarseIndex`), the
+``rank_mode="approx"`` serving path
+(:class:`~repro.index.ann.ApproxRanker`) and the pack-time
+cluster-by-centroid bag reordering (:func:`~repro.index.ann.centroid_order`).
+"""
+
+from repro.index.ann import (
+    ApproxRanker,
+    BagCoder,
+    CoarseIndex,
+    adopt_ann_payload,
+    ann_payload,
+    bag_summaries,
+    centroid_order,
+    corpus_fingerprint,
+    default_candidates,
+    hamming_by_loop,
+    hamming_distances,
+    recall_at_k,
+)
+
+__all__ = [
+    "ApproxRanker",
+    "BagCoder",
+    "CoarseIndex",
+    "adopt_ann_payload",
+    "ann_payload",
+    "bag_summaries",
+    "centroid_order",
+    "corpus_fingerprint",
+    "default_candidates",
+    "hamming_by_loop",
+    "hamming_distances",
+    "recall_at_k",
+]

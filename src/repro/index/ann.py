@@ -1,0 +1,846 @@
+"""Hash-coded coarse tier in front of the exact ranker (``rank_mode="approx"``).
+
+The exact rank path (:class:`~repro.core.sharding.ShardedRanker`) still pays
+one bound pass over every bag envelope per query.  Following Conjeti et
+al., *Learning Robust Hash Codes for Multiple Instance Image Retrieval*
+(PAPERS.md), this module puts a cheap *bag-level code* in front of it:
+
+* :class:`BagCoder` — signed-random-projection LSH over per-bag envelope
+  summaries (box center, box half-extent, instance centroid).  The random
+  hyperplanes are seeded deterministically from the corpus fingerprint
+  (:func:`corpus_fingerprint`), so rebuilding the coder over the same
+  corpus always yields the same codes.  Codes are sign bits packed into a
+  ``(n_bags, n_words)`` uint64 matrix; :func:`hamming_distances` is the
+  vectorised XOR+popcount kernel and :func:`hamming_by_loop` /
+  :func:`pack_bits_by_loop` are the per-bit reference implementations the
+  unit suite proves bit-identical.
+* :class:`CoarseIndex` — the codes plus a multi-table banded lookup
+  (disjoint ``band_bits``-wide slices of the code hashed into buckets).
+  :meth:`CoarseIndex.probe_candidates` encodes a concept's ``(t, w)`` as a
+  degenerate bag (center = centroid = ``t``, extent 0), prioritises bags
+  sharing a bucket with the query in any table, and fills the remaining
+  candidate budget by Hamming distance — so the candidate set has a
+  *tunable* size the exact machinery then re-ranks.
+* :class:`ApproxRanker` — the ``rank_mode="approx"`` serving path:
+  hash-filter through :meth:`CoarseIndex.probe_candidates`, then a
+  bound-pruned *exact* re-rank of the candidates (same envelope bounds,
+  slack-widened cutoff and expanded-form kernel as the sharded path), so
+  within the candidate set the ordering is exact; only the candidate
+  selection approximates.  Queries that cannot profit (no ``top_k``, a
+  candidate budget covering the surviving pool, ``top_k`` at or above the
+  budget) fall back to the exact ranker and are counted
+  (:meth:`CoarseIndex.stats` — the recall instrumentation serving exposes).
+* :func:`centroid_order` — pack-time bag reordering: a deterministic
+  median-split of the bag centroids (widest-spread coordinate first, ties
+  broken by image id at every level) that clusters nearby bags into the
+  same :data:`~repro.core.sharding.DEFAULT_GROUP_BAGS`-sized blocks, so
+  the sharded path's group envelopes stop depending on ingestion order.
+  Reordering never changes *results*: rankings order by ``(distance,
+  image_id)`` only, so :meth:`PackedCorpus.reordered_by_centroid` is
+  property-tested ordering-identical to ``rank_by_loop``.
+
+:func:`recall_at_k` measures approx-vs-exact recall; the benchmark
+(``benchmarks/bench_rank_ann.py``) records it in ``BENCH_ann.json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sys
+import threading
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.concept import LearnedConcept
+from repro.core.retrieval import (
+    PackedCorpus,
+    Ranker,
+    RetrievalResult,
+    build_result,
+    keep_mask,
+    top_order,
+)
+from repro.errors import DatabaseError
+
+#: Default code width in bits (two uint64 words per bag).
+DEFAULT_CODE_BITS = 128
+#: Default number of banded lookup tables.
+DEFAULT_TABLES = 4
+#: Default bits per banded lookup table.
+DEFAULT_BAND_BITS = 16
+#: Default candidate budget as a fraction of the corpus.  Together with
+#: the bound-pruned re-rank this keeps the exactly evaluated share well
+#: under a quarter of the bags (the BENCH_ann.json acceptance bar).
+DEFAULT_CANDIDATE_FRACTION = 0.15
+#: Floor on the default candidate budget — tiny corpora probe everything
+#: (where :class:`ApproxRanker` falls back to the exact path anyway).
+MIN_PROBE_CANDIDATES = 64
+#: Instance rows sampled (deterministic stride) by :func:`corpus_fingerprint`.
+FINGERPRINT_SAMPLE_ROWS = 4096
+
+
+def corpus_fingerprint(corpus) -> str:
+    """A deterministic content fingerprint of a packed corpus (hex digest).
+
+    Hashes the corpus shape, the bag boundaries, a deterministic stride
+    sample of at least :data:`FINGERPRINT_SAMPLE_ROWS` instance rows and
+    every image id — enough that two corpora differing in any bag, id or
+    ordering fingerprint apart, while hashing stays O(sample) on the
+    instance matrix.  :meth:`BagCoder.fit` seeds its random hyperplanes
+    from this value, so codes are a pure function of the corpus content.
+    """
+    packed = PackedCorpus.coerce(corpus)
+    digest = hashlib.sha256()
+    digest.update(
+        f"repro-corpus:{packed.n_bags}:{packed.n_instances}:{packed.n_dims}"
+        .encode()
+    )
+    digest.update(np.ascontiguousarray(packed.offsets).tobytes())
+    rows = packed.instances
+    if rows.shape[0]:
+        stride = max(1, -(-rows.shape[0] // FINGERPRINT_SAMPLE_ROWS))
+        digest.update(np.ascontiguousarray(rows[::stride]).tobytes())
+    digest.update("\x00".join(packed.image_ids).encode())
+    return digest.hexdigest()
+
+
+def bag_summaries(corpus, index=None) -> np.ndarray:
+    """Per-bag summary vectors: ``[box center, box half-extent, centroid]``.
+
+    The ``(n_bags, 3 * n_dims)`` matrix the coder projects: the envelope
+    center and half-extent capture where a bag's box sits and how wide it
+    is, the instance centroid where its mass sits inside the box.  Passing
+    a prebuilt :class:`~repro.core.sharding.ShardIndex` reuses its
+    envelopes instead of recomputing the min/max pass.
+
+    Raises:
+        DatabaseError: when ``index`` does not describe the corpus.
+    """
+    packed = PackedCorpus.coerce(corpus)
+    if packed.n_bags == 0:
+        return np.zeros((0, 3 * packed.n_dims))
+    if index is not None:
+        if index.n_bags != packed.n_bags or index.n_dims != packed.n_dims:
+            raise DatabaseError(
+                f"shard index covers {index.n_bags} bags x {index.n_dims} "
+                f"dims but the corpus holds {packed.n_bags} x {packed.n_dims}"
+            )
+        lower, upper = index.lower, index.upper
+    else:
+        starts = packed.offsets[:-1]
+        lower = np.minimum.reduceat(packed.instances, starts, axis=0)
+        upper = np.maximum.reduceat(packed.instances, starts, axis=0)
+    sums = np.add.reduceat(packed.instances, packed.offsets[:-1], axis=0)
+    centroid = sums / packed.lengths[:, None]
+    return np.hstack([(lower + upper) * 0.5, (upper - lower) * 0.5, centroid])
+
+
+def concept_summary(concept: LearnedConcept) -> np.ndarray:
+    """A concept's ``(t, w)`` as a degenerate bag summary (extent 0)."""
+    t = np.asarray(concept.t, dtype=np.float64)
+    return np.concatenate([t, np.zeros_like(t), t])
+
+
+def pack_bits(bits: np.ndarray, n_words: int) -> np.ndarray:
+    """Pack sign bits into little-endian uint64 words, ``(M, n_words)``.
+
+    Bit ``i`` of a row lands in word ``i // 64`` at position ``i % 64``
+    (so word value = ``sum(bit_i << (i % 64))``) — the one packing
+    convention shared by :func:`pack_bits_by_loop`, :func:`unpack_bits`
+    and the banded lookup, asserted bit-identical by the unit suite.
+    """
+    bits = np.asarray(bits, dtype=bool)
+    if bits.ndim != 2:
+        raise DatabaseError(f"bit matrix must be 2-D, got shape {bits.shape}")
+    if bits.shape[1] > 64 * n_words:
+        raise DatabaseError(
+            f"{bits.shape[1]} bits do not fit in {n_words} uint64 words"
+        )
+    padded = np.zeros((bits.shape[0], 64 * n_words), dtype=np.uint8)
+    padded[:, : bits.shape[1]] = bits
+    words = np.packbits(padded, axis=1, bitorder="little").view(np.uint64)
+    if sys.byteorder == "big":  # pragma: no cover - packing is LE-defined
+        words = words.byteswap()
+    return np.ascontiguousarray(words)
+
+
+def pack_bits_by_loop(bits: np.ndarray, n_words: int) -> np.ndarray:
+    """Per-bit reference of :func:`pack_bits` (equivalence tests only)."""
+    bits = np.asarray(bits, dtype=bool)
+    out = np.zeros((bits.shape[0], n_words), dtype=np.uint64)
+    for row, row_bits in enumerate(bits):
+        for i, bit in enumerate(row_bits):
+            if bit:
+                out[row, i // 64] |= np.uint64(1) << np.uint64(i % 64)
+    return out
+
+
+def unpack_bits(codes: np.ndarray, n_bits: int) -> np.ndarray:
+    """Invert :func:`pack_bits`: ``(M, n_words)`` uint64 → ``(M, n_bits)`` bool."""
+    codes = np.asarray(codes, dtype=np.uint64)
+    shifts = np.arange(64, dtype=np.uint64)
+    bits = (codes[:, :, None] >> shifts) & np.uint64(1)
+    return bits.reshape(codes.shape[0], -1)[:, :n_bits].astype(bool)
+
+
+if hasattr(np, "bitwise_count"):
+    def _popcount(words: np.ndarray) -> np.ndarray:
+        return np.bitwise_count(words)
+else:  # pragma: no cover - numpy < 2.0 fallback
+    _POPCOUNT_8 = np.array(
+        [bin(value).count("1") for value in range(256)], dtype=np.uint8
+    )
+
+    def _popcount(words: np.ndarray) -> np.ndarray:
+        as_bytes = np.ascontiguousarray(words).view(np.uint8)
+        return _POPCOUNT_8[as_bytes].reshape(words.shape + (8,)).sum(
+            axis=-1, dtype=np.uint64
+        )
+
+
+def hamming_distances(codes: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Per-row Hamming distance of packed codes to one packed query code.
+
+    One XOR plus a popcount-sum per row — integer arithmetic, so the
+    vectorised kernel is *exactly* :func:`hamming_by_loop` (asserted by
+    the unit suite), not merely close.
+    """
+    codes = np.asarray(codes, dtype=np.uint64)
+    flat = np.asarray(query, dtype=np.uint64).reshape(-1)
+    if codes.ndim != 2 or codes.shape[1] != flat.size:
+        raise DatabaseError(
+            f"codes of shape {codes.shape} cannot be compared to a "
+            f"{flat.size}-word query code"
+        )
+    return _popcount(np.bitwise_xor(codes, flat[None, :])).sum(
+        axis=1, dtype=np.int64
+    )
+
+
+def hamming_by_loop(codes: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Per-word reference of :func:`hamming_distances` (equivalence tests)."""
+    flat = [int(word) for word in np.asarray(query, dtype=np.uint64).reshape(-1)]
+    out = np.zeros(len(codes), dtype=np.int64)
+    for row, row_words in enumerate(np.asarray(codes, dtype=np.uint64)):
+        out[row] = sum(
+            bin(int(word) ^ ref).count("1")
+            for word, ref in zip(row_words, flat)
+        )
+    return out
+
+
+def _plane_seed(seed) -> np.random.SeedSequence:
+    """A :class:`numpy.random.SeedSequence` from a fingerprint or an int."""
+    if isinstance(seed, str):
+        entropy = int.from_bytes(hashlib.sha256(seed.encode()).digest(), "big")
+        return np.random.SeedSequence(entropy)
+    return np.random.SeedSequence(int(seed))
+
+
+class BagCoder:
+    """Signed-random-projection LSH over bag envelope summaries.
+
+    ``n_bits`` random hyperplanes (rows of :attr:`planes`, drawn from a
+    standard normal seeded by the corpus fingerprint) project a summary
+    vector; the code is the packed sign pattern of the projections.  Two
+    bags whose envelopes sit close together agree on most signs, so
+    Hamming distance between codes tracks summary-space proximity — the
+    classic SRP-LSH guarantee.
+
+    Attributes:
+        planes: ``(n_bits, 3 * n_dims)`` float64 hyperplane normals.
+    """
+
+    __slots__ = ("planes",)
+
+    def __init__(self, planes: np.ndarray) -> None:
+        matrix = np.asarray(planes, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] < 1 or matrix.shape[1] < 1:
+            raise DatabaseError(
+                f"projection planes must form a non-empty 2-D matrix, got "
+                f"shape {matrix.shape}"
+            )
+        if matrix.shape[1] % 3 != 0:
+            raise DatabaseError(
+                f"plane width must be 3 * n_dims (center/extent/centroid), "
+                f"got {matrix.shape[1]}"
+            )
+        self.planes = matrix
+
+    @classmethod
+    def fit(
+        cls,
+        corpus,
+        *,
+        n_bits: int = DEFAULT_CODE_BITS,
+        seed: "str | int | None" = None,
+    ) -> "BagCoder":
+        """A coder for one corpus: planes seeded from its fingerprint.
+
+        ``seed`` overrides the fingerprint-derived seed (tests, offline
+        builds that must match a prior corpus revision).
+
+        Raises:
+            DatabaseError: on a non-positive ``n_bits`` or an empty corpus.
+        """
+        if n_bits < 1:
+            raise DatabaseError(f"n_bits must be >= 1, got {n_bits}")
+        packed = PackedCorpus.coerce(corpus)
+        if packed.n_dims == 0:
+            raise DatabaseError("cannot fit a bag coder over a 0-dim corpus")
+        if seed is None:
+            seed = corpus_fingerprint(packed)
+        rng = np.random.default_rng(_plane_seed(seed))
+        return cls(rng.standard_normal((n_bits, 3 * packed.n_dims)))
+
+    @property
+    def n_bits(self) -> int:
+        """Code width in bits (one hyperplane each)."""
+        return self.planes.shape[0]
+
+    @property
+    def n_words(self) -> int:
+        """uint64 words per packed code."""
+        return -(-self.n_bits // 64)
+
+    @property
+    def n_dims(self) -> int:
+        """Feature dimensionality the summaries are built from."""
+        return self.planes.shape[1] // 3
+
+    def encode_summaries(self, summaries: np.ndarray) -> np.ndarray:
+        """Packed codes for summary rows: ``(M, n_words)`` uint64."""
+        matrix = np.asarray(summaries, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != self.planes.shape[1]:
+            raise DatabaseError(
+                f"summaries of shape {matrix.shape} do not match planes of "
+                f"width {self.planes.shape[1]}"
+            )
+        return pack_bits(matrix @ self.planes.T > 0.0, self.n_words)
+
+    def encode_corpus(self, corpus, index=None) -> np.ndarray:
+        """Codes for every bag of a corpus (envelopes reused from ``index``)."""
+        return self.encode_summaries(bag_summaries(corpus, index=index))
+
+    def encode_concept(self, concept: LearnedConcept) -> np.ndarray:
+        """The packed query code of a concept's ``(t, w)``: ``(n_words,)``."""
+        if concept.n_dims != self.n_dims:
+            raise DatabaseError(
+                f"concept has {concept.n_dims} dims but the coder was fit "
+                f"over {self.n_dims}"
+            )
+        return self.encode_summaries(concept_summary(concept)[None, :])[0]
+
+
+def default_candidates(n_bags: int) -> int:
+    """The default probe budget for a corpus size (fraction with a floor)."""
+    return max(
+        MIN_PROBE_CANDIDATES,
+        int(np.ceil(DEFAULT_CANDIDATE_FRACTION * n_bags)),
+    )
+
+
+class CoarseIndex:
+    """Packed bag codes plus a multi-table banded bucket lookup.
+
+    Table ``i`` hashes bits ``[i * band_bits, (i + 1) * band_bits)`` of
+    every code into buckets; a query hits a bucket when it agrees with a
+    bag on *every* bit of that band.  :meth:`probe_candidates` unions the
+    query's buckets across tables (bags similar enough to collide
+    somewhere), then fills the remaining budget by Hamming distance over
+    all codes — so the candidate set always has exactly the requested
+    size and never silently degrades to empty.
+
+    The index also owns the serving counters (probes, candidate sizes,
+    bucket hit rate, fallback-to-exact count) exposed by
+    ``RetrievalService.stats()["ann"]`` and ``repro index inspect`` —
+    thread-safe, since one cached index serves every thread.
+    """
+
+    __slots__ = (
+        "coder",
+        "codes",
+        "n_tables",
+        "band_bits",
+        "_tables",
+        "_lock",
+        "_probes",
+        "_fallbacks",
+        "_candidate_total",
+        "_hit_total",
+        "_evaluated_total",
+        "_last",
+    )
+
+    def __init__(
+        self,
+        coder: BagCoder,
+        codes: np.ndarray,
+        *,
+        n_tables: int = DEFAULT_TABLES,
+        band_bits: int = DEFAULT_BAND_BITS,
+    ) -> None:
+        matrix = np.asarray(codes, dtype=np.uint64)
+        if matrix.ndim != 2 or matrix.shape[1] != coder.n_words:
+            raise DatabaseError(
+                f"codes must have shape (n_bags, {coder.n_words}), got "
+                f"{matrix.shape}"
+            )
+        if n_tables < 1:
+            raise DatabaseError(f"n_tables must be >= 1, got {n_tables}")
+        if not 1 <= band_bits <= 62:
+            raise DatabaseError(
+                f"band_bits must lie in [1, 62], got {band_bits}"
+            )
+        if n_tables * band_bits > coder.n_bits:
+            raise DatabaseError(
+                f"{n_tables} tables x {band_bits} band bits exceed the "
+                f"{coder.n_bits}-bit code"
+            )
+        self.coder = coder
+        self.codes = matrix
+        self.n_tables = int(n_tables)
+        self.band_bits = int(band_bits)
+        self._tables = self._build_tables()
+        self._lock = threading.Lock()
+        self._probes = 0
+        self._fallbacks = 0
+        self._candidate_total = 0
+        self._hit_total = 0
+        self._evaluated_total = 0
+        self._last: dict | None = None
+
+    @classmethod
+    def build(
+        cls,
+        corpus,
+        *,
+        n_bits: int = DEFAULT_CODE_BITS,
+        n_tables: int = DEFAULT_TABLES,
+        band_bits: int = DEFAULT_BAND_BITS,
+        seed: "str | int | None" = None,
+        index=None,
+    ) -> "CoarseIndex":
+        """Fit a coder and encode a corpus in one call.
+
+        ``index`` optionally reuses a prebuilt shard index's envelopes for
+        the summary pass (the service warm path passes its cached one).
+        """
+        packed = PackedCorpus.coerce(corpus)
+        coder = BagCoder.fit(packed, n_bits=n_bits, seed=seed)
+        return cls(
+            coder,
+            coder.encode_corpus(packed, index=index),
+            n_tables=n_tables,
+            band_bits=band_bits,
+        )
+
+    @property
+    def n_bags(self) -> int:
+        """Bags covered by the index."""
+        return self.codes.shape[0]
+
+    def _band_keys(self, bits: np.ndarray, table: int) -> np.ndarray:
+        lo = table * self.band_bits
+        band = bits[:, lo : lo + self.band_bits].astype(np.uint64)
+        weights = np.uint64(1) << np.arange(self.band_bits, dtype=np.uint64)
+        return (band * weights).sum(axis=1, dtype=np.uint64)
+
+    def _build_tables(self) -> list[dict]:
+        bits = unpack_bits(self.codes, self.coder.n_bits)
+        tables: list[dict] = []
+        for table in range(self.n_tables):
+            keys = self._band_keys(bits, table)
+            order = np.argsort(keys, kind="stable")
+            unique, starts = np.unique(keys[order], return_index=True)
+            bounds = np.append(starts, keys.size)
+            tables.append(
+                {
+                    int(key): order[bounds[i] : bounds[i + 1]]
+                    for i, key in enumerate(unique.tolist())
+                }
+            )
+        return tables
+
+    def probe_candidates(
+        self,
+        concept: LearnedConcept,
+        *,
+        n_candidates: int | None = None,
+        keep: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Positions of the coarse-tier candidates for a concept, ascending.
+
+        Bags sharing a banded bucket with the query in any table rank
+        first (by Hamming distance, ties by position), the rest of the
+        budget is filled by Hamming distance alone.  ``keep`` restricts
+        the candidate pool to a boolean survivor mask (id exclusion /
+        category filtering), so the budget is never wasted on bags the
+        re-rank would drop anyway.
+
+        Args:
+            n_candidates: candidate budget (defaults to
+                :func:`default_candidates`; clamped to the pool size).
+
+        Raises:
+            DatabaseError: on a non-positive budget, a mismatched concept
+                or a ``keep`` mask of the wrong length.
+        """
+        budget = (
+            default_candidates(self.n_bags)
+            if n_candidates is None
+            else int(n_candidates)
+        )
+        if budget < 1:
+            raise DatabaseError(f"n_candidates must be >= 1, got {budget}")
+        if keep is not None:
+            keep = np.asarray(keep, dtype=bool).reshape(-1)
+            if keep.size != self.n_bags:
+                raise DatabaseError(
+                    f"keep mask covers {keep.size} bags but the index holds "
+                    f"{self.n_bags}"
+                )
+        if self.n_bags == 0:
+            return np.zeros(0, dtype=np.int64)
+        query = self.coder.encode_concept(concept)
+        query_bits = unpack_bits(query[None, :], self.coder.n_bits)
+        distances = hamming_distances(self.codes, query)
+        hit = np.zeros(self.n_bags, dtype=bool)
+        for table in range(self.n_tables):
+            bucket = self._tables[table].get(
+                int(self._band_keys(query_bits, table)[0])
+            )
+            if bucket is not None:
+                hit[bucket] = True
+        # Bucket hits sort strictly ahead of misses; within each class by
+        # Hamming distance, ties by position.  Scores are tiny integers
+        # (<= 2 * n_bits + 2), so folding the position into a composite
+        # key makes every key unique — an O(N) argpartition then selects
+        # exactly the same candidate set a stable full sort would, without
+        # the N log N sort that would otherwise dominate the probe.
+        score = np.where(hit, distances, distances + self.coder.n_bits + 1)
+        if keep is not None:
+            # Dropped bags get a sentinel strictly above any kept score
+            # (not int64 max: the composite key below must not overflow).
+            score = np.where(keep, score, 2 * self.coder.n_bits + 2)
+            pool = int(np.count_nonzero(keep))
+        else:
+            pool = self.n_bags
+        budget = min(budget, pool)
+        if budget == 0:
+            return np.zeros(0, dtype=np.int64)
+        key = score.astype(np.int64) * np.int64(self.n_bags) + np.arange(
+            self.n_bags, dtype=np.int64
+        )
+        if budget < self.n_bags:
+            chosen = np.argpartition(key, budget - 1)[:budget]
+        else:
+            chosen = np.arange(self.n_bags, dtype=np.int64)
+        candidates = np.sort(chosen)
+        n_hits = int(np.count_nonzero(hit[candidates]))
+        with self._lock:
+            self._probes += 1
+            self._candidate_total += int(candidates.size)
+            self._hit_total += n_hits
+            self._last = {
+                "n_candidates": int(candidates.size),
+                "bucket_hits": n_hits,
+                "candidate_fraction": candidates.size / max(1, self.n_bags),
+            }
+        return candidates
+
+    def record_fallback(self) -> None:
+        """Count one approx request answered by the exact path instead."""
+        with self._lock:
+            self._fallbacks += 1
+
+    def record_evaluated(self, n_evaluated: int) -> None:
+        """Record how many candidates the re-rank exactly evaluated."""
+        with self._lock:
+            self._evaluated_total += int(n_evaluated)
+            if self._last is not None:
+                self._last["evaluated"] = int(n_evaluated)
+
+    def stats(self) -> dict:
+        """Serving counters: probes, hit rate, candidate sizes, fallbacks."""
+        with self._lock:
+            probes = self._probes
+            return {
+                "n_bags": self.n_bags,
+                "n_bits": self.coder.n_bits,
+                "n_tables": self.n_tables,
+                "band_bits": self.band_bits,
+                "probes": probes,
+                "fallbacks": self._fallbacks,
+                "hit_rate": (
+                    self._hit_total / self._candidate_total
+                    if self._candidate_total
+                    else 0.0
+                ),
+                "mean_candidates": (
+                    self._candidate_total / probes if probes else 0.0
+                ),
+                "mean_evaluated": (
+                    self._evaluated_total / probes if probes else 0.0
+                ),
+                "last": dict(self._last) if self._last is not None else None,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"CoarseIndex({self.n_bags} bags, {self.coder.n_bits} bits, "
+            f"{self.n_tables} x {self.band_bits}-bit tables)"
+        )
+
+
+def ann_payload(coarse: CoarseIndex, prefix: str, arrays: dict) -> dict:
+    """Stash a coarse index's arrays under ``prefix``; returns its manifest.
+
+    The codes and planes are persisted; the banded tables are rederived on
+    restore (they are a pure function of codes + knobs).  Database format
+    v4, serve snapshots and the shared-memory layout all encode the coarse
+    tier through this one helper, mirroring
+    :func:`~repro.core.sharding.index_payload`.
+    """
+    arrays[f"{prefix}_codes"] = coarse.codes
+    arrays[f"{prefix}_planes"] = coarse.coder.planes
+    return {
+        "codes": f"{prefix}_codes",
+        "planes": f"{prefix}_planes",
+        "n_bits": int(coarse.coder.n_bits),
+        "n_tables": int(coarse.n_tables),
+        "band_bits": int(coarse.band_bits),
+    }
+
+
+def adopt_ann_payload(packed: PackedCorpus, info, arrays) -> None:
+    """Rebuild and adopt a persisted coarse index onto a restored corpus.
+
+    ``info`` is an :func:`ann_payload` manifest (``None`` is a no-op, so
+    callers can pass ``manifest.get(...)`` directly).
+
+    Raises:
+        DatabaseError: when the arrays are missing or do not describe the
+            corpus (a corrupt snapshot must not silently mis-filter).
+    """
+    if info is None:
+        return
+    try:
+        codes = arrays[info["codes"]]
+        planes = arrays[info["planes"]]
+    except (KeyError, TypeError) as exc:
+        raise DatabaseError(
+            f"snapshot manifest references missing coarse-index arrays: {exc}"
+        ) from exc
+    coder = BagCoder(planes)
+    if int(info.get("n_bits", coder.n_bits)) != coder.n_bits:
+        raise DatabaseError(
+            f"coarse-index manifest claims {info['n_bits']} bits but the "
+            f"planes define {coder.n_bits}"
+        )
+    packed.adopt_coarse_index(
+        CoarseIndex(
+            coder,
+            codes,
+            n_tables=int(info.get("n_tables", DEFAULT_TABLES)),
+            band_bits=int(info.get("band_bits", DEFAULT_BAND_BITS)),
+        )
+    )
+
+
+def centroid_order(corpus, *, group_size: int | None = None) -> np.ndarray:
+    """An id-stable, spatially clustered permutation of the bag positions.
+
+    Recursive median split over the bag centroids: at every level the set
+    splits at the median of its widest-spread coordinate (max - min, which
+    is summation-order independent, so shuffled ingestion cannot flip the
+    choice), ties broken by image id; blocks of at most ``group_size``
+    bags are emitted in id order.  Bags that are near in centroid space
+    therefore land in the same :class:`~repro.core.sharding.ShardIndex`
+    group, which tightens the group envelopes regardless of ingestion
+    order — and because the permutation is keyed by ``(coordinate, id)``
+    at every level, the *id sequence* it produces is identical for any
+    ingestion order of the same bags.
+    """
+    packed = PackedCorpus.coerce(corpus)
+    if group_size is None:
+        from repro.core.sharding import DEFAULT_GROUP_BAGS
+
+        group_size = DEFAULT_GROUP_BAGS
+    if group_size < 1:
+        raise DatabaseError(f"group_size must be >= 1, got {group_size}")
+    if packed.n_bags == 0:
+        return np.zeros(0, dtype=np.int64)
+    centroids = (
+        np.add.reduceat(packed.instances, packed.offsets[:-1], axis=0)
+        / packed.lengths[:, None]
+    )
+    ids = packed.id_array
+    blocks: list[np.ndarray] = []
+    stack = [np.arange(packed.n_bags, dtype=np.int64)]
+    while stack:
+        positions = stack.pop()
+        if positions.size <= group_size:
+            blocks.append(positions[np.argsort(ids[positions], kind="stable")])
+            continue
+        points = centroids[positions]
+        dim = int(np.argmax(points.max(axis=0) - points.min(axis=0)))
+        order = np.lexsort((ids[positions], points[:, dim]))
+        half = positions.size // 2
+        stack.append(positions[order[half:]])
+        stack.append(positions[order[:half]])
+    return np.concatenate(blocks)
+
+
+def recall_at_k(exact: RetrievalResult, approx: RetrievalResult, k: int) -> float:
+    """Fraction of the exact top-``k`` ids the approx top-``k`` recovered.
+
+    The recall definition used by the property suite, the benchmark and
+    the BENCH_ann.json acceptance bar — always computed *against the exact
+    ordering*, never against another approximation.
+
+    Raises:
+        DatabaseError: for ``k < 1``.
+    """
+    if k < 1:
+        raise DatabaseError(f"k must be >= 1, got {k}")
+    reference = exact.image_ids[:k]
+    if not reference:
+        return 1.0
+    return len(set(reference) & set(approx.image_ids[:k])) / len(reference)
+
+
+class ApproxRanker:
+    """Hash-filtered, bound-pruned approximate top-k ranking.
+
+    The ``rank_mode="approx"`` path: :meth:`CoarseIndex.probe_candidates`
+    selects a candidate set, then the candidates are re-ranked *exactly*
+    — ascending envelope bound order, evaluated in memory-bounded chunks
+    against the same slack-widened cutoff as
+    :class:`~repro.core.sharding.ShardedRanker`, so within the candidate
+    set no pruning or tie-break can diverge from the exhaustive kernel.
+    Requests the filter cannot help (no ``top_k``, a budget covering the
+    surviving pool, ``top_k`` at or above the budget) fall back to the
+    exact ranker and are counted on the corpus's coarse index.
+
+    Args:
+        n_candidates: candidate budget (``None`` =
+            :func:`default_candidates` of the corpus size).
+        workers: thread width handed to the exact ranker on fallback.
+        chunk_bags: candidates evaluated per kernel call in the re-rank.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_candidates: int | None = None,
+        workers: int | None = None,
+        chunk_bags: int | None = None,
+    ) -> None:
+        if n_candidates is not None and n_candidates < 1:
+            raise DatabaseError(
+                f"n_candidates must be >= 1 or None, got {n_candidates}"
+            )
+        if workers is not None and workers < 1:
+            raise DatabaseError(f"workers must be >= 1 or None, got {workers}")
+        if chunk_bags is not None and chunk_bags < 1:
+            raise DatabaseError(
+                f"chunk_bags must be >= 1 or None, got {chunk_bags}"
+            )
+        self._n_candidates = n_candidates
+        self._workers = workers
+        self._chunk_bags = chunk_bags
+
+    def rank(
+        self,
+        concept: LearnedConcept,
+        corpus,
+        *,
+        top_k: int | None = None,
+        exclude: Iterable[str] = (),
+        category_filter: str | None = None,
+    ) -> RetrievalResult:
+        """Rank a corpus, best match first — same contract as ``Ranker.rank``.
+
+        ``total_candidates`` still reports the full surviving pool (how
+        many bags *competed* for the filter), so result shapes match the
+        exact path; only membership of the returned prefix approximates.
+
+        Raises:
+            DatabaseError: on a non-positive ``top_k`` or a mismatched
+                concept.
+        """
+        from repro.core.sharding import (
+            DEFAULT_CHUNK_BAGS,
+            PRUNE_SLACK,
+            envelope_bounds,
+        )
+
+        if top_k is not None and top_k < 1:
+            raise DatabaseError(f"top_k must be >= 1 or None, got {top_k}")
+        packed = PackedCorpus.coerce(corpus)
+        if packed.n_bags == 0:
+            return RetrievalResult((), total_candidates=0)
+        exclude = tuple(exclude)
+        keep = keep_mask(packed, exclude, category_filter)
+        total = int(np.count_nonzero(keep))
+        if total == 0:
+            return RetrievalResult((), total_candidates=0)
+        coarse = packed.coarse_index()
+        budget = (
+            self._n_candidates
+            if self._n_candidates is not None
+            else default_candidates(packed.n_bags)
+        )
+        if top_k is None or budget >= total or top_k >= budget:
+            # The filter cannot drop anything (or would drop below k):
+            # answer exactly and count the fallback.
+            coarse.record_fallback()
+            return Ranker(workers=self._workers, rank_mode="exact").rank(
+                concept,
+                packed,
+                top_k=top_k,
+                exclude=exclude,
+                category_filter=category_filter,
+            )
+        candidates = coarse.probe_candidates(
+            concept, n_candidates=budget, keep=keep
+        )
+        index = packed.shard_index()
+        bounds = envelope_bounds(
+            index.lower[candidates], index.upper[candidates], concept
+        )
+        floor = index.prune_floor(concept)
+        chunk_bags = (
+            self._chunk_bags if self._chunk_bags is not None else DEFAULT_CHUNK_BAGS
+        )
+        order = np.argsort(bounds, kind="stable")
+        kept_pos: list[np.ndarray] = []
+        kept_dist: list[np.ndarray] = []
+        best = np.zeros(0)
+        cursor = 0
+        while cursor < order.size:
+            if best.size >= top_k:
+                threshold = float(best.max())
+                cutoff = threshold + max(PRUNE_SLACK * threshold, floor)
+                # Bounds ascend along ``order``: once the next bound
+                # exceeds the cutoff, so does every later one.
+                if bounds[order[cursor]] > cutoff:
+                    break
+            chunk = order[cursor : cursor + chunk_bags]
+            cursor += chunk_bags
+            positions = candidates[chunk]
+            distances = packed.min_distances_at(concept, positions)
+            kept_pos.append(positions)
+            kept_dist.append(distances)
+            best = np.concatenate((best, distances))
+            if best.size > top_k:
+                best = np.partition(best, top_k - 1)[:top_k]
+        pos = np.concatenate(kept_pos)
+        dist = np.concatenate(kept_dist)
+        coarse.record_evaluated(int(pos.size))
+        ids = packed.id_array[pos]
+        categories = packed.category_array[pos]
+        order_out = top_order(ids, dist, top_k)
+        return build_result(ids, categories, dist, order_out, total)

@@ -392,8 +392,14 @@ class ReproClient:
         exclude: Sequence[str] = (),
         top_k: int | None = None,
         category_filter: str | None = None,
+        rank_mode: str | None = None,
     ) -> RetrievalResult:
-        """Re-rank remotely with a session's model or an explicit concept."""
+        """Re-rank remotely with a session's model or an explicit concept.
+
+        ``rank_mode`` (``"exact"`` | ``"approx"``) overrides the server's
+        rank mode for this one concept request; ``None`` keeps the served
+        default.
+        """
         payload = codec.envelope(
             "rank",
             {
@@ -405,6 +411,7 @@ class ReproClient:
                 "exclude": list(exclude),
                 "top_k": top_k,
                 "category_filter": category_filter,
+                "rank_mode": rank_mode,
             },
         )
         body = codec.open_envelope(self._call("rank", payload), "rank_result")

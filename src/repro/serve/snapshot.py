@@ -34,6 +34,7 @@ from repro.api.service import RetrievalService
 from repro.core.diverse_density import TrainingResult
 from repro.core.retrieval import PackedCorpus, packed_view
 from repro.core.sharding import adopt_index_payload, index_payload
+from repro.index.ann import adopt_ann_payload, ann_payload
 from repro.database.persistence import database_from_payload, database_payload
 from repro.errors import CodecError, ServeError
 from repro.serve import codec
@@ -145,6 +146,10 @@ def save_service(service: RetrievalService, path: str | Path) -> SnapshotInfo:
             corpora_manifest[key]["index"] = index_payload(
                 packed.cached_shard_index, f"{slug}_index", arrays
             )
+        if packed.cached_coarse_index is not None:
+            corpora_manifest[key]["ann"] = ann_payload(
+                packed.cached_coarse_index, f"{slug}_ann", arrays
+            )
 
     cache_entries: list[dict] = []
     n_skipped = 0
@@ -163,7 +168,11 @@ def save_service(service: RetrievalService, path: str | Path) -> SnapshotInfo:
         "database": db_manifest,
         "corpora": corpora_manifest,
         "cache": cache_entries,
-        "service": {"max_history": service.max_history},
+        "service": {
+            "max_history": service.max_history,
+            "rank_mode": service.rank_mode,
+            "reorder_bags": service.reorder_bags,
+        },
     }
     arrays["manifest"] = np.frombuffer(
         json.dumps(manifest).encode("utf-8"), dtype=np.uint8
@@ -187,6 +196,7 @@ def load_service(
     max_history: int | None = None,
     rank_index: bool = True,
     rank_shards: int | None = None,
+    rank_mode: str | None = None,
 ) -> tuple[RetrievalService, SnapshotInfo]:
     """Restore a warm service from a snapshot.
 
@@ -198,6 +208,9 @@ def load_service(
         rank_index: allow the sharded bound-pruned rank index; snapshotted
             indexes are restored either way (they are inert when disabled).
         rank_shards: pin the restored service's shard count.
+        rank_mode: exact/approx serving mode; ``None`` keeps the saved
+            service's (snapshots written before the coarse tier default
+            to ``"exact"``).
 
     Returns:
         ``(service, info)`` — the service answers a repeated query without
@@ -228,14 +241,18 @@ def load_service(
                 f"expected {_SNAPSHOT_VERSION}"
             )
         database = database_from_payload(manifest["database"], payload)
+        saved_service = manifest.get("service", {})
         if max_history is None:
-            max_history = manifest.get("service", {}).get("max_history")
+            max_history = saved_service.get("max_history")
+        if rank_mode is None:
+            rank_mode = saved_service.get("rank_mode", "exact")
         service = RetrievalService(
             database,
             cache_size=cache_size,
             max_history=max_history,
             rank_index=rank_index,
             rank_shards=rank_shards,
+            rank_mode=rank_mode,
         )
         if database.cached_packed is not None:
             # Snapshots written before database format v3 carried the
@@ -252,6 +269,7 @@ def load_service(
                 categories=info["categories"],
             )
             adopt_index_payload(packed, info.get("index"), payload)
+            adopt_ann_payload(packed, info.get("ann"), payload)
             service.adopt_corpus(key, packed)
             corpus_keys.append(key)
 
@@ -289,6 +307,8 @@ def load_corpus_service(
     max_history: int | None = 1000,
     rank_index: bool = True,
     rank_shards: int | None = None,
+    rank_mode: str = "exact",
+    reorder_bags: bool = False,
     verify: bool = True,
 ) -> tuple[RetrievalService, SnapshotInfo]:
     """Serve a sharded synthetic corpus directory directly.
@@ -301,7 +321,8 @@ def load_corpus_service(
 
     Args:
         path: the corpus directory.
-        cache_size / max_history / rank_index / rank_shards: as
+        cache_size / max_history / rank_index / rank_shards /
+            rank_mode / reorder_bags: as
             :class:`~repro.api.service.RetrievalService`.
         verify: re-checksum every shard while building the packed view.
 
@@ -322,6 +343,8 @@ def load_corpus_service(
         max_history=max_history,
         rank_index=rank_index,
         rank_shards=rank_shards,
+        rank_mode=rank_mode,
+        reorder_bags=reorder_bags,
     )
     return service, SnapshotInfo(
         path=reader.directory,

@@ -1,0 +1,513 @@
+"""Unit suite for the hash-coded coarse tier (:mod:`repro.index.ann`).
+
+Covers the bit-level contracts (vectorised pack/Hamming kernels proved
+identical to their loop references), the banded candidate lookup, the
+pack-time centroid reordering, the approximate rank path's routing and
+instrumentation, and the persistence/shared-memory integration (database
+format v4, serve snapshots, ``SharedPackedCorpus``).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.concept import LearnedConcept
+from repro.core.retrieval import PackedCorpus, RANK_MODES, Ranker
+from repro.errors import DatabaseError, QueryError
+from repro.index.ann import (
+    ApproxRanker,
+    BagCoder,
+    CoarseIndex,
+    adopt_ann_payload,
+    ann_payload,
+    bag_summaries,
+    centroid_order,
+    corpus_fingerprint,
+    default_candidates,
+    hamming_by_loop,
+    hamming_distances,
+    pack_bits,
+    pack_bits_by_loop,
+    recall_at_k,
+    unpack_bits,
+)
+
+
+def clustered_packed(n_bags=240, n_dims=6, seed=7, shuffle_seed=None):
+    """A packed corpus of gaussian clusters (summaries are informative)."""
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-1.0, 1.0, size=(8, n_dims))
+    ids, cats, mats = [], [], []
+    for i in range(n_bags):
+        center = centers[i % len(centers)]
+        ids.append(f"img{i:05d}")
+        cats.append(f"cat{i % len(centers)}")
+        mats.append(center + rng.normal(0.0, 0.05, size=(4, n_dims)))
+    if shuffle_seed is not None:
+        order = np.random.default_rng(shuffle_seed).permutation(n_bags)
+        ids = [ids[j] for j in order]
+        cats = [cats[j] for j in order]
+        mats = [mats[j] for j in order]
+    return PackedCorpus.pack(ids, cats, mats)
+
+
+def concept_at(point, n_dims):
+    t = np.full(n_dims, float(point)) if np.isscalar(point) else np.asarray(point, float)
+    return LearnedConcept(t=t, w=np.ones(n_dims), nll=0.0)
+
+
+class TestBitKernels:
+    def test_pack_matches_loop_reference(self, rng):
+        bits = rng.random((17, 130)) < 0.5
+        fast = pack_bits(bits, 3)
+        np.testing.assert_array_equal(fast, pack_bits_by_loop(bits, 3))
+
+    def test_unpack_inverts_pack(self, rng):
+        bits = rng.random((9, 77)) < 0.5
+        np.testing.assert_array_equal(unpack_bits(pack_bits(bits, 2), 77), bits)
+
+    def test_hamming_matches_loop_reference(self, rng):
+        codes = rng.integers(0, 2**63, size=(25, 2), dtype=np.uint64)
+        query = rng.integers(0, 2**63, size=2, dtype=np.uint64)
+        fast = hamming_distances(codes, query)
+        np.testing.assert_array_equal(fast, hamming_by_loop(codes, query))
+
+    def test_hamming_of_identical_codes_is_zero(self):
+        codes = np.array([[7, 9]], dtype=np.uint64)
+        assert hamming_distances(codes, codes[0]).tolist() == [0]
+
+
+class TestBagCoder:
+    def test_codes_are_deterministic_for_a_corpus(self):
+        packed = clustered_packed()
+        a = BagCoder.fit(packed).encode_corpus(packed)
+        b = BagCoder.fit(packed).encode_corpus(packed)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_defaults_to_the_corpus_fingerprint(self):
+        packed = clustered_packed()
+        explicit = BagCoder.fit(packed, seed=corpus_fingerprint(packed))
+        np.testing.assert_array_equal(
+            explicit.planes, BagCoder.fit(packed).planes
+        )
+
+    def test_different_corpora_fingerprint_apart(self):
+        assert corpus_fingerprint(clustered_packed(seed=7)) != corpus_fingerprint(
+            clustered_packed(seed=8)
+        )
+
+    def test_summaries_reuse_index_envelopes(self):
+        packed = clustered_packed()
+        index = packed.shard_index()
+        np.testing.assert_array_equal(
+            bag_summaries(packed, index=index), bag_summaries(packed)
+        )
+
+    def test_nearby_bags_code_closer_than_far_bags(self):
+        packed = clustered_packed()
+        coder = BagCoder.fit(packed, n_bits=256)
+        codes = coder.encode_corpus(packed)
+        query = coder.encode_concept(
+            concept_at(bag_summaries(packed)[0, -packed.n_dims:], packed.n_dims)
+        )
+        distances = hamming_distances(codes, query)
+        same_cluster = np.arange(packed.n_bags) % 8 == 0
+        assert distances[same_cluster].mean() < distances[~same_cluster].mean()
+
+    def test_rejects_mismatched_concept_dims(self):
+        coder = BagCoder.fit(clustered_packed(n_dims=6))
+        with pytest.raises(DatabaseError):
+            coder.encode_concept(concept_at(0.0, 5))
+
+
+class TestCoarseIndex:
+    def test_probe_returns_sorted_unique_positions_within_budget(self):
+        packed = clustered_packed()
+        coarse = CoarseIndex.build(packed)
+        positions = coarse.probe_candidates(
+            concept_at(0.0, packed.n_dims), n_candidates=50
+        )
+        assert positions.shape == (50,)
+        assert np.all(np.diff(positions) > 0)
+        assert positions.min() >= 0 and positions.max() < packed.n_bags
+
+    def test_probe_respects_keep_mask(self):
+        packed = clustered_packed()
+        coarse = CoarseIndex.build(packed)
+        keep = np.zeros(packed.n_bags, dtype=bool)
+        keep[10:40] = True
+        positions = coarse.probe_candidates(
+            concept_at(0.0, packed.n_dims), n_candidates=20, keep=keep
+        )
+        assert np.all(keep[positions])
+
+    def test_default_budget_has_a_floor(self):
+        assert default_candidates(10) == 64
+        assert default_candidates(100_000) == 15_000
+
+    def test_stats_count_probes_and_fallbacks(self):
+        packed = clustered_packed()
+        coarse = CoarseIndex.build(packed)
+        coarse.probe_candidates(concept_at(0.0, packed.n_dims), n_candidates=30)
+        coarse.record_fallback()
+        stats = coarse.stats()
+        assert stats["probes"] == 1 and stats["fallbacks"] == 1
+        assert stats["mean_candidates"] == 30.0
+        assert stats["last"]["n_candidates"] == 30
+
+    def test_payload_round_trips_through_arrays(self):
+        packed = clustered_packed()
+        coarse = CoarseIndex.build(packed, n_bits=64, n_tables=2, band_bits=8)
+        arrays: dict = {}
+        info = ann_payload(coarse, "x", arrays)
+        restored_corpus = clustered_packed()
+        adopt_ann_payload(restored_corpus, info, arrays)
+        restored = restored_corpus.cached_coarse_index
+        np.testing.assert_array_equal(restored.codes, coarse.codes)
+        assert restored.n_tables == 2 and restored.band_bits == 8
+
+    def test_adopt_none_payload_is_a_noop(self):
+        packed = clustered_packed()
+        adopt_ann_payload(packed, None, {})
+        assert packed.cached_coarse_index is None
+
+    def test_adopt_rejects_wrong_shape_codes(self):
+        packed = clustered_packed()
+        coarse = CoarseIndex.build(packed)
+        arrays: dict = {}
+        info = ann_payload(coarse, "x", arrays)
+        with pytest.raises(DatabaseError):
+            adopt_ann_payload(clustered_packed(n_bags=10), info, arrays)
+
+
+class TestCentroidReordering:
+    def test_permutation_is_id_stable_across_ingestion_orders(self):
+        a = clustered_packed()
+        b = clustered_packed(shuffle_seed=3)
+        ids_a = [a.image_ids[i] for i in centroid_order(a)]
+        ids_b = [b.image_ids[i] for i in centroid_order(b)]
+        assert ids_a == ids_b
+
+    def test_reordered_view_keeps_every_bag(self):
+        packed = clustered_packed()
+        reordered, permutation = packed.reordered_by_centroid()
+        assert sorted(reordered.image_ids) == sorted(packed.image_ids)
+        assert sorted(permutation.tolist()) == list(range(packed.n_bags))
+        np.testing.assert_array_equal(
+            reordered.bag_instances(packed.image_ids[5]),
+            packed.bag_instances(packed.image_ids[5]),
+        )
+
+    def test_reordered_ranking_is_ordering_identical(self):
+        packed = clustered_packed()
+        reordered, _ = packed.reordered_by_centroid()
+        concept = concept_at(0.25, packed.n_dims)
+        for top_k in (None, 7):
+            before = Ranker().rank(concept, packed, top_k=top_k)
+            after = Ranker().rank(concept, reordered, top_k=top_k)
+            assert before.image_ids == after.image_ids
+            np.testing.assert_array_equal(before.distances, after.distances)
+
+
+class TestApproxRanking:
+    def test_results_are_a_subset_with_exact_distances(self):
+        packed = clustered_packed()
+        concept = concept_at(0.25, packed.n_dims)
+        exact = Ranker().rank(concept, packed, top_k=None)
+        exact_by_id = dict(zip(exact.image_ids, exact.distances))
+        approx = ApproxRanker(n_candidates=60).rank(concept, packed, top_k=10)
+        assert len(approx) == 10
+        for entry in approx:
+            assert entry.distance == exact_by_id[entry.image_id]
+
+    def test_ranker_routes_approx_mode(self):
+        packed = clustered_packed()
+        packed.configure_rank_index(rank_mode="approx")
+        concept = concept_at(0.25, packed.n_dims)
+        routed = Ranker().rank(concept, packed, top_k=10)
+        direct = ApproxRanker().rank(concept, packed, top_k=10)
+        assert routed.image_ids == direct.image_ids
+        assert packed.cached_coarse_index.stats()["probes"] >= 1
+
+    def test_explicit_exact_mode_overrides_corpus_policy(self):
+        packed = clustered_packed()
+        packed.configure_rank_index(rank_mode="approx")
+        concept = concept_at(0.25, packed.n_dims)
+        exact = Ranker(rank_mode="exact").rank(concept, packed, top_k=10)
+        pristine = clustered_packed()  # same bags, no approx policy
+        reference = Ranker().rank(concept, pristine, top_k=10)
+        assert exact.image_ids == reference.image_ids
+
+    def test_full_ranking_falls_back_to_exact(self):
+        packed = clustered_packed()
+        concept = concept_at(0.25, packed.n_dims)
+        full = ApproxRanker().rank(concept, packed, top_k=None)
+        reference = Ranker(rank_mode="exact").rank(concept, packed, top_k=None)
+        assert full.image_ids == reference.image_ids
+        assert packed.cached_coarse_index.stats()["fallbacks"] >= 1
+
+    def test_exclude_and_category_filter_are_respected(self):
+        packed = clustered_packed()
+        concept = concept_at(0.25, packed.n_dims)
+        excluded = packed.image_ids[0]
+        result = ApproxRanker(n_candidates=80).rank(
+            concept, packed, top_k=20, exclude=(excluded,),
+            category_filter="cat0",
+        )
+        assert excluded not in result.image_ids
+        assert all(entry.category == "cat0" for entry in result)
+
+    def test_recall_is_high_on_clustered_data(self):
+        packed = clustered_packed(n_bags=400)
+        center = bag_summaries(packed)[0, -packed.n_dims:]
+        concept = concept_at(center, packed.n_dims)
+        exact = Ranker(rank_mode="exact").rank(concept, packed, top_k=10)
+        approx = ApproxRanker(n_candidates=100).rank(concept, packed, top_k=10)
+        assert recall_at_k(exact, approx, 10) >= 0.9
+
+    def test_recall_at_k_bounds(self):
+        packed = clustered_packed(n_bags=40)
+        concept = concept_at(0.25, packed.n_dims)
+        exact = Ranker().rank(concept, packed, top_k=5)
+        assert recall_at_k(exact, exact, 5) == 1.0
+        with pytest.raises(DatabaseError):
+            recall_at_k(exact, exact, 0)
+
+    def test_rank_modes_constant_and_validation(self):
+        assert RANK_MODES == ("exact", "approx")
+        packed = clustered_packed(n_bags=10)
+        with pytest.raises(DatabaseError):
+            packed.configure_rank_index(rank_mode="fuzzy")
+        with pytest.raises(DatabaseError):
+            Ranker(rank_mode="fuzzy")
+
+
+class TestServiceIntegration:
+    def test_service_rejects_unknown_mode(self):
+        from repro.api.service import RetrievalService
+
+        with pytest.raises(QueryError):
+            RetrievalService(clustered_packed(n_bags=10), rank_mode="fuzzy")
+
+    def test_stats_carry_the_ann_block(self):
+        from repro.api.service import RetrievalService
+
+        packed = clustered_packed()
+        service = RetrievalService(packed, rank_mode="approx")
+        stats = service.stats()
+        assert stats["rank_index"]["mode"] == "approx"
+        assert stats["ann"] is None  # no probe yet, no coarse build forced
+        packed.coarse_index()
+        coarse_stats = service.stats()["ann"]
+        assert coarse_stats["n_bags"] == packed.n_bags
+
+    def test_rank_policy_stamps_the_mode_both_ways(self):
+        from repro.api.service import RetrievalService
+
+        packed = clustered_packed(n_bags=10)
+        approx_service = RetrievalService(packed, rank_mode="approx")
+        approx_service.apply_rank_policy(packed)
+        assert packed.rank_mode == "approx"
+        exact_service = RetrievalService(packed)
+        exact_service.apply_rank_policy(packed)
+        assert packed.rank_mode == "exact"
+
+
+class TestWireRankMode:
+    def test_rank_endpoint_accepts_a_mode_override(self, tiny_scene_db):
+        from repro.api.service import RetrievalService
+        from repro.serve import codec
+        from repro.serve.app import ServiceApp
+
+        service = RetrievalService(tiny_scene_db)
+        app = ServiceApp(service)
+        packed = tiny_scene_db.packed()
+        concept = concept_at(
+            packed.instances[0], packed.n_dims
+        )
+        payload = codec.envelope(
+            "rank",
+            {
+                "concept": codec.encode_concept(concept),
+                "top_k": 5,
+                "rank_mode": "exact",
+            },
+        )
+        body = codec.open_envelope(app.rank(payload), "rank_result")
+        ranking = codec.decode_ranking(body["ranking"])
+        assert len(ranking) == 5
+
+    def test_rank_endpoint_rejects_unknown_mode(self, tiny_scene_db):
+        from repro.api.service import RetrievalService
+        from repro.errors import CodecError
+        from repro.serve import codec
+        from repro.serve.app import ServiceApp
+
+        service = RetrievalService(tiny_scene_db)
+        app = ServiceApp(service)
+        payload = codec.envelope("rank", {"session": "x", "rank_mode": "fuzzy"})
+        with pytest.raises(CodecError):
+            app.rank(payload)
+
+
+class TestSharedMemoryAdoption:
+    def test_segment_carries_the_coarse_tier(self):
+        from repro.serve.shm import SharedPackedCorpus
+
+        packed = clustered_packed()
+        packed.coarse_index()
+        packed.configure_rank_index(rank_mode="approx")
+        shared = SharedPackedCorpus.create(packed)
+        try:
+            attached = SharedPackedCorpus.attach(shared.spec)
+            corpus = attached.corpus()
+            assert corpus.rank_mode == "approx"
+            coarse = corpus.cached_coarse_index
+            assert coarse is not None
+            np.testing.assert_array_equal(
+                coarse.codes, packed.cached_coarse_index.codes
+            )
+            # The codes are views into the segment, not private copies.
+            assert not coarse.codes.flags["OWNDATA"]
+            attached.close()
+        finally:
+            shared.unlink()
+
+    def test_pre_ann_spec_still_attaches(self):
+        from repro.serve.shm import SharedPackedCorpus
+
+        packed = clustered_packed()
+        packed.coarse_index()
+        shared = SharedPackedCorpus.create(packed)
+        try:
+            spec = {
+                key: value
+                for key, value in shared.spec.items()
+                if key not in ("ann", "rank_mode")
+            }
+            spec["arrays"] = {
+                key: value
+                for key, value in shared.spec["arrays"].items()
+                if not key.startswith("ann_")
+            }
+            attached = SharedPackedCorpus.attach(spec)
+            corpus = attached.corpus()
+            assert corpus.cached_coarse_index is None
+            assert corpus.rank_mode == "exact"
+            attached.close()
+        finally:
+            shared.unlink()
+
+
+class TestPersistenceV4:
+    def test_reordered_corpus_and_coarse_tier_round_trip(
+        self, tiny_scene_db, tmp_path
+    ):
+        from repro.database.persistence import load_database, save_database
+
+        packed = tiny_scene_db.packed()
+        reordered, _ = packed.reordered_by_centroid()
+        tiny_scene_db.adopt_packed(reordered)
+        reordered.coarse_index()
+        try:
+            path = save_database(tiny_scene_db, tmp_path / "snap.npz")
+            restored = load_database(path)
+            packed_back = restored.cached_packed
+            assert packed_back.image_ids == reordered.image_ids
+            coarse = packed_back.cached_coarse_index
+            assert coarse is not None
+            np.testing.assert_array_equal(
+                coarse.codes, reordered.cached_coarse_index.codes
+            )
+        finally:
+            # The session-scoped db must not leak the reordered view into
+            # other tests.
+            tiny_scene_db.adopt_packed(packed)
+
+    def test_v3_snapshot_still_loads(self, tiny_scene_db, tmp_path):
+        from repro.database.persistence import (
+            SUPPORTED_VERSIONS,
+            load_database,
+            save_database,
+        )
+
+        assert SUPPORTED_VERSIONS == (1, 2, 3, 4)
+        tiny_scene_db.packed()
+        path = save_database(tiny_scene_db, tmp_path / "snap.npz")
+        with np.load(path) as archive:
+            manifest = json.loads(bytes(archive["manifest"]).decode("utf-8"))
+            arrays = {
+                key: archive[key] for key in archive.files if key != "manifest"
+            }
+        manifest["version"] = 3
+        manifest["packed"].pop("order", None)
+        manifest["packed"].pop("ann", None)
+        arrays["manifest"] = np.frombuffer(
+            json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+        )
+        v3_path = tmp_path / "v3.npz"
+        np.savez_compressed(v3_path, **arrays)
+        restored = load_database(v3_path)
+        assert restored.cached_packed is not None
+        assert restored.cached_packed.cached_coarse_index is None
+
+    def test_corrupt_bag_order_is_rejected(self, tiny_scene_db, tmp_path):
+        from repro.database.persistence import load_database, save_database
+
+        packed = tiny_scene_db.packed()
+        reordered, _ = packed.reordered_by_centroid()
+        tiny_scene_db.adopt_packed(reordered)
+        try:
+            path = save_database(tiny_scene_db, tmp_path / "snap.npz")
+        finally:
+            tiny_scene_db.adopt_packed(packed)
+        with np.load(path) as archive:
+            manifest = json.loads(bytes(archive["manifest"]).decode("utf-8"))
+            arrays = {
+                key: archive[key] for key in archive.files if key != "manifest"
+            }
+        order_key = manifest["packed"]["order"]
+        arrays[order_key] = np.zeros_like(arrays[order_key])  # not a permutation
+        bad_path = tmp_path / "bad.npz"
+        np.savez_compressed(bad_path, **arrays)
+        with pytest.raises(DatabaseError):
+            load_database(bad_path)
+
+
+class TestServeSnapshotRankMode:
+    def test_saved_mode_restores_and_cli_overrides(self, tiny_scene_db, tmp_path):
+        from repro.api.service import RetrievalService
+        from repro.serve.snapshot import load_service, save_service
+
+        tiny_scene_db.packed()
+        service = RetrievalService(tiny_scene_db, rank_mode="approx")
+        path = tmp_path / "svc.npz"
+        save_service(service, path)
+        restored, _ = load_service(path)
+        assert restored.rank_mode == "approx"
+        overridden, _ = load_service(path, rank_mode="exact")
+        assert overridden.rank_mode == "exact"
+
+
+class TestPoolCacheBound:
+    def test_shared_pool_cache_is_lru_bounded(self):
+        from repro.core import sharding
+
+        with sharding._POOL_LOCK:
+            before = dict(sharding._SHARED_POOLS)
+            sharding._SHARED_POOLS.clear()
+        try:
+            for workers in range(2, 2 + sharding.MAX_POOL_CACHE + 3):
+                sharding._shared_pool(workers)
+            with sharding._POOL_LOCK:
+                assert len(sharding._SHARED_POOLS) == sharding.MAX_POOL_CACHE
+                # Oldest entries were evicted, newest kept.
+                assert 2 not in sharding._SHARED_POOLS
+                assert (1 + sharding.MAX_POOL_CACHE + 3) in sharding._SHARED_POOLS
+        finally:
+            sharding._shutdown_shared_pools()
+            with sharding._POOL_LOCK:
+                sharding._SHARED_POOLS.update(before)

@@ -1,0 +1,197 @@
+"""Property suite: the approximate tier vs the exact ranking contract.
+
+Two different contracts are tested here.  The *reordering* contract is
+exact: re-packing a corpus in clustered-centroid order
+(:meth:`~repro.core.retrieval.PackedCorpus.reordered_by_centroid`) must
+never change any ranking — for every corpus, concept, exclusion set,
+category filter and ``top_k``, the reordered view must produce the same
+ordering as the original, the exhaustive :class:`Ranker` and
+:func:`rank_by_loop`, and the permutation's id sequence must be identical
+for any ingestion order of the same bags.  The *approximate* contract is
+weaker by design: ``rank_mode="approx"`` results must be a subset of the
+true survivor pool with exactly computed distances and valid internal
+ordering, and recall@k against the exact ordering must be a well-formed
+fraction (its magnitude is the benchmark's concern, not a property).
+
+Instance values, concept points and weights are drawn from the same
+dyadic grid as the sharded suite, so distances are exactly representable
+and ties are common rather than measure-zero.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.concept import LearnedConcept
+from repro.core.retrieval import (
+    PackedCorpus,
+    Ranker,
+    RetrievalCandidate,
+    rank_by_loop,
+)
+from repro.index.ann import ApproxRanker, centroid_order, recall_at_k
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+#: Dyadic grid: sums/products of a few of these stay exact in float64.
+dyadic = st.integers(-8, 8).map(lambda v: v / 4.0)
+
+
+@st.composite
+def corpora(draw):
+    """A small packed corpus with shuffled ids and frequent value ties."""
+    n_bags = draw(st.integers(1, 12))
+    n_dims = draw(st.integers(1, 3))
+    order = draw(st.permutations(range(n_bags)))
+    candidates = []
+    for position in range(n_bags):
+        n_instances = draw(st.integers(1, 3))
+        values = draw(
+            st.lists(
+                dyadic,
+                min_size=n_instances * n_dims,
+                max_size=n_instances * n_dims,
+            )
+        )
+        candidates.append(
+            RetrievalCandidate(
+                image_id=f"img-{order[position]:03d}",
+                category=draw(st.sampled_from(["a", "b"])),
+                instances=np.array(values).reshape(n_instances, n_dims),
+            )
+        )
+    return PackedCorpus.from_candidates(candidates)
+
+
+@st.composite
+def concepts_for(draw, n_dims):
+    t = np.array(draw(st.lists(dyadic, min_size=n_dims, max_size=n_dims)))
+    w = np.array(
+        draw(
+            st.lists(
+                st.sampled_from([0.0, 0.25, 0.5, 1.0, 2.0]),
+                min_size=n_dims,
+                max_size=n_dims,
+            )
+        )
+    )
+    return LearnedConcept(t=t, w=w, nll=0.0)
+
+
+def assert_same_ranking(fast, slow):
+    assert fast.image_ids == slow.image_ids
+    assert fast.total_candidates == slow.total_candidates
+    # Dyadic inputs: every path computes the exact same distances.
+    np.testing.assert_array_equal(fast.distances, slow.distances)
+    assert [e.category for e in fast] == [e.category for e in slow]
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data(), packed=corpora())
+def test_reordered_ranking_matches_exhaustive_and_loop(data, packed):
+    concept = data.draw(concepts_for(packed.n_dims))
+    n_bags = packed.n_bags
+    top_k = data.draw(
+        st.sampled_from([1, min(3, n_bags), n_bags, n_bags + 5, None])
+    )
+    group_size = data.draw(st.sampled_from([1, 2, 64]))
+    exclude = data.draw(st.sets(st.sampled_from(packed.image_ids)))
+    category_filter = data.draw(st.sampled_from([None, "a"]))
+
+    reordered, permutation = packed.reordered_by_centroid(
+        group_size=group_size
+    )
+    assert sorted(permutation.tolist()) == list(range(n_bags))
+    fast = Ranker().rank(
+        concept, reordered, top_k=top_k, exclude=exclude,
+        category_filter=category_filter,
+    )
+    exhaustive = Ranker(auto_shard=False).rank(
+        concept, packed, top_k=top_k, exclude=exclude,
+        category_filter=category_filter,
+    )
+    assert_same_ranking(fast, exhaustive)
+
+    # The loop reference has no top_k/filter; compare against its prefix.
+    survivors = [
+        c for c in packed.candidates()
+        if category_filter is None or c.category == category_filter
+    ]
+    loop = rank_by_loop(concept, survivors, exclude=exclude)
+    kept = len(fast)
+    assert fast.image_ids == loop.image_ids[:kept]
+    np.testing.assert_array_equal(fast.distances, loop.distances[:kept])
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data(), packed=corpora())
+def test_centroid_order_ids_are_ingestion_order_independent(data, packed):
+    group_size = data.draw(st.sampled_from([1, 2, 64]))
+    shuffle = data.draw(st.permutations(range(packed.n_bags)))
+    shuffled = packed.select(
+        tuple(packed.image_ids[position] for position in shuffle)
+    )
+    ids_a = [
+        packed.image_ids[i]
+        for i in centroid_order(packed, group_size=group_size)
+    ]
+    ids_b = [
+        shuffled.image_ids[i]
+        for i in centroid_order(shuffled, group_size=group_size)
+    ]
+    assert ids_a == ids_b
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=st.data(), packed=corpora())
+def test_approx_results_are_exact_over_a_survivor_subset(data, packed):
+    concept = data.draw(concepts_for(packed.n_dims))
+    n_bags = packed.n_bags
+    top_k = data.draw(st.sampled_from([1, min(3, n_bags), n_bags]))
+    n_candidates = data.draw(st.sampled_from([1, 2, n_bags, None]))
+    exclude = data.draw(st.sets(st.sampled_from(packed.image_ids)))
+    category_filter = data.draw(st.sampled_from([None, "a"]))
+
+    approx = ApproxRanker(n_candidates=n_candidates).rank(
+        concept, packed, top_k=top_k, exclude=exclude,
+        category_filter=category_filter,
+    )
+    exact = Ranker(auto_shard=False).rank(
+        concept, packed, top_k=top_k, exclude=exclude,
+        category_filter=category_filter,
+    )
+    full = Ranker(auto_shard=False).rank(
+        concept, packed, exclude=exclude, category_filter=category_filter
+    )
+    exact_by_id = dict(zip(full.image_ids, full.distances))
+
+    # Same survivor pool, never more entries than the exact answer.
+    assert approx.total_candidates == exact.total_candidates
+    assert len(approx) <= len(exact)
+    # Every returned entry is a true survivor, with its exact distance.
+    for entry in approx:
+        assert entry.image_id in exact_by_id
+        assert entry.distance == exact_by_id[entry.image_id]
+        assert entry.image_id not in exclude
+        if category_filter is not None:
+            assert entry.category == category_filter
+    # Internally ordered by (distance, id), like every rank path.
+    keys = [(entry.distance, entry.image_id) for entry in approx]
+    assert keys == sorted(keys)
+    # Recall against the exact ordering is a well-formed fraction.
+    recall = recall_at_k(exact, approx, top_k)
+    assert 0.0 <= recall <= 1.0
+    # A budget covering the whole pool cannot miss anything.
+    if n_candidates is not None and n_candidates >= n_bags:
+        assert_same_ranking(approx, exact)
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data(), packed=corpora())
+def test_approx_mode_routing_matches_the_direct_ranker(data, packed):
+    concept = data.draw(concepts_for(packed.n_dims))
+    top_k = data.draw(st.sampled_from([1, min(3, packed.n_bags)]))
+    packed.configure_rank_index(rank_mode="approx")
+    routed = Ranker().rank(concept, packed, top_k=top_k)
+    direct = ApproxRanker().rank(concept, packed, top_k=top_k)
+    assert_same_ranking(routed, direct)

@@ -456,7 +456,12 @@ class TestServiceKnobs:
     def test_stats_report_the_policy(self, tiny_scene_db):
         service = RetrievalService(tiny_scene_db, rank_shards=2)
         stats = service.stats()
-        assert stats["rank_index"] == {"enabled": True, "shards": 2}
+        assert stats["rank_index"] == {
+            "enabled": True,
+            "shards": 2,
+            "mode": "exact",
+            "reorder_bags": False,
+        }
 
     def test_default_threshold_constant_is_sane(self):
         assert AUTO_SHARD_MIN_BAGS >= 1024
