@@ -1,0 +1,168 @@
+"""Extension bench — what deadline propagation costs a healthy pool.
+
+Not a paper artefact.  The resilience layer (:mod:`repro.serve.resilience`)
+stamps a ``deadline_ms`` budget on every hop, swaps the dispatcher's
+blocking ``recv`` for a budget-bounded ``poll`` and re-checks expiry at
+each boundary.  All of that must be noise on the healthy path: this bench
+answers the same rank requests through one :class:`WorkerPool` twice —
+once with no deadline (the pre-resilience dispatch shape) and once with a
+generous per-request budget that never expires — and asserts the budgeted
+path costs at most ``REPRO_RESILIENCE_MAX_OVERHEAD`` (default 5%) over
+the bare one, with bit-identical rankings.
+
+A second, report-only section measures the failure path: a stalled
+worker with a tight deadline answers its 504 in roughly the budget, not
+the stall (the no-hang guarantee, timed).
+
+``REPRO_RESILIENCE_BENCH_BAGS`` overrides the corpus size.  Results land
+in ``BENCH_resilience.json`` via the shared JSON reporter.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.api.service import RetrievalService
+from repro.core.concept import LearnedConcept
+from repro.datasets.synth import ScenarioConfig, corpus_from_config, feature_center
+from repro.eval.reporting import ascii_table
+from repro.serve import codec
+from repro.serve.workers import WorkerDispatchApp, WorkerPool
+from repro.testing.faults import FaultPlan, FaultSpec
+
+N_BAGS = int(os.environ.get("REPRO_RESILIENCE_BENCH_BAGS", "20000"))
+MAX_OVERHEAD = float(os.environ.get("REPRO_RESILIENCE_MAX_OVERHEAD", "0.05"))
+N_WORKERS = 2
+N_DIMS = 16
+N_CLUSTERS = 64
+TOP_K = 50
+N_REQUESTS = 32
+REPEATS = 5
+GENEROUS_MS = 120_000.0
+TIGHT_MS = 300.0
+STALL_SECONDS = 30.0
+
+
+def clustered_corpus(n_bags: int, seed: int = 11):
+    config = ScenarioConfig(
+        name="bench-resilience",
+        mode="feature",
+        categories=tuple(f"cluster-{c:02d}" for c in range(N_CLUSTERS)),
+        bags_per_category=1,
+        seed=seed,
+        feature_dims=N_DIMS,
+        instances_per_bag=6,
+        cluster_spread=0.05,
+    ).with_total_bags(n_bags)
+    return corpus_from_config(config), config
+
+
+def rank_requests(config: ScenarioConfig, seed: int = 23) -> list[dict]:
+    rng = np.random.default_rng(seed)
+    payloads = []
+    for i in range(N_REQUESTS):
+        center = feature_center(config, config.categories[i % N_CLUSTERS])
+        concept = LearnedConcept(
+            t=center + rng.normal(scale=0.02, size=config.feature_dims),
+            w=rng.uniform(0.5, 1.0, size=config.feature_dims),
+            nll=0.0,
+        )
+        payloads.append(codec.envelope("rank", {
+            "concept": codec.encode_concept(concept), "top_k": TOP_K,
+        }))
+    return payloads
+
+
+def _drain(app, payloads, deadline_ms=None) -> list:
+    replies = []
+    for payload in payloads:
+        send = dict(payload)
+        if deadline_ms is not None:
+            send["deadline_ms"] = deadline_ms
+        status, reply = app.handle("rank", send)
+        assert status == 200, reply
+        replies.append(reply)
+    return replies
+
+
+def test_deadline_path_overhead(report, bench_json, best_of):
+    packed, config = clustered_corpus(N_BAGS)
+    service = RetrievalService(packed)
+    payloads = rank_requests(config)
+
+    with WorkerPool.from_service(service, N_WORKERS) as pool:
+        app = WorkerDispatchApp(pool)
+
+        # Correctness first: a generous budget changes nothing but time.
+        bare = _drain(app, payloads)
+        budgeted = _drain(app, payloads, deadline_ms=GENEROUS_MS)
+        for mine, theirs in zip(bare, budgeted):
+            assert mine["ranking"] == theirs["ranking"], (
+                "deadline stamping changed a ranking"
+            )
+
+        bare_s = best_of(REPEATS, lambda: _drain(app, payloads))
+        budget_s = best_of(
+            REPEATS, lambda: _drain(app, payloads, deadline_ms=GENEROUS_MS)
+        )
+        assert pool.resilience.get("deadline_expiries") == 0
+    overhead = budget_s / bare_s - 1.0 if bare_s > 0 else 0.0
+
+    # Failure path (fresh pool): a 30s stall answers its 504 in roughly
+    # the 300ms budget — the no-hang guarantee, timed.
+    plan = FaultPlan(
+        seed=0,
+        faults=(FaultSpec(kind="stall", worker=0, after_requests=1,
+                          seconds=STALL_SECONDS),),
+    )
+    with WorkerPool.from_service(service, 1, fault_plan=plan) as pool:
+        app = WorkerDispatchApp(pool)
+        send = dict(payloads[0])
+        send["deadline_ms"] = TIGHT_MS
+        started = time.perf_counter()
+        status, reply = app.handle("rank", send)
+        expiry_s = time.perf_counter() - started
+        assert status == 504, reply
+        assert expiry_s < STALL_SECONDS / 2, (
+            f"504 took {expiry_s:.1f}s — the deadline did not cut the stall"
+        )
+
+    rows = [
+        ["no deadline (blocking recv)", f"{bare_s * 1e3:.1f}", "-"],
+        [f"deadline {GENEROUS_MS/1000:.0f}s (poll + stamping)",
+         f"{budget_s * 1e3:.1f}", f"{overhead:+.1%}"],
+        [f"504 on a {STALL_SECONDS:.0f}s stall ({TIGHT_MS:.0f}ms budget)",
+         f"{expiry_s * 1e3:.1f}", "-"],
+    ]
+    report(
+        ascii_table(
+            ["dispatch path", f"{N_REQUESTS} ranks, best of {REPEATS} (ms)",
+             "overhead"],
+            rows,
+            title=(
+                f"resilience bench: {packed.n_bags} bags, top_k={TOP_K}, "
+                f"{N_WORKERS} workers"
+            ),
+        )
+    )
+    bench_json("resilience", "deadline_path_overhead", {
+        "n_bags": packed.n_bags,
+        "n_dims": N_DIMS,
+        "top_k": TOP_K,
+        "n_requests": N_REQUESTS,
+        "n_workers": N_WORKERS,
+        "bare_seconds": bare_s,
+        "budgeted_seconds": budget_s,
+        "overhead_fraction": overhead,
+        "max_overhead_allowed": MAX_OVERHEAD,
+        "stall_504_seconds": expiry_s,
+        "stall_seconds": STALL_SECONDS,
+        "tight_deadline_ms": TIGHT_MS,
+        "rankings_identical": True,
+    })
+
+    assert overhead <= MAX_OVERHEAD, (
+        f"deadline-path dispatch costs {overhead:.1%} over bare dispatch "
+        f"(budget: {MAX_OVERHEAD:.0%})"
+    )

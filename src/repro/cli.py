@@ -218,6 +218,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="how long a SIGTERM/SIGINT shutdown waits for "
                             "in-flight requests to finish")
+    serve.add_argument("--read-timeout", dest="read_timeout", type=float,
+                       default=30.0, metavar="SECONDS",
+                       help="per-connection socket timeout on header and "
+                            "body reads (slow-client protection; a stalled "
+                            "body gets HTTP 408)")
     serve.add_argument("--no-rank-index", dest="rank_index",
                        action="store_false",
                        help="rank exhaustively: never route top-k queries "
@@ -254,6 +259,11 @@ def _build_parser() -> argparse.ArgumentParser:
     client.add_argument("--seed", type=int, default=0)
     client.add_argument("--timeout", type=float, default=60.0,
                         help="per-request timeout in seconds")
+    client.add_argument("--deadline-ms", dest="deadline_ms", type=float,
+                        default=None, metavar="MS",
+                        help="per-request server-side deadline budget in "
+                        "milliseconds (expiry returns HTTP 504 instead of "
+                        "waiting on a hung worker)")
 
     synth = commands.add_parser(
         "synth", help="generate/inspect/pack procedural corpora at scale"
@@ -290,6 +300,31 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     pack.add_argument("--dir", dest="corpus_dir", required=True)
     pack.add_argument("--out", required=True, help="output .npz path")
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="soak a worker pool under seeded fault injection and assert "
+        "rankings stay bit-identical to a fault-free run",
+    )
+    chaos.add_argument("--db", required=True, help="database snapshot path")
+    chaos.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="pool width for both the baseline and the "
+                       "faulted run")
+    chaos.add_argument("--seed", type=int, default=7,
+                       help="seeds the request mix and the fault plan")
+    chaos.add_argument("--requests", type=int, default=24, metavar="N",
+                       help="length of the query/rank/feedback mix")
+    chaos.add_argument("--deadline-ms", dest="deadline_ms", type=float,
+                       default=3000.0, metavar="MS",
+                       help="per-request budget during the faulted run")
+    chaos.add_argument("--faults", type=int, default=6, metavar="N",
+                       help="how many faults the seeded plan injects")
+    chaos.add_argument("--min-restarts", dest="min_restarts", type=int,
+                       default=0, metavar="N",
+                       help="fail unless the faulted run restarted at "
+                       "least N workers (proves faults actually fired)")
+    chaos.add_argument("--json", action="store_true",
+                       help="print the report as JSON (for CI artifacts)")
 
     index = commands.add_parser(
         "index", help="build/inspect the offline rank-acceleration tiers"
@@ -546,6 +581,7 @@ def build_server(args: argparse.Namespace):
     """
     rank_mode = getattr(args, "rank_mode", None)
     reorder_bags = bool(getattr(args, "reorder_bags", False))
+    read_timeout = getattr(args, "read_timeout", None) or 30.0
     if getattr(args, "corpus_dir", None):
         service, info = load_corpus_service(
             args.corpus_dir,
@@ -610,12 +646,14 @@ def build_server(args: argparse.Namespace):
                 f"scatter/gather ranking on from "
                 f"{app.scatter.min_scatter_bags} bags"
             )
-        return ReproServer(app, host=args.host, port=args.port)
+        return ReproServer(app, host=args.host, port=args.port,
+                           read_timeout=read_timeout)
     sessions = SessionStore(
         service, ttl_seconds=args.session_ttl, max_sessions=args.max_sessions
     )
     return ReproServer(ServiceApp(service, sessions=sessions),
-                       host=args.host, port=args.port)
+                       host=args.host, port=args.port,
+                       read_timeout=read_timeout)
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -673,7 +711,8 @@ def _cmd_client_query(args: argparse.Namespace) -> int:
         ),
         top_k=args.top,
     )
-    client = ReproClient(args.url, timeout=args.timeout)
+    client = ReproClient(args.url, timeout=args.timeout,
+                         deadline_ms=getattr(args, "deadline_ms", None))
     result = client.query(query)
     rows = [
         [entry.rank + 1, entry.image_id, entry.category, entry.distance]
@@ -854,6 +893,76 @@ def _cmd_index_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.testing import FaultPlan, run_chaos_soak
+
+    service = RetrievalService(load_database(args.db))
+    service.warm("dd")
+    plan = FaultPlan.generate(
+        args.seed,
+        n_workers=args.workers,
+        n_faults=args.faults,
+        window=max(4, args.requests // 2),
+        stall_seconds=max(10.0, 5.0 * args.deadline_ms / 1000.0),
+    )
+    print(
+        f"chaos soak: {args.requests} requests x {args.workers} workers, "
+        f"seed {args.seed}, plan {dict(plan.counts())}, "
+        f"deadline {args.deadline_ms:.0f}ms"
+    )
+    report = run_chaos_soak(
+        service,
+        n_workers=args.workers,
+        seed=args.seed,
+        n_requests=args.requests,
+        deadline_ms=args.deadline_ms,
+        plan=plan,
+        min_scatter_bags=1,
+    )
+    if args.json:
+        print(_json.dumps({
+            "n_requests": report.n_requests,
+            "n_faults_planned": report.n_faults_planned,
+            "fault_counts": report.fault_counts,
+            "n_retries": report.n_retries,
+            "n_failures": report.n_failures,
+            "baseline_failures": report.baseline_failures,
+            "mismatches": report.mismatches,
+            "resilience": report.resilience,
+            "n_restarts": report.n_restarts,
+            "max_attempt_seconds": report.max_attempt_seconds,
+            "deadline_ms": report.deadline_ms,
+            "elapsed_seconds": report.elapsed_seconds,
+            "ok": report.ok,
+        }, indent=2, sort_keys=True))
+    else:
+        print(
+            f"faulted run: {report.n_retries} retries, "
+            f"{report.n_restarts} worker restarts, "
+            f"slowest attempt {report.max_attempt_seconds:.2f}s, "
+            f"resilience {report.resilience}"
+        )
+        print(
+            "rankings bit-identical to the fault-free run"
+            if not report.mismatches
+            else f"MISMATCHED requests: {report.mismatches}"
+        )
+    if not report.ok:
+        print("error: chaos soak failed (mismatch or unanswered request)",
+              file=sys.stderr)
+        return 1
+    if report.n_restarts < args.min_restarts:
+        print(
+            f"error: expected >= {args.min_restarts} worker restarts, "
+            f"saw {report.n_restarts} (plan never fired?)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 _INDEX_HANDLERS = {
     "build": _cmd_index_build,
     "inspect": _cmd_index_inspect,
@@ -872,6 +981,7 @@ _HANDLERS = {
     "info": _cmd_info,
     "serve": _cmd_serve,
     "client-query": _cmd_client_query,
+    "chaos": _cmd_chaos,
     "synth": _cmd_synth,
     "index": _cmd_index,
 }

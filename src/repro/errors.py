@@ -10,6 +10,12 @@ propagate unchanged.
 class ReproError(Exception):
     """Base class for every deliberate error raised by this package."""
 
+    #: Whether the failed request may be retried verbatim with a reasonable
+    #: expectation of success (e.g. after a worker restart).  Carried over
+    #: the wire in error payloads so clients can retry without parsing
+    #: messages.  Class-level default; instances may override.
+    retryable: bool = False
+
 
 class ImageFormatError(ReproError):
     """An image array has the wrong dtype, shape or value range."""
@@ -69,3 +75,34 @@ class SessionError(ReproError):
 
 class ServeError(ReproError):
     """The serving layer was configured or invoked incorrectly."""
+
+
+class DeadlineError(ReproError):
+    """A request's time budget expired before an answer was produced.
+
+    Maps to HTTP 504.  Retryable by definition: the work was abandoned,
+    not wrong — a retry with a fresh budget may well succeed.
+    """
+
+    retryable = True
+
+
+class WorkerUnresponsiveError(ServeError):
+    """A pooled worker did not answer within the request deadline.
+
+    Raised parent-side when ``poll(remaining)`` times out on a worker
+    pipe.  The worker is alive but wedged (or just too slow); the pool
+    must restart it — a late reply would desynchronise the pipe protocol.
+    """
+
+    retryable = True
+
+
+class WorkerProtocolError(ServeError):
+    """A pooled worker sent something that is not a ``(status, payload)`` reply.
+
+    The pipe framing survived but the content is corrupt; the worker can
+    no longer be trusted and must be restarted.
+    """
+
+    retryable = True

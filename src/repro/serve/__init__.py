@@ -35,6 +35,14 @@ boundary, layered bottom-up:
     rank query: contiguous shard ranges fan out across the pool as
     ``rank_fragment`` requests and merge into one bit-identical ranking
     (``repro serve --workers N --scatter BAGS``).
+:mod:`repro.serve.resilience`
+    :class:`Deadline` (per-request time budgets, ``deadline_ms`` on the
+    wire, re-stamped as *remaining* at every hop),
+    :class:`CircuitBreaker` (routes around a flapping worker, re-probes
+    after a cooldown) and :class:`ResilienceStats` — the counters behind
+    ``stats()["resilience"]``.  Expiry maps to HTTP 504
+    (:class:`~repro.errors.DeadlineError`); a worker that misses its
+    deadline is restarted rather than waited on.
 
 Quickstart::
 
@@ -74,6 +82,13 @@ from repro.serve.codec import (
     wire_equal,
 )
 from repro.serve.http import ReproClient, ReproServer
+from repro.serve.resilience import (
+    CircuitBreaker,
+    Deadline,
+    ResilienceStats,
+    deadline_from_payload,
+    stamp_deadline,
+)
 from repro.serve.sessions import FeedbackRoundResult, SessionStore
 from repro.serve.shm import SharedPackedCorpus
 from repro.serve.snapshot import (
@@ -123,4 +138,9 @@ __all__ = [
     "WorkerPool",
     "WorkerDispatchApp",
     "ScatterRanker",
+    "Deadline",
+    "CircuitBreaker",
+    "ResilienceStats",
+    "deadline_from_payload",
+    "stamp_deadline",
 ]

@@ -51,16 +51,28 @@ from repro.core.sharding import ShardedRanker
 from repro.serve import codec
 from repro.serve.sessions import SessionStore
 from repro import errors as errors_module
-from repro.errors import CodecError, QueryError, ReproError, ServeError, SessionError
+from repro.errors import (
+    CodecError,
+    DeadlineError,
+    QueryError,
+    ReproError,
+    ServeError,
+    SessionError,
+)
 from repro.version import __version__
 
 
 def error_payload(exc: BaseException) -> dict:
-    """The wire form of a failure (an enveloped ``error`` payload)."""
-    return codec.envelope(
-        "error",
-        {"error": type(exc).__name__, "message": str(exc)},
-    )
+    """The wire form of a failure (an enveloped ``error`` payload).
+
+    Retryable failures (a worker restart, a deadline expiry) carry a
+    ``"retryable": true`` field so clients can retry without parsing
+    messages; the flag is omitted otherwise (add-only wire evolution).
+    """
+    fields: dict = {"error": type(exc).__name__, "message": str(exc)}
+    if getattr(exc, "retryable", False):
+        fields["retryable"] = True
+    return codec.envelope("error", fields)
 
 
 class ServiceApp:
@@ -124,6 +136,16 @@ class ServiceApp:
             raise QueryError(
                 f"unknown endpoint {endpoint!r} "
                 f"(known: {', '.join(self.ENDPOINTS)})"
+            )
+        # Validate any riding deadline and refuse work whose budget is
+        # already gone — the caller stopped waiting, so computing the
+        # answer would only burn the worker for nobody.
+        from repro.serve.resilience import deadline_from_payload
+
+        deadline = deadline_from_payload(payload)
+        if deadline is not None and deadline.expired:
+            raise DeadlineError(
+                f"{name} request arrived with its deadline already expired"
             )
         if name in ("health", "stats"):
             return getattr(self, name)()
@@ -346,7 +368,8 @@ def handle_safely(app, endpoint: str, payload: Mapping | None) -> tuple[int, dic
     """Dispatch and map failures to ``(status, wire payload)``.
 
     The shared transport glue: 200 on success, 404 for unknown sessions,
-    400 for every other deliberate package error, 500 for genuine bugs.
+    504 for expired request deadlines, 400 for every other deliberate
+    package error, 500 for genuine bugs.
     Transports that have status codes (HTTP) use the integer directly;
     others can key off the payload's ``kind``.
 
@@ -364,6 +387,8 @@ def handle_safely(app, endpoint: str, payload: Mapping | None) -> tuple[int, dic
             return 500, error_payload(exc)
     try:
         return 200, app.dispatch(endpoint, payload)
+    except DeadlineError as exc:
+        return 504, error_payload(exc)
     except SessionError as exc:
         return 404, error_payload(exc)
     except ReproError as exc:
@@ -387,5 +412,8 @@ def raise_error_payload(payload: Any, status: int | None = None) -> None:
         message = str(payload.get("message", message))
         cls = getattr(errors_module, str(name), None)
         if isinstance(cls, type) and issubclass(cls, ReproError):
-            raise cls(message)
+            exc = cls(message)
+            if payload.get("retryable"):
+                exc.retryable = True
+            raise exc
     raise ServeError(message)

@@ -24,6 +24,7 @@ Use the generic :func:`encode` / :func:`decode` pair (dispatch on type /
 
 from __future__ import annotations
 
+import math
 from typing import Any, Callable, Mapping
 
 import numpy as np
@@ -87,6 +88,40 @@ def _field(payload: Mapping, kind: str, name: str) -> Any:
 
 def _opt_tuple(value) -> tuple | None:
     return None if value is None else tuple(value)
+
+
+def deadline_ms_field(payload: Any) -> float | None:
+    """Validate and return a payload's ``deadline_ms`` field.
+
+    ``deadline_ms`` is the *remaining* request budget in milliseconds at
+    the moment the payload was sent (relative, not absolute — monotonic
+    clocks do not cross process or host boundaries).  It may ride any
+    request envelope; every hop re-stamps the remaining budget before
+    forwarding.
+
+    Returns ``None`` when the payload is not a mapping or carries no
+    deadline.  A present deadline must be a positive finite number.
+
+    Raises:
+        CodecError: on a non-numeric, boolean, non-finite or non-positive
+            ``deadline_ms``.
+    """
+    if not isinstance(payload, Mapping):
+        return None
+    value = payload.get("deadline_ms")
+    if value is None:
+        return None
+    if (
+        isinstance(value, bool)
+        or not isinstance(value, (int, float))
+        or not math.isfinite(float(value))
+        or float(value) <= 0
+    ):
+        raise CodecError(
+            "deadline_ms must be a positive finite number of milliseconds, "
+            f"got {value!r}"
+        )
+    return float(value)
 
 
 # --------------------------------------------------------------------- #

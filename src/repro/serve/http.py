@@ -36,7 +36,7 @@ from urllib import request as urlrequest
 from repro.api.query import Query, QueryResult
 from repro.core.concept import LearnedConcept
 from repro.core.retrieval import RetrievalResult
-from repro.errors import CodecError, ServeError
+from repro.errors import CodecError, DeadlineError, ServeError
 from repro.serve import codec
 from repro.serve.app import (
     ServiceApp,
@@ -51,6 +51,16 @@ _API_PREFIX = "/v1/"
 #: (a 1000-query batch is well under 1 MiB) while bounding what a single
 #: connection can make the process hold in memory.
 MAX_BODY_BYTES = 16 * 1024 * 1024
+
+#: Default per-connection read timeout (seconds).  Applied to header
+#: reads via the handler's socket timeout and to body reads as a wall
+#: clock over the whole body — a slowloris client dribbling one byte per
+#: poll cannot pin a server thread forever.
+DEFAULT_READ_TIMEOUT = 30.0
+
+#: Body reads buffer in chunks of this size so the wall clock is checked
+#: between chunks even while bytes keep trickling in.
+_BODY_CHUNK_BYTES = 65536
 
 
 class _ReproHTTPServer(ThreadingHTTPServer):
@@ -104,6 +114,11 @@ class _Handler(BaseHTTPRequestHandler):
 
     app: ServiceApp  # injected by ReproServer via a subclass attribute
     protocol_version = "HTTP/1.1"
+    # Per-connection socket timeout (StreamRequestHandler applies it in
+    # setup()): a client stalling mid-request-line or mid-headers gets its
+    # connection closed instead of pinning this thread.  ReproServer
+    # overrides the value per instance via the bound subclass.
+    timeout = DEFAULT_READ_TIMEOUT
 
     # The default handler logs every request to stderr; a serving worker
     # should stay quiet unless asked.
@@ -153,7 +168,62 @@ class _Handler(BaseHTTPRequestHandler):
         status, payload = handle_safely(self.app, endpoint, None)
         self._reply(status, payload)
 
+    def _read_body(self, length: int) -> bytes | None:
+        """Read the body against a wall clock; ``None`` when it timed out.
+
+        The socket timeout alone cannot stop a dribbling client (every
+        byte received resets it), so the whole body shares one read
+        budget of :attr:`timeout` seconds.  On expiry the client gets a
+        408 and the connection closes (the unread bytes make it
+        unsyncable).
+        """
+        deadline = time.monotonic() + self.timeout
+        chunks: list[bytes] = []
+        received = 0
+        while received < length:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                chunk = b""
+            else:
+                try:
+                    self.connection.settimeout(remaining)
+                    # read1, not read: read(n) would block until all n
+                    # bytes arrive, so a dribbling client's partial bytes
+                    # would be lost to the timeout instead of counted.
+                    chunk = self.rfile.read1(
+                        min(length - received, _BODY_CHUNK_BYTES)
+                    )
+                except TimeoutError:
+                    chunk = b""
+                except OSError:
+                    # The peer vanished mid-body; nothing to reply to.
+                    self.close_connection = True
+                    return None
+            if not chunk:
+                self.close_connection = True
+                try:
+                    self._reply(
+                        408,
+                        error_payload(
+                            DeadlineError(
+                                f"request body not received within "
+                                f"{self.timeout:.1f}s ({received} of {length} "
+                                f"bytes arrived)"
+                            )
+                        ),
+                    )
+                except OSError:  # the peer is already gone
+                    pass
+                return None
+            chunks.append(chunk)
+            received += len(chunk)
+        # Restore the per-connection timeout for the next keep-alive
+        # request's header reads.
+        self.connection.settimeout(self.timeout)
+        return b"".join(chunks)
+
     def _do_post(self) -> None:
+        arrived = time.monotonic()
         # Always drain the body first: replying without reading it would
         # desync a keep-alive connection (the unread bytes get parsed as
         # the next request line).
@@ -181,7 +251,12 @@ class _Handler(BaseHTTPRequestHandler):
                 ),
             )
             return
-        raw = self.rfile.read(length) if length > 0 else b""
+        if length > 0:
+            raw = self._read_body(length)
+            if raw is None:
+                return
+        else:
+            raw = b""
         endpoint = self._endpoint()
         if endpoint is None:
             self._reply(404, error_payload(ServeError(f"no POST route {self.path!r}")))
@@ -191,6 +266,27 @@ class _Handler(BaseHTTPRequestHandler):
         except (ValueError, UnicodeDecodeError) as exc:
             self._reply(400, error_payload(CodecError(f"request body is not JSON: {exc}")))
             return
+        # The wire deadline_ms was stamped when the client *sent* the
+        # request; the time spent receiving it counts against the budget,
+        # so re-stamp what is left (and answer the 504 here if a slow body
+        # ate it all) before the app starts its own countdown.
+        if isinstance(payload, Mapping):
+            budget = payload.get("deadline_ms")
+            if isinstance(budget, (int, float)) and not isinstance(budget, bool):
+                elapsed_ms = (time.monotonic() - arrived) * 1000.0
+                remaining = float(budget) - elapsed_ms
+                if remaining <= 0:
+                    self._reply(
+                        504,
+                        error_payload(
+                            DeadlineError(
+                                "request deadline expired while the request "
+                                "was being received"
+                            )
+                        ),
+                    )
+                    return
+                payload = {**payload, "deadline_ms": remaining}
         status, reply = handle_safely(self.app, endpoint, payload)
         self._reply(status, reply)
 
@@ -203,6 +299,10 @@ class ReproServer:
             ``ReproServer(ServiceApp(service))``).
         host: bind address.
         port: bind port; ``0`` picks a free one (see :attr:`port`).
+        read_timeout: per-connection read budget in seconds — for header
+            reads (socket timeout) and for each request body (wall clock;
+            408 on expiry) — so a stalled or dribbling client cannot pin
+            a handler thread forever.
 
     Usage::
 
@@ -211,8 +311,22 @@ class ReproServer:
             result = client.query(query)
     """
 
-    def __init__(self, app, host: str = "127.0.0.1", port: int = 8000) -> None:
-        handler = type("_BoundHandler", (_Handler,), {"app": app})
+    def __init__(
+        self,
+        app,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+        read_timeout: float = DEFAULT_READ_TIMEOUT,
+    ) -> None:
+        if not read_timeout > 0:
+            raise ServeError(
+                f"read_timeout must be positive, got {read_timeout!r}"
+            )
+        handler = type(
+            "_BoundHandler",
+            (_Handler,),
+            {"app": app, "timeout": float(read_timeout)},
+        )
         self._app = app
         self._httpd = _ReproHTTPServer((host, port), handler)
         self._thread: threading.Thread | None = None
@@ -282,16 +396,43 @@ class ReproClient:
     Args:
         base_url: e.g. ``http://127.0.0.1:8000`` (with or without ``/v1``).
         timeout: per-request socket timeout in seconds.
+        deadline_ms: default request budget stamped onto every POST
+            payload as the wire ``deadline_ms`` field — the server (and
+            every hop behind it: workers, scatter fragments) abandons the
+            work and answers a typed 504
+            :class:`~repro.errors.DeadlineError` once it expires, and the
+            client's own socket timeout is tightened to match so a call
+            never outwaits its budget.  ``None`` (the default) sends no
+            deadline; per-call ``deadline_ms`` arguments override.
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        deadline_ms: float | None = None,
+    ) -> None:
         self._base = base_url.rstrip("/")
         if self._base.endswith("/v1"):
             self._base = self._base[:-3]
         self._timeout = timeout
+        self._deadline_ms = deadline_ms
 
-    def _call(self, endpoint: str, payload: Mapping | None = None) -> dict:
+    def _call(
+        self,
+        endpoint: str,
+        payload: Mapping | None = None,
+        deadline_ms: float | None = None,
+    ) -> dict:
         url = f"{self._base}/v1/{endpoint}"
+        budget = self._deadline_ms if deadline_ms is None else deadline_ms
+        timeout = self._timeout
+        if payload is not None and budget is not None:
+            payload = {**payload, "deadline_ms": float(budget)}
+            # The server answers its 504 within the budget; the socket
+            # timeout is a backstop (with a grace second for the reply to
+            # travel), not the deadline mechanism itself.
+            timeout = min(timeout, float(budget) / 1000.0 + 1.0)
         if payload is None:
             req = urlrequest.Request(url, method="GET")
         else:
@@ -302,7 +443,7 @@ class ReproClient:
                 method="POST",
             )
         try:
-            with urlrequest.urlopen(req, timeout=self._timeout) as response:
+            with urlrequest.urlopen(req, timeout=timeout) as response:
                 body = json.loads(response.read().decode("utf-8"))
         except urlerror.HTTPError as exc:
             try:
@@ -318,12 +459,20 @@ class ReproClient:
     # Endpoints                                                           #
     # ------------------------------------------------------------------ #
 
-    def query(self, query: Query) -> QueryResult:
+    def query(
+        self, query: Query, *, deadline_ms: float | None = None
+    ) -> QueryResult:
         """Run one query remotely; returns the decoded result."""
-        return codec.decode_query_result(self._call("query", codec.encode_query(query)))
+        return codec.decode_query_result(
+            self._call("query", codec.encode_query(query), deadline_ms)
+        )
 
     def batch_query(
-        self, queries: Sequence[Query], workers: int | None = None
+        self,
+        queries: Sequence[Query],
+        workers: int | None = None,
+        *,
+        deadline_ms: float | None = None,
     ) -> list[QueryResult]:
         """Run many queries remotely (request order preserved)."""
         payload = codec.envelope(
@@ -334,7 +483,8 @@ class ReproClient:
             },
         )
         body = codec.open_envelope(
-            self._call("batch_query", payload), "batch_query_result"
+            self._call("batch_query", payload, deadline_ms),
+            "batch_query_result",
         )
         return [codec.decode_query_result(entry) for entry in body["results"]]
 
@@ -350,6 +500,7 @@ class ReproClient:
         rank: bool = True,
         top_k: int | None = None,
         category_filter: str | None = None,
+        deadline_ms: float | None = None,
     ) -> dict:
         """One feedback round; creates a session when ``session`` is None.
 
@@ -372,7 +523,9 @@ class ReproClient:
                 "category_filter": category_filter,
             },
         )
-        body = codec.open_envelope(self._call("feedback", payload), "feedback_result")
+        body = codec.open_envelope(
+            self._call("feedback", payload, deadline_ms), "feedback_result"
+        )
         ranking = body.get("ranking")
         concept = body.get("concept")
         return {
@@ -393,6 +546,7 @@ class ReproClient:
         top_k: int | None = None,
         category_filter: str | None = None,
         rank_mode: str | None = None,
+        deadline_ms: float | None = None,
     ) -> RetrievalResult:
         """Re-rank remotely with a session's model or an explicit concept.
 
@@ -414,7 +568,9 @@ class ReproClient:
                 "rank_mode": rank_mode,
             },
         )
-        body = codec.open_envelope(self._call("rank", payload), "rank_result")
+        body = codec.open_envelope(
+            self._call("rank", payload, deadline_ms), "rank_result"
+        )
         return codec.decode_ranking(body["ranking"])
 
     def health(self) -> dict:

@@ -1,0 +1,301 @@
+"""Deadline propagation, circuit breaking and resilience accounting.
+
+The serving layer's failure story before this module only covered *dead*
+processes: a hung-but-alive worker wedged the dispatcher forever, and no
+request carried a time budget.  Three small primitives fix that, shared
+by :mod:`repro.serve.workers`, :mod:`repro.serve.scatter`,
+:mod:`repro.serve.app` and :mod:`repro.serve.http`:
+
+:class:`Deadline`
+    A monotonic per-request budget.  It crosses process and network
+    boundaries as the *remaining* budget in milliseconds (the
+    ``deadline_ms`` envelope field, validated by
+    :func:`repro.serve.codec.deadline_ms_field`) — absolute monotonic
+    timestamps are meaningless on the far side, so every hop re-stamps
+    the remaining budget just before forwarding (:func:`stamp_deadline`)
+    and the receiver restarts the countdown (:func:`deadline_from_payload`).
+
+:class:`CircuitBreaker`
+    Per-worker-slot consecutive-failure tracking.  A slot whose worker
+    keeps failing (crashing, hanging, corrupting replies, answering 5xx)
+    is *opened* — routed around — until a cooldown elapses, after which
+    one probe request is allowed through (half-open); success closes the
+    breaker, failure re-opens it.  The breaker guards the *slot*, not the
+    process: a flapping worker that crashes on every warm-up keeps its
+    slot open across restarts instead of eating a request per incarnation.
+
+:class:`ResilienceStats`
+    Thread-safe counters for everything the recovery paths do — deadline
+    expiries, unresponsive-worker restarts, corrupt replies, sessions
+    lost to restarts, degraded (non-scatter) answers — surfaced under
+    ``stats()["resilience"]`` so a fault-injection soak can assert every
+    injected fault was accounted for.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Any, Callable, Mapping
+
+from repro.errors import ServeError
+from repro.serve import codec
+
+#: Smallest budget (seconds) a re-stamped deadline ships: the codec
+#: requires a positive ``deadline_ms``, and a parent that won the race to
+#: stamp an almost-expired deadline should still forward it (the receiver
+#: will observe the expiry and answer 504 — the authoritative outcome —
+#: rather than the parent masking it with a local guess).
+MIN_STAMP_SECONDS = 1e-5
+
+
+class Deadline:
+    """A monotonic time budget for one request.
+
+    Args:
+        budget_seconds: how long the request may take from *now*; must be
+            positive and finite.
+        clock: monotonic clock (injectable for tests).
+    """
+
+    __slots__ = ("_clock", "_expires_at")
+
+    def __init__(
+        self,
+        budget_seconds: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        budget = float(budget_seconds)
+        if not math.isfinite(budget) or budget <= 0:
+            raise ServeError(
+                f"a deadline budget must be positive and finite, got "
+                f"{budget_seconds!r}"
+            )
+        self._clock = clock
+        self._expires_at = clock() + budget
+
+    @classmethod
+    def from_ms(
+        cls, budget_ms: float, *, clock: Callable[[], float] = time.monotonic
+    ) -> "Deadline":
+        """Build from a wire ``deadline_ms`` remaining budget."""
+        return cls(float(budget_ms) / 1000.0, clock=clock)
+
+    def remaining(self) -> float:
+        """Seconds left (clamped to 0.0 once expired)."""
+        return max(0.0, self._expires_at - self._clock())
+
+    def remaining_ms(self) -> float:
+        """Milliseconds left (clamped to 0.0 once expired)."""
+        return self.remaining() * 1000.0
+
+    @property
+    def expired(self) -> bool:
+        return self._clock() >= self._expires_at
+
+    def sub_budget(self, fraction: float) -> "Deadline":
+        """A child deadline over ``fraction`` of the remaining budget.
+
+        Used for scatter fragments: giving each fragment only part of the
+        remaining budget reserves headroom for the degraded re-answer and
+        the merge if a fragment times out.
+        """
+        if not 0 < fraction <= 1:
+            raise ServeError(
+                f"a sub-budget fraction must be in (0, 1], got {fraction!r}"
+            )
+        budget = max(self.remaining(), MIN_STAMP_SECONDS) * fraction
+        return type(self)(budget, clock=self._clock)
+
+    def __repr__(self) -> str:
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+def deadline_from_payload(
+    payload: Any, *, clock: Callable[[], float] = time.monotonic
+) -> Deadline | None:
+    """Start the local countdown for a payload's ``deadline_ms``, if any.
+
+    Raises:
+        CodecError: on a malformed ``deadline_ms``
+            (:func:`repro.serve.codec.deadline_ms_field`).
+    """
+    budget_ms = codec.deadline_ms_field(payload)
+    if budget_ms is None:
+        return None
+    return Deadline.from_ms(budget_ms, clock=clock)
+
+
+def stamp_deadline(
+    payload: Mapping | None, deadline: Deadline | None
+) -> Mapping | None:
+    """Re-stamp the remaining budget onto a payload about to be forwarded.
+
+    Returns the payload unchanged when there is no deadline or no mapping
+    to stamp; otherwise a shallow copy with a fresh ``deadline_ms``.  The
+    stamp is clamped positive so the wire validator accepts it even if
+    the budget expired between the caller's check and the stamp — the
+    receiver then observes the (near-)expiry itself.
+    """
+    if deadline is None or not isinstance(payload, Mapping):
+        return payload
+    remaining_ms = max(deadline.remaining_ms(), MIN_STAMP_SECONDS * 1000.0)
+    return {**payload, "deadline_ms": remaining_ms}
+
+
+class ResilienceStats:
+    """Thread-safe named counters for the recovery paths.
+
+    Every counter starts at zero and only ever increments; `snapshot()`
+    is the JSON-safe view surfaced under ``stats()["resilience"]``.
+    """
+
+    #: Counters every snapshot reports, even at zero, so dashboards and
+    #: the chaos soak can assert on stable keys.
+    COUNTERS = (
+        "deadline_expiries",
+        "unresponsive_restarts",
+        "crash_restarts",
+        "corrupt_replies",
+        "lost_sessions",
+        "degraded_answers",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: dict[str, int] = {name: 0 for name in self.COUNTERS}
+
+    def incr(self, name: str, n: int = 1) -> None:
+        if name not in self._counts:
+            # A typo'd counter would silently vanish from dashboards.
+            raise ServeError(f"unknown resilience counter {name!r}")
+        with self._lock:
+            self._counts[name] += int(n)
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._counts.get(name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+
+class _SlotState:
+    __slots__ = ("failures", "open_until")
+
+    def __init__(self) -> None:
+        self.failures = 0
+        self.open_until: float | None = None
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker over N worker slots.
+
+    States per slot: *closed* (healthy, requests flow), *open* (too many
+    consecutive failures; routed around until ``cooldown_seconds``
+    elapse), *half-open* (cooldown elapsed; one probe is allowed —
+    success closes, failure re-opens and restarts the cooldown).
+
+    Args:
+        n_slots: number of worker slots guarded.
+        threshold: consecutive failures that open a slot.
+        cooldown_seconds: how long an open slot is routed around before
+            a re-probe is allowed.
+        clock: monotonic clock (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        n_slots: int,
+        *,
+        threshold: int = 3,
+        cooldown_seconds: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if n_slots < 1:
+            raise ServeError(f"n_slots must be >= 1, got {n_slots}")
+        if threshold < 1:
+            raise ServeError(f"threshold must be >= 1, got {threshold}")
+        if not math.isfinite(float(cooldown_seconds)) or cooldown_seconds <= 0:
+            raise ServeError(
+                f"cooldown_seconds must be positive and finite, got "
+                f"{cooldown_seconds!r}"
+            )
+        self._clock = clock
+        self._threshold = int(threshold)
+        self._cooldown = float(cooldown_seconds)
+        self._lock = threading.Lock()
+        self._slots = [_SlotState() for _ in range(n_slots)]
+        self._n_opens = 0
+
+    @property
+    def threshold(self) -> int:
+        return self._threshold
+
+    @property
+    def cooldown_seconds(self) -> float:
+        return self._cooldown
+
+    @property
+    def n_opens(self) -> int:
+        """How many closed/half-open → open transitions have happened."""
+        with self._lock:
+            return self._n_opens
+
+    def available(self, slot: int) -> bool:
+        """May a request be routed to this slot right now?
+
+        True for closed slots and for open slots whose cooldown has
+        elapsed (the half-open probe).
+        """
+        with self._lock:
+            state = self._slots[slot]
+            if state.open_until is None:
+                return True
+            return self._clock() >= state.open_until
+
+    def record_success(self, slot: int) -> None:
+        """A request to this slot succeeded: reset and close."""
+        with self._lock:
+            state = self._slots[slot]
+            state.failures = 0
+            state.open_until = None
+
+    def record_failure(self, slot: int) -> None:
+        """A request to this slot failed; open it at the threshold.
+
+        Failures while the slot is already open (affinity-routed session
+        requests bypass the breaker) extend nothing and are not counted
+        as new opens — only a closed or half-open slot transitions.
+        """
+        with self._lock:
+            state = self._slots[slot]
+            state.failures += 1
+            if state.failures < self._threshold:
+                return
+            now = self._clock()
+            if state.open_until is None or now >= state.open_until:
+                state.open_until = now + self._cooldown
+                self._n_opens += 1
+
+    def snapshot(self) -> dict:
+        """JSON-safe breaker state for ``stats()["resilience"]``."""
+        with self._lock:
+            now = self._clock()
+            open_slots = [
+                index
+                for index, state in enumerate(self._slots)
+                if state.open_until is not None and now < state.open_until
+            ]
+            return {
+                "threshold": self._threshold,
+                "cooldown_seconds": self._cooldown,
+                "opens": self._n_opens,
+                "open_workers": open_slots,
+                "consecutive_failures": [
+                    state.failures for state in self._slots
+                ],
+            }

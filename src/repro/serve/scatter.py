@@ -21,11 +21,18 @@ kth-best exact distance to every worker as the initial pruning threshold,
 so even the first chunk a late worker touches prunes against an already
 tight cutoff instead of rediscovering one per fragment.
 
-Degraded pools fall back gracefully: any transport failure, non-200
-fragment, or coordinator-side decode error routes the original request
-through normal single-worker dispatch (``pool.handle``), which reproduces
-the exact non-scatter behaviour — a crashed worker costs one fallback
-(and its auto-restart), never a wrong or lost answer.
+Degraded pools fall back gracefully down a ladder: any transport failure,
+timed-out fragment, non-200 fragment, or coordinator-side decode error
+counts a fallback and re-answers through **(1)** single-worker sharded
+dispatch (``pool.handle``, which reproduces the exact non-scatter
+behaviour), and — should that also fail — **(2)** a coordinator-local
+exact rank over the same packed view (the same kernels and data, so still
+bit-identical).  A crashed or hung worker costs one fallback (and its
+auto-restart), never a wrong or lost answer.  Fragment dispatch routes
+around circuit-breaker-opened workers, each fragment gets a sub-budget of
+the request's :class:`~repro.serve.resilience.Deadline` (headroom
+reserved for the re-answer and the merge), and degraded answers are
+counted in the pool's resilience stats.
 """
 
 from __future__ import annotations
@@ -38,13 +45,22 @@ import numpy as np
 
 from repro.core.retrieval import (
     AUTO_SHARD_MIN_BAGS,
+    RANK_MODES,
+    Ranker,
     build_result,
     keep_mask,
     top_order,
 )
 from repro.core.sharding import seed_threshold
-from repro.errors import ReproError, ServeError
+from repro.errors import CodecError, DeadlineError, ReproError, ServeError, SessionError
 from repro.serve import codec
+from repro.serve.app import error_payload
+from repro.serve.resilience import Deadline
+
+#: Fraction of the remaining deadline each fragment wave may spend: the
+#: reserved quarter keeps enough budget for the degraded re-answer (and
+#: the merge) if a fragment times out at its sub-deadline.
+FRAGMENT_BUDGET_FRACTION = 0.75
 
 
 class _Delegate(Exception):
@@ -141,29 +157,114 @@ class ScatterRanker:
             return False
         return bool(packed.rank_index_enabled) and packed.n_bags >= self._min_bags
 
-    def handle(self, payload: Mapping) -> tuple[int, dict]:
+    def handle(
+        self, payload: Mapping, deadline: Deadline | None = None
+    ) -> tuple[int, dict]:
         """Scatter an :meth:`eligible` rank request; gather the ranking.
 
         Returns the same ``(status, rank_result payload)`` pair a pooled
-        worker produces.  Coordinator-side failures (a worker dying
-        mid-scatter, a non-200 fragment, a decode error) fall back to
-        single-worker dispatch and are counted in :meth:`stats`.
+        worker produces.  Coordinator-side failures (a worker dying or
+        timing out mid-scatter, a non-200 fragment, a decode error) count
+        a fallback and re-answer down the degraded ladder
+        (:meth:`_degraded`: single-worker sharded, then coordinator-local
+        exact) within whatever budget remains.
         """
         with self._lock:
             self._n_requests += 1
         try:
-            return self._scatter(payload)
+            return self._scatter(payload, deadline)
         except _Delegate:
-            return self._pool.handle("rank", payload)
+            return self._pool.handle("rank", payload, deadline=deadline)
         except ReproError:
             # The pool restarted any worker that died mid-scatter
-            # (WorkerPool.scatter does that before raising); the retry
+            # (WorkerPool.scatter does that before raising); the ladder
             # below dispatches to whichever workers are healthy now.
             with self._lock:
                 self._n_fallbacks += 1
-            return self._pool.handle("rank", payload)
+            return self._degraded(payload, deadline)
 
-    def _scatter(self, payload: Mapping) -> tuple[int, dict]:
+    def _degraded(
+        self, payload: Mapping, deadline: Deadline | None
+    ) -> tuple[int, dict]:
+        """Re-answer a failed scatter down the degradation ladder.
+
+        Rung 1 — single-worker sharded dispatch: the exact non-scatter
+        behaviour, on whichever worker is healthy now.  Rung 2 —
+        coordinator-local exact rank over the same packed view: the
+        kernels and data are shared with the workers, so the answer stays
+        bit-identical even with the whole pool misbehaving.  Each rung is
+        entered only while budget remains; successful degraded answers
+        are counted in the pool's resilience stats.
+        """
+
+        def expiry(stage: str) -> tuple[int, dict]:
+            self._pool.resilience.incr("deadline_expiries")
+            return 504, error_payload(
+                DeadlineError(f"rank deadline expired {stage}")
+            )
+
+        if deadline is not None and deadline.expired:
+            return expiry("before the degraded re-answer")
+        try:
+            status, reply = self._pool.handle("rank", payload, deadline=deadline)
+        except ReproError as exc:
+            status, reply = 500, error_payload(exc)
+        if status < 500:
+            if status == 200:
+                self._pool.resilience.incr("degraded_answers")
+            return status, reply
+        if deadline is not None and deadline.expired:
+            return expiry("during the degraded re-answer")
+        try:
+            reply = self._rank_locally(payload)
+        except SessionError as exc:
+            return 404, error_payload(exc)
+        except ReproError as exc:
+            return 400, error_payload(exc)
+        except Exception as exc:  # noqa: BLE001 - last rung must not raise
+            return 500, error_payload(exc)
+        self._pool.resilience.incr("degraded_answers")
+        return 200, reply
+
+    def _rank_locally(self, payload: Mapping) -> dict:
+        """The ladder's last rung: rank on the coordinator itself.
+
+        Mirrors the worker-side concept branch of
+        :meth:`~repro.serve.app.ServiceApp.rank` over the coordinator's
+        own packed view — same kernels, same data, bit-identical ranking.
+        """
+        data = codec.open_envelope(payload, "rank")
+        if data.get("concept") is None or data.get("session") is not None:
+            raise ServeError(
+                "only stateless wire-concept rank requests can be answered "
+                "coordinator-side"
+            )
+        concept = codec.decode_concept(data["concept"])
+        rank_mode = data.get("rank_mode")
+        if rank_mode is not None and rank_mode not in RANK_MODES:
+            raise CodecError(
+                f"rank payload rank_mode must be one of {RANK_MODES}, "
+                f"got {rank_mode!r}"
+            )
+        top_k = data.get("top_k")
+        candidate_ids = data.get("candidate_ids")
+        packed = self._service.packed_database(
+            None if candidate_ids is None else tuple(candidate_ids)
+        )
+        ranking = Ranker(rank_mode=rank_mode).rank(
+            concept,
+            packed,
+            top_k=None if top_k is None else int(top_k),
+            exclude=tuple(data.get("exclude", ())),
+            category_filter=data.get("category_filter"),
+        )
+        return codec.envelope(
+            "rank_result", {"ranking": codec.encode_ranking(ranking)}
+        )
+
+    def _scatter(
+        self, payload: Mapping, deadline: Deadline | None = None
+    ) -> tuple[int, dict]:
         data = codec.open_envelope(payload, "rank")
         if (
             data.get("session") is not None
@@ -190,7 +291,20 @@ class ScatterRanker:
             # worker beats shipping the whole corpus back as "fragments".
             raise _Delegate()
         index = packed.shard_index()
-        width = min(self._pool.n_workers, index.n_shards)
+        # Route around breaker-opened workers: a flapping worker should
+        # not cost every scatter a fallback for its whole cooldown.  With
+        # every slot open the full pool is probed — refusing to scatter
+        # at all would be strictly worse than trying.
+        breaker = getattr(self._pool, "breaker", None)
+        targets = [
+            worker
+            for worker in range(self._pool.n_workers)
+            if breaker is None or breaker.available(worker)
+        ]
+        if not targets:
+            targets = list(range(self._pool.n_workers))
+        width = min(len(targets), index.n_shards)
+        targets = targets[:width]
         started = time.perf_counter()
         threshold = seed_threshold(
             packed, index, concept, keep, top_k,
@@ -223,7 +337,18 @@ class ScatterRanker:
             )
             for i in range(width)
         ]
-        replies = self._pool.scatter("rank_fragment", payloads)
+        # Fragments get a sub-budget of the remaining deadline so a
+        # timed-out wave still leaves room for the degraded re-answer.
+        fragment_deadline = (
+            None if deadline is None
+            else deadline.sub_budget(FRAGMENT_BUDGET_FRACTION)
+        )
+        replies = self._pool.scatter(
+            "rank_fragment",
+            payloads,
+            workers=targets,
+            deadline=fragment_deadline,
+        )
         scatter_seconds = time.perf_counter() - started
 
         merge_started = time.perf_counter()

@@ -1,0 +1,33 @@
+"""Deterministic fault injection and chaos soaking for the serving layer.
+
+:mod:`repro.testing.faults`
+    :class:`FaultPlan` / :class:`FaultSpec` — a seeded, schema-versioned
+    plan of worker faults (crash-before-reply, stall-N-seconds,
+    corrupt-payload, error-status, slow-start), installed into pooled
+    workers via knobs and consulted by :class:`FaultInjector` at the
+    ``_worker_main`` dispatch boundary.
+:mod:`repro.testing.chaos`
+    :func:`run_chaos_soak` — runs the same seeded query/rank/feedback mix
+    against a fault-free pool and a pool under a :class:`FaultPlan`, and
+    asserts the rankings stay bit-identical (``repro chaos`` on the CLI).
+"""
+
+from repro.testing.faults import (
+    FAULT_KINDS,
+    PLAN_VERSION,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.testing.chaos import ChaosReport, build_mix, run_chaos_soak
+
+__all__ = [
+    "FAULT_KINDS",
+    "PLAN_VERSION",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "ChaosReport",
+    "build_mix",
+    "run_chaos_soak",
+]

@@ -1,0 +1,381 @@
+"""Deterministic chaos soak: prove faults never change a ranking.
+
+:func:`run_chaos_soak` runs one seeded query/rank/feedback request mix
+twice against the *same* corpus — once on a fault-free worker pool (no
+deadlines, nothing injected) and once on a pool under a seeded
+:class:`~repro.testing.faults.FaultPlan` with per-request deadlines and
+bounded retries — then compares the rankings **bit-identically**
+(image ids, categories, exact distances, candidate totals).  Training is
+seeded and ranking deterministic, so crashes, stalls, corrupt replies
+and injected errors may cost retries, restarts and degraded answers, but
+never a different answer; the resulting :class:`ChaosReport` carries the
+pool's ``resilience`` counters so callers can also assert every injected
+fault was accounted for.  ``repro chaos`` is the CLI face.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.errors import DatasetError
+from repro.serve import codec
+
+#: Learner parameters for the mix's query/feedback training rounds:
+#: seeded and small, so the soak trains fast and bit-identically on both
+#: pools.
+_LEARNER_PARAMS = {"scheme": "identical", "max_iterations": 20, "seed": 5}
+
+#: Statuses (and the wire ``retryable`` flag) that justify replaying a
+#: request against the recovered pool.
+_RETRYABLE_STATUSES = (500, 502, 503, 504)
+
+
+def _ranking_fingerprint(ranking: Any) -> tuple:
+    """A hashable bit-exact summary of a wire ``ranking`` payload."""
+    if not isinstance(ranking, Mapping):
+        return ("no-ranking",)
+    ranked = tuple(
+        (
+            entry.get("image_id"),
+            entry.get("category"),
+            entry.get("distance"),
+        )
+        for entry in ranking.get("ranked", ())
+        if isinstance(entry, Mapping)
+    )
+    return (ranked, ranking.get("total_candidates"))
+
+
+def build_mix(service, *, n_requests: int, seed: int, top_k: int = 10) -> list[dict]:
+    """A seeded, deterministic query/rank/feedback request mix.
+
+    Items cycle rank → query → feedback so every workload appears even in
+    short soaks.  Rank items ship a wire concept anchored on a corpus
+    instance; query items train from seeded per-category examples;
+    feedback items are self-contained two-round chains (create, then
+    refine and rank) so a chain can be replayed from scratch when a
+    restart loses its session.
+
+    Args:
+        service: the coordinator-side service (supplies the packed view
+            the examples and concepts come from).
+        n_requests: how many mix items to build.
+        seed: mix seed — same ``(corpus, seed, n_requests)``, same mix.
+        top_k: ranking depth requested by the items.
+    """
+    if n_requests < 1:
+        raise DatasetError(f"n_requests must be >= 1, got {n_requests}")
+    packed = service.packed_database()
+    rng = random.Random(seed)
+    by_category: dict[str, list[str]] = {}
+    for image_id, category in zip(packed.image_ids, packed.categories):
+        by_category.setdefault(category, []).append(image_id)
+    categories = sorted(by_category)
+    if len(categories) < 2:
+        raise DatasetError(
+            "the chaos mix needs at least two categories to draw "
+            "positive and negative examples from"
+        )
+    n_instances = int(packed.instances.shape[0])
+    n_dims = int(packed.instances.shape[1])
+
+    def examples(item_rng: random.Random) -> tuple[list[str], list[str]]:
+        positive_cat = item_rng.choice(categories)
+        negative_cat = item_rng.choice(
+            [cat for cat in categories if cat != positive_cat]
+        )
+        positives = item_rng.sample(
+            by_category[positive_cat], min(2, len(by_category[positive_cat]))
+        )
+        negatives = item_rng.sample(
+            by_category[negative_cat], min(1, len(by_category[negative_cat]))
+        )
+        return positives, negatives
+
+    items: list[dict] = []
+    kinds = ("rank", "query", "feedback")
+    for index in range(n_requests):
+        kind = kinds[index % len(kinds)]
+        item_rng = random.Random(f"{seed}:{index}")
+        if kind == "rank":
+            anchor = item_rng.randrange(n_instances)
+            concept = {
+                "kind": "concept",
+                "version": codec.WIRE_VERSION,
+                "t": [float(v) for v in packed.instances[anchor]],
+                "w": [1.0] * n_dims,
+                "nll": 0.0,
+            }
+            items.append(
+                {
+                    "kind": "rank",
+                    "payload": codec.envelope(
+                        "rank",
+                        {
+                            "concept": concept,
+                            "top_k": item_rng.choice((5, top_k)),
+                        },
+                    ),
+                }
+            )
+        elif kind == "query":
+            positives, negatives = examples(item_rng)
+            items.append(
+                {
+                    "kind": "query",
+                    "payload": codec.envelope(
+                        "query",
+                        {
+                            "positive_ids": positives,
+                            "negative_ids": negatives,
+                            "learner": "dd",
+                            "params": dict(_LEARNER_PARAMS),
+                            "candidate_ids": None,
+                            "top_k": top_k,
+                            "category_filter": None,
+                            "query_id": f"chaos-{index}",
+                        },
+                    ),
+                }
+            )
+        else:
+            positives, negatives = examples(item_rng)
+            extra_cat = item_rng.choice(categories)
+            extra = item_rng.choice(by_category[extra_cat])
+            rounds = [
+                {
+                    "learner": "dd",
+                    "params": dict(_LEARNER_PARAMS),
+                    "add_positive_ids": positives,
+                    "add_negative_ids": negatives,
+                    "rank": False,
+                },
+                {
+                    "add_positive_ids": [] if extra in positives else [extra],
+                    "add_negative_ids": [],
+                    "rank": True,
+                    "top_k": top_k,
+                },
+            ]
+            items.append({"kind": "feedback", "rounds": rounds})
+    return items
+
+
+@dataclass
+class ChaosReport:
+    """What one :func:`run_chaos_soak` observed.
+
+    ``ok`` requires every request answered on both pools and every
+    fingerprint bit-identical; resilience counters and restart totals let
+    callers additionally assert the plan's faults were *exercised*, not
+    dodged.
+    """
+
+    n_requests: int
+    n_faults_planned: int
+    fault_counts: dict[str, int]
+    n_retries: int
+    n_failures: int
+    baseline_failures: int
+    mismatches: list[int] = field(default_factory=list)
+    resilience: dict = field(default_factory=dict)
+    n_restarts: int = 0
+    max_attempt_seconds: float = 0.0
+    deadline_ms: float | None = None
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return (
+            not self.mismatches
+            and self.n_failures == 0
+            and self.baseline_failures == 0
+        )
+
+
+def _run_mix(
+    handle: Callable[[str, Mapping | None], tuple[int, dict]],
+    items: Sequence[Mapping],
+    *,
+    deadline_ms: float | None,
+    max_retries: int,
+) -> tuple[list[tuple], int, int, float]:
+    """Run the mix; returns (fingerprints, retries, failures, max_seconds)."""
+    fingerprints: list[tuple] = []
+    n_retries = 0
+    n_failures = 0
+    max_attempt = 0.0
+
+    def call(endpoint: str, payload: Mapping) -> tuple[int, dict, float]:
+        send = dict(payload)
+        if deadline_ms is not None:
+            send["deadline_ms"] = float(deadline_ms)
+        started = time.monotonic()
+        status, reply = handle(endpoint, send)
+        return status, reply, time.monotonic() - started
+
+    def retryable(status: int, reply: Mapping) -> bool:
+        if status in _RETRYABLE_STATUSES:
+            return True
+        return bool(isinstance(reply, Mapping) and reply.get("retryable"))
+
+    for item in items:
+        fingerprint: tuple | None = None
+        if item["kind"] in ("rank", "query"):
+            endpoint = str(item["kind"])
+            for _ in range(max_retries + 1):
+                status, reply, seconds = call(endpoint, item["payload"])
+                max_attempt = max(max_attempt, seconds)
+                if status == 200:
+                    # Both reply kinds nest the ranking under "ranking"
+                    # (query_result and rank_result alike).
+                    fingerprint = _ranking_fingerprint(reply.get("ranking"))
+                    break
+                if not retryable(status, reply):
+                    break
+                n_retries += 1
+        else:
+            # A feedback chain replays from round one whenever any round
+            # fails retryably (a session lost to a restart cannot be
+            # resumed — a fresh one retrains from the same examples and
+            # lands on the same concept).
+            for _ in range(max_retries + 1):
+                token = None
+                chain_ok = True
+                chain_retry = False
+                for round_fields in item["rounds"]:
+                    fields = dict(round_fields)
+                    fields["session"] = token
+                    status, reply, seconds = call(
+                        "feedback", codec.envelope("feedback", fields)
+                    )
+                    max_attempt = max(max_attempt, seconds)
+                    if status != 200:
+                        chain_ok = False
+                        chain_retry = retryable(status, reply)
+                        break
+                    token = reply.get("session")
+                    last_reply = reply
+                if chain_ok:
+                    fingerprint = _ranking_fingerprint(last_reply.get("ranking"))
+                    break
+                if not chain_retry:
+                    break
+                n_retries += 1
+        if fingerprint is None:
+            n_failures += 1
+            fingerprints.append(("failed",))
+        else:
+            fingerprints.append(fingerprint)
+    return fingerprints, n_retries, n_failures, max_attempt
+
+
+def run_chaos_soak(
+    service,
+    *,
+    n_workers: int = 2,
+    seed: int = 7,
+    n_requests: int = 24,
+    deadline_ms: float = 2000.0,
+    plan=None,
+    max_retries: int = 8,
+    min_scatter_bags: int | None = None,
+    pool_factory: Callable | None = None,
+) -> ChaosReport:
+    """Soak a faulted pool and assert nothing but latency changed.
+
+    Builds the seeded mix once, answers it on a fault-free pool (the
+    baseline; no deadlines, so even a slow box answers everything), then
+    answers the *same* mix on a pool under ``plan`` with per-request
+    deadlines and bounded retries, and fingerprints every ranking.
+
+    Args:
+        service: the warmed coordinator-side service both pools share.
+        n_workers: pool width (both runs).
+        seed: seeds the mix and (when ``plan`` is None) the default plan.
+        n_requests: mix length.
+        deadline_ms: per-request budget for the faulted run.
+        plan: the :class:`~repro.testing.faults.FaultPlan` to inject;
+            ``None`` generates a default crash/stall/corrupt/error mix
+            from ``seed`` (stalls sized well past ``deadline_ms`` so they
+            resolve by expiry, never by waiting them out).
+        max_retries: per-request retry budget against retryable failures.
+        min_scatter_bags: passed to the dispatch app (``None`` keeps the
+            auto threshold; small corpora then never scatter).
+        pool_factory: test seam — ``pool_factory(service, n_workers,
+            fault_plan=...)`` replaces ``WorkerPool.from_service``.
+
+    Returns:
+        A :class:`ChaosReport`; ``report.ok`` is the bit-identity claim.
+    """
+    from repro.serve.workers import WorkerDispatchApp, WorkerPool
+    from repro.testing.faults import FaultPlan
+
+    if plan is None:
+        plan = FaultPlan.generate(
+            seed,
+            n_workers=n_workers,
+            n_faults=6,
+            window=max(4, n_requests // 2),
+            stall_seconds=max(10.0, 5.0 * deadline_ms / 1000.0),
+        )
+    factory = (
+        (lambda svc, n, **kw: WorkerPool.from_service(svc, n, **kw))
+        if pool_factory is None
+        else pool_factory
+    )
+    items = build_mix(service, n_requests=n_requests, seed=seed)
+    started = time.monotonic()
+
+    baseline_pool = factory(service, n_workers)
+    try:
+        baseline_app = WorkerDispatchApp(
+            baseline_pool, service=service, min_scatter_bags=min_scatter_bags
+        )
+        baseline, _, baseline_failures, _ = _run_mix(
+            baseline_app.handle, items, deadline_ms=None, max_retries=0
+        )
+    finally:
+        baseline_pool.stop()
+
+    faulted_pool = factory(service, n_workers, fault_plan=plan)
+    try:
+        faulted_app = WorkerDispatchApp(
+            faulted_pool, service=service, min_scatter_bags=min_scatter_bags
+        )
+        faulted, n_retries, n_failures, max_attempt = _run_mix(
+            faulted_app.handle,
+            items,
+            deadline_ms=deadline_ms,
+            max_retries=max_retries,
+        )
+        # Snapshot stats while the workers are still alive (the broadcast
+        # needs them); pool counters survive the stop either way.
+        stats = faulted_app.stats()
+        resilience = dict(stats.get("resilience", {}))
+        n_restarts = faulted_pool.n_restarts
+    finally:
+        faulted_pool.stop()
+
+    mismatches = [
+        index
+        for index, (expected, actual) in enumerate(zip(baseline, faulted))
+        if expected != actual
+    ]
+    return ChaosReport(
+        n_requests=len(items),
+        n_faults_planned=len(plan),
+        fault_counts=plan.counts(),
+        n_retries=n_retries,
+        n_failures=n_failures,
+        baseline_failures=baseline_failures,
+        mismatches=mismatches,
+        resilience=resilience,
+        n_restarts=n_restarts,
+        max_attempt_seconds=max_attempt,
+        deadline_ms=deadline_ms,
+        elapsed_seconds=time.monotonic() - started,
+    )

@@ -1,0 +1,310 @@
+"""Seeded, schema-versioned fault plans for pooled serving workers.
+
+A :class:`FaultPlan` is a deterministic list of :class:`FaultSpec`
+entries — *which worker* misbehaves, *how*, and *on which request* of
+*which incarnation*.  The plan travels to workers through the pool's
+knobs (it is JSON-safe, like everything else that crosses the spawn
+boundary) and is consulted by a :class:`FaultInjector` at the
+``_worker_main`` dispatch loop, before the request reaches the app — the
+exact boundary where real crashes, stalls and corruption strike.
+
+Determinism is the point: the same ``(plan, request sequence)`` always
+fires the same faults at the same requests, so every recovery path —
+restart, deadline expiry, degraded scatter, breaker trip — is exercised
+reproducibly instead of hoping a race shows up.  Incarnation gating
+(specs default to incarnation 0, the first process in a slot) guarantees
+a restarted worker comes back clean, so a fault-injected soak always
+terminates.
+
+Fault kinds (:data:`FAULT_KINDS`):
+
+``crash``
+    ``os._exit`` before replying — the parent sees EOF mid-request.
+``stall``
+    Sleep ``seconds`` before handling — a hung-but-alive worker; only a
+    request deadline gets the parent its slot back.
+``corrupt``
+    Handle the request, then send garbage instead of the
+    ``(status, payload)`` pair — exercises reply validation.
+``error``
+    Reply ``(500, error payload)`` without dispatching — a retryable
+    server-side failure.
+``slow_start``
+    Sleep ``seconds`` before reporting ready — a cold, slow warm-up.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.errors import CodecError, DatasetError
+
+#: Every fault kind a plan may carry.
+FAULT_KINDS = ("crash", "stall", "corrupt", "error", "slow_start")
+
+#: Wire-format version of :meth:`FaultPlan.to_wire`.  Bumped whenever a
+#: field changes meaning; :meth:`FaultPlan.from_wire` rejects others.
+PLAN_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic fault: which worker misbehaves, how, and when.
+
+    Args:
+        kind: one of :data:`FAULT_KINDS`.
+        worker: the worker slot the fault targets.
+        after_requests: the fault arms on the Nth dispatched request
+            (1-based) of the targeted incarnation; it fires on the first
+            armed request whose endpoint matches.  Ignored by
+            ``slow_start`` (which fires at process start).
+        seconds: stall / slow-start duration.
+        endpoint: restrict firing to one endpoint name (``None`` = any).
+        incarnation: which process generation in the slot is targeted
+            (0 = the original worker; restarts increment).
+    """
+
+    kind: str
+    worker: int
+    after_requests: int = 1
+    seconds: float = 0.0
+    endpoint: str | None = None
+    incarnation: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise DatasetError(
+                f"unknown fault kind {self.kind!r} (known: {FAULT_KINDS})"
+            )
+        if self.worker < 0:
+            raise DatasetError(f"fault worker must be >= 0, got {self.worker}")
+        if self.after_requests < 1:
+            raise DatasetError(
+                f"after_requests must be >= 1, got {self.after_requests}"
+            )
+        if self.seconds < 0:
+            raise DatasetError(f"fault seconds must be >= 0, got {self.seconds}")
+        if self.incarnation < 0:
+            raise DatasetError(
+                f"fault incarnation must be >= 0, got {self.incarnation}"
+            )
+
+    def to_wire(self) -> dict:
+        return {
+            "kind": self.kind,
+            "worker": self.worker,
+            "after_requests": self.after_requests,
+            "seconds": self.seconds,
+            "endpoint": self.endpoint,
+            "incarnation": self.incarnation,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Mapping) -> "FaultSpec":
+        if not isinstance(payload, Mapping):
+            raise CodecError(
+                f"a fault spec must be a mapping, got {type(payload).__name__}"
+            )
+        try:
+            return cls(
+                kind=str(payload["kind"]),
+                worker=int(payload["worker"]),
+                after_requests=int(payload.get("after_requests", 1)),
+                seconds=float(payload.get("seconds", 0.0)),
+                endpoint=payload.get("endpoint"),
+                incarnation=int(payload.get("incarnation", 0)),
+            )
+        except KeyError as exc:
+            raise CodecError(f"fault spec is missing field {exc}") from None
+        except (DatasetError, TypeError, ValueError) as exc:
+            raise CodecError(str(exc)) from None
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, ordered collection of faults for one worker pool.
+
+    Build explicitly from specs, or with :meth:`generate` for a seeded
+    pseudo-random mix.  Plans are immutable and JSON-safe
+    (:meth:`to_wire` / :meth:`from_wire`, schema-versioned).
+    """
+
+    seed: int
+    faults: tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        *,
+        n_workers: int,
+        n_faults: int = 6,
+        kinds: Sequence[str] = FAULT_KINDS,
+        first_request: int = 1,
+        window: int = 16,
+        stall_seconds: float = 30.0,
+        slow_start_seconds: float = 0.2,
+    ) -> "FaultPlan":
+        """A seeded mix of faults spread across the pool.
+
+        Kinds round-robin through ``kinds`` (so every kind appears when
+        ``n_faults >= len(kinds)``); targets and arming points draw from
+        ``random.Random(seed)``.  Same arguments, same plan — always.
+
+        Args:
+            seed: the plan seed.
+            n_workers: pool width the plan targets.
+            n_faults: how many faults to schedule.
+            kinds: fault kinds to cycle through.
+            first_request: earliest request index a fault may arm on.
+            window: arming points spread over
+                ``[first_request, first_request + window)``.
+            stall_seconds: duration of ``stall`` faults (choose well past
+                the soak's request deadline so expiry, not completion,
+                resolves them).
+            slow_start_seconds: duration of ``slow_start`` faults (keep
+                under the pool's ready timeout).
+        """
+        if n_workers < 1:
+            raise DatasetError(f"n_workers must be >= 1, got {n_workers}")
+        if n_faults < 0:
+            raise DatasetError(f"n_faults must be >= 0, got {n_faults}")
+        if not kinds:
+            raise DatasetError("kinds must not be empty")
+        rng = random.Random(seed)
+        specs = []
+        for index in range(n_faults):
+            kind = kinds[index % len(kinds)]
+            if kind == "stall":
+                seconds = float(stall_seconds)
+            elif kind == "slow_start":
+                seconds = float(slow_start_seconds)
+            else:
+                seconds = 0.0
+            specs.append(
+                FaultSpec(
+                    kind=kind,
+                    worker=rng.randrange(n_workers),
+                    after_requests=first_request + rng.randrange(max(1, window)),
+                    seconds=seconds,
+                )
+            )
+        return cls(seed=int(seed), faults=tuple(specs))
+
+    def for_worker(
+        self, worker: int, incarnation: int = 0
+    ) -> tuple[FaultSpec, ...]:
+        """The specs targeting one worker incarnation, plan order kept."""
+        return tuple(
+            spec
+            for spec in self.faults
+            if spec.worker == worker and spec.incarnation == incarnation
+        )
+
+    def counts(self) -> dict[str, int]:
+        """How many faults of each kind the plan schedules."""
+        out = {kind: 0 for kind in FAULT_KINDS}
+        for spec in self.faults:
+            out[spec.kind] += 1
+        return out
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def to_wire(self) -> dict:
+        return {
+            "kind": "fault_plan",
+            "version": PLAN_VERSION,
+            "seed": self.seed,
+            "faults": [spec.to_wire() for spec in self.faults],
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Any) -> "FaultPlan":
+        if not isinstance(payload, Mapping):
+            raise CodecError(
+                f"a fault plan must be a mapping, got {type(payload).__name__}"
+            )
+        if payload.get("kind") != "fault_plan":
+            raise CodecError(
+                f"expected a 'fault_plan' payload, got {payload.get('kind')!r}"
+            )
+        version = payload.get("version")
+        if version != PLAN_VERSION:
+            raise CodecError(
+                f"unsupported fault plan version {version!r} "
+                f"(this codec speaks version {PLAN_VERSION})"
+            )
+        faults = payload.get("faults", ())
+        if not isinstance(faults, (list, tuple)):
+            raise CodecError("fault plan 'faults' must be a list")
+        return cls(
+            seed=int(payload.get("seed", 0)),
+            faults=tuple(FaultSpec.from_wire(entry) for entry in faults),
+        )
+
+
+class FaultInjector:
+    """The worker-side consumer of a :class:`FaultPlan`.
+
+    One injector lives inside each worker process, built from the plan
+    plus the worker's ``(worker_id, incarnation)`` knobs.  The dispatch
+    loop calls :meth:`before_dispatch` once per request; a returned spec
+    is the fault to act on (each spec fires at most once).  Startup calls
+    :meth:`sleep_on_start` for the ``slow_start`` budget.
+    """
+
+    def __init__(
+        self, plan: FaultPlan, *, worker_id: int, incarnation: int = 0
+    ) -> None:
+        specs = plan.for_worker(worker_id, incarnation)
+        self._pending = [
+            spec for spec in specs if spec.kind != "slow_start"
+        ]
+        self._slow_start = sum(
+            spec.seconds for spec in specs if spec.kind == "slow_start"
+        )
+        self._n_dispatched = 0
+        self._n_fired = 0
+
+    @property
+    def n_fired(self) -> int:
+        return self._n_fired
+
+    @property
+    def slow_start_seconds(self) -> float:
+        return self._slow_start
+
+    def sleep_on_start(self) -> None:
+        """Apply the slow-start budget (called before reporting ready)."""
+        if self._slow_start > 0:
+            import time
+
+            time.sleep(self._slow_start)
+
+    def before_dispatch(self, endpoint: str) -> FaultSpec | None:
+        """The fault to apply to this request, if any.
+
+        Fires the first pending spec that has armed
+        (``after_requests <= requests seen``) and whose endpoint filter
+        matches; an armed spec waiting on an endpoint keeps waiting
+        without blocking later specs.
+        """
+        self._n_dispatched += 1
+        for index, spec in enumerate(self._pending):
+            if spec.after_requests > self._n_dispatched:
+                continue
+            if spec.endpoint is not None and spec.endpoint != endpoint:
+                continue
+            del self._pending[index]
+            self._n_fired += 1
+            return spec
+        return None

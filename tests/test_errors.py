@@ -46,3 +46,22 @@ def test_errors_carry_messages():
 def test_catching_base_class_catches_leaf():
     with pytest.raises(errors.ReproError):
         raise errors.SplitError("nope")
+
+
+def test_deadline_error_is_a_retryable_repro_error():
+    assert issubclass(errors.DeadlineError, errors.ReproError)
+    assert errors.DeadlineError.retryable is True
+
+
+@pytest.mark.parametrize(
+    "exc_type",
+    [errors.WorkerUnresponsiveError, errors.WorkerProtocolError],
+)
+def test_worker_failures_are_retryable_serve_errors(exc_type):
+    assert issubclass(exc_type, errors.ServeError)
+    assert exc_type.retryable is True
+
+
+def test_errors_are_not_retryable_by_default():
+    assert errors.ReproError.retryable is False
+    assert errors.ServeError("x").retryable is False

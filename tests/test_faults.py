@@ -1,0 +1,318 @@
+"""The deterministic fault-injection harness: seeded plans, the worker-side
+injector, per-fault pool recovery, and the chaos soak's bit-identity claim."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.api.service import RetrievalService
+from repro.datasets.synth import corpus_from_config
+from repro.datasets.synth.config import ScenarioConfig
+from repro.errors import CodecError, DatasetError
+from repro.serve import codec
+from repro.serve.workers import WorkerDispatchApp, WorkerPool
+from repro.testing import (
+    FAULT_KINDS,
+    PLAN_VERSION,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    build_mix,
+    run_chaos_soak,
+)
+
+_PARAMS = {"scheme": "identical", "max_iterations": 25, "seed": 5}
+_CONFIG = ScenarioConfig(
+    name="faults-test",
+    mode="feature",
+    categories=tuple(f"cat{i}" for i in range(6)),
+    feature_dims=6,
+    instances_per_bag=3,
+    cluster_spread=0.2,
+).with_total_bags(48)
+
+
+@pytest.fixture(scope="module")
+def packed():
+    return corpus_from_config(_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def local_service(packed):
+    return RetrievalService(packed)
+
+
+class TestFaultSpec:
+    def test_valid_spec(self):
+        spec = FaultSpec(kind="stall", worker=1, after_requests=3, seconds=2.0)
+        assert spec.kind == "stall"
+        assert spec.incarnation == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kind": "explode", "worker": 0},
+            {"kind": "crash", "worker": -1},
+            {"kind": "crash", "worker": 0, "after_requests": 0},
+            {"kind": "stall", "worker": 0, "seconds": -1.0},
+            {"kind": "crash", "worker": 0, "incarnation": -1},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(DatasetError):
+            FaultSpec(**kwargs)
+
+    def test_wire_round_trip(self):
+        spec = FaultSpec(kind="error", worker=2, after_requests=4,
+                         endpoint="rank", incarnation=1)
+        assert FaultSpec.from_wire(spec.to_wire()) == spec
+
+    @pytest.mark.parametrize(
+        "payload",
+        ["nope", {}, {"kind": "crash"}, {"kind": "crash", "worker": "x"}],
+    )
+    def test_bad_wire_specs_are_codec_errors(self, payload):
+        with pytest.raises((CodecError, DatasetError)):
+            FaultSpec.from_wire(payload)
+
+
+class TestFaultPlan:
+    def test_generate_is_deterministic(self):
+        first = FaultPlan.generate(11, n_workers=3, n_faults=8)
+        second = FaultPlan.generate(11, n_workers=3, n_faults=8)
+        assert first == second
+        assert len(first) == 8
+        assert FaultPlan.generate(12, n_workers=3, n_faults=8) != first
+
+    def test_generate_covers_the_requested_kinds(self):
+        plan = FaultPlan.generate(5, n_workers=2, n_faults=len(FAULT_KINDS))
+        assert set(plan.counts()) == set(FAULT_KINDS)
+
+    def test_generate_targets_stay_in_range(self):
+        plan = FaultPlan.generate(3, n_workers=2, n_faults=20)
+        assert all(0 <= spec.worker < 2 for spec in plan)
+
+    def test_for_worker_filters_by_worker_and_incarnation(self):
+        plan = FaultPlan(
+            seed=0,
+            faults=(
+                FaultSpec(kind="crash", worker=0),
+                FaultSpec(kind="stall", worker=1, seconds=1.0),
+                FaultSpec(kind="error", worker=0, incarnation=1),
+            ),
+        )
+        assert [s.kind for s in plan.for_worker(0)] == ["crash"]
+        assert [s.kind for s in plan.for_worker(0, incarnation=1)] == ["error"]
+        assert [s.kind for s in plan.for_worker(1)] == ["stall"]
+
+    def test_wire_round_trip_and_version_gate(self):
+        plan = FaultPlan.generate(9, n_workers=2, n_faults=4)
+        wire = plan.to_wire()
+        assert wire["version"] == PLAN_VERSION
+        assert FaultPlan.from_wire(wire) == plan
+        wrong = dict(wire)
+        wrong["version"] = PLAN_VERSION + 1
+        with pytest.raises(CodecError, match="version"):
+            FaultPlan.from_wire(wrong)
+        with pytest.raises(CodecError):
+            FaultPlan.from_wire({"kind": "not_a_plan", "version": PLAN_VERSION})
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_workers": 0},
+            {"n_workers": 2, "n_faults": -1},
+            {"n_workers": 2, "kinds": ("explode",)},
+        ],
+    )
+    def test_invalid_generate_args_rejected(self, kwargs):
+        with pytest.raises(DatasetError):
+            FaultPlan.generate(0, **kwargs)
+
+
+class TestFaultInjector:
+    def test_fires_at_the_armed_request_and_only_once(self):
+        plan = FaultPlan(
+            seed=0, faults=(FaultSpec(kind="crash", worker=0, after_requests=3),)
+        )
+        injector = FaultInjector(plan, worker_id=0)
+        assert injector.before_dispatch("rank") is None
+        assert injector.before_dispatch("rank") is None
+        fired = injector.before_dispatch("rank")
+        assert fired is not None and fired.kind == "crash"
+        assert injector.before_dispatch("rank") is None
+        assert injector.n_fired == 1
+
+    def test_endpoint_filter(self):
+        plan = FaultPlan(
+            seed=0,
+            faults=(FaultSpec(kind="error", worker=0, after_requests=1,
+                              endpoint="rank"),),
+        )
+        injector = FaultInjector(plan, worker_id=0)
+        assert injector.before_dispatch("query") is None
+        fired = injector.before_dispatch("rank")
+        assert fired is not None and fired.kind == "error"
+
+    def test_other_workers_faults_ignored(self):
+        plan = FaultPlan(
+            seed=0, faults=(FaultSpec(kind="crash", worker=1),)
+        )
+        injector = FaultInjector(plan, worker_id=0)
+        for _ in range(5):
+            assert injector.before_dispatch("rank") is None
+
+    def test_slow_start_accumulates_but_never_dispatch_fires(self):
+        plan = FaultPlan(
+            seed=0,
+            faults=(
+                FaultSpec(kind="slow_start", worker=0, seconds=0.01),
+                FaultSpec(kind="slow_start", worker=0, seconds=0.02),
+            ),
+        )
+        injector = FaultInjector(plan, worker_id=0)
+        assert injector.slow_start_seconds == pytest.approx(0.03)
+        assert injector.before_dispatch("rank") is None
+
+
+def _query_payload(packed, top_k: int = 5) -> dict:
+    return codec.envelope(
+        "query",
+        {
+            "positive_ids": list(packed.image_ids[:2]),
+            "negative_ids": list(packed.image_ids[10:11]),
+            "learner": "dd",
+            "params": dict(_PARAMS),
+            "candidate_ids": None,
+            "top_k": top_k,
+            "category_filter": None,
+            "query_id": "faults-test",
+        },
+    )
+
+
+class TestPoolIntegration:
+    def test_crash_fault_costs_one_retryable_500_then_recovers(
+        self, local_service, packed
+    ):
+        plan = FaultPlan(
+            seed=0, faults=(FaultSpec(kind="crash", worker=0, after_requests=1),)
+        )
+        with WorkerPool.from_service(local_service, 1, fault_plan=plan) as pool:
+            app = WorkerDispatchApp(pool)
+            status, reply = app.handle("query", _query_payload(packed))
+            assert status == 500
+            assert reply["retryable"] is True
+            assert pool.n_restarts == 1
+            assert pool.resilience.get("crash_restarts") == 1
+            status, reply = app.handle("query", _query_payload(packed))
+            assert status == 200, reply
+
+    def test_error_fault_is_a_retryable_500_without_a_restart(
+        self, local_service, packed
+    ):
+        plan = FaultPlan(
+            seed=0, faults=(FaultSpec(kind="error", worker=0, after_requests=1),)
+        )
+        with WorkerPool.from_service(local_service, 1, fault_plan=plan) as pool:
+            app = WorkerDispatchApp(pool)
+            status, reply = app.handle("query", _query_payload(packed))
+            assert status == 500
+            assert "injected" in reply["message"]
+            assert reply["retryable"] is True
+            assert pool.n_restarts == 0
+            status, reply = app.handle("query", _query_payload(packed))
+            assert status == 200, reply
+
+    def test_corrupt_reply_counts_and_restarts_the_worker(
+        self, local_service, packed
+    ):
+        plan = FaultPlan(
+            seed=0,
+            faults=(FaultSpec(kind="corrupt", worker=0, after_requests=1),),
+        )
+        with WorkerPool.from_service(local_service, 1, fault_plan=plan) as pool:
+            app = WorkerDispatchApp(pool)
+            status, reply = app.handle("query", _query_payload(packed))
+            assert status == 500
+            assert reply["retryable"] is True
+            assert pool.resilience.get("corrupt_replies") == 1
+            assert pool.n_restarts == 1
+            status, reply = app.handle("query", _query_payload(packed))
+            assert status == 200, reply
+
+    def test_slow_start_fault_only_delays_readiness(self, local_service, packed):
+        plan = FaultPlan(
+            seed=0,
+            faults=(FaultSpec(kind="slow_start", worker=0, seconds=0.3),),
+        )
+        started = time.monotonic()
+        with WorkerPool.from_service(local_service, 1, fault_plan=plan) as pool:
+            assert time.monotonic() - started >= 0.3
+            app = WorkerDispatchApp(pool)
+            status, reply = app.handle("query", _query_payload(packed))
+            assert status == 200, reply
+            assert pool.n_restarts == 0
+
+    def test_restarted_worker_comes_back_clean(self, local_service, packed):
+        """Faults are gated per incarnation: a replacement worker does not
+        re-arm incarnation-0 faults, so a finite plan always drains."""
+        plan = FaultPlan(
+            seed=0,
+            faults=(
+                FaultSpec(kind="crash", worker=0, after_requests=1),
+                FaultSpec(kind="crash", worker=0, after_requests=1),
+            ),
+        )
+        with WorkerPool.from_service(local_service, 1, fault_plan=plan) as pool:
+            app = WorkerDispatchApp(pool)
+            status, _ = app.handle("query", _query_payload(packed))
+            assert status == 500
+            # Both crash specs armed for incarnation 0 at request 1; the
+            # replacement (incarnation 1) must not fire either of them.
+            for _ in range(3):
+                status, reply = app.handle("query", _query_payload(packed))
+                assert status == 200, reply
+            assert pool.n_restarts == 1
+
+
+class TestChaosSoak:
+    def test_build_mix_is_deterministic(self, local_service):
+        first = build_mix(local_service, n_requests=9, seed=3)
+        second = build_mix(local_service, n_requests=9, seed=3)
+        assert first == second
+        assert {item["kind"] for item in first} == {"rank", "query", "feedback"}
+        assert build_mix(local_service, n_requests=9, seed=4) != first
+
+    def test_soak_under_faults_stays_bit_identical(self, local_service):
+        plan = FaultPlan(
+            seed=0,
+            faults=(
+                FaultSpec(kind="crash", worker=0, after_requests=2),
+                FaultSpec(kind="stall", worker=1, after_requests=3,
+                          seconds=20.0),
+                FaultSpec(kind="corrupt", worker=0, after_requests=2,
+                          incarnation=1),
+                FaultSpec(kind="error", worker=1, after_requests=1,
+                          incarnation=1),
+            ),
+        )
+        report = run_chaos_soak(
+            local_service,
+            n_workers=2,
+            seed=7,
+            n_requests=9,
+            deadline_ms=3000.0,
+            plan=plan,
+            min_scatter_bags=1,
+        )
+        assert report.ok, (report.mismatches, report.resilience)
+        assert report.mismatches == []
+        assert report.n_failures == 0
+        assert report.baseline_failures == 0
+        assert report.n_restarts >= 1
+        # The stall resolved by deadline expiry, never by waiting it out.
+        assert report.max_attempt_seconds < 15.0
+        assert report.resilience["restarts"] == report.n_restarts

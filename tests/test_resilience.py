@@ -1,0 +1,496 @@
+"""Deadline propagation, hung-worker detection, circuit breaking and the
+degradation ladder: a stalled worker costs a 504 and a restart, never a
+hang, and a degraded answer is bit-identical to the healthy one."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api.service import RetrievalService
+from repro.core.concept import LearnedConcept
+from repro.core.retrieval import Ranker
+from repro.datasets.synth import corpus_from_config
+from repro.datasets.synth.config import ScenarioConfig
+from repro.errors import CodecError, DeadlineError, ServeError
+from repro.serve import codec
+from repro.serve.app import ServiceApp, handle_safely
+from repro.serve.codec import deadline_ms_field
+from repro.serve.resilience import (
+    MIN_STAMP_SECONDS,
+    CircuitBreaker,
+    Deadline,
+    ResilienceStats,
+    deadline_from_payload,
+    stamp_deadline,
+)
+from repro.serve.workers import WorkerDispatchApp, WorkerPool
+from repro.testing.faults import FaultPlan, FaultSpec
+
+_CONFIG = ScenarioConfig(
+    name="resilience-test",
+    mode="feature",
+    categories=tuple(f"cat{i}" for i in range(6)),
+    feature_dims=6,
+    instances_per_bag=3,
+    cluster_spread=0.2,
+).with_total_bags(48)
+
+
+@pytest.fixture(scope="module")
+def packed():
+    return corpus_from_config(_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def local_service(packed):
+    return RetrievalService(packed)
+
+
+def _rank_payload(packed, bag: int = 0, **extra) -> dict:
+    concept = LearnedConcept(
+        t=packed.instances[bag], w=np.ones(packed.n_dims), nll=0.0
+    )
+    return codec.envelope(
+        "rank", {"concept": codec.encode_concept(concept), "top_k": 5, **extra}
+    )
+
+
+class _FakeClock:
+    def __init__(self, now: float = 100.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestDeadline:
+    def test_budget_counts_down_on_the_injected_clock(self):
+        clock = _FakeClock()
+        deadline = Deadline(2.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(2.0)
+        clock.now += 1.5
+        assert deadline.remaining() == pytest.approx(0.5)
+        assert not deadline.expired
+        clock.now += 1.0
+        assert deadline.expired
+        assert deadline.remaining() == 0.0
+        assert deadline.remaining_ms() == 0.0
+
+    def test_from_ms(self):
+        clock = _FakeClock()
+        deadline = Deadline.from_ms(250.0, clock=clock)
+        assert deadline.remaining_ms() == pytest.approx(250.0)
+
+    @pytest.mark.parametrize("budget", [0.0, -1.0, float("nan"), float("inf")])
+    def test_invalid_budgets_rejected(self, budget):
+        with pytest.raises(ServeError, match="budget"):
+            Deadline(budget)
+
+    def test_sub_budget_is_a_fraction_of_remaining(self):
+        clock = _FakeClock()
+        deadline = Deadline(2.0, clock=clock)
+        clock.now += 1.0
+        fragment = deadline.sub_budget(0.5)
+        assert fragment.remaining() == pytest.approx(0.5)
+
+    def test_sub_budget_of_expired_deadline_is_tiny_not_crashing(self):
+        clock = _FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        clock.now += 5.0
+        fragment = deadline.sub_budget(0.5)
+        assert fragment.remaining() <= MIN_STAMP_SECONDS
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.5, 1.5])
+    def test_invalid_sub_budget_fraction_rejected(self, fraction):
+        with pytest.raises(ServeError, match="fraction"):
+            Deadline(1.0).sub_budget(fraction)
+
+
+class TestWireStamping:
+    def test_stamp_then_parse_round_trips_the_remaining_budget(self):
+        deadline = Deadline.from_ms(500.0)
+        payload = stamp_deadline({"kind": "rank"}, deadline)
+        assert payload is not None and "deadline_ms" in payload
+        parsed = deadline_from_payload(payload)
+        assert parsed is not None
+        assert 0.0 < parsed.remaining_ms() <= 500.0
+
+    def test_stamp_without_deadline_is_passthrough(self):
+        payload = {"kind": "rank"}
+        assert stamp_deadline(payload, None) is payload
+
+    def test_stamp_does_not_mutate_the_original(self):
+        original = {"kind": "rank"}
+        stamped = stamp_deadline(original, Deadline.from_ms(100.0))
+        assert "deadline_ms" not in original
+        assert stamped is not original
+
+    def test_expired_deadline_stamps_a_tiny_positive_budget(self):
+        clock = _FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        clock.now += 10.0
+        stamped = stamp_deadline({"kind": "rank"}, deadline)
+        # The wire field stays codec-valid (positive); the receiver's
+        # re-created deadline expires immediately.
+        assert stamped["deadline_ms"] > 0.0
+
+    def test_payload_without_field_parses_to_none(self):
+        assert deadline_from_payload({"kind": "rank"}) is None
+        assert deadline_from_payload(None) is None
+
+    @pytest.mark.parametrize("value", ["soon", True, -5, 0, float("nan")])
+    def test_bad_wire_values_are_codec_errors(self, value):
+        with pytest.raises(CodecError, match="deadline_ms"):
+            deadline_from_payload({"kind": "rank", "deadline_ms": value})
+
+    def test_codec_field_returns_float(self):
+        assert deadline_ms_field({"deadline_ms": 250}) == 250.0
+        assert deadline_ms_field({}) is None
+        assert deadline_ms_field(None) is None
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        clock = _FakeClock()
+        breaker = CircuitBreaker(2, threshold=3, cooldown_seconds=5.0, clock=clock)
+        for _ in range(2):
+            breaker.record_failure(0)
+        assert breaker.available(0)
+        breaker.record_failure(0)
+        assert not breaker.available(0)
+        assert breaker.available(1)
+        assert breaker.n_opens == 1
+
+    def test_success_resets_the_failure_count(self):
+        breaker = CircuitBreaker(1, threshold=2)
+        breaker.record_failure(0)
+        breaker.record_success(0)
+        breaker.record_failure(0)
+        assert breaker.available(0)
+
+    def test_reprobes_after_cooldown(self):
+        clock = _FakeClock()
+        breaker = CircuitBreaker(1, threshold=1, cooldown_seconds=5.0, clock=clock)
+        breaker.record_failure(0)
+        assert not breaker.available(0)
+        clock.now += 5.1
+        assert breaker.available(0)  # half-open: one probe allowed
+        breaker.record_success(0)
+        assert breaker.available(0)
+        assert breaker.n_opens == 1
+
+    def test_failures_while_open_do_not_recount_opens(self):
+        clock = _FakeClock()
+        breaker = CircuitBreaker(1, threshold=1, cooldown_seconds=5.0, clock=clock)
+        breaker.record_failure(0)
+        breaker.record_failure(0)
+        assert breaker.n_opens == 1
+
+    def test_snapshot_shape(self):
+        breaker = CircuitBreaker(2, threshold=4, cooldown_seconds=2.0)
+        breaker.record_failure(1)
+        snap = breaker.snapshot()
+        assert snap["threshold"] == 4
+        assert snap["cooldown_seconds"] == 2.0
+        assert snap["opens"] == 0
+        assert snap["open_workers"] == []
+        assert snap["consecutive_failures"] == [0, 1]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"threshold": 0},
+            {"cooldown_seconds": -1.0},
+        ],
+    )
+    def test_invalid_args_rejected(self, kwargs):
+        with pytest.raises(ServeError):
+            CircuitBreaker(1, **kwargs)
+
+    def test_zero_slots_rejected(self):
+        with pytest.raises(ServeError):
+            CircuitBreaker(0)
+
+
+class TestResilienceStats:
+    def test_counters_start_at_zero_and_accumulate(self):
+        stats = ResilienceStats()
+        snap = stats.snapshot()
+        assert set(ResilienceStats.COUNTERS) <= set(snap)
+        assert all(value == 0 for value in snap.values())
+        stats.incr("deadline_expiries")
+        stats.incr("deadline_expiries", 2)
+        assert stats.get("deadline_expiries") == 3
+
+    def test_unknown_counter_rejected(self):
+        with pytest.raises(ServeError):
+            ResilienceStats().incr("nope")
+
+
+class TestServiceAppDeadline:
+    def test_expired_deadline_maps_to_504(self, local_service):
+        app = ServiceApp(local_service)
+        payload = codec.envelope("rank", {"session": "x"})
+        payload["deadline_ms"] = 0.001
+        time.sleep(0.01)
+        status, reply = handle_safely(app, "rank", payload)
+        assert status == 504
+        assert reply["error"] == "DeadlineError"
+        assert reply["retryable"] is True
+
+    def test_generous_deadline_answers_normally(self, local_service, packed):
+        app = ServiceApp(local_service)
+        payload = _rank_payload(packed)
+        payload["deadline_ms"] = 60_000.0
+        status, reply = handle_safely(app, "rank", payload)
+        assert status == 200, reply
+
+    def test_invalid_deadline_field_is_a_400(self, local_service, packed):
+        app = ServiceApp(local_service)
+        payload = _rank_payload(packed)
+        payload["deadline_ms"] = "soon"
+        status, reply = handle_safely(app, "rank", payload)
+        assert status == 400
+        assert reply["error"] == "CodecError"
+
+
+def _wait_for_restarts(pool, n: int, timeout: float = 20.0) -> None:
+    stop = time.monotonic() + timeout
+    while pool.n_restarts < n and time.monotonic() < stop:
+        time.sleep(0.05)
+    assert pool.n_restarts >= n, f"expected >= {n} restarts, saw {pool.n_restarts}"
+
+
+class TestHungWorkerDetection:
+    def test_stalled_worker_costs_a_504_and_a_restart_not_a_hang(
+        self, local_service, packed
+    ):
+        plan = FaultPlan(
+            seed=0,
+            faults=(FaultSpec(kind="stall", worker=0, after_requests=1,
+                              seconds=30.0),),
+        )
+        with WorkerPool.from_service(local_service, 1, fault_plan=plan) as pool:
+            app = WorkerDispatchApp(pool)
+            payload = _rank_payload(packed)
+            payload["deadline_ms"] = 400.0
+            started = time.monotonic()
+            status, reply = app.handle("rank", payload)
+            elapsed = time.monotonic() - started
+            assert status == 504
+            assert reply["error"] == "DeadlineError"
+            assert reply["retryable"] is True
+            # The 504 answers at the deadline, not after the 30s stall or
+            # the replacement worker's warm-up.
+            assert elapsed < 5.0
+            _wait_for_restarts(pool, 1)
+            snap = pool.resilience.snapshot()
+            assert snap["deadline_expiries"] >= 1
+            assert snap["unresponsive_restarts"] >= 1
+            # The replacement worker answers the same request.
+            status, reply = app.handle("rank", _rank_payload(packed))
+            assert status == 200, reply
+
+    def test_already_expired_deadline_never_reaches_a_worker(
+        self, local_service, packed
+    ):
+        with WorkerPool.from_service(local_service, 1) as pool:
+            app = WorkerDispatchApp(pool)
+            payload = _rank_payload(packed)
+            payload["deadline_ms"] = 0.001
+            time.sleep(0.01)
+            status, reply = app.handle("rank", payload)
+            assert status == 504
+            assert pool.resilience.get("deadline_expiries") >= 1
+            assert pool.n_restarts == 0
+
+    def test_generous_deadline_is_bit_identical_to_no_deadline(
+        self, local_service, packed
+    ):
+        with WorkerPool.from_service(local_service, 1) as pool:
+            app = WorkerDispatchApp(pool)
+            status, bare = app.handle("rank", _rank_payload(packed, bag=3))
+            payload = _rank_payload(packed, bag=3)
+            payload["deadline_ms"] = 60_000.0
+            status2, budgeted = app.handle("rank", payload)
+            assert status == status2 == 200
+            assert bare["ranking"] == budgeted["ranking"]
+
+
+class TestDegradedLadder:
+    def test_crashed_fragment_degrades_to_a_bit_identical_answer(
+        self, local_service, packed
+    ):
+        plan = FaultPlan(
+            seed=0,
+            faults=(FaultSpec(kind="crash", worker=0, after_requests=1,
+                              endpoint="rank_fragment"),),
+        )
+        with WorkerPool.from_service(local_service, 2, fault_plan=plan) as pool:
+            app = WorkerDispatchApp(pool, service=local_service,
+                                    min_scatter_bags=1)
+            assert app.scatter is not None
+            concept = LearnedConcept(
+                t=packed.instances[3], w=np.ones(packed.n_dims), nll=0.0
+            )
+            payload = _rank_payload(packed, bag=3)
+            status, reply = app.handle("rank", payload)
+            assert status == 200, reply
+            remote = codec.decode_ranking(reply["ranking"])
+            local = Ranker().rank(concept, packed, top_k=5)
+            assert remote.image_ids == local.image_ids
+            np.testing.assert_array_equal(remote.distances, local.distances)
+            assert app.scatter.stats()["fallbacks"] >= 1
+            snap = pool.resilience.snapshot()
+            assert snap["degraded_answers"] >= 1
+            assert snap["crash_restarts"] >= 1
+            assert pool.n_restarts >= 1
+
+    def test_rung_two_answers_locally_when_the_whole_pool_is_sick(
+        self, local_service, packed, monkeypatch
+    ):
+        with WorkerPool.from_service(local_service, 2) as pool:
+            app = WorkerDispatchApp(pool, service=local_service,
+                                    min_scatter_bags=1)
+            scatter = app.scatter
+            assert scatter is not None
+
+            def sick_scatter(*args, **kwargs):
+                raise ServeError("scatter is down")
+
+            def sick_handle(endpoint, payload, deadline=None):
+                from repro.serve.app import error_payload
+
+                return 500, error_payload(ServeError("worker is down"))
+
+            monkeypatch.setattr(pool, "scatter", sick_scatter)
+            monkeypatch.setattr(pool, "handle", sick_handle)
+            payload = _rank_payload(packed, bag=7)
+            status, reply = scatter.handle(payload)
+            assert status == 200, reply
+            concept = LearnedConcept(
+                t=packed.instances[7], w=np.ones(packed.n_dims), nll=0.0
+            )
+            remote = codec.decode_ranking(reply["ranking"])
+            local = Ranker().rank(concept, packed, top_k=5)
+            assert remote.image_ids == local.image_ids
+            np.testing.assert_array_equal(remote.distances, local.distances)
+            assert pool.resilience.get("degraded_answers") >= 1
+
+    def test_expired_deadline_stops_the_ladder_with_a_504(
+        self, local_service, packed, monkeypatch
+    ):
+        with WorkerPool.from_service(local_service, 2) as pool:
+            app = WorkerDispatchApp(pool, service=local_service,
+                                    min_scatter_bags=1)
+            scatter = app.scatter
+
+            def sick_scatter(*args, **kwargs):
+                raise ServeError("scatter is down")
+
+            monkeypatch.setattr(pool, "scatter", sick_scatter)
+            clock = _FakeClock()
+            deadline = Deadline(1.0, clock=clock)
+            clock.now += 2.0  # expire before the ladder starts
+            status, reply = scatter.handle(_rank_payload(packed), deadline)
+            assert status == 504
+            assert reply["error"] == "DeadlineError"
+            assert pool.resilience.get("deadline_expiries") >= 1
+
+
+class TestBreakerRouting:
+    def test_breaker_opens_and_routes_around_a_flapping_worker(
+        self, local_service, packed
+    ):
+        # Worker 0 crashes on its first dispatch; threshold 1 opens its
+        # breaker immediately, so round-robin routing skips it while the
+        # replacement warms up.
+        plan = FaultPlan(
+            seed=0,
+            faults=(FaultSpec(kind="crash", worker=0, after_requests=1),),
+        )
+        with WorkerPool.from_service(
+            local_service, 2, fault_plan=plan,
+            breaker_threshold=1, breaker_cooldown=30.0,
+        ) as pool:
+            app = WorkerDispatchApp(pool)
+            saw_failure = False
+            for attempt in range(6):
+                status, reply = app.handle("rank", _rank_payload(packed))
+                if status != 200:
+                    saw_failure = True
+                    assert reply.get("retryable") is True
+            assert saw_failure
+            snap = pool.resilience.snapshot()
+            breaker = pool.breaker.snapshot()
+            assert breaker["opens"] >= 1
+            # With worker 0's breaker open, every later request still
+            # answers (routed to worker 1).
+            status, reply = app.handle("rank", _rank_payload(packed))
+            assert status == 200, reply
+
+
+class TestStatsSurface:
+    def test_dispatch_stats_carry_the_resilience_block(self, local_service):
+        with WorkerPool.from_service(local_service, 1) as pool:
+            app = WorkerDispatchApp(pool)
+            payload = app.stats()
+            block = payload["resilience"]
+            for counter in ResilienceStats.COUNTERS:
+                assert counter in block
+            assert block["restarts"] == 0
+            assert block["breaker"]["opens"] == 0
+
+
+class TestDrainUnderLoad:
+    def test_sigterm_style_stop_completes_the_inflight_scatter(
+        self, local_service, packed
+    ):
+        """server.stop() (what the SIGTERM handler calls) lets an
+        in-flight scattered rank finish, refuses new requests, and the
+        pool shuts down with no orphan workers."""
+        from repro.serve.http import ReproClient, ReproServer
+
+        plan = FaultPlan(
+            seed=0,
+            faults=(FaultSpec(kind="stall", worker=0, after_requests=1,
+                              seconds=0.7, endpoint="rank_fragment"),),
+        )
+        pool = WorkerPool.from_service(local_service, 2, fault_plan=plan)
+        app = WorkerDispatchApp(pool, service=local_service, min_scatter_bags=1)
+        server = ReproServer(app, port=0).start()
+        pids = pool.worker_pids()
+        processes = [worker.process for worker in pool._workers]
+        outcome: dict = {}
+
+        def inflight() -> None:
+            try:
+                client = ReproClient(server.url, timeout=30)
+                outcome["ranking"] = client.rank(
+                    concept=LearnedConcept(
+                        t=packed.instances[0], w=np.ones(packed.n_dims), nll=0.0
+                    ),
+                    top_k=5,
+                )
+            except Exception as exc:  # noqa: BLE001 - recorded for the assert
+                outcome["error"] = exc
+
+        caller = threading.Thread(target=inflight)
+        caller.start()
+        time.sleep(0.25)  # let the request reach the stalled fragment
+        server.stop(drain_timeout=10.0)
+        caller.join(15.0)
+        assert not caller.is_alive()
+        pool.stop()
+        assert "error" not in outcome, outcome.get("error")
+        assert len(outcome["ranking"]) == 5
+        # New connections are refused after the drain.
+        with pytest.raises(ServeError):
+            ReproClient(server.url, timeout=2).health()
+        for process in processes:
+            assert not process.is_alive(), f"orphan worker pid {process.pid}"
+        assert pids  # sanity: the pool really had workers

@@ -202,6 +202,85 @@ class TestHttpErrors:
             server.start()
 
 
+class TestSlowClients:
+    """Slow-client (slowloris) protection: a dribbling or stalled client
+    costs one bounded read timeout, never a wedged handler thread."""
+
+    @pytest.fixture()
+    def impatient_server(self, tiny_scene_db):
+        service = RetrievalService(tiny_scene_db)
+        server = ReproServer(
+            ServiceApp(service), port=0, read_timeout=0.4
+        ).start()
+        yield server
+        server.stop()
+
+    def test_stalled_body_gets_a_408_and_the_connection_closes(
+        self, impatient_server
+    ):
+        import http.client
+
+        connection = http.client.HTTPConnection(
+            impatient_server.host, impatient_server.port, timeout=10
+        )
+        try:
+            connection.putrequest("POST", "/v1/query")
+            connection.putheader("Content-Length", "100")
+            connection.putheader("Content-Type", "application/json")
+            connection.endheaders()
+            connection.send(b'{"kind": ')  # dribble a prefix, then stall
+            response = connection.getresponse()
+            assert response.status == 408
+            body = json.loads(response.read())
+            assert body["error"] == "DeadlineError"
+            assert "9 of 100 bytes" in body["message"]
+            assert response.getheader("Connection") == "close"
+        finally:
+            connection.close()
+
+    def test_stalled_headers_get_the_connection_dropped(self, impatient_server):
+        import socket
+
+        with socket.create_connection(
+            (impatient_server.host, impatient_server.port), timeout=10
+        ) as raw:
+            raw.sendall(b"POST /v1/query HTTP/1.1\r\nHost: x\r\nConte")
+            raw.settimeout(5.0)
+            # The server times the header read out and closes; a patient
+            # recv sees EOF, not a hang.
+            assert raw.recv(1024) == b""
+
+    def test_prompt_body_is_unaffected_by_the_read_timeout(
+        self, impatient_server, tiny_scene_db
+    ):
+        client = ReproClient(impatient_server.url)
+        assert client.health()["status"] == "ok"
+        query = _query(tiny_scene_db)
+        result = client.query(query)
+        assert len(result.ranking) == 5
+
+    def test_invalid_read_timeout_rejected(self, tiny_scene_db):
+        service = RetrievalService(tiny_scene_db)
+        with pytest.raises(ServeError, match="read_timeout"):
+            ReproServer(ServiceApp(service), port=0, read_timeout=0.0)
+
+
+class TestClientDeadlines:
+    def test_deadline_ms_is_stamped_and_enforced(self, server, tiny_scene_db):
+        from repro.errors import DeadlineError
+
+        client = ReproClient(server.url, deadline_ms=0.01)
+        with pytest.raises(DeadlineError):
+            client.rank(session="any")  # expires in transit -> 504
+
+    def test_per_call_deadline_overrides_the_client_default(
+        self, client, tiny_scene_db
+    ):
+        query = _query(tiny_scene_db)
+        result = client.query(query, deadline_ms=60_000.0)
+        assert len(result.ranking) == 5
+
+
 class TestRestartOnSamePort:
     def test_allow_reuse_address_is_set(self, server):
         assert server._httpd.allow_reuse_address is True

@@ -283,6 +283,63 @@ class TestCrashRecovery:
             assert pool.ping()[0]["owns_instances"] is False
 
 
+class TestLostSessions:
+    def test_feedback_after_owner_crash_is_a_typed_404(self, local_service, packed):
+        """A session whose owning worker crashed and restarted answers a
+        retryable 404 SessionError, not a silent new-session 200."""
+        with WorkerPool.from_service(local_service, 2) as pool:
+            app = WorkerDispatchApp(pool)
+            status, created = app.handle(
+                "feedback",
+                codec.envelope(
+                    "feedback",
+                    {
+                        "add_positive_ids": [packed.image_ids[0]],
+                        "params": dict(_PARAMS),
+                        "rank": False,
+                    },
+                ),
+            )
+            assert status == 200, created
+            token = created["session"]
+            owner = pool._routes[token]
+            pool._workers[owner].process.kill()
+            pool._workers[owner].process.join(10.0)
+            status, reply = app.handle(
+                "feedback",
+                codec.envelope(
+                    "feedback",
+                    {"session": token, "add_negative_ids": [packed.image_ids[9]]},
+                ),
+            )
+            assert status == 404
+            assert reply["error"] == "SessionError"
+            assert "lost to a worker restart" in reply["message"]
+            assert reply["retryable"] is True
+            assert pool.resilience.get("lost_sessions") >= 1
+            # The loss is remembered: replays stay 404 instead of hitting
+            # whichever worker now owns the slot.
+            status, reply = app.handle(
+                "rank", codec.envelope("rank", {"session": token})
+            )
+            assert status == 404
+            assert "lost to a worker restart" in reply["message"]
+            # A fresh session on the recovered pool works.
+            status, fresh = app.handle(
+                "feedback",
+                codec.envelope(
+                    "feedback",
+                    {
+                        "add_positive_ids": [packed.image_ids[1]],
+                        "params": dict(_PARAMS),
+                        "rank": False,
+                    },
+                ),
+            )
+            assert status == 200, fresh
+            assert fresh["session"] != token
+
+
 class TestLifecycle:
     def test_stop_is_idempotent_and_rejects_requests(self, local_service):
         pool = WorkerPool.from_service(local_service, 1)
@@ -300,3 +357,44 @@ class TestLifecycle:
             pool.request("rank", codec.envelope("rank", {}))
         payload = pool.request("health")
         assert payload["status"] == "ok"
+
+    def test_stop_escalates_on_a_wedged_worker_and_leaves_no_orphans(
+        self, local_service, packed
+    ):
+        """stop() must terminate a worker that sits wedged mid-request
+        (the stop sentinel cannot be delivered past the in-flight stall)
+        instead of hanging, and every worker process must be dead after."""
+        import threading
+        import time
+
+        from repro.testing.faults import FaultPlan, FaultSpec
+
+        plan = FaultPlan(
+            seed=0,
+            faults=(FaultSpec(kind="stall", worker=0, after_requests=1,
+                              seconds=120.0),),
+        )
+        pool = WorkerPool.from_service(local_service, 1, fault_plan=plan)
+        processes = [worker.process for worker in pool._workers]
+
+        concept = _concept(packed)
+
+        def wedge() -> None:
+            # No deadline: this request blocks on the stalled worker until
+            # stop() tears the pipe down under it.
+            try:
+                pool.handle("rank", _rank_payload(concept))
+            except ReproError:
+                pass
+
+        wedger = threading.Thread(target=wedge, daemon=True)
+        wedger.start()
+        time.sleep(0.3)  # let the request reach the stall
+        started = time.monotonic()
+        pool.stop()
+        elapsed = time.monotonic() - started
+        assert elapsed < 30.0, f"stop() hung for {elapsed:.1f}s on a wedged worker"
+        wedger.join(10.0)
+        for process in processes:
+            process.join(5.0)
+            assert not process.is_alive(), f"orphan worker pid {process.pid}"
